@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark) of the hyperbolic kernels and the
+// linear GCN propagation — the hot loops of every table above.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hgcn.h"
+#include "core/logic_losses.h"
+#include "graph/propagation.h"
+#include "hyper/hyperplane.h"
+#include "hyper/lorentz.h"
+#include "hyper/maps.h"
+#include "hyper/poincare.h"
+#include "util/rng.h"
+
+namespace logirec {
+namespace {
+
+math::Vec BallPoint(Rng* rng, int d) {
+  math::Vec x(d);
+  for (double& v : x) v = rng->Gaussian(0.0, 0.2);
+  hyper::ProjectToBall(math::Span(x));
+  return x;
+}
+
+math::Vec HyperboloidPoint(Rng* rng, int d) {
+  math::Vec x(d + 1, 0.0);
+  for (int i = 1; i <= d; ++i) x[i] = rng->Gaussian(0.0, 0.5);
+  hyper::ProjectToHyperboloid(math::Span(x));
+  return x;
+}
+
+void BM_PoincareDistance(benchmark::State& state) {
+  Rng rng(1);
+  const int d = static_cast<int>(state.range(0));
+  const auto a = BallPoint(&rng, d);
+  const auto b = BallPoint(&rng, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hyper::PoincareDistance(a, b));
+  }
+}
+BENCHMARK(BM_PoincareDistance)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LorentzDistance(benchmark::State& state) {
+  Rng rng(2);
+  const int d = static_cast<int>(state.range(0));
+  const auto a = HyperboloidPoint(&rng, d);
+  const auto b = HyperboloidPoint(&rng, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hyper::LorentzDistance(a, b));
+  }
+}
+BENCHMARK(BM_LorentzDistance)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MobiusAdd(benchmark::State& state) {
+  Rng rng(3);
+  const int d = static_cast<int>(state.range(0));
+  const auto a = BallPoint(&rng, d);
+  const auto b = BallPoint(&rng, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hyper::MobiusAdd(a, b));
+  }
+}
+BENCHMARK(BM_MobiusAdd)->Arg(32)->Arg(64);
+
+void BM_LorentzExpLogRoundTrip(benchmark::State& state) {
+  Rng rng(4);
+  const int d = static_cast<int>(state.range(0));
+  math::Vec z(d + 1, 0.0);
+  for (int i = 1; i <= d; ++i) z[i] = rng.Gaussian(0.0, 0.5);
+  for (auto _ : state) {
+    const auto x = hyper::LorentzExpOrigin(z);
+    benchmark::DoNotOptimize(hyper::LorentzLogOrigin(x));
+  }
+}
+BENCHMARK(BM_LorentzExpLogRoundTrip)->Arg(32)->Arg(64);
+
+void BM_PoincareLorentzMaps(benchmark::State& state) {
+  Rng rng(5);
+  const auto x = BallPoint(&rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto lifted = hyper::PoincareToLorentz(x);
+    benchmark::DoNotOptimize(hyper::LorentzToPoincare(lifted));
+  }
+}
+BENCHMARK(BM_PoincareLorentzMaps)->Arg(32)->Arg(64);
+
+void BM_BallFromCenter(benchmark::State& state) {
+  Rng rng(6);
+  math::Vec c = BallPoint(&rng, static_cast<int>(state.range(0)));
+  hyper::ClampHyperplaneCenter(math::Span(c));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hyper::BallFromCenter(c));
+  }
+}
+BENCHMARK(BM_BallFromCenter)->Arg(32)->Arg(64);
+
+void BM_MembershipLossAndGrad(benchmark::State& state) {
+  Rng rng(7);
+  const int d = static_cast<int>(state.range(0));
+  const auto item = BallPoint(&rng, d);
+  math::Vec c = BallPoint(&rng, d);
+  hyper::ClampHyperplaneCenter(math::Span(c));
+  math::Vec gi(d, 0.0), gc(d, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MembershipLossAndGrad(
+        item, c, 1.0, math::Span(gi), math::Span(gc)));
+  }
+}
+BENCHMARK(BM_MembershipLossAndGrad)->Arg(32)->Arg(64);
+
+void BM_GcnPropagation(benchmark::State& state) {
+  Rng rng(8);
+  const int nu = 500, ni = 500, dim = 32;
+  std::vector<std::vector<int>> adj(nu);
+  for (int u = 0; u < nu; ++u) {
+    for (int k = 0; k < 10; ++k) adj[u].push_back(rng.UniformInt(ni));
+  }
+  graph::BipartiteGraph g(nu, ni, adj);
+  graph::GcnPropagator prop(&g, static_cast<int>(state.range(0)));
+  math::Matrix zu(nu, dim), zv(ni, dim);
+  zu.FillGaussian(&rng, 0.1);
+  zv.FillGaussian(&rng, 0.1);
+  math::Matrix su, sv;
+  for (auto _ : state) {
+    prop.Forward(zu, zv, &su, &sv, false);
+    benchmark::DoNotOptimize(su.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() *
+                          state.range(0));
+}
+BENCHMARK(BM_GcnPropagation)->Arg(1)->Arg(3);
+
+void BM_HyperbolicGcnForward(benchmark::State& state) {
+  Rng rng(9);
+  const int nu = 500, ni = 500, dim = 32;
+  std::vector<std::vector<int>> adj(nu);
+  for (int u = 0; u < nu; ++u) {
+    for (int k = 0; k < 10; ++k) adj[u].push_back(rng.UniformInt(ni));
+  }
+  graph::BipartiteGraph g(nu, ni, adj);
+  core::HyperbolicGcn gcn(&g, static_cast<int>(state.range(0)));
+  math::Matrix users(nu, dim + 1), items(ni, dim + 1);
+  for (int u = 0; u < nu; ++u) {
+    auto row = users.Row(u);
+    for (int k = 1; k <= dim; ++k) row[k] = rng.Gaussian(0.0, 0.1);
+    hyper::ProjectToHyperboloid(row);
+  }
+  for (int v = 0; v < ni; ++v) {
+    auto row = items.Row(v);
+    for (int k = 1; k <= dim; ++k) row[k] = rng.Gaussian(0.0, 0.1);
+    hyper::ProjectToHyperboloid(row);
+  }
+  math::Matrix fu, fv;
+  for (auto _ : state) {
+    gcn.Forward(users, items, &fu, &fv);
+    benchmark::DoNotOptimize(fu.data().data());
+  }
+}
+BENCHMARK(BM_HyperbolicGcnForward)->Arg(1)->Arg(3);
+
+}  // namespace
+}  // namespace logirec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Regenerates Table IV: hyperparameter studies of LogiRec++ on the CD and
+// Clothing analogues — GCN depth L, logic weight lambda, LMNN margin m,
+// and embedding dimension d. The reproduced shape: interior optima for L,
+// lambda, and m; monotone-but-saturating gains for d.
+//
+// Note on the margin grid: the paper sweeps m in {0, 0.1, 0.2, 0.3} on
+// full-scale data. At our ~1/40 scale hyperbolic distances are larger, so
+// the grid is rescaled to {0, 0.5, 1.0, 2.0}; the interior-optimum shape
+// is the reproduced claim.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/logirec_model.h"
+#include "eval/evaluator.h"
+#include "math/stats.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+using namespace logirec;
+
+namespace {
+
+struct Setting {
+  std::string label;
+  core::LogiRecConfig config;
+};
+
+void RunBlock(const std::string& block_name,
+              const std::vector<Setting>& settings,
+              const std::vector<bench::BenchDataset>& datasets, int seeds,
+              TablePrinter* table) {
+  for (const Setting& setting : settings) {
+    std::vector<std::string> row = {setting.label};
+    for (const auto& bd : datasets) {
+      eval::Evaluator evaluator(&bd.split, bd.dataset.num_items);
+      math::RunningStat recall, ndcg;
+      for (int s = 0; s < seeds; ++s) {
+        core::LogiRecConfig config = setting.config;
+        config.seed = 1000 + 37 * s;
+        core::LogiRecModel model(config);
+        LOGIREC_CHECK(model.Fit(bd.dataset, bd.split).ok());
+        const auto result = evaluator.Evaluate(model);
+        recall.Add(result.Get("Recall@10"));
+        ndcg.Add(result.Get("NDCG@10"));
+      }
+      row.push_back(StrFormat("%.2f±%.2f", recall.mean(), recall.stddev()));
+      row.push_back(StrFormat("%.2f±%.2f", ndcg.mean(), ndcg.stddev()));
+    }
+    table->AddRow(row);
+    std::fprintf(stderr, "[table4] %s %s done\n", block_name.c_str(),
+                 setting.label.c_str());
+  }
+  table->AddSeparator();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("scale", 0.8, "dataset scale factor");
+  flags.AddInt("epochs", 120, "training epochs per model");
+  flags.AddInt("seeds", 1, "repeated runs per cell");
+  if (!flags.Parse(argc, argv).ok()) return 1;
+  if (flags.help_requested()) return 0;
+
+  const int seeds = flags.GetInt("seeds");
+  std::vector<bench::BenchDataset> datasets;
+  datasets.push_back(bench::MakeBenchDataset("cd", flags.GetDouble("scale")));
+  datasets.push_back(
+      bench::MakeBenchDataset("clothing", flags.GetDouble("scale")));
+
+  core::LogiRecConfig base;
+  base.epochs = flags.GetInt("epochs");
+
+  std::printf("=== Table IV: hyperparameter studies (%%) on CD and "
+              "Clothing ===\n");
+  TablePrinter table({"Param.", "CD Recall@10", "CD NDCG@10",
+                      "Clothing Recall@10", "Clothing NDCG@10"});
+  Timer total;
+
+  std::vector<Setting> layer_settings;
+  for (int layers : {1, 2, 3, 4}) {
+    Setting s{StrFormat("L = %d", layers), base};
+    s.config.layers = layers;
+    layer_settings.push_back(s);
+  }
+  RunBlock("L", layer_settings, datasets, seeds, &table);
+
+  std::vector<Setting> lambda_settings;
+  // The paper's grid is {0, 0.01, 0.1, 1.0, 1.5}; ours is shifted because
+  // per-step application at batch 256 rescales lambda's effective
+  // strength (see TrainConfig::lambda). The reproduced shape is the same:
+  // 0 underuses the tags, an interior value wins, very large values
+  // over-constrain.
+  for (double lambda : {0.0, 0.2, 2.0, 8.0, 20.0}) {
+    Setting s{StrFormat("lambda = %.2f", lambda), base};
+    s.config.lambda = lambda;
+    lambda_settings.push_back(s);
+  }
+  RunBlock("lambda", lambda_settings, datasets, seeds, &table);
+
+  std::vector<Setting> margin_settings;
+  for (double margin : {0.0, 0.5, 1.0, 2.0}) {
+    Setting s{StrFormat("m = %.1f", margin), base};
+    s.config.margin = margin;
+    margin_settings.push_back(s);
+  }
+  RunBlock("m", margin_settings, datasets, seeds, &table);
+
+  std::vector<Setting> dim_settings;
+  for (int dim : {8, 16, 32, 64}) {
+    // The paper's grid {32, 64, 128} is halved to match the scaled data.
+    Setting s{StrFormat("d = %d", dim), base};
+    s.config.dim = dim;
+    dim_settings.push_back(s);
+  }
+  RunBlock("d", dim_settings, datasets, seeds, &table);
+
+  table.Print();
+  std::printf("\n[table4] total time %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

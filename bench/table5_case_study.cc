@@ -1,0 +1,113 @@
+// Regenerates Table V: interpretable case studies. Trains LogiRec++ on
+// the CD- and Book-like datasets and prints example users with their
+// consistency CON, granularity GR, personalized weight alpha, profiled
+// tags (by training-frequency TF), and the model's top recommendations.
+// The reproduced claims: high-CON users are profiled by a few specific
+// tags and receive recommendations concentrated in them; low-CON users
+// get reduced alpha; among comparable-CON users the higher-GR one is
+// profiled with finer-grained (deeper) tags.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/logirec_model.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+
+using namespace logirec;
+
+namespace {
+
+void DescribeUser(const core::LogiRecModel& model,
+                  const data::Dataset& dataset, const data::Split& split,
+                  int user) {
+  const core::UserWeighting* w = model.weighting();
+  std::printf("User %-4d CON=%.2f GR=%.2f alpha=%.2f  (%d tag types, %d "
+              "exclusive pairs)\n",
+              user, w->Con(user), w->Gr(user), w->Alpha(user),
+              w->TagTypeCount(user), w->ExclusivePairCount(user));
+
+  // Profile tags: the user's top TF tags.
+  std::vector<std::pair<double, int>> tags;
+  for (int t = 0; t < dataset.taxonomy.num_tags(); ++t) {
+    const double tf = w->Tf(user, t);
+    if (tf > 0.0) tags.push_back({tf, t});
+  }
+  std::sort(tags.rbegin(), tags.rend());
+  std::printf("  Tags: ");
+  for (size_t i = 0; i < std::min<size_t>(tags.size(), 5); ++i) {
+    const auto& tag = dataset.taxonomy.tag(tags[i].second);
+    std::printf("<%s>(L%d, TF=%.2f); ", tag.name.c_str(), tag.level,
+                tags[i].first);
+  }
+  std::printf("\n");
+
+  // Top recommendations with their leaf tags.
+  std::vector<double> scores;
+  model.ScoreItems(user, &scores);
+  for (int v : split.train[user]) {
+    scores[v] = -std::numeric_limits<double>::infinity();
+  }
+  const std::vector<int> top = eval::TopK(scores, 5);
+  std::printf("  Items: ");
+  for (int v : top) {
+    const int leaf = dataset.item_tags[v].empty() ? -1
+                                                  : dataset.item_tags[v][0];
+    std::printf("Item-%d<%s>; ", v,
+                leaf >= 0 ? dataset.taxonomy.tag(leaf).name.c_str() : "?");
+  }
+  std::printf("\n");
+}
+
+void CaseStudy(const std::string& ds_name, double scale, int epochs) {
+  const auto bd = bench::MakeBenchDataset(ds_name, scale);
+  core::LogiRecConfig config;
+  config.epochs = epochs;
+  core::LogiRecModel model(config);
+  LOGIREC_CHECK(model.Fit(bd.dataset, bd.split).ok());
+  const core::UserWeighting* w = model.weighting();
+  LOGIREC_CHECK(w != nullptr);
+
+  // Pick the archetypes the paper showcases: the most consistent user,
+  // the least consistent user, and — among mid-consistency users — the
+  // finest- and coarsest-granularity ones.
+  int most_con = 0, least_con = 0;
+  for (int u = 1; u < bd.dataset.num_users; ++u) {
+    if (w->Con(u) > w->Con(most_con)) most_con = u;
+    if (w->Con(u) < w->Con(least_con)) least_con = u;
+  }
+  int fine_gr = -1, coarse_gr = -1;
+  for (int u = 0; u < bd.dataset.num_users; ++u) {
+    if (w->Con(u) < 0.55 || w->Con(u) > 0.95) continue;
+    if (fine_gr < 0 || w->Gr(u) > w->Gr(fine_gr)) fine_gr = u;
+    if (coarse_gr < 0 || w->Gr(u) < w->Gr(coarse_gr)) coarse_gr = u;
+  }
+
+  std::printf("\n--- %s ---\n", bd.dataset.name.c_str());
+  std::printf("[consistent user]\n");
+  DescribeUser(model, bd.dataset, bd.split, most_con);
+  std::printf("[diverse user]\n");
+  DescribeUser(model, bd.dataset, bd.split, least_con);
+  if (fine_gr >= 0 && coarse_gr >= 0 && fine_gr != coarse_gr) {
+    std::printf("[fine-granularity user]\n");
+    DescribeUser(model, bd.dataset, bd.split, fine_gr);
+    std::printf("[coarse-granularity user]\n");
+    DescribeUser(model, bd.dataset, bd.split, coarse_gr);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("scale", 0.8, "dataset scale factor");
+  flags.AddInt("epochs", 120, "training epochs");
+  if (!flags.Parse(argc, argv).ok()) return 1;
+  if (flags.help_requested()) return 0;
+
+  std::printf("=== Table V: tag-based user profiles from LogiRec++ ===\n");
+  CaseStudy("cd", flags.GetDouble("scale"), flags.GetInt("epochs"));
+  CaseStudy("book", flags.GetDouble("scale"), flags.GetInt("epochs"));
+  return 0;
+}

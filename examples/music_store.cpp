@@ -1,0 +1,117 @@
+// Domain example: a music store (CD-like catalog) that trains LogiRec++,
+// persists the generated catalog to disk, reloads it, and produces
+// explainable per-user recommendations with consistency/granularity
+// profiles — the downstream integration the paper's Table V motivates.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/logirec_model.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+using namespace logirec;
+
+namespace {
+
+void Recommend(const core::LogiRecModel& model, const data::Dataset& dataset,
+               const data::Split& split, int user, int k) {
+  std::vector<double> scores;
+  model.ScoreItems(user, &scores);
+  for (int v : split.train[user]) {
+    scores[v] = -std::numeric_limits<double>::infinity();
+  }
+  const auto* w = model.weighting();
+  std::printf("user %-3d (CON=%.2f, GR=%.2f, weight=%.2f):\n", user,
+              w->Con(user), w->Gr(user), w->Alpha(user));
+  std::printf("  listened to: ");
+  for (size_t i = 0; i < std::min<size_t>(split.train[user].size(), 4); ++i) {
+    const int item = split.train[user][i];
+    const auto& tags = dataset.item_tags[item];
+    std::printf("album#%d<%s> ", item,
+                tags.empty() ? "untagged"
+                             : dataset.taxonomy.tag(tags[0]).name.c_str());
+  }
+  std::printf("...\n  we recommend: ");
+  for (int item : eval::TopK(scores, k)) {
+    const auto& tags = dataset.item_tags[item];
+    std::printf("album#%d<%s> ", item,
+                tags.empty() ? "untagged"
+                             : dataset.taxonomy.tag(tags[0]).name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt("epochs", 120, "training epochs");
+  flags.AddInt("topk", 5, "recommendations per user");
+  flags.AddString("store_dir", "/tmp/logirec_music_store",
+                  "where the catalog CSVs are persisted");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+
+  // 1. Build the catalog and persist it (interactions, tags, taxonomy).
+  auto catalog = data::GenerateBenchmarkDataset("cd", 0.8);
+  LOGIREC_CHECK(catalog.ok());
+  const std::string dir = flags.GetString("store_dir");
+  std::filesystem::create_directories(dir);
+  LOGIREC_CHECK(data::SaveDataset(*catalog, dir).ok());
+  std::printf("catalog persisted to %s\n", dir.c_str());
+
+  // 2. Reload it — the pipeline a real deployment would run nightly.
+  auto dataset = data::LoadDataset(dir, "music-store");
+  LOGIREC_CHECK(dataset.ok());
+  const data::Split split = data::TemporalSplit(*dataset);
+
+  // 3. Train LogiRec++ and report offline ranking quality.
+  core::LogiRecConfig config;
+  config.epochs = flags.GetInt("epochs");
+  core::LogiRecModel model(config);
+  LOGIREC_CHECK(model.Fit(*dataset, split).ok());
+  eval::Evaluator evaluator(&split, dataset->num_items);
+  const auto result = evaluator.Evaluate(model);
+  std::printf("offline quality: Recall@10=%.2f%% NDCG@10=%.2f%%\n",
+              result.Get("Recall@10"), result.Get("NDCG@10"));
+
+  // 4. Serve explainable recommendations for a few users.
+  const auto* w = model.weighting();
+  int consistent = 0, diverse = 0;
+  for (int u = 1; u < dataset->num_users; ++u) {
+    if (w->Con(u) > w->Con(consistent)) consistent = u;
+    if (w->Con(u) < w->Con(diverse)) diverse = u;
+  }
+  std::printf("\n[a consistent listener]\n");
+  Recommend(model, *dataset, split, consistent, flags.GetInt("topk"));
+  std::printf("\n[an eclectic listener]\n");
+  Recommend(model, *dataset, split, diverse, flags.GetInt("topk"));
+
+  // 5. Show how the trained tag geometry mirrors the taxonomy: coarse
+  // tags get large enclosing balls near the origin, fine tags small
+  // balls near the boundary.
+  std::printf("\ntrained tag geometry (granularity check):\n");
+  for (int level = 1; level <= dataset->taxonomy.num_levels(); ++level) {
+    double norm_sum = 0.0;
+    int count = 0;
+    for (int t : dataset->taxonomy.TagsAtLevel(level)) {
+      norm_sum += math::Norm(model.tag_centers().Row(t));
+      ++count;
+    }
+    if (count > 0) {
+      std::printf("  level %d: mean ||c|| = %.3f over %d tags\n", level,
+                  norm_sum / count, count);
+    }
+  }
+  return 0;
+}

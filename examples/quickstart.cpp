@@ -1,0 +1,80 @@
+// Quickstart: generate a benchmark-like dataset, train LogiRec++, and
+// evaluate Recall/NDCG against a classic baseline.
+//
+//   ./quickstart --dataset=cd --epochs=30 --dim=32
+//
+// This walks the full public API surface: synthetic data generation,
+// temporal splitting, model construction via the zoo, training, and
+// full-ranking evaluation.
+
+#include <cstdio>
+
+#include "baselines/model_zoo.h"
+#include "core/logirec_model.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+using namespace logirec;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("dataset", "cd", "ciao | cd | clothing | book");
+  flags.AddInt("epochs", 150, "training epochs");
+  flags.AddInt("dim", 32, "embedding dimension");
+  flags.AddInt("layers", 3, "graph convolution layers");
+  flags.AddDouble("lr", 0.05, "learning rate");
+  flags.AddDouble("lambda", 2.0, "logic regularizer weight");
+  flags.AddDouble("scale", 1.0, "dataset scale factor");
+  flags.AddDouble("margin", 1.0, "LMNN hinge margin");
+  flags.AddInt("negs", 5, "negative samples per positive");
+  flags.AddInt("batch", 1024, "triplets per optimization step");
+  flags.AddBool("verbose", false, "log training losses");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+
+  // 1. Data: a tagged dataset with a 4-level taxonomy, split by time.
+  auto dataset = data::GenerateBenchmarkDataset(flags.GetString("dataset"),
+                                                flags.GetDouble("scale"));
+  LOGIREC_CHECK(dataset.ok());
+  const data::DatasetStats stats = data::ComputeStats(*dataset);
+  std::printf("dataset %-8s users=%d items=%d interactions=%ld tags=%d\n",
+              stats.name.c_str(), stats.num_users, stats.num_items,
+              stats.num_interactions, stats.num_tags);
+  const data::Split split = data::TemporalSplit(*dataset);
+
+  // 2. Models: LogiRec++ and a BPRMF reference point.
+  core::TrainConfig config;
+  config.dim = flags.GetInt("dim");
+  config.layers = flags.GetInt("layers");
+  config.epochs = flags.GetInt("epochs");
+  config.learning_rate = flags.GetDouble("lr");
+  config.lambda = flags.GetDouble("lambda");
+  config.verbose = flags.GetBool("verbose");
+  config.margin = flags.GetDouble("margin");
+  config.negatives_per_positive = flags.GetInt("negs");
+  config.batch_size = flags.GetInt("batch");
+
+  eval::Evaluator evaluator(&split, dataset->num_items);
+  for (const std::string& name : {"BPRMF", "LogiRec", "LogiRec++"}) {
+    auto model = baselines::MakeModel(name, config);
+    LOGIREC_CHECK(model.ok());
+    Timer timer;
+    LOGIREC_CHECK((*model)->Fit(*dataset, split).ok());
+    const eval::EvalResult result = evaluator.Evaluate(**model);
+    std::printf(
+        "%-10s Recall@10=%6.2f  Recall@20=%6.2f  NDCG@10=%6.2f  "
+        "NDCG@20=%6.2f  (%.1fs, %d users)\n",
+        name.c_str(), result.Get("Recall@10"), result.Get("Recall@20"),
+        result.Get("NDCG@10"), result.Get("NDCG@20"),
+        timer.ElapsedSeconds(), result.users_evaluated);
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Domain example: logical-relation extraction and mining on a bookstore
+// taxonomy. Shows the relation-extraction rules (membership, hierarchy,
+// sibling exclusion with co-occurrence evidence), then demonstrates how
+// training refines an *inaccurate* exclusion: two sibling tags whose
+// audiences genuinely overlap end up geometrically closer than a clean
+// exclusive pair — the paper's <Heavy Metal> vs <Metal> story.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "core/logirec_model.h"
+#include "data/synthetic.h"
+#include "hyper/hyperplane.h"
+#include "hyper/poincare.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+using namespace logirec;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt("epochs", 120, "training epochs");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+
+  // A book-like dataset with a strong behavioural-overlap knob so that
+  // several taxonomy-exclusive sibling pairs have genuinely shared
+  // audiences.
+  data::SyntheticConfig config = data::BookLikeConfig(0.8);
+  config.overlap_sibling_prob = 0.25;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  const data::Split split = data::TemporalSplit(dataset);
+
+  // --- 1. relation extraction -------------------------------------------
+  const data::LogicalRelations relations = dataset.ExtractRelations();
+  std::printf("taxonomy: %d tags over %d levels\n",
+              dataset.taxonomy.num_tags(), dataset.taxonomy.num_levels());
+  std::printf("extracted: %zu memberships, %zu hierarchy pairs, %zu "
+              "exclusions\n",
+              relations.memberships.size(), relations.hierarchy.size(),
+              relations.exclusions.size());
+  int shown = 0;
+  for (const data::ExclusionPair& e : relations.exclusions) {
+    if (dataset.taxonomy.tag(e.a).level != 2 || shown >= 3) continue;
+    std::printf("  e.g. <%s> excl. <%s> (level %d)\n",
+                dataset.taxonomy.tag(e.a).name.c_str(),
+                dataset.taxonomy.tag(e.b).name.c_str(), e.level);
+    ++shown;
+  }
+
+  // --- 2. measure behavioural overlap of exclusive pairs -----------------
+  std::vector<std::set<int>> users_of_tag(dataset.taxonomy.num_tags());
+  for (int u = 0; u < dataset.num_users; ++u) {
+    for (int v : split.train[u]) {
+      for (int t : dataset.item_tags[v]) users_of_tag[t].insert(u);
+    }
+  }
+  auto overlap = [&](int a, int b) {
+    const auto& ua = users_of_tag[a];
+    const auto& ub = users_of_tag[b];
+    if (ua.empty() || ub.empty()) return 0.0;
+    int common = 0;
+    for (int u : ua) common += ub.count(u);
+    return static_cast<double>(common) / std::min(ua.size(), ub.size());
+  };
+
+  // --- 3. train LogiRec++ and inspect the refined geometry ---------------
+  core::LogiRecConfig model_config;
+  model_config.epochs = flags.GetInt("epochs");
+  core::LogiRecModel model(model_config);
+  LOGIREC_CHECK(model.Fit(dataset, split).ok());
+
+  // Compare tag-hyperplane gaps for the most- and least-overlapping
+  // exclusive pairs: mining should leave overlapping "exclusions" with a
+  // smaller geometric gap than clean ones.
+  struct Scored {
+    double overlap;
+    int a, b;
+  };
+  std::vector<Scored> scored;
+  for (const data::ExclusionPair& e : relations.exclusions) {
+    if (users_of_tag[e.a].size() < 3 || users_of_tag[e.b].size() < 3) {
+      continue;
+    }
+    scored.push_back({overlap(e.a, e.b), e.a, e.b});
+  }
+  LOGIREC_CHECK_MSG(scored.size() >= 4, "need a few eligible pairs");
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& x, const Scored& y) {
+              return x.overlap < y.overlap;
+            });
+
+  auto gap = [&](int a, int b) {
+    const auto ball_a = hyper::BallFromCenter(model.tag_centers().Row(a));
+    const auto ball_b = hyper::BallFromCenter(model.tag_centers().Row(b));
+    return math::Distance(ball_a.center, ball_b.center) -
+           (ball_a.radius + ball_b.radius);
+  };
+
+  double clean_gap = 0.0, noisy_gap = 0.0;
+  const size_t quarter = std::max<size_t>(scored.size() / 4, 1);
+  for (size_t i = 0; i < quarter; ++i) {
+    clean_gap += gap(scored[i].a, scored[i].b) / quarter;
+    const Scored& top = scored[scored.size() - 1 - i];
+    noisy_gap += gap(top.a, top.b) / quarter;
+  }
+  std::printf("\nafter training (lambda=%.2f):\n", model_config.lambda);
+  std::printf("  mean geometric gap, clean exclusions (overlap %.2f..): "
+              "%.4f\n",
+              scored.front().overlap, clean_gap);
+  std::printf("  mean geometric gap, noisy exclusions (overlap ..%.2f): "
+              "%.4f\n",
+              scored.back().overlap, noisy_gap);
+  std::printf("  mining verdict: overlapping 'exclusive' tags sit %s\n",
+              noisy_gap < clean_gap
+                  ? "CLOSER — the inaccurate exclusions were refined"
+                  : "no closer — refinement not visible on this seed");
+
+  // --- 4. granularity readout -------------------------------------------
+  std::printf("\nhyperplane distance-to-origin by level (finer = farther):\n");
+  for (int level = 1; level <= dataset.taxonomy.num_levels(); ++level) {
+    double sum = 0.0;
+    int count = 0;
+    for (int t : dataset.taxonomy.TagsAtLevel(level)) {
+      sum += hyper::HyperplaneDistanceToOrigin(model.tag_centers().Row(t));
+      ++count;
+    }
+    if (count > 0) {
+      std::printf("  level %d: %.3f (n=%d)\n", level, sum / count, count);
+    }
+  }
+  return 0;
+}

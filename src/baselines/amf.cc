@@ -1,0 +1,77 @@
+#include "baselines/amf.h"
+
+#include "baselines/baseline_util.h"
+#include "core/negative_sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace logirec::baselines {
+
+math::Vec Amf::EffectiveItem(int item) const {
+  math::Vec eff(item_.Row(item).begin(), item_.Row(item).end());
+  const math::Vec tag_mean = MeanTagEmbedding(tag_, item_tags_[item]);
+  for (size_t k = 0; k < eff.size(); ++k) eff[k] += tag_mean[k];
+  return eff;
+}
+
+Status Amf::Fit(const data::Dataset& dataset, const data::Split& split) {
+  const int d = config_.dim;
+  Rng rng(config_.seed);
+  user_ = math::Matrix(dataset.num_users, d);
+  item_ = math::Matrix(dataset.num_items, d);
+  tag_ = math::Matrix(dataset.taxonomy.num_tags(), d);
+  user_.FillGaussian(&rng, 0.1);
+  item_.FillGaussian(&rng, 0.1);
+  tag_.FillGaussian(&rng, 0.1);
+  item_tags_ = dataset.item_tags;
+
+  core::NegativeSampler sampler(dataset.num_items, split.train);
+  const double lr = config_.learning_rate;
+  const double reg = config_.l2;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto pairs = ShuffledTrainPairs(split.train, &rng);
+    for (const auto& [u, pos] : pairs) {
+      const int neg = sampler.Sample(u, &rng);
+      auto pu = user_.Row(u);
+      const math::Vec qi = EffectiveItem(pos);
+      const math::Vec qj = EffectiveItem(neg);
+      const double x = math::Dot(pu, qi) - math::Dot(pu, qj);
+      const double g = Sigmoid(-x);
+
+      auto vi = item_.Row(pos);
+      auto vj = item_.Row(neg);
+      const auto& tags_i = item_tags_[pos];
+      const auto& tags_j = item_tags_[neg];
+      for (int k = 0; k < d; ++k) {
+        const double pu_k = pu[k];
+        pu[k] += lr * (g * (qi[k] - qj[k]) - reg * pu_k);
+        vi[k] += lr * (g * pu_k - reg * vi[k]);
+        vj[k] += lr * (-g * pu_k - reg * vj[k]);
+        if (!tags_i.empty()) {
+          for (int t : tags_i) {
+            tag_.Row(t)[k] += lr * (g * pu_k / tags_i.size());
+          }
+        }
+        if (!tags_j.empty()) {
+          for (int t : tags_j) {
+            tag_.Row(t)[k] += lr * (-g * pu_k / tags_j.size());
+          }
+        }
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void Amf::ScoreItems(int user, std::vector<double>* out) const {
+  LOGIREC_CHECK(fitted_);
+  out->resize(item_.rows());
+  auto pu = user_.Row(user);
+  for (int v = 0; v < item_.rows(); ++v) {
+    (*out)[v] = math::Dot(pu, EffectiveItem(v));
+  }
+}
+
+}  // namespace logirec::baselines

@@ -1,0 +1,35 @@
+#ifndef LOGIREC_BASELINES_AMF_H_
+#define LOGIREC_BASELINES_AMF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+
+namespace logirec::baselines {
+
+/// Aspect-aware Matrix Factorization (Hou et al. 2019, constrained to item
+/// tags as aspects): score(u, v) = <p_u, q_v + mean tag embedding of v>,
+/// optimized with BPR. Items sharing tags share part of their latent
+/// representation through the aspect term.
+class Amf final : public core::Recommender {
+ public:
+  explicit Amf(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "AMF"; }
+
+ private:
+  math::Vec EffectiveItem(int item) const;
+
+  core::TrainConfig config_;
+  math::Matrix user_, item_, tag_;
+  std::vector<std::vector<int>> item_tags_;
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_AMF_H_

@@ -1,0 +1,42 @@
+#include "baselines/baseline_util.h"
+
+#include <cmath>
+
+namespace logirec::baselines {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+std::vector<std::pair<int, int>> ShuffledTrainPairs(
+    const std::vector<std::vector<int>>& train_items, Rng* rng) {
+  std::vector<std::pair<int, int>> pairs;
+  for (size_t u = 0; u < train_items.size(); ++u) {
+    for (int v : train_items[u]) pairs.emplace_back(static_cast<int>(u), v);
+  }
+  rng->Shuffle(&pairs);
+  return pairs;
+}
+
+void ClipRowsToUnitBall(math::Matrix* m) {
+  for (int r = 0; r < m->rows(); ++r) {
+    math::ClipNorm(m->Row(r), 1.0);
+  }
+}
+
+math::Vec MeanTagEmbedding(const math::Matrix& tag_emb,
+                           const std::vector<int>& tags) {
+  math::Vec out(tag_emb.cols(), 0.0);
+  if (tags.empty()) return out;
+  for (int t : tags) {
+    math::Axpy(1.0 / tags.size(), tag_emb.Row(t), math::Span(out));
+  }
+  return out;
+}
+
+}  // namespace logirec::baselines

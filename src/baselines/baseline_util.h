@@ -1,0 +1,31 @@
+#ifndef LOGIREC_BASELINES_BASELINE_UTIL_H_
+#define LOGIREC_BASELINES_BASELINE_UTIL_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace logirec::baselines {
+
+/// Logistic sigmoid.
+double Sigmoid(double x);
+
+/// Flattens the per-user training lists into (user, item) pairs and
+/// shuffles them — the per-epoch SGD ordering for the sample-wise models.
+std::vector<std::pair<int, int>> ShuffledTrainPairs(
+    const std::vector<std::vector<int>>& train_items, Rng* rng);
+
+/// Clips every row of `m` to at most unit Euclidean norm (the CML-family
+/// constraint keeping embeddings inside the unit sphere).
+void ClipRowsToUnitBall(math::Matrix* m);
+
+/// Per-item mean tag embedding: out = mean_{t in tags(v)} tag_emb[t]
+/// (zero vector for untagged items). Used by the tag-fusion baselines.
+math::Vec MeanTagEmbedding(const math::Matrix& tag_emb,
+                           const std::vector<int>& tags);
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_BASELINE_UTIL_H_

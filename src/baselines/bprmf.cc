@@ -1,0 +1,56 @@
+#include "baselines/bprmf.h"
+
+#include "baselines/baseline_util.h"
+#include "core/negative_sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace logirec::baselines {
+
+Status Bprmf::Fit(const data::Dataset& dataset, const data::Split& split) {
+  const int d = config_.dim;
+  Rng rng(config_.seed);
+  user_ = math::Matrix(dataset.num_users, d);
+  item_ = math::Matrix(dataset.num_items, d);
+  user_.FillGaussian(&rng, 0.1);
+  item_.FillGaussian(&rng, 0.1);
+  item_bias_.assign(dataset.num_items, 0.0);
+
+  core::NegativeSampler sampler(dataset.num_items, split.train);
+  const double lr = config_.learning_rate;
+  const double reg = config_.l2;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto pairs = ShuffledTrainPairs(split.train, &rng);
+    for (const auto& [u, pos] : pairs) {
+      const int neg = sampler.Sample(u, &rng);
+      auto pu = user_.Row(u);
+      auto qi = item_.Row(pos);
+      auto qj = item_.Row(neg);
+      const double x = math::Dot(pu, qi) + item_bias_[pos] -
+                       math::Dot(pu, qj) - item_bias_[neg];
+      const double g = Sigmoid(-x);  // d(-ln sigma(x))/dx = -sigma(-x)
+      for (int k = 0; k < d; ++k) {
+        const double pu_k = pu[k];
+        pu[k] += lr * (g * (qi[k] - qj[k]) - reg * pu_k);
+        qi[k] += lr * (g * pu_k - reg * qi[k]);
+        qj[k] += lr * (-g * pu_k - reg * qj[k]);
+      }
+      item_bias_[pos] += lr * (g - reg * item_bias_[pos]);
+      item_bias_[neg] += lr * (-g - reg * item_bias_[neg]);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void Bprmf::ScoreItems(int user, std::vector<double>* out) const {
+  LOGIREC_CHECK(fitted_);
+  out->resize(item_.rows());
+  auto pu = user_.Row(user);
+  for (int v = 0; v < item_.rows(); ++v) {
+    (*out)[v] = math::Dot(pu, item_.Row(v)) + item_bias_[v];
+  }
+}
+
+}  // namespace logirec::baselines

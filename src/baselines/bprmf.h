@@ -1,0 +1,32 @@
+#ifndef LOGIREC_BASELINES_BPRMF_H_
+#define LOGIREC_BASELINES_BPRMF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+
+namespace logirec::baselines {
+
+/// Bayesian Personalized Ranking over matrix factorization (Rendle et al.
+/// 2009): score(u, v) = <p_u, q_v> + b_v, optimized with per-sample SGD on
+/// the BPR criterion -ln sigmoid(score(u,i) - score(u,j)).
+class Bprmf final : public core::Recommender {
+ public:
+  explicit Bprmf(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "BPRMF"; }
+
+ private:
+  core::TrainConfig config_;
+  math::Matrix user_, item_;
+  std::vector<double> item_bias_;
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_BPRMF_H_

@@ -1,0 +1,54 @@
+#ifndef LOGIREC_BASELINES_CML_H_
+#define LOGIREC_BASELINES_CML_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+
+namespace logirec::baselines {
+
+/// Collaborative Metric Learning (Hsieh et al. 2017): users and items in a
+/// shared Euclidean metric space, hinge loss on squared distances
+///   [m + d^2(u,i) - d^2(u,j)]_+,
+/// with all embeddings clipped into the unit ball after each update.
+class Cml final : public core::Recommender {
+ public:
+  explicit Cml(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "CML"; }
+
+ protected:
+  core::TrainConfig config_;
+  math::Matrix user_, item_;
+  bool fitted_ = false;
+};
+
+/// CML with tag Features (the paper's "CMLF" variant of Hsieh et al.):
+/// the effective item point is v + mean of its tag embeddings, so items
+/// sharing tags are pulled together in the metric space.
+class Cmlf final : public core::Recommender {
+ public:
+  explicit Cmlf(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "CMLF"; }
+
+ private:
+  /// Effective item embedding (free part + tag mean).
+  math::Vec EffectiveItem(int item) const;
+
+  core::TrainConfig config_;
+  math::Matrix user_, item_, tag_;
+  const std::vector<std::vector<int>>* item_tags_ = nullptr;
+  std::vector<std::vector<int>> item_tags_copy_;
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_CML_H_

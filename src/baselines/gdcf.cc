@@ -1,0 +1,139 @@
+#include "baselines/gdcf.h"
+
+#include <cmath>
+
+#include "baselines/baseline_util.h"
+#include "core/negative_sampler.h"
+#include "hyper/poincare.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace logirec::baselines {
+
+int Gdcf::ChunkDim() const {
+  return std::max(config_.dim / kChunks, 1);
+}
+
+std::vector<double> Gdcf::ChunkWeights() const {
+  std::vector<double> w(kChunks);
+  double mx = chunk_logits_[0];
+  for (int c = 1; c < kChunks; ++c) mx = std::max(mx, chunk_logits_[c]);
+  double sum = 0.0;
+  for (int c = 0; c < kChunks; ++c) {
+    w[c] = std::exp(chunk_logits_[c] - mx);
+    sum += w[c];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+double Gdcf::FusedDistance(int u, int v,
+                           std::vector<double>* per_chunk) const {
+  const int cd = ChunkDim();
+  const auto weights = ChunkWeights();
+  auto pu = user_.Row(u);
+  auto qv = item_.Row(v);
+  double fused = 0.0;
+  for (int c = 0; c < kChunks; ++c) {
+    math::ConstSpan uc = pu.subspan(static_cast<size_t>(c) * cd, cd);
+    math::ConstSpan vc = qv.subspan(static_cast<size_t>(c) * cd, cd);
+    const double dist = IsHyperbolicChunk(c)
+                            ? hyper::PoincareDistance(uc, vc)
+                            : math::Distance(uc, vc);
+    if (per_chunk) (*per_chunk)[c] = dist;
+    fused += weights[c] * dist;
+  }
+  return fused;
+}
+
+Status Gdcf::Fit(const data::Dataset& dataset, const data::Split& split) {
+  const int cd = ChunkDim();
+  const int total = cd * kChunks;
+  Rng rng(config_.seed);
+  user_ = math::Matrix(dataset.num_users, total);
+  item_ = math::Matrix(dataset.num_items, total);
+  user_.FillGaussian(&rng, 0.05);
+  item_.FillGaussian(&rng, 0.05);
+  // Keep hyperbolic chunks inside the ball.
+  auto project = [&](math::Matrix* m, int row) {
+    for (int c = 0; c < kChunks; ++c) {
+      if (IsHyperbolicChunk(c)) {
+        hyper::ProjectToBall(
+            m->Row(row).subspan(static_cast<size_t>(c) * cd, cd));
+      }
+    }
+  };
+  for (int r = 0; r < user_.rows(); ++r) project(&user_, r);
+  for (int r = 0; r < item_.rows(); ++r) project(&item_, r);
+  chunk_logits_.assign(kChunks, 0.0);
+
+  core::NegativeSampler sampler(dataset.num_items, split.train);
+  const double lr = config_.learning_rate;
+  const double margin = config_.margin > 0.0 ? config_.margin : 0.3;
+
+  std::vector<double> dist_pos(kChunks), dist_neg(kChunks);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto pairs = ShuffledTrainPairs(split.train, &rng);
+    for (const auto& [u, pos] : pairs) {
+      const int neg = sampler.Sample(u, &rng);
+      const double dp = FusedDistance(u, pos, &dist_pos);
+      const double dn = FusedDistance(u, neg, &dist_neg);
+      if (margin + dp - dn <= 0.0) continue;
+      const auto weights = ChunkWeights();
+
+      auto pu = user_.Row(u);
+      auto qi = item_.Row(pos);
+      auto qj = item_.Row(neg);
+      for (int c = 0; c < kChunks; ++c) {
+        auto uc = pu.subspan(static_cast<size_t>(c) * cd, cd);
+        auto ic = qi.subspan(static_cast<size_t>(c) * cd, cd);
+        auto jc = qj.subspan(static_cast<size_t>(c) * cd, cd);
+        math::Vec gu(cd, 0.0), gi(cd, 0.0), gj(cd, 0.0);
+        if (IsHyperbolicChunk(c)) {
+          hyper::PoincareDistanceGrad(uc, ic, weights[c], math::Span(gu),
+                                      math::Span(gi));
+          hyper::PoincareDistanceGrad(uc, jc, -weights[c], math::Span(gu),
+                                      math::Span(gj));
+          hyper::RsgdStepPoincare(uc, gu, lr);
+          hyper::RsgdStepPoincare(ic, gi, lr);
+          hyper::RsgdStepPoincare(jc, gj, lr);
+        } else {
+          const double np = std::max(math::Distance(uc, ic), 1e-9);
+          const double nn = std::max(math::Distance(uc, jc), 1e-9);
+          for (int k = 0; k < cd; ++k) {
+            const double gp = weights[c] * (uc[k] - ic[k]) / np;
+            const double gn = weights[c] * (uc[k] - jc[k]) / nn;
+            gu[k] = gp - gn;
+            gi[k] = -gp;
+            gj[k] = gn;
+          }
+          for (int k = 0; k < cd; ++k) {
+            uc[k] -= lr * gu[k];
+            ic[k] -= lr * gi[k];
+            jc[k] -= lr * gj[k];
+          }
+        }
+        // Chunk-weight gradient via softmax: dL/dlogit_c =
+        // sum_c' (d_pos - d_neg)_c' * w_c' * (delta_cc' - w_c).
+        double glogit = 0.0;
+        for (int c2 = 0; c2 < kChunks; ++c2) {
+          const double diff = dist_pos[c2] - dist_neg[c2];
+          glogit += diff * weights[c2] * ((c2 == c ? 1.0 : 0.0) - weights[c]);
+        }
+        chunk_logits_[c] -= lr * 0.1 * glogit;
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void Gdcf::ScoreItems(int user, std::vector<double>* out) const {
+  LOGIREC_CHECK(fitted_);
+  out->resize(item_.rows());
+  for (int v = 0; v < item_.rows(); ++v) {
+    (*out)[v] = -FusedDistance(user, v, nullptr);
+  }
+}
+
+}  // namespace logirec::baselines

@@ -1,0 +1,43 @@
+#ifndef LOGIREC_BASELINES_GDCF_H_
+#define LOGIREC_BASELINES_GDCF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+
+namespace logirec::baselines {
+
+/// GDCF (Zhang et al. 2022): Geometric Disentangled Collaborative
+/// Filtering. Embeddings are split into `kChunks` intent chunks, each
+/// scored under its own geometry — alternating Euclidean and hyperbolic
+/// (Poincaré) metrics — and fused with learned softmax chunk weights.
+/// Hinge ranking loss, per-sample SGD (RSGD inside the hyperbolic chunks).
+class Gdcf final : public core::Recommender {
+ public:
+  explicit Gdcf(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "GDCF"; }
+
+ private:
+  static constexpr int kChunks = 4;
+
+  int ChunkDim() const;
+  bool IsHyperbolicChunk(int c) const { return c % 2 == 1; }
+  /// Fused (weighted) distance between user u and item v under the
+  /// current chunk weights; optionally returns the per-chunk distances.
+  double FusedDistance(int u, int v, std::vector<double>* per_chunk) const;
+  std::vector<double> ChunkWeights() const;
+
+  core::TrainConfig config_;
+  math::Matrix user_, item_;
+  math::Vec chunk_logits_;
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_GDCF_H_

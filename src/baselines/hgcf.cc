@@ -1,0 +1,133 @@
+#include "baselines/hgcf.h"
+
+#include <cmath>
+
+#include "core/embedding.h"
+#include "core/hgcn.h"
+#include "core/negative_sampler.h"
+#include "core/train_util.h"
+#include "graph/bipartite_graph.h"
+#include "hyper/lorentz.h"
+#include "opt/optimizer.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace logirec::baselines {
+
+void Hgcf::AddRegularizerGrad(const math::Matrix& /*final_user*/,
+                              const math::Matrix& /*final_item*/,
+                              math::Matrix* /*grad_user*/,
+                              math::Matrix* /*grad_item*/) const {}
+
+Status Hgcf::Fit(const data::Dataset& dataset, const data::Split& split) {
+  const int d = config_.dim;
+  const int nu = dataset.num_users;
+  const int ni = dataset.num_items;
+  Rng rng(config_.seed);
+  user_ = math::Matrix(nu, d + 1);
+  item_ = math::Matrix(ni, d + 1);
+  core::InitLorentzRows(&user_, &rng, 0.05);
+  core::InitLorentzRows(&item_, &rng, 0.05);
+
+  graph::BipartiteGraph graph(nu, ni, split.train);
+  core::HyperbolicGcn hgcn(&graph, config_.layers);
+  core::NegativeSampler sampler(ni, split.train);
+  opt::LorentzRsgd user_opt(config_.learning_rate, config_.grad_clip);
+  opt::LorentzRsgd item_opt(config_.learning_rate, config_.grad_clip);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto pairs = core::ShuffledTrainPairs(split.train, &rng);
+    const auto batches = core::BatchRanges(static_cast<int>(pairs.size()),
+                                           config_.batch_size);
+    for (const auto& [b0, b1] : batches) {
+      math::Matrix fu, fv;
+      hgcn.Forward(user_, item_, &fu, &fv);
+
+      // Per-model tuning (Section VI-A4 tunes every baseline): the pure
+      // Lorentz metric models prefer a wider margin than the shared
+      // default at this data scale (grid-searched over {1, 2, 4}x).
+      const double margin = config_.margin * 2.0;
+      math::Matrix gfu(nu, d + 1), gfv(ni, d + 1);
+      for (int i = b0; i < b1; ++i) {
+        const auto [u, pos] = pairs[i];
+        for (int k = 0; k < config_.negatives_per_positive; ++k) {
+          const int neg = sampler.Sample(u, &rng);
+          const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
+          const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
+          if (margin + dpos - dneg <= 0.0) continue;
+          hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), 1.0, gfu.Row(u),
+                                     gfv.Row(pos));
+          hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -1.0,
+                                     gfu.Row(u), gfv.Row(neg));
+        }
+      }
+      AddRegularizerGrad(fu, fv, &gfu, &gfv);
+
+      math::Matrix gu(nu, d + 1), gv(ni, d + 1);
+      hgcn.Backward(gfu, gfv, &gu, &gv);
+
+      // Stability clamp: bound the distance-to-origin of the base
+      // embeddings. Without it the margin race inflates norms until all
+      // distances saturate and ranking collapses (the skip-sum GCN then
+      // amplifies the blow-up). LogiRec avoids this implicitly via its
+      // Poincaré ball projection; HGCF/HRCF need the explicit bound.
+      constexpr double kMaxRadius = 6.0;
+      const double max_spatial = std::sinh(kMaxRadius);
+      auto clamp_radius = [max_spatial](math::Span row) {
+        double spatial = 0.0;
+        for (size_t i = 1; i < row.size(); ++i) spatial += row[i] * row[i];
+        spatial = std::sqrt(spatial);
+        if (spatial > max_spatial) {
+          const double s = max_spatial / spatial;
+          for (size_t i = 1; i < row.size(); ++i) row[i] *= s;
+          hyper::ProjectToHyperboloid(row);
+        }
+      };
+      ParallelFor(0, nu, [&](int u) {
+        user_opt.Step(u, user_.Row(u), gu.Row(u));
+        clamp_radius(user_.Row(u));
+      });
+      ParallelFor(0, ni, [&](int v) {
+        item_opt.Step(v, item_.Row(v), gv.Row(v));
+        clamp_radius(item_.Row(v));
+      });
+    }
+  }
+
+  hgcn.Forward(user_, item_, &final_user_, &final_item_);
+  fitted_ = true;
+  return Status::OK();
+}
+
+void Hgcf::ScoreItems(int user, std::vector<double>* out) const {
+  LOGIREC_CHECK(fitted_);
+  out->resize(final_item_.rows());
+  auto eu = final_user_.Row(user);
+  for (int v = 0; v < final_item_.rows(); ++v) {
+    (*out)[v] = -hyper::LorentzDistance(eu, final_item_.Row(v));
+  }
+}
+
+void Hrcf::AddRegularizerGrad(const math::Matrix& final_user,
+                              const math::Matrix& final_item,
+                              math::Matrix* grad_user,
+                              math::Matrix* grad_item) const {
+  // d/dx [ w / (d_H(o,x) + eps) ] = -w / (d+eps)^2 * d d_H(o,x)/dx.
+  constexpr double kEps = 0.1;
+  const math::Vec origin_u = hyper::LorentzOrigin(final_user.cols());
+  auto push = [&](const math::Matrix& emb, math::Matrix* grad) {
+    ParallelFor(0, emb.rows(), [&](int r) {
+      const double dist =
+          hyper::LorentzDistance(origin_u, emb.Row(r)) + kEps;
+      const double scale = -reg_weight_ / (dist * dist);
+      // Gradient of d_H(x, o) w.r.t. x, accumulated scaled.
+      hyper::LorentzDistanceGrad(emb.Row(r), origin_u, scale, grad->Row(r),
+                                 math::Span());
+    });
+  };
+  push(final_user, grad_user);
+  push(final_item, grad_item);
+}
+
+}  // namespace logirec::baselines

@@ -1,0 +1,63 @@
+#ifndef LOGIREC_BASELINES_HGCF_H_
+#define LOGIREC_BASELINES_HGCF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+
+namespace logirec::baselines {
+
+/// HGCF (Sun et al. 2021): users and items on the Lorentz hyperboloid,
+/// tangent-space skip-GCN (the same Eqs. 6-8 block LogiRec uses), margin
+/// ranking loss on hyperbolic distances, Riemannian SGD.
+class Hgcf : public core::Recommender {
+ public:
+  explicit Hgcf(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "HGCF"; }
+  const math::Matrix* ItemEmbeddings() const override {
+    return &final_item_;
+  }
+  ItemSpace item_space() const override { return ItemSpace::kLorentz; }
+
+ protected:
+  /// Hook for HRCF: extra gradient contributions on the *final* (post-GCN)
+  /// embeddings, added before backpropagation. Default: none.
+  virtual void AddRegularizerGrad(const math::Matrix& final_user,
+                                  const math::Matrix& final_item,
+                                  math::Matrix* grad_user,
+                                  math::Matrix* grad_item) const;
+
+  core::TrainConfig config_;
+  math::Matrix user_, item_;  // Lorentz points, (d+1) wide
+  math::Matrix final_user_, final_item_;
+  bool fitted_ = false;
+};
+
+/// HRCF (Yang et al. 2022): HGCF plus a hyperbolic geometric regularizer
+/// that pushes embeddings away from the origin (root alignment), boosting
+/// the use of hyperbolic volume:
+///   L_HGR = lambda_r * sum_x 1 / (d_H(o, x) + eps).
+class Hrcf final : public Hgcf {
+ public:
+  explicit Hrcf(core::TrainConfig config, double reg_weight = 0.02)
+      : Hgcf(config), reg_weight_(reg_weight) {}
+  std::string name() const override { return "HRCF"; }
+
+ protected:
+  void AddRegularizerGrad(const math::Matrix& final_user,
+                          const math::Matrix& final_item,
+                          math::Matrix* grad_user,
+                          math::Matrix* grad_item) const override;
+
+ private:
+  double reg_weight_;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_HGCF_H_

@@ -1,0 +1,81 @@
+#include "baselines/hyperml.h"
+
+#include "baselines/baseline_util.h"
+#include "core/embedding.h"
+#include "core/negative_sampler.h"
+#include "hyper/poincare.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace logirec::baselines {
+
+Status HyperMl::Fit(const data::Dataset& dataset, const data::Split& split) {
+  const int d = config_.dim;
+  Rng rng(config_.seed);
+  user_ = math::Matrix(dataset.num_users, d);
+  item_ = math::Matrix(dataset.num_items, d);
+  core::InitPoincareRows(&user_, &rng, 0.05);
+  core::InitPoincareRows(&item_, &rng, 0.05);
+
+  core::NegativeSampler sampler(dataset.num_items, split.train);
+  const double lr = config_.learning_rate;
+  const double margin = config_.margin > 0.0 ? config_.margin : 0.3;
+  const double distortion_weight = 0.05;
+
+  math::Vec gu(d), gi(d), gj(d);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto pairs = ShuffledTrainPairs(split.train, &rng);
+    for (const auto& [u, pos] : pairs) {
+      const int neg = sampler.Sample(u, &rng);
+      auto pu = user_.Row(u);
+      auto qi = item_.Row(pos);
+      auto qj = item_.Row(neg);
+      math::Zero(math::Span(gu));
+      math::Zero(math::Span(gi));
+      math::Zero(math::Span(gj));
+
+      const double dpos = hyper::PoincareDistance(pu, qi);
+      const double dneg = hyper::PoincareDistance(pu, qj);
+      bool any = false;
+      if (margin + dpos - dneg > 0.0) {
+        hyper::PoincareDistanceGrad(pu, qi, 1.0, math::Span(gu),
+                                    math::Span(gi));
+        hyper::PoincareDistanceGrad(pu, qj, -1.0, math::Span(gu),
+                                    math::Span(gj));
+        any = true;
+      }
+      // Distortion regularizer: keep the hyperbolic distance of positive
+      // pairs commensurate with the Euclidean one (HyperML's "mapping"
+      // term). Gradient of 0.5 * w * (d_P - d_E)^2.
+      const double de = math::Distance(pu, qi);
+      const double gap = dpos - de;
+      if (distortion_weight > 0.0 && de > 1e-9) {
+        hyper::PoincareDistanceGrad(pu, qi, distortion_weight * gap,
+                                    math::Span(gu), math::Span(gi));
+        for (int k = 0; k < d; ++k) {
+          const double ge = distortion_weight * gap * (pu[k] - qi[k]) / de;
+          gu[k] -= ge;
+          gi[k] += ge;
+        }
+        any = true;
+      }
+      if (!any) continue;
+      hyper::RsgdStepPoincare(pu, gu, lr);
+      hyper::RsgdStepPoincare(qi, gi, lr);
+      hyper::RsgdStepPoincare(qj, gj, lr);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void HyperMl::ScoreItems(int user, std::vector<double>* out) const {
+  LOGIREC_CHECK(fitted_);
+  out->resize(item_.rows());
+  auto pu = user_.Row(user);
+  for (int v = 0; v < item_.rows(); ++v) {
+    (*out)[v] = -hyper::PoincareDistance(pu, item_.Row(v));
+  }
+}
+
+}  // namespace logirec::baselines

@@ -1,0 +1,33 @@
+#ifndef LOGIREC_BASELINES_HYPERML_H_
+#define LOGIREC_BASELINES_HYPERML_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+
+namespace logirec::baselines {
+
+/// HyperML (Vinh Tran et al. 2020): metric learning in the Poincaré ball —
+/// a pull-push hinge on Poincaré distances,
+///   [m + d_P(u,i) - d_P(u,j)]_+,
+/// plus a distortion regularizer tying the hyperbolic distance to the
+/// Euclidean one, optimized with Riemannian SGD in the ball.
+class HyperMl final : public core::Recommender {
+ public:
+  explicit HyperMl(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "HyperML"; }
+
+ private:
+  core::TrainConfig config_;
+  math::Matrix user_, item_;
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_HYPERML_H_

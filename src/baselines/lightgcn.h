@@ -1,0 +1,36 @@
+#ifndef LOGIREC_BASELINES_LIGHTGCN_H_
+#define LOGIREC_BASELINES_LIGHTGCN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+
+namespace logirec::baselines {
+
+/// LightGCN (He et al. 2020): symmetric-normalized linear propagation over
+/// the user-item graph, layer-averaged embeddings, dot-product scoring,
+/// BPR loss. Trained full-batch per epoch; gradients flow through the
+/// propagation via its transpose (the propagation is linear).
+class LightGcn final : public core::Recommender {
+ public:
+  explicit LightGcn(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "LightGCN"; }
+  const math::Matrix* ItemEmbeddings() const override {
+    return &final_item_;
+  }
+
+ private:
+  core::TrainConfig config_;
+  math::Matrix user_, item_;        // base (layer-0) embeddings
+  math::Matrix final_user_, final_item_;
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_LIGHTGCN_H_

@@ -1,0 +1,81 @@
+#include "baselines/model_zoo.h"
+
+#include "baselines/agcn.h"
+#include "baselines/amf.h"
+#include "baselines/bprmf.h"
+#include "baselines/cml.h"
+#include "baselines/gdcf.h"
+#include "baselines/hgcf.h"
+#include "baselines/hyperml.h"
+#include "baselines/lightgcn.h"
+#include "baselines/neumf.h"
+#include "baselines/sml.h"
+#include "baselines/transc.h"
+
+namespace logirec::baselines {
+
+Result<std::unique_ptr<core::Recommender>> MakeModel(
+    const std::string& name, const core::TrainConfig& config) {
+  if (name == "BPRMF") {
+    return std::unique_ptr<core::Recommender>(new Bprmf(config));
+  }
+  if (name == "NeuMF") {
+    return std::unique_ptr<core::Recommender>(new NeuMf(config));
+  }
+  if (name == "CML") {
+    return std::unique_ptr<core::Recommender>(new Cml(config));
+  }
+  if (name == "SML") {
+    return std::unique_ptr<core::Recommender>(new Sml(config));
+  }
+  if (name == "HyperML") {
+    return std::unique_ptr<core::Recommender>(new HyperMl(config));
+  }
+  if (name == "CMLF") {
+    return std::unique_ptr<core::Recommender>(new Cmlf(config));
+  }
+  if (name == "AMF") {
+    return std::unique_ptr<core::Recommender>(new Amf(config));
+  }
+  if (name == "TransC") {
+    return std::unique_ptr<core::Recommender>(new TransC(config));
+  }
+  if (name == "AGCN") {
+    return std::unique_ptr<core::Recommender>(new Agcn(config));
+  }
+  if (name == "LightGCN") {
+    return std::unique_ptr<core::Recommender>(new LightGcn(config));
+  }
+  if (name == "HGCF") {
+    return std::unique_ptr<core::Recommender>(new Hgcf(config));
+  }
+  if (name == "GDCF") {
+    return std::unique_ptr<core::Recommender>(new Gdcf(config));
+  }
+  if (name == "HRCF") {
+    return std::unique_ptr<core::Recommender>(new Hrcf(config));
+  }
+  if (name == "LogiRec" || name == "LogiRec++") {
+    core::LogiRecConfig lc;
+    static_cast<core::TrainConfig&>(lc) = config;
+    lc.use_mining = (name == "LogiRec++");
+    return std::unique_ptr<core::Recommender>(
+        new core::LogiRecModel(lc));
+  }
+  return Status::InvalidArgument("unknown model: " + name);
+}
+
+std::vector<std::string> BaselineNames() {
+  return {"BPRMF", "NeuMF", "CML",      "SML",  "HyperML",
+          "CMLF",  "AMF",   "TransC",   "AGCN", "LightGCN",
+          "HGCF",  "GDCF",  "HRCF"};
+}
+
+std::vector<std::string> AllModelNames() {
+  auto names = BaselineNames();
+  names.push_back("LogiRec");
+  names.push_back("LogiRec++");
+  return names;
+}
+
+}  // namespace logirec::baselines

@@ -1,0 +1,28 @@
+#ifndef LOGIREC_BASELINES_MODEL_ZOO_H_
+#define LOGIREC_BASELINES_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/logirec_model.h"
+#include "core/recommender.h"
+
+namespace logirec::baselines {
+
+/// Constructs any model in the repository by its table name ("BPRMF",
+/// "NeuMF", "CML", "SML", "HyperML", "CMLF", "AMF", "TransC", "AGCN",
+/// "LightGCN", "HGCF", "GDCF", "HRCF", "LogiRec", "LogiRec++").
+/// Returns an error for unknown names.
+Result<std::unique_ptr<core::Recommender>> MakeModel(
+    const std::string& name, const core::TrainConfig& config);
+
+/// The 13 baseline names, in Table II order.
+std::vector<std::string> BaselineNames();
+
+/// All model names (baselines + LogiRec + LogiRec++), in Table II order.
+std::vector<std::string> AllModelNames();
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_MODEL_ZOO_H_

@@ -1,0 +1,108 @@
+#include "baselines/neumf.h"
+
+#include <cmath>
+
+#include "baselines/baseline_util.h"
+#include "core/negative_sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace logirec::baselines {
+
+double NeuMf::Predict(int user, int item) const {
+  const int d = config_.dim;
+  double logit = bias_;
+  // GMF head.
+  auto gu = gmf_user_.Row(user);
+  auto gi = gmf_item_.Row(item);
+  for (int k = 0; k < d; ++k) logit += gmf_out_[k] * gu[k] * gi[k];
+  // MLP head.
+  math::Vec in(2 * d);
+  auto mu = mlp_user_.Row(user);
+  auto mi = mlp_item_.Row(item);
+  for (int k = 0; k < d; ++k) {
+    in[k] = mu[k];
+    in[d + k] = mi[k];
+  }
+  logit += mlp_->Infer(in)[0];
+  return logit;
+}
+
+void NeuMf::Step(int user, int item, double label) {
+  const int d = config_.dim;
+  const double lr = config_.learning_rate;
+  const double reg = config_.l2;
+
+  auto gu = gmf_user_.Row(user);
+  auto gi = gmf_item_.Row(item);
+  math::Vec in(2 * d);
+  auto mu = mlp_user_.Row(user);
+  auto mi = mlp_item_.Row(item);
+  for (int k = 0; k < d; ++k) {
+    in[k] = mu[k];
+    in[d + k] = mi[k];
+  }
+
+  double logit = bias_;
+  for (int k = 0; k < d; ++k) logit += gmf_out_[k] * gu[k] * gi[k];
+  const math::Vec mlp_out = mlp_->Forward(in);
+  logit += mlp_out[0];
+
+  // Logistic loss gradient dL/dlogit = sigmoid(logit) - label.
+  const double g = Sigmoid(logit) - label;
+
+  bias_ -= lr * g;
+  for (int k = 0; k < d; ++k) {
+    const double gu_k = gu[k];
+    const double w_k = gmf_out_[k];
+    gmf_out_[k] -= lr * (g * gu_k * gi[k] + reg * w_k);
+    gu[k] -= lr * (g * w_k * gi[k] + reg * gu_k);
+    gi[k] -= lr * (g * w_k * gu_k + reg * gi[k]);
+  }
+  const math::Vec grad_in = mlp_->Backward(math::Vec{g});
+  mlp_->Step(lr, 1.0, reg);
+  for (int k = 0; k < d; ++k) {
+    mu[k] -= lr * (grad_in[k] + reg * mu[k]);
+    mi[k] -= lr * (grad_in[d + k] + reg * mi[k]);
+  }
+}
+
+Status NeuMf::Fit(const data::Dataset& dataset, const data::Split& split) {
+  const int d = config_.dim;
+  Rng rng(config_.seed);
+  gmf_user_ = math::Matrix(dataset.num_users, d);
+  gmf_item_ = math::Matrix(dataset.num_items, d);
+  mlp_user_ = math::Matrix(dataset.num_users, d);
+  mlp_item_ = math::Matrix(dataset.num_items, d);
+  gmf_user_.FillGaussian(&rng, 0.1);
+  gmf_item_.FillGaussian(&rng, 0.1);
+  mlp_user_.FillGaussian(&rng, 0.1);
+  mlp_item_.FillGaussian(&rng, 0.1);
+  gmf_out_.assign(d, 1.0 / d);
+  mlp_ = std::make_unique<math::Mlp>(
+      std::vector<int>{2 * d, d, d / 2 > 0 ? d / 2 : 1, 1},
+      math::Activation::kRelu, &rng);
+
+  core::NegativeSampler sampler(dataset.num_items, split.train);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto pairs = ShuffledTrainPairs(split.train, &rng);
+    for (const auto& [u, pos] : pairs) {
+      Step(u, pos, 1.0);
+      for (int k = 0; k < config_.negatives_per_positive; ++k) {
+        Step(u, sampler.Sample(u, &rng), 0.0);
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void NeuMf::ScoreItems(int user, std::vector<double>* out) const {
+  LOGIREC_CHECK(fitted_);
+  out->resize(gmf_item_.rows());
+  for (int v = 0; v < gmf_item_.rows(); ++v) {
+    (*out)[v] = Predict(user, v);
+  }
+}
+
+}  // namespace logirec::baselines

@@ -1,0 +1,44 @@
+#ifndef LOGIREC_BASELINES_NEUMF_H_
+#define LOGIREC_BASELINES_NEUMF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+#include "math/mlp.h"
+
+namespace logirec::baselines {
+
+/// Neural Collaborative Filtering (He et al. 2017): fuses a Generalized
+/// Matrix Factorization head (elementwise product, learned output weights)
+/// with an MLP tower over concatenated user/item embeddings. Trained with
+/// a logistic loss over positive interactions and sampled negatives.
+class NeuMf final : public core::Recommender {
+ public:
+  explicit NeuMf(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "NeuMF"; }
+
+ private:
+  double Predict(int user, int item) const;
+  /// One logistic-SGD step on (user, item, label).
+  void Step(int user, int item, double label);
+
+  core::TrainConfig config_;
+  // GMF tower.
+  math::Matrix gmf_user_, gmf_item_;
+  math::Vec gmf_out_;  ///< output weights over the elementwise product
+  // MLP tower.
+  math::Matrix mlp_user_, mlp_item_;
+  std::unique_ptr<math::Mlp> mlp_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_NEUMF_H_

@@ -1,0 +1,37 @@
+#ifndef LOGIREC_BASELINES_SML_H_
+#define LOGIREC_BASELINES_SML_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+
+namespace logirec::baselines {
+
+/// Symmetric Metric Learning with adaptive margins (Li et al. 2020):
+/// a user-centric hinge [d^2(u,i) - d^2(u,j) + m_u]_+ plus a symmetric
+/// item-centric hinge [d^2(u,i) - d^2(i,j) + m_i]_+, where the margins
+/// m_u, m_i are learnable in [kMarginLo, kMarginHi] with a -gamma * m
+/// bonus that keeps them from collapsing to zero.
+class Sml final : public core::Recommender {
+ public:
+  explicit Sml(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "SML"; }
+
+ private:
+  static constexpr double kMarginLo = 0.05;
+  static constexpr double kMarginHi = 1.0;
+
+  core::TrainConfig config_;
+  math::Matrix user_, item_;
+  std::vector<double> user_margin_, item_margin_;
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_SML_H_

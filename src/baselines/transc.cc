@@ -1,0 +1,119 @@
+#include "baselines/transc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/baseline_util.h"
+#include "core/negative_sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace logirec::baselines {
+
+Status TransC::Fit(const data::Dataset& dataset, const data::Split& split) {
+  const int d = config_.dim;
+  Rng rng(config_.seed);
+  user_ = math::Matrix(dataset.num_users, d);
+  item_ = math::Matrix(dataset.num_items, d);
+  tag_center_ = math::Matrix(dataset.taxonomy.num_tags(), d);
+  user_.FillGaussian(&rng, 0.1);
+  item_.FillGaussian(&rng, 0.1);
+  tag_center_.FillGaussian(&rng, 0.1);
+  tag_radius_.assign(dataset.taxonomy.num_tags(), 0.0);
+  // Coarser tags start with larger spheres.
+  for (int t = 0; t < dataset.taxonomy.num_tags(); ++t) {
+    const int level = dataset.taxonomy.tag(t).level;
+    tag_radius_[t] = 1.0 / level;
+  }
+  relation_.assign(d, 0.0);
+  for (double& x : relation_) x = rng.Gaussian(0.0, 0.1);
+
+  const data::LogicalRelations rel = dataset.ExtractRelations();
+  core::NegativeSampler sampler(dataset.num_items, split.train);
+  const double lr = config_.learning_rate;
+  const double margin = config_.margin > 0.0 ? config_.margin : 0.5;
+  const double logic_weight = 0.3;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // --- ranking over user-item triples (translation scoring) ----------
+    auto pairs = ShuffledTrainPairs(split.train, &rng);
+    for (const auto& [u, pos] : pairs) {
+      const int neg = sampler.Sample(u, &rng);
+      auto pu = user_.Row(u);
+      auto qi = item_.Row(pos);
+      auto qj = item_.Row(neg);
+      double dpos = 0.0, dneg = 0.0;
+      for (int k = 0; k < d; ++k) {
+        const double ep = pu[k] + relation_[k] - qi[k];
+        const double en = pu[k] + relation_[k] - qj[k];
+        dpos += ep * ep;
+        dneg += en * en;
+      }
+      dpos = std::sqrt(dpos);
+      dneg = std::sqrt(dneg);
+      if (margin + dpos - dneg <= 0.0) continue;
+      const double ip = std::max(dpos, 1e-9);
+      const double in = std::max(dneg, 1e-9);
+      for (int k = 0; k < d; ++k) {
+        const double gp = (pu[k] + relation_[k] - qi[k]) / ip;
+        const double gn = (pu[k] + relation_[k] - qj[k]) / in;
+        pu[k] -= lr * (gp - gn);
+        relation_[k] -= lr * (gp - gn);
+        qi[k] -= lr * (-gp);
+        qj[k] -= lr * (gn);
+      }
+    }
+
+    // --- instanceOf: items inside their tag spheres ---------------------
+    for (const auto& [item, tag] : rel.memberships) {
+      auto v = item_.Row(item);
+      auto o = tag_center_.Row(tag);
+      const double dist = std::max(math::Distance(v, o), 1e-9);
+      if (dist - tag_radius_[tag] <= 0.0) continue;
+      for (int k = 0; k < d; ++k) {
+        const double g = logic_weight * (v[k] - o[k]) / dist;
+        v[k] -= lr * g;
+        o[k] += lr * g;
+      }
+      tag_radius_[tag] += lr * logic_weight;
+    }
+
+    // --- subClassOf: child sphere inside parent sphere ------------------
+    for (const data::HierarchyPair& h : rel.hierarchy) {
+      auto op = tag_center_.Row(h.parent);
+      auto oc = tag_center_.Row(h.child);
+      const double dist = std::max(math::Distance(op, oc), 1e-9);
+      if (dist + tag_radius_[h.child] - tag_radius_[h.parent] <= 0.0) {
+        continue;
+      }
+      for (int k = 0; k < d; ++k) {
+        const double g = logic_weight * (op[k] - oc[k]) / dist;
+        op[k] -= lr * g;
+        oc[k] += lr * g;
+      }
+      tag_radius_[h.parent] += lr * logic_weight;
+      tag_radius_[h.child] -= lr * logic_weight;
+      tag_radius_[h.child] = std::max(tag_radius_[h.child], 0.05);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void TransC::ScoreItems(int user, std::vector<double>* out) const {
+  LOGIREC_CHECK(fitted_);
+  const int d = static_cast<int>(relation_.size());
+  out->resize(item_.rows());
+  auto pu = user_.Row(user);
+  for (int v = 0; v < item_.rows(); ++v) {
+    auto qv = item_.Row(v);
+    double dist = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double e = pu[k] + relation_[k] - qv[k];
+      dist += e * e;
+    }
+    (*out)[v] = -std::sqrt(dist);
+  }
+}
+
+}  // namespace logirec::baselines

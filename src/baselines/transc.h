@@ -1,0 +1,37 @@
+#ifndef LOGIREC_BASELINES_TRANSC_H_
+#define LOGIREC_BASELINES_TRANSC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "math/matrix.h"
+
+namespace logirec::baselines {
+
+/// TransC (Lv et al. 2018), constrained as in the paper to model user-item,
+/// item-tag, and tag-tag relations. Tags (concepts) are Euclidean spheres
+/// (center, radius); items (instances) are points.
+///   instanceOf:  [ ||v - o_t|| - r_t ]_+
+///   subClassOf:  [ ||o_c - o_p|| + r_c - r_p ]_+
+///   user-item:   translation ranking on -||u + r_rel - v||.
+/// This is the closest Euclidean analogue of LogiRec's logic losses.
+class TransC final : public core::Recommender {
+ public:
+  explicit TransC(core::TrainConfig config) : config_(config) {}
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override { return "TransC"; }
+
+ private:
+  core::TrainConfig config_;
+  math::Matrix user_, item_, tag_center_;
+  std::vector<double> tag_radius_;
+  math::Vec relation_;  ///< the shared user->item translation vector
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::baselines
+
+#endif  // LOGIREC_BASELINES_TRANSC_H_

@@ -1,0 +1,64 @@
+#include "core/embedding.h"
+
+#include <cmath>
+
+#include "hyper/hyperplane.h"
+#include "hyper/lorentz.h"
+#include "hyper/poincare.h"
+#include "util/logging.h"
+
+namespace logirec::core {
+
+void InitPoincareRows(Matrix* m, Rng* rng, double scale) {
+  for (int r = 0; r < m->rows(); ++r) {
+    auto row = m->Row(r);
+    for (double& x : row) x = rng->Gaussian(0.0, scale);
+    hyper::ProjectToBall(row);
+  }
+}
+
+void InitLorentzRows(Matrix* m, Rng* rng, double scale) {
+  LOGIREC_CHECK(m->cols() >= 2);
+  for (int r = 0; r < m->rows(); ++r) {
+    auto row = m->Row(r);
+    row[0] = 0.0;
+    for (size_t i = 1; i < row.size(); ++i) row[i] = rng->Gaussian(0.0, scale);
+    hyper::ProjectToHyperboloid(row);
+  }
+}
+
+void InitHyperplaneCenters(Matrix* m, const data::Taxonomy& taxonomy,
+                           Rng* rng) {
+  LOGIREC_CHECK(m->rows() == taxonomy.num_tags());
+  const int levels = std::max(taxonomy.num_levels(), 1);
+  // Target ||c|| per level, linearly spaced inside the clamp range.
+  auto level_norm = [&](int level) {
+    const double t = levels > 1
+                         ? static_cast<double>(level - 1) / (levels - 1)
+                         : 0.0;
+    return 0.18 + t * (0.72 - 0.18);
+  };
+
+  // Tags were added top-down, so parents are initialized before children.
+  for (int t = 0; t < taxonomy.num_tags(); ++t) {
+    const data::Tag& tag = taxonomy.tag(t);
+    auto row = m->Row(t);
+    if (tag.parent < 0) {
+      for (double& x : row) x = rng->Gaussian(0.0, 1.0);
+    } else {
+      auto parent = m->Row(tag.parent);
+      // Inherit the parent's direction with moderate angular noise.
+      const double pn = std::max(math::Norm(parent), 1e-9);
+      for (size_t i = 0; i < row.size(); ++i) {
+        row[i] = parent[i] / pn + rng->Gaussian(0.0, 0.35);
+      }
+    }
+    const double n = std::max(math::Norm(row), 1e-9);
+    const double target =
+        level_norm(tag.level) * (1.0 + rng->Gaussian(0.0, 0.03));
+    math::ScaleInPlace(row, target / n);
+    hyper::ClampHyperplaneCenter(row);
+  }
+}
+
+}  // namespace logirec::core

@@ -1,0 +1,30 @@
+#ifndef LOGIREC_CORE_EMBEDDING_H_
+#define LOGIREC_CORE_EMBEDDING_H_
+
+#include "data/taxonomy.h"
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+
+using math::Matrix;
+
+/// Initializes rows as Poincaré-ball points: small Gaussian around the
+/// origin (stddev `scale`), projected into the ball.
+void InitPoincareRows(Matrix* m, Rng* rng, double scale = 0.05);
+
+/// Initializes rows as Lorentz hyperboloid points: Gaussian spatial part
+/// (stddev `scale`), time component recomputed. Rows are (d+1)-wide.
+void InitLorentzRows(Matrix* m, Rng* rng, double scale = 0.05);
+
+/// Initializes tag hyperplane centers with a taxonomy-aware prior:
+/// top-level tags sit near the origin (large enclosing radius, coarse
+/// concept); deeper tags inherit their parent's direction with noise and
+/// sit further out (small radius, fine concept). This mirrors the paper's
+/// observation that granularity grows with distance to the origin.
+void InitHyperplaneCenters(Matrix* m, const data::Taxonomy& taxonomy,
+                           Rng* rng);
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_EMBEDDING_H_

@@ -1,0 +1,95 @@
+#include "core/hgcn.h"
+
+#include "hyper/lorentz.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace logirec::core {
+
+HyperbolicGcn::HyperbolicGcn(const graph::BipartiteGraph* graph, int layers,
+                             graph::Norm norm)
+    : propagator_(graph, layers, norm) {}
+
+void HyperbolicGcn::Forward(const Matrix& user_lorentz,
+                            const Matrix& item_lorentz, Matrix* user_out,
+                            Matrix* item_out) {
+  user_in_ = user_lorentz;
+  item_in_ = item_lorentz;
+
+  if (propagator_.layers() == 0) {
+    *user_out = user_lorentz;
+    *item_out = item_lorentz;
+    has_forward_ = true;
+    return;
+  }
+
+  const int dim = user_lorentz.cols();
+  zu0_ = Matrix(user_lorentz.rows(), dim);
+  zv0_ = Matrix(item_lorentz.rows(), dim);
+  ParallelFor(0, user_lorentz.rows(), [&](int u) {
+    const math::Vec z = hyper::LorentzLogOrigin(user_lorentz.Row(u));
+    math::Copy(z, zu0_.Row(u));
+  });
+  ParallelFor(0, item_lorentz.rows(), [&](int v) {
+    const math::Vec z = hyper::LorentzLogOrigin(item_lorentz.Row(v));
+    math::Copy(z, zv0_.Row(v));
+  });
+
+  propagator_.Forward(zu0_, zv0_, &su_, &sv_, /*include_layer0=*/false);
+
+  *user_out = Matrix(user_lorentz.rows(), dim);
+  *item_out = Matrix(item_lorentz.rows(), dim);
+  ParallelFor(0, user_lorentz.rows(), [&](int u) {
+    const math::Vec x = hyper::LorentzExpOrigin(su_.Row(u));
+    math::Copy(x, user_out->Row(u));
+  });
+  ParallelFor(0, item_lorentz.rows(), [&](int v) {
+    const math::Vec x = hyper::LorentzExpOrigin(sv_.Row(v));
+    math::Copy(x, item_out->Row(v));
+  });
+  has_forward_ = true;
+}
+
+void HyperbolicGcn::Backward(const Matrix& grad_user_out,
+                             const Matrix& grad_item_out,
+                             Matrix* grad_user_in, Matrix* grad_item_in) {
+  LOGIREC_CHECK_MSG(has_forward_, "Backward() before Forward()");
+
+  if (propagator_.layers() == 0) {
+    for (size_t i = 0; i < grad_user_out.data().size(); ++i) {
+      grad_user_in->data()[i] += grad_user_out.data()[i];
+    }
+    for (size_t i = 0; i < grad_item_out.data().size(); ++i) {
+      grad_item_in->data()[i] += grad_item_out.data()[i];
+    }
+    return;
+  }
+
+  const int dim = grad_user_out.cols();
+  // 1. Through exp_o.
+  Matrix gsu(grad_user_out.rows(), dim);
+  Matrix gsv(grad_item_out.rows(), dim);
+  ParallelFor(0, grad_user_out.rows(), [&](int u) {
+    hyper::LorentzExpOriginVjp(su_.Row(u), grad_user_out.Row(u), gsu.Row(u));
+  });
+  ParallelFor(0, grad_item_out.rows(), [&](int v) {
+    hyper::LorentzExpOriginVjp(sv_.Row(v), grad_item_out.Row(v), gsv.Row(v));
+  });
+
+  // 2. Through the linear propagation (transpose recursion).
+  Matrix gzu0(gsu.rows(), dim);
+  Matrix gzv0(gsv.rows(), dim);
+  propagator_.Backward(gsu, gsv, &gzu0, &gzv0, /*include_layer0=*/false);
+
+  // 3. Through log_o back to the input Lorentz points.
+  ParallelFor(0, gzu0.rows(), [&](int u) {
+    hyper::LorentzLogOriginVjp(user_in_.Row(u), gzu0.Row(u),
+                               grad_user_in->Row(u));
+  });
+  ParallelFor(0, gzv0.rows(), [&](int v) {
+    hyper::LorentzLogOriginVjp(item_in_.Row(v), gzv0.Row(v),
+                               grad_item_in->Row(v));
+  });
+}
+
+}  // namespace logirec::core

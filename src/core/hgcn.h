@@ -1,0 +1,52 @@
+#ifndef LOGIREC_CORE_HGCN_H_
+#define LOGIREC_CORE_HGCN_H_
+
+#include "graph/propagation.h"
+#include "math/matrix.h"
+
+namespace logirec::core {
+
+using math::Matrix;
+
+/// Hyperbolic graph convolution (Eqs. 6-8): maps Lorentz embeddings to the
+/// tangent space at the origin (log_o), runs the linear bipartite
+/// propagation of Eq. 7, and maps back (exp_o).
+///
+/// The propagation itself is linear, so backpropagation through the whole
+/// block is: exp_o VJP -> transpose propagation -> log_o VJP. The class
+/// caches the forward intermediates needed by Backward().
+class HyperbolicGcn {
+ public:
+  /// `layers` is L in Eq. 7. Rows of all matrices are ambient
+  /// (d+1)-dimensional Lorentz vectors. `norm` selects the aggregation
+  /// normalization (Eq. 7 uses the receiver degree; symmetric is the
+  /// LightGCN-style ablation).
+  HyperbolicGcn(const graph::BipartiteGraph* graph, int layers,
+                graph::Norm norm = graph::Norm::kReceiver);
+
+  /// Computes final Lorentz embeddings for all users and items from the
+  /// input Lorentz embeddings. With layers == 0 the block degenerates to
+  /// the identity (used by the "w/o HGCN" ablation).
+  void Forward(const Matrix& user_lorentz, const Matrix& item_lorentz,
+               Matrix* user_out, Matrix* item_out);
+
+  /// Accumulates into `grad_user_in` / `grad_item_in` the ambient
+  /// gradients w.r.t. the *input* Lorentz embeddings, given ambient
+  /// gradients w.r.t. the outputs of the last Forward() call.
+  void Backward(const Matrix& grad_user_out, const Matrix& grad_item_out,
+                Matrix* grad_user_in, Matrix* grad_item_in);
+
+  int layers() const { return propagator_.layers(); }
+
+ private:
+  graph::GcnPropagator propagator_;
+  // Forward caches.
+  Matrix zu0_, zv0_;  // tangent inputs (log_o of the input embeddings)
+  Matrix su_, sv_;    // tangent sums (Eq. 7 outputs)
+  Matrix user_in_, item_in_;  // input Lorentz points (for the log VJP)
+  bool has_forward_ = false;
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_HGCN_H_

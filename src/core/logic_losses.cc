@@ -1,0 +1,134 @@
+#include "core/logic_losses.h"
+
+#include <cmath>
+
+#include "hyper/hyperplane.h"
+#include "util/logging.h"
+
+namespace logirec::core {
+
+using hyper::Ball;
+using hyper::BallFromCenter;
+using hyper::BallFromCenterVjp;
+using math::Vec;
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+double MembershipLossAndGrad(ConstSpan item, ConstSpan tag_center,
+                             double scale, Span grad_item,
+                             Span grad_tag_center) {
+  const Ball ball = BallFromCenter(tag_center);
+  const Vec diff = math::Sub(item, ball.center);
+  const double dist = std::max(math::Norm(diff), kEps);
+  const double loss = dist - ball.radius;
+  if (loss <= 0.0) return 0.0;
+
+  // d loss / d item = diff / dist; d loss / d o = -diff / dist;
+  // d loss / d r = -1.
+  if (!grad_item.empty()) {
+    math::Axpy(scale / dist, diff, grad_item);
+  }
+  if (!grad_tag_center.empty()) {
+    Vec g_center = math::Scale(diff, -scale / dist);
+    BallFromCenterVjp(tag_center, g_center, -scale, grad_tag_center);
+  }
+  return loss;
+}
+
+double HierarchyLossAndGrad(ConstSpan parent_center, ConstSpan child_center,
+                            double scale, Span grad_parent,
+                            Span grad_child) {
+  const Ball parent = BallFromCenter(parent_center);
+  const Ball child = BallFromCenter(child_center);
+  const Vec diff = math::Sub(parent.center, child.center);
+  const double dist = std::max(math::Norm(diff), kEps);
+  const double loss = dist + child.radius - parent.radius;
+  if (loss <= 0.0) return 0.0;
+
+  // d loss / d o_p = diff/dist; d loss / d o_c = -diff/dist;
+  // d loss / d r_p = -1; d loss / d r_c = +1.
+  if (!grad_parent.empty()) {
+    Vec g_center = math::Scale(diff, scale / dist);
+    BallFromCenterVjp(parent_center, g_center, -scale, grad_parent);
+  }
+  if (!grad_child.empty()) {
+    Vec g_center = math::Scale(diff, -scale / dist);
+    BallFromCenterVjp(child_center, g_center, scale, grad_child);
+  }
+  return loss;
+}
+
+double ExclusionLossAndGrad(ConstSpan center_a, ConstSpan center_b,
+                            double scale, Span grad_a, Span grad_b) {
+  const Ball a = BallFromCenter(center_a);
+  const Ball b = BallFromCenter(center_b);
+  const Vec diff = math::Sub(a.center, b.center);
+  const double dist = std::max(math::Norm(diff), kEps);
+  const double loss = a.radius + b.radius - dist;
+  if (loss <= 0.0) return 0.0;
+
+  // d loss / d o_a = -diff/dist; d loss / d o_b = diff/dist;
+  // d loss / d r_a = d loss / d r_b = +1.
+  if (!grad_a.empty()) {
+    Vec g_center = math::Scale(diff, -scale / dist);
+    BallFromCenterVjp(center_a, g_center, scale, grad_a);
+  }
+  if (!grad_b.empty()) {
+    Vec g_center = math::Scale(diff, scale / dist);
+    BallFromCenterVjp(center_b, g_center, scale, grad_b);
+  }
+  return loss;
+}
+
+double IntersectionLossAndGrad(ConstSpan center_a, ConstSpan center_b,
+                               double scale, Span grad_a, Span grad_b) {
+  const Ball a = BallFromCenter(center_a);
+  const Ball b = BallFromCenter(center_b);
+  const Vec diff = math::Sub(a.center, b.center);
+  const double dist = std::max(math::Norm(diff), kEps);
+  const double loss = dist - (a.radius + b.radius);
+  if (loss <= 0.0) return 0.0;
+
+  // d loss / d o_a = diff/dist; d loss / d o_b = -diff/dist;
+  // d loss / d r_a = d loss / d r_b = -1.
+  if (!grad_a.empty()) {
+    Vec g_center = math::Scale(diff, scale / dist);
+    BallFromCenterVjp(center_a, g_center, -scale, grad_a);
+  }
+  if (!grad_b.empty()) {
+    Vec g_center = math::Scale(diff, -scale / dist);
+    BallFromCenterVjp(center_b, g_center, -scale, grad_b);
+  }
+  return loss;
+}
+
+double MembershipLoss(ConstSpan item, ConstSpan tag_center) {
+  const Ball ball = BallFromCenter(tag_center);
+  const double dist = math::Distance(item, ball.center);
+  return std::max(0.0, dist - ball.radius);
+}
+
+double HierarchyLoss(ConstSpan parent_center, ConstSpan child_center) {
+  const Ball parent = BallFromCenter(parent_center);
+  const Ball child = BallFromCenter(child_center);
+  const double dist = math::Distance(parent.center, child.center);
+  return std::max(0.0, dist + child.radius - parent.radius);
+}
+
+double ExclusionLoss(ConstSpan center_a, ConstSpan center_b) {
+  const Ball a = BallFromCenter(center_a);
+  const Ball b = BallFromCenter(center_b);
+  const double dist = math::Distance(a.center, b.center);
+  return std::max(0.0, a.radius + b.radius - dist);
+}
+
+double IntersectionLoss(ConstSpan center_a, ConstSpan center_b) {
+  const Ball a = BallFromCenter(center_a);
+  const Ball b = BallFromCenter(center_b);
+  const double dist = math::Distance(a.center, b.center);
+  return std::max(0.0, dist - (a.radius + b.radius));
+}
+
+}  // namespace logirec::core

@@ -1,0 +1,49 @@
+#ifndef LOGIREC_CORE_LOGIC_LOSSES_H_
+#define LOGIREC_CORE_LOGIC_LOSSES_H_
+
+#include "math/vec.h"
+
+namespace logirec::core {
+
+using math::ConstSpan;
+using math::Span;
+
+/// Membership loss (Eq. 3): an item point must fall inside the enclosing
+/// d-ball of its tag's hyperplane,
+///   L = max(0, ||v - o_t|| - r_t),
+/// where (o_t, r_t) derive from the hyperplane center `tag_center`.
+/// Accumulates (scaled by `scale`) the gradients w.r.t. the item embedding
+/// and the tag center; either output span may be empty to skip it.
+/// Returns the (unscaled) loss value.
+double MembershipLossAndGrad(ConstSpan item, ConstSpan tag_center,
+                             double scale, Span grad_item,
+                             Span grad_tag_center);
+
+/// Hierarchy loss (Eq. 4): the parent's ball must contain the child's,
+///   L = max(0, ||o_p - o_c|| + r_c - r_p).
+/// Gradients flow into both hyperplane centers.
+double HierarchyLossAndGrad(ConstSpan parent_center, ConstSpan child_center,
+                            double scale, Span grad_parent,
+                            Span grad_child);
+
+/// Exclusion loss (Eq. 5): the two balls must be disjoint,
+///   L = max(0, r_a + r_b - ||o_a - o_b||).
+double ExclusionLossAndGrad(ConstSpan center_a, ConstSpan center_b,
+                            double scale, Span grad_a, Span grad_b);
+
+/// Intersection loss (future-work relation from the paper's conclusion):
+/// the two balls must overlap,
+///   L = max(0, ||o_a - o_b|| - (r_a + r_b)).
+/// The exact mirror of the exclusion loss.
+double IntersectionLossAndGrad(ConstSpan center_a, ConstSpan center_b,
+                               double scale, Span grad_a, Span grad_b);
+
+/// Loss-only variants (used by the evaluation-side diagnostics and tests).
+double MembershipLoss(ConstSpan item, ConstSpan tag_center);
+double HierarchyLoss(ConstSpan parent_center, ConstSpan child_center);
+double ExclusionLoss(ConstSpan center_a, ConstSpan center_b);
+double IntersectionLoss(ConstSpan center_a, ConstSpan center_b);
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_LOGIC_LOSSES_H_

@@ -1,0 +1,514 @@
+#include "core/logirec_model.h"
+
+#include <cmath>
+
+#include "core/embedding.h"
+#include "core/logic_losses.h"
+#include "core/negative_sampler.h"
+#include "core/persistence.h"
+#include "core/train_util.h"
+#include "eval/evaluator.h"
+#include "graph/propagation.h"
+#include "hyper/hyperplane.h"
+#include "hyper/lorentz.h"
+#include "hyper/maps.h"
+#include "hyper/poincare.h"
+#include "opt/optimizer.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace logirec::core {
+
+using math::Matrix;
+
+LogiRecModel::LogiRecModel(LogiRecConfig config)
+    : config_(std::move(config)) {}
+
+Status LogiRecModel::Fit(const data::Dataset& dataset,
+                         const data::Split& split) {
+  if (dataset.num_users <= 0 || dataset.num_items <= 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (static_cast<int>(split.train.size()) != dataset.num_users) {
+    return Status::InvalidArgument("split does not match dataset");
+  }
+  relations_ = dataset.ExtractRelations(
+      config_.exclusion_overlap_tolerance,
+      config_.use_intersection ? config_.intersection_min_support : 0);
+  if (config_.use_hyperbolic) {
+    FitHyperbolic(dataset, split);
+  } else {
+    FitEuclidean(dataset, split);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void LogiRecModel::FitHyperbolic(const data::Dataset& dataset,
+                                 const data::Split& split) {
+  const int d = config_.dim;
+  const int nu = dataset.num_users;
+  const int ni = dataset.num_items;
+  const int nt = dataset.taxonomy.num_tags();
+  Rng rng(config_.seed);
+
+  user_lorentz_ = Matrix(nu, d + 1);
+  item_poincare_ = Matrix(ni, d);
+  tag_centers_ = Matrix(nt, d);
+  InitLorentzRows(&user_lorentz_, &rng, 0.05);
+  InitPoincareRows(&item_poincare_, &rng, 0.05);
+  InitHyperplaneCenters(&tag_centers_, dataset.taxonomy, &rng);
+
+  graph::BipartiteGraph graph(nu, ni, split.train);
+  HyperbolicGcn hgcn(&graph, config_.use_hgcn ? config_.layers : 0,
+                     config_.symmetric_gcn_norm ? graph::Norm::kSymmetric
+                                                : graph::Norm::kReceiver);
+  NegativeSampler sampler(ni, split.train);
+
+  if (config_.use_mining) {
+    weighting_ = std::make_unique<UserWeighting>(
+        dataset, split.train, relations_,
+        std::max(dataset.taxonomy.num_levels(), 1));
+  }
+
+  opt::LorentzRsgd user_opt(config_.learning_rate, config_.grad_clip);
+  opt::PoincareRsgd item_opt(config_.learning_rate, config_.grad_clip,
+                             config_.use_eq17_exp_map);
+  opt::PoincareRsgd tag_opt(config_.learning_rate, config_.grad_clip,
+                            config_.use_eq17_exp_map);
+
+  Matrix item_lorentz(ni, d + 1);
+  auto lift_items = [&]() {
+    ParallelFor(0, ni, [&](int v) {
+      const math::Vec x = hyper::PoincareToLorentz(item_poincare_.Row(v));
+      math::Copy(x, item_lorentz.Row(v));
+    });
+  };
+
+  // Early-stopping state: validation Recall@10 probe over the current
+  // post-GCN embeddings, snapshotting the best parameters.
+  struct Snapshot {
+    Matrix user, item, tags;
+  };
+  Snapshot best;
+  double best_metric = -1.0;
+  int evals_without_improvement = 0;
+  const bool early_stop = config_.early_stopping_patience > 0;
+  std::unique_ptr<eval::Evaluator> validator;
+  if (early_stop) {
+    validator = std::make_unique<eval::Evaluator>(&split, ni,
+                                                  std::vector<int>{10});
+  }
+  struct SnapshotScorer : eval::Scorer {
+    const Matrix* fu;
+    const Matrix* fv;
+    void ScoreItems(int user, std::vector<double>* out) const override {
+      out->resize(fv->rows());
+      for (int v = 0; v < fv->rows(); ++v) {
+        (*out)[v] = -hyper::LorentzDistance(fu->Row(user), fv->Row(v));
+      }
+    }
+  };
+
+  const double lam = config_.lambda;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto pairs = ShuffledTrainPairs(split.train, &rng);
+    const auto batches =
+        BatchRanges(static_cast<int>(pairs.size()), config_.batch_size);
+    double rec_loss = 0.0, logic_loss = 0.0;
+    long active = 0;
+    bool granularity_fresh = false;
+
+    for (const auto& [b0, b1] : batches) {
+      // ---- forward: lift items to the Lorentz model and propagate ------
+      lift_items();
+      Matrix fu, fv;
+      hgcn.Forward(user_lorentz_, item_lorentz, &fu, &fv);
+      if (weighting_ && !granularity_fresh) {
+        weighting_->UpdateGranularity(fu);
+        granularity_fresh = true;
+      }
+
+      // ---- L_Rec (Eq. 9 / Eq. 15): LMNN hinge on this batch ------------
+      Matrix gfu(nu, d + 1), gfv(ni, d + 1);
+      for (int i = b0; i < b1; ++i) {
+        const auto [u, pos] = pairs[i];
+        const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
+        for (int k = 0; k < config_.negatives_per_positive; ++k) {
+          const int neg = sampler.Sample(u, &rng);
+          const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
+          const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
+          const double hinge = config_.margin + dpos - dneg;
+          if (hinge <= 0.0) continue;
+          rec_loss += w * hinge;
+          ++active;
+          hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), w, gfu.Row(u),
+                                     gfv.Row(pos));
+          hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -w, gfu.Row(u),
+                                     gfv.Row(neg));
+        }
+      }
+
+      // ---- backward through the HGCN and the diffeomorphism ------------
+      Matrix gu(nu, d + 1), gvh(ni, d + 1);
+      if (config_.detach_gcn_backward) {
+        // Truncated-backprop ablation: treat the propagation as constant.
+        gu = gfu;
+        gvh = gfv;
+      } else {
+        hgcn.Backward(gfu, gfv, &gu, &gvh);
+      }
+      Matrix gv(ni, d);
+      ParallelFor(0, ni, [&](int v) {
+        hyper::PoincareToLorentzVjp(item_poincare_.Row(v), gvh.Row(v),
+                                    gv.Row(v));
+      });
+
+      // ---- logic losses (Eqs. 3-5), weighted by lambda ------------------
+      Matrix gt(nt, d);
+      if (lam > 0.0) {
+        if (config_.use_membership) {
+          for (const auto& [item, tag] : relations_.memberships) {
+            logic_loss += MembershipLossAndGrad(
+                item_poincare_.Row(item), tag_centers_.Row(tag), lam,
+                gv.Row(item), gt.Row(tag));
+          }
+        }
+        if (config_.use_hierarchy) {
+          for (const data::HierarchyPair& h : relations_.hierarchy) {
+            logic_loss += HierarchyLossAndGrad(
+                tag_centers_.Row(h.parent), tag_centers_.Row(h.child), lam,
+                gt.Row(h.parent), gt.Row(h.child));
+          }
+        }
+        if (config_.use_exclusion) {
+          for (const data::ExclusionPair& e : relations_.exclusions) {
+            logic_loss += ExclusionLossAndGrad(
+                tag_centers_.Row(e.a), tag_centers_.Row(e.b), lam,
+                gt.Row(e.a), gt.Row(e.b));
+          }
+        }
+        if (config_.use_intersection) {
+          for (const data::IntersectionPair& p : relations_.intersections) {
+            logic_loss += IntersectionLossAndGrad(
+                tag_centers_.Row(p.a), tag_centers_.Row(p.b), lam,
+                gt.Row(p.a), gt.Row(p.b));
+          }
+        }
+      }
+
+      // ---- Riemannian SGD updates ---------------------------------------
+      ParallelFor(0, nu, [&](int u) {
+        user_opt.Step(u, user_lorentz_.Row(u), gu.Row(u));
+      });
+      ParallelFor(0, ni, [&](int v) {
+        item_opt.Step(v, item_poincare_.Row(v), gv.Row(v));
+        hyper::ProjectToBall(item_poincare_.Row(v));
+      });
+      if (lam > 0.0) {
+        ParallelFor(0, nt, [&](int t) {
+          tag_opt.Step(t, tag_centers_.Row(t), gt.Row(t));
+          hyper::ClampHyperplaneCenter(tag_centers_.Row(t));
+        });
+      }
+    }
+
+    if (config_.verbose && (epoch % 5 == 0 || epoch + 1 == config_.epochs)) {
+      LOGIREC_LOG(kInfo) << name() << " epoch " << epoch << " rec_loss="
+                         << rec_loss << " logic_loss=" << logic_loss
+                         << " active=" << active;
+    }
+
+    if (early_stop && (epoch + 1) % config_.eval_every == 0) {
+      lift_items();
+      Matrix fu, fv;
+      hgcn.Forward(user_lorentz_, item_lorentz, &fu, &fv);
+      SnapshotScorer scorer;
+      scorer.fu = &fu;
+      scorer.fv = &fv;
+      const double metric =
+          validator->Evaluate(scorer, /*use_validation=*/true)
+              .Get("Recall@10");
+      if (metric > best_metric) {
+        best_metric = metric;
+        best = {user_lorentz_, item_poincare_, tag_centers_};
+        evals_without_improvement = 0;
+      } else if (++evals_without_improvement >=
+                 config_.early_stopping_patience) {
+        if (config_.verbose) {
+          LOGIREC_LOG(kInfo) << name() << " early stop at epoch " << epoch
+                             << " (best val Recall@10=" << best_metric
+                             << ")";
+        }
+        break;
+      }
+    }
+  }
+  if (early_stop && best_metric >= 0.0) {
+    user_lorentz_ = std::move(best.user);
+    item_poincare_ = std::move(best.item);
+    tag_centers_ = std::move(best.tags);
+  }
+
+  // Cache final embeddings for scoring.
+  lift_items();
+  hgcn.Forward(user_lorentz_, item_lorentz, &final_user_, &final_item_);
+  if (weighting_) weighting_->UpdateGranularity(final_user_);
+}
+
+void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
+                                const data::Split& split) {
+  // The "w/o Hyper" ablation: identical architecture, but embeddings live
+  // in flat R^d — Euclidean distances, no log/exp maps, plain SGD. The tag
+  // balls keep the same (o_c, r_c) construction so the logic losses stay
+  // comparable.
+  const int d = config_.dim;
+  const int nu = dataset.num_users;
+  const int ni = dataset.num_items;
+  const int nt = dataset.taxonomy.num_tags();
+  Rng rng(config_.seed);
+
+  user_euclidean_ = Matrix(nu, d);
+  item_poincare_ = Matrix(ni, d);
+  tag_centers_ = Matrix(nt, d);
+  user_euclidean_.FillGaussian(&rng, 0.05);
+  item_poincare_.FillGaussian(&rng, 0.05);
+  InitHyperplaneCenters(&tag_centers_, dataset.taxonomy, &rng);
+
+  graph::BipartiteGraph graph(nu, ni, split.train);
+  graph::GcnPropagator prop(&graph, config_.use_hgcn ? config_.layers : 0);
+  NegativeSampler sampler(ni, split.train);
+
+  if (config_.use_mining) {
+    weighting_ = std::make_unique<UserWeighting>(
+        dataset, split.train, relations_,
+        std::max(dataset.taxonomy.num_levels(), 1));
+  }
+
+  opt::SgdOptimizer user_opt(config_.learning_rate, config_.l2,
+                             config_.grad_clip);
+  opt::SgdOptimizer item_opt(config_.learning_rate, config_.l2,
+                             config_.grad_clip);
+  opt::SgdOptimizer tag_opt(config_.learning_rate, 0.0, config_.grad_clip);
+
+  const bool identity = (prop.layers() == 0);
+  const double lam = config_.lambda;
+
+  auto update_granularity = [&](const Matrix& fu) {
+    // Euclidean granularity proxy: lift to the hyperboloid and measure
+    // the distance to the origin there.
+    Matrix lifted(nu, d + 1);
+    ParallelFor(0, nu, [&](int u) {
+      auto row = lifted.Row(u);
+      for (int k = 0; k < d; ++k) row[k + 1] = fu.At(u, k);
+      hyper::ProjectToHyperboloid(row);
+    });
+    weighting_->UpdateGranularity(lifted);
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto pairs = ShuffledTrainPairs(split.train, &rng);
+    const auto batches =
+        BatchRanges(static_cast<int>(pairs.size()), config_.batch_size);
+    bool granularity_fresh = false;
+
+    for (const auto& [b0, b1] : batches) {
+      Matrix fu, fv;
+      if (identity) {
+        fu = user_euclidean_;
+        fv = item_poincare_;
+      } else {
+        prop.Forward(user_euclidean_, item_poincare_, &fu, &fv,
+                     /*include_layer0=*/false);
+      }
+      if (weighting_ && !granularity_fresh) {
+        update_granularity(fu);
+        granularity_fresh = true;
+      }
+
+      Matrix gfu(nu, d), gfv(ni, d);
+      for (int i = b0; i < b1; ++i) {
+        const auto [u, pos] = pairs[i];
+        const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
+        for (int k = 0; k < config_.negatives_per_positive; ++k) {
+          const int neg = sampler.Sample(u, &rng);
+          const double dpos = math::Distance(fu.Row(u), fv.Row(pos));
+          const double dneg = math::Distance(fu.Row(u), fv.Row(neg));
+          if (config_.margin + dpos - dneg <= 0.0) continue;
+          auto add_grad = [&](int item, double sign) {
+            const double dist = sign > 0 ? dpos : dneg;
+            const double denom = std::max(dist, 1e-12);
+            auto gu_row = gfu.Row(u);
+            auto gv_row = gfv.Row(item);
+            for (int kk = 0; kk < d; ++kk) {
+              const double g =
+                  sign * w * (fu.At(u, kk) - fv.At(item, kk)) / denom;
+              gu_row[kk] += g;
+              gv_row[kk] -= g;
+            }
+          };
+          add_grad(pos, +1.0);
+          add_grad(neg, -1.0);
+        }
+      }
+
+      Matrix gu(nu, d), gv(ni, d);
+      if (identity) {
+        gu = gfu;
+        gv = gfv;
+      } else {
+        prop.Backward(gfu, gfv, &gu, &gv, /*include_layer0=*/false);
+      }
+
+      Matrix gt(nt, d);
+      if (lam > 0.0) {
+        if (config_.use_membership) {
+          for (const auto& [item, tag] : relations_.memberships) {
+            MembershipLossAndGrad(item_poincare_.Row(item),
+                                  tag_centers_.Row(tag), lam, gv.Row(item),
+                                  gt.Row(tag));
+          }
+        }
+        if (config_.use_hierarchy) {
+          for (const data::HierarchyPair& h : relations_.hierarchy) {
+            HierarchyLossAndGrad(tag_centers_.Row(h.parent),
+                                 tag_centers_.Row(h.child), lam,
+                                 gt.Row(h.parent), gt.Row(h.child));
+          }
+        }
+        if (config_.use_exclusion) {
+          for (const data::ExclusionPair& e : relations_.exclusions) {
+            ExclusionLossAndGrad(tag_centers_.Row(e.a),
+                                 tag_centers_.Row(e.b), lam, gt.Row(e.a),
+                                 gt.Row(e.b));
+          }
+        }
+        if (config_.use_intersection) {
+          for (const data::IntersectionPair& p : relations_.intersections) {
+            IntersectionLossAndGrad(tag_centers_.Row(p.a),
+                                    tag_centers_.Row(p.b), lam, gt.Row(p.a),
+                                    gt.Row(p.b));
+          }
+        }
+      }
+
+      ParallelFor(0, nu, [&](int u) {
+        user_opt.Step(u, user_euclidean_.Row(u), gu.Row(u));
+      });
+      ParallelFor(0, ni, [&](int v) {
+        item_opt.Step(v, item_poincare_.Row(v), gv.Row(v));
+      });
+      if (lam > 0.0) {
+        ParallelFor(0, nt, [&](int t) {
+          tag_opt.Step(t, tag_centers_.Row(t), gt.Row(t));
+          hyper::ClampHyperplaneCenter(tag_centers_.Row(t));
+        });
+      }
+    }
+  }
+
+  if (identity) {
+    final_user_ = user_euclidean_;
+    final_item_ = item_poincare_;
+  } else {
+    prop.Forward(user_euclidean_, item_poincare_, &final_user_, &final_item_,
+                 /*include_layer0=*/false);
+  }
+}
+
+void LogiRecModel::ScoreItems(int user, std::vector<double>* out) const {
+  LOGIREC_CHECK_MSG(fitted_, "ScoreItems() before Fit()");
+  out->resize(final_item_.rows());
+  const auto u = final_user_.Row(user);
+  if (config_.use_hyperbolic) {
+    for (int v = 0; v < final_item_.rows(); ++v) {
+      (*out)[v] = -hyper::LorentzDistance(u, final_item_.Row(v));
+    }
+  } else {
+    for (int v = 0; v < final_item_.rows(); ++v) {
+      (*out)[v] = -math::Distance(u, final_item_.Row(v));
+    }
+  }
+}
+
+Status LogiRecModel::Save(const std::string& dir) const {
+  if (!fitted_) return Status::FailedPrecondition("Save() before Fit()");
+  CsvTable meta;
+  meta.header = {"key", "value"};
+  meta.rows = {
+      {"dim", StrFormat("%d", config_.dim)},
+      {"hyperbolic", config_.use_hyperbolic ? "1" : "0"},
+      {"mining", config_.use_mining ? "1" : "0"},
+  };
+  LOGIREC_RETURN_IF_ERROR(WriteCsv(dir + "/meta.csv", meta));
+  LOGIREC_RETURN_IF_ERROR(
+      SaveMatrixCsv(final_user_, dir + "/final_user.csv"));
+  LOGIREC_RETURN_IF_ERROR(
+      SaveMatrixCsv(final_item_, dir + "/final_item.csv"));
+  LOGIREC_RETURN_IF_ERROR(
+      SaveMatrixCsv(item_poincare_, dir + "/item_poincare.csv"));
+  return SaveMatrixCsv(tag_centers_, dir + "/tag_centers.csv");
+}
+
+Result<LogiRecModel> LogiRecModel::Load(const std::string& dir) {
+  auto meta = ReadCsv(dir + "/meta.csv");
+  if (!meta.ok()) return meta.status();
+  LogiRecConfig config;
+  for (const auto& row : meta->rows) {
+    if (row.size() != 2) return Status::IoError("bad meta row");
+    if (row[0] == "dim") {
+      auto dim = ParseInt(row[1]);
+      if (!dim.ok()) return dim.status();
+      config.dim = *dim;
+    } else if (row[0] == "hyperbolic") {
+      config.use_hyperbolic = (row[1] == "1");
+    } else if (row[0] == "mining") {
+      config.use_mining = (row[1] == "1");
+    }
+  }
+  LogiRecModel model(config);
+  auto final_user = LoadMatrixCsv(dir + "/final_user.csv");
+  if (!final_user.ok()) return final_user.status();
+  auto final_item = LoadMatrixCsv(dir + "/final_item.csv");
+  if (!final_item.ok()) return final_item.status();
+  auto item_poincare = LoadMatrixCsv(dir + "/item_poincare.csv");
+  if (!item_poincare.ok()) return item_poincare.status();
+  auto tag_centers = LoadMatrixCsv(dir + "/tag_centers.csv");
+  if (!tag_centers.ok()) return tag_centers.status();
+  model.final_user_ = std::move(*final_user);
+  model.final_item_ = std::move(*final_item);
+  model.item_poincare_ = std::move(*item_poincare);
+  model.tag_centers_ = std::move(*tag_centers);
+  model.fitted_ = true;
+  return model;
+}
+
+LogiRecModel::LogicReport LogiRecModel::ReportLogicLosses(
+    const data::Dataset& dataset) const {
+  LogicReport report;
+  (void)dataset;
+  long n_mem = 0, n_hie = 0, n_ex = 0;
+  for (const auto& [item, tag] : relations_.memberships) {
+    report.mean_membership +=
+        MembershipLoss(item_poincare_.Row(item), tag_centers_.Row(tag));
+    ++n_mem;
+  }
+  for (const data::HierarchyPair& h : relations_.hierarchy) {
+    report.mean_hierarchy +=
+        HierarchyLoss(tag_centers_.Row(h.parent), tag_centers_.Row(h.child));
+    ++n_hie;
+  }
+  for (const data::ExclusionPair& e : relations_.exclusions) {
+    report.mean_exclusion +=
+        ExclusionLoss(tag_centers_.Row(e.a), tag_centers_.Row(e.b));
+    ++n_ex;
+  }
+  if (n_mem > 0) report.mean_membership /= n_mem;
+  if (n_hie > 0) report.mean_hierarchy /= n_hie;
+  if (n_ex > 0) report.mean_exclusion /= n_ex;
+  return report;
+}
+
+}  // namespace logirec::core

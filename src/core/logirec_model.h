@@ -1,0 +1,136 @@
+#ifndef LOGIREC_CORE_LOGIREC_MODEL_H_
+#define LOGIREC_CORE_LOGIREC_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hgcn.h"
+#include "core/recommender.h"
+#include "core/weighting.h"
+#include "graph/bipartite_graph.h"
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+
+/// Configuration for LogiRec / LogiRec++ and its ablations (Table III).
+struct LogiRecConfig : TrainConfig {
+  // Ablation switches (all true = LogiRec++; mining=false = LogiRec).
+  bool use_membership = true;   ///< L_Mem (Eq. 3)
+  bool use_hierarchy = true;    ///< L_Hie (Eq. 4)
+  bool use_exclusion = true;    ///< L_Ex (Eq. 5)
+  bool use_hgcn = true;         ///< Eqs. 6-8; false = no propagation
+  bool use_mining = true;       ///< LogiRec++ weighting (Eqs. 11-15)
+  bool use_hyperbolic = true;   ///< false = "w/o Hyper" Euclidean variant
+
+  /// Co-occurrence tolerance when extracting exclusions from the taxonomy
+  /// (Section IV-B / Xiong et al.).
+  int exclusion_overlap_tolerance = 0;
+
+  /// Future-work extension (paper's conclusion): also model intersection
+  /// relations — tag pairs co-occurring on >= `intersection_min_support`
+  /// items must keep overlapping enclosing balls. Off by default (the
+  /// published model).
+  bool use_intersection = false;
+  int intersection_min_support = 3;
+
+  // --- design-choice ablations (DESIGN.md §4; defaults = the paper) ----
+  /// Eq. 7 normalizes by the receiver degree; LightGCN-style symmetric
+  /// normalization is the alternative.
+  bool symmetric_gcn_norm = false;
+  /// Use the paper's literal Eq. 17 Möbius step (no conformal factor on
+  /// the tanh argument) instead of the standard Poincaré exponential map.
+  bool use_eq17_exp_map = false;
+  /// Truncated backpropagation: treat the GCN as constant in the backward
+  /// pass (gradients hit the base embeddings directly) instead of running
+  /// the exact transpose recursion.
+  bool detach_gcn_backward = false;
+};
+
+/// The paper's model: items live in the Poincaré ball (shared with the tag
+/// hyperplanes and the logic losses), users on the Lorentz hyperboloid;
+/// the recommendation loss is an LMNN hinge on Lorentz distances after a
+/// hyperbolic graph convolution; optimization is Riemannian SGD.
+///
+/// LogiRec++ (use_mining) re-weights each user's hinge terms by
+/// alpha_u = sqrt(CON_u * GR_u).
+class LogiRecModel final : public Recommender {
+ public:
+  explicit LogiRecModel(LogiRecConfig config);
+
+  Status Fit(const data::Dataset& dataset, const data::Split& split) override;
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  std::string name() const override {
+    return config_.use_mining ? "LogiRec++" : "LogiRec";
+  }
+
+  /// Persists the trained model (all embedding tables plus a meta file)
+  /// into the existing directory `dir`. Optimizer state and the per-user
+  /// weighting are not saved; a loaded model is scoring-ready only.
+  Status Save(const std::string& dir) const;
+
+  /// Restores a model saved by Save() into a scoring-ready state.
+  static Result<LogiRecModel> Load(const std::string& dir);
+
+  const LogiRecConfig& config() const { return config_; }
+
+  /// For visualization we expose the logic-constrained Poincaré item
+  /// embedding (the space the logic losses act on), matching the item
+  /// embeddings the paper plots in Figs. 7-8.
+  const math::Matrix* ItemEmbeddings() const override {
+    return &item_poincare_;
+  }
+  ItemSpace item_space() const override {
+    return config_.use_hyperbolic ? ItemSpace::kPoincare
+                                  : ItemSpace::kEuclidean;
+  }
+
+  // --- post-training introspection (case studies, Figs. 5/7/8) ----------
+
+  /// Poincaré item embeddings (the logic-constrained representation).
+  const math::Matrix& item_poincare() const { return item_poincare_; }
+  /// Tag hyperplane centers.
+  const math::Matrix& tag_centers() const { return tag_centers_; }
+  /// Final (post-GCN) Lorentz user embeddings.
+  const math::Matrix& final_user() const { return final_user_; }
+  /// Final (post-GCN) Lorentz item embeddings.
+  const math::Matrix& final_item() const { return final_item_; }
+  /// The LogiRec++ weighting state; null unless use_mining was set.
+  const UserWeighting* weighting() const { return weighting_.get(); }
+
+  /// Mean logic-loss values on the trained embeddings (diagnostics).
+  struct LogicReport {
+    double mean_membership = 0.0;
+    double mean_hierarchy = 0.0;
+    double mean_exclusion = 0.0;
+  };
+  LogicReport ReportLogicLosses(const data::Dataset& dataset) const;
+
+ private:
+  void FitHyperbolic(const data::Dataset& dataset, const data::Split& split);
+  void FitEuclidean(const data::Dataset& dataset, const data::Split& split);
+
+  LogiRecConfig config_;
+  data::LogicalRelations relations_;
+
+  // Parameters.
+  math::Matrix user_lorentz_;   // num_users x (d+1)
+  math::Matrix item_poincare_;  // num_items x d
+  math::Matrix tag_centers_;    // num_tags x d
+
+  // Euclidean-mode parameters (w/o Hyper ablation).
+  math::Matrix user_euclidean_;  // num_users x d
+  // item embeddings reuse item_poincare_ (plain R^d in this mode).
+
+  // Cached final embeddings for scoring.
+  math::Matrix final_user_;
+  math::Matrix final_item_;
+
+  std::unique_ptr<UserWeighting> weighting_;
+  bool fitted_ = false;
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_LOGIREC_MODEL_H_

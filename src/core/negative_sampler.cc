@@ -1,0 +1,25 @@
+#include "core/negative_sampler.h"
+
+#include "util/logging.h"
+
+namespace logirec::core {
+
+NegativeSampler::NegativeSampler(
+    int num_items, const std::vector<std::vector<int>>& train_items)
+    : num_items_(num_items), positives_(train_items.size()) {
+  LOGIREC_CHECK(num_items > 0);
+  for (size_t u = 0; u < train_items.size(); ++u) {
+    positives_[u].insert(train_items[u].begin(), train_items[u].end());
+  }
+}
+
+int NegativeSampler::Sample(int user, Rng* rng) const {
+  int candidate = rng->UniformInt(num_items_);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    if (!positives_[user].count(candidate)) return candidate;
+    candidate = rng->UniformInt(num_items_);
+  }
+  return candidate;  // pathological user interacting with almost everything
+}
+
+}  // namespace logirec::core

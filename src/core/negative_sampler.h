@@ -1,0 +1,34 @@
+#ifndef LOGIREC_CORE_NEGATIVE_SAMPLER_H_
+#define LOGIREC_CORE_NEGATIVE_SAMPLER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace logirec::core {
+
+/// Uniform negative sampling over items a user has NOT interacted with in
+/// training. Rejection sampling with a bounded retry count (degenerate
+/// users fall back to the last draw).
+class NegativeSampler {
+ public:
+  NegativeSampler(int num_items,
+                  const std::vector<std::vector<int>>& train_items);
+
+  /// Draws an item id outside user's training set.
+  int Sample(int user, Rng* rng) const;
+
+  /// True if `item` is in `user`'s training set.
+  bool IsPositive(int user, int item) const {
+    return positives_[user].count(item) > 0;
+  }
+
+ private:
+  int num_items_;
+  std::vector<std::unordered_set<int>> positives_;
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_NEGATIVE_SAMPLER_H_

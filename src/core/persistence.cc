@@ -1,0 +1,54 @@
+#include "core/persistence.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace logirec::core {
+
+Status SaveMatrixCsv(const math::Matrix& m, const std::string& path) {
+  CsvTable table;
+  table.header = {StrFormat("%d", m.rows()), StrFormat("%d", m.cols())};
+  table.rows.reserve(m.rows());
+  for (int r = 0; r < m.rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(m.cols());
+    for (int c = 0; c < m.cols(); ++c) {
+      row.push_back(StrFormat("%.17g", m.At(r, c)));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsv(path, table);
+}
+
+Result<math::Matrix> LoadMatrixCsv(const std::string& path) {
+  auto table = ReadCsv(path);
+  if (!table.ok()) return table.status();
+  if (table->header.size() != 2) {
+    return Status::IoError("matrix csv needs a rows,cols header: " + path);
+  }
+  auto rows = ParseInt(table->header[0]);
+  auto cols = ParseInt(table->header[1]);
+  if (!rows.ok() || !cols.ok()) {
+    return Status::IoError("bad matrix header in " + path);
+  }
+  if (static_cast<int>(table->rows.size()) != *rows) {
+    return Status::IoError(StrFormat("expected %d rows, found %zu in %s",
+                                     *rows, table->rows.size(),
+                                     path.c_str()));
+  }
+  math::Matrix m(*rows, *cols);
+  for (int r = 0; r < *rows; ++r) {
+    if (static_cast<int>(table->rows[r].size()) != *cols) {
+      return Status::IoError(StrFormat("row %d has wrong arity in %s", r,
+                                       path.c_str()));
+    }
+    for (int c = 0; c < *cols; ++c) {
+      auto value = ParseDouble(table->rows[r][c]);
+      if (!value.ok()) return value.status();
+      m.At(r, c) = *value;
+    }
+  }
+  return m;
+}
+
+}  // namespace logirec::core

@@ -1,0 +1,19 @@
+#ifndef LOGIREC_CORE_PERSISTENCE_H_
+#define LOGIREC_CORE_PERSISTENCE_H_
+
+#include <string>
+
+#include "math/matrix.h"
+#include "util/status.h"
+
+namespace logirec::core {
+
+/// Writes `m` as CSV: first row "rows,cols", then one line per matrix row.
+Status SaveMatrixCsv(const math::Matrix& m, const std::string& path);
+
+/// Reads a matrix written by SaveMatrixCsv.
+Result<math::Matrix> LoadMatrixCsv(const std::string& path);
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_PERSISTENCE_H_

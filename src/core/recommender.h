@@ -1,0 +1,67 @@
+#ifndef LOGIREC_CORE_RECOMMENDER_H_
+#define LOGIREC_CORE_RECOMMENDER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "math/matrix.h"
+#include "util/status.h"
+
+namespace logirec::core {
+
+/// Hyperparameters shared by every model in the repository (Section
+/// VI-A4). Individual models may ignore fields that do not apply.
+struct TrainConfig {
+  int dim = 32;                ///< embedding dimension d
+  int layers = 3;              ///< graph-convolution depth L
+  double learning_rate = 0.05;
+  int epochs = 150;
+  /// Logic-regularizer weight (Eq. 10). NOTE: the losses are applied per
+  /// optimization step, so the effective strength scales with batch_size;
+  /// this default is tuned for batch_size = 256 (Table IV sweeps it).
+  double lambda = 2.0;
+  /// LMNN margin m (Eq. 9). The paper's optimum is 0.1 on the full-scale
+  /// datasets; at our ~1/40 scale distances are larger, so the default is
+  /// rescaled (Table IV regenerates the same interior-optimum shape).
+  double margin = 1.0;
+  int negatives_per_positive = 5;
+  int batch_size = 256;        ///< triplets per optimization step (the
+                               ///< paper uses 10000 at ~40x our scale)
+  double l2 = 1e-4;            ///< weight decay for Euclidean models
+  double grad_clip = 5.0;      ///< per-row gradient norm clip
+  uint64_t seed = 7;
+  bool verbose = false;
+
+  /// Early stopping (LogiRec/LogiRec++ trainer): when > 0, validation
+  /// Recall@10 is computed every `eval_every` epochs and training stops
+  /// after this many evaluations without improvement, restoring the best
+  /// parameters. 0 disables (fixed epoch budget, the bench default).
+  int early_stopping_patience = 0;
+  int eval_every = 10;
+};
+
+/// Common interface: train on the dataset's training fold, then score.
+class Recommender : public eval::Scorer {
+ public:
+  /// Trains the model. `split.train` defines both the supervision and the
+  /// propagation graph; validation/test folds must not leak in.
+  virtual Status Fit(const data::Dataset& dataset,
+                     const data::Split& split) = 0;
+
+  /// Short display name used in the regenerated tables ("BPRMF", ...).
+  virtual std::string name() const = 0;
+
+  /// Geometry of the rows returned by ItemEmbeddings().
+  enum class ItemSpace { kEuclidean, kLorentz, kPoincare };
+
+  /// Optional access to the trained item representation, used by the
+  /// embedding-visualization benches (Figs. 7-8). Null when the model has
+  /// no single item embedding matrix (e.g. NeuMF's two towers).
+  virtual const math::Matrix* ItemEmbeddings() const { return nullptr; }
+  virtual ItemSpace item_space() const { return ItemSpace::kEuclidean; }
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_RECOMMENDER_H_

@@ -1,0 +1,28 @@
+#include "core/train_util.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace logirec::core {
+
+std::vector<std::pair<int, int>> ShuffledTrainPairs(
+    const std::vector<std::vector<int>>& train_items, Rng* rng) {
+  std::vector<std::pair<int, int>> pairs;
+  for (size_t u = 0; u < train_items.size(); ++u) {
+    for (int v : train_items[u]) pairs.emplace_back(static_cast<int>(u), v);
+  }
+  rng->Shuffle(&pairs);
+  return pairs;
+}
+
+std::vector<std::pair<int, int>> BatchRanges(int total, int batch_size) {
+  LOGIREC_CHECK(batch_size > 0);
+  std::vector<std::pair<int, int>> ranges;
+  for (int begin = 0; begin < total; begin += batch_size) {
+    ranges.emplace_back(begin, std::min(begin + batch_size, total));
+  }
+  return ranges;
+}
+
+}  // namespace logirec::core

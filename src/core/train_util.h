@@ -1,0 +1,22 @@
+#ifndef LOGIREC_CORE_TRAIN_UTIL_H_
+#define LOGIREC_CORE_TRAIN_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace logirec::core {
+
+/// Flattens per-user training lists into shuffled (user, item) pairs —
+/// the per-epoch SGD ordering used by every model here.
+std::vector<std::pair<int, int>> ShuffledTrainPairs(
+    const std::vector<std::vector<int>>& train_items, Rng* rng);
+
+/// Yields [begin, end) index ranges over `total` elements in chunks of
+/// `batch_size` (the last chunk may be short).
+std::vector<std::pair<int, int>> BatchRanges(int total, int batch_size);
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_TRAIN_UTIL_H_

@@ -1,0 +1,107 @@
+#include "core/weighting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "hyper/lorentz.h"
+#include "util/logging.h"
+
+namespace logirec::core {
+
+UserWeighting::UserWeighting(
+    const data::Dataset& dataset,
+    const std::vector<std::vector<int>>& train_items,
+    const data::LogicalRelations& relations, int eta) {
+  const int num_users = static_cast<int>(train_items.size());
+  tag_counts_.resize(num_users);
+  total_tags_.assign(num_users, 0);
+  tag_types_.assign(num_users, 0);
+  exclusive_pairs_.assign(num_users, 0);
+  con_.assign(num_users, 1.0);
+  gr_.assign(num_users, 1.0);
+  alpha_.assign(num_users, 1.0);
+
+  // Exclusion lookup: (min, max) tag pair -> level.
+  std::map<std::pair<int, int>, int> exclusion;
+  for (const data::ExclusionPair& e : relations.exclusions) {
+    exclusion[{std::min(e.a, e.b), std::max(e.a, e.b)}] = e.level;
+  }
+
+  for (int u = 0; u < num_users; ++u) {
+    // T_u: all tags of the user's training items, with multiplicity.
+    std::map<int, int> counts;
+    for (int item : train_items[u]) {
+      for (int tag : dataset.item_tags[item]) {
+        ++counts[tag];
+        ++total_tags_[u];
+      }
+    }
+    tag_counts_[u].assign(counts.begin(), counts.end());
+    tag_types_[u] = static_cast<int>(counts.size());
+
+    // TF per tag (Eq. 11). |T_u| >= 2 keeps the log denominator positive.
+    const double denom = std::log(std::max(total_tags_[u], 2));
+    auto tf = [&](int count) { return std::log(count + 1.0) / denom; };
+
+    // Exclusion-weighted penalty (Eq. 12): sum over the user's exclusive
+    // tag pairs of TF_i * TF_j * exp(eta - level).
+    double penalty = 0.0;
+    for (size_t a = 0; a < tag_counts_[u].size(); ++a) {
+      for (size_t b = a + 1; b < tag_counts_[u].size(); ++b) {
+        const int ta = tag_counts_[u][a].first;
+        const int tb = tag_counts_[u][b].first;
+        auto it = exclusion.find({ta, tb});
+        if (it == exclusion.end()) continue;
+        ++exclusive_pairs_[u];
+        const int level = it->second;
+        penalty += tf(tag_counts_[u][a].second) *
+                   tf(tag_counts_[u][b].second) *
+                   std::exp(static_cast<double>(eta - level));
+      }
+    }
+    con_[u] = std::exp(-penalty);
+  }
+}
+
+double UserWeighting::Tf(int user, int tag) const {
+  const double denom = std::log(std::max(total_tags_[user], 2));
+  for (const auto& [t, count] : tag_counts_[user]) {
+    if (t == tag) return std::log(count + 1.0) / denom;
+  }
+  return 0.0;
+}
+
+void UserWeighting::UpdateGranularity(const math::Matrix& user_lorentz) {
+  LOGIREC_CHECK(user_lorentz.rows() == num_users());
+  const math::Vec origin = hyper::LorentzOrigin(user_lorentz.cols());
+  double max_gr = 0.0;
+  for (int u = 0; u < num_users(); ++u) {
+    gr_[u] = hyper::LorentzDistance(origin, user_lorentz.Row(u));
+    max_gr = std::max(max_gr, gr_[u]);
+  }
+  if (max_gr <= 0.0) max_gr = 1.0;
+  double alpha_sum = 0.0;
+  for (int u = 0; u < num_users(); ++u) {
+    // Normalize GR into (0, 1] (floored so alpha never hits zero), then
+    // combine with CON geometrically (Eq. 14).
+    gr_[u] = std::max(gr_[u] / max_gr, 1e-3);
+    alpha_[u] = std::sqrt(con_[u] * gr_[u]);
+    alpha_sum += alpha_[u];
+  }
+  // Rescale the weights to mean 1 (capped), so Eq. 15 *redistributes*
+  // gradient mass toward consistent fine-granularity users instead of
+  // globally shrinking the learning rate — equivalent to the per-method
+  // learning-rate tuning the paper performs, but scale-free.
+  const double mean_alpha =
+      std::max(alpha_sum / std::max(num_users(), 1), 1e-6);
+  for (int u = 0; u < num_users(); ++u) {
+    // Damped redistribution: half uniform, half the Eq. 14 weight. The
+    // damping keeps every user learnable while still shifting gradient
+    // mass toward consistent, fine-granularity users.
+    alpha_[u] = 0.5 + 0.5 * std::min(alpha_[u] / mean_alpha, 3.0);
+  }
+}
+
+}  // namespace logirec::core

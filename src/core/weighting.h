@@ -1,0 +1,61 @@
+#ifndef LOGIREC_CORE_WEIGHTING_H_
+#define LOGIREC_CORE_WEIGHTING_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "math/matrix.h"
+
+namespace logirec::core {
+
+/// Per-user weighting state for LogiRec++ (Section V). Consistency CON_u
+/// (Eq. 12) is static — it depends only on interacted tags and extracted
+/// exclusions — while granularity GR_u (Eq. 13) is recomputed from the
+/// current user embeddings each epoch.
+class UserWeighting {
+ public:
+  /// `train_items[u]` lists user u's training items. `eta` is the number
+  /// of taxonomy levels (the paper sets η = 4).
+  UserWeighting(const data::Dataset& dataset,
+                const std::vector<std::vector<int>>& train_items,
+                const data::LogicalRelations& relations, int eta);
+
+  /// Normalized tag frequency TF(t, T_u) (Eq. 11); 0 when the user never
+  /// interacted with the tag.
+  double Tf(int user, int tag) const;
+
+  /// Consistency CON_u (Eq. 12), in (0, 1].
+  double Con(int user) const { return con_[user]; }
+
+  /// Recomputes granularity GR_u (Eq. 13) = d_H(o, u^H) from the current
+  /// Lorentz user embeddings, then normalizes to (0, 1] by the maximum so
+  /// the geometric mean with CON is scale-free, and refreshes the
+  /// personalized weights alpha_u (Eq. 14).
+  void UpdateGranularity(const math::Matrix& user_lorentz);
+
+  double Gr(int user) const { return gr_[user]; }
+  double Alpha(int user) const { return alpha_[user]; }
+
+  int num_users() const { return static_cast<int>(con_.size()); }
+
+  /// Number of exclusive tag pairs inside user u's interacted tag list
+  /// (diagnostic for Fig. 5-style analyses).
+  int ExclusivePairCount(int user) const { return exclusive_pairs_[user]; }
+
+  /// Number of distinct tag types user u interacted with.
+  int TagTypeCount(int user) const { return tag_types_[user]; }
+
+ private:
+  // Sparse per-user tag occurrence counts (tag id -> count).
+  std::vector<std::vector<std::pair<int, int>>> tag_counts_;
+  std::vector<int> total_tags_;    ///< |T_u| with multiplicity
+  std::vector<int> tag_types_;     ///< distinct tags
+  std::vector<int> exclusive_pairs_;
+  std::vector<double> con_;
+  std::vector<double> gr_;
+  std::vector<double> alpha_;
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_WEIGHTING_H_

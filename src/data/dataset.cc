@@ -1,0 +1,119 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace logirec::data {
+
+double Dataset::DensityPercent() const {
+  if (num_users == 0 || num_items == 0) return 0.0;
+  return 100.0 * static_cast<double>(interactions.size()) /
+         (static_cast<double>(num_users) * num_items);
+}
+
+LogicalRelations Dataset::ExtractRelations(int overlap_tolerance,
+                                           int intersection_support) const {
+  LogicalRelations rel;
+  for (int i = 0; i < num_items; ++i) {
+    for (int t : item_tags[i]) rel.memberships.emplace_back(i, t);
+  }
+  rel.hierarchy = taxonomy.HierarchyPairs();
+  rel.exclusions = taxonomy.ExclusionPairs(item_tags, overlap_tolerance);
+  if (intersection_support > 0) {
+    rel.intersections =
+        taxonomy.IntersectionPairs(item_tags, intersection_support);
+  }
+  return rel;
+}
+
+Status Dataset::Validate() const {
+  if (static_cast<int>(item_tags.size()) != num_items) {
+    return Status::FailedPrecondition(StrFormat(
+        "item_tags has %zu rows but num_items=%d", item_tags.size(),
+        num_items));
+  }
+  for (const Interaction& x : interactions) {
+    if (x.user < 0 || x.user >= num_users) {
+      return Status::OutOfRange(StrFormat("user id %d out of range", x.user));
+    }
+    if (x.item < 0 || x.item >= num_items) {
+      return Status::OutOfRange(StrFormat("item id %d out of range", x.item));
+    }
+  }
+  for (int i = 0; i < num_items; ++i) {
+    for (int t : item_tags[i]) {
+      if (t < 0 || t >= taxonomy.num_tags()) {
+        return Status::OutOfRange(
+            StrFormat("tag id %d out of range on item %d", t, i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+long Split::TrainSize() const {
+  long n = 0;
+  for (const auto& items : train) n += static_cast<long>(items.size());
+  return n;
+}
+
+Split TemporalSplit(const Dataset& dataset, double train_fraction,
+                    double validation_fraction) {
+  LOGIREC_CHECK(train_fraction > 0.0 && validation_fraction >= 0.0 &&
+                train_fraction + validation_fraction < 1.0 + 1e-9);
+  // Bucket interactions per user, keep timestamp order (stable for ties).
+  std::vector<std::vector<std::pair<long, int>>> per_user(dataset.num_users);
+  for (const Interaction& x : dataset.interactions) {
+    per_user[x.user].emplace_back(x.timestamp, x.item);
+  }
+  Split split;
+  split.train.resize(dataset.num_users);
+  split.validation.resize(dataset.num_users);
+  split.test.resize(dataset.num_users);
+  for (int u = 0; u < dataset.num_users; ++u) {
+    auto& events = per_user[u];
+    std::stable_sort(events.begin(), events.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    const int n = static_cast<int>(events.size());
+    if (n < 3) {
+      for (const auto& [ts, item] : events) split.train[u].push_back(item);
+      continue;
+    }
+    int n_train = static_cast<int>(n * train_fraction);
+    int n_val = static_cast<int>(n * validation_fraction);
+    n_train = std::max(n_train, 1);
+    if (n_train + n_val >= n) n_val = std::max(0, n - n_train - 1);
+    for (int i = 0; i < n; ++i) {
+      const int item = events[i].second;
+      if (i < n_train) {
+        split.train[u].push_back(item);
+      } else if (i < n_train + n_val) {
+        split.validation[u].push_back(item);
+      } else {
+        split.test[u].push_back(item);
+      }
+    }
+  }
+  return split;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = dataset.name;
+  stats.num_users = dataset.num_users;
+  stats.num_items = dataset.num_items;
+  stats.num_interactions = static_cast<long>(dataset.interactions.size());
+  stats.density_percent = dataset.DensityPercent();
+  stats.num_tags = dataset.taxonomy.num_tags();
+  const LogicalRelations rel = dataset.ExtractRelations();
+  stats.num_memberships = static_cast<long>(rel.memberships.size());
+  stats.num_hierarchy = static_cast<long>(rel.hierarchy.size());
+  stats.num_exclusions = static_cast<long>(rel.exclusions.size());
+  return stats;
+}
+
+}  // namespace logirec::data

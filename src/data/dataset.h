@@ -1,0 +1,93 @@
+#ifndef LOGIREC_DATA_DATASET_H_
+#define LOGIREC_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/taxonomy.h"
+#include "util/status.h"
+
+namespace logirec::data {
+
+/// One implicit-feedback event.
+struct Interaction {
+  int user;
+  int item;
+  long timestamp;
+};
+
+/// The extracted logical relations that LogiRec consumes (Section IV-B).
+struct LogicalRelations {
+  /// (item, tag) membership pairs — the item-tag matrix Q in COO form.
+  std::vector<std::pair<int, int>> memberships;
+  std::vector<HierarchyPair> hierarchy;
+  std::vector<ExclusionPair> exclusions;
+  /// Future-work extension: demonstrably overlapping tag pairs. Empty
+  /// unless requested through ExtractRelations' `intersection_support`.
+  std::vector<IntersectionPair> intersections;
+};
+
+/// A tagged recommendation dataset: users, items, timestamped implicit
+/// interactions, per-item tag lists and the tag taxonomy.
+struct Dataset {
+  std::string name;
+  int num_users = 0;
+  int num_items = 0;
+  std::vector<Interaction> interactions;
+  /// item_tags[i] lists the tfor item i (the matrix Q, row-wise).
+  std::vector<std::vector<int>> item_tags;
+  Taxonomy taxonomy;
+
+  /// Interactions / (users * items), in percent (Table I convention).
+  double DensityPercent() const;
+
+  /// Extracts the membership/hierarchy/exclusion relations used by the
+  /// logic losses. `overlap_tolerance` passes through to
+  /// Taxonomy::ExclusionPairs. When `intersection_support` > 0, also
+  /// extracts intersection pairs with at least that co-occurrence count.
+  LogicalRelations ExtractRelations(int overlap_tolerance = 0,
+                                    int intersection_support = 0) const;
+
+  /// Validates index ranges; returns an error describing the first
+  /// violation found.
+  Status Validate() const;
+};
+
+/// Train/validation/test splits as per-user item id lists, ordered by
+/// timestamp within each user.
+struct Split {
+  std::vector<std::vector<int>> train;       ///< indexed by user
+  std::vector<std::vector<int>> validation;  ///< indexed by user
+  std::vector<std::vector<int>> test;        ///< indexed by user
+
+  /// Total interactions in the training fold.
+  long TrainSize() const;
+};
+
+/// Temporal per-user split (paper Section VI-A2): the first
+/// `train_fraction` of each user's interactions by timestamp go to train,
+/// the next `validation_fraction` to validation, the remainder to test.
+/// Users with fewer than 3 interactions put everything into train.
+Split TemporalSplit(const Dataset& dataset, double train_fraction = 0.6,
+                    double validation_fraction = 0.2);
+
+/// The statistics row of Table I.
+struct DatasetStats {
+  std::string name;
+  int num_users;
+  int num_items;
+  long num_interactions;
+  double density_percent;
+  int num_tags;
+  long num_memberships;
+  long num_hierarchy;
+  long num_exclusions;
+};
+
+/// Computes Table I statistics (relations extracted with the default
+/// tolerance).
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace logirec::data
+
+#endif  // LOGIREC_DATA_DATASET_H_

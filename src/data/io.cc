@@ -1,0 +1,100 @@
+#include "data/io.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace logirec::data {
+
+Status SaveDataset(const Dataset& dataset, const std::string& dir) {
+  CsvTable inter;
+  inter.header = {"user", "item", "timestamp"};
+  for (const Interaction& x : dataset.interactions) {
+    inter.rows.push_back({StrFormat("%d", x.user), StrFormat("%d", x.item),
+                          StrFormat("%ld", x.timestamp)});
+  }
+  LOGIREC_RETURN_IF_ERROR(WriteCsv(dir + "/interactions.csv", inter));
+
+  CsvTable tags;
+  tags.header = {"item", "tag"};
+  for (int i = 0; i < dataset.num_items; ++i) {
+    for (int t : dataset.item_tags[i]) {
+      tags.rows.push_back({StrFormat("%d", i), StrFormat("%d", t)});
+    }
+  }
+  LOGIREC_RETURN_IF_ERROR(WriteCsv(dir + "/item_tags.csv", tags));
+
+  CsvTable taxo;
+  taxo.header = {"tag", "name", "parent"};
+  for (int t = 0; t < dataset.taxonomy.num_tags(); ++t) {
+    const Tag& tag = dataset.taxonomy.tag(t);
+    taxo.rows.push_back(
+        {StrFormat("%d", t), tag.name, StrFormat("%d", tag.parent)});
+  }
+  return WriteCsv(dir + "/taxonomy.csv", taxo);
+}
+
+Result<Dataset> LoadDataset(const std::string& dir, const std::string& name) {
+  Dataset out;
+  out.name = name;
+
+  auto taxo = ReadCsv(dir + "/taxonomy.csv");
+  if (!taxo.ok()) return taxo.status();
+  for (const auto& row : taxo->rows) {
+    if (row.size() != 3) return Status::IoError("bad taxonomy row");
+    auto parent = ParseInt(row[2]);
+    if (!parent.ok()) return parent.status();
+    // Tags are written top-down, so a valid parent is -1 or an already
+    // loaded id; anything else is a corrupt file, not a crash.
+    if (*parent < -1 || *parent >= out.taxonomy.num_tags()) {
+      return Status::IoError(
+          StrFormat("taxonomy row references parent %d before it exists",
+                    *parent));
+    }
+    out.taxonomy.AddTag(row[1], *parent);
+  }
+
+  auto inter = ReadCsv(dir + "/interactions.csv");
+  if (!inter.ok()) return inter.status();
+  int max_user = -1, max_item = -1;
+  for (const auto& row : inter->rows) {
+    if (row.size() != 3) return Status::IoError("bad interaction row");
+    auto user = ParseInt(row[0]);
+    auto item = ParseInt(row[1]);
+    auto ts = ParseInt(row[2]);
+    if (!user.ok() || !item.ok() || !ts.ok()) {
+      return Status::IoError("non-numeric interaction row");
+    }
+    if (*user < 0 || *item < 0) {
+      return Status::IoError("negative id in interaction row");
+    }
+    out.interactions.push_back({*user, *item, static_cast<long>(*ts)});
+    max_user = std::max(max_user, *user);
+    max_item = std::max(max_item, *item);
+  }
+  out.num_users = max_user + 1;
+
+  auto tags = ReadCsv(dir + "/item_tags.csv");
+  if (!tags.ok()) return tags.status();
+  for (const auto& row : tags->rows) {
+    if (row.size() != 2) return Status::IoError("bad item_tags row");
+    auto item = ParseInt(row[0]);
+    if (!item.ok()) return item.status();
+    max_item = std::max(max_item, *item);
+  }
+  out.num_items = max_item + 1;
+  out.item_tags.resize(out.num_items);
+  for (const auto& row : tags->rows) {
+    auto item = ParseInt(row[0]);
+    auto tag = ParseInt(row[1]);
+    if (!item.ok() || !tag.ok()) return Status::IoError("non-numeric tag row");
+    out.item_tags[*item].push_back(*tag);
+  }
+
+  Status valid = out.Validate();
+  if (!valid.ok()) return valid;
+  return out;
+}
+
+}  // namespace logirec::data

@@ -1,0 +1,24 @@
+#ifndef LOGIREC_DATA_IO_H_
+#define LOGIREC_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace logirec::data {
+
+/// Persists `dataset` into `dir` as three CSV files:
+///   interactions.csv  (user,item,timestamp)
+///   item_tags.csv     (item,tag)
+///   taxonomy.csv      (tag,name,parent)
+/// The directory must already exist.
+Status SaveDataset(const Dataset& dataset, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset. User/item counts are
+/// inferred as max id + 1.
+Result<Dataset> LoadDataset(const std::string& dir,
+                            const std::string& name = "loaded");
+
+}  // namespace logirec::data
+
+#endif  // LOGIREC_DATA_IO_H_

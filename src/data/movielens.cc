@@ -1,0 +1,113 @@
+#include "data/movielens.h"
+
+#include <fstream>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace logirec::data {
+namespace {
+
+/// Splits on a multi-character separator.
+std::vector<std::string> SplitOn(const std::string& line,
+                                 const std::string& sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + sep.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Dataset> LoadMovieLens(const std::string& ratings_path,
+                              const std::string& items_path,
+                              const MovieLensOptions& options) {
+  std::ifstream items_in(items_path);
+  if (!items_in) return Status::IoError("cannot open " + items_path);
+
+  // --- items & genres ------------------------------------------------------
+  Dataset out;
+  out.name = "movielens";
+  std::map<long, int> item_index;     // raw id -> dense id
+  std::map<std::string, int> genres;  // genre name -> tag id
+  std::string line;
+  while (std::getline(items_in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto fields = SplitOn(line, options.separator);
+    if (fields.size() < 3) {
+      return Status::IoError("bad items row: " + line);
+    }
+    auto raw_id = ParseInt(fields[0]);
+    if (!raw_id.ok()) return raw_id.status();
+    const int dense = static_cast<int>(item_index.size());
+    if (!item_index.emplace(*raw_id, dense).second) {
+      return Status::AlreadyExists(
+          StrFormat("duplicate item id %d", *raw_id));
+    }
+    std::vector<int> tags;
+    for (const std::string& genre : ::logirec::Split(fields[2], '|')) {
+      const std::string name(Trim(genre));
+      if (name.empty() || name == "(no genres listed)") continue;
+      auto it = genres.find(name);
+      if (it == genres.end()) {
+        it = genres.emplace(name, out.taxonomy.AddTag(name)).first;
+      }
+      tags.push_back(it->second);
+    }
+    out.item_tags.push_back(std::move(tags));
+  }
+  out.num_items = static_cast<int>(item_index.size());
+  if (out.num_items == 0) return Status::IoError("no items in " + items_path);
+
+  // --- ratings -> implicit positives --------------------------------------
+  std::ifstream ratings_in(ratings_path);
+  if (!ratings_in) return Status::IoError("cannot open " + ratings_path);
+  std::map<long, std::vector<Interaction>> per_user;  // raw user id
+  while (std::getline(ratings_in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto fields = SplitOn(line, options.separator);
+    if (fields.size() < 4) {
+      return Status::IoError("bad ratings row: " + line);
+    }
+    auto user = ParseInt(fields[0]);
+    auto item = ParseInt(fields[1]);
+    auto rating = ParseDouble(fields[2]);
+    auto ts = ParseInt(fields[3]);
+    if (!user.ok() || !item.ok() || !rating.ok() || !ts.ok()) {
+      return Status::IoError("non-numeric ratings row: " + line);
+    }
+    if (*rating < options.positive_threshold) continue;
+    auto it = item_index.find(*item);
+    if (it == item_index.end()) continue;  // rating for an unknown item
+    per_user[*user].push_back({0, it->second, static_cast<long>(*ts)});
+  }
+
+  // --- k-core on users & dense re-indexing --------------------------------
+  for (auto& [raw_user, events] : per_user) {
+    if (static_cast<int>(events.size()) < options.min_interactions) continue;
+    const int dense_user = out.num_users++;
+    for (Interaction& x : events) {
+      x.user = dense_user;
+      out.interactions.push_back(x);
+    }
+  }
+  if (out.num_users == 0) {
+    return Status::FailedPrecondition(
+        "no users survive the min_interactions filter");
+  }
+  LOGIREC_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace logirec::data

@@ -1,0 +1,34 @@
+#ifndef LOGIREC_DATA_MOVIELENS_H_
+#define LOGIREC_DATA_MOVIELENS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace logirec::data {
+
+/// Options for loading MovieLens-style dumps into a tagged Dataset.
+struct MovieLensOptions {
+  /// Field separator of the ratings/items files ("::" for the classic
+  /// ML-1M dumps, "\t" for ML-100k, "," for CSV exports).
+  std::string separator = "::";
+  /// Ratings at or above this threshold become positive implicit
+  /// interactions; lower ratings are dropped.
+  double positive_threshold = 4.0;
+  /// Users with fewer positives than this are dropped (k-core filtering).
+  int min_interactions = 5;
+};
+
+/// Loads a MovieLens-style pair of files:
+///   ratings file: user<sep>item<sep>rating<sep>timestamp
+///   items file:   item<sep>title<sep>genre|genre|...
+/// Genres become a 1-level tag taxonomy (the paper's pipeline would build
+/// deeper levels with an automatic taxonomy constructor; genre dumps only
+/// carry one level). User/item ids are re-indexed densely.
+Result<Dataset> LoadMovieLens(const std::string& ratings_path,
+                              const std::string& items_path,
+                              const MovieLensOptions& options = {});
+
+}  // namespace logirec::data
+
+#endif  // LOGIREC_DATA_MOVIELENS_H_

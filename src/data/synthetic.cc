@@ -1,0 +1,321 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace logirec::data {
+namespace {
+
+/// Themed tag-name pools so that case studies (Table V) read like the
+/// paper. Names are consumed per level; exhausted pools fall back to
+/// generated names.
+struct NamePools {
+  std::vector<std::string> top;
+  std::vector<std::string> mid;
+  std::vector<std::string> fine;
+};
+
+NamePools PoolsForTheme(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower.find("cd") != std::string::npos ||
+      lower.find("music") != std::string::npos) {
+    return {
+        {"Rock", "Classical", "Jazz", "Pop", "Electronic", "Latin Music"},
+        {"Hard Rock", "Alternative Rock", "Punk Rock", "Blues Rock",
+         "Opera", "Symphony", "Ballets & Dances", "Vocal Jazz", "Bebop",
+         "Synth Pop", "Dance Pop", "Goth & Industrial", "Indie & Lo-Fi",
+         "Hardcore & Punk", "Forms & Genres"},
+        {"Heavy Metal", "Metal", "British Alternative", "American Alternative",
+         "Industrial", "Industrial Dance", "EBM", "Post Punk", "Ska Punk",
+         "Delta Blues", "Chicago Blues", "Chamber Music", "Baroque",
+         "Romantic Era", "Free Jazz", "Cool Jazz", "Europop", "K-Pop"},
+    };
+  }
+  if (lower.find("book") != std::string::npos) {
+    return {
+        {"Romance", "Mystery", "Science Fiction", "Teen & Young Adult",
+         "History", "Fantasy"},
+        {"Romantic Comedy", "Romantic Suspense", "Fantasy Romance",
+         "Cozy Mystery", "Legal Thriller", "Hard SF", "Space Opera",
+         "Epic Fantasy", "Urban Fantasy", "Ancient History",
+         "Modern History", "Coming of Age"},
+        {"Grumpy Sunshine", "Enemies to Lovers", "Small Town Romance",
+         "Locked Room", "Police Procedural", "Cyberpunk", "First Contact",
+         "Sword & Sorcery", "Mythic Retelling", "Roman Empire",
+         "World War II", "High School Drama"},
+    };
+  }
+  if (lower.find("cloth") != std::string::npos) {
+    return {
+        {"Men", "Women", "Kids", "Shoes", "Accessories", "Sportswear"},
+        {"Shirts", "Trousers", "Dresses", "Skirts", "Jackets", "Sneakers",
+         "Boots", "Sandals", "Hats", "Bags", "Running", "Yoga"},
+        {"Oxford Shirts", "Flannel Shirts", "Chinos", "Denim", "Maxi Dresses",
+         "Cocktail Dresses", "Bomber Jackets", "Parkas", "Trail Runners",
+         "High Tops", "Beanies", "Totes"},
+    };
+  }
+  // Ciao-like general products.
+  return {
+      {"Electronics", "Home & Garden", "Beauty", "Toys"},
+      {"Cameras", "Audio", "Kitchen", "Furniture", "Skincare", "Makeup",
+       "Board Games", "Outdoor Play"},
+      {"DSLR", "Mirrorless", "Headphones", "Speakers", "Cookware",
+       "Small Appliances", "Sofas", "Desks", "Moisturizers", "Serums"},
+  };
+}
+
+std::string TakeName(std::vector<std::string>* pool, Rng* rng, int level,
+                     int ordinal) {
+  if (!pool->empty()) {
+    const int idx = rng->UniformInt(static_cast<int>(pool->size()));
+    std::string name = (*pool)[idx];
+    pool->erase(pool->begin() + idx);
+    return name;
+  }
+  return StrFormat("Tag-L%d-%03d", level, ordinal);
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  Rng rng(config.seed);
+  Dataset out;
+  out.name = config.name;
+  out.num_users = config.num_users;
+  out.num_items = config.num_items;
+
+  // ---- 1. taxonomy -------------------------------------------------------
+  NamePools pools = PoolsForTheme(config.name);
+  std::vector<int> frontier;
+  for (int t = 0; t < config.top_level_tags; ++t) {
+    frontier.push_back(
+        out.taxonomy.AddTag(TakeName(&pools.top, &rng, 1, t), -1));
+  }
+  for (int level = 2; level <= config.levels; ++level) {
+    std::vector<int> next;
+    auto* pool = (level == 2) ? &pools.mid : &pools.fine;
+    int ordinal = 0;
+    for (int parent : frontier) {
+      if (level > 2 && rng.Bernoulli(config.early_leaf_prob)) continue;
+      const int kids =
+          rng.UniformInt(config.branching_min, config.branching_max);
+      for (int k = 0; k < kids; ++k) {
+        next.push_back(out.taxonomy.AddTag(
+            TakeName(pool, &rng, level, ordinal++), parent));
+      }
+    }
+    if (next.empty()) break;
+    frontier = std::move(next);
+  }
+
+  const std::vector<int> leaves = out.taxonomy.Leaves();
+  LOGIREC_CHECK(!leaves.empty());
+
+  // ---- 2. overlapping sibling pairs --------------------------------------
+  // Pairs the taxonomy will call exclusive, but whose audiences genuinely
+  // overlap. Keyed by the lower tag id; maps to the overlapping sibling.
+  std::vector<int> overlap_partner(out.taxonomy.num_tags(), -1);
+  for (int p = 0; p < out.taxonomy.num_tags(); ++p) {
+    const auto& kids = out.taxonomy.tag(p).children;
+    for (size_t a = 0; a < kids.size(); ++a) {
+      for (size_t b = a + 1; b < kids.size(); ++b) {
+        if (overlap_partner[kids[a]] == -1 && overlap_partner[kids[b]] == -1 &&
+            rng.Bernoulli(config.overlap_sibling_prob)) {
+          overlap_partner[kids[a]] = kids[b];
+          overlap_partner[kids[b]] = kids[a];
+        }
+      }
+    }
+  }
+
+  // ---- 3. items -----------------------------------------------------------
+  // Leaf popularity: Zipf over a shuffled leaf order.
+  std::vector<int> leaf_order = leaves;
+  rng.Shuffle(&leaf_order);
+  std::vector<int> item_leaf(config.num_items);
+  out.item_tags.resize(config.num_items);
+  for (int i = 0; i < config.num_items; ++i) {
+    const int leaf =
+        leaf_order[rng.Zipf(static_cast<int>(leaf_order.size()),
+                            config.zipf_leaf)];
+    item_leaf[i] = leaf;  // behavioural cluster = true leaf, always
+    if (rng.Bernoulli(config.missing_tag_prob)) {
+      continue;  // untagged item (incomplete taxonomy coverage)
+    }
+    // Observed leaf: occasionally a mislabel onto a random other leaf;
+    // the recorded ancestors follow the observed (possibly wrong) leaf so
+    // Q stays lineage-consistent.
+    int observed = leaf;
+    if (rng.Bernoulli(config.wrong_tag_prob)) {
+      observed = leaves[rng.UniformInt(static_cast<int>(leaves.size()))];
+    }
+    out.item_tags[i].push_back(observed);
+    for (int anc : out.taxonomy.Ancestors(observed)) {
+      if (rng.Bernoulli(config.ancestor_tag_prob)) {
+        out.item_tags[i].push_back(anc);
+      }
+    }
+  }
+
+  // Items under each tag's subtree (by their leaf assignment).
+  std::vector<std::vector<int>> items_under(out.taxonomy.num_tags());
+  for (int i = 0; i < config.num_items; ++i) {
+    int cur = item_leaf[i];
+    while (cur >= 0) {
+      items_under[cur].push_back(i);
+      cur = out.taxonomy.tag(cur).parent;
+    }
+  }
+
+  // ---- 4. users & interactions -------------------------------------------
+  const std::vector<int> level2 = out.taxonomy.TagsAtLevel(
+      std::min(2, out.taxonomy.num_levels()));
+  const std::vector<int> level1 = out.taxonomy.TagsAtLevel(1);
+
+  auto pick_in_subtree = [&](int tag) -> int {
+    const auto& pool = items_under[tag];
+    if (pool.empty()) return rng.UniformInt(config.num_items);
+    return pool[rng.Zipf(static_cast<int>(pool.size()), config.zipf_item)];
+  };
+
+  for (int u = 0; u < config.num_users; ++u) {
+    // Archetype.
+    const double archetype = rng.Uniform();
+    std::vector<int> focus_tags;
+    if (archetype < config.frac_specific) {
+      focus_tags.push_back(leaves[rng.UniformInt(
+          static_cast<int>(leaves.size()))]);
+    } else if (archetype < config.frac_specific + config.frac_coarse) {
+      const auto& pool = level2.empty() ? level1 : level2;
+      focus_tags.push_back(pool[rng.UniformInt(
+          static_cast<int>(pool.size()))]);
+    } else {
+      // Diverse user: 2-4 distinct top-level genres.
+      std::vector<int> tops = level1;
+      rng.Shuffle(&tops);
+      const int k = std::min<int>(rng.UniformInt(2, 4),
+                                  static_cast<int>(tops.size()));
+      focus_tags.assign(tops.begin(), tops.begin() + k);
+    }
+
+    const double raw = config.interactions_per_user *
+                       std::exp(rng.Gaussian(0.0, config.interactions_spread));
+    const int count = std::max(6, static_cast<int>(std::lround(raw)));
+
+    std::set<int> seen;
+    long ts = 0;
+    int attempts = 0;
+    while (static_cast<int>(seen.size()) < count &&
+           attempts < count * 20) {
+      ++attempts;
+      int item;
+      if (rng.Bernoulli(config.noise_interaction_prob)) {
+        item = rng.UniformInt(config.num_items);
+      } else {
+        int focus = focus_tags[rng.UniformInt(
+            static_cast<int>(focus_tags.size()))];
+        // Behavioural overlap: focus users spill into the genuinely
+        // overlapping sibling subtree even though the taxonomy calls the
+        // two tags exclusive.
+        if (overlap_partner[focus] != -1 &&
+            rng.Bernoulli(config.overlap_spill_prob)) {
+          focus = overlap_partner[focus];
+        }
+        item = pick_in_subtree(focus);
+      }
+      if (seen.insert(item).second) {
+        out.interactions.push_back({u, item, ts++});
+      }
+    }
+  }
+
+  LOGIREC_CHECK(out.Validate().ok());
+  return out;
+}
+
+SyntheticConfig CiaoLikeConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "Ciao";
+  c.num_users = static_cast<int>(240 * scale);
+  c.num_items = static_cast<int>(420 * scale);
+  c.levels = 2;
+  c.top_level_tags = 8;
+  c.branching_min = 2;
+  c.branching_max = 3;
+  c.interactions_per_user = 20.0;
+  c.overlap_sibling_prob = 0.10;
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig CdLikeConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "CD";
+  c.num_users = static_cast<int>(560 * scale);
+  c.num_items = static_cast<int>(520 * scale);
+  c.levels = 4;
+  c.top_level_tags = 5;
+  c.branching_min = 2;
+  c.branching_max = 4;
+  c.interactions_per_user = 16.0;
+  c.overlap_sibling_prob = 0.12;
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig ClothingLikeConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "Clothing";
+  c.num_users = static_cast<int>(760 * scale);
+  c.num_items = static_cast<int>(600 * scale);
+  c.levels = 4;
+  c.top_level_tags = 6;
+  c.branching_min = 3;
+  c.branching_max = 5;
+  c.early_leaf_prob = 0.05;
+  c.interactions_per_user = 11.0;
+  c.overlap_sibling_prob = 0.16;
+  c.seed = seed;
+  return c;
+}
+
+SyntheticConfig BookLikeConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "Book";
+  c.num_users = static_cast<int>(820 * scale);
+  c.num_items = static_cast<int>(760 * scale);
+  c.levels = 4;
+  c.top_level_tags = 6;
+  c.branching_min = 2;
+  c.branching_max = 4;
+  c.interactions_per_user = 26.0;
+  c.overlap_sibling_prob = 0.12;
+  c.seed = seed;
+  return c;
+}
+
+Result<Dataset> GenerateBenchmarkDataset(const std::string& which,
+                                         double scale, uint64_t seed) {
+  const std::string key = ToLower(which);
+  if (key == "ciao") {
+    return GenerateSynthetic(CiaoLikeConfig(scale, seed ? seed : 11));
+  }
+  if (key == "cd") {
+    return GenerateSynthetic(CdLikeConfig(scale, seed ? seed : 22));
+  }
+  if (key == "clothing") {
+    return GenerateSynthetic(ClothingLikeConfig(scale, seed ? seed : 33));
+  }
+  if (key == "book") {
+    return GenerateSynthetic(BookLikeConfig(scale, seed ? seed : 44));
+  }
+  return Status::InvalidArgument("unknown benchmark dataset: " + which);
+}
+
+}  // namespace logirec::data

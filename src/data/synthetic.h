@@ -1,0 +1,81 @@
+#ifndef LOGIREC_DATA_SYNTHETIC_H_
+#define LOGIREC_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace logirec::data {
+
+/// Configuration for the synthetic benchmark-dataset generator.
+///
+/// The generator plants the structure that drives the paper's evaluation:
+///  * a tag taxonomy of `levels` levels with Zipf-popular leaves;
+///  * items carrying a leaf tag plus probabilistic ancestor memberships
+///    (the item-tag matrix Q);
+///  * "overlapping" sibling tag pairs — the taxonomy says they are
+///    exclusive but user behaviour crosses them (the <Heavy Metal> vs
+///    <Metal> situation that motivates LogiRec++'s relation mining);
+///  * users of three archetypes — *specific* (focus on one leaf,
+///    fine granularity), *coarse* (focus on a level-2 subtree), and
+///    *diverse* (several top-level genres) — matching the consistency /
+///    granularity analysis of Section V.
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  int num_users = 300;
+  int num_items = 400;
+
+  // --- taxonomy shape ---
+  int levels = 4;            ///< taxonomy depth η
+  int top_level_tags = 4;    ///< number of level-1 tags
+  int branching_min = 2;     ///< children per internal node (uniform range)
+  int branching_max = 4;
+  double early_leaf_prob = 0.15;  ///< chance an internal node stops early
+
+  // --- item/tag assignment ---
+  double zipf_leaf = 0.6;         ///< leaf popularity skew for items
+  double ancestor_tag_prob = 0.55; ///< chance each ancestor joins Q
+  double overlap_sibling_prob = 0.12; ///< fraction of sibling pairs that
+                                      ///< genuinely overlap in behaviour
+  /// Tag noise (real-world taxonomies are incomplete and partly wrong —
+  /// the paper's core motivation). `missing_tag_prob` items carry no tags
+  /// at all; `wrong_tag_prob` items are tagged with a random other leaf
+  /// (and that leaf's ancestors), while their *behavioural* cluster stays
+  /// the true one.
+  double missing_tag_prob = 0.05;
+  double wrong_tag_prob = 0.02;
+
+  // --- user behaviour ---
+  double interactions_per_user = 18.0;
+  double interactions_spread = 0.5;   ///< lognormal sigma of per-user count
+  double frac_specific = 0.40;        ///< leaf-focused users
+  double frac_coarse = 0.35;          ///< level-2-focused users
+  double noise_interaction_prob = 0.08; ///< uniform out-of-focus clicks
+  double overlap_spill_prob = 0.35;   ///< focus users crossing into an
+                                      ///< overlapping sibling subtree
+  double zipf_item = 0.8;             ///< item popularity skew in a subtree
+
+  uint64_t seed = 1;
+};
+
+/// Generates a dataset from `config`. Deterministic in `config.seed`.
+Dataset GenerateSynthetic(const SyntheticConfig& config);
+
+/// Presets mirroring the shape of the paper's four benchmarks (Table I) at
+/// roughly 1/40 scale. `scale` multiplies user/item counts (1.0 = preset
+/// default); relative density ordering (Ciao densest, Clothing sparsest,
+/// Book largest) is preserved.
+SyntheticConfig CiaoLikeConfig(double scale = 1.0, uint64_t seed = 11);
+SyntheticConfig CdLikeConfig(double scale = 1.0, uint64_t seed = 22);
+SyntheticConfig ClothingLikeConfig(double scale = 1.0, uint64_t seed = 33);
+SyntheticConfig BookLikeConfig(double scale = 1.0, uint64_t seed = 44);
+
+/// Convenience: generates one of "ciao", "cd", "clothing", "book".
+Result<Dataset> GenerateBenchmarkDataset(const std::string& which,
+                                         double scale = 1.0,
+                                         uint64_t seed = 0);
+
+}  // namespace logirec::data
+
+#endif  // LOGIREC_DATA_SYNTHETIC_H_

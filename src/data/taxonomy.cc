@@ -1,0 +1,146 @@
+#include "data/taxonomy.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace logirec::data {
+
+int Taxonomy::AddTag(std::string name, int parent) {
+  const int id = static_cast<int>(tags_.size());
+  Tag tag;
+  tag.name = std::move(name);
+  tag.parent = parent;
+  if (parent >= 0) {
+    LOGIREC_CHECK(parent < id);
+    tag.level = tags_[parent].level + 1;
+    tags_[parent].children.push_back(id);
+  } else {
+    tag.level = 1;
+  }
+  max_level_ = std::max(max_level_, tag.level);
+  tags_.push_back(std::move(tag));
+  return id;
+}
+
+std::vector<int> Taxonomy::TagsAtLevel(int level) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_tags(); ++i) {
+    if (tags_[i].level == level) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Taxonomy::Leaves() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_tags(); ++i) {
+    if (tags_[i].children.empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Taxonomy::Ancestors(int id) const {
+  std::vector<int> out;
+  int cur = tags_[id].parent;
+  while (cur >= 0) {
+    out.push_back(cur);
+    cur = tags_[cur].parent;
+  }
+  return out;
+}
+
+bool Taxonomy::IsAncestorOrSelf(int ancestor, int id) const {
+  int cur = id;
+  while (cur >= 0) {
+    if (cur == ancestor) return true;
+    cur = tags_[cur].parent;
+  }
+  return false;
+}
+
+std::vector<HierarchyPair> Taxonomy::HierarchyPairs() const {
+  std::vector<HierarchyPair> out;
+  for (int i = 0; i < num_tags(); ++i) {
+    if (tags_[i].parent >= 0) out.push_back({tags_[i].parent, i});
+  }
+  return out;
+}
+
+std::vector<ExclusionPair> Taxonomy::ExclusionPairs(
+    const std::vector<std::vector<int>>& item_tags,
+    int overlap_tolerance) const {
+  // Count item co-occurrence for sibling tag pairs ("common child"
+  // evidence at the item level).
+  std::map<std::pair<int, int>, int> cooccur;
+  for (const auto& tags_of_item : item_tags) {
+    for (size_t a = 0; a < tags_of_item.size(); ++a) {
+      for (size_t b = a + 1; b < tags_of_item.size(); ++b) {
+        int x = tags_of_item[a], y = tags_of_item[b];
+        if (x > y) std::swap(x, y);
+        ++cooccur[{x, y}];
+      }
+    }
+  }
+
+  std::vector<ExclusionPair> out;
+  for (int p = -1; p < num_tags(); ++p) {
+    // Collect the sibling group under parent `p` (p == -1 is the virtual
+    // root, making top-level tags mutually exclusive candidates).
+    std::vector<int> siblings;
+    if (p == -1) {
+      for (int i = 0; i < num_tags(); ++i) {
+        if (tags_[i].parent == -1) siblings.push_back(i);
+      }
+    } else {
+      siblings = tags_[p].children;
+    }
+    for (size_t a = 0; a < siblings.size(); ++a) {
+      for (size_t b = a + 1; b < siblings.size(); ++b) {
+        int x = siblings[a], y = siblings[b];
+        if (x > y) std::swap(x, y);
+        auto it = cooccur.find({x, y});
+        const int overlap = (it == cooccur.end()) ? 0 : it->second;
+        if (overlap <= overlap_tolerance) {
+          out.push_back({x, y, tags_[x].level});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<IntersectionPair> Taxonomy::IntersectionPairs(
+    const std::vector<std::vector<int>>& item_tags, int min_support) const {
+  std::map<std::pair<int, int>, int> cooccur;
+  for (const auto& tags_of_item : item_tags) {
+    for (size_t a = 0; a < tags_of_item.size(); ++a) {
+      for (size_t b = a + 1; b < tags_of_item.size(); ++b) {
+        int x = tags_of_item[a], y = tags_of_item[b];
+        if (x > y) std::swap(x, y);
+        ++cooccur[{x, y}];
+      }
+    }
+  }
+  std::vector<IntersectionPair> out;
+  for (const auto& [pair, support] : cooccur) {
+    if (support < min_support) continue;
+    // Ancestor pairs are hierarchy, not intersection.
+    if (IsAncestorOrSelf(pair.first, pair.second) ||
+        IsAncestorOrSelf(pair.second, pair.first)) {
+      continue;
+    }
+    out.push_back({pair.first, pair.second, support});
+  }
+  return out;
+}
+
+int Taxonomy::FindByName(const std::string& name) const {
+  for (int i = 0; i < num_tags(); ++i) {
+    if (tags_[i].name == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace logirec::data

@@ -1,0 +1,96 @@
+#ifndef LOGIREC_DATA_TAXONOMY_H_
+#define LOGIREC_DATA_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace logirec::data {
+
+/// One tag node in the taxonomy tree.
+struct Tag {
+  std::string name;
+  int parent = -1;             ///< -1 for top-level tags.
+  int level = 1;               ///< 1 = top level, growing downward.
+  std::vector<int> children;
+};
+
+/// A (parent, child) hierarchical relation between tags.
+struct HierarchyPair {
+  int parent;
+  int child;
+};
+
+/// An exclusive relation between two tags at the same level.
+struct ExclusionPair {
+  int a;
+  int b;
+  int level;  ///< taxonomy level of both tags (exclusions are per-level).
+};
+
+/// An intersection relation: two tags whose extensions demonstrably
+/// overlap (the set-theoretic relation the paper lists as future work).
+struct IntersectionPair {
+  int a;
+  int b;
+  int support;  ///< number of items carrying both tags
+};
+
+/// A rooted tag taxonomy (forest under a virtual root). Tags are added
+/// top-down; parents must exist before their children.
+class Taxonomy {
+ public:
+  /// Adds a tag under `parent` (-1 for top level). Returns its id.
+  int AddTag(std::string name, int parent = -1);
+
+  int num_tags() const { return static_cast<int>(tags_.size()); }
+  const Tag& tag(int id) const { return tags_[id]; }
+  const std::vector<Tag>& tags() const { return tags_; }
+
+  /// Deepest level in the tree (η in the paper; 0 when empty).
+  int num_levels() const { return max_level_; }
+
+  /// Ids of all tags at `level`.
+  std::vector<int> TagsAtLevel(int level) const;
+
+  /// Ids of leaf tags (no children).
+  std::vector<int> Leaves() const;
+
+  /// All ancestors of `id`, nearest first (excludes `id` itself).
+  std::vector<int> Ancestors(int id) const;
+
+  /// True if `ancestor` lies on the path from `id` to its top-level root
+  /// (or equals `id`).
+  bool IsAncestorOrSelf(int ancestor, int id) const;
+
+  /// All (parent, child) edges — the paper's hierarchical relations.
+  std::vector<HierarchyPair> HierarchyPairs() const;
+
+  /// Exclusive relations per the taxonomy-derivation rule of Xiong et al.:
+  /// two same-level tags sharing the same parent with no common child are
+  /// exclusive. `item_tags` (per-item tag lists) supplies the "common
+  /// child" evidence: siblings that co-occur on more than
+  /// `overlap_tolerance` items are NOT emitted as exclusive.
+  std::vector<ExclusionPair> ExclusionPairs(
+      const std::vector<std::vector<int>>& item_tags,
+      int overlap_tolerance = 0) const;
+
+  /// Intersection relations (future-work extension of the paper): pairs
+  /// of tags, neither an ancestor of the other, that co-occur on at least
+  /// `min_support` items.
+  std::vector<IntersectionPair> IntersectionPairs(
+      const std::vector<std::vector<int>>& item_tags,
+      int min_support = 2) const;
+
+  /// Finds a tag id by name (-1 if absent).
+  int FindByName(const std::string& name) const;
+
+ private:
+  std::vector<Tag> tags_;
+  int max_level_ = 0;
+};
+
+}  // namespace logirec::data
+
+#endif  // LOGIREC_DATA_TAXONOMY_H_

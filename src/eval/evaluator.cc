@@ -1,0 +1,86 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace logirec::eval {
+
+double EvalResult::Get(const std::string& key) const {
+  auto it = mean.find(key);
+  LOGIREC_CHECK_MSG(it != mean.end(), "missing metric " + key);
+  return it->second;
+}
+
+Evaluator::Evaluator(const data::Split* split, int num_items,
+                     std::vector<int> ks)
+    : split_(split), num_items_(num_items), ks_(std::move(ks)) {
+  LOGIREC_CHECK(!ks_.empty());
+}
+
+EvalResult Evaluator::Evaluate(const Scorer& scorer,
+                               bool use_validation) const {
+  const int num_users = static_cast<int>(split_->train.size());
+  const int max_k = *std::max_element(ks_.begin(), ks_.end());
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+
+  // Per-user metric rows (kept in user order, empty-test users skipped).
+  struct Row {
+    int user;
+    std::vector<double> values;  // ks_ x {recall, ndcg}
+  };
+  std::vector<Row> rows(num_users);
+  std::vector<char> active(num_users, 0);
+
+  ParallelFor(0, num_users, [&](int u) {
+    const std::vector<int>& truth =
+        use_validation ? split_->validation[u] : split_->test[u];
+    if (truth.empty()) return;
+
+    std::vector<double> scores(num_items_);
+    scorer.ScoreItems(u, &scores);
+    // Mask items the model has already seen for this user.
+    for (int v : split_->train[u]) scores[v] = neg_inf;
+    if (!use_validation) {
+      for (int v : split_->validation[u]) scores[v] = neg_inf;
+    }
+
+    const std::vector<int> ranked = TopK(scores, max_k);
+    Row row;
+    row.user = u;
+    for (int k : ks_) {
+      row.values.push_back(100.0 * RecallAtK(ranked, truth, k));
+      row.values.push_back(100.0 * NdcgAtK(ranked, truth, k));
+    }
+    rows[u] = std::move(row);
+    active[u] = 1;
+  });
+
+  EvalResult result;
+  for (size_t ki = 0; ki < ks_.size(); ++ki) {
+    const std::string recall_key = StrFormat("Recall@%d", ks_[ki]);
+    const std::string ndcg_key = StrFormat("NDCG@%d", ks_[ki]);
+    auto& recall_vec = result.per_user[recall_key];
+    auto& ndcg_vec = result.per_user[ndcg_key];
+    for (int u = 0; u < num_users; ++u) {
+      if (!active[u]) continue;
+      recall_vec.push_back(rows[u].values[2 * ki]);
+      ndcg_vec.push_back(rows[u].values[2 * ki + 1]);
+    }
+  }
+  for (const auto& [key, vec] : result.per_user) {
+    double sum = 0.0;
+    for (double v : vec) sum += v;
+    result.mean[key] = vec.empty() ? 0.0 : sum / vec.size();
+  }
+  result.users_evaluated = static_cast<int>(
+      result.per_user.empty() ? 0 : result.per_user.begin()->second.size());
+  return result;
+}
+
+}  // namespace logirec::eval

@@ -1,0 +1,56 @@
+#ifndef LOGIREC_EVAL_EVALUATOR_H_
+#define LOGIREC_EVAL_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace logirec::eval {
+
+/// Scoring interface the evaluator consumes. Higher score = better item.
+/// Implemented by every recommender in this repository.
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  /// Writes a preference score for every item (out.size() == num_items).
+  virtual void ScoreItems(int user, std::vector<double>* out) const = 0;
+};
+
+/// Aggregate metrics across users, plus per-user vectors for significance
+/// testing.
+struct EvalResult {
+  /// Keyed by "Recall@10", "NDCG@20", ... — mean over evaluated users, as
+  /// a percentage (matching the paper's tables).
+  std::map<std::string, double> mean;
+  /// Per-user values (same keys), for the Wilcoxon test.
+  std::map<std::string, std::vector<double>> per_user;
+  int users_evaluated = 0;
+
+  double Get(const std::string& key) const;
+};
+
+/// Full (unsampled) ranking evaluation: for each user with a non-empty
+/// test set, score all items, mask the user's training and validation
+/// items, and compute Recall@K / NDCG@K over the remainder.
+class Evaluator {
+ public:
+  /// `ks` lists the cutoffs (default {10, 20} as in the paper).
+  Evaluator(const data::Split* split, int num_items,
+            std::vector<int> ks = {10, 20});
+
+  /// Evaluates on the test fold (or the validation fold when
+  /// `use_validation` — used for model selection during training).
+  EvalResult Evaluate(const Scorer& scorer, bool use_validation = false) const;
+
+ private:
+  const data::Split* split_;
+  int num_items_;
+  std::vector<int> ks_;
+};
+
+}  // namespace logirec::eval
+
+#endif  // LOGIREC_EVAL_EVALUATOR_H_

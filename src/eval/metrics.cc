@@ -1,0 +1,110 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace logirec::eval {
+
+double RecallAtK(const std::vector<int>& ranked,
+                 const std::vector<int>& truth, int k) {
+  if (truth.empty()) return 0.0;
+  std::unordered_set<int> truth_set(truth.begin(), truth.end());
+  int hits = 0;
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (truth_set.count(ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double NdcgAtK(const std::vector<int>& ranked, const std::vector<int>& truth,
+               int k) {
+  if (truth.empty()) return 0.0;
+  std::unordered_set<int> truth_set(truth.begin(), truth.end());
+  double dcg = 0.0;
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (truth_set.count(ranked[i])) dcg += 1.0 / std::log2(i + 2.0);
+  }
+  double idcg = 0.0;
+  const int ideal = std::min<int>(k, static_cast<int>(truth.size()));
+  for (int i = 0; i < ideal; ++i) idcg += 1.0 / std::log2(i + 2.0);
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double PrecisionAtK(const std::vector<int>& ranked,
+                    const std::vector<int>& truth, int k) {
+  if (truth.empty() || k <= 0) return 0.0;
+  std::unordered_set<int> truth_set(truth.begin(), truth.end());
+  int hits = 0;
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (truth_set.count(ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / k;
+}
+
+double HitRateAtK(const std::vector<int>& ranked,
+                  const std::vector<int>& truth, int k) {
+  std::unordered_set<int> truth_set(truth.begin(), truth.end());
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (truth_set.count(ranked[i])) return 1.0;
+  }
+  return 0.0;
+}
+
+double Mrr(const std::vector<int>& ranked, const std::vector<int>& truth) {
+  std::unordered_set<int> truth_set(truth.begin(), truth.end());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (truth_set.count(ranked[i])) return 1.0 / (i + 1.0);
+  }
+  return 0.0;
+}
+
+double ApAtK(const std::vector<int>& ranked, const std::vector<int>& truth,
+             int k) {
+  if (truth.empty() || k <= 0) return 0.0;
+  std::unordered_set<int> truth_set(truth.begin(), truth.end());
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  int hits = 0;
+  double sum = 0.0;
+  for (int i = 0; i < limit; ++i) {
+    if (truth_set.count(ranked[i])) {
+      ++hits;
+      sum += static_cast<double>(hits) / (i + 1.0);
+    }
+  }
+  const int denom = std::min<int>(k, static_cast<int>(truth.size()));
+  return denom > 0 ? sum / denom : 0.0;
+}
+
+std::vector<int> TopK(const std::vector<double>& scores, int k) {
+  using Entry = std::pair<double, int>;  // (score, item); min-heap by score
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // deterministic tie-break: larger id evicted
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < static_cast<int>(scores.size()); ++i) {
+    if (scores[i] == neg_inf) continue;
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({scores[i], i});
+    } else if (!heap.empty() && cmp({scores[i], i}, heap.top())) {
+      heap.pop();
+      heap.push({scores[i], i});
+    }
+  }
+  std::vector<int> out(heap.size());
+  for (int i = static_cast<int>(heap.size()) - 1; i >= 0; --i) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace logirec::eval

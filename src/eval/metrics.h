@@ -1,0 +1,42 @@
+#ifndef LOGIREC_EVAL_METRICS_H_
+#define LOGIREC_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace logirec::eval {
+
+/// Recall@K for one user: |top-K hits| / |ground truth|.
+/// `ranked` is the recommended list (best first, already truncated or not);
+/// `truth` is the user's held-out items.
+double RecallAtK(const std::vector<int>& ranked,
+                 const std::vector<int>& truth, int k);
+
+/// NDCG@K for one user with binary relevance:
+///   DCG  = sum_{pos p of hits, p < k} 1 / log2(p + 2)
+///   IDCG = sum_{p=0}^{min(k,|truth|)-1} 1 / log2(p + 2).
+double NdcgAtK(const std::vector<int>& ranked, const std::vector<int>& truth,
+               int k);
+
+/// Precision@K: |top-K hits| / K.
+double PrecisionAtK(const std::vector<int>& ranked,
+                    const std::vector<int>& truth, int k);
+
+/// Hit-rate@K: 1 if any truth item appears in the top K, else 0.
+double HitRateAtK(const std::vector<int>& ranked,
+                  const std::vector<int>& truth, int k);
+
+/// Mean reciprocal rank of the first hit (0 when no hit), over the whole
+/// ranked list.
+double Mrr(const std::vector<int>& ranked, const std::vector<int>& truth);
+
+/// Average precision at K (AP@K), normalized by min(K, |truth|).
+double ApAtK(const std::vector<int>& ranked, const std::vector<int>& truth,
+             int k);
+
+/// Returns the indices of the `k` largest scores, best first. Items whose
+/// score is -infinity are never returned.
+std::vector<int> TopK(const std::vector<double>& scores, int k);
+
+}  // namespace logirec::eval
+
+#endif  // LOGIREC_EVAL_METRICS_H_

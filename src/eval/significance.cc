@@ -1,0 +1,69 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace logirec::eval {
+namespace {
+
+/// Standard normal survival function via erfc.
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  LOGIREC_CHECK(a.size() == b.size());
+  struct Diff {
+    double abs;
+    int sign;
+  };
+  std::vector<Diff> diffs;
+  diffs.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back({std::fabs(d), d > 0 ? 1 : -1});
+  }
+  WilcoxonResult result;
+  result.n_effective = static_cast<int>(diffs.size());
+  if (diffs.size() < 5) return result;  // too few pairs; report p=1
+
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& x, const Diff& y) { return x.abs < y.abs; });
+
+  // Average ranks with tie correction.
+  const size_t n = diffs.size();
+  std::vector<double> ranks(n);
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && diffs[j + 1].abs == diffs[i].abs) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    const double t = static_cast<double>(j - i + 1);
+    if (t > 1.0) tie_correction += t * t * t - t;
+    for (size_t k = i; k <= j; ++k) ranks[k] = avg;
+    i = j + 1;
+  }
+
+  double w_plus = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (diffs[k].sign > 0) w_plus += ranks[k];
+  }
+  result.w_statistic = w_plus;
+
+  const double nn = static_cast<double>(n);
+  const double mean = nn * (nn + 1.0) / 4.0;
+  double var = nn * (nn + 1.0) * (2.0 * nn + 1.0) / 24.0;
+  var -= tie_correction / 48.0;
+  if (var <= 0.0) return result;
+  result.z_score = (w_plus - mean) / std::sqrt(var);
+  result.p_value = 2.0 * NormalSf(std::fabs(result.z_score));
+  result.p_value = std::min(result.p_value, 1.0);
+  return result;
+}
+
+}  // namespace logirec::eval

@@ -1,0 +1,24 @@
+#ifndef LOGIREC_EVAL_SIGNIFICANCE_H_
+#define LOGIREC_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+namespace logirec::eval {
+
+/// Result of a paired Wilcoxon signed-rank test.
+struct WilcoxonResult {
+  double w_statistic = 0.0;  ///< sum of positive-difference ranks
+  double z_score = 0.0;      ///< normal approximation
+  double p_value = 1.0;      ///< two-sided
+  int n_effective = 0;       ///< pairs with non-zero difference
+};
+
+/// Paired two-sided Wilcoxon signed-rank test between per-user metric
+/// vectors `a` and `b` (same users, same order). Uses the normal
+/// approximation with tie correction — the paper cites Woolson (2007).
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+}  // namespace logirec::eval
+
+#endif  // LOGIREC_EVAL_SIGNIFICANCE_H_

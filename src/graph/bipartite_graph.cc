@@ -1,0 +1,21 @@
+#include "graph/bipartite_graph.h"
+
+#include "util/logging.h"
+
+namespace logirec::graph {
+
+BipartiteGraph::BipartiteGraph(
+    int num_users, int num_items,
+    const std::vector<std::vector<int>>& user_items)
+    : user_items_(user_items), item_users_(num_items) {
+  LOGIREC_CHECK(static_cast<int>(user_items.size()) == num_users);
+  for (int u = 0; u < num_users; ++u) {
+    for (int v : user_items_[u]) {
+      LOGIREC_CHECK(v >= 0 && v < num_items);
+      item_users_[v].push_back(u);
+      ++num_edges_;
+    }
+  }
+}
+
+}  // namespace logirec::graph

@@ -1,0 +1,43 @@
+#ifndef LOGIREC_GRAPH_BIPARTITE_GRAPH_H_
+#define LOGIREC_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <vector>
+
+namespace logirec::graph {
+
+/// The user-item interaction graph in CSR-like adjacency form, built from
+/// the training fold only (test edges must not leak into propagation).
+class BipartiteGraph {
+ public:
+  /// `user_items[u]` lists the items user u interacted with in training.
+  BipartiteGraph(int num_users, int num_items,
+                 const std::vector<std::vector<int>>& user_items);
+
+  int num_users() const { return static_cast<int>(user_items_.size()); }
+  int num_items() const { return static_cast<int>(item_users_.size()); }
+
+  const std::vector<int>& ItemsOf(int user) const {
+    return user_items_[user];
+  }
+  const std::vector<int>& UsersOf(int item) const {
+    return item_users_[item];
+  }
+
+  int UserDegree(int user) const {
+    return static_cast<int>(user_items_[user].size());
+  }
+  int ItemDegree(int item) const {
+    return static_cast<int>(item_users_[item].size());
+  }
+
+  long num_edges() const { return num_edges_; }
+
+ private:
+  std::vector<std::vector<int>> user_items_;
+  std::vector<std::vector<int>> item_users_;
+  long num_edges_ = 0;
+};
+
+}  // namespace logirec::graph
+
+#endif  // LOGIREC_GRAPH_BIPARTITE_GRAPH_H_

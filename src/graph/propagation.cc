@@ -1,0 +1,146 @@
+#include "graph/propagation.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace logirec::graph {
+
+GcnPropagator::GcnPropagator(const BipartiteGraph* graph, int layers,
+                             Norm norm)
+    : graph_(graph), layers_(layers), norm_(norm) {
+  LOGIREC_CHECK(layers >= 0);
+}
+
+double GcnPropagator::EdgeWeight(int user, int item, bool transpose) const {
+  const int du = graph_->UserDegree(user);
+  const int dv = graph_->ItemDegree(item);
+  switch (norm_) {
+    case Norm::kReceiver:
+      // Forward aggregation to users divides by |N_u|; the adjoint of the
+      // item-side aggregation divides by |N_v| instead.
+      if (!transpose) return du > 0 ? 1.0 / du : 0.0;
+      return dv > 0 ? 1.0 / dv : 0.0;
+    case Norm::kSymmetric: {
+      const double prod = static_cast<double>(du) * dv;
+      return prod > 0.0 ? 1.0 / std::sqrt(prod) : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+void GcnPropagator::AggregateToUsers(const Matrix& items, Matrix* out_users,
+                                     bool transpose) const {
+  const int dim = items.cols();
+  ParallelFor(0, graph_->num_users(), [&](int u) {
+    auto dst = out_users->Row(u);
+    for (int v : graph_->ItemsOf(u)) {
+      const double w = EdgeWeight(u, v, transpose);
+      auto src = items.Row(v);
+      for (int k = 0; k < dim; ++k) dst[k] += w * src[k];
+    }
+  });
+}
+
+void GcnPropagator::AggregateToItems(const Matrix& users, Matrix* out_items,
+                                     bool transpose) const {
+  const int dim = users.cols();
+  ParallelFor(0, graph_->num_items(), [&](int v) {
+    auto dst = out_items->Row(v);
+    for (int u : graph_->UsersOf(v)) {
+      // Aggregation to items normalizes by the item degree forward; its
+      // adjoint uses the user degree. Reuse EdgeWeight with flipped
+      // `transpose` to express that symmetry.
+      double w = 0.0;
+      switch (norm_) {
+        case Norm::kReceiver:
+          w = transpose ? (graph_->UserDegree(u) > 0
+                               ? 1.0 / graph_->UserDegree(u)
+                               : 0.0)
+                        : (graph_->ItemDegree(v) > 0
+                               ? 1.0 / graph_->ItemDegree(v)
+                               : 0.0);
+          break;
+        case Norm::kSymmetric:
+          w = EdgeWeight(u, v, /*transpose=*/false);
+          break;
+      }
+      auto src = users.Row(u);
+      for (int k = 0; k < dim; ++k) dst[k] += w * src[k];
+    }
+  });
+}
+
+void GcnPropagator::Forward(const Matrix& zu0, const Matrix& zv0, Matrix* su,
+                            Matrix* sv, bool include_layer0) const {
+  const int dim = zu0.cols();
+  LOGIREC_CHECK(zv0.cols() == dim);
+  LOGIREC_CHECK(zu0.rows() == graph_->num_users());
+  LOGIREC_CHECK(zv0.rows() == graph_->num_items());
+
+  *su = Matrix(zu0.rows(), dim, 0.0);
+  *sv = Matrix(zv0.rows(), dim, 0.0);
+  Matrix cu = zu0;
+  Matrix cv = zv0;
+  if (include_layer0) {
+    su->data() = cu.data();
+    sv->data() = cv.data();
+  }
+  for (int l = 1; l <= layers_; ++l) {
+    Matrix nu = cu;  // z^{l+1} = z^l + aggregation
+    Matrix nv = cv;
+    AggregateToUsers(cv, &nu, /*transpose=*/false);
+    AggregateToItems(cu, &nv, /*transpose=*/false);
+    for (size_t i = 0; i < su->data().size(); ++i) su->data()[i] += nu.data()[i];
+    for (size_t i = 0; i < sv->data().size(); ++i) sv->data()[i] += nv.data()[i];
+    cu = std::move(nu);
+    cv = std::move(nv);
+  }
+}
+
+void GcnPropagator::Backward(const Matrix& gsu, const Matrix& gsv,
+                             Matrix* gzu0, Matrix* gzv0,
+                             bool include_layer0) const {
+  const int dim = gsu.cols();
+  LOGIREC_CHECK(gsv.cols() == dim);
+
+  // Adjoint recursion: lambda_u^L = gSU, and for l = L-1 .. 0
+  //   lambda_u^l = [l in sum] gSU + lambda_u^{l+1} + Q^T lambda_v^{l+1}
+  //   lambda_v^l = [l in sum] gSV + lambda_v^{l+1} + P^T lambda_u^{l+1}.
+  Matrix lu = gsu;
+  Matrix lv = gsv;
+  if (layers_ == 0) {
+    // Output is just layer 0 (when included) — identity map.
+    if (include_layer0) {
+      for (size_t i = 0; i < lu.data().size(); ++i) {
+        gzu0->data()[i] += lu.data()[i];
+      }
+      for (size_t i = 0; i < lv.data().size(); ++i) {
+        gzv0->data()[i] += lv.data()[i];
+      }
+    }
+    return;
+  }
+  for (int l = layers_ - 1; l >= 0; --l) {
+    Matrix nlu = lu;  // identity carry
+    Matrix nlv = lv;
+    AggregateToUsers(lv, &nlu, /*transpose=*/true);   // Q^T lambda_v
+    AggregateToItems(lu, &nlv, /*transpose=*/true);   // P^T lambda_u
+    const bool in_sum = (l >= 1) || include_layer0;
+    if (in_sum) {
+      for (size_t i = 0; i < nlu.data().size(); ++i) {
+        nlu.data()[i] += gsu.data()[i];
+      }
+      for (size_t i = 0; i < nlv.data().size(); ++i) {
+        nlv.data()[i] += gsv.data()[i];
+      }
+    }
+    lu = std::move(nlu);
+    lv = std::move(nlv);
+  }
+  for (size_t i = 0; i < lu.data().size(); ++i) gzu0->data()[i] += lu.data()[i];
+  for (size_t i = 0; i < lv.data().size(); ++i) gzv0->data()[i] += lv.data()[i];
+}
+
+}  // namespace logirec::graph

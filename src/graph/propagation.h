@@ -1,0 +1,62 @@
+#ifndef LOGIREC_GRAPH_PROPAGATION_H_
+#define LOGIREC_GRAPH_PROPAGATION_H_
+
+#include "graph/bipartite_graph.h"
+#include "math/matrix.h"
+
+namespace logirec::graph {
+
+using math::Matrix;
+
+/// Normalization variants for the bipartite aggregation step.
+enum class Norm {
+  /// 1/|N_u| on the receiving side — the paper's Eq. 7 (and transpose).
+  kReceiver,
+  /// 1/sqrt(|N_u| |N_v|) — LightGCN's symmetric normalization.
+  kSymmetric,
+};
+
+/// The linear multi-layer propagation of Eq. 7:
+///   z_u^{l+1} = z_u^l + sum_{v in N_u} w_uv z_v^l
+///   z_v^{l+1} = z_v^l + sum_{u in N_v} w_vu z_u^l
+///   output    = sum_{l=1..L} z^l
+/// The whole map (ZU0, ZV0) -> (SU, SV) is linear, so backpropagation is
+/// the same recursion run with transposed edge weights (Backward below);
+/// LogiRec exploits this to avoid taping the graph convolution.
+class GcnPropagator {
+ public:
+  GcnPropagator(const BipartiteGraph* graph, int layers,
+                Norm norm = Norm::kReceiver);
+
+  /// Forward pass. `zu0`/`zv0` are (num_users x dim) and (num_items x dim);
+  /// outputs are written to `su`/`sv` (resized as needed).
+  /// `include_layer0` adds z^0 into the output sum (LightGCN convention);
+  /// the paper's Eq. 7 sums l = 1..L only.
+  void Forward(const Matrix& zu0, const Matrix& zv0, Matrix* su, Matrix* sv,
+               bool include_layer0 = false) const;
+
+  /// Vector-Jacobian product: given gradients w.r.t. (SU, SV), accumulates
+  /// gradients w.r.t. (ZU0, ZV0) into `gzu0`/`gzv0` (must be pre-sized and
+  /// zeroed by the caller if accumulation from zero is desired).
+  void Backward(const Matrix& gsu, const Matrix& gsv, Matrix* gzu0,
+                Matrix* gzv0, bool include_layer0 = false) const;
+
+  int layers() const { return layers_; }
+
+ private:
+  /// out_users[u] += sum_{v in N_u} w(u,v) * items[v]; `transpose` swaps
+  /// the normalization to the emitting side (for the adjoint pass).
+  void AggregateToUsers(const Matrix& items, Matrix* out_users,
+                        bool transpose) const;
+  void AggregateToItems(const Matrix& users, Matrix* out_items,
+                        bool transpose) const;
+  double EdgeWeight(int user, int item, bool transpose) const;
+
+  const BipartiteGraph* graph_;
+  int layers_;
+  Norm norm_;
+};
+
+}  // namespace logirec::graph
+
+#endif  // LOGIREC_GRAPH_PROPAGATION_H_

@@ -1,0 +1,68 @@
+#include "hyper/hyperplane.h"
+
+#include <cmath>
+
+#include "hyper/poincare.h"
+#include "util/logging.h"
+
+namespace logirec::hyper {
+
+void ClampHyperplaneCenter(Span c) {
+  const double n = math::Norm(c);
+  if (n < kMinNorm) {
+    // Degenerate center: nudge along the first axis.
+    c[0] = kMinCenterNorm;
+    for (size_t i = 1; i < c.size(); ++i) c[i] = 0.0;
+    return;
+  }
+  if (n < kMinCenterNorm) {
+    math::ScaleInPlace(c, kMinCenterNorm / n);
+  } else if (n > kMaxCenterNorm) {
+    math::ScaleInPlace(c, kMaxCenterNorm / n);
+  }
+}
+
+Ball BallFromCenter(ConstSpan c) {
+  const double n = std::max(math::Norm(c), kMinNorm);
+  Ball ball;
+  // o_c = ((1 + n^2) / (2n)) * (c / n): the center direction is
+  // normalized so that the ball meets the unit sphere perpendicularly
+  // (||o_c||^2 = 1 + r_c^2) and c itself lies on the ball's boundary.
+  const double a = (1.0 + n * n) / (2.0 * n * n);
+  ball.center = math::Scale(c, a);
+  ball.radius = (1.0 - n * n) / (2.0 * n);
+  return ball;
+}
+
+void BallFromCenterVjp(ConstSpan c, ConstSpan grad_center,
+                       double grad_radius, Span grad_c) {
+  LOGIREC_CHECK(grad_c.size() == c.size());
+  const double n = std::max(math::Norm(c), kMinNorm);
+  const double a = (1.0 + n * n) / (2.0 * n * n);
+  // a(n) = (1 + n^2) / (2 n^2)  =>  da/dn = -1 / n^3.
+  // r(n) = (1 - n^2) / (2 n)    =>  dr/dn = -(n^2 + 1) / (2 n^2).
+  const double da_dn = -1.0 / (n * n * n);
+  const double dr_dn = -(n * n + 1.0) / (2.0 * n * n);
+
+  double g_dot_c = 0.0;
+  if (!grad_center.empty()) {
+    LOGIREC_CHECK(grad_center.size() == c.size());
+    g_dot_c = math::Dot(grad_center, c);
+  }
+  for (size_t j = 0; j < c.size(); ++j) {
+    double g = 0.0;
+    if (!grad_center.empty()) {
+      // o_i = a(n) c_i: do_i/dc_j = a delta_ij + da/dn * c_i c_j / n.
+      g += a * grad_center[j] + (da_dn / n) * c[j] * g_dot_c;
+    }
+    // r = r(n): dr/dc_j = dr/dn * c_j / n.
+    g += grad_radius * dr_dn * c[j] / n;
+    grad_c[j] += g;
+  }
+}
+
+double HyperplaneDistanceToOrigin(ConstSpan c) {
+  return PoincareNormToOrigin(c);
+}
+
+}  // namespace logirec::hyper

@@ -1,0 +1,48 @@
+#ifndef LOGIREC_HYPER_HYPERPLANE_H_
+#define LOGIREC_HYPER_HYPERPLANE_H_
+
+#include "math/vec.h"
+
+namespace logirec::hyper {
+
+using math::ConstSpan;
+using math::Span;
+using math::Vec;
+
+/// The enclosing Euclidean d-ball of the Poincaré hyperplane with center
+/// point c (Section III-A):
+///   o_c = ((1 + ||c||^2) / (2||c||)) * c,   r_c = (1 - ||c||^2) / (2||c||).
+/// A tag is parameterized by its hyperplane center c (0 < ||c|| < 1); the
+/// derived ball is what the logic losses (Eqs. 3-5) measure against.
+struct Ball {
+  Vec center;    ///< o_c, d-dimensional (lies OUTSIDE the unit ball).
+  double radius; ///< r_c > 0; shrinks as ||c|| -> 1 (finer-grained tag).
+};
+
+/// Minimum allowed ||c||; centers are clamped away from the origin where
+/// the hyperplane degenerates into a linear subspace.
+inline constexpr double kMinCenterNorm = 0.05;
+/// Maximum allowed ||c||; keeps r_c bounded away from zero.
+inline constexpr double kMaxCenterNorm = 0.95;
+
+/// Clamps the hyperplane center `c` in place to
+/// kMinCenterNorm <= ||c|| <= kMaxCenterNorm.
+void ClampHyperplaneCenter(Span c);
+
+/// Computes the enclosing ball (o_c, r_c) from the hyperplane center c.
+Ball BallFromCenter(ConstSpan c);
+
+/// Chain rule through BallFromCenter: given dL/d o_c (`grad_center`, may be
+/// empty) and dL/d r_c (`grad_radius`), accumulates dL/dc into `grad_c`.
+void BallFromCenterVjp(ConstSpan c, ConstSpan grad_center,
+                       double grad_radius, Span grad_c);
+
+/// Shortest distance from the ball's hyperplane region to the origin, a
+/// proxy for tag granularity (Section V-B): larger distance = finer tag.
+/// Equals the Poincaré distance from the origin to the nearest point of the
+/// hyperplane, which is 2*atanh(||c||) at the center point c.
+double HyperplaneDistanceToOrigin(ConstSpan c);
+
+}  // namespace logirec::hyper
+
+#endif  // LOGIREC_HYPER_HYPERPLANE_H_

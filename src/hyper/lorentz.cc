@@ -1,0 +1,208 @@
+#include "hyper/lorentz.h"
+
+#include <cmath>
+
+#include "hyper/poincare.h"  // for kMinNorm
+#include "util/logging.h"
+
+namespace logirec::hyper {
+
+using math::SafeAcosh;
+using math::SafeAcoshGrad;
+
+double LorentzDot(ConstSpan x, ConstSpan y) {
+  LOGIREC_CHECK(x.size() == y.size());
+  LOGIREC_CHECK(!x.empty());
+  double s = -x[0] * y[0];
+  for (size_t i = 1; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+Vec LorentzOrigin(int ambient_dim) {
+  Vec o(ambient_dim, 0.0);
+  o[0] = 1.0;
+  return o;
+}
+
+void ProjectToHyperboloid(Span x) {
+  double spatial = 0.0;
+  for (size_t i = 1; i < x.size(); ++i) spatial += x[i] * x[i];
+  x[0] = std::sqrt(1.0 + spatial);
+}
+
+double LorentzDistance(ConstSpan x, ConstSpan y) {
+  return SafeAcosh(-LorentzDot(x, y));
+}
+
+void LorentzDistanceGrad(ConstSpan x, ConstSpan y, double scale,
+                         Span grad_x, Span grad_y) {
+  const size_t n = x.size();
+  LOGIREC_CHECK(y.size() == n);
+  const double u = -LorentzDot(x, y);
+  const double dacosh = SafeAcoshGrad(u);
+  // d(-<x,y>_L)/dx = (y_0, -y_1, ..., -y_d) = -J y.
+  const double s = scale * dacosh;
+  if (!grad_x.empty()) {
+    LOGIREC_CHECK(grad_x.size() == n);
+    grad_x[0] += s * y[0];
+    for (size_t i = 1; i < n; ++i) grad_x[i] -= s * y[i];
+  }
+  if (!grad_y.empty()) {
+    LOGIREC_CHECK(grad_y.size() == n);
+    grad_y[0] += s * x[0];
+    for (size_t i = 1; i < n; ++i) grad_y[i] -= s * x[i];
+  }
+}
+
+namespace {
+
+/// Spatial Euclidean norm of an ambient vector, i.e. ignoring index 0.
+double SpatialNorm(ConstSpan z) {
+  double s = 0.0;
+  for (size_t i = 1; i < z.size(); ++i) s += z[i] * z[i];
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+Vec LorentzExpOrigin(ConstSpan z) {
+  const size_t n = z.size();
+  Vec out(n, 0.0);
+  const double r = SpatialNorm(z);
+  if (r < kMinNorm) {
+    out[0] = 1.0;
+    for (size_t i = 1; i < n; ++i) out[i] = z[i];
+    ProjectToHyperboloid(Span(out));
+    return out;
+  }
+  const double ch = std::cosh(r);
+  const double sh_over_r = std::sinh(r) / r;
+  out[0] = ch;
+  for (size_t i = 1; i < n; ++i) out[i] = sh_over_r * z[i];
+  return out;
+}
+
+void LorentzExpOriginVjp(ConstSpan z, ConstSpan grad_out, Span grad_z) {
+  const size_t n = z.size();
+  LOGIREC_CHECK(grad_out.size() == n);
+  LOGIREC_CHECK(grad_z.size() == n);
+  const double r = SpatialNorm(z);
+  if (r < 1e-7) {
+    // exp_o(z) ~ o + z near the origin: identity on the spatial block.
+    for (size_t i = 1; i < n; ++i) grad_z[i] += grad_out[i];
+    return;
+  }
+  const double ch = std::cosh(r);
+  const double sh = std::sinh(r);
+  const double sh_over_r = sh / r;
+  // c2 = (cosh(r) - sinh(r)/r) / r^2, the coefficient of the rank-1 term.
+  const double c2 = (ch - sh_over_r) / (r * r);
+  double g_dot_z = 0.0;
+  for (size_t i = 1; i < n; ++i) g_dot_z += grad_out[i] * z[i];
+  for (size_t j = 1; j < n; ++j) {
+    grad_z[j] += grad_out[0] * sh_over_r * z[j]  // d out_0 / d z_j
+                 + sh_over_r * grad_out[j]       // diagonal part
+                 + c2 * z[j] * g_dot_z;          // rank-1 part
+  }
+}
+
+Vec LorentzLogOrigin(ConstSpan x) {
+  const size_t n = x.size();
+  Vec z(n, 0.0);
+  const double sn = SpatialNorm(x);
+  if (sn < kMinNorm) return z;
+  const double r = SafeAcosh(x[0]);
+  const double f = r / sn;
+  for (size_t i = 1; i < n; ++i) z[i] = f * x[i];
+  return z;
+}
+
+void LorentzLogOriginVjp(ConstSpan x, ConstSpan grad_out, Span grad_x) {
+  const size_t n = x.size();
+  LOGIREC_CHECK(grad_out.size() == n);
+  LOGIREC_CHECK(grad_x.size() == n);
+  const double sn = SpatialNorm(x);
+  if (sn < 1e-7) {
+    // log_o(x) ~ x_spatial near the origin.
+    for (size_t i = 1; i < n; ++i) grad_x[i] += grad_out[i];
+    return;
+  }
+  const double r = SafeAcosh(x[0]);
+  const double f = r / sn;
+  const double dr_dx0 = SafeAcoshGrad(x[0]);
+  double g_dot_xs = 0.0;
+  for (size_t i = 1; i < n; ++i) g_dot_xs += grad_out[i] * x[i];
+  // z_i = (r / sn) x_i:
+  //   dz_i/dx_0 = x_i/sn * dr/dx0
+  //   dz_i/dx_j = f * delta_ij - (r / sn^3) x_i x_j
+  grad_x[0] += g_dot_xs * dr_dx0 / sn;
+  const double c = r / (sn * sn * sn);
+  for (size_t j = 1; j < n; ++j) {
+    grad_x[j] += f * grad_out[j] - c * x[j] * g_dot_xs;
+  }
+}
+
+Vec LorentzExpMap(ConstSpan x, ConstSpan v) {
+  const size_t n = x.size();
+  LOGIREC_CHECK(v.size() == n);
+  // ||v||_L = sqrt(<v,v>_L) for a spacelike tangent vector.
+  double vv = LorentzDot(v, v);
+  if (vv < 0.0) vv = 0.0;  // numeric guard; tangent vectors are spacelike
+  double r = std::sqrt(vv);
+  Vec out(n);
+  if (r < kMinNorm) {
+    for (size_t i = 0; i < n; ++i) out[i] = x[i];
+    ProjectToHyperboloid(Span(out));
+    return out;
+  }
+  // Clamp the geodesic step: cosh/sinh overflow past ~700 and the
+  // hyperboloid constraint x0^2 - ||xs||^2 = 1 loses all precision well
+  // before that. Steps this long only arise from hostile gradients; the
+  // clamp preserves the direction.
+  constexpr double kMaxStep = 32.0;
+  double scale = 1.0;
+  if (r > kMaxStep) {
+    scale = kMaxStep / r;
+    r = kMaxStep;
+  }
+  const double ch = std::cosh(r);
+  const double sh_over_r = std::sinh(r) / (r / scale);
+  for (size_t i = 0; i < n; ++i) out[i] = ch * x[i] + sh_over_r * v[i];
+  ProjectToHyperboloid(Span(out));
+  return out;
+}
+
+Vec LorentzRiemannianGrad(ConstSpan x, ConstSpan euclidean_grad) {
+  const size_t n = x.size();
+  LOGIREC_CHECK(euclidean_grad.size() == n);
+  Vec h(euclidean_grad.begin(), euclidean_grad.end());
+  h[0] = -h[0];  // h = J * grad
+  const double xh = LorentzDot(x, h);
+  Vec riem(n);
+  for (size_t i = 0; i < n; ++i) riem[i] = h[i] + xh * x[i];
+  return riem;
+}
+
+void RsgdStepLorentz(Span x, ConstSpan euclidean_grad, double lr) {
+  Vec riem = LorentzRiemannianGrad(x, euclidean_grad);
+  math::ScaleInPlace(Span(riem), -lr);
+  Vec out = LorentzExpMap(x, riem);
+  // Numeric-domain guard: beyond distance ~24 from the origin the
+  // hyperboloid constraint x0^2 = 1 + ||xs||^2 is no longer resolvable in
+  // double precision (cosh(24)^2 ~ 7e20 swallows the +1) and a few more
+  // steps overflow to inf. Training with clipped gradients never gets
+  // near this; the cap only tames adversarial inputs.
+  constexpr double kMaxOriginDistance = 24.0;
+  static const double kMaxSpatial = std::sinh(kMaxOriginDistance);
+  double spatial = 0.0;
+  for (size_t i = 1; i < out.size(); ++i) spatial += out[i] * out[i];
+  spatial = std::sqrt(spatial);
+  if (spatial > kMaxSpatial) {
+    const double s = kMaxSpatial / spatial;
+    for (size_t i = 1; i < out.size(); ++i) out[i] *= s;
+    ProjectToHyperboloid(Span(out));
+  }
+  math::Copy(out, x);
+}
+
+}  // namespace logirec::hyper

@@ -1,0 +1,73 @@
+#ifndef LOGIREC_HYPER_LORENTZ_H_
+#define LOGIREC_HYPER_LORENTZ_H_
+
+#include "math/vec.h"
+
+namespace logirec::hyper {
+
+using math::ConstSpan;
+using math::Span;
+using math::Vec;
+
+/// The Lorentz (hyperboloid) model: points x in R^{d+1} with
+/// <x,x>_L = -1, x_0 > 0, where <x,y>_L = -x_0 y_0 + sum_i x_i y_i.
+///
+/// Convention: all Lorentz vectors in this library are ambient
+/// (d+1)-dimensional; tangent vectors at the origin o = (1, 0, ..., 0)
+/// carry a zero time component.
+
+/// Lorentzian inner product <x,y>_L.
+double LorentzDot(ConstSpan x, ConstSpan y);
+
+/// The origin o = (1, 0, ..., 0) in R^{d+1}.
+Vec LorentzOrigin(int ambient_dim);
+
+/// Re-normalizes `x` in place onto the hyperboloid by recomputing
+///   x_0 = sqrt(1 + ||x_{1:}||^2).
+void ProjectToHyperboloid(Span x);
+
+/// Geodesic distance d(x,y) = acosh(-<x,y>_L).
+double LorentzDistance(ConstSpan x, ConstSpan y);
+
+/// Ambient Euclidean gradients of LorentzDistance, accumulated into
+/// `grad_x` / `grad_y` scaled by `scale`. Either output may be empty.
+void LorentzDistanceGrad(ConstSpan x, ConstSpan y, double scale,
+                         Span grad_x, Span grad_y);
+
+/// Exponential map at the origin (Eq. 8). `z` is an ambient tangent vector
+/// with z_0 = 0 (the time component is ignored). Returns a point on the
+/// hyperboloid.
+Vec LorentzExpOrigin(ConstSpan z);
+
+/// Vector-Jacobian product of LorentzExpOrigin: accumulates into `grad_z`
+/// the ambient gradient with respect to `z` given the output gradient
+/// `grad_out`, both (d+1)-dimensional. The time component of `grad_z` is
+/// left untouched (tangent vectors at o have no time freedom).
+void LorentzExpOriginVjp(ConstSpan z, ConstSpan grad_out, Span grad_z);
+
+/// Logarithmic map at the origin (Eq. 6). Input is a hyperboloid point;
+/// output is an ambient tangent vector with zero time component.
+Vec LorentzLogOrigin(ConstSpan x);
+
+/// Vector-Jacobian product of LorentzLogOrigin: accumulates into `grad_x`
+/// the ambient gradient with respect to `x` given the output gradient
+/// `grad_out` (whose time component is ignored).
+void LorentzLogOriginVjp(ConstSpan x, ConstSpan grad_out, Span grad_x);
+
+/// Exponential map at an arbitrary point `x` (Eq. 18). `v` must be tangent
+/// at x, i.e. <x,v>_L = 0.
+Vec LorentzExpMap(ConstSpan x, ConstSpan v);
+
+/// Converts an ambient Euclidean gradient into the Riemannian gradient on
+/// the hyperboloid at `x`:
+///   h = J * grad  (J = diag(-1, 1, ..., 1)), then
+///   riem = h + <x,h>_L * x   (projection onto the tangent space at x).
+Vec LorentzRiemannianGrad(ConstSpan x, ConstSpan euclidean_grad);
+
+/// One Riemannian SGD step on the hyperboloid (Nickel & Kiela 2018):
+/// walks along exp_x(-lr * riemannian_grad) and re-projects. In-place.
+void RsgdStepLorentz(Span x, ConstSpan euclidean_grad, double lr);
+
+}  // namespace logirec::hyper
+
+#endif  // LOGIREC_HYPER_LORENTZ_H_

@@ -1,0 +1,63 @@
+#include "hyper/maps.h"
+
+#include <cmath>
+
+#include "hyper/poincare.h"
+#include "util/logging.h"
+
+namespace logirec::hyper {
+
+Vec LorentzToPoincare(ConstSpan x) {
+  LOGIREC_CHECK(x.size() >= 2);
+  const size_t d = x.size() - 1;
+  const double denom = x[0] + 1.0;
+  Vec out(d);
+  for (size_t i = 0; i < d; ++i) out[i] = x[i + 1] / denom;
+  ProjectToBall(Span(out));
+  return out;
+}
+
+void LorentzToPoincareVjp(ConstSpan x, ConstSpan grad_out, Span grad_x) {
+  const size_t d = x.size() - 1;
+  LOGIREC_CHECK(grad_out.size() == d);
+  LOGIREC_CHECK(grad_x.size() == x.size());
+  const double denom = x[0] + 1.0;
+  double g_dot_xs = 0.0;
+  for (size_t i = 0; i < d; ++i) g_dot_xs += grad_out[i] * x[i + 1];
+  // out_i = x_{i+1} / (x_0 + 1):
+  //   d out_i / d x_0    = -x_{i+1} / (x_0+1)^2
+  //   d out_i / d x_{j+1} = delta_ij / (x_0+1)
+  grad_x[0] += -g_dot_xs / (denom * denom);
+  for (size_t i = 0; i < d; ++i) grad_x[i + 1] += grad_out[i] / denom;
+}
+
+Vec PoincareToLorentz(ConstSpan x) {
+  const size_t d = x.size();
+  const double s = math::SquaredNorm(x);
+  const double denom = std::max(1.0 - s, kBallEps);
+  Vec out(d + 1);
+  out[0] = (1.0 + s) / denom;
+  for (size_t i = 0; i < d; ++i) out[i + 1] = 2.0 * x[i] / denom;
+  return out;
+}
+
+void PoincareToLorentzVjp(ConstSpan x, ConstSpan grad_out, Span grad_x) {
+  const size_t d = x.size();
+  LOGIREC_CHECK(grad_out.size() == d + 1);
+  LOGIREC_CHECK(grad_x.size() == d);
+  const double s = math::SquaredNorm(x);
+  const double denom = std::max(1.0 - s, kBallEps);
+  const double denom2 = denom * denom;
+  double g_dot_xs = 0.0;
+  for (size_t i = 0; i < d; ++i) g_dot_xs += grad_out[i + 1] * x[i];
+  // out_0 = (1+s)/(1-s):   d out_0 / d x_j = 4 x_j / (1-s)^2
+  // out_i = 2 x_{i-1}/(1-s): d out_i / d x_j
+  //        = 2 delta_ij/(1-s) + 4 x_{i-1} x_j/(1-s)^2
+  for (size_t j = 0; j < d; ++j) {
+    grad_x[j] += grad_out[0] * 4.0 * x[j] / denom2 +
+                 2.0 * grad_out[j + 1] / denom +
+                 4.0 * x[j] * g_dot_xs / denom2;
+  }
+}
+
+}  // namespace logirec::hyper

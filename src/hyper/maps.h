@@ -1,0 +1,32 @@
+#ifndef LOGIREC_HYPER_MAPS_H_
+#define LOGIREC_HYPER_MAPS_H_
+
+#include "math/vec.h"
+
+namespace logirec::hyper {
+
+using math::ConstSpan;
+using math::Span;
+using math::Vec;
+
+/// Diffeomorphism p: Lorentz -> Poincaré (paper Eq. 1):
+///   p(x_0, x_1, ..., x_d) = (x_1, ..., x_d) / (x_0 + 1).
+/// Input has d+1 components; output has d.
+Vec LorentzToPoincare(ConstSpan x);
+
+/// Vector-Jacobian product of LorentzToPoincare: accumulates into `grad_x`
+/// ((d+1)-dim) the gradient given `grad_out` (d-dim).
+void LorentzToPoincareVjp(ConstSpan x, ConstSpan grad_out, Span grad_x);
+
+/// Diffeomorphism p^{-1}: Poincaré -> Lorentz (paper Eq. 2):
+///   p^{-1}(x) = (1 + ||x||^2, 2 x_1, ..., 2 x_d) / (1 - ||x||^2).
+/// Input has d components; output has d+1.
+Vec PoincareToLorentz(ConstSpan x);
+
+/// Vector-Jacobian product of PoincareToLorentz: accumulates into `grad_x`
+/// (d-dim) the gradient given `grad_out` ((d+1)-dim).
+void PoincareToLorentzVjp(ConstSpan x, ConstSpan grad_out, Span grad_x);
+
+}  // namespace logirec::hyper
+
+#endif  // LOGIREC_HYPER_MAPS_H_

@@ -1,0 +1,138 @@
+#include "hyper/poincare.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace logirec::hyper {
+
+using math::Axpy;
+using math::Dot;
+using math::Norm;
+using math::SafeAcosh;
+using math::SafeAcoshGrad;
+using math::SquaredDistance;
+using math::SquaredNorm;
+
+void ProjectToBall(Span x) {
+  const double n = Norm(x);
+  const double max_norm = 1.0 - kBallEps;
+  if (n > max_norm) {
+    math::ScaleInPlace(x, max_norm / n);
+  }
+}
+
+double PoincareDistance(ConstSpan x, ConstSpan y) {
+  const double alpha = std::max(1.0 - SquaredNorm(x), kBallEps);
+  const double beta = std::max(1.0 - SquaredNorm(y), kBallEps);
+  const double gamma = 1.0 + 2.0 * SquaredDistance(x, y) / (alpha * beta);
+  return SafeAcosh(gamma);
+}
+
+void PoincareDistanceGrad(ConstSpan x, ConstSpan y, double scale,
+                          Span grad_x, Span grad_y) {
+  const size_t d = x.size();
+  LOGIREC_CHECK(y.size() == d);
+  const double alpha = std::max(1.0 - SquaredNorm(x), kBallEps);
+  const double beta = std::max(1.0 - SquaredNorm(y), kBallEps);
+  const double u = SquaredDistance(x, y);
+  const double gamma = 1.0 + 2.0 * u / (alpha * beta);
+  // dd/dgamma, clamped at the acosh boundary.
+  const double dacosh = SafeAcoshGrad(gamma);
+  const double s = scale * dacosh;
+
+  if (!grad_x.empty()) {
+    LOGIREC_CHECK(grad_x.size() == d);
+    // dgamma/dx = (4 / (alpha*beta)) * [ (x - y) + (u / alpha) * x ].
+    const double c = 4.0 / (alpha * beta);
+    for (size_t i = 0; i < d; ++i) {
+      grad_x[i] += s * c * ((x[i] - y[i]) + (u / alpha) * x[i]);
+    }
+  }
+  if (!grad_y.empty()) {
+    LOGIREC_CHECK(grad_y.size() == d);
+    const double c = 4.0 / (alpha * beta);
+    for (size_t i = 0; i < d; ++i) {
+      grad_y[i] += s * c * ((y[i] - x[i]) + (u / beta) * y[i]);
+    }
+  }
+}
+
+Vec MobiusAdd(ConstSpan x, ConstSpan y) {
+  LOGIREC_CHECK(x.size() == y.size());
+  const double xy = Dot(x, y);
+  const double x2 = SquaredNorm(x);
+  const double y2 = SquaredNorm(y);
+  const double denom = 1.0 + 2.0 * xy + x2 * y2;
+  const double cx = (1.0 + 2.0 * xy + y2) / denom;
+  const double cy = (1.0 - x2) / denom;
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = cx * x[i] + cy * y[i];
+  return out;
+}
+
+double ConformalFactor(ConstSpan x) {
+  return 2.0 / std::max(1.0 - SquaredNorm(x), kBallEps);
+}
+
+Vec PoincareExpMap(ConstSpan x, ConstSpan v) {
+  const double vn = Norm(v);
+  if (vn < kMinNorm) return Vec(x.begin(), x.end());
+  const double lam = ConformalFactor(x);
+  const double t = std::tanh(lam * vn / 2.0);
+  Vec step = math::Scale(v, t / vn);
+  Vec out = MobiusAdd(x, step);
+  ProjectToBall(out);
+  return out;
+}
+
+Vec PoincareExpMapEq17(ConstSpan x, ConstSpan v) {
+  const double vn = Norm(v);
+  if (vn < kMinNorm) return Vec(x.begin(), x.end());
+  const double t = std::tanh(vn / 2.0);
+  Vec step = math::Scale(v, t / vn);
+  Vec out = MobiusAdd(x, step);
+  ProjectToBall(out);
+  return out;
+}
+
+Vec PoincareLogMap(ConstSpan x, ConstSpan y) {
+  Vec neg_x = math::Scale(x, -1.0);
+  Vec w = MobiusAdd(neg_x, y);
+  const double wn = Norm(w);
+  if (wn < kMinNorm) return Vec(x.size(), 0.0);
+  const double lam = ConformalFactor(x);
+  const double f = (2.0 / lam) * std::atanh(std::min(wn, 1.0 - kBallEps));
+  return math::Scale(w, f / wn);
+}
+
+void RsgdStepPoincare(Span x, ConstSpan euclidean_grad, double lr) {
+  LOGIREC_CHECK(x.size() == euclidean_grad.size());
+  const double a = std::max(1.0 - SquaredNorm(x), kBallEps);
+  const double riem = a * a / 4.0;
+  Vec step(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    step[i] = -lr * riem * euclidean_grad[i];
+  }
+  Vec out = PoincareExpMap(x, step);
+  math::Copy(out, x);
+}
+
+void RsgdStepPoincareEq17(Span x, ConstSpan euclidean_grad, double lr) {
+  LOGIREC_CHECK(x.size() == euclidean_grad.size());
+  const double a = std::max(1.0 - SquaredNorm(x), kBallEps);
+  const double riem = a * a / 4.0;
+  Vec step(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    step[i] = -lr * riem * euclidean_grad[i];
+  }
+  Vec out = PoincareExpMapEq17(x, step);
+  math::Copy(out, x);
+}
+
+double PoincareNormToOrigin(ConstSpan x) {
+  const double n = std::min(Norm(x), 1.0 - kBallEps);
+  return 2.0 * std::atanh(n);
+}
+
+}  // namespace logirec::hyper

@@ -1,0 +1,65 @@
+#ifndef LOGIREC_HYPER_POINCARE_H_
+#define LOGIREC_HYPER_POINCARE_H_
+
+#include "math/vec.h"
+
+namespace logirec::hyper {
+
+using math::ConstSpan;
+using math::Span;
+using math::Vec;
+
+/// Points are kept strictly inside the unit ball: ||x|| <= 1 - kBallEps.
+inline constexpr double kBallEps = 1e-5;
+
+/// Norms below this are treated as zero to avoid division blow-ups.
+inline constexpr double kMinNorm = 1e-12;
+
+/// Clamps `x` in place into the open unit ball (radius 1 - kBallEps).
+void ProjectToBall(Span x);
+
+/// Poincaré distance
+///   d(x, y) = acosh(1 + 2||x-y||^2 / ((1-||x||^2)(1-||y||^2))).
+double PoincareDistance(ConstSpan x, ConstSpan y);
+
+/// Euclidean (ambient) gradients of PoincareDistance with respect to both
+/// arguments, accumulated into `grad_x` / `grad_y` scaled by `scale`.
+/// Either output span may be empty to skip that side.
+void PoincareDistanceGrad(ConstSpan x, ConstSpan y, double scale,
+                          Span grad_x, Span grad_y);
+
+/// Möbius addition x ⊕ y (curvature -1).
+Vec MobiusAdd(ConstSpan x, ConstSpan y);
+
+/// Conformal factor λ_x = 2 / (1 - ||x||^2).
+double ConformalFactor(ConstSpan x);
+
+/// Exponential map at `x`:
+///   exp_x(v) = x ⊕ ( tanh(λ_x ||v|| / 2) · v / ||v|| ).
+/// Returns x for ||v|| ~ 0. The result is projected into the ball.
+Vec PoincareExpMap(ConstSpan x, ConstSpan v);
+
+/// The paper's Eq. 17 variant (no conformal factor on the step):
+///   exp_T(η) = T ⊕ ( tanh(||η||/2) · η / ||η|| ).
+Vec PoincareExpMapEq17(ConstSpan x, ConstSpan v);
+
+/// Logarithmic map at `x` (inverse of PoincareExpMap).
+Vec PoincareLogMap(ConstSpan x, ConstSpan y);
+
+/// Riemannian SGD step in the Poincaré ball: converts the Euclidean
+/// gradient to the Riemannian one with the conformal factor
+/// ((1-||x||^2)^2 / 4), walks along the exponential map, and projects back
+/// into the ball. Mutates `x` in place.
+void RsgdStepPoincare(Span x, ConstSpan euclidean_grad, double lr);
+
+/// Variant using the paper's literal Eq. 17 step (tanh(||η||/2) with no
+/// conformal factor) — the design-choice ablation of DESIGN.md §4.
+void RsgdStepPoincareEq17(Span x, ConstSpan euclidean_grad, double lr);
+
+/// Distance from `x` to the origin: acosh(1 + 2||x||^2/(1-||x||^2)),
+/// equal to 2 * atanh(||x||).
+double PoincareNormToOrigin(ConstSpan x);
+
+}  // namespace logirec::hyper
+
+#endif  // LOGIREC_HYPER_POINCARE_H_

@@ -1,0 +1,55 @@
+#ifndef LOGIREC_MATH_MATRIX_H_
+#define LOGIREC_MATH_MATRIX_H_
+
+#include "math/vec.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace logirec::math {
+
+/// Row-major dense matrix of doubles; rows are exposed as spans so the
+/// geometry kernels can operate on embedding rows without copies.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  Span Row(int r) {
+    LOGIREC_CHECK(r >= 0 && r < rows_);
+    return Span(data_.data() + static_cast<size_t>(r) * cols_, cols_);
+  }
+  ConstSpan Row(int r) const {
+    LOGIREC_CHECK(r >= 0 && r < rows_);
+    return ConstSpan(data_.data() + static_cast<size_t>(r) * cols_, cols_);
+  }
+
+  double& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double At(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Sets every entry to `value`.
+  void Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Fills with N(0, stddev) noise.
+  void FillGaussian(Rng* rng, double stddev) {
+    for (double& x : data_) x = rng->Gaussian(0.0, stddev);
+  }
+
+  Vec& data() { return data_; }
+  const Vec& data() const { return data_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  Vec data_;
+};
+
+}  // namespace logirec::math
+
+#endif  // LOGIREC_MATH_MATRIX_H_

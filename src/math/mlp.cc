@@ -1,0 +1,155 @@
+#include "math/mlp.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace logirec::math {
+
+Mlp::Mlp(std::vector<int> dims, Activation activation, Rng* rng)
+    : dims_(std::move(dims)), activation_(activation) {
+  LOGIREC_CHECK(dims_.size() >= 2);
+  layers_.reserve(dims_.size() - 1);
+  for (size_t l = 0; l + 1 < dims_.size(); ++l) {
+    Layer layer;
+    layer.in = dims_[l];
+    layer.out = dims_[l + 1];
+    layer.weights.resize(static_cast<size_t>(layer.in) * layer.out);
+    layer.bias.assign(layer.out, 0.0);
+    layer.grad_weights.assign(layer.weights.size(), 0.0);
+    layer.grad_bias.assign(layer.out, 0.0);
+    const double scale = std::sqrt(2.0 / layer.in);
+    for (double& w : layer.weights) w = rng->Gaussian(0.0, scale);
+    layers_.push_back(std::move(layer));
+  }
+  inputs_.resize(layers_.size());
+  pre_.resize(layers_.size());
+}
+
+double Mlp::Activate(Activation a, double x) {
+  switch (a) {
+    case Activation::kRelu:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  return x;
+}
+
+double Mlp::ActivateGrad(Activation a, double pre, double post) {
+  switch (a) {
+    case Activation::kRelu:
+      return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh:
+      return 1.0 - post * post;
+    case Activation::kSigmoid:
+      return post * (1.0 - post);
+  }
+  return 1.0;
+}
+
+Vec Mlp::Forward(ConstSpan input) {
+  LOGIREC_CHECK(static_cast<int>(input.size()) == dims_.front());
+  Vec x(input.begin(), input.end());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    inputs_[l] = x;
+    Vec z(layer.out, 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      const double* w = &layer.weights[static_cast<size_t>(o) * layer.in];
+      double s = layer.bias[o];
+      for (int i = 0; i < layer.in; ++i) s += w[i] * x[i];
+      z[o] = s;
+    }
+    pre_[l] = z;
+    const bool last = (l + 1 == layers_.size());
+    if (!last) {
+      for (double& v : z) v = Activate(activation_, v);
+    }
+    x = std::move(z);
+  }
+  return x;
+}
+
+Vec Mlp::Infer(ConstSpan input) const {
+  LOGIREC_CHECK(static_cast<int>(input.size()) == dims_.front());
+  Vec x(input.begin(), input.end());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    Vec z(layer.out, 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      const double* w = &layer.weights[static_cast<size_t>(o) * layer.in];
+      double s = layer.bias[o];
+      for (int i = 0; i < layer.in; ++i) s += w[i] * x[i];
+      z[o] = s;
+    }
+    if (l + 1 != layers_.size()) {
+      for (double& v : z) v = Activate(activation_, v);
+    }
+    x = std::move(z);
+  }
+  return x;
+}
+
+Vec Mlp::Backward(ConstSpan grad_output) {
+  LOGIREC_CHECK(static_cast<int>(grad_output.size()) == dims_.back());
+  Vec grad(grad_output.begin(), grad_output.end());
+  for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
+    Layer& layer = layers_[l];
+    const bool last = (l == static_cast<int>(layers_.size()) - 1);
+    if (!last) {
+      // Undo the activation: grad wrt pre-activation.
+      for (int o = 0; o < layer.out; ++o) {
+        const double post = Activate(activation_, pre_[l][o]);
+        grad[o] *= ActivateGrad(activation_, pre_[l][o], post);
+      }
+    }
+    const Vec& in = inputs_[l];
+    Vec grad_in(layer.in, 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double* gw = &layer.grad_weights[static_cast<size_t>(o) * layer.in];
+      const double* w = &layer.weights[static_cast<size_t>(o) * layer.in];
+      const double g = grad[o];
+      layer.grad_bias[o] += g;
+      for (int i = 0; i < layer.in; ++i) {
+        gw[i] += g * in[i];
+        grad_in[i] += g * w[i];
+      }
+    }
+    grad = std::move(grad_in);
+  }
+  return grad;
+}
+
+void Mlp::Step(double learning_rate, double scale, double l2) {
+  for (Layer& layer : layers_) {
+    for (size_t i = 0; i < layer.weights.size(); ++i) {
+      layer.weights[i] -=
+          learning_rate * (scale * layer.grad_weights[i] + l2 * layer.weights[i]);
+      layer.grad_weights[i] = 0.0;
+    }
+    for (int o = 0; o < layer.out; ++o) {
+      layer.bias[o] -= learning_rate * scale * layer.grad_bias[o];
+      layer.grad_bias[o] = 0.0;
+    }
+  }
+}
+
+void Mlp::ZeroGrad() {
+  for (Layer& layer : layers_) {
+    std::fill(layer.grad_weights.begin(), layer.grad_weights.end(), 0.0);
+    std::fill(layer.grad_bias.begin(), layer.grad_bias.end(), 0.0);
+  }
+}
+
+int Mlp::ParameterCount() const {
+  int n = 0;
+  for (const Layer& layer : layers_) {
+    n += static_cast<int>(layer.weights.size()) + layer.out;
+  }
+  return n;
+}
+
+}  // namespace logirec::math

@@ -1,0 +1,73 @@
+#ifndef LOGIREC_MATH_MLP_H_
+#define LOGIREC_MATH_MLP_H_
+
+#include <vector>
+
+#include "math/vec.h"
+#include "util/rng.h"
+
+namespace logirec::math {
+
+/// Activation applied between layers of `Mlp` (the output layer is linear).
+enum class Activation { kRelu, kTanh, kSigmoid };
+
+/// Small fully connected network with manual backpropagation, sized for the
+/// NeuMF/AGCN heads (a few thousand weights). Hidden layers use the
+/// configured activation; the output layer is linear so callers can attach
+/// their own loss (e.g. logistic or hinge).
+class Mlp {
+ public:
+  /// `dims` lists layer widths, e.g. {128, 64, 32, 1}. Weights use He
+  /// initialisation from `rng`.
+  Mlp(std::vector<int> dims, Activation activation, Rng* rng);
+
+  /// Computes the network output for `input` (length dims.front()),
+  /// caching activations for a subsequent Backward().
+  Vec Forward(ConstSpan input);
+
+  /// Pure inference: same computation as Forward() but const and
+  /// cache-free, safe to call concurrently from many threads.
+  Vec Infer(ConstSpan input) const;
+
+  /// Backpropagates `grad_output` (length dims.back()) through the most
+  /// recent Forward() call. Accumulates parameter gradients internally and
+  /// returns dLoss/dInput.
+  Vec Backward(ConstSpan grad_output);
+
+  /// Applies one SGD step with the accumulated gradients, then clears them.
+  /// `scale` multiplies the accumulated gradient (use 1/batch for averaging).
+  void Step(double learning_rate, double scale = 1.0, double l2 = 0.0);
+
+  /// Clears accumulated gradients without stepping.
+  void ZeroGrad();
+
+  int input_dim() const { return dims_.front(); }
+  int output_dim() const { return dims_.back(); }
+
+  /// Total number of scalar parameters.
+  int ParameterCount() const;
+
+ private:
+  struct Layer {
+    int in, out;
+    Vec weights;  // row-major out x in
+    Vec bias;
+    Vec grad_weights;
+    Vec grad_bias;
+  };
+
+  static double Activate(Activation a, double x);
+  static double ActivateGrad(Activation a, double pre, double post);
+
+  std::vector<int> dims_;
+  Activation activation_;
+  std::vector<Layer> layers_;
+  // Caches from the last Forward(); inputs_[l] feeds layer l,
+  // pre_[l] holds the pre-activation of layer l.
+  std::vector<Vec> inputs_;
+  std::vector<Vec> pre_;
+};
+
+}  // namespace logirec::math
+
+#endif  // LOGIREC_MATH_MLP_H_

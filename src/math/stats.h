@@ -1,0 +1,42 @@
+#ifndef LOGIREC_MATH_STATS_H_
+#define LOGIREC_MATH_STATS_H_
+
+#include <vector>
+
+namespace logirec::math {
+
+/// Streaming mean/variance accumulator (Welford). Used for the ± columns in
+/// the regenerated tables.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  int count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Arithmetic mean of `v` (0 for empty input).
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation of `v` (0 for fewer than two samples).
+double StdDev(const std::vector<double>& v);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (ties get average ranks).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace logirec::math
+
+#endif  // LOGIREC_MATH_STATS_H_

@@ -1,0 +1,94 @@
+#include "math/vec.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace logirec::math {
+
+double Dot(ConstSpan a, ConstSpan b) {
+  LOGIREC_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm(ConstSpan a) { return std::sqrt(SquaredNorm(a)); }
+
+double SquaredNorm(ConstSpan a) {
+  double s = 0.0;
+  for (double x : a) s += x * x;
+  return s;
+}
+
+double SquaredDistance(ConstSpan a, ConstSpan b) {
+  LOGIREC_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double Distance(ConstSpan a, ConstSpan b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+Vec Add(ConstSpan a, ConstSpan b) {
+  LOGIREC_CHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Sub(ConstSpan a, ConstSpan b) {
+  LOGIREC_CHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec Scale(ConstSpan a, double s) {
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void Axpy(double s, ConstSpan src, Span dst) {
+  LOGIREC_CHECK(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) dst[i] += s * src[i];
+}
+
+void ScaleInPlace(Span dst, double s) {
+  for (double& x : dst) x *= s;
+}
+
+void Zero(Span dst) {
+  for (double& x : dst) x = 0.0;
+}
+
+void Copy(ConstSpan src, Span dst) {
+  LOGIREC_CHECK(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+}
+
+double ClipNorm(Span v, double max_norm) {
+  const double n = Norm(v);
+  if (n > max_norm && n > 0.0) ScaleInPlace(v, max_norm / n);
+  return n;
+}
+
+double SafeAcosh(double x) {
+  constexpr double kEps = 1e-12;
+  if (x < 1.0 + kEps) x = 1.0 + kEps;
+  return std::acosh(x);
+}
+
+double SafeAcoshGrad(double x) {
+  constexpr double kEps = 1e-12;
+  if (x < 1.0 + kEps) x = 1.0 + kEps;
+  return 1.0 / std::sqrt(x * x - 1.0);
+}
+
+}  // namespace logirec::math

@@ -1,0 +1,66 @@
+#ifndef LOGIREC_MATH_VEC_H_
+#define LOGIREC_MATH_VEC_H_
+
+#include <span>
+#include <vector>
+
+namespace logirec::math {
+
+/// Owned dense vector of doubles. The geometry stack operates on
+/// `std::span<const double>` views so it can work on rows of the packed
+/// embedding tables without copies.
+using Vec = std::vector<double>;
+using Span = std::span<double>;
+using ConstSpan = std::span<const double>;
+
+/// Euclidean dot product. Spans must have equal length.
+double Dot(ConstSpan a, ConstSpan b);
+
+/// Euclidean (L2) norm.
+double Norm(ConstSpan a);
+
+/// Squared Euclidean norm.
+double SquaredNorm(ConstSpan a);
+
+/// Squared Euclidean distance ||a-b||^2.
+double SquaredDistance(ConstSpan a, ConstSpan b);
+
+/// Euclidean distance ||a-b||.
+double Distance(ConstSpan a, ConstSpan b);
+
+/// out = a + b.
+Vec Add(ConstSpan a, ConstSpan b);
+
+/// out = a - b.
+Vec Sub(ConstSpan a, ConstSpan b);
+
+/// out = s * a.
+Vec Scale(ConstSpan a, double s);
+
+/// dst += s * src (fused AXPY). Spans must have equal length.
+void Axpy(double s, ConstSpan src, Span dst);
+
+/// dst *= s in place.
+void ScaleInPlace(Span dst, double s);
+
+/// dst = 0.
+void Zero(Span dst);
+
+/// dst = src (copy into a preallocated span).
+void Copy(ConstSpan src, Span dst);
+
+/// Rescales `v` in place to have at most norm `max_norm` (no-op when
+/// shorter). Returns the original norm.
+double ClipNorm(Span v, double max_norm);
+
+/// Numerically safe acosh: clamps the argument up to 1 + eps before calling
+/// std::acosh (inputs can dip below 1 from rounding).
+double SafeAcosh(double x);
+
+/// d/dx acosh(x) with the same clamping; the derivative is capped so that
+/// gradients stay finite at the boundary x -> 1+.
+double SafeAcoshGrad(double x);
+
+}  // namespace logirec::math
+
+#endif  // LOGIREC_MATH_VEC_H_

@@ -1,0 +1,68 @@
+#include "opt/optimizer.h"
+
+#include <cmath>
+
+#include "hyper/lorentz.h"
+#include "hyper/poincare.h"
+#include "util/logging.h"
+
+namespace logirec::opt {
+
+void SgdOptimizer::Step(int /*row*/, Span x, ConstSpan grad) {
+  LOGIREC_CHECK(x.size() == grad.size());
+  math::Vec g(grad.begin(), grad.end());
+  if (clip_ > 0.0) math::ClipNorm(Span(g), clip_);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] -= lr_ * (g[i] + l2_ * x[i]);
+  }
+}
+
+AdamOptimizer::AdamOptimizer(double lr, int rows, int dim, double beta1,
+                             double beta2, double eps)
+    : RowOptimizer(lr),
+      dim_(dim),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      m_(rows),
+      v_(rows),
+      t_(rows, 0) {}
+
+void AdamOptimizer::Step(int row, Span x, ConstSpan grad) {
+  LOGIREC_CHECK(row >= 0 && row < static_cast<int>(m_.size()));
+  LOGIREC_CHECK(static_cast<int>(x.size()) == dim_);
+  if (m_[row].empty()) {
+    m_[row].assign(dim_, 0.0);
+    v_[row].assign(dim_, 0.0);
+  }
+  auto& m = m_[row];
+  auto& v = v_[row];
+  const long t = ++t_[row];
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t));
+  for (int i = 0; i < dim_; ++i) {
+    m[i] = beta1_ * m[i] + (1.0 - beta1_) * grad[i];
+    v[i] = beta2_ * v[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    x[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+void PoincareRsgd::Step(int /*row*/, Span x, ConstSpan grad) {
+  math::Vec g(grad.begin(), grad.end());
+  if (clip_ > 0.0) math::ClipNorm(Span(g), clip_);
+  if (use_eq17_) {
+    hyper::RsgdStepPoincareEq17(x, g, lr_);
+  } else {
+    hyper::RsgdStepPoincare(x, g, lr_);
+  }
+}
+
+void LorentzRsgd::Step(int /*row*/, Span x, ConstSpan grad) {
+  math::Vec g(grad.begin(), grad.end());
+  if (clip_ > 0.0) math::ClipNorm(Span(g), clip_);
+  hyper::RsgdStepLorentz(x, g, lr_);
+}
+
+}  // namespace logirec::opt

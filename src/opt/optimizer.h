@@ -1,0 +1,87 @@
+#ifndef LOGIREC_OPT_OPTIMIZER_H_
+#define LOGIREC_OPT_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "math/vec.h"
+
+namespace logirec::opt {
+
+using math::ConstSpan;
+using math::Span;
+
+/// Applies a gradient step to one embedding row. Implementations may keep
+/// per-row state (e.g. Adam moments), keyed by `row`.
+class RowOptimizer {
+ public:
+  virtual ~RowOptimizer() = default;
+
+  /// Updates `x` in place given the (Euclidean, ambient) gradient `grad`.
+  virtual void Step(int row, Span x, ConstSpan grad) = 0;
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+ protected:
+  explicit RowOptimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// Plain Euclidean SGD with optional L2 weight decay and gradient clipping.
+class SgdOptimizer final : public RowOptimizer {
+ public:
+  explicit SgdOptimizer(double lr, double l2 = 0.0, double clip = 0.0)
+      : RowOptimizer(lr), l2_(l2), clip_(clip) {}
+  void Step(int row, Span x, ConstSpan grad) override;
+
+ private:
+  double l2_;
+  double clip_;
+};
+
+/// Adam with per-row first/second moment state; rows are lazily allocated.
+class AdamOptimizer final : public RowOptimizer {
+ public:
+  AdamOptimizer(double lr, int rows, int dim, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+  void Step(int row, Span x, ConstSpan grad) override;
+
+ private:
+  int dim_;
+  double beta1_, beta2_, eps_;
+  std::vector<math::Vec> m_, v_;
+  std::vector<long> t_;
+};
+
+/// Riemannian SGD in the Poincaré ball (Eq. 17 machinery): rescales the
+/// Euclidean gradient by the inverse metric ((1-||x||^2)^2/4), walks the
+/// Möbius exponential map, projects back into the ball.
+class PoincareRsgd final : public RowOptimizer {
+ public:
+  /// `use_eq17` switches to the paper's literal Eq. 17 Möbius step (no
+  /// conformal factor on the tanh argument).
+  explicit PoincareRsgd(double lr, double clip = 5.0, bool use_eq17 = false)
+      : RowOptimizer(lr), clip_(clip), use_eq17_(use_eq17) {}
+  void Step(int row, Span x, ConstSpan grad) override;
+
+ private:
+  double clip_;
+  bool use_eq17_;
+};
+
+/// Riemannian SGD on the Lorentz hyperboloid (Eqs. 16 & 18): projects the
+/// ambient gradient to the tangent space and walks the exponential map.
+class LorentzRsgd final : public RowOptimizer {
+ public:
+  explicit LorentzRsgd(double lr, double clip = 5.0)
+      : RowOptimizer(lr), clip_(clip) {}
+  void Step(int row, Span x, ConstSpan grad) override;
+
+ private:
+  double clip_;
+};
+
+}  // namespace logirec::opt
+
+#endif  // LOGIREC_OPT_OPTIMIZER_H_

@@ -1,0 +1,31 @@
+#ifndef LOGIREC_UTIL_CSV_H_
+#define LOGIREC_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace logirec {
+
+/// In-memory CSV document: a header row plus data rows. Used for dataset
+/// import/export and for dumping figure series (Figs. 5–8).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Writes `table` to `path`, comma-separated. Fields containing commas or
+/// quotes are quoted.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+/// Reads a CSV file written by WriteCsv (or any simple comma-separated file
+/// with a header row; quoted fields supported).
+Result<CsvTable> ReadCsv(const std::string& path);
+
+}  // namespace logirec
+
+#endif  // LOGIREC_UTIL_CSV_H_

@@ -1,0 +1,146 @@
+#include "util/flags.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace logirec {
+
+void FlagParser::AddInt(const std::string& name, int default_value,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      std::fputs(Usage().c_str(), stdout);
+      continue;
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+    size_t eq = arg.find('=');
+    std::string name(arg.substr(0, eq));
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    Flag& flag = it->second;
+    if (eq == std::string_view::npos) {
+      if (flag.type != Type::kBool) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      flag.bool_value = true;
+      continue;
+    }
+    std::string value(arg.substr(eq + 1));
+    switch (flag.type) {
+      case Type::kInt: {
+        auto parsed = ParseInt(value);
+        if (!parsed.ok()) return parsed.status();
+        flag.int_value = *parsed;
+        break;
+      }
+      case Type::kDouble: {
+        auto parsed = ParseDouble(value);
+        if (!parsed.ok()) return parsed.status();
+        flag.double_value = *parsed;
+        break;
+      }
+      case Type::kString:
+        flag.string_value = value;
+        break;
+      case Type::kBool:
+        flag.bool_value = (value == "1" || ToLower(value) == "true");
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name,
+                                         Type type) const {
+  auto it = flags_.find(name);
+  LOGIREC_CHECK_MSG(it != flags_.end(), "flag not registered: " + name);
+  LOGIREC_CHECK_MSG(it->second.type == type, "flag type mismatch: " + name);
+  return &it->second;
+}
+
+int FlagParser::GetInt(const std::string& name) const {
+  return Find(name, Type::kInt)->int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return Find(name, Type::kDouble)->double_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return Find(name, Type::kString)->string_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return Find(name, Type::kBool)->bool_value;
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + "=";
+    switch (flag.type) {
+      case Type::kInt:
+        out += StrFormat("%d", flag.int_value);
+        break;
+      case Type::kDouble:
+        out += StrFormat("%g", flag.double_value);
+        break;
+      case Type::kString:
+        out += flag.string_value;
+        break;
+      case Type::kBool:
+        out += flag.bool_value ? "true" : "false";
+        break;
+    }
+    out += "\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace logirec

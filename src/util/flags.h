@@ -1,0 +1,65 @@
+#ifndef LOGIREC_UTIL_FLAGS_H_
+#define LOGIREC_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace logirec {
+
+/// Minimal `--name=value` command-line flag parser used by benches and
+/// examples. Unknown flags are an error so typos surface immediately.
+///
+/// Usage:
+///   FlagParser flags;
+///   flags.AddInt("epochs", 30, "training epochs");
+///   flags.AddDouble("lambda", 0.1, "logic regularizer weight");
+///   LOGIREC_CHECK(flags.Parse(argc, argv).ok());
+///   int epochs = flags.GetInt("epochs");
+class FlagParser {
+ public:
+  void AddInt(const std::string& name, int default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv; returns an error on unknown flags or malformed values.
+  /// `--help` prints usage and sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  int GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders "--name=default  help" usage text.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    int int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  const Flag* Find(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace logirec
+
+#endif  // LOGIREC_UTIL_FLAGS_H_

@@ -1,0 +1,63 @@
+#ifndef LOGIREC_UTIL_LOGGING_H_
+#define LOGIREC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace logirec {
+
+/// Severity levels for the logging facility, ordered by importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line emitter; flushes on destruction. Not intended for
+/// direct use — prefer the LOGIREC_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Emits one log line: `LOGIREC_LOG(kInfo) << "epoch " << e;`
+#define LOGIREC_LOG(level)                                         \
+  ::logirec::internal::LogMessage(::logirec::LogLevel::level,      \
+                                  __FILE__, __LINE__)              \
+      .stream()
+
+/// Crash-with-message invariant check, active in all build types.
+#define LOGIREC_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      LOGIREC_LOG(kError) << "CHECK failed: " #cond;                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define LOGIREC_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      LOGIREC_LOG(kError) << "CHECK failed: " #cond << " — " << (msg);   \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+}  // namespace logirec
+
+#endif  // LOGIREC_UTIL_LOGGING_H_

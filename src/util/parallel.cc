@@ -1,0 +1,45 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace logirec {
+
+int DefaultThreadCount() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 4 : static_cast<int>(n);
+}
+
+void ParallelFor(int begin, int end, const std::function<void(int)>& fn,
+                 int num_threads) {
+  if (end <= begin) return;
+  const int total = end - begin;
+  int workers = num_threads > 0 ? num_threads : DefaultThreadCount();
+  workers = std::min(workers, total);
+  if (workers <= 1) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{begin};
+  auto work = [&]() {
+    // Chunked dynamic scheduling amortizes the atomic increment.
+    constexpr int kChunk = 16;
+    while (true) {
+      int start = next.fetch_add(kChunk, std::memory_order_relaxed);
+      if (start >= end) break;
+      int stop = std::min(start + kChunk, end);
+      for (int i = start; i < stop; ++i) fn(i);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (int t = 0; t < workers - 1; ++t) threads.emplace_back(work);
+  work();
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace logirec

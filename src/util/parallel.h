@@ -1,0 +1,20 @@
+#ifndef LOGIREC_UTIL_PARALLEL_H_
+#define LOGIREC_UTIL_PARALLEL_H_
+
+#include <functional>
+
+namespace logirec {
+
+/// Runs `fn(i)` for i in [begin, end) across `num_threads` workers
+/// (0 → hardware concurrency). Blocks until all iterations complete. The
+/// callable must be safe to invoke concurrently for distinct indices.
+void ParallelFor(int begin, int end, const std::function<void(int)>& fn,
+                 int num_threads = 0);
+
+/// Returns the number of worker threads ParallelFor would use for
+/// num_threads=0.
+int DefaultThreadCount();
+
+}  // namespace logirec
+
+#endif  // LOGIREC_UTIL_PARALLEL_H_

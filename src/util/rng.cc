@@ -1,0 +1,107 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace logirec {
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+  has_spare_ = false;
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53-bit mantissa in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+int Rng::UniformInt(int n) {
+  LOGIREC_CHECK(n > 0);
+  return static_cast<int>(NextU64() % static_cast<uint64_t>(n));
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  LOGIREC_CHECK(hi >= lo);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+double Rng::Gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = Uniform();
+  double u2 = Uniform();
+  // Guard against log(0).
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  LOGIREC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  LOGIREC_CHECK(total > 0.0);
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+int Rng::Zipf(int n, double s) {
+  LOGIREC_CHECK(n > 0);
+  if (s <= 0.0) return UniformInt(n);
+  // Inverse-CDF over precomputation-free harmonic approximation: rejection
+  // would be overkill at our scale; do a direct linear scan for small n and
+  // a two-stage scan otherwise.
+  double total = 0.0;
+  for (int i = 1; i <= n; ++i) total += std::pow(i, -s);
+  double r = Uniform() * total;
+  for (int i = 1; i <= n; ++i) {
+    r -= std::pow(i, -s);
+    if (r <= 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace logirec

@@ -1,0 +1,38 @@
+#ifndef LOGIREC_UTIL_STRING_UTIL_H_
+#define LOGIREC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace logirec {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Locale-independent numeric parsing.
+Result<int> ParseInt(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+}  // namespace logirec
+
+#endif  // LOGIREC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,37 @@
+#ifndef LOGIREC_UTIL_TABLE_PRINTER_H_
+#define LOGIREC_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace logirec {
+
+/// Renders aligned ASCII tables like the paper's result tables. Used by the
+/// bench harnesses so the regenerated rows read like Table II/III/IV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row; must match the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next row.
+  void AddSeparator();
+
+  /// Renders the table, padding every column to its widest cell.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats `mean ± std` percentages like the paper ("6.67±0.05").
+std::string FormatMeanStd(double mean, double std_dev);
+
+}  // namespace logirec
+
+#endif  // LOGIREC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,123 @@
+// Model-specific invariants of the baseline implementations, beyond the
+// shared beats-random check in baselines_test.cc.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "hyper/lorentz.h"
+
+namespace logirec::baselines {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  data::Split split;
+  Fixture() {
+    data::SyntheticConfig config;
+    config.num_users = 90;
+    config.num_items = 110;
+    config.seed = 21;
+    dataset = data::GenerateSynthetic(config);
+    split = data::TemporalSplit(dataset);
+  }
+};
+
+core::TrainConfig FastConfig() {
+  core::TrainConfig config;
+  config.dim = 16;
+  config.layers = 2;
+  config.epochs = 20;
+  return config;
+}
+
+TEST(BaselineInvariantsTest, HgcfEmbeddingsLieOnHyperboloid) {
+  Fixture fx;
+  auto model = MakeModel("HGCF", FastConfig());
+  ASSERT_TRUE((*model)->Fit(fx.dataset, fx.split).ok());
+  const math::Matrix* items = (*model)->ItemEmbeddings();
+  ASSERT_NE(items, nullptr);
+  EXPECT_EQ((*model)->item_space(),
+            core::Recommender::ItemSpace::kLorentz);
+  for (int v = 0; v < items->rows(); ++v) {
+    EXPECT_NEAR(hyper::LorentzDot(items->Row(v), items->Row(v)), -1.0, 1e-6);
+  }
+}
+
+TEST(BaselineInvariantsTest, MoreEpochsDoNotCollapseScores) {
+  // Training longer must keep scores finite and quality above random —
+  // guards against the norm-explosion collapse mode of metric models.
+  Fixture fx;
+  for (const char* name : {"HGCF", "HRCF", "HyperML", "CML"}) {
+    core::TrainConfig config = FastConfig();
+    config.epochs = 60;
+    auto model = MakeModel(name, config);
+    ASSERT_TRUE((*model)->Fit(fx.dataset, fx.split).ok()) << name;
+    eval::Evaluator evaluator(&fx.split, fx.dataset.num_items);
+    const double recall = evaluator.Evaluate(**model).Get("Recall@20");
+    EXPECT_GT(recall, 3.0) << name << " collapsed after long training";
+  }
+}
+
+TEST(BaselineInvariantsTest, TagAwareModelsUseTagInformation) {
+  // Stripping all tags must not *help* the tag-aware models; on this
+  // taxonomy-clustered data it should hurt (or at worst tie) each of
+  // AMF / CMLF / AGCN on average.
+  Fixture fx;
+  data::Dataset untagged = fx.dataset;
+  for (auto& tags : untagged.item_tags) tags.clear();
+
+  double with_tags_total = 0.0, without_tags_total = 0.0;
+  eval::Evaluator evaluator(&fx.split, fx.dataset.num_items);
+  core::TrainConfig config = FastConfig();
+  config.epochs = 50;  // let the tag pathways mature
+  for (const char* name : {"AMF", "CMLF", "AGCN"}) {
+    auto tagged_model = MakeModel(name, config);
+    ASSERT_TRUE((*tagged_model)->Fit(fx.dataset, fx.split).ok());
+    with_tags_total += evaluator.Evaluate(**tagged_model).Get("Recall@20");
+
+    auto untagged_model = MakeModel(name, config);
+    ASSERT_TRUE((*untagged_model)->Fit(untagged, fx.split).ok());
+    without_tags_total +=
+        evaluator.Evaluate(**untagged_model).Get("Recall@20");
+  }
+  // Tags are a small fixture-level signal; the guard is against the
+  // fusion pathway actively *hurting* (a wiring bug would).
+  EXPECT_GE(with_tags_total, without_tags_total * 0.9);
+}
+
+TEST(BaselineInvariantsTest, NeumfProbabilitiesAreWellFormedLogits) {
+  Fixture fx;
+  auto model = MakeModel("NeuMF", FastConfig());
+  ASSERT_TRUE((*model)->Fit(fx.dataset, fx.split).ok());
+  std::vector<double> scores;
+  (*model)->ScoreItems(3, &scores);
+  // Logits must be finite and not constant (a constant output means the
+  // towers learned nothing).
+  double mn = scores[0], mx = scores[0];
+  for (double s : scores) {
+    ASSERT_TRUE(std::isfinite(s));
+    mn = std::min(mn, s);
+    mx = std::max(mx, s);
+  }
+  EXPECT_GT(mx - mn, 1e-6);
+}
+
+TEST(BaselineInvariantsTest, ZooModelsIgnoreUnusedKnobsGracefully) {
+  // Models that do not read lambda/layers must still train when those are
+  // set to unusual values.
+  Fixture fx;
+  core::TrainConfig config = FastConfig();
+  config.lambda = 9.0;
+  config.layers = 4;
+  for (const char* name : {"BPRMF", "CML", "TransC", "GDCF"}) {
+    auto model = MakeModel(name, config);
+    ASSERT_TRUE((*model)->Fit(fx.dataset, fx.split).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace logirec::baselines

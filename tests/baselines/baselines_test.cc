@@ -1,0 +1,100 @@
+#include "baselines/model_zoo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace logirec::baselines {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  data::Split split;
+
+  Fixture() {
+    data::SyntheticConfig config;
+    config.name = "cd-mini";
+    config.num_users = 120;
+    config.num_items = 150;
+    config.seed = 9;
+    dataset = data::GenerateSynthetic(config);
+    split = data::TemporalSplit(dataset);
+  }
+};
+
+core::TrainConfig FastConfig() {
+  core::TrainConfig config;
+  config.dim = 16;
+  config.layers = 2;
+  config.epochs = 30;
+  return config;
+}
+
+TEST(ModelZooTest, UnknownNameFails) {
+  auto model = MakeModel("SVD++", FastConfig());
+  EXPECT_FALSE(model.ok());
+}
+
+TEST(ModelZooTest, NameListsAreConsistent) {
+  EXPECT_EQ(BaselineNames().size(), 13u);
+  EXPECT_EQ(AllModelNames().size(), 15u);
+  EXPECT_EQ(AllModelNames().back(), "LogiRec++");
+}
+
+TEST(ModelZooTest, ReportedNamesMatchRegistry) {
+  for (const std::string& name : AllModelNames()) {
+    auto model = MakeModel(name, FastConfig());
+    ASSERT_TRUE(model.ok()) << name;
+    EXPECT_EQ((*model)->name(), name);
+  }
+}
+
+class EveryModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryModelTest, TrainsScoresAndBeatsRandom) {
+  Fixture fx;
+  auto model = MakeModel(GetParam(), FastConfig());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(fx.dataset, fx.split).ok());
+
+  std::vector<double> scores;
+  (*model)->ScoreItems(0, &scores);
+  ASSERT_EQ(static_cast<int>(scores.size()), fx.dataset.num_items);
+  for (double s : scores) ASSERT_TRUE(std::isfinite(s)) << GetParam();
+
+  eval::Evaluator evaluator(&fx.split, fx.dataset.num_items);
+  const auto result = evaluator.Evaluate(**model);
+  // Uniform-random recall@20 on 150 items is ~13% of a 20/150 chance per
+  // truth item — every trained model must clear 3%.
+  EXPECT_GT(result.Get("Recall@20"), 3.0) << GetParam();
+}
+
+TEST_P(EveryModelTest, DeterministicInSeed) {
+  Fixture fx;
+  auto a = MakeModel(GetParam(), FastConfig());
+  auto b = MakeModel(GetParam(), FastConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*a)->Fit(fx.dataset, fx.split).ok());
+  ASSERT_TRUE((*b)->Fit(fx.dataset, fx.split).ok());
+  std::vector<double> sa, sb;
+  (*a)->ScoreItems(5, &sa);
+  (*b)->ScoreItems(5, &sb);
+  EXPECT_EQ(sa, sb) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, EveryModelTest,
+    ::testing::ValuesIn(AllModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace logirec::baselines

@@ -1,0 +1,94 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/embedding.h"
+#include "core/negative_sampler.h"
+#include "core/train_util.h"
+#include "data/synthetic.h"
+#include "hyper/hyperplane.h"
+#include "hyper/lorentz.h"
+#include "hyper/poincare.h"
+
+namespace logirec::core {
+namespace {
+
+TEST(EmbeddingInitTest, PoincareRowsInsideBall) {
+  Rng rng(1);
+  math::Matrix m(50, 8);
+  InitPoincareRows(&m, &rng, 0.5);
+  for (int r = 0; r < 50; ++r) {
+    EXPECT_LT(math::Norm(m.Row(r)), 1.0);
+  }
+}
+
+TEST(EmbeddingInitTest, LorentzRowsOnHyperboloid) {
+  Rng rng(2);
+  math::Matrix m(50, 9);
+  InitLorentzRows(&m, &rng, 0.5);
+  for (int r = 0; r < 50; ++r) {
+    EXPECT_NEAR(hyper::LorentzDot(m.Row(r), m.Row(r)), -1.0, 1e-9);
+  }
+}
+
+TEST(EmbeddingInitTest, HyperplaneCentersFollowLevels) {
+  // Deeper tags must start farther from the origin (finer granularity).
+  data::Taxonomy taxonomy;
+  const int a = taxonomy.AddTag("A");
+  const int a1 = taxonomy.AddTag("A1", a);
+  const int a11 = taxonomy.AddTag("A11", a1);
+  Rng rng(3);
+  math::Matrix m(3, 6);
+  InitHyperplaneCenters(&m, taxonomy, &rng);
+  EXPECT_LT(math::Norm(m.Row(a)), math::Norm(m.Row(a1)));
+  EXPECT_LT(math::Norm(m.Row(a1)), math::Norm(m.Row(a11)));
+  for (int t = 0; t < 3; ++t) {
+    const double n = math::Norm(m.Row(t));
+    EXPECT_GE(n, hyper::kMinCenterNorm - 1e-9);
+    EXPECT_LE(n, hyper::kMaxCenterNorm + 1e-9);
+  }
+}
+
+TEST(NegativeSamplerTest, NeverReturnsTrainPositive) {
+  const std::vector<std::vector<int>> train = {{0, 1, 2}, {5}};
+  NegativeSampler sampler(10, train);
+  Rng rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int neg = sampler.Sample(0, &rng);
+    EXPECT_FALSE(sampler.IsPositive(0, neg));
+    EXPECT_GE(neg, 0);
+    EXPECT_LT(neg, 10);
+  }
+}
+
+TEST(NegativeSamplerTest, CoversNegativeItems) {
+  const std::vector<std::vector<int>> train = {{0}};
+  NegativeSampler sampler(5, train);
+  Rng rng(5);
+  std::set<int> seen;
+  for (int trial = 0; trial < 200; ++trial) seen.insert(sampler.Sample(0, &rng));
+  EXPECT_EQ(seen.size(), 4u);  // items 1..4
+}
+
+TEST(TrainUtilTest, ShuffledPairsContainAllInteractions) {
+  const std::vector<std::vector<int>> train = {{3, 4}, {}, {7}};
+  Rng rng(6);
+  auto pairs = ShuffledTrainPairs(train, &rng);
+  ASSERT_EQ(pairs.size(), 3u);
+  std::set<std::pair<int, int>> expected = {{0, 3}, {0, 4}, {2, 7}};
+  std::set<std::pair<int, int>> got(pairs.begin(), pairs.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(TrainUtilTest, BatchRangesCoverTotal) {
+  auto ranges = BatchRanges(10, 4);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], std::make_pair(0, 4));
+  EXPECT_EQ(ranges[1], std::make_pair(4, 8));
+  EXPECT_EQ(ranges[2], std::make_pair(8, 10));
+  EXPECT_TRUE(BatchRanges(0, 4).empty());
+  EXPECT_EQ(BatchRanges(3, 100).size(), 1u);
+}
+
+}  // namespace
+}  // namespace logirec::core

@@ -1,0 +1,93 @@
+// The design-choice ablation knobs must train successfully and actually
+// change the computation (distinct scores from the default).
+
+#include <gtest/gtest.h>
+
+#include "core/logirec_model.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "hyper/poincare.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  data::Split split;
+  Fixture() {
+    data::SyntheticConfig config;
+    config.num_users = 90;
+    config.num_items = 110;
+    config.seed = 31;
+    dataset = data::GenerateSynthetic(config);
+    split = data::TemporalSplit(dataset);
+  }
+};
+
+LogiRecConfig FastConfig() {
+  LogiRecConfig config;
+  config.dim = 16;
+  config.layers = 2;
+  config.epochs = 25;
+  return config;
+}
+
+struct KnobParam {
+  const char* label;
+  void (*apply)(LogiRecConfig*);
+};
+
+class DesignKnobTest : public ::testing::TestWithParam<KnobParam> {};
+
+TEST_P(DesignKnobTest, TrainsAndDiffersFromDefault) {
+  Fixture fx;
+  LogiRecModel base(FastConfig());
+  ASSERT_TRUE(base.Fit(fx.dataset, fx.split).ok());
+
+  LogiRecConfig variant_config = FastConfig();
+  GetParam().apply(&variant_config);
+  LogiRecModel variant(variant_config);
+  ASSERT_TRUE(variant.Fit(fx.dataset, fx.split).ok());
+
+  eval::Evaluator evaluator(&fx.split, fx.dataset.num_items);
+  EXPECT_GT(evaluator.Evaluate(variant).Get("Recall@20"), 3.0)
+      << GetParam().label;
+
+  std::vector<double> base_scores, variant_scores;
+  base.ScoreItems(0, &base_scores);
+  variant.ScoreItems(0, &variant_scores);
+  EXPECT_NE(base_scores, variant_scores)
+      << GetParam().label << " had no effect on the computation";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, DesignKnobTest,
+    ::testing::Values(
+        KnobParam{"symmetric_norm",
+                  [](LogiRecConfig* c) { c->symmetric_gcn_norm = true; }},
+        KnobParam{"truncated_backprop",
+                  [](LogiRecConfig* c) { c->detach_gcn_backward = true; }},
+        KnobParam{"eq17_exp_map",
+                  [](LogiRecConfig* c) { c->use_eq17_exp_map = true; }}),
+    [](const ::testing::TestParamInfo<KnobParam>& info) {
+      return info.param.label;
+    });
+
+TEST(Eq17StepTest, StaysInBallAndDescends) {
+  Rng rng(5);
+  math::Vec x{0.1, 0.2};
+  const math::Vec target{0.6, -0.2};
+  const double before = hyper::PoincareDistance(x, target);
+  for (int step = 0; step < 200; ++step) {
+    math::Vec g(2, 0.0);
+    hyper::PoincareDistanceGrad(x, target, 1.0, math::Span(g),
+                                math::Span());
+    hyper::RsgdStepPoincareEq17(math::Span(x), g, 0.1);
+    ASSERT_LT(math::Norm(x), 1.0);
+  }
+  EXPECT_LT(hyper::PoincareDistance(x, target), 0.5 * before);
+}
+
+}  // namespace
+}  // namespace logirec::core

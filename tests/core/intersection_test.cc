@@ -1,0 +1,142 @@
+// Tests for the intersection relation (the paper's future-work
+// set-theoretic extension): extraction, loss/gradient, and end-to-end
+// training with use_intersection enabled.
+
+#include <gtest/gtest.h>
+
+#include "core/logic_losses.h"
+#include "core/logirec_model.h"
+#include "hyper/hyperplane.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+namespace {
+
+using math::Vec;
+using testing::ExpectGradientsClose;
+using testing::NumericalGradient;
+
+TEST(IntersectionExtractionTest, RequiresSupportAndSkipsAncestors) {
+  data::Taxonomy taxonomy;
+  const int a = taxonomy.AddTag("A");
+  const int a1 = taxonomy.AddTag("A1", a);
+  const int b = taxonomy.AddTag("B");
+  // A1 co-occurs with B on two items; A1 with its ancestor A on many.
+  const std::vector<std::vector<int>> item_tags = {
+      {a1, b}, {a1, b}, {a1, a}, {a1, a}, {a1, a}};
+  const auto pairs = taxonomy.IntersectionPairs(item_tags, 2);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, a1);
+  EXPECT_EQ(pairs[0].b, b);
+  EXPECT_EQ(pairs[0].support, 2);
+
+  // Raising the support threshold removes the pair.
+  EXPECT_TRUE(taxonomy.IntersectionPairs(item_tags, 3).empty());
+}
+
+TEST(IntersectionLossTest, ZeroWhenBallsOverlap) {
+  // Near-colinear small-norm centers -> giant overlapping balls.
+  const Vec a{0.3, 0.0};
+  const Vec b{0.32, 0.01};
+  EXPECT_DOUBLE_EQ(IntersectionLoss(a, b), 0.0);
+}
+
+TEST(IntersectionLossTest, PositiveWhenBallsDisjoint) {
+  const Vec a{0.8, 0.0};
+  const Vec b{-0.8, 0.0};
+  EXPECT_GT(IntersectionLoss(a, b), 0.0);
+}
+
+TEST(IntersectionLossTest, MirrorsExclusionLoss) {
+  // For any pair, exactly one of exclusion/intersection loss is active
+  // (they share the boundary where both vanish).
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec a(3), b(3);
+    for (double& x : a) x = rng.Gaussian(0.0, 1.0);
+    for (double& x : b) x = rng.Gaussian(0.0, 1.0);
+    math::ScaleInPlace(math::Span(a), rng.Uniform(0.2, 0.9) / math::Norm(a));
+    math::ScaleInPlace(math::Span(b), rng.Uniform(0.2, 0.9) / math::Norm(b));
+    const double ex = ExclusionLoss(a, b);
+    const double in = IntersectionLoss(a, b);
+    EXPECT_TRUE(ex == 0.0 || in == 0.0);
+  }
+}
+
+TEST(IntersectionLossTest, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec a(3), b(3);
+    for (double& x : a) x = rng.Gaussian(0.0, 1.0);
+    for (double& x : b) x = rng.Gaussian(0.0, 1.0);
+    math::ScaleInPlace(math::Span(a), rng.Uniform(0.6, 0.9) / math::Norm(a));
+    math::ScaleInPlace(math::Span(b), rng.Uniform(0.6, 0.9) / math::Norm(b));
+    // Push them to opposite directions until the hinge is active.
+    if (IntersectionLoss(a, b) <= 1e-3) {
+      --trial;
+      continue;
+    }
+    Vec ga(3, 0.0), gb(3, 0.0);
+    IntersectionLossAndGrad(a, b, 1.0, math::Span(ga), math::Span(gb));
+    ExpectGradientsClose(
+        ga, NumericalGradient(
+                [&](const std::vector<double>& x) {
+                  return IntersectionLoss(x, b);
+                },
+                a),
+        1e-4);
+    ExpectGradientsClose(
+        gb, NumericalGradient(
+                [&](const std::vector<double>& x) {
+                  return IntersectionLoss(a, x);
+                },
+                b),
+        1e-4);
+  }
+}
+
+TEST(IntersectionLossTest, GradientStepsPullBallsTogether) {
+  Vec a{0.85, 0.0};
+  Vec b{-0.85, 0.0};
+  const double before = IntersectionLoss(a, b);
+  ASSERT_GT(before, 0.0);
+  for (int step = 0; step < 50; ++step) {
+    Vec ga(2, 0.0), gb(2, 0.0);
+    if (IntersectionLossAndGrad(a, b, 1.0, math::Span(ga),
+                                math::Span(gb)) <= 0.0) {
+      break;
+    }
+    for (int i = 0; i < 2; ++i) {
+      a[i] -= 0.05 * ga[i];
+      b[i] -= 0.05 * gb[i];
+    }
+    hyper::ClampHyperplaneCenter(math::Span(a));
+    hyper::ClampHyperplaneCenter(math::Span(b));
+  }
+  EXPECT_LT(IntersectionLoss(a, b), before);
+}
+
+TEST(IntersectionModelTest, TrainsWithIntersectionEnabled) {
+  data::SyntheticConfig config;
+  config.num_users = 100;
+  config.num_items = 120;
+  config.seed = 4;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  const data::Split split = data::TemporalSplit(dataset);
+
+  LogiRecConfig model_config;
+  model_config.dim = 16;
+  model_config.epochs = 25;
+  model_config.use_intersection = true;
+  model_config.intersection_min_support = 2;
+  LogiRecModel model(model_config);
+  ASSERT_TRUE(model.Fit(dataset, split).ok());
+  eval::Evaluator evaluator(&split, dataset.num_items);
+  EXPECT_GT(evaluator.Evaluate(model).Get("Recall@20"), 3.0);
+}
+
+}  // namespace
+}  // namespace logirec::core

@@ -1,0 +1,219 @@
+#include "core/logic_losses.h"
+
+#include <gtest/gtest.h>
+
+#include "hyper/hyperplane.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+namespace {
+
+using hyper::Ball;
+using hyper::BallFromCenter;
+using math::Vec;
+using testing::ExpectGradientsClose;
+using testing::NumericalGradient;
+
+Vec CenterWithNorm(double n, int d) {
+  Vec c(d, 0.0);
+  c[0] = n;
+  return c;
+}
+
+TEST(MembershipLossTest, ZeroWhenInsideBall) {
+  const Vec c = CenterWithNorm(0.5, 2);   // ball center (1.25, 0), r 0.75
+  const Ball ball = BallFromCenter(c);
+  Vec inside = ball.center;
+  inside[0] -= ball.radius * 0.5;
+  EXPECT_DOUBLE_EQ(MembershipLoss(inside, c), 0.0);
+  Vec gi(2, 0.0), gc(2, 0.0);
+  EXPECT_DOUBLE_EQ(
+      MembershipLossAndGrad(inside, c, 1.0, math::Span(gi), math::Span(gc)),
+      0.0);
+  for (double v : gi) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : gc) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MembershipLossTest, PositiveWhenOutsideBall) {
+  const Vec c = CenterWithNorm(0.5, 2);
+  const Vec far{-0.9, 0.0};  // opposite side of the ball
+  EXPECT_GT(MembershipLoss(far, c), 0.0);
+}
+
+TEST(MembershipLossTest, GradientMatchesFiniteDifference) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec c(3);
+    for (double& x : c) x = rng.Gaussian(0.0, 1.0);
+    math::ScaleInPlace(math::Span(c), rng.Uniform(0.3, 0.7) / math::Norm(c));
+    Vec item(3);
+    for (double& x : item) x = rng.Gaussian(0.0, 0.5);
+    if (MembershipLoss(item, c) <= 1e-3) {
+      --trial;  // re-draw until the hinge is active
+      continue;
+    }
+    Vec gi(3, 0.0), gc(3, 0.0);
+    MembershipLossAndGrad(item, c, 1.0, math::Span(gi), math::Span(gc));
+    ExpectGradientsClose(
+        gi, NumericalGradient(
+                [&](const std::vector<double>& p) {
+                  return MembershipLoss(p, c);
+                },
+                item),
+        1e-4);
+    ExpectGradientsClose(
+        gc, NumericalGradient(
+                [&](const std::vector<double>& p) {
+                  return MembershipLoss(item, p);
+                },
+                c),
+        1e-4);
+  }
+}
+
+TEST(MembershipLossTest, GradientPullsItemTowardBall) {
+  const Vec c = CenterWithNorm(0.6, 2);
+  const Ball ball = BallFromCenter(c);
+  Vec item{-0.8, 0.0};
+  Vec gi(2, 0.0);
+  MembershipLossAndGrad(item, c, 1.0, math::Span(gi), math::Span());
+  // A gradient step must reduce the distance to the ball center.
+  const double before = math::Distance(item, ball.center);
+  for (int i = 0; i < 2; ++i) item[i] -= 0.05 * gi[i];
+  EXPECT_LT(math::Distance(item, ball.center), before);
+}
+
+TEST(HierarchyLossTest, ZeroWhenChildInsideParent) {
+  // A coarse parent (small ||c||, big radius) containing a fine child on
+  // the same ray.
+  const Vec parent = CenterWithNorm(0.3, 2);
+  const Vec child = CenterWithNorm(0.35, 2);
+  EXPECT_DOUBLE_EQ(HierarchyLoss(parent, child), 0.0);
+}
+
+TEST(HierarchyLossTest, PositiveWhenChildEscapesParent) {
+  const Vec parent = CenterWithNorm(0.6, 2);
+  Vec child{0.0, 0.65};  // orthogonal direction — disjoint balls
+  EXPECT_GT(HierarchyLoss(parent, child), 0.0);
+}
+
+TEST(HierarchyLossTest, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec p(3), c(3);
+    for (double& x : p) x = rng.Gaussian(0.0, 1.0);
+    for (double& x : c) x = rng.Gaussian(0.0, 1.0);
+    math::ScaleInPlace(math::Span(p), rng.Uniform(0.4, 0.7) / math::Norm(p));
+    math::ScaleInPlace(math::Span(c), rng.Uniform(0.4, 0.7) / math::Norm(c));
+    if (HierarchyLoss(p, c) <= 1e-3) {
+      --trial;
+      continue;
+    }
+    Vec gp(3, 0.0), gc(3, 0.0);
+    HierarchyLossAndGrad(p, c, 1.0, math::Span(gp), math::Span(gc));
+    ExpectGradientsClose(
+        gp, NumericalGradient(
+                [&](const std::vector<double>& x) {
+                  return HierarchyLoss(x, c);
+                },
+                p),
+        1e-4);
+    ExpectGradientsClose(
+        gc, NumericalGradient(
+                [&](const std::vector<double>& x) {
+                  return HierarchyLoss(p, x);
+                },
+                c),
+        1e-4);
+  }
+}
+
+TEST(ExclusionLossTest, ZeroWhenBallsDisjoint) {
+  const Vec a{0.8, 0.0};
+  const Vec b{-0.8, 0.0};
+  EXPECT_DOUBLE_EQ(ExclusionLoss(a, b), 0.0);
+}
+
+TEST(ExclusionLossTest, PositiveWhenBallsOverlap) {
+  // Nearly colinear centers with small norms -> huge overlapping balls.
+  const Vec a{0.3, 0.0};
+  const Vec b{0.32, 0.01};
+  EXPECT_GT(ExclusionLoss(a, b), 0.0);
+}
+
+TEST(ExclusionLossTest, SymmetricInArguments) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec a(3), b(3);
+    for (double& x : a) x = rng.Gaussian(0.0, 0.3);
+    for (double& x : b) x = rng.Gaussian(0.0, 0.3);
+    math::ScaleInPlace(math::Span(a), 0.5 / math::Norm(a));
+    math::ScaleInPlace(math::Span(b), 0.5 / math::Norm(b));
+    EXPECT_NEAR(ExclusionLoss(a, b), ExclusionLoss(b, a), 1e-12);
+  }
+}
+
+TEST(ExclusionLossTest, GradientMatchesFiniteDifference) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec a(3), b(3);
+    for (double& x : a) x = rng.Gaussian(0.0, 1.0);
+    for (double& x : b) x = rng.Gaussian(0.0, 1.0);
+    math::ScaleInPlace(math::Span(a), rng.Uniform(0.3, 0.5) / math::Norm(a));
+    math::ScaleInPlace(math::Span(b), rng.Uniform(0.3, 0.5) / math::Norm(b));
+    if (ExclusionLoss(a, b) <= 1e-3) {
+      --trial;
+      continue;
+    }
+    Vec ga(3, 0.0), gb(3, 0.0);
+    ExclusionLossAndGrad(a, b, 1.0, math::Span(ga), math::Span(gb));
+    ExpectGradientsClose(
+        ga, NumericalGradient(
+                [&](const std::vector<double>& x) {
+                  return ExclusionLoss(x, b);
+                },
+                a),
+        1e-4);
+    ExpectGradientsClose(
+        gb, NumericalGradient(
+                [&](const std::vector<double>& x) {
+                  return ExclusionLoss(a, x);
+                },
+                b),
+        1e-4);
+  }
+}
+
+TEST(ExclusionLossTest, GradientStepsSeparateOverlappingTags) {
+  Vec a{0.4, 0.0};
+  Vec b{0.42, 0.05};
+  const double before = ExclusionLoss(a, b);
+  ASSERT_GT(before, 0.0);
+  for (int step = 0; step < 200; ++step) {
+    Vec ga(2, 0.0), gb(2, 0.0);
+    if (ExclusionLossAndGrad(a, b, 1.0, math::Span(ga), math::Span(gb)) <=
+        0.0) {
+      break;
+    }
+    for (int i = 0; i < 2; ++i) {
+      a[i] -= 0.02 * ga[i];
+      b[i] -= 0.02 * gb[i];
+    }
+    hyper::ClampHyperplaneCenter(math::Span(a));
+    hyper::ClampHyperplaneCenter(math::Span(b));
+  }
+  EXPECT_LT(ExclusionLoss(a, b), before);
+}
+
+TEST(LogicLossesTest, ScaleParameterScalesGradients) {
+  const Vec c = CenterWithNorm(0.5, 2);
+  const Vec item{-0.9, 0.1};
+  Vec g1(2, 0.0), g2(2, 0.0);
+  MembershipLossAndGrad(item, c, 3.0, math::Span(g1), math::Span());
+  MembershipLossAndGrad(item, c, 1.0, math::Span(g2), math::Span());
+  for (int i = 0; i < 2; ++i) EXPECT_NEAR(g1[i], 3.0 * g2[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace logirec::core

@@ -1,0 +1,178 @@
+#include "core/logirec_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "hyper/hyperplane.h"
+#include "hyper/lorentz.h"
+#include "hyper/poincare.h"
+
+namespace logirec::core {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  data::Split split;
+
+  Fixture() {
+    data::SyntheticConfig config;
+    config.name = "cd-mini";
+    config.num_users = 120;
+    config.num_items = 150;
+    config.seed = 5;
+    dataset = data::GenerateSynthetic(config);
+    split = data::TemporalSplit(dataset);
+  }
+};
+
+LogiRecConfig FastConfig() {
+  LogiRecConfig config;
+  config.dim = 16;
+  config.layers = 2;
+  config.epochs = 40;
+  config.verbose = false;
+  return config;
+}
+
+TEST(LogiRecModelTest, FitRejectsMismatchedSplit) {
+  Fixture fx;
+  LogiRecModel model(FastConfig());
+  data::Split bad;
+  bad.train.resize(3);
+  EXPECT_FALSE(model.Fit(fx.dataset, bad).ok());
+}
+
+TEST(LogiRecModelTest, BeatsRandomScoring) {
+  Fixture fx;
+  LogiRecModel model(FastConfig());
+  ASSERT_TRUE(model.Fit(fx.dataset, fx.split).ok());
+  eval::Evaluator evaluator(&fx.split, fx.dataset.num_items);
+  const auto result = evaluator.Evaluate(model);
+  // Random top-10 recall on 150 items would be well under 7%.
+  EXPECT_GT(result.Get("Recall@10"), 7.0);
+}
+
+TEST(LogiRecModelTest, ItemEmbeddingsStayInBallTagsInRange) {
+  Fixture fx;
+  LogiRecModel model(FastConfig());
+  ASSERT_TRUE(model.Fit(fx.dataset, fx.split).ok());
+  for (int v = 0; v < model.item_poincare().rows(); ++v) {
+    EXPECT_LT(math::Norm(model.item_poincare().Row(v)), 1.0);
+  }
+  for (int t = 0; t < model.tag_centers().rows(); ++t) {
+    const double n = math::Norm(model.tag_centers().Row(t));
+    EXPECT_GE(n, hyper::kMinCenterNorm - 1e-9);
+    EXPECT_LE(n, hyper::kMaxCenterNorm + 1e-9);
+  }
+  for (int u = 0; u < model.final_user().rows(); ++u) {
+    const auto row = model.final_user().Row(u);
+    // Relative to x0^2: far-from-origin points lose absolute precision in
+    // the +1 term of the constraint.
+    const double tol = std::max(1e-6, 1e-9 * row[0] * row[0]);
+    EXPECT_NEAR(hyper::LorentzDot(row, row), -1.0, tol);
+  }
+}
+
+TEST(LogiRecModelTest, ScoresAreFiniteAndComplete) {
+  Fixture fx;
+  LogiRecModel model(FastConfig());
+  ASSERT_TRUE(model.Fit(fx.dataset, fx.split).ok());
+  std::vector<double> scores;
+  model.ScoreItems(0, &scores);
+  ASSERT_EQ(static_cast<int>(scores.size()), fx.dataset.num_items);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(LogiRecModelTest, DeterministicInSeed) {
+  Fixture fx;
+  LogiRecModel a(FastConfig()), b(FastConfig());
+  ASSERT_TRUE(a.Fit(fx.dataset, fx.split).ok());
+  ASSERT_TRUE(b.Fit(fx.dataset, fx.split).ok());
+  std::vector<double> sa, sb;
+  a.ScoreItems(3, &sa);
+  b.ScoreItems(3, &sb);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(LogiRecModelTest, MiningExposesWeights) {
+  Fixture fx;
+  LogiRecConfig config = FastConfig();
+  config.use_mining = true;
+  LogiRecModel model(config);
+  ASSERT_TRUE(model.Fit(fx.dataset, fx.split).ok());
+  ASSERT_NE(model.weighting(), nullptr);
+  EXPECT_EQ(model.name(), "LogiRec++");
+  for (int u = 0; u < fx.dataset.num_users; ++u) {
+    // Damped, mean-normalized weights live in (0.5, 2.0].
+    EXPECT_GT(model.weighting()->Alpha(u), 0.5);
+    EXPECT_LE(model.weighting()->Alpha(u), 2.0 + 1e-12);
+  }
+}
+
+TEST(LogiRecModelTest, NoMiningHasNoWeighting) {
+  Fixture fx;
+  LogiRecConfig config = FastConfig();
+  config.use_mining = false;
+  LogiRecModel model(config);
+  ASSERT_TRUE(model.Fit(fx.dataset, fx.split).ok());
+  EXPECT_EQ(model.weighting(), nullptr);
+  EXPECT_EQ(model.name(), "LogiRec");
+}
+
+TEST(LogiRecModelTest, LogicLossesDecreaseWithTraining) {
+  Fixture fx;
+  LogiRecConfig untrained_config = FastConfig();
+  untrained_config.epochs = 0;
+  LogiRecModel untrained(untrained_config);
+  ASSERT_TRUE(untrained.Fit(fx.dataset, fx.split).ok());
+  LogiRecModel trained(FastConfig());
+  ASSERT_TRUE(trained.Fit(fx.dataset, fx.split).ok());
+  const auto before = untrained.ReportLogicLosses(fx.dataset);
+  const auto after = trained.ReportLogicLosses(fx.dataset);
+  EXPECT_LT(after.mean_membership, before.mean_membership);
+}
+
+// Table III variants must all train and produce sane scores.
+struct AblationParam {
+  const char* label;
+  void (*apply)(LogiRecConfig*);
+};
+
+class AblationTest : public ::testing::TestWithParam<AblationParam> {};
+
+TEST_P(AblationTest, VariantTrainsAndScores) {
+  Fixture fx;
+  LogiRecConfig config = FastConfig();
+  GetParam().apply(&config);
+  LogiRecModel model(config);
+  ASSERT_TRUE(model.Fit(fx.dataset, fx.split).ok());
+  eval::Evaluator evaluator(&fx.split, fx.dataset.num_items);
+  const auto result = evaluator.Evaluate(model);
+  EXPECT_GT(result.Get("Recall@20"), 2.0) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableThreeVariants, AblationTest,
+    ::testing::Values(
+        AblationParam{"full", [](LogiRecConfig*) {}},
+        AblationParam{"wo_mem",
+                      [](LogiRecConfig* c) { c->use_membership = false; }},
+        AblationParam{"wo_hie",
+                      [](LogiRecConfig* c) { c->use_hierarchy = false; }},
+        AblationParam{"wo_ex",
+                      [](LogiRecConfig* c) { c->use_exclusion = false; }},
+        AblationParam{"wo_hgcn",
+                      [](LogiRecConfig* c) { c->use_hgcn = false; }},
+        AblationParam{"wo_lrm",
+                      [](LogiRecConfig* c) { c->use_mining = false; }},
+        AblationParam{"wo_hyper",
+                      [](LogiRecConfig* c) { c->use_hyperbolic = false; }}),
+    [](const ::testing::TestParamInfo<AblationParam>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace logirec::core

@@ -1,0 +1,78 @@
+#include "core/persistence.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/logirec_model.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/logirec_persistence_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(PersistenceTest, MatrixRoundTripIsExact) {
+  Rng rng(1);
+  math::Matrix m(7, 5);
+  m.FillGaussian(&rng, 1.0);
+  ASSERT_TRUE(SaveMatrixCsv(m, dir_ + "/m.csv").ok());
+  auto loaded = LoadMatrixCsv(dir_ + "/m.csv");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rows(), 7);
+  EXPECT_EQ(loaded->cols(), 5);
+  // %.17g round-trips doubles exactly.
+  EXPECT_EQ(loaded->data(), m.data());
+}
+
+TEST_F(PersistenceTest, LoadMissingMatrixFails) {
+  EXPECT_FALSE(LoadMatrixCsv(dir_ + "/absent.csv").ok());
+}
+
+TEST_F(PersistenceTest, ModelSaveLoadPreservesScores) {
+  data::SyntheticConfig config;
+  config.num_users = 80;
+  config.num_items = 100;
+  config.seed = 3;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  const data::Split split = data::TemporalSplit(dataset);
+
+  LogiRecConfig model_config;
+  model_config.dim = 8;
+  model_config.epochs = 15;
+  LogiRecModel model(model_config);
+  ASSERT_TRUE(model.Fit(dataset, split).ok());
+  ASSERT_TRUE(model.Save(dir_).ok());
+
+  auto loaded = LogiRecModel::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), model.name());
+  for (int u : {0, 17, 42}) {
+    std::vector<double> original, restored;
+    model.ScoreItems(u, &original);
+    loaded->ScoreItems(u, &restored);
+    EXPECT_EQ(original, restored) << "user " << u;
+  }
+}
+
+TEST_F(PersistenceTest, SaveBeforeFitFails) {
+  LogiRecModel model(LogiRecConfig{});
+  const Status st = model.Save(dir_);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, LoadFromEmptyDirFails) {
+  EXPECT_FALSE(LogiRecModel::Load(dir_).ok());
+}
+
+}  // namespace
+}  // namespace logirec::core

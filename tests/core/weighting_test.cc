@@ -1,0 +1,133 @@
+#include "core/weighting.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/embedding.h"
+#include "hyper/lorentz.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+namespace {
+
+/// Builds a small dataset with a 2-level taxonomy:
+///   A (0) -> A1 (2), A2 (3);  B (1) -> B1 (4), B2 (5)
+/// and items i owned by leaf tag (2 + i % 4).
+data::Dataset MakeDataset() {
+  data::Dataset ds;
+  ds.name = "toy";
+  ds.num_users = 3;
+  ds.num_items = 8;
+  const int a = ds.taxonomy.AddTag("A");
+  const int b = ds.taxonomy.AddTag("B");
+  ds.taxonomy.AddTag("A1", a);
+  ds.taxonomy.AddTag("A2", a);
+  ds.taxonomy.AddTag("B1", b);
+  ds.taxonomy.AddTag("B2", b);
+  ds.item_tags.resize(8);
+  for (int i = 0; i < 8; ++i) {
+    ds.item_tags[i] = {2 + (i % 4)};
+  }
+  // Interactions are irrelevant here (weighting reads train lists), but
+  // keep the dataset valid.
+  ds.interactions.push_back({0, 0, 0});
+  return ds;
+}
+
+TEST(UserWeightingTest, ConsistentUserHasHigherCon) {
+  const data::Dataset ds = MakeDataset();
+  // user 0: items 0, 4 (both tag A1) — fully consistent.
+  // user 1: items 0, 1 (tags A1, A2 — exclusive siblings).
+  // user 2: items 0, 2 (tags A1, B1 — not siblings => not exclusive by the
+  //         same-parent rule at level 2, but A vs B ... items carry leaf
+  //         tags only, so the only exclusions involving them are sibling
+  //         pairs).
+  std::vector<std::vector<int>> train = {{0, 4}, {0, 1}, {0, 2}};
+  const data::LogicalRelations rel = ds.ExtractRelations();
+  UserWeighting w(ds, train, rel, ds.taxonomy.num_levels());
+
+  EXPECT_GT(w.Con(0), w.Con(1));
+  EXPECT_EQ(w.ExclusivePairCount(0), 0);
+  EXPECT_GE(w.ExclusivePairCount(1), 1);
+  EXPECT_LE(w.Con(0), 1.0);
+  EXPECT_GT(w.Con(1), 0.0);
+}
+
+TEST(UserWeightingTest, LowerLevelExclusionsPenalizeMore) {
+  // Same TF profile, one exclusive pair each — but at different levels.
+  data::Dataset ds;
+  ds.num_users = 2;
+  ds.num_items = 4;
+  const int a = ds.taxonomy.AddTag("A");   // level 1
+  const int b = ds.taxonomy.AddTag("B");   // level 1 (exclusive with A)
+  ds.taxonomy.AddTag("A1", a);             // level 2
+  ds.taxonomy.AddTag("A2", a);             // level 2 (exclusive with A1)
+  (void)b;
+  ds.item_tags = {{0}, {1}, {2}, {3}};
+  ds.interactions.push_back({0, 0, 0});
+  const data::LogicalRelations rel = ds.ExtractRelations();
+  // user 0 interacted with tags {A, B}: one level-1 exclusion.
+  // user 1 interacted with tags {A1, A2}: one level-2 exclusion.
+  std::vector<std::vector<int>> train = {{0, 1}, {2, 3}};
+  UserWeighting w(ds, train, rel, ds.taxonomy.num_levels());
+  // exp(eta - k) weights shallow (k small) exclusions more, so user 0 is
+  // the LESS consistent one.
+  EXPECT_LT(w.Con(0), w.Con(1));
+}
+
+TEST(UserWeightingTest, TfIsNormalizedFrequency) {
+  const data::Dataset ds = MakeDataset();
+  std::vector<std::vector<int>> train = {{0, 4}, {1}, {2}};
+  const data::LogicalRelations rel = ds.ExtractRelations();
+  UserWeighting w(ds, train, rel, 2);
+  // user 0 interacted twice with tag 2 (A1): |T_u| = 2, count = 2.
+  EXPECT_NEAR(w.Tf(0, 2), std::log(3.0) / std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(w.Tf(0, 4), 0.0);
+}
+
+TEST(UserWeightingTest, GranularityTracksDistanceToOrigin) {
+  const data::Dataset ds = MakeDataset();
+  std::vector<std::vector<int>> train = {{0}, {1}, {2}};
+  UserWeighting w(ds, train, ds.ExtractRelations(), 2);
+
+  math::Matrix users(3, 4);
+  Rng rng(1);
+  InitLorentzRows(&users, &rng, 0.01);
+  // Push user 2 far from the origin.
+  users.At(2, 1) = 3.0;
+  hyper::ProjectToHyperboloid(users.Row(2));
+  w.UpdateGranularity(users);
+  EXPECT_GT(w.Gr(2), w.Gr(0));
+  EXPECT_NEAR(w.Gr(2), 1.0, 1e-12);  // max-normalized
+
+  // Alphas are sqrt(CON * GR), mean-normalized, capped, and damped toward
+  // the uniform weight: alpha = 0.5 + 0.5 * min(raw / mean(raw), 3).
+  double raw_sum = 0.0;
+  std::vector<double> raw(3);
+  for (int u = 0; u < 3; ++u) {
+    raw[u] = std::sqrt(w.Con(u) * w.Gr(u));
+    raw_sum += raw[u];
+  }
+  const double mean_raw = raw_sum / 3.0;
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_GT(w.Alpha(u), 0.5);
+    EXPECT_LE(w.Alpha(u), 2.0 + 1e-12);
+    EXPECT_NEAR(w.Alpha(u),
+                0.5 + 0.5 * std::min(raw[u] / mean_raw, 3.0), 1e-9);
+  }
+  // Ordering must follow the raw Eq. 14 weights.
+  EXPECT_GT(w.Alpha(2), w.Alpha(0));
+}
+
+TEST(UserWeightingTest, TagTypeCountsDistinctTags) {
+  const data::Dataset ds = MakeDataset();
+  std::vector<std::vector<int>> train = {{0, 4, 1}, {0}, {}};
+  UserWeighting w(ds, train, ds.ExtractRelations(), 2);
+  EXPECT_EQ(w.TagTypeCount(0), 2);  // tags A1 (twice) and A2
+  EXPECT_EQ(w.TagTypeCount(1), 1);
+  EXPECT_EQ(w.TagTypeCount(2), 0);
+}
+
+}  // namespace
+}  // namespace logirec::core

@@ -1,0 +1,108 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace logirec::data {
+namespace {
+
+Dataset MakeDataset() {
+  Dataset ds;
+  ds.name = "toy";
+  ds.num_users = 2;
+  ds.num_items = 5;
+  const int a = ds.taxonomy.AddTag("A");
+  ds.taxonomy.AddTag("A1", a);
+  ds.taxonomy.AddTag("A2", a);
+  ds.item_tags = {{1}, {1}, {2}, {2}, {0}};
+  // user 0: 10 interactions in timestamp order; user 1: 5.
+  for (int i = 0; i < 10; ++i) ds.interactions.push_back({0, i % 5, i});
+  for (int i = 0; i < 5; ++i) ds.interactions.push_back({1, i, 100 - i});
+  return ds;
+}
+
+TEST(DatasetTest, DensityPercent) {
+  const Dataset ds = MakeDataset();
+  EXPECT_NEAR(ds.DensityPercent(), 100.0 * 15 / (2 * 5), 1e-9);
+}
+
+TEST(DatasetTest, ValidateAcceptsGoodData) {
+  EXPECT_TRUE(MakeDataset().Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsBadUser) {
+  Dataset ds = MakeDataset();
+  ds.interactions.push_back({7, 0, 0});
+  const Status st = ds.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, ValidateRejectsBadTag) {
+  Dataset ds = MakeDataset();
+  ds.item_tags[0].push_back(99);
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsRowCountMismatch) {
+  Dataset ds = MakeDataset();
+  ds.item_tags.pop_back();
+  const Status st = ds.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetTest, ExtractRelationsCountsMembership) {
+  const Dataset ds = MakeDataset();
+  const LogicalRelations rel = ds.ExtractRelations();
+  EXPECT_EQ(rel.memberships.size(), 5u);
+  EXPECT_EQ(rel.hierarchy.size(), 2u);
+  // A1/A2 co-occur on no item => exclusive.
+  EXPECT_EQ(rel.exclusions.size(), 1u);
+}
+
+TEST(TemporalSplitTest, RespectsFractionsAndOrder) {
+  const Dataset ds = MakeDataset();
+  const Split split = TemporalSplit(ds, 0.6, 0.2);
+  // user 0 has 10 events: 6 train, 2 validation, 2 test.
+  EXPECT_EQ(split.train[0].size(), 6u);
+  EXPECT_EQ(split.validation[0].size(), 2u);
+  EXPECT_EQ(split.test[0].size(), 2u);
+  // Earliest items (ts 0..5) are items 0,1,2,3,4,0.
+  EXPECT_EQ(split.train[0][0], 0);
+  EXPECT_EQ(split.train[0][1], 1);
+  // user 1's timestamps are decreasing, so the split must reverse them:
+  // earliest event is item 4 (ts 96).
+  EXPECT_EQ(split.train[1][0], 4);
+}
+
+TEST(TemporalSplitTest, TinyUsersGoAllToTrain) {
+  Dataset ds = MakeDataset();
+  ds.num_users = 3;
+  ds.interactions.push_back({2, 0, 5});
+  ds.interactions.push_back({2, 1, 6});
+  const Split split = TemporalSplit(ds);
+  EXPECT_EQ(split.train[2].size(), 2u);
+  EXPECT_TRUE(split.validation[2].empty());
+  EXPECT_TRUE(split.test[2].empty());
+}
+
+TEST(TemporalSplitTest, TrainSizeSumsUsers) {
+  const Dataset ds = MakeDataset();
+  const Split split = TemporalSplit(ds);
+  EXPECT_EQ(split.TrainSize(),
+            static_cast<long>(split.train[0].size() + split.train[1].size()));
+}
+
+TEST(ComputeStatsTest, MatchesDataset) {
+  const Dataset ds = MakeDataset();
+  const DatasetStats stats = ComputeStats(ds);
+  EXPECT_EQ(stats.num_users, 2);
+  EXPECT_EQ(stats.num_items, 5);
+  EXPECT_EQ(stats.num_interactions, 15);
+  EXPECT_EQ(stats.num_tags, 3);
+  EXPECT_EQ(stats.num_memberships, 5);
+  EXPECT_EQ(stats.num_hierarchy, 2);
+  EXPECT_EQ(stats.num_exclusions, 1);
+}
+
+}  // namespace
+}  // namespace logirec::data

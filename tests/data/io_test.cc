@@ -1,0 +1,84 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace logirec::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/logirec_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(IoTest, RoundTripPreservesDataset) {
+  auto ds = GenerateBenchmarkDataset("ciao", 0.3);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(SaveDataset(*ds, dir_).ok());
+
+  auto loaded = LoadDataset(dir_, "ciao-roundtrip");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_users, ds->num_users);
+  EXPECT_EQ(loaded->num_items, ds->num_items);
+  ASSERT_EQ(loaded->interactions.size(), ds->interactions.size());
+  for (size_t i = 0; i < ds->interactions.size(); ++i) {
+    EXPECT_EQ(loaded->interactions[i].user, ds->interactions[i].user);
+    EXPECT_EQ(loaded->interactions[i].item, ds->interactions[i].item);
+    EXPECT_EQ(loaded->interactions[i].timestamp,
+              ds->interactions[i].timestamp);
+  }
+  ASSERT_EQ(loaded->item_tags.size(), ds->item_tags.size());
+  for (size_t i = 0; i < ds->item_tags.size(); ++i) {
+    EXPECT_EQ(loaded->item_tags[i], ds->item_tags[i]);
+  }
+  ASSERT_EQ(loaded->taxonomy.num_tags(), ds->taxonomy.num_tags());
+  for (int t = 0; t < ds->taxonomy.num_tags(); ++t) {
+    EXPECT_EQ(loaded->taxonomy.tag(t).name, ds->taxonomy.tag(t).name);
+    EXPECT_EQ(loaded->taxonomy.tag(t).parent, ds->taxonomy.tag(t).parent);
+    EXPECT_EQ(loaded->taxonomy.tag(t).level, ds->taxonomy.tag(t).level);
+  }
+}
+
+TEST_F(IoTest, LoadFromMissingDirectoryFails) {
+  auto loaded = LoadDataset(dir_ + "/nope");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, CorruptTaxonomyParentIsAnErrorNotACrash) {
+  // A taxonomy row pointing at a parent that does not exist yet must be
+  // rejected with a Status, never an abort.
+  auto ds = GenerateBenchmarkDataset("ciao", 0.3);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(SaveDataset(*ds, dir_).ok());
+  std::ofstream out(dir_ + "/taxonomy.csv");
+  out << "tag,name,parent\n0,Root,-1\n1,Broken,99\n";
+  out.close();
+  auto loaded = LoadDataset(dir_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, NegativeIdsInInteractionsRejected) {
+  auto ds = GenerateBenchmarkDataset("ciao", 0.3);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(SaveDataset(*ds, dir_).ok());
+  std::ofstream out(dir_ + "/interactions.csv");
+  out << "user,item,timestamp\n-1,0,5\n";
+  out.close();
+  auto loaded = LoadDataset(dir_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace logirec::data

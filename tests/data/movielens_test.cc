@@ -1,0 +1,110 @@
+#include "data/movielens.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace logirec::data {
+namespace {
+
+class MovieLensTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/logirec_movielens_test";
+    std::filesystem::create_directories(dir_);
+    ratings_ = dir_ + "/ratings.dat";
+    items_ = dir_ + "/movies.dat";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  std::string dir_, ratings_, items_;
+};
+
+TEST_F(MovieLensTest, LoadsAndFilters) {
+  WriteFile(items_,
+            "1::Toy Story::Animation|Comedy\n"
+            "2::Heat::Action|Crime\n"
+            "3::Casino::Crime|Drama\n"
+            "9::NoGenre::(no genres listed)\n");
+  // user 10 has 3 positives (>= threshold 4), user 20 only 1 (dropped by
+  // min_interactions=2), user 30 has low ratings only (dropped).
+  WriteFile(ratings_,
+            "10::1::5::100\n"
+            "10::2::4::200\n"
+            "10::3::4.5::300\n"
+            "20::1::5::400\n"
+            "30::2::2::500\n"
+            "30::3::1::600\n");
+  MovieLensOptions options;
+  options.min_interactions = 2;
+  auto ds = LoadMovieLens(ratings_, items_, options);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_items, 4);
+  EXPECT_EQ(ds->num_users, 1);  // only user 10 survives
+  EXPECT_EQ(ds->interactions.size(), 3u);
+  // Genres: Animation, Comedy, Action, Crime, Drama = 5 tags; the
+  // placeholder genre is skipped.
+  EXPECT_EQ(ds->taxonomy.num_tags(), 5);
+  EXPECT_TRUE(ds->item_tags[3].empty());
+  // Item 0 (Toy Story) carries Animation + Comedy.
+  EXPECT_EQ(ds->item_tags[0].size(), 2u);
+  EXPECT_EQ(ds->taxonomy.tag(ds->item_tags[0][0]).name, "Animation");
+}
+
+TEST_F(MovieLensTest, RatingThresholdIsRespected) {
+  WriteFile(items_, "1::A::X\n2::B::Y\n");
+  WriteFile(ratings_,
+            "1::1::3::1\n1::2::3::2\n1::1::5::3\n1::2::5::4\n"
+            "1::1::4::5\n");
+  MovieLensOptions options;
+  options.positive_threshold = 4.0;
+  options.min_interactions = 1;
+  auto ds = LoadMovieLens(ratings_, items_, options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->interactions.size(), 3u);  // the two 5s and the 4
+}
+
+TEST_F(MovieLensTest, CustomSeparator) {
+  WriteFile(items_, "1\tA\tX|Y\n");
+  WriteFile(ratings_, "7\t1\t5\t11\n7\t1\t5\t12\n");
+  MovieLensOptions options;
+  options.separator = "\t";
+  options.min_interactions = 1;
+  auto ds = LoadMovieLens(ratings_, items_, options);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_users, 1);
+  EXPECT_EQ(ds->taxonomy.num_tags(), 2);
+}
+
+TEST_F(MovieLensTest, MissingFilesFail) {
+  EXPECT_FALSE(LoadMovieLens(dir_ + "/none", dir_ + "/none2").ok());
+  WriteFile(items_, "1::A::X\n");
+  EXPECT_FALSE(LoadMovieLens(dir_ + "/none", items_).ok());
+}
+
+TEST_F(MovieLensTest, MalformedRowsFail) {
+  WriteFile(items_, "1::OnlyTwoFields\n");
+  WriteFile(ratings_, "1::1::5::1\n");
+  EXPECT_FALSE(LoadMovieLens(ratings_, items_).ok());
+
+  WriteFile(items_, "1::A::X\n");
+  WriteFile(ratings_, "1::1::five::1\n");
+  EXPECT_FALSE(LoadMovieLens(ratings_, items_).ok());
+}
+
+TEST_F(MovieLensTest, DuplicateItemIdsFail) {
+  WriteFile(items_, "1::A::X\n1::B::Y\n");
+  WriteFile(ratings_, "1::1::5::1\n");
+  auto ds = LoadMovieLens(ratings_, items_);
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace logirec::data

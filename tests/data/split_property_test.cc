@@ -1,0 +1,91 @@
+// Property tests of the temporal split over full synthetic datasets:
+// fold disjointness, temporal ordering, and fraction bounds must hold for
+// every user on every preset.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace logirec::data {
+namespace {
+
+class SplitPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SplitPropertyTest, FoldsPartitionEachUsersItems) {
+  auto ds = GenerateBenchmarkDataset(GetParam(), 0.4);
+  ASSERT_TRUE(ds.ok());
+  const Split split = TemporalSplit(*ds);
+
+  // Per-user interaction counts from the raw data.
+  std::vector<int> counts(ds->num_users, 0);
+  for (const Interaction& x : ds->interactions) ++counts[x.user];
+
+  for (int u = 0; u < ds->num_users; ++u) {
+    const size_t total = split.train[u].size() + split.validation[u].size() +
+                         split.test[u].size();
+    EXPECT_EQ(static_cast<int>(total), counts[u]) << "user " << u;
+
+    // Disjointness across folds (items are unique per user by
+    // construction of the generator).
+    std::set<int> seen(split.train[u].begin(), split.train[u].end());
+    for (int v : split.validation[u]) {
+      EXPECT_TRUE(seen.insert(v).second) << "val dup for user " << u;
+    }
+    for (int v : split.test[u]) {
+      EXPECT_TRUE(seen.insert(v).second) << "test dup for user " << u;
+    }
+  }
+}
+
+TEST_P(SplitPropertyTest, TrainPrecedesValidationPrecedesTest) {
+  auto ds = GenerateBenchmarkDataset(GetParam(), 0.4);
+  ASSERT_TRUE(ds.ok());
+  const Split split = TemporalSplit(*ds);
+
+  // Timestamp lookup per (user, item).
+  std::map<std::pair<int, int>, long> ts;
+  for (const Interaction& x : ds->interactions) ts[{x.user, x.item}] = x.timestamp;
+
+  for (int u = 0; u < ds->num_users; ++u) {
+    long max_train = -1;
+    for (int v : split.train[u]) {
+      max_train = std::max(max_train, ts.at({u, v}));
+    }
+    for (int v : split.validation[u]) {
+      EXPECT_GT(ts.at({u, v}), max_train) << "user " << u;
+    }
+    long max_val = max_train;
+    for (int v : split.validation[u]) {
+      max_val = std::max(max_val, ts.at({u, v}));
+    }
+    for (int v : split.test[u]) {
+      EXPECT_GT(ts.at({u, v}), max_val) << "user " << u;
+    }
+  }
+}
+
+TEST_P(SplitPropertyTest, FractionsApproximatelyRespected) {
+  auto ds = GenerateBenchmarkDataset(GetParam(), 0.4);
+  ASSERT_TRUE(ds.ok());
+  const Split split = TemporalSplit(*ds, 0.6, 0.2);
+  long train = 0, val = 0, test = 0;
+  for (int u = 0; u < ds->num_users; ++u) {
+    train += split.train[u].size();
+    val += split.validation[u].size();
+    test += split.test[u].size();
+  }
+  const double total = static_cast<double>(train + val + test);
+  EXPECT_NEAR(train / total, 0.6, 0.08);
+  EXPECT_NEAR(val / total, 0.2, 0.08);
+  EXPECT_NEAR(test / total, 0.2, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, SplitPropertyTest,
+                         ::testing::Values("ciao", "cd", "clothing",
+                                           "book"));
+
+}  // namespace
+}  // namespace logirec::data

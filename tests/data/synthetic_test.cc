@@ -1,0 +1,143 @@
+#include "data/synthetic.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace logirec::data {
+namespace {
+
+class PresetTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PresetTest, GeneratesValidDataset) {
+  auto ds = GenerateBenchmarkDataset(GetParam(), /*scale=*/0.5);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_TRUE(ds->Validate().ok());
+  EXPECT_GT(ds->num_users, 0);
+  EXPECT_GT(ds->num_items, 0);
+  EXPECT_GT(ds->interactions.size(), 0u);
+  EXPECT_GT(ds->taxonomy.num_tags(), 0);
+}
+
+TEST_P(PresetTest, EveryUserHasEnoughInteractionsToSplit) {
+  auto ds = GenerateBenchmarkDataset(GetParam(), 0.5);
+  ASSERT_TRUE(ds.ok());
+  std::vector<int> counts(ds->num_users, 0);
+  for (const Interaction& x : ds->interactions) ++counts[x.user];
+  for (int u = 0; u < ds->num_users; ++u) {
+    EXPECT_GE(counts[u], 3) << "user " << u;
+  }
+}
+
+TEST_P(PresetTest, TaggedItemsHaveConsistentLineage) {
+  auto ds = GenerateBenchmarkDataset(GetParam(), 0.5);
+  ASSERT_TRUE(ds.ok());
+  int tagged = 0;
+  for (int i = 0; i < ds->num_items; ++i) {
+    // Some items are untagged (missing_tag_prob). For tagged items the
+    // first tag is the observed leaf; the rest are its ancestors.
+    if (ds->item_tags[i].empty()) continue;
+    ++tagged;
+    const int leaf = ds->item_tags[i][0];
+    for (size_t k = 1; k < ds->item_tags[i].size(); ++k) {
+      EXPECT_TRUE(ds->taxonomy.IsAncestorOrSelf(ds->item_tags[i][k], leaf));
+    }
+  }
+  // Most items stay tagged under the default 10% missing rate.
+  EXPECT_GT(tagged, ds->num_items * 3 / 4);
+}
+
+TEST(SyntheticTest, TagNoiseKnobsWork) {
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 400;
+  config.missing_tag_prob = 0.5;
+  config.wrong_tag_prob = 0.0;
+  const Dataset ds = GenerateSynthetic(config);
+  int untagged = 0;
+  for (const auto& tags : ds.item_tags) untagged += tags.empty();
+  EXPECT_NEAR(untagged, 200, 60);
+
+  config.missing_tag_prob = 0.0;
+  const Dataset full = GenerateSynthetic(config);
+  for (const auto& tags : full.item_tags) EXPECT_FALSE(tags.empty());
+}
+
+TEST_P(PresetTest, NoDuplicateInteractionsPerUser) {
+  auto ds = GenerateBenchmarkDataset(GetParam(), 0.5);
+  ASSERT_TRUE(ds.ok());
+  std::set<std::pair<int, int>> seen;
+  for (const Interaction& x : ds->interactions) {
+    EXPECT_TRUE(seen.insert({x.user, x.item}).second)
+        << "duplicate " << x.user << "," << x.item;
+  }
+}
+
+TEST_P(PresetTest, DeterministicInSeed) {
+  auto a = GenerateBenchmarkDataset(GetParam(), 0.5, 99);
+  auto b = GenerateBenchmarkDataset(GetParam(), 0.5, 99);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->interactions.size(), b->interactions.size());
+  for (size_t i = 0; i < a->interactions.size(); ++i) {
+    EXPECT_EQ(a->interactions[i].user, b->interactions[i].user);
+    EXPECT_EQ(a->interactions[i].item, b->interactions[i].item);
+  }
+  auto c = GenerateBenchmarkDataset(GetParam(), 0.5, 100);
+  ASSERT_TRUE(c.ok());
+  bool differs = c->interactions.size() != a->interactions.size();
+  for (size_t i = 0; !differs && i < a->interactions.size(); ++i) {
+    differs = a->interactions[i].item != c->interactions[i].item;
+  }
+  EXPECT_TRUE(differs) << "different seeds must give different data";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetTest,
+                         ::testing::Values("ciao", "cd", "clothing", "book"));
+
+TEST(SyntheticTest, UnknownDatasetNameFails) {
+  auto ds = GenerateBenchmarkDataset("netflix");
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SyntheticTest, TableOneShapeHolds) {
+  // Relative shape of Table I at scale 1: Ciao smallest and densest;
+  // Clothing has the most tags and exclusions; Book the most
+  // interactions.
+  auto ciao = GenerateBenchmarkDataset("ciao");
+  auto cd = GenerateBenchmarkDataset("cd");
+  auto clothing = GenerateBenchmarkDataset("clothing");
+  auto book = GenerateBenchmarkDataset("book");
+  ASSERT_TRUE(ciao.ok() && cd.ok() && clothing.ok() && book.ok());
+  const auto s_ciao = ComputeStats(*ciao);
+  const auto s_cd = ComputeStats(*cd);
+  const auto s_clothing = ComputeStats(*clothing);
+  const auto s_book = ComputeStats(*book);
+
+  EXPECT_LT(s_ciao.num_users, s_cd.num_users);
+  EXPECT_GT(s_ciao.density_percent, s_clothing.density_percent);
+  EXPECT_GT(s_clothing.num_tags, s_cd.num_tags);
+  EXPECT_GT(s_clothing.num_exclusions, s_ciao.num_exclusions);
+  EXPECT_GT(s_book.num_interactions, s_cd.num_interactions);
+}
+
+TEST(SyntheticTest, TaxonomyDepthMatchesConfig) {
+  SyntheticConfig config;
+  config.levels = 3;
+  config.num_users = 50;
+  config.num_items = 80;
+  const Dataset ds = GenerateSynthetic(config);
+  EXPECT_LE(ds.taxonomy.num_levels(), 3);
+  EXPECT_GE(ds.taxonomy.num_levels(), 2);
+}
+
+TEST(SyntheticTest, ScaleGrowsCounts) {
+  auto small = GenerateBenchmarkDataset("cd", 0.4);
+  auto large = GenerateBenchmarkDataset("cd", 1.0);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(small->num_users, large->num_users);
+  EXPECT_LT(small->interactions.size(), large->interactions.size());
+}
+
+}  // namespace
+}  // namespace logirec::data

@@ -1,0 +1,100 @@
+#include "data/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace logirec::data {
+namespace {
+
+Taxonomy MusicTaxonomy() {
+  Taxonomy t;
+  const int rock = t.AddTag("Rock");            // 0, level 1
+  const int classical = t.AddTag("Classical");  // 1, level 1
+  const int punk = t.AddTag("Punk Rock", rock);        // 2, level 2
+  t.AddTag("Alternative Rock", rock);                  // 3, level 2
+  t.AddTag("Opera", classical);                        // 4, level 2
+  t.AddTag("Ska Punk", punk);                          // 5, level 3
+  return t;
+}
+
+TEST(TaxonomyTest, LevelsFollowParents) {
+  const Taxonomy t = MusicTaxonomy();
+  EXPECT_EQ(t.num_tags(), 6);
+  EXPECT_EQ(t.num_levels(), 3);
+  EXPECT_EQ(t.tag(0).level, 1);
+  EXPECT_EQ(t.tag(2).level, 2);
+  EXPECT_EQ(t.tag(5).level, 3);
+}
+
+TEST(TaxonomyTest, TagsAtLevelAndLeaves) {
+  const Taxonomy t = MusicTaxonomy();
+  EXPECT_EQ(t.TagsAtLevel(1), (std::vector<int>{0, 1}));
+  EXPECT_EQ(t.TagsAtLevel(2), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(t.Leaves(), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(TaxonomyTest, AncestorsNearestFirst) {
+  const Taxonomy t = MusicTaxonomy();
+  EXPECT_EQ(t.Ancestors(5), (std::vector<int>{2, 0}));
+  EXPECT_TRUE(t.Ancestors(0).empty());
+}
+
+TEST(TaxonomyTest, IsAncestorOrSelf) {
+  const Taxonomy t = MusicTaxonomy();
+  EXPECT_TRUE(t.IsAncestorOrSelf(0, 5));
+  EXPECT_TRUE(t.IsAncestorOrSelf(5, 5));
+  EXPECT_FALSE(t.IsAncestorOrSelf(1, 5));
+  EXPECT_FALSE(t.IsAncestorOrSelf(5, 0));
+}
+
+TEST(TaxonomyTest, HierarchyPairsAreAllEdges) {
+  const Taxonomy t = MusicTaxonomy();
+  const auto pairs = t.HierarchyPairs();
+  EXPECT_EQ(pairs.size(), 4u);  // 4 non-root tags
+  bool found = false;
+  for (const auto& p : pairs) {
+    if (p.parent == 2 && p.child == 5) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TaxonomyTest, ExclusionsAreSameParentSiblings) {
+  const Taxonomy t = MusicTaxonomy();
+  const std::vector<std::vector<int>> no_items;
+  const auto ex = t.ExclusionPairs(no_items);
+  // Expected: (Rock, Classical) under the virtual root,
+  // (Punk, Alternative) under Rock. Opera has no sibling.
+  ASSERT_EQ(ex.size(), 2u);
+  EXPECT_EQ(ex[0].a, 0);
+  EXPECT_EQ(ex[0].b, 1);
+  EXPECT_EQ(ex[0].level, 1);
+  EXPECT_EQ(ex[1].a, 2);
+  EXPECT_EQ(ex[1].b, 3);
+  EXPECT_EQ(ex[1].level, 2);
+}
+
+TEST(TaxonomyTest, CooccurrenceSuppressesExclusion) {
+  const Taxonomy t = MusicTaxonomy();
+  // One item tagged with both Punk Rock and Alternative Rock — the
+  // "common child" evidence that kills the sibling exclusion.
+  const std::vector<std::vector<int>> item_tags = {{2, 3}};
+  const auto ex = t.ExclusionPairs(item_tags);
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0].a, 0);  // only the top-level pair survives
+}
+
+TEST(TaxonomyTest, OverlapToleranceRestoresExclusion) {
+  const Taxonomy t = MusicTaxonomy();
+  const std::vector<std::vector<int>> item_tags = {{2, 3}};
+  // With tolerance 1, a single co-occurrence is treated as noise.
+  const auto ex = t.ExclusionPairs(item_tags, /*overlap_tolerance=*/1);
+  EXPECT_EQ(ex.size(), 2u);
+}
+
+TEST(TaxonomyTest, FindByName) {
+  const Taxonomy t = MusicTaxonomy();
+  EXPECT_EQ(t.FindByName("Opera"), 4);
+  EXPECT_EQ(t.FindByName("Jazz"), -1);
+}
+
+}  // namespace
+}  // namespace logirec::data

@@ -1,0 +1,113 @@
+// Invariance properties of the full-ranking evaluator under score
+// transformations, with randomized scorers.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "util/rng.h"
+
+namespace logirec::eval {
+namespace {
+
+class RandomScorer : public Scorer {
+ public:
+  RandomScorer(int num_users, int num_items, uint64_t seed, double shift,
+               double scale)
+      : num_items_(num_items), shift_(shift), scale_(scale) {
+    Rng rng(seed);
+    scores_.resize(num_users);
+    for (auto& row : scores_) {
+      row.resize(num_items);
+      for (double& s : row) s = rng.Gaussian(0.0, 1.0);
+    }
+  }
+  void ScoreItems(int user, std::vector<double>* out) const override {
+    out->resize(num_items_);
+    for (int v = 0; v < num_items_; ++v) {
+      (*out)[v] = scale_ * scores_[user][v] + shift_;
+    }
+  }
+
+ private:
+  int num_items_;
+  double shift_, scale_;
+  std::vector<std::vector<double>> scores_;
+};
+
+struct Fixture {
+  data::Dataset dataset;
+  data::Split split;
+  Fixture() {
+    data::SyntheticConfig config;
+    config.num_users = 60;
+    config.num_items = 90;
+    config.seed = 77;
+    dataset = data::GenerateSynthetic(config);
+    split = data::TemporalSplit(dataset);
+  }
+};
+
+TEST(EvaluatorPropertyTest, MetricsInvariantUnderPositiveAffineTransform) {
+  Fixture fx;
+  Evaluator evaluator(&fx.split, fx.dataset.num_items);
+  const RandomScorer base(fx.dataset.num_users, fx.dataset.num_items, 5,
+                          0.0, 1.0);
+  const RandomScorer shifted(fx.dataset.num_users, fx.dataset.num_items, 5,
+                             17.0, 3.5);
+  const EvalResult a = evaluator.Evaluate(base);
+  const EvalResult b = evaluator.Evaluate(shifted);
+  for (const auto& [key, value] : a.mean) {
+    EXPECT_NEAR(value, b.mean.at(key), 1e-9) << key;
+  }
+}
+
+TEST(EvaluatorPropertyTest, MetricsBoundedInPercentRange) {
+  Fixture fx;
+  Evaluator evaluator(&fx.split, fx.dataset.num_items);
+  const RandomScorer scorer(fx.dataset.num_users, fx.dataset.num_items, 6,
+                            0.0, 1.0);
+  const EvalResult result = evaluator.Evaluate(scorer);
+  for (const auto& [key, per_user] : result.per_user) {
+    for (double v : per_user) {
+      EXPECT_GE(v, 0.0) << key;
+      EXPECT_LE(v, 100.0 + 1e-9) << key;
+    }
+  }
+}
+
+TEST(EvaluatorPropertyTest, RandomScorerNearChanceRecall) {
+  // Expected Recall@K of a random ranking over n candidates is ~K/n.
+  Fixture fx;
+  Evaluator evaluator(&fx.split, fx.dataset.num_items, {20});
+  std::vector<double> recalls;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const RandomScorer scorer(fx.dataset.num_users, fx.dataset.num_items,
+                              seed, 0.0, 1.0);
+    recalls.push_back(evaluator.Evaluate(scorer).Get("Recall@20"));
+  }
+  double mean = 0.0;
+  for (double r : recalls) mean += r / recalls.size();
+  // ~20/90 = 22% of truth is recalled in expectation; allow wide noise.
+  EXPECT_GT(mean, 10.0);
+  EXPECT_LT(mean, 40.0);
+}
+
+TEST(EvaluatorPropertyTest, ValidationAndTestModesDiffer) {
+  Fixture fx;
+  Evaluator evaluator(&fx.split, fx.dataset.num_items);
+  const RandomScorer scorer(fx.dataset.num_users, fx.dataset.num_items, 9,
+                            0.0, 1.0);
+  const EvalResult val = evaluator.Evaluate(scorer, true);
+  const EvalResult test = evaluator.Evaluate(scorer, false);
+  // Different ground truths — identical results across every metric would
+  // indicate fold leakage.
+  bool any_diff = false;
+  for (const auto& [key, value] : val.mean) {
+    if (std::abs(value - test.mean.at(key)) > 1e-12) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace logirec::eval

@@ -1,0 +1,80 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace logirec::eval {
+namespace {
+
+/// Scores items by a fixed per-user preference table.
+class FakeScorer : public Scorer {
+ public:
+  explicit FakeScorer(std::vector<std::vector<double>> scores)
+      : scores_(std::move(scores)) {}
+  void ScoreItems(int user, std::vector<double>* out) const override {
+    *out = scores_[user];
+  }
+
+ private:
+  std::vector<std::vector<double>> scores_;
+};
+
+data::Split MakeSplit() {
+  data::Split split;
+  // 2 users, 4 items. user 0: train {0}, val {1}, test {2}.
+  // user 1: train {3}, val {}, test {} (excluded from eval).
+  split.train = {{0}, {3}};
+  split.validation = {{1}, {}};
+  split.test = {{2}, {}};
+  return split;
+}
+
+TEST(EvaluatorTest, PerfectScorerGetsFullRecall) {
+  const data::Split split = MakeSplit();
+  // user 0 ranks item 2 highest among unseen items.
+  FakeScorer scorer({{0.0, 0.0, 1.0, 0.5}, {0, 0, 0, 0}});
+  Evaluator evaluator(&split, 4, {1, 2});
+  const EvalResult result = evaluator.Evaluate(scorer);
+  EXPECT_EQ(result.users_evaluated, 1);
+  EXPECT_DOUBLE_EQ(result.Get("Recall@1"), 100.0);
+  EXPECT_DOUBLE_EQ(result.Get("NDCG@1"), 100.0);
+}
+
+TEST(EvaluatorTest, TrainAndValidationItemsAreMasked) {
+  const data::Split split = MakeSplit();
+  // Items 0 (train) and 1 (validation) have the best raw scores, but must
+  // be excluded, so item 2 (test) still tops the list.
+  FakeScorer scorer({{10.0, 9.0, 1.0, 0.5}, {0, 0, 0, 0}});
+  Evaluator evaluator(&split, 4, {1});
+  const EvalResult result = evaluator.Evaluate(scorer);
+  EXPECT_DOUBLE_EQ(result.Get("Recall@1"), 100.0);
+}
+
+TEST(EvaluatorTest, ValidationModeMasksOnlyTrain) {
+  const data::Split split = MakeSplit();
+  FakeScorer scorer({{10.0, 1.0, 9.0, 0.5}, {0, 0, 0, 0}});
+  Evaluator evaluator(&split, 4, {1});
+  // In validation mode, item 2 (test fold) stays in the candidate set and
+  // outranks validation item 1 -> recall 0.
+  const EvalResult result = evaluator.Evaluate(scorer, true);
+  EXPECT_DOUBLE_EQ(result.Get("Recall@1"), 0.0);
+}
+
+TEST(EvaluatorTest, UsersWithoutTestItemsAreSkipped) {
+  const data::Split split = MakeSplit();
+  FakeScorer scorer({{0, 0, 1, 0}, {1, 1, 1, 1}});
+  Evaluator evaluator(&split, 4, {1});
+  const EvalResult result = evaluator.Evaluate(scorer);
+  EXPECT_EQ(result.users_evaluated, 1);
+  EXPECT_EQ(result.per_user.at("Recall@1").size(), 1u);
+}
+
+TEST(EvaluatorTest, WorstScorerGetsZero) {
+  const data::Split split = MakeSplit();
+  FakeScorer scorer({{0.0, 0.0, -5.0, 1.0}, {0, 0, 0, 0}});
+  Evaluator evaluator(&split, 4, {1});
+  const EvalResult result = evaluator.Evaluate(scorer);
+  EXPECT_DOUBLE_EQ(result.Get("Recall@1"), 0.0);
+}
+
+}  // namespace
+}  // namespace logirec::eval

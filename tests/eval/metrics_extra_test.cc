@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace logirec::eval {
+namespace {
+
+const std::vector<int> kRanked = {5, 3, 9, 1, 7};
+
+TEST(PrecisionTest, CountsHitsOverK) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, {5, 9}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, {5, 9}, 5), 0.4);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, {2}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, {}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kRanked, {5}, 0), 0.0);
+}
+
+TEST(HitRateTest, BinaryHitIndicator) {
+  EXPECT_DOUBLE_EQ(HitRateAtK(kRanked, {9}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(kRanked, {9}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(kRanked, {42}, 5), 0.0);
+}
+
+TEST(MrrTest, ReciprocalOfFirstHit) {
+  EXPECT_DOUBLE_EQ(Mrr(kRanked, {5}), 1.0);
+  EXPECT_DOUBLE_EQ(Mrr(kRanked, {9}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Mrr(kRanked, {9, 5}), 1.0);  // earliest hit wins
+  EXPECT_DOUBLE_EQ(Mrr(kRanked, {42}), 0.0);
+  EXPECT_DOUBLE_EQ(Mrr({}, {1}), 0.0);
+}
+
+TEST(ApTest, AveragePrecisionHandComputed) {
+  // Hits at positions 1 and 3 (1-indexed): AP@5 = (1/1 + 2/3)/2.
+  EXPECT_NEAR(ApAtK(kRanked, {5, 9}, 5), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  // Perfect ranking: AP = 1.
+  EXPECT_DOUBLE_EQ(ApAtK({1, 2}, {1, 2}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(ApAtK(kRanked, {}, 5), 0.0);
+}
+
+TEST(ApTest, TruncationNormalizesByMinKTruth) {
+  // 3 truth items, k=1, hit at rank 1: AP@1 = (1/1)/min(1,3) = 1.
+  EXPECT_DOUBLE_EQ(ApAtK({7, 1, 2}, {7, 1, 2}, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace logirec::eval

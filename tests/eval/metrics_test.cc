@@ -1,0 +1,76 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace logirec::eval {
+namespace {
+
+TEST(RecallTest, BasicCases) {
+  const std::vector<int> ranked = {5, 3, 9, 1, 7};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {5, 9}, 5), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {5, 9}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {2, 4}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, {1}, 5), 0.0);
+}
+
+TEST(RecallTest, TruncatesAtK) {
+  const std::vector<int> ranked = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {3}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {3}, 3), 1.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({4, 8}, {4, 8}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({4, 8, 9}, {4, 8}, 10), 1.0);
+}
+
+TEST(NdcgTest, PositionAware) {
+  // Hit at rank 1 beats hit at rank 3.
+  const double top = NdcgAtK({7, 1, 2}, {7}, 3);
+  const double low = NdcgAtK({1, 2, 7}, {7}, 3);
+  EXPECT_GT(top, low);
+  EXPECT_DOUBLE_EQ(top, 1.0);
+  EXPECT_NEAR(low, (1.0 / std::log2(4.0)) / 1.0, 1e-12);
+}
+
+TEST(NdcgTest, IdcgUsesTruncatedIdeal) {
+  // 3 relevant items, cutoff 2: IDCG = 1 + 1/log2(3).
+  const double ndcg = NdcgAtK({5, 6}, {5, 6, 7}, 2);
+  EXPECT_NEAR(ndcg, 1.0, 1e-12);
+}
+
+TEST(NdcgTest, EmptyTruthIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2}, {}, 5), 0.0);
+}
+
+TEST(TopKTest, ReturnsBestFirst) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  EXPECT_EQ(TopK(scores, 2), (std::vector<int>{1, 3}));
+  EXPECT_EQ(TopK(scores, 4), (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(TopKTest, KLargerThanInput) {
+  const std::vector<double> scores = {0.3, 0.1};
+  EXPECT_EQ(TopK(scores, 10), (std::vector<int>{0, 1}));
+}
+
+TEST(TopKTest, SkipsNegativeInfinity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  const std::vector<double> scores = {ninf, 0.2, ninf, 0.8};
+  EXPECT_EQ(TopK(scores, 4), (std::vector<int>{3, 1}));
+}
+
+TEST(TopKTest, DeterministicOnTies) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const auto a = TopK(scores, 2);
+  const auto b = TopK(scores, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+}  // namespace
+}  // namespace logirec::eval

@@ -1,0 +1,70 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace logirec::eval {
+namespace {
+
+TEST(WilcoxonTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  const WilcoxonResult result = WilcoxonSignedRank(a, a);
+  EXPECT_EQ(result.n_effective, 0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(WilcoxonTest, ClearShiftIsSignificant) {
+  Rng rng(1);
+  std::vector<double> a(200), b(200);
+  for (int i = 0; i < 200; ++i) {
+    b[i] = rng.Gaussian(0.0, 1.0);
+    a[i] = b[i] + 0.8;  // systematic improvement
+  }
+  const WilcoxonResult result = WilcoxonSignedRank(a, b);
+  EXPECT_LT(result.p_value, 0.01);
+  EXPECT_GT(result.z_score, 2.0);
+}
+
+TEST(WilcoxonTest, NoiseIsNotSignificant) {
+  Rng rng(2);
+  std::vector<double> a(200), b(200);
+  for (int i = 0; i < 200; ++i) {
+    a[i] = rng.Gaussian(0.0, 1.0);
+    b[i] = rng.Gaussian(0.0, 1.0);
+  }
+  const WilcoxonResult result = WilcoxonSignedRank(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(WilcoxonTest, TooFewPairsReportsPOne) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {2, 3, 4};
+  const WilcoxonResult result = WilcoxonSignedRank(a, b);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_EQ(result.n_effective, 3);
+}
+
+TEST(WilcoxonTest, HandlesTiesInDifferences) {
+  std::vector<double> a = {1, 1, 1, 1, 1, 1, 5, 5};
+  std::vector<double> b = {0, 0, 0, 0, 0, 0, 4, 4};
+  const WilcoxonResult result = WilcoxonSignedRank(a, b);
+  // All differences positive -> highly one-sided.
+  EXPECT_LT(result.p_value, 0.05);
+}
+
+TEST(WilcoxonTest, SymmetryInArguments) {
+  Rng rng(3);
+  std::vector<double> a(50), b(50);
+  for (int i = 0; i < 50; ++i) {
+    a[i] = rng.Gaussian(0.5, 1.0);
+    b[i] = rng.Gaussian(0.0, 1.0);
+  }
+  const WilcoxonResult ab = WilcoxonSignedRank(a, b);
+  const WilcoxonResult ba = WilcoxonSignedRank(b, a);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-9);
+  EXPECT_NEAR(ab.z_score, -ba.z_score, 1e-9);
+}
+
+}  // namespace
+}  // namespace logirec::eval

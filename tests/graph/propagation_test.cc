@@ -1,0 +1,121 @@
+#include "graph/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace logirec::graph {
+namespace {
+
+using math::Matrix;
+
+BipartiteGraph TinyGraph() {
+  // user 0 - items {0,1}; user 1 - item {1}; user 2 - items {0,2}.
+  return BipartiteGraph(3, 3, {{0, 1}, {1}, {0, 2}});
+}
+
+TEST(BipartiteGraphTest, DegreesAndReverseAdjacency) {
+  auto g = TinyGraph();
+  EXPECT_EQ(g.num_users(), 3);
+  EXPECT_EQ(g.num_items(), 3);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.UserDegree(0), 2);
+  EXPECT_EQ(g.ItemDegree(1), 2);
+  EXPECT_EQ(g.UsersOf(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(g.ItemsOf(2), (std::vector<int>{0, 2}));
+}
+
+TEST(PropagationTest, SingleLayerMatchesHandComputation) {
+  auto g = TinyGraph();
+  GcnPropagator prop(&g, 1, Norm::kReceiver);
+  Matrix zu(3, 1), zv(3, 1);
+  zu.At(0, 0) = 1.0;
+  zu.At(1, 0) = 2.0;
+  zu.At(2, 0) = 4.0;
+  zv.At(0, 0) = 8.0;
+  zv.At(1, 0) = 16.0;
+  zv.At(2, 0) = 32.0;
+  Matrix su, sv;
+  prop.Forward(zu, zv, &su, &sv, /*include_layer0=*/false);
+  // z_u^1 = z_u^0 + mean of neighbor items.
+  EXPECT_DOUBLE_EQ(su.At(0, 0), 1.0 + (8.0 + 16.0) / 2.0);
+  EXPECT_DOUBLE_EQ(su.At(1, 0), 2.0 + 16.0);
+  EXPECT_DOUBLE_EQ(su.At(2, 0), 4.0 + (8.0 + 32.0) / 2.0);
+  // z_v^1 = z_v^0 + mean of neighbor users.
+  EXPECT_DOUBLE_EQ(sv.At(0, 0), 8.0 + (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(sv.At(1, 0), 16.0 + (1.0 + 2.0) / 2.0);
+  EXPECT_DOUBLE_EQ(sv.At(2, 0), 32.0 + 4.0);
+}
+
+TEST(PropagationTest, IncludeLayer0AddsInputs) {
+  auto g = TinyGraph();
+  GcnPropagator prop(&g, 1, Norm::kReceiver);
+  Matrix zu(3, 1), zv(3, 1);
+  zu.At(0, 0) = 1.0;
+  Matrix a_su, a_sv, b_su, b_sv;
+  prop.Forward(zu, zv, &a_su, &a_sv, false);
+  prop.Forward(zu, zv, &b_su, &b_sv, true);
+  EXPECT_DOUBLE_EQ(b_su.At(0, 0) - a_su.At(0, 0), 1.0);
+}
+
+// The adjoint identity <F(x), y> == <x, F^T(y)> for random inputs — the
+// exactness of the linear-GCN backprop that LogiRec relies on.
+class PropagationAdjointTest
+    : public ::testing::TestWithParam<std::tuple<int, Norm, bool>> {};
+
+TEST_P(PropagationAdjointTest, AdjointIdentityHolds) {
+  const auto [layers, norm, include0] = GetParam();
+  Rng rng(layers * 7 + static_cast<int>(norm) + (include0 ? 100 : 0));
+  // Random bipartite graph.
+  const int nu = 7, ni = 9, dim = 3;
+  std::vector<std::vector<int>> adj(nu);
+  for (int u = 0; u < nu; ++u) {
+    for (int v = 0; v < ni; ++v) {
+      if (rng.Bernoulli(0.3)) adj[u].push_back(v);
+    }
+  }
+  BipartiteGraph g(nu, ni, adj);
+  GcnPropagator prop(&g, layers, norm);
+
+  Matrix zu(nu, dim), zv(ni, dim), yu(nu, dim), yv(ni, dim);
+  zu.FillGaussian(&rng, 1.0);
+  zv.FillGaussian(&rng, 1.0);
+  yu.FillGaussian(&rng, 1.0);
+  yv.FillGaussian(&rng, 1.0);
+
+  Matrix su, sv;
+  prop.Forward(zu, zv, &su, &sv, include0);
+  double lhs = 0.0;
+  for (size_t i = 0; i < su.data().size(); ++i) lhs += su.data()[i] * yu.data()[i];
+  for (size_t i = 0; i < sv.data().size(); ++i) lhs += sv.data()[i] * yv.data()[i];
+
+  Matrix gu(nu, dim), gv(ni, dim);
+  prop.Backward(yu, yv, &gu, &gv, include0);
+  double rhs = 0.0;
+  for (size_t i = 0; i < gu.data().size(); ++i) rhs += gu.data()[i] * zu.data()[i];
+  for (size_t i = 0; i < gv.data().size(); ++i) rhs += gv.data()[i] * zv.data()[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-8 * std::max(1.0, std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayersNormsLayer0, PropagationAdjointTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(Norm::kReceiver, Norm::kSymmetric),
+                       ::testing::Bool()));
+
+TEST(PropagationTest, ColdNodesKeepTheirEmbedding) {
+  // A user with no interactions must pass through unchanged (plus the
+  // layer-sum scaling of its own vector).
+  BipartiteGraph g(2, 1, {{0}, {}});
+  GcnPropagator prop(&g, 2, Norm::kReceiver);
+  Matrix zu(2, 1), zv(1, 1);
+  zu.At(1, 0) = 5.0;
+  Matrix su, sv;
+  prop.Forward(zu, zv, &su, &sv, false);
+  // z^1 = z^0, z^2 = z^1 for the isolated user: sum = 2 * 5.
+  EXPECT_DOUBLE_EQ(su.At(1, 0), 10.0);
+}
+
+}  // namespace
+}  // namespace logirec::graph

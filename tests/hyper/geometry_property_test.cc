@@ -1,0 +1,154 @@
+// Cross-cutting property tests of the geometry stack, parameterized over
+// embedding dimension: isometries, inverse maps, and invariances that the
+// individual unit tests exercise only at fixed sizes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hyper/hyperplane.h"
+#include "hyper/lorentz.h"
+#include "hyper/maps.h"
+#include "hyper/poincare.h"
+#include "util/rng.h"
+
+namespace logirec::hyper {
+namespace {
+
+using math::Vec;
+
+class GeometryDimTest : public ::testing::TestWithParam<int> {
+ protected:
+  Vec RandomBall(Rng* rng, double max_norm = 0.85) {
+    Vec x(GetParam());
+    for (double& v : x) v = rng->Gaussian(0.0, 1.0);
+    math::ScaleInPlace(math::Span(x),
+                       rng->Uniform(0.05, max_norm) / math::Norm(x));
+    return x;
+  }
+};
+
+TEST_P(GeometryDimTest, DiffeomorphismIsometryAcrossDims) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec a = RandomBall(&rng);
+    const Vec b = RandomBall(&rng);
+    EXPECT_NEAR(PoincareDistance(a, b),
+                LorentzDistance(PoincareToLorentz(a), PoincareToLorentz(b)),
+                1e-6 * std::max(1.0, PoincareDistance(a, b)));
+  }
+}
+
+TEST_P(GeometryDimTest, MobiusAddStaysInBall) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec a = RandomBall(&rng);
+    const Vec b = RandomBall(&rng);
+    EXPECT_LT(math::Norm(MobiusAdd(a, b)), 1.0);
+  }
+}
+
+TEST_P(GeometryDimTest, MobiusLeftCancellation) {
+  // Gyrogroup left cancellation: (-a) ⊕ (a ⊕ b) == b.
+  Rng rng(GetParam() + 200);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec a = RandomBall(&rng, 0.6);
+    const Vec b = RandomBall(&rng, 0.6);
+    const Vec sum = MobiusAdd(a, b);
+    const Vec back = MobiusAdd(math::Scale(a, -1.0), sum);
+    for (int i = 0; i < GetParam(); ++i) {
+      EXPECT_NEAR(back[i], b[i], 1e-9);
+    }
+  }
+}
+
+TEST_P(GeometryDimTest, ExpLogInverseOnHyperboloid) {
+  Rng rng(GetParam() + 300);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec z(GetParam() + 1, 0.0);
+    for (int i = 1; i <= GetParam(); ++i) z[i] = rng.Gaussian(0.0, 1.0);
+    const Vec x = LorentzExpOrigin(z);
+    const Vec z2 = LorentzLogOrigin(x);
+    for (int i = 0; i <= GetParam(); ++i) EXPECT_NEAR(z2[i], z[i], 1e-7);
+  }
+}
+
+TEST_P(GeometryDimTest, DistanceInvariantUnderCoordinateReflection) {
+  // Reflecting any single spatial coordinate is an isometry of both
+  // models.
+  Rng rng(GetParam() + 400);
+  const Vec a = RandomBall(&rng);
+  const Vec b = RandomBall(&rng);
+  const double before = PoincareDistance(a, b);
+  Vec ra = a, rb = b;
+  const int axis = rng.UniformInt(GetParam());
+  ra[axis] = -ra[axis];
+  rb[axis] = -rb[axis];
+  EXPECT_NEAR(PoincareDistance(ra, rb), before, 1e-10);
+}
+
+TEST_P(GeometryDimTest, BallRadiusShrinksMonotonicallyWithCenterNorm) {
+  for (double lo = 0.1; lo < 0.85; lo += 0.1) {
+    Vec c1(GetParam(), 0.0), c2(GetParam(), 0.0);
+    c1[0] = lo;
+    c2[0] = lo + 0.1;
+    EXPECT_GT(BallFromCenter(c1).radius, BallFromCenter(c2).radius);
+    EXPECT_LT(HyperplaneDistanceToOrigin(c1),
+              HyperplaneDistanceToOrigin(c2));
+  }
+}
+
+TEST_P(GeometryDimTest, RsgdPoincareNeverLeavesBall) {
+  Rng rng(GetParam() + 500);
+  Vec x = RandomBall(&rng);
+  for (int step = 0; step < 100; ++step) {
+    Vec g(GetParam());
+    for (double& v : g) v = rng.Gaussian(0.0, 10.0);  // hostile gradients
+    RsgdStepPoincare(math::Span(x), g, 0.5);
+    ASSERT_LT(math::Norm(x), 1.0);
+  }
+}
+
+TEST_P(GeometryDimTest, RsgdLorentzStaysOnManifoldUnderHostileGrads) {
+  // Hostile (unclipped, sigma=10) gradients may legitimately push points
+  // very far from the origin; the invariants that must survive are
+  // finiteness and the *relative* hyperboloid constraint — at huge radii
+  // the absolute "+1" in x0^2 = 1 + ||xs||^2 is below double precision.
+  Rng rng(GetParam() + 600);
+  Vec x(GetParam() + 1, 0.0);
+  for (int i = 1; i <= GetParam(); ++i) x[i] = rng.Gaussian(0.0, 0.5);
+  ProjectToHyperboloid(math::Span(x));
+  for (int step = 0; step < 100; ++step) {
+    Vec g(GetParam() + 1);
+    for (double& v : g) v = rng.Gaussian(0.0, 10.0);
+    RsgdStepLorentz(math::Span(x), g, 0.1);
+    for (double v : x) ASSERT_TRUE(std::isfinite(v));
+    const double rel_tol = 1e-9 * (1.0 + x[0] * x[0]);
+    ASSERT_NEAR(LorentzDot(x, x), -1.0, std::max(1e-9, rel_tol));
+  }
+}
+
+TEST_P(GeometryDimTest, RsgdLorentzExactManifoldUnderClippedGrads) {
+  // The production path (optimizer clip 5, lr 0.05) keeps points in a
+  // regime where the absolute constraint holds tightly.
+  Rng rng(GetParam() + 700);
+  Vec x(GetParam() + 1, 0.0);
+  for (int i = 1; i <= GetParam(); ++i) x[i] = rng.Gaussian(0.0, 0.5);
+  ProjectToHyperboloid(math::Span(x));
+  for (int step = 0; step < 100; ++step) {
+    Vec g(GetParam() + 1);
+    for (double& v : g) v = rng.Gaussian(0.0, 1.0);
+    math::ClipNorm(math::Span(g), 5.0);
+    RsgdStepLorentz(math::Span(x), g, 0.05);
+    // A persistent random-gradient walk drifts outward (hyperbolic random
+    // walks escape), so the verifiable constraint is relative to x0^2.
+    const double rel_tol = 1e-12 * (1.0 + x[0] * x[0]);
+    ASSERT_NEAR(LorentzDot(x, x), -1.0, std::max(1e-9, rel_tol));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GeometryDimTest,
+                         ::testing::Values(2, 3, 8, 16, 64));
+
+}  // namespace
+}  // namespace logirec::hyper

@@ -1,0 +1,117 @@
+#include "hyper/hyperplane.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hyper/poincare.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace logirec::hyper {
+namespace {
+
+using math::Vec;
+using testing::ExpectGradientsClose;
+using testing::NumericalGradient;
+
+Vec RandomCenter(Rng* rng, int d, double lo = 0.2, double hi = 0.8) {
+  Vec c(d);
+  for (double& v : c) v = rng->Gaussian(0.0, 1.0);
+  const double target = rng->Uniform(lo, hi);
+  math::ScaleInPlace(math::Span(c), target / math::Norm(c));
+  return c;
+}
+
+TEST(HyperplaneTest, BallFormulaMatchesClosedForm) {
+  // For c = (n, 0): o_c = ((1+n^2)/(2n), 0), r_c = (1-n^2)/(2n).
+  const double n = 0.5;
+  const Vec c{n, 0.0};
+  const Ball ball = BallFromCenter(c);
+  EXPECT_NEAR(ball.center[0], (1 + n * n) / (2 * n), 1e-12);
+  EXPECT_NEAR(ball.center[1], 0.0, 1e-12);
+  EXPECT_NEAR(ball.radius, (1 - n * n) / (2 * n), 1e-12);
+}
+
+TEST(HyperplaneTest, BallBoundaryPassesThroughCenterPoint) {
+  // The hyperplane's defining point c lies ON the boundary of its
+  // enclosing ball: ||c - o_c|| = r_c.
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec c = RandomCenter(&rng, 5);
+    const Ball ball = BallFromCenter(c);
+    EXPECT_NEAR(math::Distance(c, ball.center), ball.radius, 1e-9);
+  }
+}
+
+TEST(HyperplaneTest, BallIntersectsUnitSpherePerpendicular) {
+  // Perpendicular intersection with the unit sphere means
+  // ||o_c||^2 = 1 + r_c^2 (Pythagoras at the intersection point).
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec c = RandomCenter(&rng, 4);
+    const Ball ball = BallFromCenter(c);
+    EXPECT_NEAR(math::SquaredNorm(ball.center), 1.0 + ball.radius * ball.radius,
+                1e-9);
+  }
+}
+
+TEST(HyperplaneTest, FinerTagsHaveSmallerRadiusAndLargerOriginDistance) {
+  // The granularity correlation in Section V-B: as ||c|| grows, r_c
+  // shrinks and the distance to the origin grows.
+  const Vec coarse{0.3, 0.0};
+  const Vec fine{0.8, 0.0};
+  EXPECT_GT(BallFromCenter(coarse).radius, BallFromCenter(fine).radius);
+  EXPECT_LT(HyperplaneDistanceToOrigin(coarse),
+            HyperplaneDistanceToOrigin(fine));
+}
+
+TEST(HyperplaneTest, ClampKeepsNormInRange) {
+  Vec tiny{1e-15, 0.0};
+  ClampHyperplaneCenter(math::Span(tiny));
+  EXPECT_GE(math::Norm(tiny), kMinCenterNorm - 1e-12);
+
+  Vec small{0.01, 0.0};
+  ClampHyperplaneCenter(math::Span(small));
+  EXPECT_NEAR(math::Norm(small), kMinCenterNorm, 1e-12);
+
+  Vec big{2.0, 2.0};
+  ClampHyperplaneCenter(math::Span(big));
+  EXPECT_NEAR(math::Norm(big), kMaxCenterNorm, 1e-12);
+
+  Vec ok{0.4, 0.1};
+  const Vec before = ok;
+  ClampHyperplaneCenter(math::Span(ok));
+  EXPECT_EQ(ok, before);
+}
+
+TEST(HyperplaneTest, VjpMatchesFiniteDifference) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec c = RandomCenter(&rng, 4, 0.25, 0.75);
+    Vec w(4);
+    for (double& v : w) v = rng.Gaussian(0.0, 1.0);
+    const double wr = rng.Gaussian(0.0, 1.0);
+    const auto f = [&](const std::vector<double>& p) {
+      const Ball ball = BallFromCenter(p);
+      return math::Dot(ball.center, w) + wr * ball.radius;
+    };
+    Vec analytic(4, 0.0);
+    BallFromCenterVjp(c, w, wr, math::Span(analytic));
+    ExpectGradientsClose(analytic, NumericalGradient(f, c), 1e-4);
+  }
+}
+
+TEST(HyperplaneTest, RadiusOnlyVjp) {
+  Rng rng(4);
+  const Vec c = RandomCenter(&rng, 3);
+  const auto f = [&](const std::vector<double>& p) {
+    return BallFromCenter(p).radius;
+  };
+  Vec analytic(3, 0.0);
+  BallFromCenterVjp(c, math::ConstSpan(), 1.0, math::Span(analytic));
+  ExpectGradientsClose(analytic, NumericalGradient(f, c), 1e-4);
+}
+
+}  // namespace
+}  // namespace logirec::hyper

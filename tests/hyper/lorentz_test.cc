@@ -1,0 +1,181 @@
+#include "hyper/lorentz.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace logirec::hyper {
+namespace {
+
+using math::Vec;
+using testing::ExpectGradientsClose;
+using testing::NumericalGradient;
+
+Vec RandomHyperboloidPoint(Rng* rng, int d, double scale = 0.5) {
+  Vec x(d + 1, 0.0);
+  for (int i = 1; i <= d; ++i) x[i] = rng->Gaussian(0.0, scale);
+  ProjectToHyperboloid(math::Span(x));
+  return x;
+}
+
+Vec RandomTangentAtOrigin(Rng* rng, int d, double scale = 0.5) {
+  Vec z(d + 1, 0.0);
+  for (int i = 1; i <= d; ++i) z[i] = rng->Gaussian(0.0, scale);
+  return z;
+}
+
+TEST(LorentzTest, OriginSatisfiesConstraint) {
+  const Vec o = LorentzOrigin(5);
+  EXPECT_NEAR(LorentzDot(o, o), -1.0, 1e-12);
+}
+
+TEST(LorentzTest, ProjectionSatisfiesConstraint) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec x = RandomHyperboloidPoint(&rng, 6, 1.0);
+    EXPECT_NEAR(LorentzDot(x, x), -1.0, 1e-9);
+    EXPECT_GE(x[0], 1.0);
+  }
+}
+
+TEST(LorentzTest, DistanceToSelfIsZero) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x = RandomHyperboloidPoint(&rng, 4);
+    EXPECT_NEAR(LorentzDistance(x, x), 0.0, 1e-5);
+  }
+}
+
+TEST(LorentzTest, DistanceSymmetricAndTriangle) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec x = RandomHyperboloidPoint(&rng, 4);
+    const Vec y = RandomHyperboloidPoint(&rng, 4);
+    const Vec z = RandomHyperboloidPoint(&rng, 4);
+    EXPECT_NEAR(LorentzDistance(x, y), LorentzDistance(y, x), 1e-12);
+    EXPECT_LE(LorentzDistance(x, z),
+              LorentzDistance(x, y) + LorentzDistance(y, z) + 1e-8);
+  }
+}
+
+TEST(LorentzTest, ExpLogOriginRoundTrip) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec z = RandomTangentAtOrigin(&rng, 5);
+    const Vec x = LorentzExpOrigin(z);
+    EXPECT_NEAR(LorentzDot(x, x), -1.0, 1e-9);
+    const Vec z2 = LorentzLogOrigin(x);
+    for (int i = 0; i <= 5; ++i) EXPECT_NEAR(z2[i], z[i], 1e-8);
+  }
+}
+
+TEST(LorentzTest, ExpOriginDistanceEqualsTangentNorm) {
+  // d(o, exp_o(z)) = ||z|| (geodesics from the origin are radial).
+  Rng rng(5);
+  const Vec o = LorentzOrigin(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec z = RandomTangentAtOrigin(&rng, 3);
+    const Vec x = LorentzExpOrigin(z);
+    double spatial = 0.0;
+    for (size_t i = 1; i < z.size(); ++i) spatial += z[i] * z[i];
+    EXPECT_NEAR(LorentzDistance(o, x), std::sqrt(spatial), 1e-7);
+  }
+}
+
+TEST(LorentzTest, DistanceGradientMatchesFiniteDifference) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec x = RandomHyperboloidPoint(&rng, 3);
+    const Vec y = RandomHyperboloidPoint(&rng, 3);
+    Vec gx(4, 0.0), gy(4, 0.0);
+    LorentzDistanceGrad(x, y, 1.0, math::Span(gx), math::Span(gy));
+    // Ambient finite difference (off-manifold perturbations are fine: the
+    // analytic gradient is the ambient one).
+    const auto fx = [&](const std::vector<double>& p) {
+      return LorentzDistance(p, y);
+    };
+    const auto fy = [&](const std::vector<double>& p) {
+      return LorentzDistance(x, p);
+    };
+    ExpectGradientsClose(gx, NumericalGradient(fx, x), 1e-4);
+    ExpectGradientsClose(gy, NumericalGradient(fy, y), 1e-4);
+  }
+}
+
+TEST(LorentzTest, ExpOriginVjpMatchesFiniteDifference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec z = RandomTangentAtOrigin(&rng, 4);
+    // Random linear functional of the output as the scalar loss.
+    Vec w(5);
+    for (double& v : w) v = rng.Gaussian(0.0, 1.0);
+    const auto f = [&](const std::vector<double>& p) {
+      const Vec out = LorentzExpOrigin(p);
+      return math::Dot(out, w);
+    };
+    Vec analytic(5, 0.0);
+    LorentzExpOriginVjp(z, w, math::Span(analytic));
+    Vec numeric = NumericalGradient(f, z);
+    numeric[0] = 0.0;  // the time component of a tangent at o is fixed
+    ExpectGradientsClose(analytic, numeric, 1e-4);
+  }
+}
+
+TEST(LorentzTest, LogOriginVjpMatchesFiniteDifference) {
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec x = RandomHyperboloidPoint(&rng, 4);
+    Vec w(5, 0.0);
+    for (size_t i = 1; i < w.size(); ++i) w[i] = rng.Gaussian(0.0, 1.0);
+    const auto f = [&](const std::vector<double>& p) {
+      const Vec out = LorentzLogOrigin(p);
+      return math::Dot(out, w);
+    };
+    Vec analytic(5, 0.0);
+    LorentzLogOriginVjp(x, w, math::Span(analytic));
+    ExpectGradientsClose(analytic, NumericalGradient(f, x), 1e-4);
+  }
+}
+
+TEST(LorentzTest, RiemannianGradIsTangent) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x = RandomHyperboloidPoint(&rng, 4);
+    Vec g(5);
+    for (double& v : g) v = rng.Gaussian(0.0, 1.0);
+    const Vec riem = LorentzRiemannianGrad(x, g);
+    EXPECT_NEAR(LorentzDot(x, riem), 0.0, 1e-9);
+  }
+}
+
+TEST(LorentzTest, ExpMapStaysOnManifold) {
+  Rng rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x = RandomHyperboloidPoint(&rng, 4);
+    Vec g(5);
+    for (double& v : g) v = rng.Gaussian(0.0, 1.0);
+    const Vec v = LorentzRiemannianGrad(x, g);
+    const Vec y = LorentzExpMap(x, v);
+    EXPECT_NEAR(LorentzDot(y, y), -1.0, 1e-8);
+  }
+}
+
+TEST(LorentzTest, RsgdReducesDistanceToTarget) {
+  Rng rng(11);
+  Vec x = RandomHyperboloidPoint(&rng, 4);
+  const Vec target = RandomHyperboloidPoint(&rng, 4);
+  const double before = LorentzDistance(x, target);
+  for (int step = 0; step < 60; ++step) {
+    Vec g(5, 0.0);
+    LorentzDistanceGrad(x, target, 1.0, math::Span(g), math::Span());
+    RsgdStepLorentz(math::Span(x), g, 0.1);
+  }
+  EXPECT_LT(LorentzDistance(x, target), before * 0.2);
+  EXPECT_NEAR(LorentzDot(x, x), -1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace logirec::hyper

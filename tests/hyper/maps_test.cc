@@ -1,0 +1,108 @@
+#include "hyper/maps.h"
+
+#include <gtest/gtest.h>
+
+#include "hyper/lorentz.h"
+#include "hyper/poincare.h"
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace logirec::hyper {
+namespace {
+
+using math::Vec;
+using testing::ExpectGradientsClose;
+using testing::NumericalGradient;
+
+Vec RandomBallPoint(Rng* rng, int d) {
+  Vec x(d);
+  for (double& v : x) v = rng->Gaussian(0.0, 0.25);
+  ProjectToBall(math::Span(x));
+  if (math::Norm(x) > 0.8) {
+    math::ScaleInPlace(math::Span(x), 0.8 / math::Norm(x));
+  }
+  return x;
+}
+
+TEST(MapsTest, RoundTripPoincareLorentzPoincare) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 6);
+    const Vec lifted = PoincareToLorentz(x);
+    EXPECT_NEAR(LorentzDot(lifted, lifted), -1.0, 1e-9)
+        << "p^{-1} must land on the hyperboloid";
+    const Vec back = LorentzToPoincare(lifted);
+    for (int i = 0; i < 6; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+TEST(MapsTest, RoundTripLorentzPoincareLorentz) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec x(5, 0.0);
+    for (int i = 1; i < 5; ++i) x[i] = rng.Gaussian(0.0, 0.5);
+    ProjectToHyperboloid(math::Span(x));
+    const Vec ball = LorentzToPoincare(x);
+    EXPECT_LT(math::Norm(ball), 1.0);
+    const Vec back = PoincareToLorentz(ball);
+    for (int i = 0; i < 5; ++i) EXPECT_NEAR(back[i], x[i], 1e-7);
+  }
+}
+
+TEST(MapsTest, DiffeomorphismPreservesDistances) {
+  // The Poincaré and Lorentz models are isometric: d_P(p(x), p(y)) must
+  // equal d_L(x, y) — this is what lets LogiRec exploit both models.
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec a = RandomBallPoint(&rng, 4);
+    const Vec b = RandomBallPoint(&rng, 4);
+    const double dp = PoincareDistance(a, b);
+    const double dl =
+        LorentzDistance(PoincareToLorentz(a), PoincareToLorentz(b));
+    EXPECT_NEAR(dp, dl, 1e-6 * std::max(1.0, dp));
+  }
+}
+
+TEST(MapsTest, OriginMapsToOrigin) {
+  const Vec zero(4, 0.0);
+  const Vec lifted = PoincareToLorentz(zero);
+  EXPECT_NEAR(lifted[0], 1.0, 1e-12);
+  for (int i = 1; i <= 4; ++i) EXPECT_NEAR(lifted[i], 0.0, 1e-12);
+  const Vec back = LorentzToPoincare(LorentzOrigin(5));
+  for (double v : back) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(MapsTest, PoincareToLorentzVjpMatchesFiniteDifference) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 4);
+    Vec w(5);
+    for (double& v : w) v = rng.Gaussian(0.0, 1.0);
+    const auto f = [&](const std::vector<double>& p) {
+      return math::Dot(PoincareToLorentz(p), w);
+    };
+    Vec analytic(4, 0.0);
+    PoincareToLorentzVjp(x, w, math::Span(analytic));
+    ExpectGradientsClose(analytic, NumericalGradient(f, x), 1e-4);
+  }
+}
+
+TEST(MapsTest, LorentzToPoincareVjpMatchesFiniteDifference) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec x(5, 0.0);
+    for (int i = 1; i < 5; ++i) x[i] = rng.Gaussian(0.0, 0.4);
+    ProjectToHyperboloid(math::Span(x));
+    Vec w(4);
+    for (double& v : w) v = rng.Gaussian(0.0, 1.0);
+    const auto f = [&](const std::vector<double>& p) {
+      return math::Dot(LorentzToPoincare(p), w);
+    };
+    Vec analytic(5, 0.0);
+    LorentzToPoincareVjp(x, w, math::Span(analytic));
+    ExpectGradientsClose(analytic, NumericalGradient(f, x), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace logirec::hyper

@@ -1,0 +1,191 @@
+#include "hyper/poincare.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace logirec::hyper {
+namespace {
+
+using math::Vec;
+using testing::ExpectGradientsClose;
+using testing::NumericalGradient;
+
+Vec RandomBallPoint(Rng* rng, int d, double max_norm = 0.8) {
+  Vec x(d);
+  for (double& v : x) v = rng->Gaussian(0.0, 0.3);
+  const double n = math::Norm(x);
+  const double target = rng->Uniform(0.05, max_norm);
+  math::ScaleInPlace(math::Span(x), target / std::max(n, 1e-12));
+  return x;
+}
+
+TEST(PoincareTest, DistanceToSelfIsZero) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 5);
+    EXPECT_NEAR(PoincareDistance(x, x), 0.0, 1e-5);
+  }
+}
+
+TEST(PoincareTest, DistanceIsSymmetric) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 6);
+    const Vec y = RandomBallPoint(&rng, 6);
+    EXPECT_NEAR(PoincareDistance(x, y), PoincareDistance(y, x), 1e-12);
+  }
+}
+
+TEST(PoincareTest, TriangleInequalityHolds) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 4);
+    const Vec y = RandomBallPoint(&rng, 4);
+    const Vec z = RandomBallPoint(&rng, 4);
+    EXPECT_LE(PoincareDistance(x, z),
+              PoincareDistance(x, y) + PoincareDistance(y, z) + 1e-9);
+  }
+}
+
+TEST(PoincareTest, DistanceGrowsNearBoundary) {
+  // Equal Euclidean gaps map to larger hyperbolic distances near the rim —
+  // the volume-expansion property motivating the paper's Fig. 3.
+  const Vec a1{0.0, 0.0}, a2{0.1, 0.0};
+  const Vec b1{0.8, 0.0}, b2{0.9, 0.0};
+  EXPECT_GT(PoincareDistance(b1, b2), PoincareDistance(a1, a2));
+}
+
+TEST(PoincareTest, ProjectToBallClampsNorm) {
+  Vec x{3.0, 4.0};
+  ProjectToBall(math::Span(x));
+  EXPECT_LE(math::Norm(x), 1.0 - kBallEps + 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(x[1] / x[0], 4.0 / 3.0, 1e-9);
+}
+
+TEST(PoincareTest, ProjectToBallKeepsInteriorPointsIntact) {
+  Vec x{0.1, -0.2};
+  const Vec before = x;
+  ProjectToBall(math::Span(x));
+  EXPECT_EQ(x, before);
+}
+
+TEST(PoincareTest, MobiusAddZeroIsIdentity) {
+  Rng rng(4);
+  const Vec zero(5, 0.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 5);
+    const Vec left = MobiusAdd(zero, x);
+    const Vec right = MobiusAdd(x, zero);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_NEAR(left[i], x[i], 1e-12);
+      EXPECT_NEAR(right[i], x[i], 1e-12);
+    }
+  }
+}
+
+TEST(PoincareTest, MobiusAddLeftInverse) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 4);
+    const Vec neg_x = math::Scale(x, -1.0);
+    const Vec sum = MobiusAdd(neg_x, x);
+    for (double v : sum) EXPECT_NEAR(v, 0.0, 1e-10);
+  }
+}
+
+TEST(PoincareTest, ExpLogRoundTrip) {
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 5, 0.6);
+    const Vec y = RandomBallPoint(&rng, 5, 0.6);
+    const Vec v = PoincareLogMap(x, y);
+    const Vec y2 = PoincareExpMap(x, v);
+    for (int i = 0; i < 5; ++i) EXPECT_NEAR(y2[i], y[i], 1e-6);
+  }
+}
+
+TEST(PoincareTest, LogMapNormEqualsDistance) {
+  // ||log_x(y)|| in the Riemannian sense equals d(x,y); the returned
+  // tangent has Euclidean norm d(x,y) / lambda_x * ... — check the known
+  // special case x = 0 where exp/log reduce to the radial formulas.
+  const Vec origin(3, 0.0);
+  const Vec y{0.3, 0.2, -0.1};
+  const Vec v = PoincareLogMap(origin, y);
+  const Vec back = PoincareExpMap(origin, v);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(back[i], y[i], 1e-9);
+}
+
+TEST(PoincareTest, DistanceGradientMatchesFiniteDifference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 4);
+    const Vec y = RandomBallPoint(&rng, 4);
+    Vec gx(4, 0.0), gy(4, 0.0);
+    PoincareDistanceGrad(x, y, 1.0, math::Span(gx), math::Span(gy));
+
+    const auto fx = [&](const std::vector<double>& p) {
+      return PoincareDistance(p, y);
+    };
+    const auto fy = [&](const std::vector<double>& p) {
+      return PoincareDistance(x, p);
+    };
+    ExpectGradientsClose(gx, NumericalGradient(fx, x), 1e-4);
+    ExpectGradientsClose(gy, NumericalGradient(fy, y), 1e-4);
+  }
+}
+
+TEST(PoincareTest, DistanceGradScaleAccumulates) {
+  Rng rng(8);
+  const Vec x = RandomBallPoint(&rng, 3);
+  const Vec y = RandomBallPoint(&rng, 3);
+  Vec g1(3, 0.0), g2(3, 0.0);
+  PoincareDistanceGrad(x, y, 2.5, math::Span(g1), math::Span());
+  PoincareDistanceGrad(x, y, 1.0, math::Span(g2), math::Span());
+  PoincareDistanceGrad(x, y, 1.5, math::Span(g2), math::Span());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(g1[i], g2[i], 1e-12);
+}
+
+TEST(PoincareTest, RsgdStepReducesDistanceToTarget) {
+  Rng rng(9);
+  Vec x = RandomBallPoint(&rng, 4);
+  const Vec target = RandomBallPoint(&rng, 4);
+  double prev = PoincareDistance(x, target);
+  for (int step = 0; step < 50; ++step) {
+    Vec g(4, 0.0);
+    PoincareDistanceGrad(x, target, 1.0, math::Span(g), math::Span());
+    RsgdStepPoincare(math::Span(x), g, 0.1);
+  }
+  EXPECT_LT(PoincareDistance(x, target), prev * 0.2);
+  EXPECT_LT(math::Norm(x), 1.0);
+}
+
+TEST(PoincareTest, NormToOriginMatchesDistanceFromZero) {
+  Rng rng(10);
+  const Vec zero(4, 0.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x = RandomBallPoint(&rng, 4);
+    EXPECT_NEAR(PoincareNormToOrigin(x), PoincareDistance(zero, x), 1e-6);
+  }
+}
+
+TEST(PoincareTest, ExpMapEq17MatchesStandardAtOrigin) {
+  // At x = 0 the conformal factor is 2, so the paper's Eq. 17 variant
+  // (which omits lambda_x) differs; both must still land inside the ball
+  // and point in the direction of v.
+  const Vec origin(3, 0.0);
+  const Vec v{0.4, 0.0, 0.0};
+  const Vec a = PoincareExpMap(origin, v);
+  const Vec b = PoincareExpMapEq17(origin, v);
+  EXPECT_GT(a[0], 0.0);
+  EXPECT_GT(b[0], 0.0);
+  EXPECT_LT(math::Norm(a), 1.0);
+  EXPECT_LT(math::Norm(b), 1.0);
+}
+
+}  // namespace
+}  // namespace logirec::hyper

@@ -1,0 +1,81 @@
+#include "math/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/gradcheck.h"
+#include "util/rng.h"
+
+namespace logirec::math {
+namespace {
+
+using testing::ExpectGradientsClose;
+using testing::NumericalGradient;
+
+TEST(MlpTest, ShapesAndParameterCount) {
+  Rng rng(1);
+  Mlp mlp({4, 8, 2}, Activation::kRelu, &rng);
+  EXPECT_EQ(mlp.input_dim(), 4);
+  EXPECT_EQ(mlp.output_dim(), 2);
+  EXPECT_EQ(mlp.ParameterCount(), 4 * 8 + 8 + 8 * 2 + 2);
+  const Vec out = mlp.Forward(Vec{1.0, 0.5, -0.5, 0.0});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(MlpTest, InferMatchesForward) {
+  Rng rng(2);
+  Mlp mlp({3, 5, 1}, Activation::kTanh, &rng);
+  const Vec in{0.3, -0.7, 0.1};
+  EXPECT_EQ(mlp.Forward(in), mlp.Infer(in));
+}
+
+class MlpGradTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(MlpGradTest, InputGradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Mlp mlp({4, 6, 1}, GetParam(), &rng);
+  const Vec in{0.3, -0.2, 0.5, 0.9};
+  mlp.Forward(in);
+  const Vec grad_in = mlp.Backward(Vec{1.0});
+  mlp.ZeroGrad();
+  const auto f = [&](const std::vector<double>& x) {
+    return mlp.Infer(x)[0];
+  };
+  ExpectGradientsClose(grad_in, NumericalGradient(f, in), 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, MlpGradTest,
+                         ::testing::Values(Activation::kRelu,
+                                           Activation::kTanh,
+                                           Activation::kSigmoid));
+
+TEST(MlpTest, SgdFitsLinearTarget) {
+  Rng rng(4);
+  Mlp mlp({2, 8, 1}, Activation::kTanh, &rng);
+  // Fit y = x0 - 2 x1 with squared loss.
+  double final_loss = 0.0;
+  for (int step = 0; step < 4000; ++step) {
+    const Vec x{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const double target = x[0] - 2.0 * x[1];
+    const double pred = mlp.Forward(x)[0];
+    const double err = pred - target;
+    mlp.Backward(Vec{err});
+    mlp.Step(0.05);
+    final_loss = 0.9 * final_loss + 0.1 * err * err;
+  }
+  EXPECT_LT(final_loss, 0.05);
+}
+
+TEST(MlpTest, StepClearsGradients) {
+  Rng rng(5);
+  Mlp mlp({2, 3, 1}, Activation::kRelu, &rng);
+  mlp.Forward(Vec{1.0, 1.0});
+  mlp.Backward(Vec{1.0});
+  mlp.Step(0.01);
+  // A second Step with no new Backward must not change weights.
+  const double before = mlp.Infer(Vec{1.0, 1.0})[0];
+  mlp.Step(0.01);
+  EXPECT_DOUBLE_EQ(mlp.Infer(Vec{1.0, 1.0})[0], before);
+}
+
+}  // namespace
+}  // namespace logirec::math

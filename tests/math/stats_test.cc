@@ -1,0 +1,57 @@
+#include "math/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace logirec::math {
+namespace {
+
+TEST(RunningStatTest, MatchesBatchFormulas) {
+  RunningStat stat;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) stat.Add(x);
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.stddev(), StdDev(xs), 1e-12);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroVariance) {
+  RunningStat stat;
+  stat.Add(3.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(MeanStdTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 3.0}), 2.0);
+  EXPECT_NEAR(StdDev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSideGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(SpearmanTest, MonotonicNonlinearIsOne) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace logirec::math

@@ -1,0 +1,85 @@
+#include "math/vec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/matrix.h"
+
+namespace logirec::math {
+namespace {
+
+TEST(VecTest, DotAndNorms) {
+  const Vec a{1.0, 2.0, 3.0};
+  const Vec b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), 14.0);
+  EXPECT_DOUBLE_EQ(Norm(a), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9.0 + 49.0 + 9.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), std::sqrt(67.0));
+}
+
+TEST(VecTest, Arithmetic) {
+  const Vec a{1.0, 2.0};
+  const Vec b{3.0, 5.0};
+  EXPECT_EQ(Add(a, b), (Vec{4.0, 7.0}));
+  EXPECT_EQ(Sub(b, a), (Vec{2.0, 3.0}));
+  EXPECT_EQ(Scale(a, -2.0), (Vec{-2.0, -4.0}));
+}
+
+TEST(VecTest, AxpyAccumulates) {
+  Vec dst{1.0, 1.0};
+  const Vec src{2.0, 3.0};
+  Axpy(0.5, src, Span(dst));
+  EXPECT_EQ(dst, (Vec{2.0, 2.5}));
+}
+
+TEST(VecTest, InPlaceOps) {
+  Vec v{2.0, 4.0};
+  ScaleInPlace(Span(v), 0.5);
+  EXPECT_EQ(v, (Vec{1.0, 2.0}));
+  Zero(Span(v));
+  EXPECT_EQ(v, (Vec{0.0, 0.0}));
+  const Vec src{7.0, 8.0};
+  Copy(src, Span(v));
+  EXPECT_EQ(v, src);
+}
+
+TEST(VecTest, ClipNorm) {
+  Vec v{3.0, 4.0};
+  const double original = ClipNorm(Span(v), 1.0);
+  EXPECT_DOUBLE_EQ(original, 5.0);
+  EXPECT_NEAR(Norm(v), 1.0, 1e-12);
+  Vec small{0.1, 0.0};
+  ClipNorm(Span(small), 1.0);
+  EXPECT_EQ(small, (Vec{0.1, 0.0}));
+}
+
+TEST(VecTest, SafeAcoshHandlesBoundary) {
+  EXPECT_DOUBLE_EQ(SafeAcosh(1.0), SafeAcosh(0.5));  // both clamp to 1+eps
+  EXPECT_NEAR(SafeAcosh(2.0), std::acosh(2.0), 1e-12);
+  EXPECT_TRUE(std::isfinite(SafeAcoshGrad(1.0)));
+  EXPECT_NEAR(SafeAcoshGrad(3.0), 1.0 / std::sqrt(8.0), 1e-12);
+}
+
+TEST(MatrixTest, RowAccessAndFill) {
+  Matrix m(3, 2, 1.5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 1.5);
+  m.Row(1)[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 9.0);
+  m.Fill(0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(MatrixTest, GaussianFillIsSeeded) {
+  Rng r1(5), r2(5);
+  Matrix a(4, 4), b(4, 4);
+  a.FillGaussian(&r1, 1.0);
+  b.FillGaussian(&r2, 1.0);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+}  // namespace
+}  // namespace logirec::math

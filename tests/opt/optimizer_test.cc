@@ -1,0 +1,109 @@
+#include "opt/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hyper/lorentz.h"
+#include "hyper/poincare.h"
+#include "util/rng.h"
+
+namespace logirec::opt {
+namespace {
+
+using math::Vec;
+
+TEST(SgdTest, MinimizesQuadratic) {
+  SgdOptimizer opt(0.1);
+  Vec x{5.0, -3.0};
+  for (int step = 0; step < 200; ++step) {
+    const Vec g{2.0 * x[0], 2.0 * x[1]};  // grad of ||x||^2
+    opt.Step(0, math::Span(x), g);
+  }
+  EXPECT_NEAR(x[0], 0.0, 1e-6);
+  EXPECT_NEAR(x[1], 0.0, 1e-6);
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  SgdOptimizer opt(0.1, /*l2=*/0.5);
+  Vec x{1.0};
+  const Vec zero_grad{0.0};
+  opt.Step(0, math::Span(x), zero_grad);
+  EXPECT_NEAR(x[0], 1.0 - 0.1 * 0.5, 1e-12);
+}
+
+TEST(SgdTest, ClipBoundsStepSize) {
+  SgdOptimizer opt(1.0, 0.0, /*clip=*/1.0);
+  Vec x{0.0};
+  const Vec huge{1000.0};
+  opt.Step(0, math::Span(x), huge);
+  EXPECT_NEAR(x[0], -1.0, 1e-12);  // clipped to norm 1
+}
+
+TEST(AdamTest, MinimizesQuadraticFasterThanPlateau) {
+  AdamOptimizer opt(0.1, /*rows=*/1, /*dim=*/2);
+  Vec x{5.0, -3.0};
+  for (int step = 0; step < 500; ++step) {
+    const Vec g{2.0 * x[0], 2.0 * x[1]};
+    opt.Step(0, math::Span(x), g);
+  }
+  EXPECT_NEAR(x[0], 0.0, 1e-3);
+  EXPECT_NEAR(x[1], 0.0, 1e-3);
+}
+
+TEST(AdamTest, PerRowStateIsIndependent) {
+  AdamOptimizer opt(0.1, /*rows=*/2, /*dim=*/1);
+  Vec a{1.0}, b{1.0};
+  // Row 0 gets many steps; row 1 one step. Their trajectories must match
+  // for the first step (same bias correction at t=1).
+  const Vec g{1.0};
+  opt.Step(0, math::Span(a), g);
+  const double after_one = a[0];
+  for (int i = 0; i < 5; ++i) opt.Step(0, math::Span(a), g);
+  opt.Step(1, math::Span(b), g);
+  EXPECT_NEAR(b[0], after_one, 1e-12);
+}
+
+TEST(PoincareRsgdTest, StaysInBallAndConverges) {
+  Rng rng(1);
+  PoincareRsgd opt(0.05);
+  Vec x{0.1, 0.1};
+  const Vec target{0.5, -0.3};
+  const double before = hyper::PoincareDistance(x, target);
+  for (int step = 0; step < 300; ++step) {
+    Vec g(2, 0.0);
+    hyper::PoincareDistanceGrad(x, target, 1.0, math::Span(g), math::Span());
+    opt.Step(0, math::Span(x), g);
+    ASSERT_LT(math::Norm(x), 1.0);
+  }
+  // The distance objective is non-smooth at the optimum, so plain RSGD
+  // orbits the target at a radius proportional to the step size.
+  EXPECT_LT(hyper::PoincareDistance(x, target), 0.15 * before);
+}
+
+TEST(LorentzRsgdTest, StaysOnHyperboloidAndConverges) {
+  LorentzRsgd opt(0.2);
+  Vec x{1.0, 0.0, 0.0};
+  hyper::ProjectToHyperboloid(math::Span(x));
+  Vec target{0.0, 0.8, -0.4};
+  hyper::ProjectToHyperboloid(math::Span(target));
+  for (int step = 0; step < 100; ++step) {
+    Vec g(3, 0.0);
+    hyper::LorentzDistanceGrad(x, target, 1.0, math::Span(g), math::Span());
+    opt.Step(0, math::Span(x), g);
+    ASSERT_NEAR(hyper::LorentzDot(x, x), -1.0, 1e-8);
+  }
+  EXPECT_LT(hyper::LorentzDistance(x, target), 0.05);
+}
+
+TEST(OptimizerTest, LearningRateIsAdjustable) {
+  SgdOptimizer opt(0.1);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.1);
+  opt.set_learning_rate(0.01);
+  Vec x{1.0};
+  opt.Step(0, math::Span(x), Vec{1.0});
+  EXPECT_NEAR(x[0], 1.0 - 0.01, 1e-12);
+}
+
+}  // namespace
+}  // namespace logirec::opt

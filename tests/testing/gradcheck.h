@@ -1,0 +1,46 @@
+#ifndef LOGIREC_TESTS_TESTING_GRADCHECK_H_
+#define LOGIREC_TESTS_TESTING_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/vec.h"
+
+namespace logirec::testing {
+
+/// Central finite difference of a scalar function at `x`.
+inline std::vector<double> NumericalGradient(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x, double eps = 1e-6) {
+  std::vector<double> grad(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double orig = x[i];
+    x[i] = orig + eps;
+    const double fp = f(x);
+    x[i] = orig - eps;
+    const double fm = f(x);
+    x[i] = orig;
+    grad[i] = (fp - fm) / (2.0 * eps);
+  }
+  return grad;
+}
+
+/// Expects two gradients to agree within a mixed absolute/relative bound.
+inline void ExpectGradientsClose(const std::vector<double>& analytic,
+                                 const std::vector<double>& numeric,
+                                 double tol = 1e-5) {
+  ASSERT_EQ(analytic.size(), numeric.size());
+  for (size_t i = 0; i < analytic.size(); ++i) {
+    const double scale =
+        std::max({1.0, std::fabs(analytic[i]), std::fabs(numeric[i])});
+    EXPECT_NEAR(analytic[i], numeric[i], tol * scale)
+        << "component " << i;
+  }
+}
+
+}  // namespace logirec::testing
+
+#endif  // LOGIREC_TESTS_TESTING_GRADCHECK_H_

@@ -1,0 +1,61 @@
+#include "util/csv.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace logirec {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/logirec_csv_test.csv";
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTripSimple) {
+  CsvTable table;
+  table.header = {"user", "item"};
+  table.rows = {{"1", "2"}, {"3", "4"}};
+  ASSERT_TRUE(WriteCsv(path_, table).ok());
+  auto loaded = ReadCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->header, table.header);
+  EXPECT_EQ(loaded->rows, table.rows);
+}
+
+TEST_F(CsvTest, RoundTripQuotedFields) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"Goth & Industrial", "has, comma"},
+                {"say \"hi\"", "plain"}};
+  ASSERT_TRUE(WriteCsv(path_, table).ok());
+  auto loaded = ReadCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, table.rows);
+}
+
+TEST_F(CsvTest, ColumnIndex) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};
+  EXPECT_EQ(table.ColumnIndex("b"), 1);
+  EXPECT_EQ(table.ColumnIndex("z"), -1);
+}
+
+TEST_F(CsvTest, ReadMissingFileFails) {
+  auto loaded = ReadCsv(path_ + ".nope");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, WriteToBadPathFails) {
+  CsvTable table;
+  table.header = {"x"};
+  EXPECT_FALSE(WriteCsv("/nonexistent_dir_zz/file.csv", table).ok());
+}
+
+}  // namespace
+}  // namespace logirec

@@ -1,0 +1,92 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace logirec {
+namespace {
+
+char** MakeArgv(std::vector<std::string>* storage) {
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : *storage) ptrs.push_back(s.data());
+  return ptrs.data();
+}
+
+TEST(FlagsTest, DefaultsWhenUnset) {
+  FlagParser flags;
+  flags.AddInt("epochs", 30, "epochs");
+  flags.AddDouble("lr", 0.05, "lr");
+  flags.AddString("dataset", "cd", "which");
+  flags.AddBool("verbose", false, "verbosity");
+  std::vector<std::string> argv = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, MakeArgv(&argv)).ok());
+  EXPECT_EQ(flags.GetInt("epochs"), 30);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr"), 0.05);
+  EXPECT_EQ(flags.GetString("dataset"), "cd");
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, ParsesAllTypes) {
+  FlagParser flags;
+  flags.AddInt("epochs", 30, "");
+  flags.AddDouble("lr", 0.05, "");
+  flags.AddString("dataset", "cd", "");
+  flags.AddBool("verbose", false, "");
+  std::vector<std::string> argv = {"prog", "--epochs=99", "--lr=0.5",
+                                   "--dataset=book", "--verbose"};
+  ASSERT_TRUE(flags.Parse(5, MakeArgv(&argv)).ok());
+  EXPECT_EQ(flags.GetInt("epochs"), 99);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr"), 0.5);
+  EXPECT_EQ(flags.GetString("dataset"), "book");
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, BoolAcceptsExplicitValues) {
+  FlagParser flags;
+  flags.AddBool("a", false, "");
+  flags.AddBool("b", true, "");
+  std::vector<std::string> argv = {"prog", "--a=true", "--b=0"};
+  ASSERT_TRUE(flags.Parse(3, MakeArgv(&argv)).ok());
+  EXPECT_TRUE(flags.GetBool("a"));
+  EXPECT_FALSE(flags.GetBool("b"));
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagParser flags;
+  flags.AddInt("epochs", 30, "");
+  std::vector<std::string> argv = {"prog", "--epchs=10"};
+  const Status st = flags.Parse(2, MakeArgv(&argv));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("epchs"), std::string::npos);
+}
+
+TEST(FlagsTest, MalformedValueIsError) {
+  FlagParser flags;
+  flags.AddInt("epochs", 30, "");
+  std::vector<std::string> argv = {"prog", "--epochs=ten"};
+  EXPECT_FALSE(flags.Parse(2, MakeArgv(&argv)).ok());
+}
+
+TEST(FlagsTest, MissingValueForNonBoolIsError) {
+  FlagParser flags;
+  flags.AddInt("epochs", 30, "");
+  std::vector<std::string> argv = {"prog", "--epochs"};
+  EXPECT_FALSE(flags.Parse(2, MakeArgv(&argv)).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentIsError) {
+  FlagParser flags;
+  std::vector<std::string> argv = {"prog", "stray"};
+  EXPECT_FALSE(flags.Parse(2, MakeArgv(&argv)).ok());
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  FlagParser flags;
+  flags.AddInt("epochs", 30, "number of epochs");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--epochs=30"), std::string::npos);
+  EXPECT_NE(usage.find("number of epochs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logirec

@@ -1,0 +1,75 @@
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace logirec {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, [&](int i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, HandlesEmptyAndSingleRanges) {
+  std::atomic<int> count{0};
+  ParallelFor(5, 5, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  ParallelFor(5, 6, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, RespectsOffsetRange) {
+  std::atomic<long> sum{0};
+  ParallelFor(10, 20, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(0, 5, [&](int i) { order.push_back(i); }, /*num_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Method", "Recall@10"});
+  table.AddRow({"BPRMF", "3.18"});
+  table.AddSeparator();
+  table.AddRow({"LogiRec++", "6.67"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| Method    |"), std::string::npos);
+  EXPECT_NE(out.find("| LogiRec++ |"), std::string::npos);
+  // header rule + separator + top/bottom rules = 4 rule lines.
+  size_t rules = 0;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    if (out[pos] == '+') ++rules;
+    pos = out.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(FormatMeanStdTest, TwoDecimalPlaces) {
+  EXPECT_EQ(FormatMeanStd(6.6666, 0.0512), "6.67±0.05");
+  EXPECT_EQ(FormatMeanStd(10.3, 0.061), "10.30±0.06");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace logirec

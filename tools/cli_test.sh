@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the logirec CLI: generate -> stats -> train
+# (with persistence) -> evaluate -> recommend. Invoked by ctest with the
+# binary path as $1.
+set -euo pipefail
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" generate --dataset=ciao --scale=0.4 --out="$WORK/data" | grep -q "wrote"
+"$CLI" stats --data="$WORK/data" | grep -q "interactions"
+"$CLI" train --data="$WORK/data" --epochs=20 --dim=8 \
+  --model-out="$WORK/model" | grep -q "model saved"
+"$CLI" evaluate --data="$WORK/data" --model-in="$WORK/model" \
+  | grep -q "Recall@10"
+"$CLI" recommend --data="$WORK/data" --model-in="$WORK/model" --user=1 \
+  --topk=3 | grep -q "top-3 for user 1"
+
+# Error paths must fail loudly.
+if "$CLI" stats --data="$WORK/nope" 2>/dev/null; then
+  echo "stats on a missing dir must fail" >&2
+  exit 1
+fi
+if "$CLI" frobnicate 2>/dev/null; then
+  echo "unknown command must fail" >&2
+  exit 1
+fi
+
+echo "cli end-to-end OK"

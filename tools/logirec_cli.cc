@@ -1,0 +1,199 @@
+// logirec — command-line interface over the library.
+//
+//   logirec generate  --dataset=cd --out=DIR [--scale=]        synthesize a benchmark dataset
+//   logirec stats     --data=DIR                               Table-I style statistics
+//   logirec train     --data=DIR --model-out=DIR [--model=]    fit LogiRec++ (or any zoo model*)
+//   logirec evaluate  --data=DIR --model-in=DIR                Recall/NDCG of a saved model
+//   logirec recommend --data=DIR --model-in=DIR --user=N       top-K for one user
+//
+// (*) only LogiRec/LogiRec++ support persistence; other zoo models are
+// trained and evaluated in one `train --evaluate` invocation.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "baselines/model_zoo.h"
+#include "core/logirec_model.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace logirec;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const FlagParser& flags) {
+  auto dataset = data::GenerateBenchmarkDataset(flags.GetString("dataset"),
+                                                flags.GetDouble("scale"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  const std::string out = flags.GetString("out");
+  std::filesystem::create_directories(out);
+  const Status st = data::SaveDataset(*dataset, out);
+  if (!st.ok()) return Fail(st);
+  const auto stats = data::ComputeStats(*dataset);
+  std::printf("wrote %s: %d users, %d items, %ld interactions, %d tags\n",
+              out.c_str(), stats.num_users, stats.num_items,
+              stats.num_interactions, stats.num_tags);
+  return 0;
+}
+
+Result<data::Dataset> LoadData(const FlagParser& flags) {
+  const std::string dir = flags.GetString("data");
+  if (dir.empty()) return Status::InvalidArgument("--data is required");
+  return data::LoadDataset(dir);
+}
+
+int CmdStats(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const auto s = data::ComputeStats(*dataset);
+  std::printf("users         %d\n", s.num_users);
+  std::printf("items         %d\n", s.num_items);
+  std::printf("interactions  %ld\n", s.num_interactions);
+  std::printf("density       %.4f%%\n", s.density_percent);
+  std::printf("tags          %d\n", s.num_tags);
+  std::printf("memberships   %ld\n", s.num_memberships);
+  std::printf("hierarchy     %ld\n", s.num_hierarchy);
+  std::printf("exclusions    %ld\n", s.num_exclusions);
+  return 0;
+}
+
+core::TrainConfig ConfigFromFlags(const FlagParser& flags) {
+  core::TrainConfig config;
+  config.dim = flags.GetInt("dim");
+  config.layers = flags.GetInt("layers");
+  config.epochs = flags.GetInt("epochs");
+  config.learning_rate = flags.GetDouble("lr");
+  config.lambda = flags.GetDouble("lambda");
+  config.margin = flags.GetDouble("margin");
+  return config;
+}
+
+void PrintEval(const eval::EvalResult& result) {
+  std::printf("Recall@10=%.2f%% Recall@20=%.2f%% NDCG@10=%.2f%% "
+              "NDCG@20=%.2f%% (%d users)\n",
+              result.Get("Recall@10"), result.Get("Recall@20"),
+              result.Get("NDCG@10"), result.Get("NDCG@20"),
+              result.users_evaluated);
+}
+
+int CmdTrain(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const data::Split split = data::TemporalSplit(*dataset);
+
+  const std::string model_name = flags.GetString("model");
+  Timer timer;
+  auto model = baselines::MakeModel(model_name, ConfigFromFlags(flags));
+  if (!model.ok()) return Fail(model.status());
+  Status st = (*model)->Fit(*dataset, split);
+  if (!st.ok()) return Fail(st);
+  std::printf("trained %s in %.1fs\n", model_name.c_str(),
+              timer.ElapsedSeconds());
+
+  eval::Evaluator evaluator(&split, dataset->num_items);
+  PrintEval(evaluator.Evaluate(**model));
+
+  const std::string model_out = flags.GetString("model-out");
+  if (!model_out.empty()) {
+    auto* logirec = dynamic_cast<core::LogiRecModel*>(model->get());
+    if (logirec == nullptr) {
+      std::fprintf(stderr,
+                   "note: only LogiRec/LogiRec++ support --model-out\n");
+      return 0;
+    }
+    std::filesystem::create_directories(model_out);
+    st = logirec->Save(model_out);
+    if (!st.ok()) return Fail(st);
+    std::printf("model saved to %s\n", model_out.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const data::Split split = data::TemporalSplit(*dataset);
+  auto model = core::LogiRecModel::Load(flags.GetString("model-in"));
+  if (!model.ok()) return Fail(model.status());
+  eval::Evaluator evaluator(&split, dataset->num_items);
+  PrintEval(evaluator.Evaluate(*model));
+  return 0;
+}
+
+int CmdRecommend(const FlagParser& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const data::Split split = data::TemporalSplit(*dataset);
+  auto model = core::LogiRecModel::Load(flags.GetString("model-in"));
+  if (!model.ok()) return Fail(model.status());
+
+  const int user = flags.GetInt("user");
+  if (user < 0 || user >= dataset->num_users) {
+    return Fail(Status::OutOfRange("no such user"));
+  }
+  std::vector<double> scores;
+  model->ScoreItems(user, &scores);
+  for (int v : split.train[user]) {
+    scores[v] = -std::numeric_limits<double>::infinity();
+  }
+  std::printf("top-%d for user %d:\n", flags.GetInt("topk"), user);
+  for (int v : eval::TopK(scores, flags.GetInt("topk"))) {
+    const auto& tags = dataset->item_tags[v];
+    const std::string label =
+        tags.empty() ? "(untagged)"
+                     : "<" + dataset->taxonomy.tag(tags[0]).name + ">";
+    std::printf("  item %-5d %s\n", v, label.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: logirec <generate|stats|train|evaluate|recommend> "
+                 "[flags]\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+
+  FlagParser flags;
+  flags.AddString("dataset", "cd", "preset for `generate`");
+  flags.AddDouble("scale", 1.0, "dataset scale for `generate`");
+  flags.AddString("out", "logirec_data", "output dir for `generate`");
+  flags.AddString("data", "", "dataset dir (from `generate` or SaveDataset)");
+  flags.AddString("model", "LogiRec++", "model name for `train`");
+  flags.AddString("model-out", "", "where `train` persists the model");
+  flags.AddString("model-in", "", "saved model dir for evaluate/recommend");
+  flags.AddInt("user", 0, "user id for `recommend`");
+  flags.AddInt("topk", 10, "list length for `recommend`");
+  flags.AddInt("dim", 32, "embedding dimension");
+  flags.AddInt("layers", 3, "GCN layers");
+  flags.AddInt("epochs", 150, "training epochs");
+  flags.AddDouble("lr", 0.05, "learning rate");
+  flags.AddDouble("lambda", 2.0, "logic regularizer weight");
+  flags.AddDouble("margin", 1.0, "LMNN margin");
+  const Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) return Fail(st);
+  if (flags.help_requested()) return 0;
+
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "recommend") return CmdRecommend(flags);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}
