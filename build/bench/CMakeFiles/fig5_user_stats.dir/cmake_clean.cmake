@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_user_stats.dir/fig5_user_stats.cc.o"
+  "CMakeFiles/fig5_user_stats.dir/fig5_user_stats.cc.o.d"
+  "fig5_user_stats"
+  "fig5_user_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_user_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lambda.dir/fig6_lambda.cc.o"
+  "CMakeFiles/fig6_lambda.dir/fig6_lambda.cc.o.d"
+  "fig6_lambda"
+  "fig6_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fig8_embeddings.dir/fig7_fig8_embeddings.cc.o"
+  "CMakeFiles/fig7_fig8_embeddings.dir/fig7_fig8_embeddings.cc.o.d"
+  "fig7_fig8_embeddings"
+  "fig7_fig8_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fig8_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hyperbolic.dir/micro_hyperbolic.cc.o"
+  "CMakeFiles/micro_hyperbolic.dir/micro_hyperbolic.cc.o.d"
+  "micro_hyperbolic"
+  "micro_hyperbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hyperbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hyperparams.dir/table4_hyperparams.cc.o"
+  "CMakeFiles/table4_hyperparams.dir/table4_hyperparams.cc.o.d"
+  "table4_hyperparams"
+  "table4_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movielens_pipeline.dir/movielens_pipeline.cpp.o"
+  "CMakeFiles/movielens_pipeline.dir/movielens_pipeline.cpp.o.d"
+  "movielens_pipeline"
+  "movielens_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movielens_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_mining.dir/taxonomy_mining.cpp.o"
+  "CMakeFiles/taxonomy_mining.dir/taxonomy_mining.cpp.o.d"
+  "taxonomy_mining"
+  "taxonomy_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/agcn.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/agcn.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/agcn.cc.o.d"
+  "/root/repo/src/baselines/amf.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/amf.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/amf.cc.o.d"
+  "/root/repo/src/baselines/baseline_util.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/baseline_util.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/baseline_util.cc.o.d"
+  "/root/repo/src/baselines/bprmf.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/bprmf.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/bprmf.cc.o.d"
+  "/root/repo/src/baselines/cml.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/cml.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/cml.cc.o.d"
+  "/root/repo/src/baselines/gdcf.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/gdcf.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/gdcf.cc.o.d"
+  "/root/repo/src/baselines/hgcf.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/hgcf.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/hgcf.cc.o.d"
+  "/root/repo/src/baselines/hyperml.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/hyperml.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/hyperml.cc.o.d"
+  "/root/repo/src/baselines/lightgcn.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/lightgcn.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/lightgcn.cc.o.d"
+  "/root/repo/src/baselines/model_zoo.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/model_zoo.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/model_zoo.cc.o.d"
+  "/root/repo/src/baselines/neumf.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/neumf.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/neumf.cc.o.d"
+  "/root/repo/src/baselines/sml.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/sml.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/sml.cc.o.d"
+  "/root/repo/src/baselines/transc.cc" "src/baselines/CMakeFiles/logirec_baselines.dir/transc.cc.o" "gcc" "src/baselines/CMakeFiles/logirec_baselines.dir/transc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/logirec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logirec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/logirec_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyper/CMakeFiles/logirec_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/logirec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/logirec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/logirec_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logirec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

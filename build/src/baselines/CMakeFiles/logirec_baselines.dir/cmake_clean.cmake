@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_baselines.dir/agcn.cc.o"
+  "CMakeFiles/logirec_baselines.dir/agcn.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/amf.cc.o"
+  "CMakeFiles/logirec_baselines.dir/amf.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/baseline_util.cc.o"
+  "CMakeFiles/logirec_baselines.dir/baseline_util.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/bprmf.cc.o"
+  "CMakeFiles/logirec_baselines.dir/bprmf.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/cml.cc.o"
+  "CMakeFiles/logirec_baselines.dir/cml.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/gdcf.cc.o"
+  "CMakeFiles/logirec_baselines.dir/gdcf.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/hgcf.cc.o"
+  "CMakeFiles/logirec_baselines.dir/hgcf.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/hyperml.cc.o"
+  "CMakeFiles/logirec_baselines.dir/hyperml.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/lightgcn.cc.o"
+  "CMakeFiles/logirec_baselines.dir/lightgcn.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/model_zoo.cc.o"
+  "CMakeFiles/logirec_baselines.dir/model_zoo.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/neumf.cc.o"
+  "CMakeFiles/logirec_baselines.dir/neumf.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/sml.cc.o"
+  "CMakeFiles/logirec_baselines.dir/sml.cc.o.d"
+  "CMakeFiles/logirec_baselines.dir/transc.cc.o"
+  "CMakeFiles/logirec_baselines.dir/transc.cc.o.d"
+  "liblogirec_baselines.a"
+  "liblogirec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/embedding.cc" "src/core/CMakeFiles/logirec_core.dir/embedding.cc.o" "gcc" "src/core/CMakeFiles/logirec_core.dir/embedding.cc.o.d"
+  "/root/repo/src/core/hgcn.cc" "src/core/CMakeFiles/logirec_core.dir/hgcn.cc.o" "gcc" "src/core/CMakeFiles/logirec_core.dir/hgcn.cc.o.d"
+  "/root/repo/src/core/logic_losses.cc" "src/core/CMakeFiles/logirec_core.dir/logic_losses.cc.o" "gcc" "src/core/CMakeFiles/logirec_core.dir/logic_losses.cc.o.d"
+  "/root/repo/src/core/logirec_model.cc" "src/core/CMakeFiles/logirec_core.dir/logirec_model.cc.o" "gcc" "src/core/CMakeFiles/logirec_core.dir/logirec_model.cc.o.d"
+  "/root/repo/src/core/negative_sampler.cc" "src/core/CMakeFiles/logirec_core.dir/negative_sampler.cc.o" "gcc" "src/core/CMakeFiles/logirec_core.dir/negative_sampler.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/core/CMakeFiles/logirec_core.dir/persistence.cc.o" "gcc" "src/core/CMakeFiles/logirec_core.dir/persistence.cc.o.d"
+  "/root/repo/src/core/train_util.cc" "src/core/CMakeFiles/logirec_core.dir/train_util.cc.o" "gcc" "src/core/CMakeFiles/logirec_core.dir/train_util.cc.o.d"
+  "/root/repo/src/core/weighting.cc" "src/core/CMakeFiles/logirec_core.dir/weighting.cc.o" "gcc" "src/core/CMakeFiles/logirec_core.dir/weighting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/logirec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyper/CMakeFiles/logirec_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/logirec_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/logirec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/logirec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/logirec_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logirec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

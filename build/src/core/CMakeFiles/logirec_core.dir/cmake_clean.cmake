@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_core.dir/embedding.cc.o"
+  "CMakeFiles/logirec_core.dir/embedding.cc.o.d"
+  "CMakeFiles/logirec_core.dir/hgcn.cc.o"
+  "CMakeFiles/logirec_core.dir/hgcn.cc.o.d"
+  "CMakeFiles/logirec_core.dir/logic_losses.cc.o"
+  "CMakeFiles/logirec_core.dir/logic_losses.cc.o.d"
+  "CMakeFiles/logirec_core.dir/logirec_model.cc.o"
+  "CMakeFiles/logirec_core.dir/logirec_model.cc.o.d"
+  "CMakeFiles/logirec_core.dir/negative_sampler.cc.o"
+  "CMakeFiles/logirec_core.dir/negative_sampler.cc.o.d"
+  "CMakeFiles/logirec_core.dir/persistence.cc.o"
+  "CMakeFiles/logirec_core.dir/persistence.cc.o.d"
+  "CMakeFiles/logirec_core.dir/train_util.cc.o"
+  "CMakeFiles/logirec_core.dir/train_util.cc.o.d"
+  "CMakeFiles/logirec_core.dir/weighting.cc.o"
+  "CMakeFiles/logirec_core.dir/weighting.cc.o.d"
+  "liblogirec_core.a"
+  "liblogirec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

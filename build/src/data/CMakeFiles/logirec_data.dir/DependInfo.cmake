@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/logirec_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/logirec_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/logirec_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/logirec_data.dir/io.cc.o.d"
+  "/root/repo/src/data/movielens.cc" "src/data/CMakeFiles/logirec_data.dir/movielens.cc.o" "gcc" "src/data/CMakeFiles/logirec_data.dir/movielens.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/logirec_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/logirec_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/taxonomy.cc" "src/data/CMakeFiles/logirec_data.dir/taxonomy.cc.o" "gcc" "src/data/CMakeFiles/logirec_data.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logirec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_data.dir/dataset.cc.o"
+  "CMakeFiles/logirec_data.dir/dataset.cc.o.d"
+  "CMakeFiles/logirec_data.dir/io.cc.o"
+  "CMakeFiles/logirec_data.dir/io.cc.o.d"
+  "CMakeFiles/logirec_data.dir/movielens.cc.o"
+  "CMakeFiles/logirec_data.dir/movielens.cc.o.d"
+  "CMakeFiles/logirec_data.dir/synthetic.cc.o"
+  "CMakeFiles/logirec_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/logirec_data.dir/taxonomy.cc.o"
+  "CMakeFiles/logirec_data.dir/taxonomy.cc.o.d"
+  "liblogirec_data.a"
+  "liblogirec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_eval.dir/evaluator.cc.o"
+  "CMakeFiles/logirec_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/logirec_eval.dir/metrics.cc.o"
+  "CMakeFiles/logirec_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/logirec_eval.dir/significance.cc.o"
+  "CMakeFiles/logirec_eval.dir/significance.cc.o.d"
+  "liblogirec_eval.a"
+  "liblogirec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_graph.dir/bipartite_graph.cc.o"
+  "CMakeFiles/logirec_graph.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/logirec_graph.dir/propagation.cc.o"
+  "CMakeFiles/logirec_graph.dir/propagation.cc.o.d"
+  "liblogirec_graph.a"
+  "liblogirec_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyper/hyperplane.cc" "src/hyper/CMakeFiles/logirec_hyper.dir/hyperplane.cc.o" "gcc" "src/hyper/CMakeFiles/logirec_hyper.dir/hyperplane.cc.o.d"
+  "/root/repo/src/hyper/lorentz.cc" "src/hyper/CMakeFiles/logirec_hyper.dir/lorentz.cc.o" "gcc" "src/hyper/CMakeFiles/logirec_hyper.dir/lorentz.cc.o.d"
+  "/root/repo/src/hyper/maps.cc" "src/hyper/CMakeFiles/logirec_hyper.dir/maps.cc.o" "gcc" "src/hyper/CMakeFiles/logirec_hyper.dir/maps.cc.o.d"
+  "/root/repo/src/hyper/poincare.cc" "src/hyper/CMakeFiles/logirec_hyper.dir/poincare.cc.o" "gcc" "src/hyper/CMakeFiles/logirec_hyper.dir/poincare.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/logirec_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logirec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_hyper.dir/hyperplane.cc.o"
+  "CMakeFiles/logirec_hyper.dir/hyperplane.cc.o.d"
+  "CMakeFiles/logirec_hyper.dir/lorentz.cc.o"
+  "CMakeFiles/logirec_hyper.dir/lorentz.cc.o.d"
+  "CMakeFiles/logirec_hyper.dir/maps.cc.o"
+  "CMakeFiles/logirec_hyper.dir/maps.cc.o.d"
+  "CMakeFiles/logirec_hyper.dir/poincare.cc.o"
+  "CMakeFiles/logirec_hyper.dir/poincare.cc.o.d"
+  "liblogirec_hyper.a"
+  "liblogirec_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_math.dir/mlp.cc.o"
+  "CMakeFiles/logirec_math.dir/mlp.cc.o.d"
+  "CMakeFiles/logirec_math.dir/stats.cc.o"
+  "CMakeFiles/logirec_math.dir/stats.cc.o.d"
+  "CMakeFiles/logirec_math.dir/vec.cc.o"
+  "CMakeFiles/logirec_math.dir/vec.cc.o.d"
+  "liblogirec_math.a"
+  "liblogirec_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_opt.dir/optimizer.cc.o"
+  "CMakeFiles/logirec_opt.dir/optimizer.cc.o.d"
+  "liblogirec_opt.a"
+  "liblogirec_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

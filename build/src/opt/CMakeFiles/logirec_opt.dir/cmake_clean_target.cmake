@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblogirec_opt.a"
+)

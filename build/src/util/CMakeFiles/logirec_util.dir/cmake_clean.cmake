@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_util.dir/csv.cc.o"
+  "CMakeFiles/logirec_util.dir/csv.cc.o.d"
+  "CMakeFiles/logirec_util.dir/flags.cc.o"
+  "CMakeFiles/logirec_util.dir/flags.cc.o.d"
+  "CMakeFiles/logirec_util.dir/logging.cc.o"
+  "CMakeFiles/logirec_util.dir/logging.cc.o.d"
+  "CMakeFiles/logirec_util.dir/parallel.cc.o"
+  "CMakeFiles/logirec_util.dir/parallel.cc.o.d"
+  "CMakeFiles/logirec_util.dir/rng.cc.o"
+  "CMakeFiles/logirec_util.dir/rng.cc.o.d"
+  "CMakeFiles/logirec_util.dir/status.cc.o"
+  "CMakeFiles/logirec_util.dir/status.cc.o.d"
+  "CMakeFiles/logirec_util.dir/string_util.cc.o"
+  "CMakeFiles/logirec_util.dir/string_util.cc.o.d"
+  "CMakeFiles/logirec_util.dir/table_printer.cc.o"
+  "CMakeFiles/logirec_util.dir/table_printer.cc.o.d"
+  "liblogirec_util.a"
+  "liblogirec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_invariants_test.dir/baselines/baseline_invariants_test.cc.o"
+  "CMakeFiles/baseline_invariants_test.dir/baselines/baseline_invariants_test.cc.o.d"
+  "baseline_invariants_test"
+  "baseline_invariants_test.pdb"
+  "baseline_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

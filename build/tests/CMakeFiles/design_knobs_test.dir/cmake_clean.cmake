@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_knobs_test.dir/core/design_knobs_test.cc.o"
+  "CMakeFiles/design_knobs_test.dir/core/design_knobs_test.cc.o.d"
+  "design_knobs_test"
+  "design_knobs_test.pdb"
+  "design_knobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_knobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

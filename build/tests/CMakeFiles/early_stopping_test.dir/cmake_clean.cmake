@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_stopping_test.dir/core/early_stopping_test.cc.o"
+  "CMakeFiles/early_stopping_test.dir/core/early_stopping_test.cc.o.d"
+  "early_stopping_test"
+  "early_stopping_test.pdb"
+  "early_stopping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_stopping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgcn_test.dir/core/hgcn_test.cc.o"
+  "CMakeFiles/hgcn_test.dir/core/hgcn_test.cc.o.d"
+  "hgcn_test"
+  "hgcn_test.pdb"
+  "hgcn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

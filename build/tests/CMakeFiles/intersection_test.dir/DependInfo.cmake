@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/intersection_test.cc" "tests/CMakeFiles/intersection_test.dir/core/intersection_test.cc.o" "gcc" "tests/CMakeFiles/intersection_test.dir/core/intersection_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/logirec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/logirec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logirec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/logirec_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyper/CMakeFiles/logirec_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/logirec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/logirec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/logirec_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logirec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

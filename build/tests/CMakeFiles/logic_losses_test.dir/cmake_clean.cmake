@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_losses_test.dir/core/logic_losses_test.cc.o"
+  "CMakeFiles/logic_losses_test.dir/core/logic_losses_test.cc.o.d"
+  "logic_losses_test"
+  "logic_losses_test.pdb"
+  "logic_losses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_losses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

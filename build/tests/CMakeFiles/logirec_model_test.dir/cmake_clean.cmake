@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_model_test.dir/core/logirec_model_test.cc.o"
+  "CMakeFiles/logirec_model_test.dir/core/logirec_model_test.cc.o.d"
+  "logirec_model_test"
+  "logirec_model_test.pdb"
+  "logirec_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorentz_test.dir/hyper/lorentz_test.cc.o"
+  "CMakeFiles/lorentz_test.dir/hyper/lorentz_test.cc.o.d"
+  "lorentz_test"
+  "lorentz_test.pdb"
+  "lorentz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorentz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movielens_test.dir/data/movielens_test.cc.o"
+  "CMakeFiles/movielens_test.dir/data/movielens_test.cc.o.d"
+  "movielens_test"
+  "movielens_test.pdb"
+  "movielens_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movielens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

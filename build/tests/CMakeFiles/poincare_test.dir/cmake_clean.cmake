@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poincare_test.dir/hyper/poincare_test.cc.o"
+  "CMakeFiles/poincare_test.dir/hyper/poincare_test.cc.o.d"
+  "poincare_test"
+  "poincare_test.pdb"
+  "poincare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poincare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

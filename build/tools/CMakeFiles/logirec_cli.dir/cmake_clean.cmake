@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logirec_cli.dir/logirec_cli.cc.o"
+  "CMakeFiles/logirec_cli.dir/logirec_cli.cc.o.d"
+  "logirec"
+  "logirec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logirec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
