@@ -1,12 +1,10 @@
 #include "baselines/agcn.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "baselines/baseline_util.h"
-#include "core/negative_sampler.h"
-#include "core/train_util.h"
 #include "graph/bipartite_graph.h"
-#include "graph/propagation.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -33,95 +31,112 @@ Status Agcn::Fit(const data::Dataset& dataset, const data::Split& split) {
   item_.FillGaussian(&rng, 0.1);
   tag_.FillGaussian(&rng, 0.1);
 
-  graph::BipartiteGraph graph(nu, ni, split.train);
-  graph::GcnPropagator prop(&graph, config_.layers,
-                            graph::Norm::kSymmetric);
-  core::NegativeSampler sampler(ni, split.train);
+  graph_ = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+  prop_ = std::make_unique<graph::GcnPropagator>(graph_.get(), config_.layers,
+                                                 graph::Norm::kSymmetric);
+  fused_ = math::Matrix(ni, d);
+  item_tags_ = &dataset.item_tags;
+
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  graph_.reset();
+  prop_.reset();
+  fused_ = math::Matrix();
+  item_tags_ = nullptr;
+  return Status::OK();
+}
+
+void Agcn::FuseItems(int num_threads) {
+  const int d = config_.dim;
+  ParallelFor(0, item_.rows(), [&](int v) {
+    auto dst = fused_.Row(v);
+    auto src = item_.Row(v);
+    const math::Vec tag_mean = MeanTagEmbedding(tag_, (*item_tags_)[v]);
+    for (int k = 0; k < d; ++k) dst[k] = src[k] + tag_mean[k];
+  }, num_threads);
+}
+
+double Agcn::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
+  const int nu = user_.rows();
+  const int ni = item_.rows();
   const double lr = config_.learning_rate;
   const double reg = config_.l2;
   const double layer_avg = 1.0 / (config_.layers + 1);
+  double loss = 0.0;
 
-  // Fused item inputs: free embedding + tag mean.
-  math::Matrix fused(ni, d);
-  auto fuse_items = [&]() {
-    ParallelFor(0, ni, [&](int v) {
-      auto dst = fused.Row(v);
-      auto src = item_.Row(v);
-      const math::Vec tag_mean =
-          MeanTagEmbedding(tag_, dataset.item_tags[v]);
-      for (int k = 0; k < d; ++k) dst[k] = src[k] + tag_mean[k];
-    });
-  };
+  FuseItems(ctx.num_threads);
+  math::Matrix fu, fv;
+  prop_->Forward(user_, fused_, &fu, &fv, /*include_layer0=*/true);
+  for (double& x : fu.data()) x *= layer_avg;
+  for (double& x : fv.data()) x *= layer_avg;
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = core::ShuffledTrainPairs(split.train, &rng);
-    const auto batches = core::BatchRanges(static_cast<int>(pairs.size()),
-                                           config_.batch_size);
-    for (const auto& [b0, b1] : batches) {
-      fuse_items();
-      math::Matrix fu, fv;
-      prop.Forward(user_, fused, &fu, &fv, /*include_layer0=*/true);
-      for (double& x : fu.data()) x *= layer_avg;
-      for (double& x : fv.data()) x *= layer_avg;
+  math::Matrix gfu(nu, d), gfv(ni, d);
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    auto eu = fu.Row(u);
+    const int neg = ctx.SampleNegative(u);
+    auto ei = fv.Row(pos);
+    auto ej = fv.Row(neg);
+    const double x = math::Dot(eu, ei) - math::Dot(eu, ej);
+    const double g = Sigmoid(-x);
+    loss += -std::log(std::max(Sigmoid(x), 1e-300));
+    auto gu_row = gfu.Row(u);
+    auto gi = gfv.Row(pos);
+    auto gj = gfv.Row(neg);
+    for (int k = 0; k < d; ++k) {
+      gu_row[k] += -g * (ei[k] - ej[k]);
+      gi[k] += -g * eu[k];
+      gj[k] += g * eu[k];
+    }
+  }
+  for (double& x : gfu.data()) x *= layer_avg;
+  for (double& x : gfv.data()) x *= layer_avg;
 
-      math::Matrix gfu(nu, d), gfv(ni, d);
-      for (int i = b0; i < b1; ++i) {
-        const auto [u, pos] = pairs[i];
-        auto eu = fu.Row(u);
-        const int neg = sampler.Sample(u, &rng);
-        auto ei = fv.Row(pos);
-        auto ej = fv.Row(neg);
-        const double x = math::Dot(eu, ei) - math::Dot(eu, ej);
-        const double g = Sigmoid(-x);
-        auto gu_row = gfu.Row(u);
-        auto gi = gfv.Row(pos);
-        auto gj = gfv.Row(neg);
-        for (int k = 0; k < d; ++k) {
-          gu_row[k] += -g * (ei[k] - ej[k]);
-          gi[k] += -g * eu[k];
-          gj[k] += g * eu[k];
-        }
-      }
-      for (double& x : gfu.data()) x *= layer_avg;
-      for (double& x : gfv.data()) x *= layer_avg;
+  math::Matrix gu(nu, d), gv(ni, d);
+  prop_->Backward(gfu, gfv, &gu, &gv, /*include_layer0=*/true);
 
-      math::Matrix gu(nu, d), gv(ni, d);
-      prop.Backward(gfu, gfv, &gu, &gv, /*include_layer0=*/true);
-
-      ParallelFor(0, nu, [&](int u) {
-        auto row = user_.Row(u);
-        auto g = gu.Row(u);
-        for (int k = 0; k < d; ++k) row[k] -= lr * (g[k] + reg * row[k]);
-      });
-      // The fused input splits its gradient between the free item vector
-      // and the (mean-shared) tag embeddings.
-      ParallelFor(0, ni, [&](int v) {
-        auto row = item_.Row(v);
-        auto g = gv.Row(v);
-        for (int k = 0; k < d; ++k) row[k] -= lr * (g[k] + reg * row[k]);
-      });
-      for (int v = 0; v < ni; ++v) {
-        const auto& tags = dataset.item_tags[v];
-        if (tags.empty()) continue;
-        auto g = gv.Row(v);
-        const double share = 1.0 / tags.size();
-        for (int t : tags) {
-          auto row = tag_.Row(t);
-          for (int k = 0; k < d; ++k) {
-            row[k] -= lr * (share * g[k] + reg * row[k] / ni);
-          }
-        }
+  ParallelFor(0, nu, [&](int u) {
+    auto row = user_.Row(u);
+    auto g = gu.Row(u);
+    for (int k = 0; k < d; ++k) row[k] -= lr * (g[k] + reg * row[k]);
+  }, ctx.num_threads);
+  // The fused input splits its gradient between the free item vector
+  // and the (mean-shared) tag embeddings.
+  ParallelFor(0, ni, [&](int v) {
+    auto row = item_.Row(v);
+    auto g = gv.Row(v);
+    for (int k = 0; k < d; ++k) row[k] -= lr * (g[k] + reg * row[k]);
+  }, ctx.num_threads);
+  for (int v = 0; v < ni; ++v) {
+    const auto& tags = (*item_tags_)[v];
+    if (tags.empty()) continue;
+    auto g = gv.Row(v);
+    const double share = 1.0 / tags.size();
+    for (int t : tags) {
+      auto row = tag_.Row(t);
+      for (int k = 0; k < d; ++k) {
+        row[k] -= lr * (share * g[k] + reg * row[k] / ni);
       }
     }
   }
+  return loss;
+}
 
-  fuse_items();
-  prop.Forward(user_, fused, &final_user_, &final_item_,
-               /*include_layer0=*/true);
+void Agcn::SyncScoringState() {
+  const double layer_avg = 1.0 / (config_.layers + 1);
+  FuseItems(config_.num_threads);
+  prop_->Forward(user_, fused_, &final_user_, &final_item_,
+                 /*include_layer0=*/true);
   for (double& x : final_user_.data()) x *= layer_avg;
   for (double& x : final_item_.data()) x *= layer_avg;
   fitted_ = true;
-  return Status::OK();
+}
+
+void Agcn::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
+  params->Add(&tag_);
 }
 
 void Agcn::ScoreItems(int user, std::vector<double>* out) const {

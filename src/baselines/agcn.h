@@ -1,10 +1,13 @@
 #ifndef LOGIREC_BASELINES_AGCN_H_
 #define LOGIREC_BASELINES_AGCN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
+#include "graph/propagation.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -19,7 +22,7 @@ namespace logirec::baselines {
 /// Simplification vs. the original: the explicit attribute-inference head
 /// is replaced by gradient feedback into the tag embeddings through the
 /// fusion (the same adaptive signal, without the inference loss).
-class Agcn final : public core::Recommender {
+class Agcn final : public core::Recommender, private core::Trainable {
  public:
   explicit Agcn(core::TrainConfig config) : config_(config) {}
 
@@ -31,9 +34,21 @@ class Agcn final : public core::Recommender {
   }
 
  private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override;
+  void CollectParameters(core::ParameterSet* params) override;
+
+  /// Recomputes `fused_` = free item embedding + mean tag embedding.
+  void FuseItems(int num_threads);
+
   core::TrainConfig config_;
   math::Matrix user_, item_, tag_;  // base embeddings
   math::Matrix final_user_, final_item_;
+  // Training-time state, alive only while Fit() runs.
+  std::unique_ptr<graph::BipartiteGraph> graph_;
+  std::unique_ptr<graph::GcnPropagator> prop_;
+  math::Matrix fused_;
+  const std::vector<std::vector<int>>* item_tags_ = nullptr;
   bool fitted_ = false;
 };
 

@@ -1,7 +1,9 @@
 #include "baselines/amf.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "baselines/baseline_util.h"
-#include "core/negative_sampler.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -25,44 +27,54 @@ Status Amf::Fit(const data::Dataset& dataset, const data::Split& split) {
   tag_.FillGaussian(&rng, 0.1);
   item_tags_ = dataset.item_tags;
 
-  core::NegativeSampler sampler(dataset.num_items, split.train);
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  return Status::OK();
+}
+
+double Amf::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
   const double lr = config_.learning_rate;
   const double reg = config_.l2;
+  double loss = 0.0;
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const int neg = ctx.SampleNegative(u);
+    auto pu = user_.Row(u);
+    const math::Vec qi = EffectiveItem(pos);
+    const math::Vec qj = EffectiveItem(neg);
+    const double x = math::Dot(pu, qi) - math::Dot(pu, qj);
+    const double g = Sigmoid(-x);
+    loss += -std::log(std::max(Sigmoid(x), 1e-300));
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    for (const auto& [u, pos] : pairs) {
-      const int neg = sampler.Sample(u, &rng);
-      auto pu = user_.Row(u);
-      const math::Vec qi = EffectiveItem(pos);
-      const math::Vec qj = EffectiveItem(neg);
-      const double x = math::Dot(pu, qi) - math::Dot(pu, qj);
-      const double g = Sigmoid(-x);
-
-      auto vi = item_.Row(pos);
-      auto vj = item_.Row(neg);
-      const auto& tags_i = item_tags_[pos];
-      const auto& tags_j = item_tags_[neg];
-      for (int k = 0; k < d; ++k) {
-        const double pu_k = pu[k];
-        pu[k] += lr * (g * (qi[k] - qj[k]) - reg * pu_k);
-        vi[k] += lr * (g * pu_k - reg * vi[k]);
-        vj[k] += lr * (-g * pu_k - reg * vj[k]);
-        if (!tags_i.empty()) {
-          for (int t : tags_i) {
-            tag_.Row(t)[k] += lr * (g * pu_k / tags_i.size());
-          }
+    auto vi = item_.Row(pos);
+    auto vj = item_.Row(neg);
+    const auto& tags_i = item_tags_[pos];
+    const auto& tags_j = item_tags_[neg];
+    for (int k = 0; k < d; ++k) {
+      const double pu_k = pu[k];
+      pu[k] += lr * (g * (qi[k] - qj[k]) - reg * pu_k);
+      vi[k] += lr * (g * pu_k - reg * vi[k]);
+      vj[k] += lr * (-g * pu_k - reg * vj[k]);
+      if (!tags_i.empty()) {
+        for (int t : tags_i) {
+          tag_.Row(t)[k] += lr * (g * pu_k / tags_i.size());
         }
-        if (!tags_j.empty()) {
-          for (int t : tags_j) {
-            tag_.Row(t)[k] += lr * (-g * pu_k / tags_j.size());
-          }
+      }
+      if (!tags_j.empty()) {
+        for (int t : tags_j) {
+          tag_.Row(t)[k] += lr * (-g * pu_k / tags_j.size());
         }
       }
     }
   }
-  fitted_ = true;
-  return Status::OK();
+  return loss;
+}
+
+void Amf::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
+  params->Add(&tag_);
 }
 
 void Amf::ScoreItems(int user, std::vector<double>* out) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -13,7 +14,7 @@ namespace logirec::baselines {
 /// tags as aspects): score(u, v) = <p_u, q_v + mean tag embedding of v>,
 /// optimized with BPR. Items sharing tags share part of their latent
 /// representation through the aspect term.
-class Amf final : public core::Recommender {
+class Amf final : public core::Recommender, private core::Trainable {
  public:
   explicit Amf(core::TrainConfig config) : config_(config) {}
 
@@ -22,6 +23,10 @@ class Amf final : public core::Recommender {
   std::string name() const override { return "AMF"; }
 
  private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override { fitted_ = true; }
+  void CollectParameters(core::ParameterSet* params) override;
+
   math::Vec EffectiveItem(int item) const;
 
   core::TrainConfig config_;

@@ -13,16 +13,6 @@ double Sigmoid(double x) {
   return e / (1.0 + e);
 }
 
-std::vector<std::pair<int, int>> ShuffledTrainPairs(
-    const std::vector<std::vector<int>>& train_items, Rng* rng) {
-  std::vector<std::pair<int, int>> pairs;
-  for (size_t u = 0; u < train_items.size(); ++u) {
-    for (int v : train_items[u]) pairs.emplace_back(static_cast<int>(u), v);
-  }
-  rng->Shuffle(&pairs);
-  return pairs;
-}
-
 void ClipRowsToUnitBall(math::Matrix* m) {
   for (int r = 0; r < m->rows(); ++r) {
     math::ClipNorm(m->Row(r), 1.0);

@@ -12,10 +12,8 @@ namespace logirec::baselines {
 /// Logistic sigmoid.
 double Sigmoid(double x);
 
-/// Flattens the per-user training lists into (user, item) pairs and
-/// shuffles them — the per-epoch SGD ordering for the sample-wise models.
-std::vector<std::pair<int, int>> ShuffledTrainPairs(
-    const std::vector<std::vector<int>>& train_items, Rng* rng);
+// Epoch shuffling lives in core::ShuffledTrainPairs (core/train_util.h),
+// consumed by core::Trainer for every model.
 
 /// Clips every row of `m` to at most unit Euclidean norm (the CML-family
 /// constraint keeping embeddings inside the unit sphere).

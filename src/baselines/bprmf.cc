@@ -1,7 +1,9 @@
 #include "baselines/bprmf.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "baselines/baseline_util.h"
-#include "core/negative_sampler.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -16,32 +18,42 @@ Status Bprmf::Fit(const data::Dataset& dataset, const data::Split& split) {
   item_.FillGaussian(&rng, 0.1);
   item_bias_.assign(dataset.num_items, 0.0);
 
-  core::NegativeSampler sampler(dataset.num_items, split.train);
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  return Status::OK();
+}
+
+double Bprmf::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
   const double lr = config_.learning_rate;
   const double reg = config_.l2;
-
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    for (const auto& [u, pos] : pairs) {
-      const int neg = sampler.Sample(u, &rng);
-      auto pu = user_.Row(u);
-      auto qi = item_.Row(pos);
-      auto qj = item_.Row(neg);
-      const double x = math::Dot(pu, qi) + item_bias_[pos] -
-                       math::Dot(pu, qj) - item_bias_[neg];
-      const double g = Sigmoid(-x);  // d(-ln sigma(x))/dx = -sigma(-x)
-      for (int k = 0; k < d; ++k) {
-        const double pu_k = pu[k];
-        pu[k] += lr * (g * (qi[k] - qj[k]) - reg * pu_k);
-        qi[k] += lr * (g * pu_k - reg * qi[k]);
-        qj[k] += lr * (-g * pu_k - reg * qj[k]);
-      }
-      item_bias_[pos] += lr * (g - reg * item_bias_[pos]);
-      item_bias_[neg] += lr * (-g - reg * item_bias_[neg]);
+  double loss = 0.0;
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const int neg = ctx.SampleNegative(u);
+    auto pu = user_.Row(u);
+    auto qi = item_.Row(pos);
+    auto qj = item_.Row(neg);
+    const double x = math::Dot(pu, qi) + item_bias_[pos] -
+                     math::Dot(pu, qj) - item_bias_[neg];
+    const double g = Sigmoid(-x);  // d(-ln sigma(x))/dx = -sigma(-x)
+    loss += -std::log(std::max(Sigmoid(x), 1e-300));
+    for (int k = 0; k < d; ++k) {
+      const double pu_k = pu[k];
+      pu[k] += lr * (g * (qi[k] - qj[k]) - reg * pu_k);
+      qi[k] += lr * (g * pu_k - reg * qi[k]);
+      qj[k] += lr * (-g * pu_k - reg * qj[k]);
     }
+    item_bias_[pos] += lr * (g - reg * item_bias_[pos]);
+    item_bias_[neg] += lr * (-g - reg * item_bias_[neg]);
   }
-  fitted_ = true;
-  return Status::OK();
+  return loss;
+}
+
+void Bprmf::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
+  params->Add(&item_bias_);
 }
 
 void Bprmf::ScoreItems(int user, std::vector<double>* out) const {

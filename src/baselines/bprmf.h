@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -12,7 +13,7 @@ namespace logirec::baselines {
 /// Bayesian Personalized Ranking over matrix factorization (Rendle et al.
 /// 2009): score(u, v) = <p_u, q_v> + b_v, optimized with per-sample SGD on
 /// the BPR criterion -ln sigmoid(score(u,i) - score(u,j)).
-class Bprmf final : public core::Recommender {
+class Bprmf final : public core::Recommender, private core::Trainable {
  public:
   explicit Bprmf(core::TrainConfig config) : config_(config) {}
 
@@ -21,6 +22,10 @@ class Bprmf final : public core::Recommender {
   std::string name() const override { return "BPRMF"; }
 
  private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override { fitted_ = true; }
+  void CollectParameters(core::ParameterSet* params) override;
+
   core::TrainConfig config_;
   math::Matrix user_, item_;
   std::vector<double> item_bias_;

@@ -1,7 +1,6 @@
 #include "baselines/cml.h"
 
 #include "baselines/baseline_util.h"
-#include "core/negative_sampler.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -17,36 +16,46 @@ Status Cml::Fit(const data::Dataset& dataset, const data::Split& split) {
   ClipRowsToUnitBall(&user_);
   ClipRowsToUnitBall(&item_);
 
-  core::NegativeSampler sampler(dataset.num_items, split.train);
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  return Status::OK();
+}
+
+double Cml::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
   const double lr = config_.learning_rate;
   const double margin = config_.margin > 0.0 ? config_.margin : 0.5;
-
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    for (const auto& [u, pos] : pairs) {
-      const int neg = sampler.Sample(u, &rng);
-      auto pu = user_.Row(u);
-      auto qi = item_.Row(pos);
-      auto qj = item_.Row(neg);
-      const double dpos = math::SquaredDistance(pu, qi);
-      const double dneg = math::SquaredDistance(pu, qj);
-      if (margin + dpos - dneg <= 0.0) continue;
-      // d d^2(a,b)/da = 2(a-b).
-      for (int k = 0; k < d; ++k) {
-        const double gu = 2.0 * (pu[k] - qi[k]) - 2.0 * (pu[k] - qj[k]);
-        const double gi = -2.0 * (pu[k] - qi[k]);
-        const double gj = 2.0 * (pu[k] - qj[k]);
-        pu[k] -= lr * gu;
-        qi[k] -= lr * gi;
-        qj[k] -= lr * gj;
-      }
-      math::ClipNorm(pu, 1.0);
-      math::ClipNorm(qi, 1.0);
-      math::ClipNorm(qj, 1.0);
+  double loss = 0.0;
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const int neg = ctx.SampleNegative(u);
+    auto pu = user_.Row(u);
+    auto qi = item_.Row(pos);
+    auto qj = item_.Row(neg);
+    const double dpos = math::SquaredDistance(pu, qi);
+    const double dneg = math::SquaredDistance(pu, qj);
+    const double hinge = margin + dpos - dneg;
+    if (hinge <= 0.0) continue;
+    loss += hinge;
+    // d d^2(a,b)/da = 2(a-b).
+    for (int k = 0; k < d; ++k) {
+      const double gu = 2.0 * (pu[k] - qi[k]) - 2.0 * (pu[k] - qj[k]);
+      const double gi = -2.0 * (pu[k] - qi[k]);
+      const double gj = 2.0 * (pu[k] - qj[k]);
+      pu[k] -= lr * gu;
+      qi[k] -= lr * gi;
+      qj[k] -= lr * gj;
     }
+    math::ClipNorm(pu, 1.0);
+    math::ClipNorm(qi, 1.0);
+    math::ClipNorm(qj, 1.0);
   }
-  fitted_ = true;
-  return Status::OK();
+  return loss;
+}
+
+void Cml::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
 }
 
 void Cml::ScoreItems(int user, std::vector<double>* out) const {
@@ -80,47 +89,58 @@ Status Cmlf::Fit(const data::Dataset& dataset, const data::Split& split) {
   item_tags_copy_ = dataset.item_tags;
   item_tags_ = &item_tags_copy_;
 
-  core::NegativeSampler sampler(dataset.num_items, split.train);
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  return Status::OK();
+}
+
+double Cmlf::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
   const double lr = config_.learning_rate;
   const double margin = config_.margin > 0.0 ? config_.margin : 0.5;
+  double loss = 0.0;
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const int neg = ctx.SampleNegative(u);
+    auto pu = user_.Row(u);
+    const math::Vec qi = EffectiveItem(pos);
+    const math::Vec qj = EffectiveItem(neg);
+    const double dpos = math::SquaredDistance(pu, qi);
+    const double dneg = math::SquaredDistance(pu, qj);
+    const double hinge = margin + dpos - dneg;
+    if (hinge <= 0.0) continue;
+    loss += hinge;
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    for (const auto& [u, pos] : pairs) {
-      const int neg = sampler.Sample(u, &rng);
-      auto pu = user_.Row(u);
-      const math::Vec qi = EffectiveItem(pos);
-      const math::Vec qj = EffectiveItem(neg);
-      const double dpos = math::SquaredDistance(pu, qi);
-      const double dneg = math::SquaredDistance(pu, qj);
-      if (margin + dpos - dneg <= 0.0) continue;
-
-      auto vi = item_.Row(pos);
-      auto vj = item_.Row(neg);
-      const auto& tags_i = (*item_tags_)[pos];
-      const auto& tags_j = (*item_tags_)[neg];
-      for (int k = 0; k < d; ++k) {
-        const double gi = -2.0 * (pu[k] - qi[k]);  // d/d(effective item i)
-        const double gj = 2.0 * (pu[k] - qj[k]);
-        const double gu = -gi - gj;
-        pu[k] -= lr * gu;
-        vi[k] -= lr * gi;
-        vj[k] -= lr * gj;
-        // Tag embeddings receive the mean-shared slice of the item grad.
-        if (!tags_i.empty()) {
-          for (int t : tags_i) tag_.Row(t)[k] -= lr * gi / tags_i.size();
-        }
-        if (!tags_j.empty()) {
-          for (int t : tags_j) tag_.Row(t)[k] -= lr * gj / tags_j.size();
-        }
+    auto vi = item_.Row(pos);
+    auto vj = item_.Row(neg);
+    const auto& tags_i = (*item_tags_)[pos];
+    const auto& tags_j = (*item_tags_)[neg];
+    for (int k = 0; k < d; ++k) {
+      const double gi = -2.0 * (pu[k] - qi[k]);  // d/d(effective item i)
+      const double gj = 2.0 * (pu[k] - qj[k]);
+      const double gu = -gi - gj;
+      pu[k] -= lr * gu;
+      vi[k] -= lr * gi;
+      vj[k] -= lr * gj;
+      // Tag embeddings receive the mean-shared slice of the item grad.
+      if (!tags_i.empty()) {
+        for (int t : tags_i) tag_.Row(t)[k] -= lr * gi / tags_i.size();
       }
-      math::ClipNorm(pu, 1.0);
-      math::ClipNorm(vi, 1.0);
-      math::ClipNorm(vj, 1.0);
+      if (!tags_j.empty()) {
+        for (int t : tags_j) tag_.Row(t)[k] -= lr * gj / tags_j.size();
+      }
     }
+    math::ClipNorm(pu, 1.0);
+    math::ClipNorm(vi, 1.0);
+    math::ClipNorm(vj, 1.0);
   }
-  fitted_ = true;
-  return Status::OK();
+  return loss;
+}
+
+void Cmlf::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
+  params->Add(&tag_);
 }
 
 void Cmlf::ScoreItems(int user, std::vector<double>* out) const {

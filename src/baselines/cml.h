@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -13,7 +14,7 @@ namespace logirec::baselines {
 /// shared Euclidean metric space, hinge loss on squared distances
 ///   [m + d^2(u,i) - d^2(u,j)]_+,
 /// with all embeddings clipped into the unit ball after each update.
-class Cml final : public core::Recommender {
+class Cml final : public core::Recommender, private core::Trainable {
  public:
   explicit Cml(core::TrainConfig config) : config_(config) {}
 
@@ -21,7 +22,11 @@ class Cml final : public core::Recommender {
   void ScoreItems(int user, std::vector<double>* out) const override;
   std::string name() const override { return "CML"; }
 
- protected:
+ private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override { fitted_ = true; }
+  void CollectParameters(core::ParameterSet* params) override;
+
   core::TrainConfig config_;
   math::Matrix user_, item_;
   bool fitted_ = false;
@@ -30,7 +35,7 @@ class Cml final : public core::Recommender {
 /// CML with tag Features (the paper's "CMLF" variant of Hsieh et al.):
 /// the effective item point is v + mean of its tag embeddings, so items
 /// sharing tags are pulled together in the metric space.
-class Cmlf final : public core::Recommender {
+class Cmlf final : public core::Recommender, private core::Trainable {
  public:
   explicit Cmlf(core::TrainConfig config) : config_(config) {}
 
@@ -39,6 +44,10 @@ class Cmlf final : public core::Recommender {
   std::string name() const override { return "CMLF"; }
 
  private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override { fitted_ = true; }
+  void CollectParameters(core::ParameterSet* params) override;
+
   /// Effective item embedding (free part + tag mean).
   math::Vec EffectiveItem(int item) const;
 

@@ -1,9 +1,8 @@
 #include "baselines/gdcf.h"
 
+#include <algorithm>
 #include <cmath>
 
-#include "baselines/baseline_util.h"
-#include "core/negative_sampler.h"
 #include "hyper/poincare.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -67,65 +66,77 @@ Status Gdcf::Fit(const data::Dataset& dataset, const data::Split& split) {
   for (int r = 0; r < item_.rows(); ++r) project(&item_, r);
   chunk_logits_.assign(kChunks, 0.0);
 
-  core::NegativeSampler sampler(dataset.num_items, split.train);
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  return Status::OK();
+}
+
+double Gdcf::TrainOnBatch(const core::BatchContext& ctx) {
+  const int cd = ChunkDim();
   const double lr = config_.learning_rate;
   const double margin = config_.margin > 0.0 ? config_.margin : 0.3;
+  double loss = 0.0;
 
   std::vector<double> dist_pos(kChunks), dist_neg(kChunks);
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    for (const auto& [u, pos] : pairs) {
-      const int neg = sampler.Sample(u, &rng);
-      const double dp = FusedDistance(u, pos, &dist_pos);
-      const double dn = FusedDistance(u, neg, &dist_neg);
-      if (margin + dp - dn <= 0.0) continue;
-      const auto weights = ChunkWeights();
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const int neg = ctx.SampleNegative(u);
+    const double dp = FusedDistance(u, pos, &dist_pos);
+    const double dn = FusedDistance(u, neg, &dist_neg);
+    const double hinge = margin + dp - dn;
+    if (hinge <= 0.0) continue;
+    loss += hinge;
+    const auto weights = ChunkWeights();
 
-      auto pu = user_.Row(u);
-      auto qi = item_.Row(pos);
-      auto qj = item_.Row(neg);
-      for (int c = 0; c < kChunks; ++c) {
-        auto uc = pu.subspan(static_cast<size_t>(c) * cd, cd);
-        auto ic = qi.subspan(static_cast<size_t>(c) * cd, cd);
-        auto jc = qj.subspan(static_cast<size_t>(c) * cd, cd);
-        math::Vec gu(cd, 0.0), gi(cd, 0.0), gj(cd, 0.0);
-        if (IsHyperbolicChunk(c)) {
-          hyper::PoincareDistanceGrad(uc, ic, weights[c], math::Span(gu),
-                                      math::Span(gi));
-          hyper::PoincareDistanceGrad(uc, jc, -weights[c], math::Span(gu),
-                                      math::Span(gj));
-          hyper::RsgdStepPoincare(uc, gu, lr);
-          hyper::RsgdStepPoincare(ic, gi, lr);
-          hyper::RsgdStepPoincare(jc, gj, lr);
-        } else {
-          const double np = std::max(math::Distance(uc, ic), 1e-9);
-          const double nn = std::max(math::Distance(uc, jc), 1e-9);
-          for (int k = 0; k < cd; ++k) {
-            const double gp = weights[c] * (uc[k] - ic[k]) / np;
-            const double gn = weights[c] * (uc[k] - jc[k]) / nn;
-            gu[k] = gp - gn;
-            gi[k] = -gp;
-            gj[k] = gn;
-          }
-          for (int k = 0; k < cd; ++k) {
-            uc[k] -= lr * gu[k];
-            ic[k] -= lr * gi[k];
-            jc[k] -= lr * gj[k];
-          }
+    auto pu = user_.Row(u);
+    auto qi = item_.Row(pos);
+    auto qj = item_.Row(neg);
+    for (int c = 0; c < kChunks; ++c) {
+      auto uc = pu.subspan(static_cast<size_t>(c) * cd, cd);
+      auto ic = qi.subspan(static_cast<size_t>(c) * cd, cd);
+      auto jc = qj.subspan(static_cast<size_t>(c) * cd, cd);
+      math::Vec gu(cd, 0.0), gi(cd, 0.0), gj(cd, 0.0);
+      if (IsHyperbolicChunk(c)) {
+        hyper::PoincareDistanceGrad(uc, ic, weights[c], math::Span(gu),
+                                    math::Span(gi));
+        hyper::PoincareDistanceGrad(uc, jc, -weights[c], math::Span(gu),
+                                    math::Span(gj));
+        hyper::RsgdStepPoincare(uc, gu, lr);
+        hyper::RsgdStepPoincare(ic, gi, lr);
+        hyper::RsgdStepPoincare(jc, gj, lr);
+      } else {
+        const double np = std::max(math::Distance(uc, ic), 1e-9);
+        const double nn = std::max(math::Distance(uc, jc), 1e-9);
+        for (int k = 0; k < cd; ++k) {
+          const double gp = weights[c] * (uc[k] - ic[k]) / np;
+          const double gn = weights[c] * (uc[k] - jc[k]) / nn;
+          gu[k] = gp - gn;
+          gi[k] = -gp;
+          gj[k] = gn;
         }
-        // Chunk-weight gradient via softmax: dL/dlogit_c =
-        // sum_c' (d_pos - d_neg)_c' * w_c' * (delta_cc' - w_c).
-        double glogit = 0.0;
-        for (int c2 = 0; c2 < kChunks; ++c2) {
-          const double diff = dist_pos[c2] - dist_neg[c2];
-          glogit += diff * weights[c2] * ((c2 == c ? 1.0 : 0.0) - weights[c]);
+        for (int k = 0; k < cd; ++k) {
+          uc[k] -= lr * gu[k];
+          ic[k] -= lr * gi[k];
+          jc[k] -= lr * gj[k];
         }
-        chunk_logits_[c] -= lr * 0.1 * glogit;
       }
+      // Chunk-weight gradient via softmax: dL/dlogit_c =
+      // sum_c' (d_pos - d_neg)_c' * w_c' * (delta_cc' - w_c).
+      double glogit = 0.0;
+      for (int c2 = 0; c2 < kChunks; ++c2) {
+        const double diff = dist_pos[c2] - dist_neg[c2];
+        glogit += diff * weights[c2] * ((c2 == c ? 1.0 : 0.0) - weights[c]);
+      }
+      chunk_logits_[c] -= lr * 0.1 * glogit;
     }
   }
-  fitted_ = true;
-  return Status::OK();
+  return loss;
+}
+
+void Gdcf::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
+  params->Add(&chunk_logits_);
 }
 
 void Gdcf::ScoreItems(int user, std::vector<double>* out) const {

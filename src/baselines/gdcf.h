@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -14,7 +15,7 @@ namespace logirec::baselines {
 /// scored under its own geometry — alternating Euclidean and hyperbolic
 /// (Poincaré) metrics — and fused with learned softmax chunk weights.
 /// Hinge ranking loss, per-sample SGD (RSGD inside the hyperbolic chunks).
-class Gdcf final : public core::Recommender {
+class Gdcf final : public core::Recommender, private core::Trainable {
  public:
   explicit Gdcf(core::TrainConfig config) : config_(config) {}
 
@@ -24,6 +25,10 @@ class Gdcf final : public core::Recommender {
 
  private:
   static constexpr int kChunks = 4;
+
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override { fitted_ = true; }
+  void CollectParameters(core::ParameterSet* params) override;
 
   int ChunkDim() const;
   bool IsHyperbolicChunk(int c) const { return c % 2 == 1; }

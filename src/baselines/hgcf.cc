@@ -3,12 +3,7 @@
 #include <cmath>
 
 #include "core/embedding.h"
-#include "core/hgcn.h"
-#include "core/negative_sampler.h"
-#include "core/train_util.h"
-#include "graph/bipartite_graph.h"
 #include "hyper/lorentz.h"
-#include "opt/optimizer.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -30,74 +25,92 @@ Status Hgcf::Fit(const data::Dataset& dataset, const data::Split& split) {
   core::InitLorentzRows(&user_, &rng, 0.05);
   core::InitLorentzRows(&item_, &rng, 0.05);
 
-  graph::BipartiteGraph graph(nu, ni, split.train);
-  core::HyperbolicGcn hgcn(&graph, config_.layers);
-  core::NegativeSampler sampler(ni, split.train);
-  opt::LorentzRsgd user_opt(config_.learning_rate, config_.grad_clip);
-  opt::LorentzRsgd item_opt(config_.learning_rate, config_.grad_clip);
+  graph_ = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+  hgcn_ = std::make_unique<core::HyperbolicGcn>(graph_.get(), config_.layers);
+  user_opt_ = std::make_unique<opt::LorentzRsgd>(config_.learning_rate,
+                                                 config_.grad_clip);
+  item_opt_ = std::make_unique<opt::LorentzRsgd>(config_.learning_rate,
+                                                 config_.grad_clip);
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = core::ShuffledTrainPairs(split.train, &rng);
-    const auto batches = core::BatchRanges(static_cast<int>(pairs.size()),
-                                           config_.batch_size);
-    for (const auto& [b0, b1] : batches) {
-      math::Matrix fu, fv;
-      hgcn.Forward(user_, item_, &fu, &fv);
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  graph_.reset();
+  hgcn_.reset();
+  user_opt_.reset();
+  item_opt_.reset();
+  return Status::OK();
+}
 
-      // Per-model tuning (Section VI-A4 tunes every baseline): the pure
-      // Lorentz metric models prefer a wider margin than the shared
-      // default at this data scale (grid-searched over {1, 2, 4}x).
-      const double margin = config_.margin * 2.0;
-      math::Matrix gfu(nu, d + 1), gfv(ni, d + 1);
-      for (int i = b0; i < b1; ++i) {
-        const auto [u, pos] = pairs[i];
-        for (int k = 0; k < config_.negatives_per_positive; ++k) {
-          const int neg = sampler.Sample(u, &rng);
-          const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
-          const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
-          if (margin + dpos - dneg <= 0.0) continue;
-          hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), 1.0, gfu.Row(u),
-                                     gfv.Row(pos));
-          hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -1.0,
-                                     gfu.Row(u), gfv.Row(neg));
-        }
-      }
-      AddRegularizerGrad(fu, fv, &gfu, &gfv);
+double Hgcf::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
+  const int nu = user_.rows();
+  const int ni = item_.rows();
+  double loss = 0.0;
 
-      math::Matrix gu(nu, d + 1), gv(ni, d + 1);
-      hgcn.Backward(gfu, gfv, &gu, &gv);
+  math::Matrix fu, fv;
+  hgcn_->Forward(user_, item_, &fu, &fv);
 
-      // Stability clamp: bound the distance-to-origin of the base
-      // embeddings. Without it the margin race inflates norms until all
-      // distances saturate and ranking collapses (the skip-sum GCN then
-      // amplifies the blow-up). LogiRec avoids this implicitly via its
-      // Poincaré ball projection; HGCF/HRCF need the explicit bound.
-      constexpr double kMaxRadius = 6.0;
-      const double max_spatial = std::sinh(kMaxRadius);
-      auto clamp_radius = [max_spatial](math::Span row) {
-        double spatial = 0.0;
-        for (size_t i = 1; i < row.size(); ++i) spatial += row[i] * row[i];
-        spatial = std::sqrt(spatial);
-        if (spatial > max_spatial) {
-          const double s = max_spatial / spatial;
-          for (size_t i = 1; i < row.size(); ++i) row[i] *= s;
-          hyper::ProjectToHyperboloid(row);
-        }
-      };
-      ParallelFor(0, nu, [&](int u) {
-        user_opt.Step(u, user_.Row(u), gu.Row(u));
-        clamp_radius(user_.Row(u));
-      });
-      ParallelFor(0, ni, [&](int v) {
-        item_opt.Step(v, item_.Row(v), gv.Row(v));
-        clamp_radius(item_.Row(v));
-      });
+  // Per-model tuning (Section VI-A4 tunes every baseline): the pure
+  // Lorentz metric models prefer a wider margin than the shared
+  // default at this data scale (grid-searched over {1, 2, 4}x).
+  const double margin = config_.margin * 2.0;
+  math::Matrix gfu(nu, d + 1), gfv(ni, d + 1);
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    for (int k = 0; k < config_.negatives_per_positive; ++k) {
+      const int neg = ctx.SampleNegative(u);
+      const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
+      const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
+      const double hinge = margin + dpos - dneg;
+      if (hinge <= 0.0) continue;
+      loss += hinge;
+      hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), 1.0, gfu.Row(u),
+                                 gfv.Row(pos));
+      hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -1.0,
+                                 gfu.Row(u), gfv.Row(neg));
     }
   }
+  AddRegularizerGrad(fu, fv, &gfu, &gfv);
 
-  hgcn.Forward(user_, item_, &final_user_, &final_item_);
+  math::Matrix gu(nu, d + 1), gv(ni, d + 1);
+  hgcn_->Backward(gfu, gfv, &gu, &gv);
+
+  // Stability clamp: bound the distance-to-origin of the base
+  // embeddings. Without it the margin race inflates norms until all
+  // distances saturate and ranking collapses (the skip-sum GCN then
+  // amplifies the blow-up). LogiRec avoids this implicitly via its
+  // Poincaré ball projection; HGCF/HRCF need the explicit bound.
+  constexpr double kMaxRadius = 6.0;
+  const double max_spatial = std::sinh(kMaxRadius);
+  auto clamp_radius = [max_spatial](math::Span row) {
+    double spatial = 0.0;
+    for (size_t i = 1; i < row.size(); ++i) spatial += row[i] * row[i];
+    spatial = std::sqrt(spatial);
+    if (spatial > max_spatial) {
+      const double s = max_spatial / spatial;
+      for (size_t i = 1; i < row.size(); ++i) row[i] *= s;
+      hyper::ProjectToHyperboloid(row);
+    }
+  };
+  ParallelFor(0, nu, [&](int u) {
+    user_opt_->Step(u, user_.Row(u), gu.Row(u));
+    clamp_radius(user_.Row(u));
+  }, ctx.num_threads);
+  ParallelFor(0, ni, [&](int v) {
+    item_opt_->Step(v, item_.Row(v), gv.Row(v));
+    clamp_radius(item_.Row(v));
+  }, ctx.num_threads);
+  return loss;
+}
+
+void Hgcf::SyncScoringState() {
+  hgcn_->Forward(user_, item_, &final_user_, &final_item_);
   fitted_ = true;
-  return Status::OK();
+}
+
+void Hgcf::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
 }
 
 void Hgcf::ScoreItems(int user, std::vector<double>* out) const {

@@ -1,18 +1,23 @@
 #ifndef LOGIREC_BASELINES_HGCF_H_
 #define LOGIREC_BASELINES_HGCF_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/hgcn.h"
 #include "core/recommender.h"
+#include "core/trainer.h"
+#include "graph/bipartite_graph.h"
 #include "math/matrix.h"
+#include "opt/optimizer.h"
 
 namespace logirec::baselines {
 
 /// HGCF (Sun et al. 2021): users and items on the Lorentz hyperboloid,
 /// tangent-space skip-GCN (the same Eqs. 6-8 block LogiRec uses), margin
 /// ranking loss on hyperbolic distances, Riemannian SGD.
-class Hgcf : public core::Recommender {
+class Hgcf : public core::Recommender, private core::Trainable {
  public:
   explicit Hgcf(core::TrainConfig config) : config_(config) {}
 
@@ -36,6 +41,16 @@ class Hgcf : public core::Recommender {
   math::Matrix user_, item_;  // Lorentz points, (d+1) wide
   math::Matrix final_user_, final_item_;
   bool fitted_ = false;
+
+ private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override;
+  void CollectParameters(core::ParameterSet* params) override;
+
+  // Training-time state, alive only while Fit() runs.
+  std::unique_ptr<graph::BipartiteGraph> graph_;
+  std::unique_ptr<core::HyperbolicGcn> hgcn_;
+  std::unique_ptr<opt::LorentzRsgd> user_opt_, item_opt_;
 };
 
 /// HRCF (Yang et al. 2022): HGCF plus a hyperbolic geometric regularizer

@@ -1,8 +1,6 @@
 #include "baselines/hyperml.h"
 
-#include "baselines/baseline_util.h"
 #include "core/embedding.h"
-#include "core/negative_sampler.h"
 #include "hyper/poincare.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -16,57 +14,71 @@ Status HyperMl::Fit(const data::Dataset& dataset, const data::Split& split) {
   item_ = math::Matrix(dataset.num_items, d);
   core::InitPoincareRows(&user_, &rng, 0.05);
   core::InitPoincareRows(&item_, &rng, 0.05);
+  grad_u_.assign(d, 0.0);
+  grad_i_.assign(d, 0.0);
+  grad_j_.assign(d, 0.0);
 
-  core::NegativeSampler sampler(dataset.num_items, split.train);
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  return Status::OK();
+}
+
+double HyperMl::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
   const double lr = config_.learning_rate;
   const double margin = config_.margin > 0.0 ? config_.margin : 0.3;
   const double distortion_weight = 0.05;
+  double loss = 0.0;
 
-  math::Vec gu(d), gi(d), gj(d);
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    for (const auto& [u, pos] : pairs) {
-      const int neg = sampler.Sample(u, &rng);
-      auto pu = user_.Row(u);
-      auto qi = item_.Row(pos);
-      auto qj = item_.Row(neg);
-      math::Zero(math::Span(gu));
-      math::Zero(math::Span(gi));
-      math::Zero(math::Span(gj));
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const int neg = ctx.SampleNegative(u);
+    auto pu = user_.Row(u);
+    auto qi = item_.Row(pos);
+    auto qj = item_.Row(neg);
+    math::Zero(math::Span(grad_u_));
+    math::Zero(math::Span(grad_i_));
+    math::Zero(math::Span(grad_j_));
 
-      const double dpos = hyper::PoincareDistance(pu, qi);
-      const double dneg = hyper::PoincareDistance(pu, qj);
-      bool any = false;
-      if (margin + dpos - dneg > 0.0) {
-        hyper::PoincareDistanceGrad(pu, qi, 1.0, math::Span(gu),
-                                    math::Span(gi));
-        hyper::PoincareDistanceGrad(pu, qj, -1.0, math::Span(gu),
-                                    math::Span(gj));
-        any = true;
-      }
-      // Distortion regularizer: keep the hyperbolic distance of positive
-      // pairs commensurate with the Euclidean one (HyperML's "mapping"
-      // term). Gradient of 0.5 * w * (d_P - d_E)^2.
-      const double de = math::Distance(pu, qi);
-      const double gap = dpos - de;
-      if (distortion_weight > 0.0 && de > 1e-9) {
-        hyper::PoincareDistanceGrad(pu, qi, distortion_weight * gap,
-                                    math::Span(gu), math::Span(gi));
-        for (int k = 0; k < d; ++k) {
-          const double ge = distortion_weight * gap * (pu[k] - qi[k]) / de;
-          gu[k] -= ge;
-          gi[k] += ge;
-        }
-        any = true;
-      }
-      if (!any) continue;
-      hyper::RsgdStepPoincare(pu, gu, lr);
-      hyper::RsgdStepPoincare(qi, gi, lr);
-      hyper::RsgdStepPoincare(qj, gj, lr);
+    const double dpos = hyper::PoincareDistance(pu, qi);
+    const double dneg = hyper::PoincareDistance(pu, qj);
+    bool any = false;
+    const double hinge = margin + dpos - dneg;
+    if (hinge > 0.0) {
+      loss += hinge;
+      hyper::PoincareDistanceGrad(pu, qi, 1.0, math::Span(grad_u_),
+                                  math::Span(grad_i_));
+      hyper::PoincareDistanceGrad(pu, qj, -1.0, math::Span(grad_u_),
+                                  math::Span(grad_j_));
+      any = true;
     }
+    // Distortion regularizer: keep the hyperbolic distance of positive
+    // pairs commensurate with the Euclidean one (HyperML's "mapping"
+    // term). Gradient of 0.5 * w * (d_P - d_E)^2.
+    const double de = math::Distance(pu, qi);
+    const double gap = dpos - de;
+    if (distortion_weight > 0.0 && de > 1e-9) {
+      loss += 0.5 * distortion_weight * gap * gap;
+      hyper::PoincareDistanceGrad(pu, qi, distortion_weight * gap,
+                                  math::Span(grad_u_), math::Span(grad_i_));
+      for (int k = 0; k < d; ++k) {
+        const double ge = distortion_weight * gap * (pu[k] - qi[k]) / de;
+        grad_u_[k] -= ge;
+        grad_i_[k] += ge;
+      }
+      any = true;
+    }
+    if (!any) continue;
+    hyper::RsgdStepPoincare(pu, grad_u_, lr);
+    hyper::RsgdStepPoincare(qi, grad_i_, lr);
+    hyper::RsgdStepPoincare(qj, grad_j_, lr);
   }
-  fitted_ = true;
-  return Status::OK();
+  return loss;
+}
+
+void HyperMl::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
 }
 
 void HyperMl::ScoreItems(int user, std::vector<double>* out) const {

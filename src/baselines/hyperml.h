@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -14,7 +15,7 @@ namespace logirec::baselines {
 ///   [m + d_P(u,i) - d_P(u,j)]_+,
 /// plus a distortion regularizer tying the hyperbolic distance to the
 /// Euclidean one, optimized with Riemannian SGD in the ball.
-class HyperMl final : public core::Recommender {
+class HyperMl final : public core::Recommender, private core::Trainable {
  public:
   explicit HyperMl(core::TrainConfig config) : config_(config) {}
 
@@ -23,8 +24,13 @@ class HyperMl final : public core::Recommender {
   std::string name() const override { return "HyperML"; }
 
  private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override { fitted_ = true; }
+  void CollectParameters(core::ParameterSet* params) override;
+
   core::TrainConfig config_;
   math::Matrix user_, item_;
+  math::Vec grad_u_, grad_i_, grad_j_;  ///< per-triplet scratch
   bool fitted_ = false;
 };
 

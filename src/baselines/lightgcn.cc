@@ -1,9 +1,9 @@
 #include "baselines/lightgcn.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "baselines/baseline_util.h"
-#include "core/negative_sampler.h"
-#include "core/train_util.h"
-#include "graph/propagation.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -20,68 +20,82 @@ Status LightGcn::Fit(const data::Dataset& dataset, const data::Split& split) {
   user_.FillGaussian(&rng, 0.1);
   item_.FillGaussian(&rng, 0.1);
 
-  graph::BipartiteGraph graph(nu, ni, split.train);
-  graph::GcnPropagator prop(&graph, config_.layers,
-                            graph::Norm::kSymmetric);
-  core::NegativeSampler sampler(ni, split.train);
+  graph_ = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+  prop_ = std::make_unique<graph::GcnPropagator>(graph_.get(), config_.layers,
+                                                 graph::Norm::kSymmetric);
+
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  graph_.reset();
+  prop_.reset();
+  return Status::OK();
+}
+
+double LightGcn::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
+  const int nu = user_.rows();
+  const int ni = item_.rows();
   const double lr = config_.learning_rate;
   const double reg = config_.l2;
   const double layer_avg = 1.0 / (config_.layers + 1);
+  double loss = 0.0;
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = core::ShuffledTrainPairs(split.train, &rng);
-    const auto batches = core::BatchRanges(static_cast<int>(pairs.size()),
-                                           config_.batch_size);
-    for (const auto& [b0, b1] : batches) {
-      math::Matrix fu, fv;
-      prop.Forward(user_, item_, &fu, &fv, /*include_layer0=*/true);
-      // Layer averaging (absorb the 1/(L+1) factor explicitly).
-      for (double& x : fu.data()) x *= layer_avg;
-      for (double& x : fv.data()) x *= layer_avg;
+  math::Matrix fu, fv;
+  prop_->Forward(user_, item_, &fu, &fv, /*include_layer0=*/true);
+  // Layer averaging (absorb the 1/(L+1) factor explicitly).
+  for (double& x : fu.data()) x *= layer_avg;
+  for (double& x : fv.data()) x *= layer_avg;
 
-      math::Matrix gfu(nu, d), gfv(ni, d);
-      for (int i = b0; i < b1; ++i) {
-        const auto [u, pos] = pairs[i];
-        auto eu = fu.Row(u);
-        const int neg = sampler.Sample(u, &rng);
-        auto ei = fv.Row(pos);
-        auto ej = fv.Row(neg);
-        const double x = math::Dot(eu, ei) - math::Dot(eu, ej);
-        const double g = Sigmoid(-x);  // BPR
-        auto gu = gfu.Row(u);
-        auto gi = gfv.Row(pos);
-        auto gj = gfv.Row(neg);
-        for (int k = 0; k < d; ++k) {
-          gu[k] += -g * (ei[k] - ej[k]);
-          gi[k] += -g * eu[k];
-          gj[k] += g * eu[k];
-        }
-      }
-      for (double& x : gfu.data()) x *= layer_avg;
-      for (double& x : gfv.data()) x *= layer_avg;
-
-      math::Matrix gu0(nu, d), gv0(ni, d);
-      prop.Backward(gfu, gfv, &gu0, &gv0, /*include_layer0=*/true);
-
-      ParallelFor(0, nu, [&](int u) {
-        auto row = user_.Row(u);
-        auto g = gu0.Row(u);
-        for (int k = 0; k < d; ++k) row[k] -= lr * (g[k] + reg * row[k]);
-      });
-      ParallelFor(0, ni, [&](int v) {
-        auto row = item_.Row(v);
-        auto g = gv0.Row(v);
-        for (int k = 0; k < d; ++k) row[k] -= lr * (g[k] + reg * row[k]);
-      });
+  math::Matrix gfu(nu, d), gfv(ni, d);
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    auto eu = fu.Row(u);
+    const int neg = ctx.SampleNegative(u);
+    auto ei = fv.Row(pos);
+    auto ej = fv.Row(neg);
+    const double x = math::Dot(eu, ei) - math::Dot(eu, ej);
+    const double g = Sigmoid(-x);  // BPR
+    loss += -std::log(std::max(Sigmoid(x), 1e-300));
+    auto gu = gfu.Row(u);
+    auto gi = gfv.Row(pos);
+    auto gj = gfv.Row(neg);
+    for (int k = 0; k < d; ++k) {
+      gu[k] += -g * (ei[k] - ej[k]);
+      gi[k] += -g * eu[k];
+      gj[k] += g * eu[k];
     }
   }
+  for (double& x : gfu.data()) x *= layer_avg;
+  for (double& x : gfv.data()) x *= layer_avg;
 
-  prop.Forward(user_, item_, &final_user_, &final_item_,
-               /*include_layer0=*/true);
+  math::Matrix gu0(nu, d), gv0(ni, d);
+  prop_->Backward(gfu, gfv, &gu0, &gv0, /*include_layer0=*/true);
+
+  ParallelFor(0, nu, [&](int u) {
+    auto row = user_.Row(u);
+    auto g = gu0.Row(u);
+    for (int k = 0; k < d; ++k) row[k] -= lr * (g[k] + reg * row[k]);
+  }, ctx.num_threads);
+  ParallelFor(0, ni, [&](int v) {
+    auto row = item_.Row(v);
+    auto g = gv0.Row(v);
+    for (int k = 0; k < d; ++k) row[k] -= lr * (g[k] + reg * row[k]);
+  }, ctx.num_threads);
+  return loss;
+}
+
+void LightGcn::SyncScoringState() {
+  const double layer_avg = 1.0 / (config_.layers + 1);
+  prop_->Forward(user_, item_, &final_user_, &final_item_,
+                 /*include_layer0=*/true);
   for (double& x : final_user_.data()) x *= layer_avg;
   for (double& x : final_item_.data()) x *= layer_avg;
   fitted_ = true;
-  return Status::OK();
+}
+
+void LightGcn::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
 }
 
 void LightGcn::ScoreItems(int user, std::vector<double>* out) const {

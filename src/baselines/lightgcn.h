@@ -1,10 +1,13 @@
 #ifndef LOGIREC_BASELINES_LIGHTGCN_H_
 #define LOGIREC_BASELINES_LIGHTGCN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
+#include "graph/propagation.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -13,7 +16,7 @@ namespace logirec::baselines {
 /// the user-item graph, layer-averaged embeddings, dot-product scoring,
 /// BPR loss. Trained full-batch per epoch; gradients flow through the
 /// propagation via its transpose (the propagation is linear).
-class LightGcn final : public core::Recommender {
+class LightGcn final : public core::Recommender, private core::Trainable {
  public:
   explicit LightGcn(core::TrainConfig config) : config_(config) {}
 
@@ -25,9 +28,16 @@ class LightGcn final : public core::Recommender {
   }
 
  private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override;
+  void CollectParameters(core::ParameterSet* params) override;
+
   core::TrainConfig config_;
   math::Matrix user_, item_;        // base (layer-0) embeddings
   math::Matrix final_user_, final_item_;
+  // Training-time state, alive only while Fit() runs.
+  std::unique_ptr<graph::BipartiteGraph> graph_;
+  std::unique_ptr<graph::GcnPropagator> prop_;
   bool fitted_ = false;
 };
 

@@ -1,9 +1,9 @@
 #include "baselines/neumf.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "baselines/baseline_util.h"
-#include "core/negative_sampler.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -28,7 +28,7 @@ double NeuMf::Predict(int user, int item) const {
   return logit;
 }
 
-void NeuMf::Step(int user, int item, double label) {
+double NeuMf::Step(int user, int item, double label) {
   const int d = config_.dim;
   const double lr = config_.learning_rate;
   const double reg = config_.l2;
@@ -49,7 +49,10 @@ void NeuMf::Step(int user, int item, double label) {
   logit += mlp_out[0];
 
   // Logistic loss gradient dL/dlogit = sigmoid(logit) - label.
-  const double g = Sigmoid(logit) - label;
+  const double p = Sigmoid(logit);
+  const double g = p - label;
+  const double loss = label > 0.5 ? -std::log(std::max(p, 1e-300))
+                                  : -std::log(std::max(1.0 - p, 1e-300));
 
   bias_ -= lr * g;
   for (int k = 0; k < d; ++k) {
@@ -65,6 +68,7 @@ void NeuMf::Step(int user, int item, double label) {
     mu[k] -= lr * (grad_in[k] + reg * mu[k]);
     mi[k] -= lr * (grad_in[d + k] + reg * mi[k]);
   }
+  return loss;
 }
 
 Status NeuMf::Fit(const data::Dataset& dataset, const data::Split& split) {
@@ -83,18 +87,31 @@ Status NeuMf::Fit(const data::Dataset& dataset, const data::Split& split) {
       std::vector<int>{2 * d, d, d / 2 > 0 ? d / 2 : 1, 1},
       math::Activation::kRelu, &rng);
 
-  core::NegativeSampler sampler(dataset.num_items, split.train);
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    for (const auto& [u, pos] : pairs) {
-      Step(u, pos, 1.0);
-      for (int k = 0; k < config_.negatives_per_positive; ++k) {
-        Step(u, sampler.Sample(u, &rng), 0.0);
-      }
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  return Status::OK();
+}
+
+double NeuMf::TrainOnBatch(const core::BatchContext& ctx) {
+  double loss = 0.0;
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    loss += Step(u, pos, 1.0);
+    for (int k = 0; k < config_.negatives_per_positive; ++k) {
+      loss += Step(u, ctx.SampleNegative(u), 0.0);
     }
   }
-  fitted_ = true;
-  return Status::OK();
+  return loss;
+}
+
+void NeuMf::CollectParameters(core::ParameterSet* params) {
+  params->Add(&gmf_user_);
+  params->Add(&gmf_item_);
+  params->Add(&mlp_user_);
+  params->Add(&mlp_item_);
+  params->Add(&gmf_out_);
+  params->Add(&bias_);
+  for (math::Vec* tensor : mlp_->ParameterTensors()) params->Add(tensor);
 }
 
 void NeuMf::ScoreItems(int user, std::vector<double>* out) const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
 #include "math/matrix.h"
 #include "math/mlp.h"
 
@@ -15,7 +16,7 @@ namespace logirec::baselines {
 /// Matrix Factorization head (elementwise product, learned output weights)
 /// with an MLP tower over concatenated user/item embeddings. Trained with
 /// a logistic loss over positive interactions and sampled negatives.
-class NeuMf final : public core::Recommender {
+class NeuMf final : public core::Recommender, private core::Trainable {
  public:
   explicit NeuMf(core::TrainConfig config) : config_(config) {}
 
@@ -24,9 +25,13 @@ class NeuMf final : public core::Recommender {
   std::string name() const override { return "NeuMF"; }
 
  private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override { fitted_ = true; }
+  void CollectParameters(core::ParameterSet* params) override;
+
   double Predict(int user, int item) const;
-  /// One logistic-SGD step on (user, item, label).
-  void Step(int user, int item, double label);
+  /// One logistic-SGD step on (user, item, label); returns the loss.
+  double Step(int user, int item, double label);
 
   core::TrainConfig config_;
   // GMF tower.

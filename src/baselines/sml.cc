@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "baselines/baseline_util.h"
-#include "core/negative_sampler.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -21,58 +20,73 @@ Status Sml::Fit(const data::Dataset& dataset, const data::Split& split) {
   user_margin_.assign(dataset.num_users, 0.5);
   item_margin_.assign(dataset.num_items, 0.5);
 
-  core::NegativeSampler sampler(dataset.num_items, split.train);
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  return Status::OK();
+}
+
+double Sml::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
   const double lr = config_.learning_rate;
   const double gamma = 0.1;         // adaptive-margin bonus weight
   const double item_weight = 0.5;   // weight of the symmetric hinge
+  double loss = 0.0;
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    for (const auto& [u, pos] : pairs) {
-      const int neg = sampler.Sample(u, &rng);
-      auto pu = user_.Row(u);
-      auto qi = item_.Row(pos);
-      auto qj = item_.Row(neg);
-      const double d_ui = math::SquaredDistance(pu, qi);
-      const double d_uj = math::SquaredDistance(pu, qj);
-      const double d_ij = math::SquaredDistance(qi, qj);
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const int neg = ctx.SampleNegative(u);
+    auto pu = user_.Row(u);
+    auto qi = item_.Row(pos);
+    auto qj = item_.Row(neg);
+    const double d_ui = math::SquaredDistance(pu, qi);
+    const double d_uj = math::SquaredDistance(pu, qj);
+    const double d_ij = math::SquaredDistance(qi, qj);
 
-      const bool user_active = d_ui - d_uj + user_margin_[u] > 0.0;
-      const bool item_active = d_ui - d_ij + item_margin_[pos] > 0.0;
+    const double user_hinge = d_ui - d_uj + user_margin_[u];
+    const double item_hinge = d_ui - d_ij + item_margin_[pos];
+    const bool user_active = user_hinge > 0.0;
+    const bool item_active = item_hinge > 0.0;
+    if (user_active) loss += user_hinge;
+    if (item_active) loss += item_weight * item_hinge;
 
-      for (int k = 0; k < d; ++k) {
-        double gu = 0.0, gi = 0.0, gj = 0.0;
-        if (user_active) {
-          gu += 2.0 * (pu[k] - qi[k]) - 2.0 * (pu[k] - qj[k]);
-          gi += -2.0 * (pu[k] - qi[k]);
-          gj += 2.0 * (pu[k] - qj[k]);
-        }
-        if (item_active) {
-          gu += item_weight * 2.0 * (pu[k] - qi[k]);
-          gi += item_weight *
-                (-2.0 * (pu[k] - qi[k]) + 2.0 * (qi[k] - qj[k]));
-          gj += item_weight * (-2.0 * (qi[k] - qj[k]));
-        }
-        pu[k] -= lr * gu;
-        qi[k] -= lr * gi;
-        qj[k] -= lr * gj;
+    for (int k = 0; k < d; ++k) {
+      double gu = 0.0, gi = 0.0, gj = 0.0;
+      if (user_active) {
+        gu += 2.0 * (pu[k] - qi[k]) - 2.0 * (pu[k] - qj[k]);
+        gi += -2.0 * (pu[k] - qi[k]);
+        gj += 2.0 * (pu[k] - qj[k]);
       }
-      // Adaptive margins: hinge pushes them down when active, the -gamma*m
-      // bonus pushes them up; clamp into the allowed interval.
-      if (user_active) user_margin_[u] -= lr * (1.0 - gamma);
-      else user_margin_[u] += lr * gamma;
-      if (item_active) item_margin_[pos] -= lr * item_weight * (1.0 - gamma);
-      else item_margin_[pos] += lr * gamma;
-      user_margin_[u] = std::clamp(user_margin_[u], kMarginLo, kMarginHi);
-      item_margin_[pos] = std::clamp(item_margin_[pos], kMarginLo, kMarginHi);
-
-      math::ClipNorm(pu, 1.0);
-      math::ClipNorm(qi, 1.0);
-      math::ClipNorm(qj, 1.0);
+      if (item_active) {
+        gu += item_weight * 2.0 * (pu[k] - qi[k]);
+        gi += item_weight *
+              (-2.0 * (pu[k] - qi[k]) + 2.0 * (qi[k] - qj[k]));
+        gj += item_weight * (-2.0 * (qi[k] - qj[k]));
+      }
+      pu[k] -= lr * gu;
+      qi[k] -= lr * gi;
+      qj[k] -= lr * gj;
     }
+    // Adaptive margins: hinge pushes them down when active, the -gamma*m
+    // bonus pushes them up; clamp into the allowed interval.
+    if (user_active) user_margin_[u] -= lr * (1.0 - gamma);
+    else user_margin_[u] += lr * gamma;
+    if (item_active) item_margin_[pos] -= lr * item_weight * (1.0 - gamma);
+    else item_margin_[pos] += lr * gamma;
+    user_margin_[u] = std::clamp(user_margin_[u], kMarginLo, kMarginHi);
+    item_margin_[pos] = std::clamp(item_margin_[pos], kMarginLo, kMarginHi);
+
+    math::ClipNorm(pu, 1.0);
+    math::ClipNorm(qi, 1.0);
+    math::ClipNorm(qj, 1.0);
   }
-  fitted_ = true;
-  return Status::OK();
+  return loss;
+}
+
+void Sml::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
+  params->Add(&user_margin_);
+  params->Add(&item_margin_);
 }
 
 void Sml::ScoreItems(int user, std::vector<double>* out) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -14,7 +15,7 @@ namespace logirec::baselines {
 /// item-centric hinge [d^2(u,i) - d^2(i,j) + m_i]_+, where the margins
 /// m_u, m_i are learnable in [kMarginLo, kMarginHi] with a -gamma * m
 /// bonus that keeps them from collapsing to zero.
-class Sml final : public core::Recommender {
+class Sml final : public core::Recommender, private core::Trainable {
  public:
   explicit Sml(core::TrainConfig config) : config_(config) {}
 
@@ -25,6 +26,10 @@ class Sml final : public core::Recommender {
  private:
   static constexpr double kMarginLo = 0.05;
   static constexpr double kMarginHi = 1.0;
+
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  void SyncScoringState() override { fitted_ = true; }
+  void CollectParameters(core::ParameterSet* params) override;
 
   core::TrainConfig config_;
   math::Matrix user_, item_;

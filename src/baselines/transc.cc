@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "baselines/baseline_util.h"
-#include "core/negative_sampler.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -28,76 +26,101 @@ Status TransC::Fit(const data::Dataset& dataset, const data::Split& split) {
   relation_.assign(d, 0.0);
   for (double& x : relation_) x = rng.Gaussian(0.0, 0.1);
 
-  const data::LogicalRelations rel = dataset.ExtractRelations();
-  core::NegativeSampler sampler(dataset.num_items, split.train);
+  relations_ = dataset.ExtractRelations();
+
+  core::Trainer trainer(config_);
+  trainer.Train(this, split, dataset.num_items, &rng, this);
+  relations_ = data::LogicalRelations{};
+  return Status::OK();
+}
+
+double TransC::TrainOnBatch(const core::BatchContext& ctx) {
+  const int d = config_.dim;
   const double lr = config_.learning_rate;
   const double margin = config_.margin > 0.0 ? config_.margin : 0.5;
-  const double logic_weight = 0.3;
+  double loss = 0.0;
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    // --- ranking over user-item triples (translation scoring) ----------
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    for (const auto& [u, pos] : pairs) {
-      const int neg = sampler.Sample(u, &rng);
-      auto pu = user_.Row(u);
-      auto qi = item_.Row(pos);
-      auto qj = item_.Row(neg);
-      double dpos = 0.0, dneg = 0.0;
-      for (int k = 0; k < d; ++k) {
-        const double ep = pu[k] + relation_[k] - qi[k];
-        const double en = pu[k] + relation_[k] - qj[k];
-        dpos += ep * ep;
-        dneg += en * en;
-      }
-      dpos = std::sqrt(dpos);
-      dneg = std::sqrt(dneg);
-      if (margin + dpos - dneg <= 0.0) continue;
-      const double ip = std::max(dpos, 1e-9);
-      const double in = std::max(dneg, 1e-9);
-      for (int k = 0; k < d; ++k) {
-        const double gp = (pu[k] + relation_[k] - qi[k]) / ip;
-        const double gn = (pu[k] + relation_[k] - qj[k]) / in;
-        pu[k] -= lr * (gp - gn);
-        relation_[k] -= lr * (gp - gn);
-        qi[k] -= lr * (-gp);
-        qj[k] -= lr * (gn);
-      }
+  // Ranking over user-item triples (translation scoring).
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const int neg = ctx.SampleNegative(u);
+    auto pu = user_.Row(u);
+    auto qi = item_.Row(pos);
+    auto qj = item_.Row(neg);
+    double dpos = 0.0, dneg = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double ep = pu[k] + relation_[k] - qi[k];
+      const double en = pu[k] + relation_[k] - qj[k];
+      dpos += ep * ep;
+      dneg += en * en;
     }
-
-    // --- instanceOf: items inside their tag spheres ---------------------
-    for (const auto& [item, tag] : rel.memberships) {
-      auto v = item_.Row(item);
-      auto o = tag_center_.Row(tag);
-      const double dist = std::max(math::Distance(v, o), 1e-9);
-      if (dist - tag_radius_[tag] <= 0.0) continue;
-      for (int k = 0; k < d; ++k) {
-        const double g = logic_weight * (v[k] - o[k]) / dist;
-        v[k] -= lr * g;
-        o[k] += lr * g;
-      }
-      tag_radius_[tag] += lr * logic_weight;
-    }
-
-    // --- subClassOf: child sphere inside parent sphere ------------------
-    for (const data::HierarchyPair& h : rel.hierarchy) {
-      auto op = tag_center_.Row(h.parent);
-      auto oc = tag_center_.Row(h.child);
-      const double dist = std::max(math::Distance(op, oc), 1e-9);
-      if (dist + tag_radius_[h.child] - tag_radius_[h.parent] <= 0.0) {
-        continue;
-      }
-      for (int k = 0; k < d; ++k) {
-        const double g = logic_weight * (op[k] - oc[k]) / dist;
-        op[k] -= lr * g;
-        oc[k] += lr * g;
-      }
-      tag_radius_[h.parent] += lr * logic_weight;
-      tag_radius_[h.child] -= lr * logic_weight;
-      tag_radius_[h.child] = std::max(tag_radius_[h.child], 0.05);
+    dpos = std::sqrt(dpos);
+    dneg = std::sqrt(dneg);
+    const double hinge = margin + dpos - dneg;
+    if (hinge <= 0.0) continue;
+    loss += hinge;
+    const double ip = std::max(dpos, 1e-9);
+    const double in = std::max(dneg, 1e-9);
+    for (int k = 0; k < d; ++k) {
+      const double gp = (pu[k] + relation_[k] - qi[k]) / ip;
+      const double gn = (pu[k] + relation_[k] - qj[k]) / in;
+      pu[k] -= lr * (gp - gn);
+      relation_[k] -= lr * (gp - gn);
+      qi[k] -= lr * (-gp);
+      qj[k] -= lr * (gn);
     }
   }
-  fitted_ = true;
-  return Status::OK();
+  return loss;
+}
+
+double TransC::EpochTail(int /*epoch*/, Rng* /*rng*/) {
+  const int d = config_.dim;
+  const double lr = config_.learning_rate;
+  const double logic_weight = 0.3;
+  double loss = 0.0;
+
+  // instanceOf: items inside their tag spheres.
+  for (const auto& [item, tag] : relations_.memberships) {
+    auto v = item_.Row(item);
+    auto o = tag_center_.Row(tag);
+    const double dist = std::max(math::Distance(v, o), 1e-9);
+    const double violation = dist - tag_radius_[tag];
+    if (violation <= 0.0) continue;
+    loss += logic_weight * violation;
+    for (int k = 0; k < d; ++k) {
+      const double g = logic_weight * (v[k] - o[k]) / dist;
+      v[k] -= lr * g;
+      o[k] += lr * g;
+    }
+    tag_radius_[tag] += lr * logic_weight;
+  }
+
+  // subClassOf: child sphere inside parent sphere.
+  for (const data::HierarchyPair& h : relations_.hierarchy) {
+    auto op = tag_center_.Row(h.parent);
+    auto oc = tag_center_.Row(h.child);
+    const double dist = std::max(math::Distance(op, oc), 1e-9);
+    const double violation = dist + tag_radius_[h.child] - tag_radius_[h.parent];
+    if (violation <= 0.0) continue;
+    loss += logic_weight * violation;
+    for (int k = 0; k < d; ++k) {
+      const double g = logic_weight * (op[k] - oc[k]) / dist;
+      op[k] -= lr * g;
+      oc[k] += lr * g;
+    }
+    tag_radius_[h.parent] += lr * logic_weight;
+    tag_radius_[h.child] -= lr * logic_weight;
+    tag_radius_[h.child] = std::max(tag_radius_[h.child], 0.05);
+  }
+  return loss;
+}
+
+void TransC::CollectParameters(core::ParameterSet* params) {
+  params->Add(&user_);
+  params->Add(&item_);
+  params->Add(&tag_center_);
+  params->Add(&tag_radius_);
+  params->Add(&relation_);
 }
 
 void TransC::ScoreItems(int user, std::vector<double>* out) const {

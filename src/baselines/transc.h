@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -16,7 +18,7 @@ namespace logirec::baselines {
 ///   subClassOf:  [ ||o_c - o_p|| + r_c - r_p ]_+
 ///   user-item:   translation ranking on -||u + r_rel - v||.
 /// This is the closest Euclidean analogue of LogiRec's logic losses.
-class TransC final : public core::Recommender {
+class TransC final : public core::Recommender, private core::Trainable {
  public:
   explicit TransC(core::TrainConfig config) : config_(config) {}
 
@@ -25,10 +27,16 @@ class TransC final : public core::Recommender {
   std::string name() const override { return "TransC"; }
 
  private:
+  double TrainOnBatch(const core::BatchContext& ctx) override;
+  double EpochTail(int epoch, Rng* rng) override;
+  void SyncScoringState() override { fitted_ = true; }
+  void CollectParameters(core::ParameterSet* params) override;
+
   core::TrainConfig config_;
   math::Matrix user_, item_, tag_center_;
   std::vector<double> tag_radius_;
   math::Vec relation_;  ///< the shared user->item translation vector
+  data::LogicalRelations relations_;  ///< logic triples, frozen at Fit()
   bool fitted_ = false;
 };
 

@@ -1,13 +1,11 @@
 #include "core/logirec_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/embedding.h"
 #include "core/logic_losses.h"
-#include "core/negative_sampler.h"
 #include "core/persistence.h"
-#include "core/train_util.h"
-#include "eval/evaluator.h"
 #include "graph/propagation.h"
 #include "hyper/hyperplane.h"
 #include "hyper/lorentz.h"
@@ -23,8 +21,42 @@ namespace logirec::core {
 
 using math::Matrix;
 
+/// Training-only resources. Exactly one of the {hgcn} / {prop} propagator
+/// pair and one optimizer family is populated, depending on
+/// config_.use_hyperbolic.
+struct LogiRecModel::TrainState {
+  std::unique_ptr<graph::BipartiteGraph> graph;
+  // Hyperbolic mode.
+  std::unique_ptr<HyperbolicGcn> hgcn;
+  std::unique_ptr<opt::LorentzRsgd> user_rsgd;
+  std::unique_ptr<opt::PoincareRsgd> item_rsgd, tag_rsgd;
+  Matrix item_lorentz;  // lifted items, num_items x (d+1)
+  // Euclidean mode.
+  std::unique_ptr<graph::GcnPropagator> prop;
+  std::unique_ptr<opt::SgdOptimizer> user_sgd, item_sgd, tag_sgd;
+  bool identity = false;  // prop has zero layers
+  // The LogiRec++ granularity refresh runs once per epoch, on the first
+  // batch that needs Alpha().
+  int granularity_epoch = -1;
+};
+
+namespace {
+
+void LiftItems(const Matrix& poincare, Matrix* lorentz, int num_threads) {
+  ParallelFor(0, poincare.rows(), [&](int v) {
+    const math::Vec x = hyper::PoincareToLorentz(poincare.Row(v));
+    math::Copy(x, lorentz->Row(v));
+  }, num_threads);
+}
+
+}  // namespace
+
 LogiRecModel::LogiRecModel(LogiRecConfig config)
     : config_(std::move(config)) {}
+
+LogiRecModel::~LogiRecModel() = default;
+LogiRecModel::LogiRecModel(LogiRecModel&&) noexcept = default;
+LogiRecModel& LogiRecModel::operator=(LogiRecModel&&) noexcept = default;
 
 Status LogiRecModel::Fit(const data::Dataset& dataset,
                          const data::Split& split) {
@@ -61,11 +93,12 @@ void LogiRecModel::FitHyperbolic(const data::Dataset& dataset,
   InitPoincareRows(&item_poincare_, &rng, 0.05);
   InitHyperplaneCenters(&tag_centers_, dataset.taxonomy, &rng);
 
-  graph::BipartiteGraph graph(nu, ni, split.train);
-  HyperbolicGcn hgcn(&graph, config_.use_hgcn ? config_.layers : 0,
-                     config_.symmetric_gcn_norm ? graph::Norm::kSymmetric
-                                                : graph::Norm::kReceiver);
-  NegativeSampler sampler(ni, split.train);
+  ts_ = std::make_unique<TrainState>();
+  ts_->graph = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+  ts_->hgcn = std::make_unique<HyperbolicGcn>(
+      ts_->graph.get(), config_.use_hgcn ? config_.layers : 0,
+      config_.symmetric_gcn_norm ? graph::Norm::kSymmetric
+                                 : graph::Norm::kReceiver);
 
   if (config_.use_mining) {
     weighting_ = std::make_unique<UserWeighting>(
@@ -73,189 +106,17 @@ void LogiRecModel::FitHyperbolic(const data::Dataset& dataset,
         std::max(dataset.taxonomy.num_levels(), 1));
   }
 
-  opt::LorentzRsgd user_opt(config_.learning_rate, config_.grad_clip);
-  opt::PoincareRsgd item_opt(config_.learning_rate, config_.grad_clip,
-                             config_.use_eq17_exp_map);
-  opt::PoincareRsgd tag_opt(config_.learning_rate, config_.grad_clip,
-                            config_.use_eq17_exp_map);
+  ts_->user_rsgd = std::make_unique<opt::LorentzRsgd>(config_.learning_rate,
+                                                      config_.grad_clip);
+  ts_->item_rsgd = std::make_unique<opt::PoincareRsgd>(
+      config_.learning_rate, config_.grad_clip, config_.use_eq17_exp_map);
+  ts_->tag_rsgd = std::make_unique<opt::PoincareRsgd>(
+      config_.learning_rate, config_.grad_clip, config_.use_eq17_exp_map);
+  ts_->item_lorentz = Matrix(ni, d + 1);
 
-  Matrix item_lorentz(ni, d + 1);
-  auto lift_items = [&]() {
-    ParallelFor(0, ni, [&](int v) {
-      const math::Vec x = hyper::PoincareToLorentz(item_poincare_.Row(v));
-      math::Copy(x, item_lorentz.Row(v));
-    });
-  };
-
-  // Early-stopping state: validation Recall@10 probe over the current
-  // post-GCN embeddings, snapshotting the best parameters.
-  struct Snapshot {
-    Matrix user, item, tags;
-  };
-  Snapshot best;
-  double best_metric = -1.0;
-  int evals_without_improvement = 0;
-  const bool early_stop = config_.early_stopping_patience > 0;
-  std::unique_ptr<eval::Evaluator> validator;
-  if (early_stop) {
-    validator = std::make_unique<eval::Evaluator>(&split, ni,
-                                                  std::vector<int>{10});
-  }
-  struct SnapshotScorer : eval::Scorer {
-    const Matrix* fu;
-    const Matrix* fv;
-    void ScoreItems(int user, std::vector<double>* out) const override {
-      out->resize(fv->rows());
-      for (int v = 0; v < fv->rows(); ++v) {
-        (*out)[v] = -hyper::LorentzDistance(fu->Row(user), fv->Row(v));
-      }
-    }
-  };
-
-  const double lam = config_.lambda;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    const auto batches =
-        BatchRanges(static_cast<int>(pairs.size()), config_.batch_size);
-    double rec_loss = 0.0, logic_loss = 0.0;
-    long active = 0;
-    bool granularity_fresh = false;
-
-    for (const auto& [b0, b1] : batches) {
-      // ---- forward: lift items to the Lorentz model and propagate ------
-      lift_items();
-      Matrix fu, fv;
-      hgcn.Forward(user_lorentz_, item_lorentz, &fu, &fv);
-      if (weighting_ && !granularity_fresh) {
-        weighting_->UpdateGranularity(fu);
-        granularity_fresh = true;
-      }
-
-      // ---- L_Rec (Eq. 9 / Eq. 15): LMNN hinge on this batch ------------
-      Matrix gfu(nu, d + 1), gfv(ni, d + 1);
-      for (int i = b0; i < b1; ++i) {
-        const auto [u, pos] = pairs[i];
-        const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
-        for (int k = 0; k < config_.negatives_per_positive; ++k) {
-          const int neg = sampler.Sample(u, &rng);
-          const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
-          const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
-          const double hinge = config_.margin + dpos - dneg;
-          if (hinge <= 0.0) continue;
-          rec_loss += w * hinge;
-          ++active;
-          hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), w, gfu.Row(u),
-                                     gfv.Row(pos));
-          hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -w, gfu.Row(u),
-                                     gfv.Row(neg));
-        }
-      }
-
-      // ---- backward through the HGCN and the diffeomorphism ------------
-      Matrix gu(nu, d + 1), gvh(ni, d + 1);
-      if (config_.detach_gcn_backward) {
-        // Truncated-backprop ablation: treat the propagation as constant.
-        gu = gfu;
-        gvh = gfv;
-      } else {
-        hgcn.Backward(gfu, gfv, &gu, &gvh);
-      }
-      Matrix gv(ni, d);
-      ParallelFor(0, ni, [&](int v) {
-        hyper::PoincareToLorentzVjp(item_poincare_.Row(v), gvh.Row(v),
-                                    gv.Row(v));
-      });
-
-      // ---- logic losses (Eqs. 3-5), weighted by lambda ------------------
-      Matrix gt(nt, d);
-      if (lam > 0.0) {
-        if (config_.use_membership) {
-          for (const auto& [item, tag] : relations_.memberships) {
-            logic_loss += MembershipLossAndGrad(
-                item_poincare_.Row(item), tag_centers_.Row(tag), lam,
-                gv.Row(item), gt.Row(tag));
-          }
-        }
-        if (config_.use_hierarchy) {
-          for (const data::HierarchyPair& h : relations_.hierarchy) {
-            logic_loss += HierarchyLossAndGrad(
-                tag_centers_.Row(h.parent), tag_centers_.Row(h.child), lam,
-                gt.Row(h.parent), gt.Row(h.child));
-          }
-        }
-        if (config_.use_exclusion) {
-          for (const data::ExclusionPair& e : relations_.exclusions) {
-            logic_loss += ExclusionLossAndGrad(
-                tag_centers_.Row(e.a), tag_centers_.Row(e.b), lam,
-                gt.Row(e.a), gt.Row(e.b));
-          }
-        }
-        if (config_.use_intersection) {
-          for (const data::IntersectionPair& p : relations_.intersections) {
-            logic_loss += IntersectionLossAndGrad(
-                tag_centers_.Row(p.a), tag_centers_.Row(p.b), lam,
-                gt.Row(p.a), gt.Row(p.b));
-          }
-        }
-      }
-
-      // ---- Riemannian SGD updates ---------------------------------------
-      ParallelFor(0, nu, [&](int u) {
-        user_opt.Step(u, user_lorentz_.Row(u), gu.Row(u));
-      });
-      ParallelFor(0, ni, [&](int v) {
-        item_opt.Step(v, item_poincare_.Row(v), gv.Row(v));
-        hyper::ProjectToBall(item_poincare_.Row(v));
-      });
-      if (lam > 0.0) {
-        ParallelFor(0, nt, [&](int t) {
-          tag_opt.Step(t, tag_centers_.Row(t), gt.Row(t));
-          hyper::ClampHyperplaneCenter(tag_centers_.Row(t));
-        });
-      }
-    }
-
-    if (config_.verbose && (epoch % 5 == 0 || epoch + 1 == config_.epochs)) {
-      LOGIREC_LOG(kInfo) << name() << " epoch " << epoch << " rec_loss="
-                         << rec_loss << " logic_loss=" << logic_loss
-                         << " active=" << active;
-    }
-
-    if (early_stop && (epoch + 1) % config_.eval_every == 0) {
-      lift_items();
-      Matrix fu, fv;
-      hgcn.Forward(user_lorentz_, item_lorentz, &fu, &fv);
-      SnapshotScorer scorer;
-      scorer.fu = &fu;
-      scorer.fv = &fv;
-      const double metric =
-          validator->Evaluate(scorer, /*use_validation=*/true)
-              .Get("Recall@10");
-      if (metric > best_metric) {
-        best_metric = metric;
-        best = {user_lorentz_, item_poincare_, tag_centers_};
-        evals_without_improvement = 0;
-      } else if (++evals_without_improvement >=
-                 config_.early_stopping_patience) {
-        if (config_.verbose) {
-          LOGIREC_LOG(kInfo) << name() << " early stop at epoch " << epoch
-                             << " (best val Recall@10=" << best_metric
-                             << ")";
-        }
-        break;
-      }
-    }
-  }
-  if (early_stop && best_metric >= 0.0) {
-    user_lorentz_ = std::move(best.user);
-    item_poincare_ = std::move(best.item);
-    tag_centers_ = std::move(best.tags);
-  }
-
-  // Cache final embeddings for scoring.
-  lift_items();
-  hgcn.Forward(user_lorentz_, item_lorentz, &final_user_, &final_item_);
-  if (weighting_) weighting_->UpdateGranularity(final_user_);
+  Trainer trainer(config_);
+  trainer.Train(this, split, ni, &rng, this);
+  ts_.reset();
 }
 
 void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
@@ -277,9 +138,11 @@ void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
   item_poincare_.FillGaussian(&rng, 0.05);
   InitHyperplaneCenters(&tag_centers_, dataset.taxonomy, &rng);
 
-  graph::BipartiteGraph graph(nu, ni, split.train);
-  graph::GcnPropagator prop(&graph, config_.use_hgcn ? config_.layers : 0);
-  NegativeSampler sampler(ni, split.train);
+  ts_ = std::make_unique<TrainState>();
+  ts_->graph = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+  ts_->prop = std::make_unique<graph::GcnPropagator>(
+      ts_->graph.get(), config_.use_hgcn ? config_.layers : 0);
+  ts_->identity = (ts_->prop->layers() == 0);
 
   if (config_.use_mining) {
     weighting_ = std::make_unique<UserWeighting>(
@@ -287,16 +150,148 @@ void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
         std::max(dataset.taxonomy.num_levels(), 1));
   }
 
-  opt::SgdOptimizer user_opt(config_.learning_rate, config_.l2,
-                             config_.grad_clip);
-  opt::SgdOptimizer item_opt(config_.learning_rate, config_.l2,
-                             config_.grad_clip);
-  opt::SgdOptimizer tag_opt(config_.learning_rate, 0.0, config_.grad_clip);
+  ts_->user_sgd = std::make_unique<opt::SgdOptimizer>(
+      config_.learning_rate, config_.l2, config_.grad_clip);
+  ts_->item_sgd = std::make_unique<opt::SgdOptimizer>(
+      config_.learning_rate, config_.l2, config_.grad_clip);
+  ts_->tag_sgd = std::make_unique<opt::SgdOptimizer>(config_.learning_rate,
+                                                     0.0, config_.grad_clip);
 
-  const bool identity = (prop.layers() == 0);
+  Trainer trainer(config_);
+  trainer.Train(this, split, ni, &rng, this);
+  ts_.reset();
+}
+
+double LogiRecModel::TrainOnBatch(const BatchContext& ctx) {
+  return config_.use_hyperbolic ? TrainOnBatchHyperbolic(ctx)
+                                : TrainOnBatchEuclidean(ctx);
+}
+
+double LogiRecModel::LogicLossesAndGrads(Matrix* gv, Matrix* gt) {
   const double lam = config_.lambda;
+  double loss = 0.0;
+  if (config_.use_membership) {
+    for (const auto& [item, tag] : relations_.memberships) {
+      loss += MembershipLossAndGrad(item_poincare_.Row(item),
+                                    tag_centers_.Row(tag), lam,
+                                    gv->Row(item), gt->Row(tag));
+    }
+  }
+  if (config_.use_hierarchy) {
+    for (const data::HierarchyPair& h : relations_.hierarchy) {
+      loss += HierarchyLossAndGrad(tag_centers_.Row(h.parent),
+                                   tag_centers_.Row(h.child), lam,
+                                   gt->Row(h.parent), gt->Row(h.child));
+    }
+  }
+  if (config_.use_exclusion) {
+    for (const data::ExclusionPair& e : relations_.exclusions) {
+      loss += ExclusionLossAndGrad(tag_centers_.Row(e.a),
+                                   tag_centers_.Row(e.b), lam, gt->Row(e.a),
+                                   gt->Row(e.b));
+    }
+  }
+  if (config_.use_intersection) {
+    for (const data::IntersectionPair& p : relations_.intersections) {
+      loss += IntersectionLossAndGrad(tag_centers_.Row(p.a),
+                                      tag_centers_.Row(p.b), lam,
+                                      gt->Row(p.a), gt->Row(p.b));
+    }
+  }
+  return loss;
+}
 
-  auto update_granularity = [&](const Matrix& fu) {
+double LogiRecModel::TrainOnBatchHyperbolic(const BatchContext& ctx) {
+  const int d = config_.dim;
+  const int nu = user_lorentz_.rows();
+  const int ni = item_poincare_.rows();
+  const int nt = tag_centers_.rows();
+  const double lam = config_.lambda;
+  double loss = 0.0;
+
+  // ---- forward: lift items to the Lorentz model and propagate ------
+  LiftItems(item_poincare_, &ts_->item_lorentz, ctx.num_threads);
+  Matrix fu, fv;
+  ts_->hgcn->Forward(user_lorentz_, ts_->item_lorentz, &fu, &fv);
+  if (weighting_ && ts_->granularity_epoch != ctx.epoch) {
+    weighting_->UpdateGranularity(fu);
+    ts_->granularity_epoch = ctx.epoch;
+  }
+
+  // ---- L_Rec (Eq. 9 / Eq. 15): LMNN hinge on this batch ------------
+  Matrix gfu(nu, d + 1), gfv(ni, d + 1);
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
+    for (int k = 0; k < config_.negatives_per_positive; ++k) {
+      const int neg = ctx.SampleNegative(u);
+      const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
+      const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
+      const double hinge = config_.margin + dpos - dneg;
+      if (hinge <= 0.0) continue;
+      loss += w * hinge;
+      hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), w, gfu.Row(u),
+                                 gfv.Row(pos));
+      hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -w, gfu.Row(u),
+                                 gfv.Row(neg));
+    }
+  }
+
+  // ---- backward through the HGCN and the diffeomorphism ------------
+  Matrix gu(nu, d + 1), gvh(ni, d + 1);
+  if (config_.detach_gcn_backward) {
+    // Truncated-backprop ablation: treat the propagation as constant.
+    gu = gfu;
+    gvh = gfv;
+  } else {
+    ts_->hgcn->Backward(gfu, gfv, &gu, &gvh);
+  }
+  Matrix gv(ni, d);
+  ParallelFor(0, ni, [&](int v) {
+    hyper::PoincareToLorentzVjp(item_poincare_.Row(v), gvh.Row(v),
+                                gv.Row(v));
+  }, ctx.num_threads);
+
+  // ---- logic losses (Eqs. 3-5), weighted by lambda ------------------
+  Matrix gt(nt, d);
+  if (lam > 0.0) {
+    loss += LogicLossesAndGrads(&gv, &gt);
+  }
+
+  // ---- Riemannian SGD updates ---------------------------------------
+  ParallelFor(0, nu, [&](int u) {
+    ts_->user_rsgd->Step(u, user_lorentz_.Row(u), gu.Row(u));
+  }, ctx.num_threads);
+  ParallelFor(0, ni, [&](int v) {
+    ts_->item_rsgd->Step(v, item_poincare_.Row(v), gv.Row(v));
+    hyper::ProjectToBall(item_poincare_.Row(v));
+  }, ctx.num_threads);
+  if (lam > 0.0) {
+    ParallelFor(0, nt, [&](int t) {
+      ts_->tag_rsgd->Step(t, tag_centers_.Row(t), gt.Row(t));
+      hyper::ClampHyperplaneCenter(tag_centers_.Row(t));
+    }, ctx.num_threads);
+  }
+  return loss;
+}
+
+double LogiRecModel::TrainOnBatchEuclidean(const BatchContext& ctx) {
+  const int d = config_.dim;
+  const int nu = user_euclidean_.rows();
+  const int ni = item_poincare_.rows();
+  const int nt = tag_centers_.rows();
+  const double lam = config_.lambda;
+  double loss = 0.0;
+
+  Matrix fu, fv;
+  if (ts_->identity) {
+    fu = user_euclidean_;
+    fv = item_poincare_;
+  } else {
+    ts_->prop->Forward(user_euclidean_, item_poincare_, &fu, &fv,
+                       /*include_layer0=*/false);
+  }
+  if (weighting_ && ts_->granularity_epoch != ctx.epoch) {
     // Euclidean granularity proxy: lift to the hyperboloid and measure
     // the distance to the origin there.
     Matrix lifted(nu, d + 1);
@@ -304,118 +299,93 @@ void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
       auto row = lifted.Row(u);
       for (int k = 0; k < d; ++k) row[k + 1] = fu.At(u, k);
       hyper::ProjectToHyperboloid(row);
-    });
+    }, ctx.num_threads);
     weighting_->UpdateGranularity(lifted);
-  };
+    ts_->granularity_epoch = ctx.epoch;
+  }
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto pairs = ShuffledTrainPairs(split.train, &rng);
-    const auto batches =
-        BatchRanges(static_cast<int>(pairs.size()), config_.batch_size);
-    bool granularity_fresh = false;
-
-    for (const auto& [b0, b1] : batches) {
-      Matrix fu, fv;
-      if (identity) {
-        fu = user_euclidean_;
-        fv = item_poincare_;
-      } else {
-        prop.Forward(user_euclidean_, item_poincare_, &fu, &fv,
-                     /*include_layer0=*/false);
-      }
-      if (weighting_ && !granularity_fresh) {
-        update_granularity(fu);
-        granularity_fresh = true;
-      }
-
-      Matrix gfu(nu, d), gfv(ni, d);
-      for (int i = b0; i < b1; ++i) {
-        const auto [u, pos] = pairs[i];
-        const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
-        for (int k = 0; k < config_.negatives_per_positive; ++k) {
-          const int neg = sampler.Sample(u, &rng);
-          const double dpos = math::Distance(fu.Row(u), fv.Row(pos));
-          const double dneg = math::Distance(fu.Row(u), fv.Row(neg));
-          if (config_.margin + dpos - dneg <= 0.0) continue;
-          auto add_grad = [&](int item, double sign) {
-            const double dist = sign > 0 ? dpos : dneg;
-            const double denom = std::max(dist, 1e-12);
-            auto gu_row = gfu.Row(u);
-            auto gv_row = gfv.Row(item);
-            for (int kk = 0; kk < d; ++kk) {
-              const double g =
-                  sign * w * (fu.At(u, kk) - fv.At(item, kk)) / denom;
-              gu_row[kk] += g;
-              gv_row[kk] -= g;
-            }
-          };
-          add_grad(pos, +1.0);
-          add_grad(neg, -1.0);
+  Matrix gfu(nu, d), gfv(ni, d);
+  for (int i = ctx.begin; i < ctx.end; ++i) {
+    const auto [u, pos] = ctx.pairs[i];
+    const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
+    for (int k = 0; k < config_.negatives_per_positive; ++k) {
+      const int neg = ctx.SampleNegative(u);
+      const double dpos = math::Distance(fu.Row(u), fv.Row(pos));
+      const double dneg = math::Distance(fu.Row(u), fv.Row(neg));
+      const double hinge = config_.margin + dpos - dneg;
+      if (hinge <= 0.0) continue;
+      loss += w * hinge;
+      auto add_grad = [&](int item, double sign) {
+        const double dist = sign > 0 ? dpos : dneg;
+        const double denom = std::max(dist, 1e-12);
+        auto gu_row = gfu.Row(u);
+        auto gv_row = gfv.Row(item);
+        for (int kk = 0; kk < d; ++kk) {
+          const double g =
+              sign * w * (fu.At(u, kk) - fv.At(item, kk)) / denom;
+          gu_row[kk] += g;
+          gv_row[kk] -= g;
         }
-      }
-
-      Matrix gu(nu, d), gv(ni, d);
-      if (identity) {
-        gu = gfu;
-        gv = gfv;
-      } else {
-        prop.Backward(gfu, gfv, &gu, &gv, /*include_layer0=*/false);
-      }
-
-      Matrix gt(nt, d);
-      if (lam > 0.0) {
-        if (config_.use_membership) {
-          for (const auto& [item, tag] : relations_.memberships) {
-            MembershipLossAndGrad(item_poincare_.Row(item),
-                                  tag_centers_.Row(tag), lam, gv.Row(item),
-                                  gt.Row(tag));
-          }
-        }
-        if (config_.use_hierarchy) {
-          for (const data::HierarchyPair& h : relations_.hierarchy) {
-            HierarchyLossAndGrad(tag_centers_.Row(h.parent),
-                                 tag_centers_.Row(h.child), lam,
-                                 gt.Row(h.parent), gt.Row(h.child));
-          }
-        }
-        if (config_.use_exclusion) {
-          for (const data::ExclusionPair& e : relations_.exclusions) {
-            ExclusionLossAndGrad(tag_centers_.Row(e.a),
-                                 tag_centers_.Row(e.b), lam, gt.Row(e.a),
-                                 gt.Row(e.b));
-          }
-        }
-        if (config_.use_intersection) {
-          for (const data::IntersectionPair& p : relations_.intersections) {
-            IntersectionLossAndGrad(tag_centers_.Row(p.a),
-                                    tag_centers_.Row(p.b), lam, gt.Row(p.a),
-                                    gt.Row(p.b));
-          }
-        }
-      }
-
-      ParallelFor(0, nu, [&](int u) {
-        user_opt.Step(u, user_euclidean_.Row(u), gu.Row(u));
-      });
-      ParallelFor(0, ni, [&](int v) {
-        item_opt.Step(v, item_poincare_.Row(v), gv.Row(v));
-      });
-      if (lam > 0.0) {
-        ParallelFor(0, nt, [&](int t) {
-          tag_opt.Step(t, tag_centers_.Row(t), gt.Row(t));
-          hyper::ClampHyperplaneCenter(tag_centers_.Row(t));
-        });
-      }
+      };
+      add_grad(pos, +1.0);
+      add_grad(neg, -1.0);
     }
   }
 
-  if (identity) {
-    final_user_ = user_euclidean_;
-    final_item_ = item_poincare_;
+  Matrix gu(nu, d), gv(ni, d);
+  if (ts_->identity) {
+    gu = gfu;
+    gv = gfv;
   } else {
-    prop.Forward(user_euclidean_, item_poincare_, &final_user_, &final_item_,
-                 /*include_layer0=*/false);
+    ts_->prop->Backward(gfu, gfv, &gu, &gv, /*include_layer0=*/false);
   }
+
+  Matrix gt(nt, d);
+  if (lam > 0.0) {
+    loss += LogicLossesAndGrads(&gv, &gt);
+  }
+
+  ParallelFor(0, nu, [&](int u) {
+    ts_->user_sgd->Step(u, user_euclidean_.Row(u), gu.Row(u));
+  }, ctx.num_threads);
+  ParallelFor(0, ni, [&](int v) {
+    ts_->item_sgd->Step(v, item_poincare_.Row(v), gv.Row(v));
+  }, ctx.num_threads);
+  if (lam > 0.0) {
+    ParallelFor(0, nt, [&](int t) {
+      ts_->tag_sgd->Step(t, tag_centers_.Row(t), gt.Row(t));
+      hyper::ClampHyperplaneCenter(tag_centers_.Row(t));
+    }, ctx.num_threads);
+  }
+  return loss;
+}
+
+void LogiRecModel::SyncScoringState() {
+  if (config_.use_hyperbolic) {
+    LiftItems(item_poincare_, &ts_->item_lorentz, config_.num_threads);
+    ts_->hgcn->Forward(user_lorentz_, ts_->item_lorentz, &final_user_,
+                       &final_item_);
+    if (weighting_) weighting_->UpdateGranularity(final_user_);
+  } else {
+    if (ts_->identity) {
+      final_user_ = user_euclidean_;
+      final_item_ = item_poincare_;
+    } else {
+      ts_->prop->Forward(user_euclidean_, item_poincare_, &final_user_,
+                         &final_item_, /*include_layer0=*/false);
+    }
+  }
+  fitted_ = true;
+}
+
+void LogiRecModel::CollectParameters(ParameterSet* params) {
+  if (config_.use_hyperbolic) {
+    params->Add(&user_lorentz_);
+  } else {
+    params->Add(&user_euclidean_);
+  }
+  params->Add(&item_poincare_);
+  params->Add(&tag_centers_);
 }
 
 void LogiRecModel::ScoreItems(int user, std::vector<double>* out) const {

@@ -7,6 +7,7 @@
 
 #include "core/hgcn.h"
 #include "core/recommender.h"
+#include "core/trainer.h"
 #include "core/weighting.h"
 #include "graph/bipartite_graph.h"
 #include "math/matrix.h"
@@ -55,9 +56,12 @@ struct LogiRecConfig : TrainConfig {
 ///
 /// LogiRec++ (use_mining) re-weights each user's hinge terms by
 /// alpha_u = sqrt(CON_u * GR_u).
-class LogiRecModel final : public Recommender {
+class LogiRecModel final : public Recommender, private Trainable {
  public:
   explicit LogiRecModel(LogiRecConfig config);
+  ~LogiRecModel() override;
+  LogiRecModel(LogiRecModel&&) noexcept;
+  LogiRecModel& operator=(LogiRecModel&&) noexcept;
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
@@ -108,6 +112,20 @@ class LogiRecModel final : public Recommender {
   LogicReport ReportLogicLosses(const data::Dataset& dataset) const;
 
  private:
+  /// Training-only resources (graph, propagators, optimizers, lifted item
+  /// cache). Allocated by Fit(), alive only while the Trainer runs.
+  struct TrainState;
+
+  double TrainOnBatch(const BatchContext& ctx) override;
+  void SyncScoringState() override;
+  void CollectParameters(ParameterSet* params) override;
+
+  double TrainOnBatchHyperbolic(const BatchContext& ctx);
+  double TrainOnBatchEuclidean(const BatchContext& ctx);
+  /// Accumulates the logic losses (Eqs. 3-5) into `gv` (item grads) and
+  /// `gt` (tag grads); returns the summed loss.
+  double LogicLossesAndGrads(math::Matrix* gv, math::Matrix* gt);
+
   void FitHyperbolic(const data::Dataset& dataset, const data::Split& split);
   void FitEuclidean(const data::Dataset& dataset, const data::Split& split);
 
@@ -128,6 +146,7 @@ class LogiRecModel final : public Recommender {
   math::Matrix final_item_;
 
   std::unique_ptr<UserWeighting> weighting_;
+  std::unique_ptr<TrainState> ts_;
   bool fitted_ = false;
 };
 

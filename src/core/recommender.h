@@ -10,6 +10,8 @@
 
 namespace logirec::core {
 
+class TrainObserver;  // core/trainer.h
+
 /// Hyperparameters shared by every model in the repository (Section
 /// VI-A4). Individual models may ignore fields that do not apply.
 struct TrainConfig {
@@ -33,12 +35,21 @@ struct TrainConfig {
   uint64_t seed = 7;
   bool verbose = false;
 
-  /// Early stopping (LogiRec/LogiRec++ trainer): when > 0, validation
-  /// Recall@10 is computed every `eval_every` epochs and training stops
-  /// after this many evaluations without improvement, restoring the best
-  /// parameters. 0 disables (fixed epoch budget, the bench default).
+  /// Early stopping (core::Trainer, honored by every model): when > 0,
+  /// validation Recall@10 is computed every `eval_every` epochs and
+  /// training stops after this many evaluations without improvement,
+  /// restoring the best parameters. 0 disables (fixed epoch budget, the
+  /// bench default).
   int early_stopping_patience = 0;
   int eval_every = 10;
+
+  /// Worker threads for ParallelFor inside training (0 = hardware
+  /// concurrency). Results are identical across thread counts.
+  int num_threads = 0;
+
+  /// Telemetry hook (non-owning, may be null): receives EpochStats after
+  /// every epoch and a TrainSummary when training ends.
+  TrainObserver* observer = nullptr;
 };
 
 /// Common interface: train on the dataset's training fold, then score.

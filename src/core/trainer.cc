@@ -1,0 +1,129 @@
+#include "core/trainer.h"
+
+#include <memory>
+
+#include "core/train_util.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace logirec::core {
+
+namespace {
+
+/// Deep copy of the registered parameter state (the early-stopping
+/// checkpoint).
+struct Checkpoint {
+  std::vector<math::Matrix> matrices;
+  std::vector<math::Vec> vectors;
+  std::vector<double> scalars;
+
+  void Capture(const ParameterSet& params) {
+    matrices.clear();
+    vectors.clear();
+    scalars.clear();
+    for (const math::Matrix* m : params.matrices) matrices.push_back(*m);
+    for (const math::Vec* v : params.vectors) vectors.push_back(*v);
+    for (const double* s : params.scalars) scalars.push_back(*s);
+  }
+
+  void Restore(const ParameterSet& params) const {
+    for (size_t i = 0; i < matrices.size(); ++i) {
+      *params.matrices[i] = matrices[i];
+    }
+    for (size_t i = 0; i < vectors.size(); ++i) *params.vectors[i] = vectors[i];
+    for (size_t i = 0; i < scalars.size(); ++i) *params.scalars[i] = scalars[i];
+  }
+};
+
+}  // namespace
+
+TrainSummary Trainer::Train(Trainable* model, const data::Split& split,
+                            int num_items, Rng* rng,
+                            const eval::Scorer* val_scorer) {
+  LOGIREC_CHECK(model != nullptr && rng != nullptr);
+  Timer total_timer;
+  NegativeSampler sampler(num_items, split.train);
+
+  const bool early_stop =
+      config_.early_stopping_patience > 0 && val_scorer != nullptr;
+  std::unique_ptr<eval::Evaluator> validator;
+  ParameterSet params;
+  Checkpoint best;
+  if (early_stop) {
+    validator = std::make_unique<eval::Evaluator>(&split, num_items,
+                                                  std::vector<int>{10});
+    model->CollectParameters(&params);
+  }
+  double best_metric = -1.0;
+  int best_epoch = -1;
+  int evals_without_improvement = 0;
+
+  TrainSummary summary;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Timer epoch_timer;
+    auto pairs = ShuffledTrainPairs(split.train, rng);
+    const auto batches =
+        BatchRanges(static_cast<int>(pairs.size()), config_.batch_size);
+
+    double loss = 0.0;
+    for (const auto& [b0, b1] : batches) {
+      BatchContext ctx{epoch,    pairs,
+                       b0,       b1,
+                       rng,      &sampler,
+                       config_.num_threads, config_.grad_clip};
+      loss += model->TrainOnBatch(ctx);
+    }
+    loss += model->EpochTail(epoch, rng);
+    ++summary.epochs_run;
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.samples = static_cast<long>(pairs.size());
+    stats.mean_loss = pairs.empty() ? 0.0 : loss / pairs.size();
+
+    bool stop = false;
+    if (early_stop && (epoch + 1) % config_.eval_every == 0) {
+      model->SyncScoringState();
+      stats.val_metric = validator->Evaluate(*val_scorer, /*use_validation=*/true)
+                             .Get("Recall@10");
+      if (stats.val_metric > best_metric) {
+        best_metric = stats.val_metric;
+        best_epoch = epoch;
+        evals_without_improvement = 0;
+        stats.improved = true;
+        if (!params.empty()) best.Capture(params);
+      } else if (++evals_without_improvement >=
+                 config_.early_stopping_patience) {
+        stop = true;
+      }
+    }
+    stats.seconds = epoch_timer.ElapsedSeconds();
+
+    if (config_.verbose && (epoch % 5 == 0 || epoch + 1 == config_.epochs)) {
+      LOGIREC_LOG(kInfo) << "epoch " << epoch << " mean_loss="
+                         << stats.mean_loss << " samples=" << stats.samples;
+    }
+    if (config_.observer != nullptr) config_.observer->OnEpochEnd(stats);
+    if (stop) {
+      summary.stopped_early = true;
+      if (config_.verbose) {
+        LOGIREC_LOG(kInfo) << "early stop at epoch " << epoch
+                           << " (best val Recall@10=" << best_metric << ")";
+      }
+      break;
+    }
+  }
+
+  if (early_stop && best_metric >= 0.0 && !params.empty()) {
+    best.Restore(params);
+  }
+  model->SyncScoringState();
+
+  summary.best_epoch = best_epoch;
+  summary.best_val_metric = best_metric;
+  summary.total_seconds = total_timer.ElapsedSeconds();
+  if (config_.observer != nullptr) config_.observer->OnTrainEnd(summary);
+  return summary;
+}
+
+}  // namespace logirec::core

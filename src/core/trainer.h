@@ -1,0 +1,136 @@
+#ifndef LOGIREC_CORE_TRAINER_H_
+#define LOGIREC_CORE_TRAINER_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/negative_sampler.h"
+#include "core/recommender.h"
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+
+/// Per-epoch telemetry emitted through TrainObserver::OnEpochEnd.
+struct EpochStats {
+  int epoch = 0;            ///< zero-based epoch index
+  long samples = 0;         ///< training pairs processed this epoch
+  double mean_loss = 0.0;   ///< model-defined loss, averaged over samples
+  double seconds = 0.0;     ///< wall time of the epoch (incl. any probe)
+  double val_metric = -1.0; ///< validation Recall@10 when probed, else -1
+  bool improved = false;    ///< true when this probe set a new best
+};
+
+/// End-of-training summary emitted through TrainObserver::OnTrainEnd.
+struct TrainSummary {
+  int epochs_run = 0;
+  bool stopped_early = false;
+  int best_epoch = -1;           ///< epoch of the restored checkpoint
+  double best_val_metric = -1.0; ///< its validation Recall@10
+  double total_seconds = 0.0;
+};
+
+/// Telemetry hook. Attach via TrainConfig::observer; every model that
+/// trains through core::Trainer reports through it.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+  virtual void OnEpochEnd(const EpochStats& stats) { (void)stats; }
+  virtual void OnTrainEnd(const TrainSummary& summary) { (void)summary; }
+};
+
+/// Mutable views of a model's parameter state, registered via
+/// Trainable::CollectParameters() so the Trainer can snapshot the best
+/// validation checkpoint and restore it when early stopping fires.
+struct ParameterSet {
+  std::vector<math::Matrix*> matrices;
+  std::vector<math::Vec*> vectors;
+  std::vector<double*> scalars;
+
+  void Add(math::Matrix* m) { matrices.push_back(m); }
+  void Add(math::Vec* v) { vectors.push_back(v); }
+  void Add(double* s) { scalars.push_back(s); }
+  bool empty() const {
+    return matrices.empty() && vectors.empty() && scalars.empty();
+  }
+};
+
+/// One contiguous slice of the epoch's shuffled (user, positive) pairs,
+/// plus the shared sampling state. Models must consume pairs in order and
+/// draw negatives only through SampleNegative() so a training run is a
+/// single deterministic RNG stream regardless of batching.
+struct BatchContext {
+  int epoch;
+  const std::vector<std::pair<int, int>>& pairs;  ///< full epoch ordering
+  int begin, end;  ///< this batch is pairs[begin, end)
+  Rng* rng;
+  NegativeSampler* sampler;
+  int num_threads;   ///< TrainConfig::num_threads, for ParallelFor
+  double grad_clip;  ///< TrainConfig::grad_clip, for per-row clipping
+
+  int SampleNegative(int user) const { return sampler->Sample(user, rng); }
+  int size() const { return end - begin; }
+};
+
+/// Contract a model implements to train under core::Trainer. The model
+/// expresses only its per-batch (typically per-triplet) gradient step;
+/// the Trainer owns shuffling, batching, negative sampling, early
+/// stopping, and telemetry.
+class Trainable {
+ public:
+  virtual ~Trainable() = default;
+
+  /// Processes pairs[ctx.begin, ctx.end), applying parameter updates in
+  /// place. Returns the summed loss over the batch (telemetry only).
+  virtual double TrainOnBatch(const BatchContext& ctx) = 0;
+
+  /// Per-epoch tail work after all batches (e.g. TransC's logic passes).
+  /// Returns any extra loss to fold into the epoch telemetry.
+  virtual double EpochTail(int epoch, Rng* rng) {
+    (void)epoch;
+    (void)rng;
+    return 0.0;
+  }
+
+  /// Brings the model's scoring state in sync with its current
+  /// parameters (recompute propagated embeddings, mark the model
+  /// scorable). Called before every validation probe and once at the end
+  /// of Train(), after any checkpoint restore.
+  virtual void SyncScoringState() {}
+
+  /// Registers the parameter tensors the early-stopping checkpoint must
+  /// capture. Models that register nothing still stop early but cannot
+  /// restore the best checkpoint.
+  virtual void CollectParameters(ParameterSet* params) { (void)params; }
+};
+
+/// The shared epoch/batch driver. Owns the per-epoch pair shuffle
+/// (ShuffledTrainPairs), batch partitioning (BatchRanges), negative
+/// sampling, validation-driven early stopping with best-checkpoint
+/// snapshot/restore, and EpochStats telemetry.
+///
+/// Determinism: for a fixed seed and TrainConfig the driver consumes the
+/// model's RNG in exactly the order the legacy per-model loops did, so a
+/// migrated model reproduces its pre-Trainer metrics bit-for-bit.
+class Trainer {
+ public:
+  explicit Trainer(const TrainConfig& config) : config_(config) {}
+
+  /// Runs the epoch/batch loop over `split.train`. `rng` is the model's
+  /// generator (already used for parameter init) so the stream continues
+  /// unbroken. `val_scorer` — normally the model itself — is probed on
+  /// the validation fold every `eval_every` epochs when
+  /// `early_stopping_patience > 0`; passing null disables early stopping.
+  TrainSummary Train(Trainable* model, const data::Split& split,
+                     int num_items, Rng* rng,
+                     const eval::Scorer* val_scorer = nullptr);
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_TRAINER_H_

@@ -152,4 +152,14 @@ int Mlp::ParameterCount() const {
   return n;
 }
 
+std::vector<Vec*> Mlp::ParameterTensors() {
+  std::vector<Vec*> tensors;
+  tensors.reserve(2 * layers_.size());
+  for (Layer& layer : layers_) {
+    tensors.push_back(&layer.weights);
+    tensors.push_back(&layer.bias);
+  }
+  return tensors;
+}
+
 }  // namespace logirec::math

@@ -47,6 +47,10 @@ class Mlp {
   /// Total number of scalar parameters.
   int ParameterCount() const;
 
+  /// Mutable views of every parameter tensor (per-layer weights and
+  /// biases), for external snapshot/restore (core::Trainer checkpoints).
+  std::vector<Vec*> ParameterTensors();
+
  private:
   struct Layer {
     int in, out;

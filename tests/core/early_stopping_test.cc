@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "baselines/bprmf.h"
+#include "baselines/hgcf.h"
 #include "core/logirec_model.h"
+#include "core/trainer.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 
@@ -75,6 +80,68 @@ TEST(EarlyStoppingTest, RestoredModelNotWorseThanOverfitTail) {
       validator.Evaluate(plain, /*use_validation=*/true).Get("Recall@10");
   EXPECT_GE(es_val + 1e-9, plain_val * 0.8)
       << "early stopping should not catastrophically underperform";
+}
+
+// --- every model honors patience now that training runs through
+// core::Trainer; cover two baselines from different families ------------
+
+struct RecordingObserver final : TrainObserver {
+  std::vector<EpochStats> epochs;
+  TrainSummary summary;
+  bool ended = false;
+  void OnEpochEnd(const EpochStats& stats) override {
+    epochs.push_back(stats);
+  }
+  void OnTrainEnd(const TrainSummary& s) override {
+    summary = s;
+    ended = true;
+  }
+};
+
+template <typename Model>
+void ExpectStopsEarlyAndRestoresBest(const Fixture& fx,
+                                     TrainConfig config) {
+  config.early_stopping_patience = 1;
+  config.eval_every = 1;
+  RecordingObserver obs;
+  config.observer = &obs;
+  Model model(config);
+  ASSERT_TRUE(model.Fit(fx.dataset, fx.split).ok());
+
+  ASSERT_TRUE(obs.ended);
+  EXPECT_TRUE(obs.summary.stopped_early);
+  EXPECT_LT(obs.summary.epochs_run, config.epochs);
+
+  // The summary's best metric is the max over all probes...
+  double max_probed = -1.0;
+  for (const EpochStats& e : obs.epochs) {
+    max_probed = std::max(max_probed, e.val_metric);
+  }
+  EXPECT_DOUBLE_EQ(obs.summary.best_val_metric, max_probed);
+
+  // ...and the restored parameters reproduce it exactly when
+  // re-evaluated, proving the best checkpoint came back.
+  eval::Evaluator validator(&fx.split, fx.dataset.num_items,
+                            std::vector<int>{10});
+  const double restored_val =
+      validator.Evaluate(model, /*use_validation=*/true).Get("Recall@10");
+  EXPECT_DOUBLE_EQ(restored_val, obs.summary.best_val_metric);
+}
+
+TEST(EarlyStoppingTest, BprmfStopsEarlyAndRestoresBest) {
+  Fixture fx;
+  TrainConfig config;
+  config.dim = 16;
+  config.epochs = 300;
+  ExpectStopsEarlyAndRestoresBest<baselines::Bprmf>(fx, config);
+}
+
+TEST(EarlyStoppingTest, HgcfStopsEarlyAndRestoresBest) {
+  Fixture fx;
+  TrainConfig config;
+  config.dim = 16;
+  config.epochs = 120;
+  ExpectStopsEarlyAndRestoresBest<baselines::Hgcf>(fx, config);
 }
 
 }  // namespace

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace logirec {
+namespace {
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(3, 3, [&](int) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, ReversedRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 2, [&](int) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWorkVisitsEachIndexOnce) {
+  constexpr int kN = 7;
+  std::vector<std::atomic<int>> counts(kN);
+  ParallelFor(0, kN, [&](int i) { ++counts[i]; }, /*num_threads=*/32);
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, SingleThreadRunsInOrder) {
+  std::vector<int> order;
+  ParallelFor(2, 12, [&](int i) { order.push_back(i); }, /*num_threads=*/1);
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i + 2);
+}
+
+TEST(ParallelForTest, CoversLargeRangeExactlyOnce) {
+  constexpr int kN = 10'000;
+  std::vector<std::atomic<int>> counts(kN);
+  ParallelFor(0, kN, [&](int i) { ++counts[i]; });
+  long total = 0;
+  for (int i = 0; i < kN; ++i) total += counts[i].load();
+  EXPECT_EQ(total, kN);
+}
+
+TEST(ParallelForTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace logirec

@@ -6,6 +6,13 @@
 //   logirec evaluate  --data=DIR --model-in=DIR                Recall/NDCG of a saved model
 //   logirec recommend --data=DIR --model-in=DIR --user=N       top-K for one user
 //
+// Training flags (all models route through core::Trainer):
+//   --threads=N      ParallelFor workers (0 = hardware concurrency)
+//   --patience=N     early stopping: stop after N validation probes without
+//                    improvement, restore the best parameters (0 = off)
+//   --eval-every=N   epochs between validation probes when patience > 0
+//   --log-epochs     print per-epoch loss/validation telemetry
+//
 // (*) only LogiRec/LogiRec++ support persistence; other zoo models are
 // trained and evaluated in one `train --evaluate` invocation.
 
@@ -76,8 +83,34 @@ core::TrainConfig ConfigFromFlags(const FlagParser& flags) {
   config.learning_rate = flags.GetDouble("lr");
   config.lambda = flags.GetDouble("lambda");
   config.margin = flags.GetDouble("margin");
+  config.num_threads = flags.GetInt("threads");
+  config.early_stopping_patience = flags.GetInt("patience");
+  config.eval_every = flags.GetInt("eval-every");
   return config;
 }
+
+/// --log-epochs observer: one line per epoch, plus a training summary.
+class EpochPrinter final : public core::TrainObserver {
+ public:
+  void OnEpochEnd(const core::EpochStats& stats) override {
+    if (stats.val_metric >= 0.0) {
+      std::printf("epoch %-4d loss=%.4f (%.2fs) val Recall@10=%.2f%%%s\n",
+                  stats.epoch, stats.mean_loss, stats.seconds,
+                  stats.val_metric, stats.improved ? " *" : "");
+    } else {
+      std::printf("epoch %-4d loss=%.4f (%.2fs)\n", stats.epoch,
+                  stats.mean_loss, stats.seconds);
+    }
+  }
+  void OnTrainEnd(const core::TrainSummary& summary) override {
+    if (summary.stopped_early) {
+      std::printf("early stop after %d epochs (best epoch %d, "
+                  "val Recall@10=%.2f%%)\n",
+                  summary.epochs_run, summary.best_epoch,
+                  summary.best_val_metric);
+    }
+  }
+};
 
 void PrintEval(const eval::EvalResult& result) {
   std::printf("Recall@10=%.2f%% Recall@20=%.2f%% NDCG@10=%.2f%% "
@@ -94,7 +127,10 @@ int CmdTrain(const FlagParser& flags) {
 
   const std::string model_name = flags.GetString("model");
   Timer timer;
-  auto model = baselines::MakeModel(model_name, ConfigFromFlags(flags));
+  core::TrainConfig config = ConfigFromFlags(flags);
+  EpochPrinter printer;
+  if (flags.GetBool("log-epochs")) config.observer = &printer;
+  auto model = baselines::MakeModel(model_name, config);
   if (!model.ok()) return Fail(model.status());
   Status st = (*model)->Fit(*dataset, split);
   if (!st.ok()) return Fail(st);
@@ -185,6 +221,10 @@ int main(int argc, char** argv) {
   flags.AddDouble("lr", 0.05, "learning rate");
   flags.AddDouble("lambda", 2.0, "logic regularizer weight");
   flags.AddDouble("margin", 1.0, "LMNN margin");
+  flags.AddInt("threads", 0, "ParallelFor workers (0 = hardware)");
+  flags.AddInt("patience", 0, "early-stopping patience in probes (0 = off)");
+  flags.AddInt("eval-every", 10, "epochs between validation probes");
+  flags.AddBool("log-epochs", false, "print per-epoch training telemetry");
   const Status st = flags.Parse(argc - 1, argv + 1);
   if (!st.ok()) return Fail(st);
   if (flags.help_requested()) return 0;
