@@ -1,0 +1,311 @@
+// Full-catalog ranking throughput bench: times the pre-kernel scalar
+// scoring path (per-user allocating ScoreItems + heap Top-K, kept here as
+// the reference) against the batched kernel pipeline (ScoreItemsInto in
+// ranking mode + nth_element Top-K over reused buffers) for every model,
+// and writes BENCH_scoring.json — the tracked perf trajectory of the
+// ranking hot path.
+//
+// Regression gate (--baseline): compares each model's *speedup* (kernel
+// users/sec divided by the same run's scalar users/sec) against the
+// committed baseline. The ratio is measured inside one run on one
+// machine, so the gate is robust to CI hardware variance, while still
+// being exactly a users/sec regression check after normalizing out
+// machine speed.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace logirec::bench {
+namespace {
+
+/// The pre-kernel heap-based Top-K, kept verbatim so the scalar reference
+/// path stays the seed implementation even as eval::TopK evolves.
+std::vector<int> HeapTopK(const std::vector<double>& scores, int k) {
+  using Entry = std::pair<double, int>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < static_cast<int>(scores.size()); ++i) {
+    if (scores[i] == neg_inf) continue;
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({scores[i], i});
+    } else if (!heap.empty() && cmp({scores[i], i}, heap.top())) {
+      heap.pop();
+      heap.push({scores[i], i});
+    }
+  }
+  std::vector<int> out(heap.size());
+  for (int i = static_cast<int>(heap.size()) - 1; i >= 0; --i) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+struct PathStats {
+  double cold_users_per_sec = 0.0;
+  double warm_users_per_sec = 0.0;
+  double ns_per_item = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct ModelReport {
+  std::string model;
+  PathStats scalar;
+  PathStats kernel;
+  double speedup = 0.0;  // kernel warm users/sec over scalar warm
+};
+
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples->size() - 1) + 0.5);
+  std::nth_element(samples->begin(), samples->begin() + idx, samples->end());
+  return (*samples)[idx];
+}
+
+/// Runs `pass(u)` for every user once per repeat (plus one cold pass) and
+/// aggregates throughput + per-user latency percentiles.
+template <typename PerUser>
+PathStats TimePath(int num_users, int num_items, int repeats,
+                   const PerUser& pass) {
+  PathStats stats;
+  Timer cold;
+  for (int u = 0; u < num_users; ++u) pass(u);
+  const double cold_s = cold.ElapsedSeconds();
+  stats.cold_users_per_sec = num_users / std::max(cold_s, 1e-12);
+
+  std::vector<double> per_user_us;
+  per_user_us.reserve(static_cast<size_t>(num_users) * repeats);
+  double warm_s = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Timer pass_timer;
+    for (int u = 0; u < num_users; ++u) {
+      Timer user_timer;
+      pass(u);
+      per_user_us.push_back(user_timer.ElapsedSeconds() * 1e6);
+    }
+    warm_s += pass_timer.ElapsedSeconds();
+  }
+  const double warm_users = static_cast<double>(num_users) * repeats;
+  stats.warm_users_per_sec = warm_users / std::max(warm_s, 1e-12);
+  stats.ns_per_item =
+      warm_s * 1e9 / std::max(warm_users * num_items, 1.0);
+  stats.p50_us = Percentile(&per_user_us, 0.50);
+  stats.p99_us = Percentile(&per_user_us, 0.99);
+  return stats;
+}
+
+ModelReport BenchModel(const std::string& name,
+                       const core::TrainConfig& config,
+                       const BenchDataset& bd, int repeats, int top_k,
+                       int max_users) {
+  auto model = baselines::MakeModel(name, config);
+  LOGIREC_CHECK_MSG(model.ok(), model.status().ToString());
+  const Status st = (*model)->Fit(bd.dataset, bd.split);
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+  const core::Recommender& rec = **model;
+
+  // Throughput depends on the catalog size, not on how many users we
+  // sample, so cap the measured users to keep slow models (NeuMF runs an
+  // MLP per item) from dominating the bench's wall time.
+  const int num_users = std::min(bd.dataset.num_users, max_users);
+  const int num_items = bd.dataset.num_items;
+
+  ModelReport report;
+  report.model = name;
+
+  // Seed scalar path: allocate a fresh score vector per user, rank with
+  // the heap — exactly what Evaluator::Evaluate did before the kernels.
+  report.scalar = TimePath(num_users, num_items, repeats, [&](int u) {
+    std::vector<double> scores(num_items);
+    rec.ScoreItems(u, &scores);
+    const std::vector<int> ranked = HeapTopK(scores, top_k);
+    LOGIREC_CHECK(!ranked.empty());
+  });
+
+  // Kernel path: batched ranking-mode scoring into a reused buffer,
+  // nth_element Top-K over reused index buffers.
+  std::vector<double> scores(num_items);
+  std::vector<int> scratch, ranked;
+  report.kernel = TimePath(num_users, num_items, repeats, [&](int u) {
+    rec.ScoreItemsInto(u, math::Span(scores), eval::ScoreMode::kRanking);
+    eval::TopKInto(math::ConstSpan(scores), top_k, &scratch, &ranked);
+    LOGIREC_CHECK(!ranked.empty());
+  });
+
+  report.speedup =
+      report.kernel.warm_users_per_sec /
+      std::max(report.scalar.warm_users_per_sec, 1e-12);
+  return report;
+}
+
+std::string FormatPath(const PathStats& s) {
+  return StrFormat(
+      "{\"cold_users_per_sec\": %.1f, \"warm_users_per_sec\": %.1f, "
+      "\"ns_per_item\": %.2f, \"p50_us\": %.2f, \"p99_us\": %.2f}",
+      s.cold_users_per_sec, s.warm_users_per_sec, s.ns_per_item, s.p50_us,
+      s.p99_us);
+}
+
+void WriteJson(const std::string& path, const BenchDataset& bd,
+               const core::TrainConfig& config, int repeats, int top_k,
+               const std::vector<ModelReport>& reports) {
+  std::ostringstream out;
+  out << "{\n  \"meta\": "
+      << StrFormat(
+             "{\"dataset\": \"%s\", \"users\": %d, \"items\": %d, "
+             "\"dim\": %d, \"epochs\": %d, \"repeats\": %d, \"top_k\": %d}",
+             bd.dataset.name.c_str(), bd.dataset.num_users,
+             bd.dataset.num_items, config.dim, config.epochs, repeats, top_k)
+      << ",\n  \"models\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ModelReport& r = reports[i];
+    out << StrFormat("    {\"model\": \"%s\", \"speedup\": %.3f,\n",
+                     r.model.c_str(), r.speedup)
+        << "     \"scalar\": " << FormatPath(r.scalar) << ",\n"
+        << "     \"kernel\": " << FormatPath(r.kernel) << "}"
+        << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot write " + path);
+  f << out.str();
+}
+
+/// Minimal extraction of per-model speedups from a BENCH_scoring.json
+/// produced by WriteJson (not a general JSON parser).
+std::map<std::string, double> ReadBaselineSpeedups(const std::string& path) {
+  std::ifstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot read baseline " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  std::map<std::string, double> speedups;
+  size_t pos = 0;
+  const std::string model_key = "\"model\": \"";
+  const std::string speedup_key = "\"speedup\": ";
+  while ((pos = text.find(model_key, pos)) != std::string::npos) {
+    pos += model_key.size();
+    const size_t name_end = text.find('"', pos);
+    LOGIREC_CHECK(name_end != std::string::npos);
+    const std::string name = text.substr(pos, name_end - pos);
+    const size_t spos = text.find(speedup_key, name_end);
+    LOGIREC_CHECK_MSG(spos != std::string::npos,
+                      "baseline missing speedup for " + name);
+    speedups[name] = std::stod(text.substr(spos + speedup_key.size()));
+    pos = name_end;
+  }
+  return speedups;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("models", "all",
+                  "comma-separated model names, or 'all' for the full zoo");
+  flags.AddString("dataset", "cd", "benchmark dataset preset");
+  flags.AddDouble("scale", 0.4, "dataset scale factor");
+  flags.AddInt("dim", 32, "embedding dimension");
+  flags.AddInt("epochs", 3,
+               "training epochs (ranking speed is independent of fit "
+               "quality, so keep this small)");
+  flags.AddInt("repeats", 5, "warm timing passes over all users");
+  flags.AddInt("max-users", 512,
+               "cap on measured users per pass (throughput is set by the "
+               "catalog size, not the user sample)");
+  flags.AddInt("topk", 20, "ranking cutoff");
+  flags.AddString("out", "BENCH_scoring.json", "output JSON path");
+  flags.AddString("baseline", "",
+                  "committed BENCH_scoring.json to gate against (empty = "
+                  "no gate)");
+  flags.AddDouble("max-regression", 0.30,
+                  "fail if a model's speedup drops more than this "
+                  "fraction below the baseline");
+  const Status st = flags.Parse(argc, argv);
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  core::TrainConfig config;
+  config.dim = flags.GetInt("dim");
+  config.epochs = flags.GetInt("epochs");
+  config.seed = 7;
+
+  const BenchDataset bd =
+      MakeBenchDataset(flags.GetString("dataset"), flags.GetDouble("scale"));
+  std::vector<std::string> models;
+  if (flags.GetString("models") == "all") {
+    models = baselines::AllModelNames();
+  } else {
+    models = Split(flags.GetString("models"), ',');
+  }
+  const int repeats = flags.GetInt("repeats");
+  const int top_k = flags.GetInt("topk");
+
+  std::printf("score_throughput: %s users=%d items=%d dim=%d repeats=%d\n",
+              bd.dataset.name.c_str(), bd.dataset.num_users,
+              bd.dataset.num_items, config.dim, repeats);
+  std::printf("%-10s %14s %14s %9s %9s %9s\n", "model", "scalar u/s",
+              "kernel u/s", "speedup", "p50 us", "p99 us");
+
+  std::vector<ModelReport> reports;
+  for (const std::string& name : models) {
+    reports.push_back(BenchModel(name, config, bd, repeats, top_k,
+                                 flags.GetInt("max-users")));
+    const ModelReport& r = reports.back();
+    std::printf("%-10s %14.1f %14.1f %8.2fx %9.2f %9.2f\n", r.model.c_str(),
+                r.scalar.warm_users_per_sec, r.kernel.warm_users_per_sec,
+                r.speedup, r.kernel.p50_us, r.kernel.p99_us);
+  }
+
+  WriteJson(flags.GetString("out"), bd, config, repeats, top_k, reports);
+  std::printf("wrote %s\n", flags.GetString("out").c_str());
+
+  if (!flags.GetString("baseline").empty()) {
+    const auto baseline = ReadBaselineSpeedups(flags.GetString("baseline"));
+    const double max_regression = flags.GetDouble("max-regression");
+    bool failed = false;
+    for (const ModelReport& r : reports) {
+      auto it = baseline.find(r.model);
+      if (it == baseline.end()) continue;
+      const double floor = it->second * (1.0 - max_regression);
+      if (r.speedup < floor) {
+        std::printf(
+            "REGRESSION %s: speedup %.2fx < %.2fx (baseline %.2fx - %.0f%% "
+            "tolerance)\n",
+            r.model.c_str(), r.speedup, floor, it->second,
+            100.0 * max_regression);
+        failed = true;
+      }
+    }
+    if (failed) return 1;
+    std::printf("regression gate passed (tolerance %.0f%%)\n",
+                100.0 * flags.GetDouble("max-regression"));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace logirec::bench
+
+int main(int argc, char** argv) { return logirec::bench::Main(argc, argv); }

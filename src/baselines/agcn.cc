@@ -5,6 +5,7 @@
 
 #include "baselines/baseline_util.h"
 #include "graph/bipartite_graph.h"
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -130,6 +131,7 @@ void Agcn::SyncScoringState() {
                  /*include_layer0=*/true);
   for (double& x : final_user_.data()) x *= layer_avg;
   for (double& x : final_item_.data()) x *= layer_avg;
+  item_view_.Assign(final_item_);
   fitted_ = true;
 }
 
@@ -139,12 +141,23 @@ void Agcn::CollectParameters(core::ParameterSet* params) {
   params->Add(&tag_);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Agcn::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(final_item_.rows());
   auto eu = final_user_.Row(user);
   for (int v = 0; v < final_item_.rows(); ++v) {
     (*out)[v] = math::Dot(eu, final_item_.Row(v));
+  }
+}
+
+void Agcn::ScoreItemsInto(int user, math::Span out,
+                          eval::ScoreMode /*mode*/) const {
+  LOGIREC_CHECK(fitted_);
+  if (item_view_.empty()) {
+    math::DotsInto(final_user_.Row(user), final_item_, out);
+  } else {
+    math::DotsInto(final_user_.Row(user), item_view_, out);
   }
 }
 

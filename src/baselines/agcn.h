@@ -7,6 +7,7 @@
 
 #include "core/recommender.h"
 #include "core/trainer.h"
+#include "math/kernels.h"
 #include "graph/propagation.h"
 #include "math/matrix.h"
 
@@ -28,6 +29,8 @@ class Agcn final : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "AGCN"; }
   const math::Matrix* ItemEmbeddings() const override {
     return &final_item_;
@@ -44,6 +47,7 @@ class Agcn final : public core::Recommender, private core::Trainable {
   core::TrainConfig config_;
   math::Matrix user_, item_, tag_;  // base embeddings
   math::Matrix final_user_, final_item_;
+  math::ScoringView item_view_;
   // Training-time state, alive only while Fit() runs.
   std::unique_ptr<graph::BipartiteGraph> graph_;
   std::unique_ptr<graph::GcnPropagator> prop_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "baselines/baseline_util.h"
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -77,12 +78,32 @@ void Amf::CollectParameters(core::ParameterSet* params) {
   params->Add(&tag_);
 }
 
+void Amf::SyncScoringState() {
+  effective_item_ = math::Matrix(item_.rows(), item_.cols());
+  for (int v = 0; v < item_.rows(); ++v) {
+    math::Copy(EffectiveItem(v), effective_item_.Row(v));
+  }
+  item_view_.Assign(effective_item_);
+  fitted_ = true;
+}
+
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Amf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(item_.rows());
   auto pu = user_.Row(user);
   for (int v = 0; v < item_.rows(); ++v) {
     (*out)[v] = math::Dot(pu, EffectiveItem(v));
+  }
+}
+
+void Amf::ScoreItemsInto(int user, math::Span out,
+                         eval::ScoreMode /*mode*/) const {
+  LOGIREC_CHECK(fitted_);
+  if (item_view_.empty()) {
+    math::DotsInto(user_.Row(user), effective_item_, out);
+  } else {
+    math::DotsInto(user_.Row(user), item_view_, out);
   }
 }
 

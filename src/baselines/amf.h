@@ -6,6 +6,7 @@
 
 #include "core/recommender.h"
 #include "core/trainer.h"
+#include "math/kernels.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -20,17 +21,23 @@ class Amf final : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "AMF"; }
 
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
-  void SyncScoringState() override { fitted_ = true; }
+  void SyncScoringState() override;
   void CollectParameters(core::ParameterSet* params) override;
 
   math::Vec EffectiveItem(int item) const;
 
   core::TrainConfig config_;
   math::Matrix user_, item_, tag_;
+  /// Materialized EffectiveItem() rows, rebuilt by SyncScoringState() so
+  /// the batched scoring kernel can run over one contiguous matrix.
+  math::Matrix effective_item_;
+  math::ScoringView item_view_;
   std::vector<std::vector<int>> item_tags_;
   bool fitted_ = false;
 };

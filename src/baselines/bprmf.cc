@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "baselines/baseline_util.h"
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -56,6 +57,7 @@ void Bprmf::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_bias_);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Bprmf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(item_.rows());
@@ -63,6 +65,17 @@ void Bprmf::ScoreItems(int user, std::vector<double>* out) const {
   for (int v = 0; v < item_.rows(); ++v) {
     (*out)[v] = math::Dot(pu, item_.Row(v)) + item_bias_[v];
   }
+}
+
+void Bprmf::ScoreItemsInto(int user, math::Span out,
+                           eval::ScoreMode /*mode*/) const {
+  LOGIREC_CHECK(fitted_);
+  if (item_view_.empty()) {
+    math::DotsInto(user_.Row(user), item_, out);
+  } else {
+    math::DotsInto(user_.Row(user), item_view_, out);
+  }
+  for (int v = 0; v < item_.rows(); ++v) out[v] += item_bias_[v];
 }
 
 }  // namespace logirec::baselines

@@ -6,6 +6,7 @@
 
 #include "core/recommender.h"
 #include "core/trainer.h"
+#include "math/kernels.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -19,15 +20,21 @@ class Bprmf final : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "BPRMF"; }
 
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
-  void SyncScoringState() override { fitted_ = true; }
+  void SyncScoringState() override {
+    item_view_.Assign(item_);
+    fitted_ = true;
+  }
   void CollectParameters(core::ParameterSet* params) override;
 
   core::TrainConfig config_;
   math::Matrix user_, item_;
+  math::ScoringView item_view_;
   std::vector<double> item_bias_;
   bool fitted_ = false;
 };

@@ -1,6 +1,7 @@
 #include "baselines/cml.h"
 
 #include "baselines/baseline_util.h"
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -58,12 +59,23 @@ void Cml::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Cml::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(item_.rows());
   auto pu = user_.Row(user);
   for (int v = 0; v < item_.rows(); ++v) {
     (*out)[v] = -math::SquaredDistance(pu, item_.Row(v));
+  }
+}
+
+void Cml::ScoreItemsInto(int user, math::Span out,
+                         eval::ScoreMode /*mode*/) const {
+  LOGIREC_CHECK(fitted_);
+  if (item_view_.empty()) {
+    math::NegSquaredEuclideanDistancesInto(user_.Row(user), item_, out);
+  } else {
+    math::NegSquaredEuclideanDistancesInto(user_.Row(user), item_view_, out);
   }
 }
 
@@ -143,12 +155,33 @@ void Cmlf::CollectParameters(core::ParameterSet* params) {
   params->Add(&tag_);
 }
 
+void Cmlf::SyncScoringState() {
+  effective_item_ = math::Matrix(item_.rows(), item_.cols());
+  for (int v = 0; v < item_.rows(); ++v) {
+    math::Copy(EffectiveItem(v), effective_item_.Row(v));
+  }
+  item_view_.Assign(effective_item_);
+  fitted_ = true;
+}
+
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Cmlf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(item_.rows());
   auto pu = user_.Row(user);
   for (int v = 0; v < item_.rows(); ++v) {
     (*out)[v] = -math::SquaredDistance(pu, EffectiveItem(v));
+  }
+}
+
+void Cmlf::ScoreItemsInto(int user, math::Span out,
+                          eval::ScoreMode /*mode*/) const {
+  LOGIREC_CHECK(fitted_);
+  if (item_view_.empty()) {
+    math::NegSquaredEuclideanDistancesInto(user_.Row(user), effective_item_,
+                                           out);
+  } else {
+    math::NegSquaredEuclideanDistancesInto(user_.Row(user), item_view_, out);
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/recommender.h"
 #include "core/trainer.h"
+#include "math/kernels.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -20,15 +21,21 @@ class Cml final : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "CML"; }
 
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
-  void SyncScoringState() override { fitted_ = true; }
+  void SyncScoringState() override {
+    item_view_.Assign(item_);
+    fitted_ = true;
+  }
   void CollectParameters(core::ParameterSet* params) override;
 
   core::TrainConfig config_;
   math::Matrix user_, item_;
+  math::ScoringView item_view_;
   bool fitted_ = false;
 };
 
@@ -41,11 +48,13 @@ class Cmlf final : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "CMLF"; }
 
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
-  void SyncScoringState() override { fitted_ = true; }
+  void SyncScoringState() override;
   void CollectParameters(core::ParameterSet* params) override;
 
   /// Effective item embedding (free part + tag mean).
@@ -53,6 +62,10 @@ class Cmlf final : public core::Recommender, private core::Trainable {
 
   core::TrainConfig config_;
   math::Matrix user_, item_, tag_;
+  /// Materialized EffectiveItem() rows, rebuilt by SyncScoringState() so
+  /// the batched scoring kernel can run over one contiguous matrix.
+  math::Matrix effective_item_;
+  math::ScoringView item_view_;
   const std::vector<std::vector<int>>* item_tags_ = nullptr;
   std::vector<std::vector<int>> item_tags_copy_;
   bool fitted_ = false;

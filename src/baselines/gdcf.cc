@@ -139,11 +139,38 @@ void Gdcf::CollectParameters(core::ParameterSet* params) {
   params->Add(&chunk_logits_);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Gdcf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(item_.rows());
   for (int v = 0; v < item_.rows(); ++v) {
     (*out)[v] = -FusedDistance(user, v, nullptr);
+  }
+}
+
+void Gdcf::ScoreItemsInto(int user, math::Span out,
+                          eval::ScoreMode /*mode*/) const {
+  LOGIREC_CHECK(fitted_);
+  LOGIREC_CHECK(static_cast<int>(out.size()) == item_.rows());
+  // The fused score sums an acosh per hyperbolic chunk, so no monotone
+  // shortcut exists; both modes run the exact fusion. The win over the
+  // scalar path is hoisting the softmax chunk weights (an allocation and
+  // kChunks exps per item in FusedDistance) out of the item loop.
+  const int cd = ChunkDim();
+  const auto weights = ChunkWeights();
+  auto pu = user_.Row(user);
+  for (int v = 0; v < item_.rows(); ++v) {
+    auto qv = item_.Row(v);
+    double fused = 0.0;
+    for (int c = 0; c < kChunks; ++c) {
+      math::ConstSpan uc = pu.subspan(static_cast<size_t>(c) * cd, cd);
+      math::ConstSpan vc = qv.subspan(static_cast<size_t>(c) * cd, cd);
+      const double dist = IsHyperbolicChunk(c)
+                              ? hyper::PoincareDistance(uc, vc)
+                              : math::Distance(uc, vc);
+      fused += weights[c] * dist;
+    }
+    out[v] = -fused;
   }
 }
 

@@ -21,6 +21,8 @@ class Gdcf final : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "GDCF"; }
 
  private:

@@ -4,6 +4,7 @@
 
 #include "core/embedding.h"
 #include "hyper/lorentz.h"
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -105,6 +106,7 @@ double Hgcf::TrainOnBatch(const core::BatchContext& ctx) {
 
 void Hgcf::SyncScoringState() {
   hgcn_->Forward(user_, item_, &final_user_, &final_item_);
+  item_view_.Assign(final_item_);
   fitted_ = true;
 }
 
@@ -113,12 +115,32 @@ void Hgcf::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Hgcf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(final_item_.rows());
   auto eu = final_user_.Row(user);
   for (int v = 0; v < final_item_.rows(); ++v) {
     (*out)[v] = -hyper::LorentzDistance(eu, final_item_.Row(v));
+  }
+}
+
+void Hgcf::ScoreItemsInto(int user, math::Span out,
+                          eval::ScoreMode mode) const {
+  LOGIREC_CHECK(fitted_);
+  auto eu = final_user_.Row(user);
+  if (mode == eval::ScoreMode::kRanking) {
+    // d = acosh(-<u,v>_L) and acosh is monotone, so the Lorentz dot ranks
+    // identically to the negated geodesic distance — no acosh per item.
+    if (item_view_.empty()) {
+      math::LorentzDotsInto(eu, final_item_, out);
+    } else {
+      math::LorentzDotsInto(eu, item_view_, out);
+    }
+  } else if (item_view_.empty()) {
+    math::NegLorentzDistancesInto(eu, final_item_, out);
+  } else {
+    math::NegLorentzDistancesInto(eu, item_view_, out);
   }
 }
 

@@ -8,6 +8,7 @@
 #include "core/hgcn.h"
 #include "core/recommender.h"
 #include "core/trainer.h"
+#include "math/kernels.h"
 #include "graph/bipartite_graph.h"
 #include "math/matrix.h"
 #include "opt/optimizer.h"
@@ -23,6 +24,8 @@ class Hgcf : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "HGCF"; }
   const math::Matrix* ItemEmbeddings() const override {
     return &final_item_;
@@ -40,6 +43,7 @@ class Hgcf : public core::Recommender, private core::Trainable {
   core::TrainConfig config_;
   math::Matrix user_, item_;  // Lorentz points, (d+1) wide
   math::Matrix final_user_, final_item_;
+  math::ScoringView item_view_;
   bool fitted_ = false;
 
  private:

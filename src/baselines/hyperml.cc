@@ -2,6 +2,7 @@
 
 #include "core/embedding.h"
 #include "hyper/poincare.h"
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -81,12 +82,31 @@ void HyperMl::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void HyperMl::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(item_.rows());
   auto pu = user_.Row(user);
   for (int v = 0; v < item_.rows(); ++v) {
     (*out)[v] = -hyper::PoincareDistance(pu, item_.Row(v));
+  }
+}
+
+void HyperMl::ScoreItemsInto(int user, math::Span out,
+                             eval::ScoreMode mode) const {
+  LOGIREC_CHECK(fitted_);
+  auto pu = user_.Row(user);
+  if (mode == eval::ScoreMode::kRanking) {
+    // acosh is monotone: ranking by -gamma equals ranking by -d_P.
+    if (item_view_.empty()) {
+      math::NegPoincareGammasInto(pu, item_, out);
+    } else {
+      math::NegPoincareGammasInto(pu, item_view_, out);
+    }
+  } else if (item_view_.empty()) {
+    math::NegPoincareDistancesInto(pu, item_, out);
+  } else {
+    math::NegPoincareDistancesInto(pu, item_view_, out);
   }
 }
 

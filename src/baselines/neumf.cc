@@ -114,11 +114,35 @@ void NeuMf::CollectParameters(core::ParameterSet* params) {
   for (math::Vec* tensor : mlp_->ParameterTensors()) params->Add(tensor);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void NeuMf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(gmf_item_.rows());
   for (int v = 0; v < gmf_item_.rows(); ++v) {
     (*out)[v] = Predict(user, v);
+  }
+}
+
+void NeuMf::ScoreItemsInto(int user, math::Span out,
+                           eval::ScoreMode /*mode*/) const {
+  LOGIREC_CHECK(fitted_);
+  LOGIREC_CHECK(static_cast<int>(out.size()) == gmf_item_.rows());
+  const int d = config_.dim;
+  auto gu = gmf_user_.Row(user);
+  auto mu = mlp_user_.Row(user);
+  // The user half of the MLP input and the MLP activations are hoisted
+  // out of the item loop; Predict() rebuilt all of them per item.
+  math::Vec in(2 * d);
+  for (int k = 0; k < d; ++k) in[k] = mu[k];
+  math::Vec scratch_a, scratch_b;
+  for (int v = 0; v < gmf_item_.rows(); ++v) {
+    auto gi = gmf_item_.Row(v);
+    auto mi = mlp_item_.Row(v);
+    double logit = bias_;
+    for (int k = 0; k < d; ++k) logit += gmf_out_[k] * gu[k] * gi[k];
+    for (int k = 0; k < d; ++k) in[d + k] = mi[k];
+    logit += mlp_->InferInto(in, &scratch_a, &scratch_b)[0];
+    out[v] = logit;
   }
 }
 

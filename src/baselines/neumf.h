@@ -22,6 +22,8 @@ class NeuMf final : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "NeuMF"; }
 
  private:

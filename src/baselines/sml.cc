@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/baseline_util.h"
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -89,12 +90,23 @@ void Sml::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_margin_);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Sml::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   out->resize(item_.rows());
   auto pu = user_.Row(user);
   for (int v = 0; v < item_.rows(); ++v) {
     (*out)[v] = -math::SquaredDistance(pu, item_.Row(v));
+  }
+}
+
+void Sml::ScoreItemsInto(int user, math::Span out,
+                         eval::ScoreMode /*mode*/) const {
+  LOGIREC_CHECK(fitted_);
+  if (item_view_.empty()) {
+    math::NegSquaredEuclideanDistancesInto(user_.Row(user), item_, out);
+  } else {
+    math::NegSquaredEuclideanDistancesInto(user_.Row(user), item_view_, out);
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/recommender.h"
 #include "core/trainer.h"
+#include "math/kernels.h"
 #include "math/matrix.h"
 
 namespace logirec::baselines {
@@ -21,6 +22,8 @@ class Sml final : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "SML"; }
 
  private:
@@ -28,11 +31,15 @@ class Sml final : public core::Recommender, private core::Trainable {
   static constexpr double kMarginHi = 1.0;
 
   double TrainOnBatch(const core::BatchContext& ctx) override;
-  void SyncScoringState() override { fitted_ = true; }
+  void SyncScoringState() override {
+    item_view_.Assign(item_);
+    fitted_ = true;
+  }
   void CollectParameters(core::ParameterSet* params) override;
 
   core::TrainConfig config_;
   math::Matrix user_, item_;
+  math::ScoringView item_view_;
   std::vector<double> user_margin_, item_margin_;
   bool fitted_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -123,6 +124,7 @@ void TransC::CollectParameters(core::ParameterSet* params) {
   params->Add(&relation_);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void TransC::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
   const int d = static_cast<int>(relation_.size());
@@ -136,6 +138,22 @@ void TransC::ScoreItems(int user, std::vector<double>* out) const {
       dist += e * e;
     }
     (*out)[v] = -std::sqrt(dist);
+  }
+}
+
+void TransC::ScoreItemsInto(int user, math::Span out,
+                            eval::ScoreMode /*mode*/) const {
+  LOGIREC_CHECK(fitted_);
+  const int d = static_cast<int>(relation_.size());
+  // Hoist the translated query u + r out of the item loop; (u[k] + r[k])
+  // - v[k] rounds exactly like the scalar path's u[k] + r[k] - v[k].
+  math::Vec translated(d);
+  auto pu = user_.Row(user);
+  for (int k = 0; k < d; ++k) translated[k] = pu[k] + relation_[k];
+  if (item_view_.empty()) {
+    math::NegEuclideanDistancesInto(translated, item_, out);
+  } else {
+    math::NegEuclideanDistancesInto(translated, item_view_, out);
   }
 }
 

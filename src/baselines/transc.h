@@ -6,6 +6,7 @@
 
 #include "core/recommender.h"
 #include "core/trainer.h"
+#include "math/kernels.h"
 #include "data/dataset.h"
 #include "math/matrix.h"
 
@@ -24,16 +25,22 @@ class TransC final : public core::Recommender, private core::Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override { return "TransC"; }
 
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   double EpochTail(int epoch, Rng* rng) override;
-  void SyncScoringState() override { fitted_ = true; }
+  void SyncScoringState() override {
+    item_view_.Assign(item_);
+    fitted_ = true;
+  }
   void CollectParameters(core::ParameterSet* params) override;
 
   core::TrainConfig config_;
   math::Matrix user_, item_, tag_center_;
+  math::ScoringView item_view_;
   std::vector<double> tag_radius_;
   math::Vec relation_;  ///< the shared user->item translation vector
   data::LogicalRelations relations_;  ///< logic triples, frozen at Fit()

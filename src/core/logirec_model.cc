@@ -11,6 +11,7 @@
 #include "hyper/lorentz.h"
 #include "hyper/maps.h"
 #include "hyper/poincare.h"
+#include "math/kernels.h"
 #include "opt/optimizer.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -375,6 +376,7 @@ void LogiRecModel::SyncScoringState() {
                          &final_item_, /*include_layer0=*/false);
     }
   }
+  item_view_.Assign(final_item_);
   fitted_ = true;
 }
 
@@ -388,6 +390,7 @@ void LogiRecModel::CollectParameters(ParameterSet* params) {
   params->Add(&tag_centers_);
 }
 
+// Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void LogiRecModel::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK_MSG(fitted_, "ScoreItems() before Fit()");
   out->resize(final_item_.rows());
@@ -400,6 +403,38 @@ void LogiRecModel::ScoreItems(int user, std::vector<double>* out) const {
     for (int v = 0; v < final_item_.rows(); ++v) {
       (*out)[v] = -math::Distance(u, final_item_.Row(v));
     }
+  }
+}
+
+void LogiRecModel::ScoreItemsInto(int user, math::Span out,
+                                  eval::ScoreMode mode) const {
+  LOGIREC_CHECK_MSG(fitted_, "ScoreItemsInto() before Fit()");
+  const auto u = final_user_.Row(user);
+  const bool ranking = mode == eval::ScoreMode::kRanking;
+  if (item_view_.empty()) {
+    if (config_.use_hyperbolic) {
+      // acosh is monotone, so the Lorentz dot ranks identically to the
+      // negated geodesic distance without an acosh per item.
+      if (ranking) {
+        math::LorentzDotsInto(u, final_item_, out);
+      } else {
+        math::NegLorentzDistancesInto(u, final_item_, out);
+      }
+    } else if (ranking) {
+      math::NegSquaredEuclideanDistancesInto(u, final_item_, out);
+    } else {
+      math::NegEuclideanDistancesInto(u, final_item_, out);
+    }
+  } else if (config_.use_hyperbolic) {
+    if (ranking) {
+      math::LorentzDotsInto(u, item_view_, out);
+    } else {
+      math::NegLorentzDistancesInto(u, item_view_, out);
+    }
+  } else if (ranking) {
+    math::NegSquaredEuclideanDistancesInto(u, item_view_, out);
+  } else {
+    math::NegEuclideanDistancesInto(u, item_view_, out);
   }
 }
 

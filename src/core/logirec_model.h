@@ -10,6 +10,7 @@
 #include "core/trainer.h"
 #include "core/weighting.h"
 #include "graph/bipartite_graph.h"
+#include "math/kernels.h"
 #include "math/matrix.h"
 #include "util/rng.h"
 
@@ -65,6 +66,8 @@ class LogiRecModel final : public Recommender, private Trainable {
 
   Status Fit(const data::Dataset& dataset, const data::Split& split) override;
   void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode mode) const override;
   std::string name() const override {
     return config_.use_mining ? "LogiRec++" : "LogiRec";
   }
@@ -144,6 +147,7 @@ class LogiRecModel final : public Recommender, private Trainable {
   // Cached final embeddings for scoring.
   math::Matrix final_user_;
   math::Matrix final_item_;
+  math::ScoringView item_view_;
 
   std::unique_ptr<UserWeighting> weighting_;
   std::unique_ptr<TrainState> ts_;

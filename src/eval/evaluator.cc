@@ -1,8 +1,8 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
-#include <mutex>
 
 #include "eval/metrics.h"
 #include "util/logging.h"
@@ -10,6 +10,14 @@
 #include "util/string_util.h"
 
 namespace logirec::eval {
+
+void Scorer::ScoreItemsInto(int user, math::Span out, ScoreMode /*mode*/) const {
+  std::vector<double> tmp;
+  ScoreItems(user, &tmp);
+  LOGIREC_CHECK_MSG(tmp.size() == out.size(),
+                    "ScoreItems() wrote an unexpected number of scores");
+  std::copy(tmp.begin(), tmp.end(), out.begin());
+}
 
 double EvalResult::Get(const std::string& key) const {
   auto it = mean.find(key);
@@ -23,41 +31,91 @@ Evaluator::Evaluator(const data::Split* split, int num_items,
   LOGIREC_CHECK(!ks_.empty());
 }
 
+namespace {
+
+/// Linear membership test against a user's (small) truth list. For the
+/// list sizes seen in evaluation (tens of items) this beats building an
+/// unordered_set per user and allocates nothing.
+inline bool Contains(const std::vector<int>& truth, int item) {
+  for (int t : truth) {
+    if (t == item) return true;
+  }
+  return false;
+}
+
+/// Recall@K over an already-ranked list; same arithmetic as
+/// metrics.cc::RecallAtK (hit count divided by |truth|).
+inline double RecallFromRanked(const std::vector<int>& ranked,
+                               const std::vector<int>& truth, int k) {
+  int hits = 0;
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (Contains(truth, ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+/// NDCG@K over an already-ranked list; same accumulation order as
+/// metrics.cc::NdcgAtK.
+inline double NdcgFromRanked(const std::vector<int>& ranked,
+                             const std::vector<int>& truth, int k) {
+  double dcg = 0.0;
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (Contains(truth, ranked[i])) dcg += 1.0 / std::log2(i + 2.0);
+  }
+  double idcg = 0.0;
+  const int ideal = std::min<int>(k, static_cast<int>(truth.size()));
+  for (int i = 0; i < ideal; ++i) idcg += 1.0 / std::log2(i + 2.0);
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+}  // namespace
+
 EvalResult Evaluator::Evaluate(const Scorer& scorer,
                                bool use_validation) const {
   const int num_users = static_cast<int>(split_->train.size());
   const int max_k = *std::max_element(ks_.begin(), ks_.end());
   const double neg_inf = -std::numeric_limits<double>::infinity();
+  const int stride = 2 * static_cast<int>(ks_.size());
 
-  // Per-user metric rows (kept in user order, empty-test users skipped).
-  struct Row {
-    int user;
-    std::vector<double> values;  // ks_ x {recall, ndcg}
-  };
-  std::vector<Row> rows(num_users);
+  // Flat per-user metric storage (ks_ x {recall, ndcg} per user), filled
+  // in parallel and compacted sequentially below.
+  std::vector<double> values(static_cast<size_t>(num_users) * stride, 0.0);
   std::vector<char> active(num_users, 0);
 
-  ParallelFor(0, num_users, [&](int u) {
+  // Per-worker scratch, reused across every user a worker ranks: the
+  // full-catalog score buffer, the Top-K candidate indices, and the
+  // ranked output. Nothing inside the parallel loop allocates after a
+  // worker's first user.
+  struct Scratch {
+    std::vector<double> scores;
+    std::vector<int> candidates;
+    std::vector<int> ranked;
+  };
+  const int workers = ResolveWorkerCount(/*num_threads=*/0, num_users);
+  std::vector<Scratch> scratch(std::max(workers, 1));
+
+  ParallelForWorker(0, num_users, [&](int worker, int u) {
     const std::vector<int>& truth =
         use_validation ? split_->validation[u] : split_->test[u];
     if (truth.empty()) return;
 
-    std::vector<double> scores(num_items_);
-    scorer.ScoreItems(u, &scores);
+    Scratch& s = scratch[worker];
+    s.scores.resize(num_items_);
+    scorer.ScoreItemsInto(u, math::Span(s.scores), ScoreMode::kRanking);
     // Mask items the model has already seen for this user.
-    for (int v : split_->train[u]) scores[v] = neg_inf;
+    for (int v : split_->train[u]) s.scores[v] = neg_inf;
     if (!use_validation) {
-      for (int v : split_->validation[u]) scores[v] = neg_inf;
+      for (int v : split_->validation[u]) s.scores[v] = neg_inf;
     }
 
-    const std::vector<int> ranked = TopK(scores, max_k);
-    Row row;
-    row.user = u;
-    for (int k : ks_) {
-      row.values.push_back(100.0 * RecallAtK(ranked, truth, k));
-      row.values.push_back(100.0 * NdcgAtK(ranked, truth, k));
+    TopKInto(math::ConstSpan(s.scores), max_k, &s.candidates, &s.ranked);
+    double* row = values.data() + static_cast<size_t>(u) * stride;
+    for (size_t ki = 0; ki < ks_.size(); ++ki) {
+      row[2 * ki] = 100.0 * RecallFromRanked(s.ranked, truth, ks_[ki]);
+      row[2 * ki + 1] = 100.0 * NdcgFromRanked(s.ranked, truth, ks_[ki]);
     }
-    rows[u] = std::move(row);
     active[u] = 1;
   });
 
@@ -69,8 +127,9 @@ EvalResult Evaluator::Evaluate(const Scorer& scorer,
     auto& ndcg_vec = result.per_user[ndcg_key];
     for (int u = 0; u < num_users; ++u) {
       if (!active[u]) continue;
-      recall_vec.push_back(rows[u].values[2 * ki]);
-      ndcg_vec.push_back(rows[u].values[2 * ki + 1]);
+      const double* row = values.data() + static_cast<size_t>(u) * stride;
+      recall_vec.push_back(row[2 * ki]);
+      ndcg_vec.push_back(row[2 * ki + 1]);
     }
   }
   for (const auto& [key, vec] : result.per_user) {

@@ -6,8 +6,21 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "math/vec.h"
 
 namespace logirec::eval {
+
+/// What a ScoreItemsInto() caller needs from the scores.
+enum class ScoreMode {
+  /// Scores equal the model's canonical preference score (bit-identical
+  /// to ScoreItems). Use for telemetry, serving responses, and tests.
+  kExact,
+  /// Scores may be any strictly increasing transform of the exact score
+  /// (e.g. the Lorentz dot instead of -acosh(-dot)): Top-K order and all
+  /// equal-score ties are preserved, but the values are not comparable
+  /// across modes. This is the ranking hot path.
+  kRanking,
+};
 
 /// Scoring interface the evaluator consumes. Higher score = better item.
 /// Implemented by every recommender in this repository.
@@ -17,6 +30,13 @@ class Scorer {
 
   /// Writes a preference score for every item (out.size() == num_items).
   virtual void ScoreItems(int user, std::vector<double>* out) const = 0;
+
+  /// Batched scoring into a caller-owned buffer (out.size() == num_items).
+  /// In-tree models override this with allocation-free kernel passes
+  /// (math/kernels.h); the default bridges to ScoreItems() so out-of-tree
+  /// scorers keep working unchanged (the bridge allocates and always
+  /// returns exact scores, which is valid in either mode).
+  virtual void ScoreItemsInto(int user, math::Span out, ScoreMode mode) const;
 };
 
 /// Aggregate metrics across users, plus per-user vectors for significance

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <unordered_set>
 
 namespace logirec::eval {
@@ -82,28 +81,78 @@ double ApAtK(const std::vector<int>& ranked, const std::vector<int>& truth,
   return denom > 0 ? sum / denom : 0.0;
 }
 
-std::vector<int> TopK(const std::vector<double>& scores, int k) {
-  using Entry = std::pair<double, int>;  // (score, item); min-heap by score
-  auto cmp = [](const Entry& a, const Entry& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;  // deterministic tie-break: larger id evicted
-  };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+void TopKInto(math::ConstSpan scores, int k, std::vector<int>* scratch,
+              std::vector<int>* out) {
+  out->clear();
+  if (k <= 0) return;
   const double neg_inf = -std::numeric_limits<double>::infinity();
-  for (int i = 0; i < static_cast<int>(scores.size()); ++i) {
-    if (scores[i] == neg_inf) continue;
-    if (static_cast<int>(heap.size()) < k) {
-      heap.push({scores[i], i});
-    } else if (!heap.empty() && cmp({scores[i], i}, heap.top())) {
-      heap.pop();
-      heap.push({scores[i], i});
+  const int n = static_cast<int>(scores.size());
+  // Fast path for k << n: one threshold scan over the raw scores, keeping
+  // the running top-k id list (best first) in `scratch`. Almost every item
+  // fails the single comparison against the current k-th best, so the scan
+  // costs ~1 compare/item with no candidate materialization; insertions
+  // are rare and O(k). Implements the exact strict total order of the
+  // sort-based paths below (descending score, ascending id on ties), so
+  // every path returns the identical prefix.
+  if (static_cast<long>(k) * 8 < n) {
+    scratch->resize(k);
+    int* top = scratch->data();
+    int size = 0;
+    double worst = 0.0;  // k-th best score/id, valid once size == k
+    int worst_id = -1;
+    for (int i = 0; i < n; ++i) {
+      const double s = scores[i];
+      if (size == k) {
+        if (s < worst || (s == worst && i > worst_id)) continue;
+      }
+      if (s == neg_inf) continue;
+      int pos = size == k ? k - 1 : size;
+      while (pos > 0) {
+        const int above = top[pos - 1];
+        if (scores[above] > s || (scores[above] == s && above < i)) break;
+        top[pos] = above;
+        --pos;
+      }
+      top[pos] = i;
+      if (size < k) ++size;
+      worst = scores[top[size - 1]];
+      worst_id = top[size - 1];
     }
+    out->assign(scratch->begin(), scratch->begin() + size);
+    return;
   }
-  std::vector<int> out(heap.size());
-  for (int i = static_cast<int>(heap.size()) - 1; i >= 0; --i) {
-    out[i] = heap.top().second;
-    heap.pop();
+  scratch->clear();
+  for (int i = 0; i < n; ++i) {
+    if (scores[i] != neg_inf) scratch->push_back(i);
   }
+  // Total order: descending score, ascending item id at equal score — the
+  // same ranking the original heap-based TopK produced.
+  auto better = [&scores](int a, int b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  const int m = static_cast<int>(scratch->size());
+  const int take = std::min(k, m);
+  // `better` is a strict total order, so every branch below yields the
+  // same ranked prefix. partial_sort keeps a k-element heap and rejects
+  // most candidates with one comparison — faster than nth_element's
+  // partitioning when k << m, slower when k is a large fraction of m.
+  if (take == m) {
+    std::sort(scratch->begin(), scratch->end(), better);
+  } else if (static_cast<long>(take) * 8 < m) {
+    std::partial_sort(scratch->begin(), scratch->begin() + take,
+                      scratch->end(), better);
+  } else {
+    std::nth_element(scratch->begin(), scratch->begin() + take,
+                     scratch->end(), better);
+    std::sort(scratch->begin(), scratch->begin() + take, better);
+  }
+  out->assign(scratch->begin(), scratch->begin() + take);
+}
+
+std::vector<int> TopK(const std::vector<double>& scores, int k) {
+  std::vector<int> scratch, out;
+  TopKInto(math::ConstSpan(scores.data(), scores.size()), k, &scratch, &out);
   return out;
 }
 

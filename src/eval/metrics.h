@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "math/vec.h"
+
 namespace logirec::eval {
 
 /// Recall@K for one user: |top-K hits| / |ground truth|.
@@ -34,8 +36,18 @@ double ApAtK(const std::vector<int>& ranked, const std::vector<int>& truth,
              int k);
 
 /// Returns the indices of the `k` largest scores, best first. Items whose
-/// score is -infinity are never returned.
+/// score is -infinity are never returned. Deterministic tie-break: at
+/// equal score the smaller item id ranks first.
 std::vector<int> TopK(const std::vector<double>& scores, int k);
+
+/// Allocation-free Top-K: selects into `*out` (resized to at most `k`)
+/// using `*scratch` as candidate storage. Both vectors retain their
+/// capacity across calls, so a caller ranking many users reuses the same
+/// buffers. Selection is nth_element + partial sort — O(n + k log k)
+/// instead of the heap's O(n log k) — with the same results and
+/// deterministic tie-break as TopK().
+void TopKInto(math::ConstSpan scores, int k, std::vector<int>* scratch,
+              std::vector<int>* out);
 
 }  // namespace logirec::eval
 

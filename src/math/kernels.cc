@@ -1,0 +1,448 @@
+#include "math/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+// For kBallEps only (a constexpr; no link dependency on logirec_hyper).
+// The Poincaré kernels must clamp with the exact same epsilon as
+// hyper::PoincareDistance to stay bit-identical to the scalar path.
+#include "hyper/poincare.h"
+#include "util/logging.h"
+
+namespace logirec::math {
+
+namespace {
+
+/// Validates the shared kernel contract once per call.
+inline void CheckShapes(ConstSpan user, const Matrix& items, Span out) {
+  LOGIREC_CHECK(static_cast<int>(user.size()) == items.cols());
+  LOGIREC_CHECK(static_cast<int>(out.size()) == items.rows());
+  LOGIREC_CHECK(!user.empty());
+}
+
+/// Items scored per block. Four independent accumulator chains hide the
+/// FP-add latency that serializes a single running sum; each chain still
+/// adds terms in the exact per-item order of the scalar helpers, so every
+/// out[v] stays bit-identical to the one-row-at-a-time computation.
+constexpr int kBlock = 4;
+
+/// Shared blocked driver for every kernel whose per-item reduction is
+///   s = init(u, row); for (k = k_start..d) s += step(u[k], row[k]);
+///   out[v] = finish(s);
+template <typename InitFn, typename StepFn, typename FinishFn>
+inline void BlockedReduce(ConstSpan user, const Matrix& items, Span out,
+                          int k_start, const InitFn& init, const StepFn& step,
+                          const FinishFn& finish) {
+  CheckShapes(user, items, out);
+  const int d = items.cols();
+  const int n = items.rows();
+  const double* u = user.data();
+  const double* base = items.data().data();
+  int v = 0;
+  for (; v + kBlock <= n; v += kBlock) {
+    const double* r0 = base + static_cast<size_t>(v) * d;
+    const double* r1 = r0 + d;
+    const double* r2 = r1 + d;
+    const double* r3 = r2 + d;
+    double s0 = init(u, r0);
+    double s1 = init(u, r1);
+    double s2 = init(u, r2);
+    double s3 = init(u, r3);
+    for (int k = k_start; k < d; ++k) {
+      const double uk = u[k];
+      s0 += step(uk, r0[k]);
+      s1 += step(uk, r1[k]);
+      s2 += step(uk, r2[k]);
+      s3 += step(uk, r3[k]);
+    }
+    out[v] = finish(s0);
+    out[v + 1] = finish(s1);
+    out[v + 2] = finish(s2);
+    out[v + 3] = finish(s3);
+  }
+  for (; v < n; ++v) {
+    const double* row = base + static_cast<size_t>(v) * d;
+    double s = init(u, row);
+    for (int k = k_start; k < d; ++k) s += step(u[k], row[k]);
+    out[v] = finish(s);
+  }
+}
+
+inline double ZeroInit(const double*, const double*) { return 0.0; }
+inline double LorentzInit(const double* u, const double* row) {
+  return -u[0] * row[0];
+}
+inline double MulStep(double uk, double rk) { return uk * rk; }
+inline double DiffSqStep(double uk, double rk) {
+  const double diff = uk - rk;
+  return diff * diff;
+}
+
+}  // namespace
+
+void DotsInto(ConstSpan user, const Matrix& items, Span out) {
+  BlockedReduce(user, items, out, 0, ZeroInit, MulStep,
+                [](double s) { return s; });
+}
+
+void NegSquaredEuclideanDistancesInto(ConstSpan user, const Matrix& items,
+                                      Span out) {
+  BlockedReduce(user, items, out, 0, ZeroInit, DiffSqStep,
+                [](double s) { return -s; });
+}
+
+void NegEuclideanDistancesInto(ConstSpan user, const Matrix& items, Span out) {
+  BlockedReduce(user, items, out, 0, ZeroInit, DiffSqStep,
+                [](double s) { return -std::sqrt(s); });
+}
+
+void LorentzDotsInto(ConstSpan user, const Matrix& items, Span out) {
+  BlockedReduce(user, items, out, 1, LorentzInit, MulStep,
+                [](double s) { return s; });
+}
+
+void NegLorentzDistancesInto(ConstSpan user, const Matrix& items, Span out) {
+  BlockedReduce(user, items, out, 1, LorentzInit, MulStep,
+                [](double s) { return -SafeAcosh(-s); });
+}
+
+namespace {
+
+/// Blocked driver for the Poincaré kernels, which reduce two sums per
+/// item (the item's squared norm and the squared user-item distance) and
+/// combine them into gamma = 1 + 2*dist_sq / (alpha*beta). Same blocking
+/// rationale and same bit-identity guarantee as BlockedReduce.
+template <typename FinishFn>
+inline void BlockedPoincare(ConstSpan user, const Matrix& items, Span out,
+                            const FinishFn& finish) {
+  CheckShapes(user, items, out);
+  const int d = items.cols();
+  const int n = items.rows();
+  const double* u = user.data();
+  const double alpha = std::max(1.0 - SquaredNorm(user), hyper::kBallEps);
+  const double* base = items.data().data();
+
+  const auto gamma_of = [alpha](double norm_sq, double dist_sq) {
+    const double beta = std::max(1.0 - norm_sq, hyper::kBallEps);
+    return 1.0 + 2.0 * dist_sq / (alpha * beta);
+  };
+
+  int v = 0;
+  for (; v + kBlock <= n; v += kBlock) {
+    const double* r0 = base + static_cast<size_t>(v) * d;
+    const double* r1 = r0 + d;
+    const double* r2 = r1 + d;
+    const double* r3 = r2 + d;
+    double n0 = 0.0, n1 = 0.0, n2 = 0.0, n3 = 0.0;
+    double q0 = 0.0, q1 = 0.0, q2 = 0.0, q3 = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double uk = u[k];
+      n0 += r0[k] * r0[k];
+      q0 += DiffSqStep(uk, r0[k]);
+      n1 += r1[k] * r1[k];
+      q1 += DiffSqStep(uk, r1[k]);
+      n2 += r2[k] * r2[k];
+      q2 += DiffSqStep(uk, r2[k]);
+      n3 += r3[k] * r3[k];
+      q3 += DiffSqStep(uk, r3[k]);
+    }
+    out[v] = finish(gamma_of(n0, q0));
+    out[v + 1] = finish(gamma_of(n1, q1));
+    out[v + 2] = finish(gamma_of(n2, q2));
+    out[v + 3] = finish(gamma_of(n3, q3));
+  }
+  for (; v < n; ++v) {
+    const double* row = base + static_cast<size_t>(v) * d;
+    double norm_sq = 0.0;
+    double dist_sq = 0.0;
+    for (int k = 0; k < d; ++k) {
+      norm_sq += row[k] * row[k];
+      dist_sq += DiffSqStep(u[k], row[k]);
+    }
+    out[v] = finish(gamma_of(norm_sq, dist_sq));
+  }
+}
+
+}  // namespace
+
+void NegPoincareDistancesInto(ConstSpan user, const Matrix& items, Span out) {
+  BlockedPoincare(user, items, out,
+                  [](double gamma) { return -SafeAcosh(gamma); });
+}
+
+void NegPoincareGammasInto(ConstSpan user, const Matrix& items, Span out) {
+  BlockedPoincare(user, items, out, [](double gamma) { return -gamma; });
+}
+
+// ---- Transposed kernels ----------------------------------------------------
+
+void ScoringView::Assign(const Matrix& items) {
+  n_ = items.rows();
+  d_ = items.cols();
+  cols_.resize(static_cast<size_t>(n_) * d_);
+  norms_sq_.assign(n_, 0.0);
+  const double* row = items.data().data();
+  for (int v = 0; v < n_; ++v, row += d_) {
+    // Same ascending-k order as the scalar norm loops, so the cached
+    // norms are bit-identical to what the row-major kernels recompute.
+    double norm_sq = 0.0;
+    for (int k = 0; k < d_; ++k) {
+      cols_[static_cast<size_t>(k) * n_ + v] = row[k];
+      norm_sq += row[k] * row[k];
+    }
+    norms_sq_[v] = norm_sq;
+  }
+}
+
+namespace {
+
+inline void CheckShapes(ConstSpan user, const ScoringView& items, Span out) {
+  LOGIREC_CHECK(static_cast<int>(user.size()) == items.dim());
+  LOGIREC_CHECK(static_cast<int>(out.size()) == items.items());
+  LOGIREC_CHECK(!user.empty());
+}
+
+// Runtime-dispatched AVX2 clone for the transposed accumulators. Wider
+// lanes only change how many independent items are processed per
+// instruction — each item's mul-then-add sequence and rounding are
+// untouched, so clones stay bit-identical to the default build. AVX2 has
+// no fused-multiply-add instructions (FMA is a separate ISA extension we
+// deliberately do NOT enable), so the compiler cannot contract mul+add
+// into a differently-rounded fma.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define LOGIREC_SIMD_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define LOGIREC_SIMD_CLONES
+#endif
+
+/// out[v] = sign0 * u[0]*col0[v] + sum_{k>=1} u[k]*colk[v]. Each item's
+/// sum adds terms in the same ascending-k order as the scalar helpers
+/// ((-a)*b is exactly -(a*b) in IEEE), so every out[v] is bit-identical
+/// to the row-major reduction — while the inner loops run over
+/// independent items the compiler can vectorize.
+///
+/// Columns are consumed in groups (9 on the initializing pass, then 8 per
+/// pass) so out[v] is loaded and stored once per group instead of once
+/// per dimension; the grouped terms are still added one at a time into a
+/// scalar temp, preserving the exact ascending-k rounding order. With
+/// d=33 (the common dim+1 Lorentz case) the whole reduction is one init
+/// pass plus three grouped passes.
+LOGIREC_SIMD_CLONES
+void AccumulateDots(const double* u, const ScoringView& items,
+                    double* __restrict__ out, double sign0) {
+  const int n = items.items();
+  const int d = items.dim();
+  const double u0 = sign0 * u[0];
+  int k = 1;
+  if (d >= 9) {
+    const double* __restrict__ c0 = items.Col(0);
+    const double* __restrict__ c1 = items.Col(1);
+    const double* __restrict__ c2 = items.Col(2);
+    const double* __restrict__ c3 = items.Col(3);
+    const double* __restrict__ c4 = items.Col(4);
+    const double* __restrict__ c5 = items.Col(5);
+    const double* __restrict__ c6 = items.Col(6);
+    const double* __restrict__ c7 = items.Col(7);
+    const double* __restrict__ c8 = items.Col(8);
+    const double u1 = u[1], u2 = u[2], u3 = u[3], u4 = u[4], u5 = u[5],
+                 u6 = u[6], u7 = u[7], u8 = u[8];
+    for (int v = 0; v < n; ++v) {
+      double t = u0 * c0[v];
+      t += u1 * c1[v];
+      t += u2 * c2[v];
+      t += u3 * c3[v];
+      t += u4 * c4[v];
+      t += u5 * c5[v];
+      t += u6 * c6[v];
+      t += u7 * c7[v];
+      t += u8 * c8[v];
+      out[v] = t;
+    }
+    k = 9;
+  } else {
+    const double* __restrict__ c0 = items.Col(0);
+    for (int v = 0; v < n; ++v) out[v] = u0 * c0[v];
+  }
+  for (; k + 8 <= d; k += 8) {
+    const double* __restrict__ c0 = items.Col(k);
+    const double* __restrict__ c1 = items.Col(k + 1);
+    const double* __restrict__ c2 = items.Col(k + 2);
+    const double* __restrict__ c3 = items.Col(k + 3);
+    const double* __restrict__ c4 = items.Col(k + 4);
+    const double* __restrict__ c5 = items.Col(k + 5);
+    const double* __restrict__ c6 = items.Col(k + 6);
+    const double* __restrict__ c7 = items.Col(k + 7);
+    const double u1 = u[k], u2 = u[k + 1], u3 = u[k + 2], u4 = u[k + 3],
+                 u5 = u[k + 4], u6 = u[k + 5], u7 = u[k + 6], u8 = u[k + 7];
+    for (int v = 0; v < n; ++v) {
+      double t = out[v];
+      t += u1 * c0[v];
+      t += u2 * c1[v];
+      t += u3 * c2[v];
+      t += u4 * c3[v];
+      t += u5 * c4[v];
+      t += u6 * c5[v];
+      t += u7 * c6[v];
+      t += u8 * c7[v];
+      out[v] = t;
+    }
+  }
+  for (; k < d; ++k) {
+    const double uk = u[k];
+    const double* __restrict__ c = items.Col(k);
+    for (int v = 0; v < n; ++v) out[v] += uk * c[v];
+  }
+}
+
+/// out[v] = sum_k (u[k] - colk[v])^2, same ordering and column-grouping
+/// strategy (and hence the same bit-identity guarantee) as
+/// AccumulateDots above.
+LOGIREC_SIMD_CLONES
+void AccumulateSquaredDiffs(const double* u, const ScoringView& items,
+                            double* __restrict__ out) {
+  const int n = items.items();
+  const int d = items.dim();
+  const double u0 = u[0];
+  int k = 1;
+  if (d >= 9) {
+    const double* __restrict__ c0 = items.Col(0);
+    const double* __restrict__ c1 = items.Col(1);
+    const double* __restrict__ c2 = items.Col(2);
+    const double* __restrict__ c3 = items.Col(3);
+    const double* __restrict__ c4 = items.Col(4);
+    const double* __restrict__ c5 = items.Col(5);
+    const double* __restrict__ c6 = items.Col(6);
+    const double* __restrict__ c7 = items.Col(7);
+    const double* __restrict__ c8 = items.Col(8);
+    const double u1 = u[1], u2 = u[2], u3 = u[3], u4 = u[4], u5 = u[5],
+                 u6 = u[6], u7 = u[7], u8 = u[8];
+    for (int v = 0; v < n; ++v) {
+      double diff = u0 - c0[v];
+      double t = diff * diff;
+      diff = u1 - c1[v];
+      t += diff * diff;
+      diff = u2 - c2[v];
+      t += diff * diff;
+      diff = u3 - c3[v];
+      t += diff * diff;
+      diff = u4 - c4[v];
+      t += diff * diff;
+      diff = u5 - c5[v];
+      t += diff * diff;
+      diff = u6 - c6[v];
+      t += diff * diff;
+      diff = u7 - c7[v];
+      t += diff * diff;
+      diff = u8 - c8[v];
+      t += diff * diff;
+      out[v] = t;
+    }
+    k = 9;
+  } else {
+    const double* __restrict__ c0 = items.Col(0);
+    for (int v = 0; v < n; ++v) {
+      const double diff = u0 - c0[v];
+      out[v] = diff * diff;
+    }
+  }
+  for (; k + 8 <= d; k += 8) {
+    const double* __restrict__ c0 = items.Col(k);
+    const double* __restrict__ c1 = items.Col(k + 1);
+    const double* __restrict__ c2 = items.Col(k + 2);
+    const double* __restrict__ c3 = items.Col(k + 3);
+    const double* __restrict__ c4 = items.Col(k + 4);
+    const double* __restrict__ c5 = items.Col(k + 5);
+    const double* __restrict__ c6 = items.Col(k + 6);
+    const double* __restrict__ c7 = items.Col(k + 7);
+    const double u1 = u[k], u2 = u[k + 1], u3 = u[k + 2], u4 = u[k + 3],
+                 u5 = u[k + 4], u6 = u[k + 5], u7 = u[k + 6], u8 = u[k + 7];
+    for (int v = 0; v < n; ++v) {
+      double t = out[v];
+      double diff = u1 - c0[v];
+      t += diff * diff;
+      diff = u2 - c1[v];
+      t += diff * diff;
+      diff = u3 - c2[v];
+      t += diff * diff;
+      diff = u4 - c3[v];
+      t += diff * diff;
+      diff = u5 - c4[v];
+      t += diff * diff;
+      diff = u6 - c5[v];
+      t += diff * diff;
+      diff = u7 - c6[v];
+      t += diff * diff;
+      diff = u8 - c7[v];
+      t += diff * diff;
+      out[v] = t;
+    }
+  }
+  for (; k < d; ++k) {
+    const double uk = u[k];
+    const double* __restrict__ c = items.Col(k);
+    for (int v = 0; v < n; ++v) {
+      const double diff = uk - c[v];
+      out[v] += diff * diff;
+    }
+  }
+}
+
+template <typename FinishFn>
+inline void PoincareFromView(ConstSpan user, const ScoringView& items,
+                             Span out, const FinishFn& finish) {
+  CheckShapes(user, items, out);
+  AccumulateSquaredDiffs(user.data(), items, out.data());
+  const double alpha = std::max(1.0 - SquaredNorm(user), hyper::kBallEps);
+  const double* norms_sq = items.NormsSq();
+  const int n = items.items();
+  for (int v = 0; v < n; ++v) {
+    const double beta = std::max(1.0 - norms_sq[v], hyper::kBallEps);
+    out[v] = finish(1.0 + 2.0 * out[v] / (alpha * beta));
+  }
+}
+
+}  // namespace
+
+void DotsInto(ConstSpan user, const ScoringView& items, Span out) {
+  CheckShapes(user, items, out);
+  AccumulateDots(user.data(), items, out.data(), 1.0);
+}
+
+void NegSquaredEuclideanDistancesInto(ConstSpan user, const ScoringView& items,
+                                      Span out) {
+  CheckShapes(user, items, out);
+  AccumulateSquaredDiffs(user.data(), items, out.data());
+  for (double& o : out) o = -o;
+}
+
+void NegEuclideanDistancesInto(ConstSpan user, const ScoringView& items,
+                               Span out) {
+  CheckShapes(user, items, out);
+  AccumulateSquaredDiffs(user.data(), items, out.data());
+  for (double& o : out) o = -std::sqrt(o);
+}
+
+void LorentzDotsInto(ConstSpan user, const ScoringView& items, Span out) {
+  CheckShapes(user, items, out);
+  AccumulateDots(user.data(), items, out.data(), -1.0);
+}
+
+void NegLorentzDistancesInto(ConstSpan user, const ScoringView& items,
+                             Span out) {
+  CheckShapes(user, items, out);
+  AccumulateDots(user.data(), items, out.data(), -1.0);
+  for (double& o : out) o = -SafeAcosh(-o);
+}
+
+void NegPoincareDistancesInto(ConstSpan user, const ScoringView& items,
+                              Span out) {
+  PoincareFromView(user, items, out,
+                   [](double gamma) { return -SafeAcosh(gamma); });
+}
+
+void NegPoincareGammasInto(ConstSpan user, const ScoringView& items, Span out) {
+  PoincareFromView(user, items, out, [](double gamma) { return -gamma; });
+}
+
+}  // namespace logirec::math

@@ -1,0 +1,117 @@
+#ifndef LOGIREC_MATH_KERNELS_H_
+#define LOGIREC_MATH_KERNELS_H_
+
+#include "math/matrix.h"
+#include "math/vec.h"
+
+namespace logirec::math {
+
+/// Batched scoring kernels: one user row against every row of an item
+/// matrix in a single contiguous pass. These are the hot path of full
+/// ranking (Evaluator::Evaluate scores every item for every user), so the
+/// per-item function-call/virtual-dispatch/bounds-check overhead of the
+/// scalar geometry helpers is hoisted out here.
+///
+/// Contracts shared by every kernel:
+///  * `out.size() == items.rows()` and `user.size() == items.cols()`
+///    (checked once per call, not per item);
+///  * per-item accumulation order matches the corresponding scalar helper
+///    (math::Dot, math::SquaredDistance, hyper::LorentzDot,
+///    hyper::PoincareDistance) exactly, so "exact" kernels are
+///    bit-identical to the seed per-item scoring loops;
+///  * the caller owns `out`; kernels never allocate.
+///
+/// Ranking-mode kernels (`LorentzDotsInto`, `NegSquaredEuclidean...`,
+/// `NegPoincareGammasInto`) apply a strictly monotone transform of the
+/// exact score — acosh and sqrt are strictly increasing, so Top-K order
+/// (including equal-score ties) is preserved while the transcendental per
+/// item disappears.
+
+/// out[v] = <user, items.Row(v)>  (Euclidean dot products).
+void DotsInto(ConstSpan user, const Matrix& items, Span out);
+
+/// out[v] = -||user - items.Row(v)||^2.
+void NegSquaredEuclideanDistancesInto(ConstSpan user, const Matrix& items,
+                                      Span out);
+
+/// out[v] = -||user - items.Row(v)|| (exact Euclidean distance).
+void NegEuclideanDistancesInto(ConstSpan user, const Matrix& items, Span out);
+
+/// out[v] = <user, items.Row(v)>_L (Lorentzian inner products). For points
+/// on the hyperboloid this is the ranking surrogate of the negated
+/// geodesic distance: d = acosh(-<x,y>_L) and acosh is monotone, so
+/// larger dot (= less negative) means closer.
+void LorentzDotsInto(ConstSpan user, const Matrix& items, Span out);
+
+/// out[v] = -acosh(-<user, items.Row(v)>_L) (exact negated Lorentz
+/// geodesic distance, bit-identical to -hyper::LorentzDistance).
+void NegLorentzDistancesInto(ConstSpan user, const Matrix& items, Span out);
+
+/// out[v] = -d_P(user, items.Row(v)) (exact negated Poincaré distance,
+/// bit-identical to -hyper::PoincareDistance).
+void NegPoincareDistancesInto(ConstSpan user, const Matrix& items, Span out);
+
+/// Ranking surrogate for the Poincaré distance: out[v] = -gamma(u, v)
+/// where d_P = acosh(gamma), gamma = 1 + 2||u-v||^2 / (alpha_u * beta_v).
+/// Same order (and ties) as NegPoincareDistancesInto, no acosh.
+void NegPoincareGammasInto(ConstSpan user, const Matrix& items, Span out);
+
+/// Column-major snapshot of an item matrix, for the transposed kernel
+/// overloads below. With columns contiguous, the kernels put the item
+/// index in the inner loop (out[v] += u[k] * col_k[v]), which the
+/// compiler vectorizes across items — the row-major kernels cannot be
+/// vectorized at all, because each item's sum is a serial chain whose
+/// accumulation order is pinned by the bit-identity contract. The
+/// transposed walk adds each item's terms in the same ascending-k order
+/// with the same rounding, so bit-identity is preserved *and* items land
+/// in independent SIMD lanes.
+///
+/// Assign() also caches each item's squared norm (accumulated in the same
+/// ascending-k order as the scalar helpers), which the Poincaré kernels
+/// reuse across every user of an evaluation pass.
+///
+/// Models rebuild their view inside SyncScoringState() — the trainer
+/// calls it before every validation probe and once after Fit(), so the
+/// snapshot is never stale when scoring is legal.
+class ScoringView {
+ public:
+  ScoringView() = default;
+
+  /// Snapshots `items` (transpose + per-item squared norms).
+  void Assign(const Matrix& items);
+
+  int items() const { return n_; }
+  int dim() const { return d_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Column k: the k-th coordinate of every item, contiguous.
+  const double* Col(int k) const { return cols_.data() + static_cast<size_t>(k) * n_; }
+  /// Cached squared norms, one per item.
+  const double* NormsSq() const { return norms_sq_.data(); }
+
+ private:
+  int n_ = 0;
+  int d_ = 0;
+  std::vector<double> cols_;
+  std::vector<double> norms_sq_;
+};
+
+/// Transposed counterparts of the kernels above: identical contracts and
+/// bit-identical outputs, but vectorized across items via the column-major
+/// layout. Prefer these on any hot path where the item matrix is stable
+/// across many users (i.e. whenever a ScoringView is maintained).
+void DotsInto(ConstSpan user, const ScoringView& items, Span out);
+void NegSquaredEuclideanDistancesInto(ConstSpan user, const ScoringView& items,
+                                      Span out);
+void NegEuclideanDistancesInto(ConstSpan user, const ScoringView& items,
+                               Span out);
+void LorentzDotsInto(ConstSpan user, const ScoringView& items, Span out);
+void NegLorentzDistancesInto(ConstSpan user, const ScoringView& items,
+                             Span out);
+void NegPoincareDistancesInto(ConstSpan user, const ScoringView& items,
+                              Span out);
+void NegPoincareGammasInto(ConstSpan user, const ScoringView& items, Span out);
+
+}  // namespace logirec::math
+
+#endif  // LOGIREC_MATH_KERNELS_H_

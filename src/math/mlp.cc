@@ -73,6 +73,30 @@ Vec Mlp::Forward(ConstSpan input) {
   return x;
 }
 
+ConstSpan Mlp::InferInto(ConstSpan input, Vec* scratch_a,
+                         Vec* scratch_b) const {
+  LOGIREC_CHECK(static_cast<int>(input.size()) == dims_.front());
+  Vec* x = scratch_a;
+  Vec* z = scratch_b;
+  x->assign(input.begin(), input.end());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    z->resize(layer.out);
+    for (int o = 0; o < layer.out; ++o) {
+      const double* w = &layer.weights[static_cast<size_t>(o) * layer.in];
+      double s = layer.bias[o];
+      for (int i = 0; i < layer.in; ++i) s += w[i] * (*x)[i];
+      (*z)[o] = s;
+    }
+    if (l + 1 != layers_.size()) {
+      for (double& v : *z) v = Activate(activation_, v);
+    }
+    std::swap(x, z);
+  }
+  return ConstSpan(x->data(), layers_.empty() ? x->size()
+                                              : layers_.back().out);
+}
+
 Vec Mlp::Infer(ConstSpan input) const {
   LOGIREC_CHECK(static_cast<int>(input.size()) == dims_.front());
   Vec x(input.begin(), input.end());

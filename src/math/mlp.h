@@ -29,6 +29,13 @@ class Mlp {
   /// cache-free, safe to call concurrently from many threads.
   Vec Infer(ConstSpan input) const;
 
+  /// Allocation-free Infer(): bit-identical output, but activations
+  /// ping-pong between the two caller-owned scratch vectors (grown on
+  /// first use, capacity reused afterwards). Returns a view of the output
+  /// layer, valid until the next use of either scratch vector. Safe to
+  /// call concurrently as long as each thread owns its scratch pair.
+  ConstSpan InferInto(ConstSpan input, Vec* scratch_a, Vec* scratch_b) const;
+
   /// Backpropagates `grad_output` (length dims.back()) through the most
   /// recent Forward() call. Accumulates parameter gradients internally and
   /// returns dLoss/dInput.

@@ -12,34 +12,47 @@ int DefaultThreadCount() {
   return n == 0 ? 4 : static_cast<int>(n);
 }
 
-void ParallelFor(int begin, int end, const std::function<void(int)>& fn,
-                 int num_threads) {
-  if (end <= begin) return;
-  const int total = end - begin;
+int ResolveWorkerCount(int num_threads, int total) {
+  if (total <= 0) return 0;
   int workers = num_threads > 0 ? num_threads : DefaultThreadCount();
-  workers = std::min(workers, total);
+  return std::min(workers, total);
+}
+
+void ParallelForWorker(int begin, int end,
+                       const std::function<void(int worker, int i)>& fn,
+                       int num_threads) {
+  if (end <= begin) return;
+  const int workers = ResolveWorkerCount(num_threads, end - begin);
   if (workers <= 1) {
-    for (int i = begin; i < end; ++i) fn(i);
+    for (int i = begin; i < end; ++i) fn(0, i);
     return;
   }
 
   std::atomic<int> next{begin};
-  auto work = [&]() {
+  auto work = [&](int worker) {
     // Chunked dynamic scheduling amortizes the atomic increment.
     constexpr int kChunk = 16;
     while (true) {
       int start = next.fetch_add(kChunk, std::memory_order_relaxed);
       if (start >= end) break;
       int stop = std::min(start + kChunk, end);
-      for (int i = start; i < stop; ++i) fn(i);
+      for (int i = start; i < stop; ++i) fn(worker, i);
     }
   };
 
   std::vector<std::thread> threads;
   threads.reserve(workers - 1);
-  for (int t = 0; t < workers - 1; ++t) threads.emplace_back(work);
-  work();
+  for (int t = 0; t < workers - 1; ++t) {
+    threads.emplace_back(work, t + 1);
+  }
+  work(0);
   for (auto& th : threads) th.join();
+}
+
+void ParallelFor(int begin, int end, const std::function<void(int)>& fn,
+                 int num_threads) {
+  ParallelForWorker(
+      begin, end, [&fn](int /*worker*/, int i) { fn(i); }, num_threads);
 }
 
 }  // namespace logirec

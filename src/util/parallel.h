@@ -11,6 +11,18 @@ namespace logirec {
 void ParallelFor(int begin, int end, const std::function<void(int)>& fn,
                  int num_threads = 0);
 
+/// Like ParallelFor, but the callable also receives the worker index
+/// (0 <= worker < ResolveWorkerCount(num_threads, end - begin)), so
+/// callers can maintain per-worker scratch buffers that are reused across
+/// iterations without synchronization.
+void ParallelForWorker(int begin, int end,
+                       const std::function<void(int worker, int i)>& fn,
+                       int num_threads = 0);
+
+/// The number of workers ParallelFor/ParallelForWorker will actually use
+/// for a range of `total` iterations (never more than one per iteration).
+int ResolveWorkerCount(int num_threads, int total);
+
 /// Returns the number of worker threads ParallelFor would use for
 /// num_threads=0.
 int DefaultThreadCount();

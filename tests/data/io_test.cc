@@ -14,7 +14,10 @@ namespace {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/logirec_io_test";
+    // Unique per test case: ctest runs cases as parallel processes, and a
+    // shared directory lets concurrent cases clobber each other's files.
+    dir_ = ::testing::TempDir() + "/logirec_io_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,0 +1,123 @@
+// Kernel-equivalence suite: for every model in the zoo, the batched
+// ScoreItemsInto() path must reproduce the scalar ScoreItems() reference —
+// bit-identical scores in exact mode, identical Top-K order in ranking
+// mode, and identical Recall@K/NDCG@K out of Evaluator::Evaluate whether
+// the evaluator runs the native kernels or the ScoreItems() bridge.
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+
+namespace logirec::eval {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  data::Split split;
+
+  Fixture() {
+    data::SyntheticConfig config;
+    config.name = "cd-mini";
+    config.num_users = 90;
+    config.num_items = 120;
+    config.seed = 17;
+    dataset = data::GenerateSynthetic(config);
+    split = data::TemporalSplit(dataset);
+  }
+};
+
+core::TrainConfig FastConfig() {
+  core::TrainConfig config;
+  config.dim = 16;
+  config.layers = 2;
+  config.epochs = 8;
+  return config;
+}
+
+/// Hides a model's kernel overrides from the evaluator: only the scalar
+/// ScoreItems() is forwarded, so ScoreItemsInto() falls back to the
+/// default bridge — the exact configuration an out-of-tree scorer has.
+class BridgeOnlyScorer : public Scorer {
+ public:
+  explicit BridgeOnlyScorer(const Scorer* inner) : inner_(inner) {}
+  void ScoreItems(int user, std::vector<double>* out) const override {
+    inner_->ScoreItems(user, out);
+  }
+
+ private:
+  const Scorer* inner_;
+};
+
+class EveryModelEquivalenceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryModelEquivalenceTest, KernelPathMatchesScalarReference) {
+  Fixture fx;
+  auto model = baselines::MakeModel(GetParam(), FastConfig());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(fx.dataset, fx.split).ok());
+
+  const int num_items = fx.dataset.num_items;
+  std::vector<double> scalar;
+  std::vector<double> exact(num_items), ranking(num_items);
+  std::vector<int> scratch, kernel_topk;
+  for (int u = 0; u < fx.dataset.num_users; u += 7) {
+    (*model)->ScoreItems(u, &scalar);
+    ASSERT_EQ(static_cast<int>(scalar.size()), num_items);
+
+    // Exact mode is bit-identical to the scalar reference.
+    (*model)->ScoreItemsInto(u, math::Span(exact), ScoreMode::kExact);
+    for (int v = 0; v < num_items; ++v) {
+      ASSERT_EQ(exact[v], scalar[v])
+          << GetParam() << " user " << u << " item " << v;
+    }
+
+    // Ranking mode produces the identical Top-K list.
+    (*model)->ScoreItemsInto(u, math::Span(ranking), ScoreMode::kRanking);
+    TopKInto(math::ConstSpan(ranking), 20, &scratch, &kernel_topk);
+    ASSERT_EQ(kernel_topk, TopK(scalar, 20)) << GetParam() << " user " << u;
+  }
+}
+
+TEST_P(EveryModelEquivalenceTest, EvaluatorMetricsMatchBridgePath) {
+  Fixture fx;
+  auto model = baselines::MakeModel(GetParam(), FastConfig());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(fx.dataset, fx.split).ok());
+
+  Evaluator evaluator(&fx.split, fx.dataset.num_items);
+  const EvalResult native = evaluator.Evaluate(**model);
+  BridgeOnlyScorer bridge((*model).get());
+  const EvalResult bridged = evaluator.Evaluate(bridge);
+
+  ASSERT_EQ(native.users_evaluated, bridged.users_evaluated);
+  ASSERT_EQ(native.mean.size(), bridged.mean.size());
+  for (const auto& [key, value] : native.mean) {
+    EXPECT_EQ(value, bridged.mean.at(key)) << GetParam() << " " << key;
+  }
+  for (const auto& [key, vec] : native.per_user) {
+    EXPECT_EQ(vec, bridged.per_user.at(key)) << GetParam() << " " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelZoo, EveryModelEquivalenceTest,
+    ::testing::ValuesIn(baselines::AllModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace logirec::eval

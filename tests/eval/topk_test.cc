@@ -1,0 +1,128 @@
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace logirec::eval {
+namespace {
+
+/// The original heap-based Top-K selection (the pre-kernel implementation
+/// of eval::TopK), kept verbatim as the reference oracle for the
+/// nth_element-based replacement. Tie-break: at equal score the larger id
+/// is evicted first, so the smaller id ranks first.
+std::vector<int> HeapTopKOracle(const std::vector<double>& scores, int k) {
+  using Entry = std::pair<double, int>;  // (score, item); min-heap by score
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < static_cast<int>(scores.size()); ++i) {
+    if (scores[i] == neg_inf) continue;
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({scores[i], i});
+    } else if (!heap.empty() && cmp({scores[i], i}, heap.top())) {
+      heap.pop();
+      heap.push({scores[i], i});
+    }
+  }
+  std::vector<int> out(heap.size());
+  for (int i = static_cast<int>(heap.size()) - 1; i >= 0; --i) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<double> RandomScores(Rng* rng, int n, bool with_ties,
+                                 double mask_prob) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  std::vector<double> scores(n);
+  for (double& s : scores) {
+    s = rng->Gaussian(0.0, 1.0);
+    // Quantizing forces many exact ties, exercising the id tie-break.
+    if (with_ties) s = std::round(s * 4.0) / 4.0;
+    if (rng->Uniform() < mask_prob) s = neg_inf;
+  }
+  return scores;
+}
+
+TEST(TopKTest, MatchesHeapOracleOnRandomScores) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.Uniform() * 300);
+    const int k = 1 + static_cast<int>(rng.Uniform() * 40);
+    const bool ties = trial % 2 == 0;
+    const auto scores = RandomScores(&rng, n, ties, 0.2);
+    EXPECT_EQ(TopK(scores, k), HeapTopKOracle(scores, k))
+        << "n=" << n << " k=" << k << " ties=" << ties;
+  }
+}
+
+TEST(TopKTest, TopKIntoMatchesTopKAndReusesBuffers) {
+  Rng rng(321);
+  std::vector<int> scratch, out;
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 1 + static_cast<int>(rng.Uniform() * 200);
+    const int k = 1 + static_cast<int>(rng.Uniform() * 30);
+    const auto scores = RandomScores(&rng, n, /*with_ties=*/true, 0.1);
+    TopKInto(math::ConstSpan(scores.data(), scores.size()), k, &scratch,
+             &out);
+    EXPECT_EQ(out, HeapTopKOracle(scores, k));
+  }
+}
+
+TEST(TopKTest, ThresholdScanPathMatchesOracle) {
+  // k*8 < n routes TopKInto through the single-pass threshold scan; pin
+  // it to the heap oracle at realistic catalog sizes, with heavy ties.
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2000 + static_cast<int>(rng.Uniform() * 3000);
+    const int k = 1 + static_cast<int>(rng.Uniform() * 50);
+    const auto scores = RandomScores(&rng, n, /*with_ties=*/true, 0.3);
+    EXPECT_EQ(TopK(scores, k), HeapTopKOracle(scores, k))
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(TopKTest, ScanPathWithFewerSurvivorsThanK) {
+  // Nearly everything masked: the scan must return only the survivors,
+  // ranked, even though it never fills its k-slot buffer.
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  std::vector<double> scores(500, neg_inf);
+  scores[17] = 1.0;
+  scores[400] = 3.0;
+  scores[123] = 2.0;
+  EXPECT_EQ(TopK(scores, 20), (std::vector<int>{400, 123, 17}));
+}
+
+TEST(TopKTest, AllMaskedReturnsEmpty) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  std::vector<double> scores(10, neg_inf);
+  EXPECT_TRUE(TopK(scores, 5).empty());
+}
+
+TEST(TopKTest, KLargerThanCandidatesReturnsAllSorted) {
+  std::vector<double> scores = {1.0, 3.0, 2.0};
+  EXPECT_EQ(TopK(scores, 10), (std::vector<int>{1, 2, 0}));
+}
+
+TEST(TopKTest, EqualScoresPreferSmallerId) {
+  std::vector<double> scores = {2.0, 2.0, 2.0, 1.0};
+  EXPECT_EQ(TopK(scores, 2), (std::vector<int>{0, 1}));
+}
+
+TEST(TopKTest, ZeroOrNegativeKReturnsEmpty) {
+  std::vector<double> scores = {1.0, 2.0};
+  EXPECT_TRUE(TopK(scores, 0).empty());
+}
+
+}  // namespace
+}  // namespace logirec::eval

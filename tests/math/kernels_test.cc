@@ -1,0 +1,238 @@
+#include "math/kernels.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hyper/lorentz.h"
+#include "hyper/poincare.h"
+#include "math/vec.h"
+#include "util/rng.h"
+
+namespace logirec::math {
+namespace {
+
+constexpr int kItems = 97;  // deliberately not a multiple of any block size
+constexpr int kDim = 13;
+
+/// Random Euclidean item matrix + user row.
+struct EuclideanFixture {
+  Matrix items{kItems, kDim};
+  Vec user = Vec(kDim);
+
+  explicit EuclideanFixture(uint64_t seed) {
+    Rng rng(seed);
+    items.FillGaussian(&rng, 1.0);
+    for (double& x : user) x = rng.Gaussian(0.0, 1.0);
+  }
+};
+
+/// Rows projected onto the Lorentz hyperboloid ((d+1)-dimensional).
+struct LorentzFixture {
+  Matrix items{kItems, kDim + 1};
+  Vec user = Vec(kDim + 1);
+
+  explicit LorentzFixture(uint64_t seed) {
+    Rng rng(seed);
+    items.FillGaussian(&rng, 0.5);
+    for (int v = 0; v < items.rows(); ++v) {
+      hyper::ProjectToHyperboloid(items.Row(v));
+    }
+    for (double& x : user) x = rng.Gaussian(0.0, 0.5);
+    hyper::ProjectToHyperboloid(Span(user));
+  }
+};
+
+/// Rows scaled strictly into the Poincaré unit ball.
+struct PoincareFixture {
+  Matrix items{kItems, kDim};
+  Vec user = Vec(kDim);
+
+  explicit PoincareFixture(uint64_t seed) {
+    Rng rng(seed);
+    items.FillGaussian(&rng, 1.0);
+    for (int v = 0; v < items.rows(); ++v) {
+      auto row = items.Row(v);
+      ClipNorm(row, 0.9);
+    }
+    for (double& x : user) x = rng.Gaussian(0.0, 1.0);
+    ClipNorm(Span(user), 0.9);
+  }
+};
+
+TEST(KernelsTest, DotsMatchScalarBitExactly) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    EuclideanFixture fx(seed);
+    Vec out(kItems);
+    DotsInto(fx.user, fx.items, Span(out));
+    for (int v = 0; v < kItems; ++v) {
+      EXPECT_EQ(out[v], Dot(fx.user, fx.items.Row(v))) << "item " << v;
+    }
+  }
+}
+
+TEST(KernelsTest, NegSquaredEuclideanMatchesScalarBitExactly) {
+  for (uint64_t seed : {4u, 5u, 6u}) {
+    EuclideanFixture fx(seed);
+    Vec out(kItems);
+    NegSquaredEuclideanDistancesInto(fx.user, fx.items, Span(out));
+    for (int v = 0; v < kItems; ++v) {
+      EXPECT_EQ(out[v], -SquaredDistance(fx.user, fx.items.Row(v)));
+    }
+  }
+}
+
+TEST(KernelsTest, NegEuclideanMatchesScalarBitExactly) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    EuclideanFixture fx(seed);
+    Vec out(kItems);
+    NegEuclideanDistancesInto(fx.user, fx.items, Span(out));
+    for (int v = 0; v < kItems; ++v) {
+      EXPECT_EQ(out[v], -Distance(fx.user, fx.items.Row(v)));
+    }
+  }
+}
+
+TEST(KernelsTest, LorentzDotsMatchScalarBitExactly) {
+  for (uint64_t seed : {10u, 11u, 12u}) {
+    LorentzFixture fx(seed);
+    Vec out(kItems);
+    LorentzDotsInto(fx.user, fx.items, Span(out));
+    for (int v = 0; v < kItems; ++v) {
+      EXPECT_EQ(out[v], hyper::LorentzDot(fx.user, fx.items.Row(v)));
+    }
+  }
+}
+
+TEST(KernelsTest, NegLorentzDistancesMatchScalarBitExactly) {
+  for (uint64_t seed : {13u, 14u, 15u}) {
+    LorentzFixture fx(seed);
+    Vec out(kItems);
+    NegLorentzDistancesInto(fx.user, fx.items, Span(out));
+    for (int v = 0; v < kItems; ++v) {
+      EXPECT_EQ(out[v], -hyper::LorentzDistance(fx.user, fx.items.Row(v)));
+    }
+  }
+}
+
+TEST(KernelsTest, NegPoincareDistancesMatchScalarBitExactly) {
+  for (uint64_t seed : {16u, 17u, 18u}) {
+    PoincareFixture fx(seed);
+    Vec out(kItems);
+    NegPoincareDistancesInto(fx.user, fx.items, Span(out));
+    for (int v = 0; v < kItems; ++v) {
+      EXPECT_EQ(out[v], -hyper::PoincareDistance(fx.user, fx.items.Row(v)));
+    }
+  }
+}
+
+/// Ranks item indices by a score vector with the evaluator's tie-break
+/// (higher score first, smaller id wins ties).
+std::vector<int> RankAll(const Vec& scores) {
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](int a, int b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  return order;
+}
+
+TEST(KernelsTest, LorentzDotRanksIdenticallyToExactDistance) {
+  for (uint64_t seed : {19u, 20u, 21u}) {
+    LorentzFixture fx(seed);
+    Vec exact(kItems), ranking(kItems);
+    NegLorentzDistancesInto(fx.user, fx.items, Span(exact));
+    LorentzDotsInto(fx.user, fx.items, Span(ranking));
+    EXPECT_EQ(RankAll(exact), RankAll(ranking));
+  }
+}
+
+TEST(KernelsTest, PoincareGammaRanksIdenticallyToExactDistance) {
+  for (uint64_t seed : {22u, 23u, 24u}) {
+    PoincareFixture fx(seed);
+    Vec exact(kItems), ranking(kItems);
+    NegPoincareDistancesInto(fx.user, fx.items, Span(exact));
+    NegPoincareGammasInto(fx.user, fx.items, Span(ranking));
+    EXPECT_EQ(RankAll(exact), RankAll(ranking));
+  }
+}
+
+/// Every transposed (ScoringView) kernel must be bit-identical to its
+/// row-major counterpart — the column-major walk changes the loop nest,
+/// not any item's accumulation order.
+TEST(ScoringViewTest, TransposedKernelsMatchRowMajorBitExactly) {
+  for (uint64_t seed : {26u, 27u, 28u}) {
+    EuclideanFixture eu(seed);
+    ScoringView eu_view;
+    eu_view.Assign(eu.items);
+    ASSERT_EQ(eu_view.items(), kItems);
+    ASSERT_EQ(eu_view.dim(), kDim);
+    Vec row_major(kItems), transposed(kItems);
+
+    DotsInto(eu.user, eu.items, Span(row_major));
+    DotsInto(eu.user, eu_view, Span(transposed));
+    EXPECT_EQ(row_major, transposed);
+
+    NegSquaredEuclideanDistancesInto(eu.user, eu.items, Span(row_major));
+    NegSquaredEuclideanDistancesInto(eu.user, eu_view, Span(transposed));
+    EXPECT_EQ(row_major, transposed);
+
+    NegEuclideanDistancesInto(eu.user, eu.items, Span(row_major));
+    NegEuclideanDistancesInto(eu.user, eu_view, Span(transposed));
+    EXPECT_EQ(row_major, transposed);
+
+    LorentzFixture lo(seed);
+    ScoringView lo_view;
+    lo_view.Assign(lo.items);
+
+    LorentzDotsInto(lo.user, lo.items, Span(row_major));
+    LorentzDotsInto(lo.user, lo_view, Span(transposed));
+    EXPECT_EQ(row_major, transposed);
+
+    NegLorentzDistancesInto(lo.user, lo.items, Span(row_major));
+    NegLorentzDistancesInto(lo.user, lo_view, Span(transposed));
+    EXPECT_EQ(row_major, transposed);
+
+    PoincareFixture po(seed);
+    ScoringView po_view;
+    po_view.Assign(po.items);
+
+    NegPoincareDistancesInto(po.user, po.items, Span(row_major));
+    NegPoincareDistancesInto(po.user, po_view, Span(transposed));
+    EXPECT_EQ(row_major, transposed);
+
+    NegPoincareGammasInto(po.user, po.items, Span(row_major));
+    NegPoincareGammasInto(po.user, po_view, Span(transposed));
+    EXPECT_EQ(row_major, transposed);
+  }
+}
+
+TEST(ScoringViewTest, ReassignTracksNewContents) {
+  EuclideanFixture a(40), b(41);
+  ScoringView view;
+  view.Assign(a.items);
+  Vec expect(kItems), got(kItems);
+  view.Assign(b.items);  // must fully replace the old snapshot
+  DotsInto(b.user, b.items, Span(expect));
+  DotsInto(b.user, view, Span(got));
+  EXPECT_EQ(expect, got);
+}
+
+TEST(KernelsTest, RankingSurrogatesPreserveExactTies) {
+  // Duplicate rows produce exactly equal scores in both modes, so the
+  // id tie-break must kick in identically.
+  LorentzFixture fx(25);
+  for (int v = 1; v < kItems; v += 2) {
+    Copy(fx.items.Row(v - 1), fx.items.Row(v));
+  }
+  Vec exact(kItems), ranking(kItems);
+  NegLorentzDistancesInto(fx.user, fx.items, Span(exact));
+  LorentzDotsInto(fx.user, fx.items, Span(ranking));
+  EXPECT_EQ(RankAll(exact), RankAll(ranking));
+}
+
+}  // namespace
+}  // namespace logirec::math

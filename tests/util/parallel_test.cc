@@ -47,5 +47,46 @@ TEST(ParallelForTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(DefaultThreadCount(), 1);
 }
 
+TEST(ResolveWorkerCountTest, NeverExceedsWorkOrRequest) {
+  EXPECT_EQ(ResolveWorkerCount(4, 100), 4);
+  EXPECT_EQ(ResolveWorkerCount(8, 3), 3);
+  EXPECT_EQ(ResolveWorkerCount(0, 1), 1);
+  EXPECT_EQ(ResolveWorkerCount(4, 0), 0);
+  EXPECT_EQ(ResolveWorkerCount(0, 1'000'000), DefaultThreadCount());
+}
+
+TEST(ParallelForWorkerTest, VisitsEachIndexOnceWithValidWorkerIds) {
+  constexpr int kN = 5'000;
+  const int workers = ResolveWorkerCount(4, kN);
+  std::vector<std::atomic<int>> counts(kN);
+  std::vector<std::atomic<int>> worker_hits(workers);
+  ParallelForWorker(
+      0, kN,
+      [&](int worker, int i) {
+        ASSERT_GE(worker, 0);
+        ASSERT_LT(worker, workers);
+        ++counts[i];
+        ++worker_hits[worker];
+      },
+      /*num_threads=*/4);
+  for (int i = 0; i < kN; ++i) ASSERT_EQ(counts[i].load(), 1) << i;
+  long total = 0;
+  for (int w = 0; w < workers; ++w) total += worker_hits[w].load();
+  EXPECT_EQ(total, kN);
+}
+
+TEST(ParallelForWorkerTest, SingleThreadUsesWorkerZeroInOrder) {
+  std::vector<int> order;
+  ParallelForWorker(
+      0, 6,
+      [&](int worker, int i) {
+        EXPECT_EQ(worker, 0);
+        order.push_back(i);
+      },
+      /*num_threads=*/1);
+  ASSERT_EQ(order.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(order[i], i);
+}
+
 }  // namespace
 }  // namespace logirec
