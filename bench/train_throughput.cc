@@ -1,0 +1,286 @@
+// Training throughput bench: times the legacy sequential stream
+// (ParallelMode::kSequential at 1 thread, the seed behavior) against the
+// deterministic sharded pipeline (ParallelMode::kDeterministic at 1, 2,
+// and N threads) for each model, and writes BENCH_training.json — the
+// tracked perf trajectory of the training hot path.
+//
+// Reported numbers come from the Trainer's own telemetry: EpochStats
+// .seconds covers training work only (validation probes are split into
+// probe_seconds), so epochs/sec and edges/sec measure exactly the epoch
+// driver + TrainOnBatch + propagation.
+//
+// Regression gate (--baseline): compares each model's *speedup*
+// (deterministic epochs/sec at N threads over the same run's sequential
+// epochs/sec at 1 thread) against the committed baseline. The ratio is
+// measured inside one run on one machine, so the gate is robust to CI
+// hardware variance.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/trainer.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace logirec::bench {
+namespace {
+
+/// Sums the Trainer's per-epoch telemetry: training time with probe time
+/// split out, exactly as EpochStats reports them.
+struct SecondsObserver final : core::TrainObserver {
+  double train_seconds = 0.0;
+  double probe_seconds = 0.0;
+  int epochs = 0;
+  void OnEpochEnd(const core::EpochStats& stats) override {
+    train_seconds += stats.seconds;
+    probe_seconds += stats.probe_seconds;
+    ++epochs;
+  }
+};
+
+struct RunStats {
+  std::string label;  // e.g. "seq@1" or "det@8"
+  double seconds = 0.0;
+  double epochs_per_sec = 0.0;
+  double edges_per_sec = 0.0;
+};
+
+struct ModelReport {
+  std::string model;
+  std::vector<RunStats> runs;
+  double speedup = 0.0;  // det at max threads over seq at 1 thread
+};
+
+/// Fits once and reports throughput from the Trainer's telemetry. The
+/// caller repeats this and keeps the fastest run — training work is
+/// deterministic per (mode, threads), so the best of R repeats is the
+/// least-noise estimate on a shared machine.
+RunStats TrainOnce(const std::string& name, core::TrainConfig config,
+                   const BenchDataset& bd, core::ParallelMode mode,
+                   int threads, long num_edges) {
+  config.parallel_mode = mode;
+  config.num_threads = threads;
+  SecondsObserver obs;
+  config.observer = &obs;
+  auto model = baselines::MakeModel(name, config);
+  LOGIREC_CHECK_MSG(model.ok(), model.status().ToString());
+  const Status st = (*model)->Fit(bd.dataset, bd.split);
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+
+  RunStats stats;
+  stats.label = StrFormat(
+      "%s@%d", mode == core::ParallelMode::kSequential ? "seq" : "det",
+      threads);
+  stats.seconds = obs.train_seconds;
+  const double s = std::max(obs.train_seconds, 1e-12);
+  stats.epochs_per_sec = obs.epochs / s;
+  stats.edges_per_sec = static_cast<double>(num_edges) * obs.epochs / s;
+  return stats;
+}
+
+RunStats BestOf(const std::string& name, const core::TrainConfig& config,
+                const BenchDataset& bd, core::ParallelMode mode, int threads,
+                long num_edges, int repeats) {
+  RunStats best = TrainOnce(name, config, bd, mode, threads, num_edges);
+  for (int r = 1; r < repeats; ++r) {
+    RunStats run = TrainOnce(name, config, bd, mode, threads, num_edges);
+    if (run.epochs_per_sec > best.epochs_per_sec) best = run;
+  }
+  return best;
+}
+
+ModelReport BenchModel(const std::string& name,
+                       const core::TrainConfig& config,
+                       const BenchDataset& bd, int max_threads,
+                       int repeats) {
+  long num_edges = 0;
+  for (const auto& items : bd.split.train) num_edges += items.size();
+
+  ModelReport report;
+  report.model = name;
+  report.runs.push_back(BestOf(name, config, bd,
+                               core::ParallelMode::kSequential, 1,
+                               num_edges, repeats));
+  std::vector<int> thread_counts = {1, 2};
+  if (max_threads > 2) thread_counts.push_back(max_threads);
+  for (int t : thread_counts) {
+    report.runs.push_back(BestOf(name, config, bd,
+                                 core::ParallelMode::kDeterministic, t,
+                                 num_edges, repeats));
+  }
+  report.speedup = report.runs.back().epochs_per_sec /
+                   std::max(report.runs.front().epochs_per_sec, 1e-12);
+  return report;
+}
+
+void WriteJson(const std::string& path, const BenchDataset& bd,
+               const core::TrainConfig& config, int max_threads,
+               const std::vector<ModelReport>& reports) {
+  std::ostringstream out;
+  long num_edges = 0;
+  for (const auto& items : bd.split.train) num_edges += items.size();
+  out << "{\n  \"meta\": "
+      << StrFormat(
+             "{\"dataset\": \"%s\", \"users\": %d, \"items\": %d, "
+             "\"train_edges\": %ld, \"dim\": %d, \"layers\": %d, "
+             "\"epochs\": %d, \"max_threads\": %d, \"host_cores\": %u}",
+             bd.dataset.name.c_str(), bd.dataset.num_users,
+             bd.dataset.num_items, num_edges, config.dim, config.layers,
+             config.epochs, max_threads,
+             std::thread::hardware_concurrency())
+      << ",\n  \"models\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ModelReport& r = reports[i];
+    out << StrFormat("    {\"model\": \"%s\", \"speedup\": %.3f,\n",
+                     r.model.c_str(), r.speedup)
+        << "     \"runs\": [";
+    for (size_t j = 0; j < r.runs.size(); ++j) {
+      const RunStats& run = r.runs[j];
+      out << StrFormat(
+          "%s{\"mode\": \"%s\", \"seconds\": %.3f, "
+          "\"epochs_per_sec\": %.3f, \"edges_per_sec\": %.1f}",
+          j == 0 ? "" : ",\n              ", run.label.c_str(), run.seconds,
+          run.epochs_per_sec, run.edges_per_sec);
+    }
+    out << "]}" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot write " + path);
+  f << out.str();
+}
+
+/// Minimal extraction of per-model speedups from a BENCH_training.json
+/// produced by WriteJson (not a general JSON parser).
+std::map<std::string, double> ReadBaselineSpeedups(const std::string& path) {
+  std::ifstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot read baseline " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  std::map<std::string, double> speedups;
+  size_t pos = 0;
+  const std::string model_key = "\"model\": \"";
+  const std::string speedup_key = "\"speedup\": ";
+  while ((pos = text.find(model_key, pos)) != std::string::npos) {
+    pos += model_key.size();
+    const size_t name_end = text.find('"', pos);
+    LOGIREC_CHECK(name_end != std::string::npos);
+    const std::string name = text.substr(pos, name_end - pos);
+    const size_t spos = text.find(speedup_key, name_end);
+    LOGIREC_CHECK_MSG(spos != std::string::npos,
+                      "baseline missing speedup for " + name);
+    speedups[name] = std::stod(text.substr(spos + speedup_key.size()));
+    pos = name_end;
+  }
+  return speedups;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("models", "LogiRec,LogiRec++,HGCF,LightGCN,BPRMF,CML",
+                  "comma-separated model names, or 'all' for the full zoo");
+  flags.AddString("dataset", "cd", "benchmark dataset preset");
+  flags.AddDouble("scale", 0.4, "dataset scale factor");
+  flags.AddInt("dim", 32, "embedding dimension");
+  flags.AddInt("layers", 3, "GCN layers");
+  flags.AddInt("epochs", 8, "training epochs per timed run");
+  flags.AddInt("repeats", 3,
+               "timed fits per (mode, threads) config; the fastest run is "
+               "reported");
+  flags.AddInt("threads", 0,
+               "max worker count for the widest run (0 = hardware)");
+  flags.AddString("out", "BENCH_training.json", "output JSON path");
+  flags.AddString("baseline", "",
+                  "committed BENCH_training.json to gate against (empty = "
+                  "no gate)");
+  flags.AddDouble("max-regression", 0.30,
+                  "fail if a model's speedup drops more than this "
+                  "fraction below the baseline");
+  const Status st = flags.Parse(argc, argv);
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  core::TrainConfig config;
+  config.dim = flags.GetInt("dim");
+  config.layers = flags.GetInt("layers");
+  config.epochs = flags.GetInt("epochs");
+  config.seed = 7;
+
+  int max_threads = flags.GetInt("threads");
+  if (max_threads <= 0) {
+    max_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  const BenchDataset bd =
+      MakeBenchDataset(flags.GetString("dataset"), flags.GetDouble("scale"));
+  std::vector<std::string> models;
+  if (flags.GetString("models") == "all") {
+    models = baselines::AllModelNames();
+  } else {
+    models = Split(flags.GetString("models"), ',');
+  }
+
+  std::printf(
+      "train_throughput: %s users=%d items=%d dim=%d layers=%d epochs=%d "
+      "max_threads=%d\n",
+      bd.dataset.name.c_str(), bd.dataset.num_users, bd.dataset.num_items,
+      config.dim, config.layers, config.epochs, max_threads);
+  std::printf("%-10s %12s %12s %12s %12s %9s\n", "model", "seq@1 ep/s",
+              "det@1 ep/s", "det@2 ep/s",
+              StrFormat("det@%d ep/s", max_threads).c_str(), "speedup");
+
+  std::vector<ModelReport> reports;
+  for (const std::string& name : models) {
+    reports.push_back(
+        BenchModel(name, config, bd, max_threads, flags.GetInt("repeats")));
+    const ModelReport& r = reports.back();
+    std::printf("%-10s", r.model.c_str());
+    for (const RunStats& run : r.runs) {
+      std::printf(" %12.2f", run.epochs_per_sec);
+    }
+    std::printf(" %8.2fx\n", r.speedup);
+  }
+
+  WriteJson(flags.GetString("out"), bd, config, max_threads, reports);
+  std::printf("wrote %s\n", flags.GetString("out").c_str());
+
+  if (!flags.GetString("baseline").empty()) {
+    const auto baseline = ReadBaselineSpeedups(flags.GetString("baseline"));
+    const double max_regression = flags.GetDouble("max-regression");
+    bool failed = false;
+    for (const ModelReport& r : reports) {
+      auto it = baseline.find(r.model);
+      if (it == baseline.end()) continue;
+      const double floor = it->second * (1.0 - max_regression);
+      if (r.speedup < floor) {
+        std::printf(
+            "REGRESSION %s: speedup %.2fx < %.2fx (baseline %.2fx - %.0f%% "
+            "tolerance)\n",
+            r.model.c_str(), r.speedup, floor, it->second,
+            100.0 * max_regression);
+        failed = true;
+      }
+    }
+    if (failed) return 1;
+    std::printf("regression gate passed (tolerance %.0f%%)\n",
+                100.0 * flags.GetDouble("max-regression"));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace logirec::bench
+
+int main(int argc, char** argv) { return logirec::bench::Main(argc, argv); }

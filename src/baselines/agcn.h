@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/shard_grads.h"
 #include "core/trainer.h"
 #include "math/kernels.h"
 #include "graph/propagation.h"
@@ -53,6 +54,9 @@ class Agcn final : public core::Recommender, private core::Trainable {
   std::unique_ptr<graph::GcnPropagator> prop_;
   math::Matrix fused_;
   const std::vector<std::vector<int>>* item_tags_ = nullptr;
+  // Persistent per-batch scratch (capacity reused; freed after Fit()).
+  math::Matrix fu_, fv_, gfu_, gfv_, gu_, gv_;
+  core::PairGradSlots slots_;
   bool fitted_ = false;
 };
 

@@ -40,7 +40,7 @@ double Amf::TrainOnBatch(const core::BatchContext& ctx) {
   double loss = 0.0;
   for (int i = ctx.begin; i < ctx.end; ++i) {
     const auto [u, pos] = ctx.pairs[i];
-    const int neg = ctx.SampleNegative(u);
+    const int neg = ctx.Negative(i);
     auto pu = user_.Row(u);
     const math::Vec qi = EffectiveItem(pos);
     const math::Vec qj = EffectiveItem(neg);

@@ -31,7 +31,7 @@ double Bprmf::TrainOnBatch(const core::BatchContext& ctx) {
   double loss = 0.0;
   for (int i = ctx.begin; i < ctx.end; ++i) {
     const auto [u, pos] = ctx.pairs[i];
-    const int neg = ctx.SampleNegative(u);
+    const int neg = ctx.Negative(i);
     auto pu = user_.Row(u);
     auto qi = item_.Row(pos);
     auto qj = item_.Row(neg);

@@ -80,7 +80,7 @@ double Gdcf::TrainOnBatch(const core::BatchContext& ctx) {
   std::vector<double> dist_pos(kChunks), dist_neg(kChunks);
   for (int i = ctx.begin; i < ctx.end; ++i) {
     const auto [u, pos] = ctx.pairs[i];
-    const int neg = ctx.SampleNegative(u);
+    const int neg = ctx.Negative(i);
     const double dp = FusedDistance(u, pos, &dist_pos);
     const double dn = FusedDistance(u, neg, &dist_neg);
     const double hinge = margin + dp - dn;

@@ -27,7 +27,9 @@ Status Hgcf::Fit(const data::Dataset& dataset, const data::Split& split) {
   core::InitLorentzRows(&item_, &rng, 0.05);
 
   graph_ = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
-  hgcn_ = std::make_unique<core::HyperbolicGcn>(graph_.get(), config_.layers);
+  hgcn_ = std::make_unique<core::HyperbolicGcn>(graph_.get(), config_.layers,
+                                                graph::Norm::kReceiver,
+                                                config_.num_threads);
   user_opt_ = std::make_unique<opt::LorentzRsgd>(config_.learning_rate,
                                                  config_.grad_clip);
   item_opt_ = std::make_unique<opt::LorentzRsgd>(config_.learning_rate,
@@ -39,6 +41,13 @@ Status Hgcf::Fit(const data::Dataset& dataset, const data::Split& split) {
   hgcn_.reset();
   user_opt_.reset();
   item_opt_.reset();
+  fu_ = math::Matrix();
+  fv_ = math::Matrix();
+  gfu_ = math::Matrix();
+  gfv_ = math::Matrix();
+  gu_ = math::Matrix();
+  gv_ = math::Matrix();
+  slots_ = core::PairGradSlots();
   return Status::OK();
 }
 
@@ -48,32 +57,76 @@ double Hgcf::TrainOnBatch(const core::BatchContext& ctx) {
   const int ni = item_.rows();
   double loss = 0.0;
 
-  math::Matrix fu, fv;
+  math::Matrix& fu = fu_;
+  math::Matrix& fv = fv_;
   hgcn_->Forward(user_, item_, &fu, &fv);
 
   // Per-model tuning (Section VI-A4 tunes every baseline): the pure
   // Lorentz metric models prefer a wider margin than the shared
   // default at this data scale (grid-searched over {1, 2, 4}x).
   const double margin = config_.margin * 2.0;
-  math::Matrix gfu(nu, d + 1), gfv(ni, d + 1);
-  for (int i = ctx.begin; i < ctx.end; ++i) {
-    const auto [u, pos] = ctx.pairs[i];
-    for (int k = 0; k < config_.negatives_per_positive; ++k) {
-      const int neg = ctx.SampleNegative(u);
-      const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
-      const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
-      const double hinge = margin + dpos - dneg;
-      if (hinge <= 0.0) continue;
-      loss += hinge;
-      hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), 1.0, gfu.Row(u),
-                                 gfv.Row(pos));
-      hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -1.0,
-                                 gfu.Row(u), gfv.Row(neg));
+  const int npp = config_.negatives_per_positive;
+  math::Matrix& gfu = gfu_;
+  math::Matrix& gfv = gfv_;
+  gfu.Reset(nu, d + 1);
+  gfv.Reset(ni, d + 1);
+  if (ctx.mode == core::ParallelMode::kDeterministic) {
+    // Two-phase deterministic pipeline: parallel per-pair slot fill from
+    // the batch-start embeddings and pre-drawn negatives, then an ordered
+    // single-thread fold — bit-identical for every thread count.
+    slots_.Shape(ctx.size(), npp, d + 1);
+    ParallelFor(0, ctx.size(), [&](int p) {
+      const int i = ctx.begin + p;
+      const auto [u, pos] = ctx.pairs[i];
+      slots_.Clear(p);
+      double pair_loss = 0.0;
+      for (int k = 0; k < npp; ++k) {
+        const int neg = ctx.Negative(i, k);
+        slots_.NegId(p, k) = neg;
+        const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
+        const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
+        const double hinge = margin + dpos - dneg;
+        if (hinge <= 0.0) continue;
+        pair_loss += hinge;
+        hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), 1.0,
+                                   slots_.GradUser(p), slots_.GradPos(p));
+        hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -1.0,
+                                   slots_.GradUser(p), slots_.GradNeg(p, k));
+      }
+      slots_.Loss(p) = pair_loss;
+    }, ctx.num_threads);
+    for (int p = 0; p < ctx.size(); ++p) {
+      const auto [u, pos] = ctx.pairs[ctx.begin + p];
+      loss += slots_.Loss(p);
+      math::Axpy(1.0, slots_.GradUser(p), gfu.Row(u));
+      math::Axpy(1.0, slots_.GradPos(p), gfv.Row(pos));
+      for (int k = 0; k < npp; ++k) {
+        math::Axpy(1.0, slots_.GradNeg(p, k), gfv.Row(slots_.NegId(p, k)));
+      }
+    }
+  } else {
+    for (int i = ctx.begin; i < ctx.end; ++i) {
+      const auto [u, pos] = ctx.pairs[i];
+      for (int k = 0; k < npp; ++k) {
+        const int neg = ctx.Negative(i, k);
+        const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
+        const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
+        const double hinge = margin + dpos - dneg;
+        if (hinge <= 0.0) continue;
+        loss += hinge;
+        hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), 1.0, gfu.Row(u),
+                                   gfv.Row(pos));
+        hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -1.0,
+                                   gfu.Row(u), gfv.Row(neg));
+      }
     }
   }
   AddRegularizerGrad(fu, fv, &gfu, &gfv);
 
-  math::Matrix gu(nu, d + 1), gv(ni, d + 1);
+  math::Matrix& gu = gu_;
+  math::Matrix& gv = gv_;
+  gu.Reset(nu, d + 1);
+  gv.Reset(ni, d + 1);
   hgcn_->Backward(gfu, gfv, &gu, &gv);
 
   // Stability clamp: bound the distance-to-origin of the base

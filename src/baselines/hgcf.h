@@ -7,6 +7,7 @@
 
 #include "core/hgcn.h"
 #include "core/recommender.h"
+#include "core/shard_grads.h"
 #include "core/trainer.h"
 #include "math/kernels.h"
 #include "graph/bipartite_graph.h"
@@ -48,6 +49,9 @@ class Hgcf : public core::Recommender, private core::Trainable {
 
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
+  int NegativeDrawsPerPair() const override {
+    return config_.negatives_per_positive;
+  }
   void SyncScoringState() override;
   void CollectParameters(core::ParameterSet* params) override;
 
@@ -55,6 +59,9 @@ class Hgcf : public core::Recommender, private core::Trainable {
   std::unique_ptr<graph::BipartiteGraph> graph_;
   std::unique_ptr<core::HyperbolicGcn> hgcn_;
   std::unique_ptr<opt::LorentzRsgd> user_opt_, item_opt_;
+  // Persistent per-batch scratch (capacity reused; freed after Fit()).
+  math::Matrix fu_, fv_, gfu_, gfv_, gu_, gv_;
+  core::PairGradSlots slots_;
 };
 
 /// HRCF (Yang et al. 2022): HGCF plus a hyperbolic geometric regularizer

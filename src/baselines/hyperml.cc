@@ -15,9 +15,6 @@ Status HyperMl::Fit(const data::Dataset& dataset, const data::Split& split) {
   item_ = math::Matrix(dataset.num_items, d);
   core::InitPoincareRows(&user_, &rng, 0.05);
   core::InitPoincareRows(&item_, &rng, 0.05);
-  grad_u_.assign(d, 0.0);
-  grad_i_.assign(d, 0.0);
-  grad_j_.assign(d, 0.0);
 
   core::Trainer trainer(config_);
   trainer.Train(this, split, dataset.num_items, &rng, this);
@@ -31,15 +28,18 @@ double HyperMl::TrainOnBatch(const core::BatchContext& ctx) {
   const double distortion_weight = 0.05;
   double loss = 0.0;
 
+  // Local gradient scratch keeps TrainOnBatch free of shared mutable state
+  // (shard-safe); the vectors are reused across all pairs in the batch.
+  math::Vec grad_u(d), grad_i(d), grad_j(d);
   for (int i = ctx.begin; i < ctx.end; ++i) {
     const auto [u, pos] = ctx.pairs[i];
-    const int neg = ctx.SampleNegative(u);
+    const int neg = ctx.Negative(i);
     auto pu = user_.Row(u);
     auto qi = item_.Row(pos);
     auto qj = item_.Row(neg);
-    math::Zero(math::Span(grad_u_));
-    math::Zero(math::Span(grad_i_));
-    math::Zero(math::Span(grad_j_));
+    math::Zero(math::Span(grad_u));
+    math::Zero(math::Span(grad_i));
+    math::Zero(math::Span(grad_j));
 
     const double dpos = hyper::PoincareDistance(pu, qi);
     const double dneg = hyper::PoincareDistance(pu, qj);
@@ -47,10 +47,10 @@ double HyperMl::TrainOnBatch(const core::BatchContext& ctx) {
     const double hinge = margin + dpos - dneg;
     if (hinge > 0.0) {
       loss += hinge;
-      hyper::PoincareDistanceGrad(pu, qi, 1.0, math::Span(grad_u_),
-                                  math::Span(grad_i_));
-      hyper::PoincareDistanceGrad(pu, qj, -1.0, math::Span(grad_u_),
-                                  math::Span(grad_j_));
+      hyper::PoincareDistanceGrad(pu, qi, 1.0, math::Span(grad_u),
+                                  math::Span(grad_i));
+      hyper::PoincareDistanceGrad(pu, qj, -1.0, math::Span(grad_u),
+                                  math::Span(grad_j));
       any = true;
     }
     // Distortion regularizer: keep the hyperbolic distance of positive
@@ -61,18 +61,18 @@ double HyperMl::TrainOnBatch(const core::BatchContext& ctx) {
     if (distortion_weight > 0.0 && de > 1e-9) {
       loss += 0.5 * distortion_weight * gap * gap;
       hyper::PoincareDistanceGrad(pu, qi, distortion_weight * gap,
-                                  math::Span(grad_u_), math::Span(grad_i_));
+                                  math::Span(grad_u), math::Span(grad_i));
       for (int k = 0; k < d; ++k) {
         const double ge = distortion_weight * gap * (pu[k] - qi[k]) / de;
-        grad_u_[k] -= ge;
-        grad_i_[k] += ge;
+        grad_u[k] -= ge;
+        grad_i[k] += ge;
       }
       any = true;
     }
     if (!any) continue;
-    hyper::RsgdStepPoincare(pu, grad_u_, lr);
-    hyper::RsgdStepPoincare(qi, grad_i_, lr);
-    hyper::RsgdStepPoincare(qj, grad_j_, lr);
+    hyper::RsgdStepPoincare(pu, grad_u, lr);
+    hyper::RsgdStepPoincare(qi, grad_i, lr);
+    hyper::RsgdStepPoincare(qj, grad_j, lr);
   }
   return loss;
 }

@@ -37,7 +37,6 @@ class HyperMl final : public core::Recommender, private core::Trainable {
   core::TrainConfig config_;
   math::Matrix user_, item_;
   math::ScoringView item_view_;
-  math::Vec grad_u_, grad_i_, grad_j_;  ///< per-triplet scratch
   bool fitted_ = false;
 };
 

@@ -23,12 +23,20 @@ Status LightGcn::Fit(const data::Dataset& dataset, const data::Split& split) {
 
   graph_ = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
   prop_ = std::make_unique<graph::GcnPropagator>(graph_.get(), config_.layers,
-                                                 graph::Norm::kSymmetric);
+                                                 graph::Norm::kSymmetric,
+                                                 config_.num_threads);
 
   core::Trainer trainer(config_);
   trainer.Train(this, split, dataset.num_items, &rng, this);
   graph_.reset();
   prop_.reset();
+  fu_ = math::Matrix();
+  fv_ = math::Matrix();
+  gfu_ = math::Matrix();
+  gfv_ = math::Matrix();
+  gu0_ = math::Matrix();
+  gv0_ = math::Matrix();
+  slots_ = core::PairGradSlots();
   return Status::OK();
 }
 
@@ -41,35 +49,65 @@ double LightGcn::TrainOnBatch(const core::BatchContext& ctx) {
   const double layer_avg = 1.0 / (config_.layers + 1);
   double loss = 0.0;
 
-  math::Matrix fu, fv;
+  math::Matrix& fu = fu_;
+  math::Matrix& fv = fv_;
   prop_->Forward(user_, item_, &fu, &fv, /*include_layer0=*/true);
   // Layer averaging (absorb the 1/(L+1) factor explicitly).
   for (double& x : fu.data()) x *= layer_avg;
   for (double& x : fv.data()) x *= layer_avg;
 
-  math::Matrix gfu(nu, d), gfv(ni, d);
-  for (int i = ctx.begin; i < ctx.end; ++i) {
-    const auto [u, pos] = ctx.pairs[i];
+  // One BPR triplet per pair; its gradient is a pure function of the
+  // batch-start embeddings, so the slot fill parallelizes per pair.
+  auto triplet = [&](int u, int pos, int neg, math::Span gu, math::Span gi,
+                     math::Span gj) {
     auto eu = fu.Row(u);
-    const int neg = ctx.SampleNegative(u);
     auto ei = fv.Row(pos);
     auto ej = fv.Row(neg);
     const double x = math::Dot(eu, ei) - math::Dot(eu, ej);
     const double g = Sigmoid(-x);  // BPR
-    loss += -std::log(std::max(Sigmoid(x), 1e-300));
-    auto gu = gfu.Row(u);
-    auto gi = gfv.Row(pos);
-    auto gj = gfv.Row(neg);
     for (int k = 0; k < d; ++k) {
       gu[k] += -g * (ei[k] - ej[k]);
       gi[k] += -g * eu[k];
       gj[k] += g * eu[k];
     }
+    return -std::log(std::max(Sigmoid(x), 1e-300));
+  };
+  math::Matrix& gfu = gfu_;
+  math::Matrix& gfv = gfv_;
+  gfu.Reset(nu, d);
+  gfv.Reset(ni, d);
+  if (ctx.mode == core::ParallelMode::kDeterministic) {
+    slots_.Shape(ctx.size(), /*draws=*/1, d);
+    ParallelFor(0, ctx.size(), [&](int p) {
+      const int i = ctx.begin + p;
+      const auto [u, pos] = ctx.pairs[i];
+      const int neg = ctx.Negative(i);
+      slots_.NegId(p, 0) = neg;
+      slots_.Clear(p);
+      slots_.Loss(p) = triplet(u, pos, neg, slots_.GradUser(p),
+                               slots_.GradPos(p), slots_.GradNeg(p, 0));
+    }, ctx.num_threads);
+    for (int p = 0; p < ctx.size(); ++p) {
+      const auto [u, pos] = ctx.pairs[ctx.begin + p];
+      loss += slots_.Loss(p);
+      math::Axpy(1.0, slots_.GradUser(p), gfu.Row(u));
+      math::Axpy(1.0, slots_.GradPos(p), gfv.Row(pos));
+      math::Axpy(1.0, slots_.GradNeg(p, 0), gfv.Row(slots_.NegId(p, 0)));
+    }
+  } else {
+    for (int i = ctx.begin; i < ctx.end; ++i) {
+      const auto [u, pos] = ctx.pairs[i];
+      const int neg = ctx.Negative(i);
+      loss += triplet(u, pos, neg, gfu.Row(u), gfv.Row(pos), gfv.Row(neg));
+    }
   }
   for (double& x : gfu.data()) x *= layer_avg;
   for (double& x : gfv.data()) x *= layer_avg;
 
-  math::Matrix gu0(nu, d), gv0(ni, d);
+  math::Matrix& gu0 = gu0_;
+  math::Matrix& gv0 = gv0_;
+  gu0.Reset(nu, d);
+  gv0.Reset(ni, d);
   prop_->Backward(gfu, gfv, &gu0, &gv0, /*include_layer0=*/true);
 
   ParallelFor(0, nu, [&](int u) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/recommender.h"
+#include "core/shard_grads.h"
 #include "core/trainer.h"
 #include "math/kernels.h"
 #include "graph/propagation.h"
@@ -42,6 +43,9 @@ class LightGcn final : public core::Recommender, private core::Trainable {
   // Training-time state, alive only while Fit() runs.
   std::unique_ptr<graph::BipartiteGraph> graph_;
   std::unique_ptr<graph::GcnPropagator> prop_;
+  // Persistent per-batch scratch (capacity reused; freed after Fit()).
+  math::Matrix fu_, fv_, gfu_, gfv_, gu0_, gv0_;
+  core::PairGradSlots slots_;
   bool fitted_ = false;
 };
 

@@ -98,7 +98,7 @@ double NeuMf::TrainOnBatch(const core::BatchContext& ctx) {
     const auto [u, pos] = ctx.pairs[i];
     loss += Step(u, pos, 1.0);
     for (int k = 0; k < config_.negatives_per_positive; ++k) {
-      loss += Step(u, ctx.SampleNegative(u), 0.0);
+      loss += Step(u, ctx.Negative(i, k), 0.0);
     }
   }
   return loss;

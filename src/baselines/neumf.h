@@ -28,6 +28,9 @@ class NeuMf final : public core::Recommender, private core::Trainable {
 
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
+  int NegativeDrawsPerPair() const override {
+    return config_.negatives_per_positive;
+  }
   void SyncScoringState() override { fitted_ = true; }
   void CollectParameters(core::ParameterSet* params) override;
 

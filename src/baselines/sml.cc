@@ -35,7 +35,7 @@ double Sml::TrainOnBatch(const core::BatchContext& ctx) {
 
   for (int i = ctx.begin; i < ctx.end; ++i) {
     const auto [u, pos] = ctx.pairs[i];
-    const int neg = ctx.SampleNegative(u);
+    const int neg = ctx.Negative(i);
     auto pu = user_.Row(u);
     auto qi = item_.Row(pos);
     auto qj = item_.Row(neg);

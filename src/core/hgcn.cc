@@ -7,8 +7,9 @@
 namespace logirec::core {
 
 HyperbolicGcn::HyperbolicGcn(const graph::BipartiteGraph* graph, int layers,
-                             graph::Norm norm)
-    : propagator_(graph, layers, norm) {}
+                             graph::Norm norm, int num_threads)
+    : propagator_(graph, layers, norm, num_threads),
+      num_threads_(num_threads) {}
 
 void HyperbolicGcn::Forward(const Matrix& user_lorentz,
                             const Matrix& item_lorentz, Matrix* user_out,
@@ -24,29 +25,29 @@ void HyperbolicGcn::Forward(const Matrix& user_lorentz,
   }
 
   const int dim = user_lorentz.cols();
-  zu0_ = Matrix(user_lorentz.rows(), dim);
-  zv0_ = Matrix(item_lorentz.rows(), dim);
+  zu0_.Reset(user_lorentz.rows(), dim);
+  zv0_.Reset(item_lorentz.rows(), dim);
   ParallelFor(0, user_lorentz.rows(), [&](int u) {
     const math::Vec z = hyper::LorentzLogOrigin(user_lorentz.Row(u));
     math::Copy(z, zu0_.Row(u));
-  });
+  }, num_threads_);
   ParallelFor(0, item_lorentz.rows(), [&](int v) {
     const math::Vec z = hyper::LorentzLogOrigin(item_lorentz.Row(v));
     math::Copy(z, zv0_.Row(v));
-  });
+  }, num_threads_);
 
   propagator_.Forward(zu0_, zv0_, &su_, &sv_, /*include_layer0=*/false);
 
-  *user_out = Matrix(user_lorentz.rows(), dim);
-  *item_out = Matrix(item_lorentz.rows(), dim);
+  user_out->Reset(user_lorentz.rows(), dim);
+  item_out->Reset(item_lorentz.rows(), dim);
   ParallelFor(0, user_lorentz.rows(), [&](int u) {
     const math::Vec x = hyper::LorentzExpOrigin(su_.Row(u));
     math::Copy(x, user_out->Row(u));
-  });
+  }, num_threads_);
   ParallelFor(0, item_lorentz.rows(), [&](int v) {
     const math::Vec x = hyper::LorentzExpOrigin(sv_.Row(v));
     math::Copy(x, item_out->Row(v));
-  });
+  }, num_threads_);
   has_forward_ = true;
 }
 
@@ -67,29 +68,29 @@ void HyperbolicGcn::Backward(const Matrix& grad_user_out,
 
   const int dim = grad_user_out.cols();
   // 1. Through exp_o.
-  Matrix gsu(grad_user_out.rows(), dim);
-  Matrix gsv(grad_item_out.rows(), dim);
+  gsu_.Reset(grad_user_out.rows(), dim);
+  gsv_.Reset(grad_item_out.rows(), dim);
   ParallelFor(0, grad_user_out.rows(), [&](int u) {
-    hyper::LorentzExpOriginVjp(su_.Row(u), grad_user_out.Row(u), gsu.Row(u));
-  });
+    hyper::LorentzExpOriginVjp(su_.Row(u), grad_user_out.Row(u), gsu_.Row(u));
+  }, num_threads_);
   ParallelFor(0, grad_item_out.rows(), [&](int v) {
-    hyper::LorentzExpOriginVjp(sv_.Row(v), grad_item_out.Row(v), gsv.Row(v));
-  });
+    hyper::LorentzExpOriginVjp(sv_.Row(v), grad_item_out.Row(v), gsv_.Row(v));
+  }, num_threads_);
 
   // 2. Through the linear propagation (transpose recursion).
-  Matrix gzu0(gsu.rows(), dim);
-  Matrix gzv0(gsv.rows(), dim);
-  propagator_.Backward(gsu, gsv, &gzu0, &gzv0, /*include_layer0=*/false);
+  gzu0_.Reset(gsu_.rows(), dim);
+  gzv0_.Reset(gsv_.rows(), dim);
+  propagator_.Backward(gsu_, gsv_, &gzu0_, &gzv0_, /*include_layer0=*/false);
 
   // 3. Through log_o back to the input Lorentz points.
-  ParallelFor(0, gzu0.rows(), [&](int u) {
-    hyper::LorentzLogOriginVjp(user_in_.Row(u), gzu0.Row(u),
+  ParallelFor(0, gzu0_.rows(), [&](int u) {
+    hyper::LorentzLogOriginVjp(user_in_.Row(u), gzu0_.Row(u),
                                grad_user_in->Row(u));
-  });
-  ParallelFor(0, gzv0.rows(), [&](int v) {
-    hyper::LorentzLogOriginVjp(item_in_.Row(v), gzv0.Row(v),
+  }, num_threads_);
+  ParallelFor(0, gzv0_.rows(), [&](int v) {
+    hyper::LorentzLogOriginVjp(item_in_.Row(v), gzv0_.Row(v),
                                grad_item_in->Row(v));
-  });
+  }, num_threads_);
 }
 
 }  // namespace logirec::core

@@ -14,15 +14,20 @@ using math::Matrix;
 ///
 /// The propagation itself is linear, so backpropagation through the whole
 /// block is: exp_o VJP -> transpose propagation -> log_o VJP. The class
-/// caches the forward intermediates needed by Backward().
+/// caches the forward intermediates needed by Backward(); all caches are
+/// persistent across calls (capacity-reusing Reset), so steady-state
+/// Forward/Backward do not allocate.
 class HyperbolicGcn {
  public:
   /// `layers` is L in Eq. 7. Rows of all matrices are ambient
   /// (d+1)-dimensional Lorentz vectors. `norm` selects the aggregation
   /// normalization (Eq. 7 uses the receiver degree; symmetric is the
-  /// LightGCN-style ablation).
+  /// LightGCN-style ablation). `num_threads` bounds the worker count of
+  /// the row-parallel map/propagation kernels (0 = hardware concurrency);
+  /// results never depend on it.
   HyperbolicGcn(const graph::BipartiteGraph* graph, int layers,
-                graph::Norm norm = graph::Norm::kReceiver);
+                graph::Norm norm = graph::Norm::kReceiver,
+                int num_threads = 0);
 
   /// Computes final Lorentz embeddings for all users and items from the
   /// input Lorentz embeddings. With layers == 0 the block degenerates to
@@ -40,10 +45,13 @@ class HyperbolicGcn {
 
  private:
   graph::GcnPropagator propagator_;
+  int num_threads_ = 0;
   // Forward caches.
   Matrix zu0_, zv0_;  // tangent inputs (log_o of the input embeddings)
   Matrix su_, sv_;    // tangent sums (Eq. 7 outputs)
   Matrix user_in_, item_in_;  // input Lorentz points (for the log VJP)
+  // Backward scratch (tangent gradients), persistent like the caches.
+  Matrix gsu_, gsv_, gzu0_, gzv0_;
   bool has_forward_ = false;
 };
 

@@ -6,6 +6,7 @@
 #include "core/embedding.h"
 #include "core/logic_losses.h"
 #include "core/persistence.h"
+#include "core/shard_grads.h"
 #include "graph/propagation.h"
 #include "hyper/hyperplane.h"
 #include "hyper/lorentz.h"
@@ -39,6 +40,11 @@ struct LogiRecModel::TrainState {
   // The LogiRec++ granularity refresh runs once per epoch, on the first
   // batch that needs Alpha().
   int granularity_epoch = -1;
+  // Persistent per-batch scratch (forward outputs, gradient accumulators,
+  // per-pair slots for the deterministic pipeline): Reset/Shape reuse
+  // capacity, so steady-state batches do not allocate.
+  Matrix fu, fv, gfu, gfv, gu, gvh, gv, gt;
+  PairGradSlots slots;
 };
 
 namespace {
@@ -99,7 +105,8 @@ void LogiRecModel::FitHyperbolic(const data::Dataset& dataset,
   ts_->hgcn = std::make_unique<HyperbolicGcn>(
       ts_->graph.get(), config_.use_hgcn ? config_.layers : 0,
       config_.symmetric_gcn_norm ? graph::Norm::kSymmetric
-                                 : graph::Norm::kReceiver);
+                                 : graph::Norm::kReceiver,
+      config_.num_threads);
 
   if (config_.use_mining) {
     weighting_ = std::make_unique<UserWeighting>(
@@ -142,7 +149,8 @@ void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
   ts_ = std::make_unique<TrainState>();
   ts_->graph = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
   ts_->prop = std::make_unique<graph::GcnPropagator>(
-      ts_->graph.get(), config_.use_hgcn ? config_.layers : 0);
+      ts_->graph.get(), config_.use_hgcn ? config_.layers : 0,
+      graph::Norm::kReceiver, config_.num_threads);
   ts_->identity = (ts_->prop->layers() == 0);
 
   if (config_.use_mining) {
@@ -212,7 +220,8 @@ double LogiRecModel::TrainOnBatchHyperbolic(const BatchContext& ctx) {
 
   // ---- forward: lift items to the Lorentz model and propagate ------
   LiftItems(item_poincare_, &ts_->item_lorentz, ctx.num_threads);
-  Matrix fu, fv;
+  Matrix& fu = ts_->fu;
+  Matrix& fv = ts_->fv;
   ts_->hgcn->Forward(user_lorentz_, ts_->item_lorentz, &fu, &fv);
   if (weighting_ && ts_->granularity_epoch != ctx.epoch) {
     weighting_->UpdateGranularity(fu);
@@ -220,41 +229,89 @@ double LogiRecModel::TrainOnBatchHyperbolic(const BatchContext& ctx) {
   }
 
   // ---- L_Rec (Eq. 9 / Eq. 15): LMNN hinge on this batch ------------
-  Matrix gfu(nu, d + 1), gfv(ni, d + 1);
-  for (int i = ctx.begin; i < ctx.end; ++i) {
-    const auto [u, pos] = ctx.pairs[i];
-    const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
-    for (int k = 0; k < config_.negatives_per_positive; ++k) {
-      const int neg = ctx.SampleNegative(u);
-      const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
-      const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
-      const double hinge = config_.margin + dpos - dneg;
-      if (hinge <= 0.0) continue;
-      loss += w * hinge;
-      hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), w, gfu.Row(u),
-                                 gfv.Row(pos));
-      hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -w, gfu.Row(u),
-                                 gfv.Row(neg));
+  const int npp = config_.negatives_per_positive;
+  Matrix& gfu = ts_->gfu;
+  Matrix& gfv = ts_->gfv;
+  gfu.Reset(nu, d + 1);
+  gfv.Reset(ni, d + 1);
+  if (ctx.mode == ParallelMode::kDeterministic) {
+    // Two-phase deterministic pipeline: every pair's hinge terms are a
+    // pure function of the batch-start forward embeddings and its
+    // pre-drawn negatives, so phase one fans out over pairs into per-pair
+    // slots; phase two folds the slots in pair order (thread-invariant).
+    PairGradSlots& slots = ts_->slots;
+    slots.Shape(ctx.size(), npp, d + 1);
+    ParallelFor(0, ctx.size(), [&](int p) {
+      const int i = ctx.begin + p;
+      const auto [u, pos] = ctx.pairs[i];
+      const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
+      slots.Clear(p);
+      double pair_loss = 0.0;
+      for (int k = 0; k < npp; ++k) {
+        const int neg = ctx.Negative(i, k);
+        slots.NegId(p, k) = neg;
+        const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
+        const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
+        const double hinge = config_.margin + dpos - dneg;
+        if (hinge <= 0.0) continue;
+        pair_loss += w * hinge;
+        hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), w,
+                                   slots.GradUser(p), slots.GradPos(p));
+        hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -w,
+                                   slots.GradUser(p), slots.GradNeg(p, k));
+      }
+      slots.Loss(p) = pair_loss;
+    }, ctx.num_threads);
+    for (int p = 0; p < ctx.size(); ++p) {
+      const auto [u, pos] = ctx.pairs[ctx.begin + p];
+      loss += slots.Loss(p);
+      math::Axpy(1.0, slots.GradUser(p), gfu.Row(u));
+      math::Axpy(1.0, slots.GradPos(p), gfv.Row(pos));
+      for (int k = 0; k < npp; ++k) {
+        math::Axpy(1.0, slots.GradNeg(p, k), gfv.Row(slots.NegId(p, k)));
+      }
+    }
+  } else {
+    for (int i = ctx.begin; i < ctx.end; ++i) {
+      const auto [u, pos] = ctx.pairs[i];
+      const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
+      for (int k = 0; k < npp; ++k) {
+        const int neg = ctx.Negative(i, k);
+        const double dpos = hyper::LorentzDistance(fu.Row(u), fv.Row(pos));
+        const double dneg = hyper::LorentzDistance(fu.Row(u), fv.Row(neg));
+        const double hinge = config_.margin + dpos - dneg;
+        if (hinge <= 0.0) continue;
+        loss += w * hinge;
+        hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(pos), w, gfu.Row(u),
+                                   gfv.Row(pos));
+        hyper::LorentzDistanceGrad(fu.Row(u), fv.Row(neg), -w, gfu.Row(u),
+                                   gfv.Row(neg));
+      }
     }
   }
 
   // ---- backward through the HGCN and the diffeomorphism ------------
-  Matrix gu(nu, d + 1), gvh(ni, d + 1);
+  Matrix& gu = ts_->gu;
+  Matrix& gvh = ts_->gvh;
   if (config_.detach_gcn_backward) {
     // Truncated-backprop ablation: treat the propagation as constant.
     gu = gfu;
     gvh = gfv;
   } else {
+    gu.Reset(nu, d + 1);
+    gvh.Reset(ni, d + 1);
     ts_->hgcn->Backward(gfu, gfv, &gu, &gvh);
   }
-  Matrix gv(ni, d);
+  Matrix& gv = ts_->gv;
+  gv.Reset(ni, d);
   ParallelFor(0, ni, [&](int v) {
     hyper::PoincareToLorentzVjp(item_poincare_.Row(v), gvh.Row(v),
                                 gv.Row(v));
   }, ctx.num_threads);
 
   // ---- logic losses (Eqs. 3-5), weighted by lambda ------------------
-  Matrix gt(nt, d);
+  Matrix& gt = ts_->gt;
+  gt.Reset(nt, d);
   if (lam > 0.0) {
     loss += LogicLossesAndGrads(&gv, &gt);
   }
@@ -284,7 +341,8 @@ double LogiRecModel::TrainOnBatchEuclidean(const BatchContext& ctx) {
   const double lam = config_.lambda;
   double loss = 0.0;
 
-  Matrix fu, fv;
+  Matrix& fu = ts_->fu;
+  Matrix& fv = ts_->fv;
   if (ts_->identity) {
     fu = user_euclidean_;
     fv = item_poincare_;
@@ -305,43 +363,85 @@ double LogiRecModel::TrainOnBatchEuclidean(const BatchContext& ctx) {
     ts_->granularity_epoch = ctx.epoch;
   }
 
-  Matrix gfu(nu, d), gfv(ni, d);
-  for (int i = ctx.begin; i < ctx.end; ++i) {
-    const auto [u, pos] = ctx.pairs[i];
-    const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
-    for (int k = 0; k < config_.negatives_per_positive; ++k) {
-      const int neg = ctx.SampleNegative(u);
-      const double dpos = math::Distance(fu.Row(u), fv.Row(pos));
-      const double dneg = math::Distance(fu.Row(u), fv.Row(neg));
-      const double hinge = config_.margin + dpos - dneg;
-      if (hinge <= 0.0) continue;
-      loss += w * hinge;
-      auto add_grad = [&](int item, double sign) {
-        const double dist = sign > 0 ? dpos : dneg;
-        const double denom = std::max(dist, 1e-12);
-        auto gu_row = gfu.Row(u);
-        auto gv_row = gfv.Row(item);
-        for (int kk = 0; kk < d; ++kk) {
-          const double g =
-              sign * w * (fu.At(u, kk) - fv.At(item, kk)) / denom;
-          gu_row[kk] += g;
-          gv_row[kk] -= g;
-        }
-      };
-      add_grad(pos, +1.0);
-      add_grad(neg, -1.0);
+  const int npp = config_.negatives_per_positive;
+  Matrix& gfu = ts_->gfu;
+  Matrix& gfv = ts_->gfv;
+  gfu.Reset(nu, d);
+  gfv.Reset(ni, d);
+  // Hinge gradient of one (u, item) leg at the batch-start embeddings,
+  // accumulated into arbitrary destination rows (shared accumulators in
+  // sequential mode, per-pair slots in the deterministic pipeline).
+  auto add_grad = [&](int u, int item, double sign, double w, double dist,
+                      math::Span gu_row, math::Span gv_row) {
+    const double denom = std::max(dist, 1e-12);
+    for (int kk = 0; kk < d; ++kk) {
+      const double g = sign * w * (fu.At(u, kk) - fv.At(item, kk)) / denom;
+      gu_row[kk] += g;
+      gv_row[kk] -= g;
+    }
+  };
+  if (ctx.mode == ParallelMode::kDeterministic) {
+    PairGradSlots& slots = ts_->slots;
+    slots.Shape(ctx.size(), npp, d);
+    ParallelFor(0, ctx.size(), [&](int p) {
+      const int i = ctx.begin + p;
+      const auto [u, pos] = ctx.pairs[i];
+      const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
+      slots.Clear(p);
+      double pair_loss = 0.0;
+      for (int k = 0; k < npp; ++k) {
+        const int neg = ctx.Negative(i, k);
+        slots.NegId(p, k) = neg;
+        const double dpos = math::Distance(fu.Row(u), fv.Row(pos));
+        const double dneg = math::Distance(fu.Row(u), fv.Row(neg));
+        const double hinge = config_.margin + dpos - dneg;
+        if (hinge <= 0.0) continue;
+        pair_loss += w * hinge;
+        add_grad(u, pos, +1.0, w, dpos, slots.GradUser(p), slots.GradPos(p));
+        add_grad(u, neg, -1.0, w, dneg, slots.GradUser(p),
+                 slots.GradNeg(p, k));
+      }
+      slots.Loss(p) = pair_loss;
+    }, ctx.num_threads);
+    for (int p = 0; p < ctx.size(); ++p) {
+      const auto [u, pos] = ctx.pairs[ctx.begin + p];
+      loss += slots.Loss(p);
+      math::Axpy(1.0, slots.GradUser(p), gfu.Row(u));
+      math::Axpy(1.0, slots.GradPos(p), gfv.Row(pos));
+      for (int k = 0; k < npp; ++k) {
+        math::Axpy(1.0, slots.GradNeg(p, k), gfv.Row(slots.NegId(p, k)));
+      }
+    }
+  } else {
+    for (int i = ctx.begin; i < ctx.end; ++i) {
+      const auto [u, pos] = ctx.pairs[i];
+      const double w = weighting_ ? weighting_->Alpha(u) : 1.0;
+      for (int k = 0; k < npp; ++k) {
+        const int neg = ctx.Negative(i, k);
+        const double dpos = math::Distance(fu.Row(u), fv.Row(pos));
+        const double dneg = math::Distance(fu.Row(u), fv.Row(neg));
+        const double hinge = config_.margin + dpos - dneg;
+        if (hinge <= 0.0) continue;
+        loss += w * hinge;
+        add_grad(u, pos, +1.0, w, dpos, gfu.Row(u), gfv.Row(pos));
+        add_grad(u, neg, -1.0, w, dneg, gfu.Row(u), gfv.Row(neg));
+      }
     }
   }
 
-  Matrix gu(nu, d), gv(ni, d);
+  Matrix& gu = ts_->gu;
+  Matrix& gv = ts_->gv;
   if (ts_->identity) {
     gu = gfu;
     gv = gfv;
   } else {
+    gu.Reset(nu, d);
+    gv.Reset(ni, d);
     ts_->prop->Backward(gfu, gfv, &gu, &gv, /*include_layer0=*/false);
   }
 
-  Matrix gt(nt, d);
+  Matrix& gt = ts_->gt;
+  gt.Reset(nt, d);
   if (lam > 0.0) {
     loss += LogicLossesAndGrads(&gv, &gt);
   }

@@ -120,6 +120,9 @@ class LogiRecModel final : public Recommender, private Trainable {
   struct TrainState;
 
   double TrainOnBatch(const BatchContext& ctx) override;
+  int NegativeDrawsPerPair() const override {
+    return config_.negatives_per_positive;
+  }
   void SyncScoringState() override;
   void CollectParameters(ParameterSet* params) override;
 

@@ -9,14 +9,17 @@ NegativeSampler::NegativeSampler(
     : num_items_(num_items), positives_(train_items.size()) {
   LOGIREC_CHECK(num_items > 0);
   for (size_t u = 0; u < train_items.size(); ++u) {
-    positives_[u].insert(train_items[u].begin(), train_items[u].end());
+    std::vector<int>& pos = positives_[u];
+    pos = train_items[u];
+    std::sort(pos.begin(), pos.end());
+    pos.erase(std::unique(pos.begin(), pos.end()), pos.end());
   }
 }
 
 int NegativeSampler::Sample(int user, Rng* rng) const {
   int candidate = rng->UniformInt(num_items_);
   for (int attempt = 0; attempt < 32; ++attempt) {
-    if (!positives_[user].count(candidate)) return candidate;
+    if (!IsPositive(user, candidate)) return candidate;
     candidate = rng->UniformInt(num_items_);
   }
   return candidate;  // pathological user interacting with almost everything

@@ -1,7 +1,7 @@
 #ifndef LOGIREC_CORE_NEGATIVE_SAMPLER_H_
 #define LOGIREC_CORE_NEGATIVE_SAMPLER_H_
 
-#include <unordered_set>
+#include <algorithm>
 #include <vector>
 
 #include "util/rng.h"
@@ -11,22 +11,31 @@ namespace logirec::core {
 /// Uniform negative sampling over items a user has NOT interacted with in
 /// training. Rejection sampling with a bounded retry count (degenerate
 /// users fall back to the last draw).
+///
+/// Membership is a sorted per-user id vector probed with binary search:
+/// versus the previous per-user hash set this is a fraction of the memory
+/// (and one contiguous cache-friendly read per probe) on wide catalogs,
+/// while the rejection loop consumes the RNG identically — draw sequences
+/// are unchanged.
 class NegativeSampler {
  public:
   NegativeSampler(int num_items,
                   const std::vector<std::vector<int>>& train_items);
 
-  /// Draws an item id outside user's training set.
+  /// Draws an item id outside user's training set. Thread-safe for
+  /// concurrent calls with distinct `rng` instances (shared state is
+  /// read-only after construction).
   int Sample(int user, Rng* rng) const;
 
   /// True if `item` is in `user`'s training set.
   bool IsPositive(int user, int item) const {
-    return positives_[user].count(item) > 0;
+    const std::vector<int>& pos = positives_[user];
+    return std::binary_search(pos.begin(), pos.end(), item);
   }
 
  private:
   int num_items_;
-  std::vector<std::unordered_set<int>> positives_;
+  std::vector<std::vector<int>> positives_;  ///< sorted, deduplicated
 };
 
 }  // namespace logirec::core

@@ -12,6 +12,21 @@ namespace logirec::core {
 
 class TrainObserver;  // core/trainer.h
 
+/// How core::Trainer schedules an epoch's mini-batch shards.
+enum class ParallelMode {
+  /// The legacy single-stream loop: one RNG stream drives shuffling and
+  /// every negative draw in batch order, bit-identical to the pre-Trainer
+  /// per-model loops. Used by the seed-equivalence tests.
+  kSequential,
+  /// Deterministic sharded SGD: the epoch's negatives are pre-drawn into a
+  /// flat buffer using per-shard counter-based RNG streams (seeded by
+  /// seed/epoch/shard), and models may parallelize inside a shard through
+  /// per-pair gradient slots with an ordered apply. Metrics are a pure
+  /// function of seed and shard (batch) size — independent of thread
+  /// count — but differ from kSequential's stream.
+  kDeterministic,
+};
+
 /// Hyperparameters shared by every model in the repository (Section
 /// VI-A4). Individual models may ignore fields that do not apply.
 struct TrainConfig {
@@ -46,6 +61,11 @@ struct TrainConfig {
   /// Worker threads for ParallelFor inside training (0 = hardware
   /// concurrency). Results are identical across thread counts.
   int num_threads = 0;
+
+  /// Batch scheduling mode (see ParallelMode). The deterministic sharded
+  /// engine is the default; kSequential reproduces the legacy stream
+  /// bit-for-bit for equivalence testing.
+  ParallelMode parallel_mode = ParallelMode::kDeterministic;
 
   /// Telemetry hook (non-owning, may be null): receives EpochStats after
   /// every epoch and a TrainSummary when training ends.

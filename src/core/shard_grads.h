@@ -1,0 +1,77 @@
+#ifndef LOGIREC_CORE_SHARD_GRADS_H_
+#define LOGIREC_CORE_SHARD_GRADS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "math/vec.h"
+
+namespace logirec::core {
+
+/// Per-pair gradient slot buffer backing the deterministic two-phase
+/// batch pipeline of the dense (GCN-family) models:
+///
+///   phase 1 (parallel): every pair p of the shard is handled by exactly
+///     one worker, which reads the batch-start forward embeddings and the
+///     pre-drawn negatives and writes the pair's user/positive/negative
+///     gradient rows — plus its loss — into slots owned by p alone;
+///   phase 2 (ordered):  a single thread folds the slots into the shared
+///     gradient accumulators in pair order.
+///
+/// Each slot is a pure function of (batch-start state, pair, pre-drawn
+/// negatives) and the fold order is fixed, so the result is bit-identical
+/// for every thread count. The buffer is persistent: Shape() reuses
+/// capacity, so steady-state batches do not allocate.
+///
+/// Layout per pair: [grad_user | grad_pos | grad_neg x draws], each
+/// `width` doubles, plus `draws` negative ids and one loss cell.
+class PairGradSlots {
+ public:
+  /// Shapes the buffer for `pairs` pairs with `draws` negative draws per
+  /// pair and `width` doubles per gradient row. Contents are unspecified;
+  /// phase 1 must Clear() each pair before accumulating into it.
+  void Shape(int pairs, int draws, int width) {
+    draws_ = draws;
+    width_ = width;
+    stride_ = static_cast<size_t>(2 + draws) * width;
+    data_.resize(static_cast<size_t>(pairs) * stride_);
+    neg_.resize(static_cast<size_t>(pairs) * draws);
+    loss_.resize(pairs);
+  }
+
+  /// Zeroes pair p's gradient rows and loss (phase 1, owning worker).
+  void Clear(int p) {
+    double* base = data_.data() + static_cast<size_t>(p) * stride_;
+    std::fill(base, base + stride_, 0.0);
+    loss_[p] = 0.0;
+  }
+
+  math::Span GradUser(int p) {
+    return math::Span(data_.data() + static_cast<size_t>(p) * stride_, width_);
+  }
+  math::Span GradPos(int p) {
+    return math::Span(
+        data_.data() + static_cast<size_t>(p) * stride_ + width_, width_);
+  }
+  math::Span GradNeg(int p, int k) {
+    return math::Span(data_.data() + static_cast<size_t>(p) * stride_ +
+                          static_cast<size_t>(2 + k) * width_,
+                      width_);
+  }
+
+  int& NegId(int p, int k) { return neg_[static_cast<size_t>(p) * draws_ + k]; }
+  double& Loss(int p) { return loss_[p]; }
+  int draws() const { return draws_; }
+
+ private:
+  int draws_ = 0;
+  int width_ = 0;
+  size_t stride_ = 0;
+  std::vector<double> data_;
+  std::vector<int> neg_;
+  std::vector<double> loss_;
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_SHARD_GRADS_H_

@@ -6,12 +6,18 @@
 
 namespace logirec::core {
 
-std::vector<std::pair<int, int>> ShuffledTrainPairs(
-    const std::vector<std::vector<int>>& train_items, Rng* rng) {
+std::vector<std::pair<int, int>> TrainPairs(
+    const std::vector<std::vector<int>>& train_items) {
   std::vector<std::pair<int, int>> pairs;
   for (size_t u = 0; u < train_items.size(); ++u) {
     for (int v : train_items[u]) pairs.emplace_back(static_cast<int>(u), v);
   }
+  return pairs;
+}
+
+std::vector<std::pair<int, int>> ShuffledTrainPairs(
+    const std::vector<std::vector<int>>& train_items, Rng* rng) {
+  auto pairs = TrainPairs(train_items);
   rng->Shuffle(&pairs);
   return pairs;
 }

@@ -8,8 +8,15 @@
 
 namespace logirec::core {
 
+/// Flattens per-user training lists into (user, item) pairs in stable
+/// user-major order — the unshuffled epoch base ordering. Built once per
+/// training run; each epoch copies and reshuffles it in place.
+std::vector<std::pair<int, int>> TrainPairs(
+    const std::vector<std::vector<int>>& train_items);
+
 /// Flattens per-user training lists into shuffled (user, item) pairs —
-/// the per-epoch SGD ordering used by every model here.
+/// the per-epoch SGD ordering used by every model here. Equivalent to
+/// TrainPairs + Rng::Shuffle (same RNG consumption).
 std::vector<std::pair<int, int>> ShuffledTrainPairs(
     const std::vector<std::vector<int>>& train_items, Rng* rng);
 

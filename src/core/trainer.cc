@@ -1,9 +1,11 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "core/train_util.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace logirec::core {
@@ -58,19 +60,61 @@ TrainSummary Trainer::Train(Trainable* model, const data::Split& split,
   int best_epoch = -1;
   int evals_without_improvement = 0;
 
+  const bool deterministic =
+      config_.parallel_mode == ParallelMode::kDeterministic;
+  const int draws = std::max(1, model->NegativeDrawsPerPair());
+
+  // The epoch base ordering is built once; every epoch copies it into the
+  // working vector (capacity reused) and shuffles in place, consuming the
+  // model RNG exactly as the legacy rebuild-then-shuffle did.
+  const auto base_pairs = TrainPairs(split.train);
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<int> negatives;  // kDeterministic: pairs.size() * draws
+
   TrainSummary summary;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     Timer epoch_timer;
-    auto pairs = ShuffledTrainPairs(split.train, rng);
+    pairs = base_pairs;
+    rng->Shuffle(&pairs);
     const auto batches =
         BatchRanges(static_cast<int>(pairs.size()), config_.batch_size);
 
+    if (deterministic) {
+      // Pre-draw the epoch's negatives, one independent counter-based
+      // stream per shard: the buffer is a pure function of (seed, epoch,
+      // shard partition), so the pre-draw can fan out over any number of
+      // workers without changing a single draw.
+      negatives.resize(pairs.size() * static_cast<size_t>(draws));
+      ParallelFor(0, static_cast<int>(batches.size()), [&](int s) {
+        Rng shard_rng(Rng::MixSeed(config_.seed, epoch, s));
+        const auto [b0, b1] = batches[s];
+        for (int i = b0; i < b1; ++i) {
+          const int user = pairs[i].first;
+          for (int k = 0; k < draws; ++k) {
+            negatives[static_cast<size_t>(i) * draws + k] =
+                sampler.Sample(user, &shard_rng);
+          }
+        }
+      }, config_.num_threads);
+    }
+
     double loss = 0.0;
-    for (const auto& [b0, b1] : batches) {
-      BatchContext ctx{epoch,    pairs,
-                       b0,       b1,
-                       rng,      &sampler,
-                       config_.num_threads, config_.grad_clip};
+    for (int s = 0; s < static_cast<int>(batches.size()); ++s) {
+      const auto [b0, b1] = batches[s];
+      // Auxiliary per-shard stream (distinct from the negative stream via
+      // the inverted seed) for any model-side draws inside the shard.
+      Rng aux_rng(Rng::MixSeed(~config_.seed, epoch, s));
+      BatchContext ctx{epoch,
+                       pairs,
+                       b0,
+                       b1,
+                       deterministic ? &aux_rng : rng,
+                       &sampler,
+                       config_.num_threads,
+                       config_.grad_clip,
+                       config_.parallel_mode,
+                       deterministic ? negatives.data() : nullptr,
+                       deterministic ? draws : 0};
       loss += model->TrainOnBatch(ctx);
     }
     loss += model->EpochTail(epoch, rng);
@@ -80,9 +124,11 @@ TrainSummary Trainer::Train(Trainable* model, const data::Split& split,
     stats.epoch = epoch;
     stats.samples = static_cast<long>(pairs.size());
     stats.mean_loss = pairs.empty() ? 0.0 : loss / pairs.size();
+    stats.seconds = epoch_timer.ElapsedSeconds();
 
     bool stop = false;
     if (early_stop && (epoch + 1) % config_.eval_every == 0) {
+      Timer probe_timer;
       model->SyncScoringState();
       stats.val_metric = validator->Evaluate(*val_scorer, /*use_validation=*/true)
                              .Get("Recall@10");
@@ -96,8 +142,10 @@ TrainSummary Trainer::Train(Trainable* model, const data::Split& split,
                  config_.early_stopping_patience) {
         stop = true;
       }
+      // Probe cost (scoring-state sync + validation ranking) is reported
+      // separately so throughput telemetry measures training only.
+      stats.probe_seconds = probe_timer.ElapsedSeconds();
     }
-    stats.seconds = epoch_timer.ElapsedSeconds();
 
     if (config_.verbose && (epoch % 5 == 0 || epoch + 1 == config_.epochs)) {
       LOGIREC_LOG(kInfo) << "epoch " << epoch << " mean_loss="

@@ -18,7 +18,9 @@ struct EpochStats {
   int epoch = 0;            ///< zero-based epoch index
   long samples = 0;         ///< training pairs processed this epoch
   double mean_loss = 0.0;   ///< model-defined loss, averaged over samples
-  double seconds = 0.0;     ///< wall time of the epoch (incl. any probe)
+  double seconds = 0.0;     ///< wall time of training only (probe excluded)
+  double probe_seconds = 0.0;  ///< wall time of the validation probe
+                               ///< (sync + evaluate), 0 when not probed
   double val_metric = -1.0; ///< validation Recall@10 when probed, else -1
   bool improved = false;    ///< true when this probe set a new best
 };
@@ -59,18 +61,35 @@ struct ParameterSet {
 
 /// One contiguous slice of the epoch's shuffled (user, positive) pairs,
 /// plus the shared sampling state. Models must consume pairs in order and
-/// draw negatives only through SampleNegative() so a training run is a
-/// single deterministic RNG stream regardless of batching.
+/// draw negatives only through Negative(), so that in kSequential mode a
+/// training run is a single deterministic RNG stream regardless of
+/// batching, and in kDeterministic mode every draw comes from the
+/// pre-drawn per-shard buffer (thread-count invariant by construction).
 struct BatchContext {
   int epoch;
   const std::vector<std::pair<int, int>>& pairs;  ///< full epoch ordering
   int begin, end;  ///< this batch is pairs[begin, end)
-  Rng* rng;
+  Rng* rng;        ///< model stream (kSequential) or per-shard stream
   NegativeSampler* sampler;
   int num_threads;   ///< TrainConfig::num_threads, for ParallelFor
   double grad_clip;  ///< TrainConfig::grad_clip, for per-row clipping
+  ParallelMode mode = ParallelMode::kSequential;
+  /// kDeterministic only: flat buffer of the epoch's pre-drawn negatives,
+  /// `negative_draws` per pair, indexed by absolute pair index.
+  const int* negatives = nullptr;
+  int negative_draws = 0;
 
-  int SampleNegative(int user) const { return sampler->Sample(user, rng); }
+  /// The k-th negative for pairs[pair_index] (absolute index). In
+  /// kSequential mode this draws from the live sampler stream — call it
+  /// exactly in pair order, k-major, to preserve the legacy stream. In
+  /// kDeterministic mode it reads the pre-drawn buffer and is safe to
+  /// call from any thread in any order.
+  int Negative(int pair_index, int k = 0) const {
+    if (negatives != nullptr) {
+      return negatives[static_cast<size_t>(pair_index) * negative_draws + k];
+    }
+    return sampler->Sample(pairs[pair_index].first, rng);
+  }
   int size() const { return end - begin; }
 };
 
@@ -85,6 +104,11 @@ class Trainable {
   /// Processes pairs[ctx.begin, ctx.end), applying parameter updates in
   /// place. Returns the summed loss over the batch (telemetry only).
   virtual double TrainOnBatch(const BatchContext& ctx) = 0;
+
+  /// Number of negatives the model draws per (user, positive) pair, so the
+  /// deterministic engine can pre-draw the epoch's negatives into a flat
+  /// buffer. Models drawing one negative per pair keep the default.
+  virtual int NegativeDrawsPerPair() const { return 1; }
 
   /// Per-epoch tail work after all batches (e.g. TransC's logic passes).
   /// Returns any extra loss to fold into the epoch telemetry.
@@ -106,14 +130,21 @@ class Trainable {
   virtual void CollectParameters(ParameterSet* params) { (void)params; }
 };
 
-/// The shared epoch/batch driver. Owns the per-epoch pair shuffle
-/// (ShuffledTrainPairs), batch partitioning (BatchRanges), negative
-/// sampling, validation-driven early stopping with best-checkpoint
-/// snapshot/restore, and EpochStats telemetry.
+/// The shared epoch/batch driver. Owns the per-epoch pair shuffle,
+/// batch/shard partitioning (BatchRanges), negative sampling, validation-
+/// driven early stopping with best-checkpoint snapshot/restore, and
+/// EpochStats telemetry.
 ///
-/// Determinism: for a fixed seed and TrainConfig the driver consumes the
-/// model's RNG in exactly the order the legacy per-model loops did, so a
-/// migrated model reproduces its pre-Trainer metrics bit-for-bit.
+/// Determinism contract:
+///  - kSequential: for a fixed seed and TrainConfig the driver consumes
+///    the model's RNG in exactly the order the legacy per-model loops
+///    did, so a migrated model reproduces its pre-Trainer metrics
+///    bit-for-bit.
+///  - kDeterministic (default): the epoch's negatives are pre-drawn shard
+///    by shard from counter-based streams Rng(MixSeed(seed, epoch,
+///    shard)) — the pre-draw itself parallelizes over shards — and shards
+///    are applied in order. Metrics are a pure function of (seed,
+///    batch_size, config); num_threads never changes them.
 class Trainer {
  public:
   explicit Trainer(const TrainConfig& config) : config_(config) {}

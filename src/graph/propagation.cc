@@ -1,101 +1,175 @@
 #include "graph/propagation.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace logirec::graph {
+namespace {
+
+// Runtime-dispatched AVX2 clones for the CSR inner loops, mirroring
+// math/kernels.cc: wider lanes only change how many dimension slots are
+// processed per instruction — each slot's mul-then-add sequence and
+// rounding are untouched, so clones stay bit-identical to the default
+// build. AVX2 has no fused-multiply-add instructions (FMA is a separate
+// ISA extension we deliberately do NOT enable), so the compiler cannot
+// contract mul+add into a differently-rounded fma.
+// (target_clones emits an IFUNC resolver that runs during relocation,
+// before the sanitizer runtimes initialize — crashing at startup — so
+// clones are disabled under TSan/ASan builds.)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define LOGIREC_PROP_SIMD_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define LOGIREC_PROP_SIMD_CLONES
+#endif
+
+/// dst[k] += w * src[k] for one edge.
+LOGIREC_PROP_SIMD_CLONES
+void AxpyRow(double w, const double* __restrict__ src, double* dst, int d) {
+  for (int k = 0; k < d; ++k) dst[k] += w * src[k];
+}
+
+/// Blocked variant: four edges per pass, so each dst[k] is loaded and
+/// stored once per group instead of once per edge. The grouped terms are
+/// still added one at a time into a scalar temp in edge order, preserving
+/// the exact per-element rounding sequence of the one-edge-at-a-time loop.
+LOGIREC_PROP_SIMD_CLONES
+void AxpyRow4(double w0, const double* __restrict__ s0, double w1,
+              const double* __restrict__ s1, double w2,
+              const double* __restrict__ s2, double w3,
+              const double* __restrict__ s3, double* dst, int d) {
+  for (int k = 0; k < d; ++k) {
+    double t = dst[k];
+    t += w0 * s0[k];
+    t += w1 * s1[k];
+    t += w2 * s2[k];
+    t += w3 * s3[k];
+    dst[k] = t;
+  }
+}
+
+#undef LOGIREC_PROP_SIMD_CLONES
+
+void AddInto(const Matrix& src, Matrix* dst) {
+  for (size_t i = 0; i < dst->data().size(); ++i) {
+    dst->data()[i] += src.data()[i];
+  }
+}
+
+}  // namespace
 
 GcnPropagator::GcnPropagator(const BipartiteGraph* graph, int layers,
-                             Norm norm)
-    : graph_(graph), layers_(layers), norm_(norm) {
+                             Norm norm, int num_threads)
+    : num_users_(graph->num_users()),
+      num_items_(graph->num_items()),
+      layers_(layers),
+      norm_(norm),
+      num_threads_(num_threads) {
   LOGIREC_CHECK(layers >= 0);
-}
 
-double GcnPropagator::EdgeWeight(int user, int item, bool transpose) const {
-  const int du = graph_->UserDegree(user);
-  const int dv = graph_->ItemDegree(item);
-  switch (norm_) {
-    case Norm::kReceiver:
-      // Forward aggregation to users divides by |N_u|; the adjoint of the
-      // item-side aggregation divides by |N_v| instead.
-      if (!transpose) return du > 0 ? 1.0 / du : 0.0;
-      return dv > 0 ? 1.0 / dv : 0.0;
-    case Norm::kSymmetric: {
-      const double prod = static_cast<double>(du) * dv;
-      return prod > 0.0 ? 1.0 / std::sqrt(prod) : 0.0;
-    }
-  }
-  return 0.0;
-}
-
-void GcnPropagator::AggregateToUsers(const Matrix& items, Matrix* out_users,
-                                     bool transpose) const {
-  const int dim = items.cols();
-  ParallelFor(0, graph_->num_users(), [&](int u) {
-    auto dst = out_users->Row(u);
-    for (int v : graph_->ItemsOf(u)) {
-      const double w = EdgeWeight(u, v, transpose);
-      auto src = items.Row(v);
-      for (int k = 0; k < dim; ++k) dst[k] += w * src[k];
-    }
-  });
-}
-
-void GcnPropagator::AggregateToItems(const Matrix& users, Matrix* out_items,
-                                     bool transpose) const {
-  const int dim = users.cols();
-  ParallelFor(0, graph_->num_items(), [&](int v) {
-    auto dst = out_items->Row(v);
-    for (int u : graph_->UsersOf(v)) {
-      // Aggregation to items normalizes by the item degree forward; its
-      // adjoint uses the user degree. Reuse EdgeWeight with flipped
-      // `transpose` to express that symmetry.
-      double w = 0.0;
-      switch (norm_) {
-        case Norm::kReceiver:
-          w = transpose ? (graph_->UserDegree(u) > 0
-                               ? 1.0 / graph_->UserDegree(u)
-                               : 0.0)
-                        : (graph_->ItemDegree(v) > 0
-                               ? 1.0 / graph_->ItemDegree(v)
-                               : 0.0);
-          break;
-        case Norm::kSymmetric:
-          w = EdgeWeight(u, v, /*transpose=*/false);
-          break;
+  // Flatten the adjacency into CSR, precomputing every normalization
+  // weight with the exact expressions of the per-edge reference (an edge
+  // implies both endpoint degrees are >= 1, so no zero guards needed):
+  //   kReceiver forward to users: 1/|N_u|, adjoint: 1/|N_v|
+  //   kReceiver forward to items: 1/|N_v|, adjoint: 1/|N_u|
+  //   kSymmetric (self-adjoint):  1/sqrt(|N_u| |N_v|)
+  const size_t num_edges = graph->num_edges();
+  u_offsets_.reserve(num_users_ + 1);
+  u_cols_.reserve(num_edges);
+  u_fwd_w_.reserve(num_edges);
+  u_adj_w_.reserve(num_edges);
+  u_offsets_.push_back(0);
+  for (int u = 0; u < num_users_; ++u) {
+    const int du = graph->UserDegree(u);
+    for (int v : graph->ItemsOf(u)) {
+      const int dv = graph->ItemDegree(v);
+      u_cols_.push_back(v);
+      if (norm_ == Norm::kReceiver) {
+        u_fwd_w_.push_back(1.0 / du);
+        u_adj_w_.push_back(1.0 / dv);
+      } else {
+        const double prod = static_cast<double>(du) * dv;
+        const double w = 1.0 / std::sqrt(prod);
+        u_fwd_w_.push_back(w);
+        u_adj_w_.push_back(w);
       }
-      auto src = users.Row(u);
-      for (int k = 0; k < dim; ++k) dst[k] += w * src[k];
     }
-  });
+    u_offsets_.push_back(static_cast<int>(u_cols_.size()));
+  }
+
+  v_offsets_.reserve(num_items_ + 1);
+  v_cols_.reserve(num_edges);
+  v_fwd_w_.reserve(num_edges);
+  v_adj_w_.reserve(num_edges);
+  v_offsets_.push_back(0);
+  for (int v = 0; v < num_items_; ++v) {
+    const int dv = graph->ItemDegree(v);
+    for (int u : graph->UsersOf(v)) {
+      const int du = graph->UserDegree(u);
+      v_cols_.push_back(u);
+      if (norm_ == Norm::kReceiver) {
+        v_fwd_w_.push_back(1.0 / dv);
+        v_adj_w_.push_back(1.0 / du);
+      } else {
+        const double prod = static_cast<double>(du) * dv;
+        const double w = 1.0 / std::sqrt(prod);
+        v_fwd_w_.push_back(w);
+        v_adj_w_.push_back(w);
+      }
+    }
+    v_offsets_.push_back(static_cast<int>(v_cols_.size()));
+  }
+}
+
+void GcnPropagator::Aggregate(const Matrix& src, Matrix* out,
+                              const std::vector<int>& offsets,
+                              const std::vector<int>& cols,
+                              const std::vector<double>& weights) const {
+  const int d = src.cols();
+  const int n = static_cast<int>(offsets.size()) - 1;
+  ParallelFor(0, n, [&](int r) {
+    double* dst = out->Row(r).data();
+    int e = offsets[r];
+    const int end = offsets[r + 1];
+    for (; e + 4 <= end; e += 4) {
+      AxpyRow4(weights[e], src.Row(cols[e]).data(), weights[e + 1],
+               src.Row(cols[e + 1]).data(), weights[e + 2],
+               src.Row(cols[e + 2]).data(), weights[e + 3],
+               src.Row(cols[e + 3]).data(), dst, d);
+    }
+    for (; e < end; ++e) {
+      AxpyRow(weights[e], src.Row(cols[e]).data(), dst, d);
+    }
+  }, num_threads_);
 }
 
 void GcnPropagator::Forward(const Matrix& zu0, const Matrix& zv0, Matrix* su,
                             Matrix* sv, bool include_layer0) const {
   const int dim = zu0.cols();
   LOGIREC_CHECK(zv0.cols() == dim);
-  LOGIREC_CHECK(zu0.rows() == graph_->num_users());
-  LOGIREC_CHECK(zv0.rows() == graph_->num_items());
+  LOGIREC_CHECK(zu0.rows() == num_users_);
+  LOGIREC_CHECK(zv0.rows() == num_items_);
 
-  *su = Matrix(zu0.rows(), dim, 0.0);
-  *sv = Matrix(zv0.rows(), dim, 0.0);
-  Matrix cu = zu0;
-  Matrix cv = zv0;
+  su->Reset(num_users_, dim);
+  sv->Reset(num_items_, dim);
+  cu_ = zu0;  // copy-assign reuses the scratch capacity after warmup
+  cv_ = zv0;
   if (include_layer0) {
-    su->data() = cu.data();
-    sv->data() = cv.data();
+    su->data() = cu_.data();
+    sv->data() = cv_.data();
   }
   for (int l = 1; l <= layers_; ++l) {
-    Matrix nu = cu;  // z^{l+1} = z^l + aggregation
-    Matrix nv = cv;
-    AggregateToUsers(cv, &nu, /*transpose=*/false);
-    AggregateToItems(cu, &nv, /*transpose=*/false);
-    for (size_t i = 0; i < su->data().size(); ++i) su->data()[i] += nu.data()[i];
-    for (size_t i = 0; i < sv->data().size(); ++i) sv->data()[i] += nv.data()[i];
-    cu = std::move(nu);
-    cv = std::move(nv);
+    nu_ = cu_;  // z^{l+1} = z^l + aggregation
+    nv_ = cv_;
+    Aggregate(cv_, &nu_, u_offsets_, u_cols_, u_fwd_w_);
+    Aggregate(cu_, &nv_, v_offsets_, v_cols_, v_fwd_w_);
+    AddInto(nu_, su);
+    AddInto(nv_, sv);
+    std::swap(cu_, nu_);
+    std::swap(cv_, nv_);
   }
 }
 
@@ -108,39 +182,31 @@ void GcnPropagator::Backward(const Matrix& gsu, const Matrix& gsv,
   // Adjoint recursion: lambda_u^L = gSU, and for l = L-1 .. 0
   //   lambda_u^l = [l in sum] gSU + lambda_u^{l+1} + Q^T lambda_v^{l+1}
   //   lambda_v^l = [l in sum] gSV + lambda_v^{l+1} + P^T lambda_u^{l+1}.
-  Matrix lu = gsu;
-  Matrix lv = gsv;
   if (layers_ == 0) {
     // Output is just layer 0 (when included) — identity map.
     if (include_layer0) {
-      for (size_t i = 0; i < lu.data().size(); ++i) {
-        gzu0->data()[i] += lu.data()[i];
-      }
-      for (size_t i = 0; i < lv.data().size(); ++i) {
-        gzv0->data()[i] += lv.data()[i];
-      }
+      AddInto(gsu, gzu0);
+      AddInto(gsv, gzv0);
     }
     return;
   }
+  cu_ = gsu;  // lambda_u
+  cv_ = gsv;  // lambda_v
   for (int l = layers_ - 1; l >= 0; --l) {
-    Matrix nlu = lu;  // identity carry
-    Matrix nlv = lv;
-    AggregateToUsers(lv, &nlu, /*transpose=*/true);   // Q^T lambda_v
-    AggregateToItems(lu, &nlv, /*transpose=*/true);   // P^T lambda_u
+    nu_ = cu_;  // identity carry
+    nv_ = cv_;
+    Aggregate(cv_, &nu_, u_offsets_, u_cols_, u_adj_w_);  // Q^T lambda_v
+    Aggregate(cu_, &nv_, v_offsets_, v_cols_, v_adj_w_);  // P^T lambda_u
     const bool in_sum = (l >= 1) || include_layer0;
     if (in_sum) {
-      for (size_t i = 0; i < nlu.data().size(); ++i) {
-        nlu.data()[i] += gsu.data()[i];
-      }
-      for (size_t i = 0; i < nlv.data().size(); ++i) {
-        nlv.data()[i] += gsv.data()[i];
-      }
+      AddInto(gsu, &nu_);
+      AddInto(gsv, &nv_);
     }
-    lu = std::move(nlu);
-    lv = std::move(nlv);
+    std::swap(cu_, nu_);
+    std::swap(cv_, nv_);
   }
-  for (size_t i = 0; i < lu.data().size(); ++i) gzu0->data()[i] += lu.data()[i];
-  for (size_t i = 0; i < lv.data().size(); ++i) gzv0->data()[i] += lv.data()[i];
+  AddInto(cu_, gzu0);
+  AddInto(cv_, gzv0);
 }
 
 }  // namespace logirec::graph

@@ -1,6 +1,8 @@
 #ifndef LOGIREC_GRAPH_PROPAGATION_H_
 #define LOGIREC_GRAPH_PROPAGATION_H_
 
+#include <vector>
+
 #include "graph/bipartite_graph.h"
 #include "math/matrix.h"
 
@@ -23,13 +25,27 @@ enum class Norm {
 /// The whole map (ZU0, ZV0) -> (SU, SV) is linear, so backpropagation is
 /// the same recursion run with transposed edge weights (Backward below);
 /// LogiRec exploits this to avoid taping the graph convolution.
+///
+/// Implementation: the bipartite adjacency is flattened into two CSR views
+/// (user->items and item->users) at construction, with all four per-edge
+/// normalization weights (forward and adjoint, each direction) precomputed
+/// once. Forward/Backward then run pure index/weight-array kernels with
+/// persistent scratch matrices — no divides, sqrts, or allocations on the
+/// hot path. Edge order inside each CSR row matches the adjacency-list
+/// order of the seed implementation and every output element accumulates
+/// its contributions in that same order, so results are bit-identical to
+/// the per-edge reference (asserted by propagation tests).
 class GcnPropagator {
  public:
+  /// `num_threads` bounds the worker count for the row-parallel kernels
+  /// (0 = hardware concurrency). Each output row is owned by exactly one
+  /// worker, so results do not depend on the thread count.
   GcnPropagator(const BipartiteGraph* graph, int layers,
-                Norm norm = Norm::kReceiver);
+                Norm norm = Norm::kReceiver, int num_threads = 0);
 
   /// Forward pass. `zu0`/`zv0` are (num_users x dim) and (num_items x dim);
-  /// outputs are written to `su`/`sv` (resized as needed).
+  /// outputs are written to `su`/`sv` (resized as needed, reusing their
+  /// existing capacity).
   /// `include_layer0` adds z^0 into the output sum (LightGCN convention);
   /// the paper's Eq. 7 sums l = 1..L only.
   void Forward(const Matrix& zu0, const Matrix& zv0, Matrix* su, Matrix* sv,
@@ -42,19 +58,36 @@ class GcnPropagator {
                 Matrix* gzv0, bool include_layer0 = false) const;
 
   int layers() const { return layers_; }
+  void set_num_threads(int num_threads) { num_threads_ = num_threads; }
 
  private:
-  /// out_users[u] += sum_{v in N_u} w(u,v) * items[v]; `transpose` swaps
-  /// the normalization to the emitting side (for the adjoint pass).
-  void AggregateToUsers(const Matrix& items, Matrix* out_users,
-                        bool transpose) const;
-  void AggregateToItems(const Matrix& users, Matrix* out_items,
-                        bool transpose) const;
-  double EdgeWeight(int user, int item, bool transpose) const;
+  /// dst rows accumulate weighted source rows along one CSR view:
+  /// out[r] += sum_e weights[e] * src[cols[e]] over that row's edge range.
+  void Aggregate(const Matrix& src, Matrix* out,
+                 const std::vector<int>& offsets, const std::vector<int>& cols,
+                 const std::vector<double>& weights) const;
 
-  const BipartiteGraph* graph_;
-  int layers_;
-  Norm norm_;
+  int num_users_ = 0;
+  int num_items_ = 0;
+  int layers_ = 0;
+  Norm norm_ = Norm::kReceiver;
+  int num_threads_ = 0;
+
+  // CSR views of the bipartite graph. `u_*` aggregates items into users
+  // (row u spans u_offsets_[u]..u_offsets_[u+1], listing item columns);
+  // `v_*` aggregates users into items. `*_fwd_w_` hold the forward
+  // normalization per edge, `*_adj_w_` the adjoint (transposed) one; for
+  // the symmetric norm the two coincide.
+  std::vector<int> u_offsets_, u_cols_;
+  std::vector<int> v_offsets_, v_cols_;
+  std::vector<double> u_fwd_w_, u_adj_w_;
+  std::vector<double> v_fwd_w_, v_adj_w_;
+
+  // Persistent layer scratch (current layer z^l and next layer z^{l+1},
+  // both sides). Mutable so Forward/Backward stay const for callers; the
+  // propagator is therefore not reentrant across threads — parallelism
+  // lives *inside* the kernels, one output row per worker.
+  mutable Matrix cu_, cv_, nu_, nv_;
 };
 
 }  // namespace logirec::graph

@@ -210,7 +210,11 @@ inline void CheckShapes(ConstSpan user, const ScoringView& items, Span out) {
 // no fused-multiply-add instructions (FMA is a separate ISA extension we
 // deliberately do NOT enable), so the compiler cannot contract mul+add
 // into a differently-rounded fma.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+// (target_clones emits an IFUNC resolver that runs during relocation,
+// before the sanitizer runtimes initialize — crashing at startup — so
+// clones are disabled under TSan/ASan builds.)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
 #define LOGIREC_SIMD_CLONES __attribute__((target_clones("default", "avx2")))
 #else
 #define LOGIREC_SIMD_CLONES

@@ -36,6 +36,17 @@ class Matrix {
   /// Sets every entry to `value`.
   void Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Reshapes to rows x cols and sets every entry to `fill`. Unlike
+  /// constructing a fresh Matrix this reuses the existing buffer capacity
+  /// (vector::assign), so per-batch scratch matrices stop allocating after
+  /// the first call — a requirement for the allocation-free training and
+  /// propagation hot paths.
+  void Reset(int rows, int cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows) * cols, fill);
+  }
+
   /// Fills with N(0, stddev) noise.
   void FillGaussian(Rng* rng, double stddev) {
     for (double& x : data_) x = rng->Gaussian(0.0, stddev);

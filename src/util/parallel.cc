@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,35 +21,134 @@ int ResolveWorkerCount(int num_threads, int total) {
   return std::min(workers, total);
 }
 
+namespace {
+
+/// True while the current thread is executing inside a parallel region —
+/// either as a pool worker or as the caller participating in its own
+/// region. Nested ParallelFor calls from such a thread run inline
+/// (serially) instead of going to the pool, so the pool can never
+/// deadlock on itself.
+thread_local bool t_in_parallel_region = false;
+
+/// Persistent worker pool behind ParallelFor/ParallelForWorker.
+///
+/// Spawning a std::thread per call is fine for epoch-granularity loops,
+/// but the sharded training engine dispatches a parallel region per batch
+/// per propagation layer — thousands of regions per second — and thread
+/// creation then dominates the runtime. Waking a pooled worker through a
+/// condition variable costs microseconds instead.
+///
+/// One job runs at a time: an outer mutex serializes concurrent callers,
+/// which keeps the scheduling state trivially simple. Workers are created
+/// lazily up to the widest worker count ever requested and live for the
+/// process lifetime (the singleton is intentionally leaked so worker
+/// threads never race static destruction at exit).
+class WorkerPool {
+ public:
+  static WorkerPool& Instance() {
+    static WorkerPool* pool = new WorkerPool();
+    return *pool;
+  }
+
+  /// Runs `fn(worker, i)` over [begin, end) with `workers` workers, the
+  /// calling thread acting as worker 0. Blocks until every index is done.
+  void Run(int begin, int end, int workers,
+           const std::function<void(int, int)>& fn) {
+    std::lock_guard<std::mutex> job_lock(job_mutex_);
+    EnsureWorkers(workers - 1);
+    int notified = 0;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      next_.store(begin, std::memory_order_relaxed);
+      end_ = end;
+      fn_ = &fn;
+      workers_wanted_ = workers;
+      claimed_.store(1, std::memory_order_relaxed);  // caller is worker 0
+      notified = static_cast<int>(threads_.size());
+      pending_ = notified;
+      ++generation_;
+    }
+    if (notified > 0) cv_.notify_all();
+    RunChunks(0, fn);
+    if (notified > 0) {
+      std::unique_lock<std::mutex> lk(m_);
+      done_cv_.wait(lk, [&] { return pending_ == 0; });
+    }
+    fn_ = nullptr;
+  }
+
+ private:
+  // Every pool thread wakes per generation and must acknowledge (pending_
+  // accounting), but only threads that claim a slot below the requested
+  // worker count execute chunks — the rest go straight back to sleep.
+  static constexpr int kMaxPoolThreads = 256;
+
+  void EnsureWorkers(int needed) {
+    std::lock_guard<std::mutex> lk(m_);
+    needed = std::min(needed, kMaxPoolThreads);
+    while (static_cast<int>(threads_.size()) < needed) {
+      // A new worker must not react to generations that predate it.
+      threads_.emplace_back([this, gen = generation_] { WorkerLoop(gen); });
+    }
+  }
+
+  void WorkerLoop(uint64_t seen) {
+    t_in_parallel_region = true;  // nested calls from fn run inline
+    std::unique_lock<std::mutex> lk(m_);
+    while (true) {
+      cv_.wait(lk, [&] { return generation_ != seen; });
+      seen = generation_;
+      const std::function<void(int, int)>* fn = fn_;
+      const int workers = workers_wanted_;
+      lk.unlock();
+      const int slot = claimed_.fetch_add(1, std::memory_order_relaxed);
+      if (slot < workers) RunChunks(slot, *fn);
+      lk.lock();
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  void RunChunks(int worker, const std::function<void(int, int)>& fn) {
+    // Chunked dynamic scheduling amortizes the atomic increment.
+    constexpr int kChunk = 16;
+    const int end = end_;
+    while (true) {
+      const int start = next_.fetch_add(kChunk, std::memory_order_relaxed);
+      if (start >= end) break;
+      const int stop = std::min(start + kChunk, end);
+      for (int i = start; i < stop; ++i) fn(worker, i);
+    }
+  }
+
+  std::mutex job_mutex_;  // serializes whole jobs from concurrent callers
+
+  std::mutex m_;  // guards the per-job state below
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  int workers_wanted_ = 0;
+  int end_ = 0;
+  const std::function<void(int, int)>* fn_ = nullptr;
+  std::atomic<int> next_{0};
+  std::atomic<int> claimed_{0};
+};
+
+}  // namespace
+
 void ParallelForWorker(int begin, int end,
                        const std::function<void(int worker, int i)>& fn,
                        int num_threads) {
   if (end <= begin) return;
   const int workers = ResolveWorkerCount(num_threads, end - begin);
-  if (workers <= 1) {
+  if (workers <= 1 || t_in_parallel_region) {
     for (int i = begin; i < end; ++i) fn(0, i);
     return;
   }
-
-  std::atomic<int> next{begin};
-  auto work = [&](int worker) {
-    // Chunked dynamic scheduling amortizes the atomic increment.
-    constexpr int kChunk = 16;
-    while (true) {
-      int start = next.fetch_add(kChunk, std::memory_order_relaxed);
-      if (start >= end) break;
-      int stop = std::min(start + kChunk, end);
-      for (int i = start; i < stop; ++i) fn(worker, i);
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (int t = 0; t < workers - 1; ++t) {
-    threads.emplace_back(work, t + 1);
-  }
-  work(0);
-  for (auto& th : threads) th.join();
+  t_in_parallel_region = true;
+  WorkerPool::Instance().Run(begin, end, workers, fn);
+  t_in_parallel_region = false;
 }
 
 void ParallelFor(int begin, int end, const std::function<void(int)>& fn,

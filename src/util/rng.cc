@@ -18,6 +18,15 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t Rng::MixSeed(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t x = seed;
+  uint64_t h = SplitMix64(&x);
+  x = h ^ a;
+  h = SplitMix64(&x);
+  x = h ^ b;
+  return SplitMix64(&x);
+}
+
 void Rng::Seed(uint64_t seed) {
   uint64_t s = seed;
   for (auto& word : state_) word = SplitMix64(&s);

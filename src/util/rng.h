@@ -16,6 +16,15 @@ class Rng {
   /// Re-seeds the generator; identical seeds give identical streams.
   void Seed(uint64_t seed);
 
+  /// Derives an independent stream seed from a base seed plus up to two
+  /// counters (e.g. epoch and shard index). Counter-based: the result is a
+  /// pure function of its inputs, so worker threads can construct their own
+  /// `Rng(MixSeed(seed, epoch, shard))` without any coordination, and the
+  /// stream they draw is reproducible regardless of how many workers run.
+  /// Mixing runs each word through the SplitMix64 finalizer so adjacent
+  /// counters land in unrelated regions of seed space.
+  static uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b = 0);
+
   /// Uniform 64-bit value.
   uint64_t NextU64();
 

@@ -1,5 +1,10 @@
 #include "graph/propagation.h"
 
+#include <cmath>
+#include <tuple>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "util/rng.h"
@@ -103,6 +108,199 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
                        ::testing::Values(Norm::kReceiver, Norm::kSymmetric),
                        ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Bit-identity oracle: the original per-edge implementation (pre-CSR),
+// kept verbatim as a reference. The CSR kernels must reproduce it to the
+// last bit — same weight expressions, same adjacency order, same
+// per-element accumulation sequence.
+// ---------------------------------------------------------------------------
+
+double RefEdgeWeight(const BipartiteGraph& g, Norm norm, int user, int item,
+                     bool transpose) {
+  const int du = g.UserDegree(user);
+  const int dv = g.ItemDegree(item);
+  switch (norm) {
+    case Norm::kReceiver:
+      if (!transpose) return du > 0 ? 1.0 / du : 0.0;
+      return dv > 0 ? 1.0 / dv : 0.0;
+    case Norm::kSymmetric: {
+      const double prod = static_cast<double>(du) * dv;
+      return prod > 0.0 ? 1.0 / std::sqrt(prod) : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+void RefAggregateToUsers(const BipartiteGraph& g, Norm norm,
+                         const Matrix& items, Matrix* out_users,
+                         bool transpose) {
+  const int dim = items.cols();
+  for (int u = 0; u < g.num_users(); ++u) {
+    auto dst = out_users->Row(u);
+    for (int v : g.ItemsOf(u)) {
+      const double w = RefEdgeWeight(g, norm, u, v, transpose);
+      auto src = items.Row(v);
+      for (int k = 0; k < dim; ++k) dst[k] += w * src[k];
+    }
+  }
+}
+
+void RefAggregateToItems(const BipartiteGraph& g, Norm norm,
+                         const Matrix& users, Matrix* out_items,
+                         bool transpose) {
+  const int dim = users.cols();
+  for (int v = 0; v < g.num_items(); ++v) {
+    auto dst = out_items->Row(v);
+    for (int u : g.UsersOf(v)) {
+      double w = 0.0;
+      switch (norm) {
+        case Norm::kReceiver:
+          w = transpose
+                  ? (g.UserDegree(u) > 0 ? 1.0 / g.UserDegree(u) : 0.0)
+                  : (g.ItemDegree(v) > 0 ? 1.0 / g.ItemDegree(v) : 0.0);
+          break;
+        case Norm::kSymmetric:
+          w = RefEdgeWeight(g, norm, u, v, /*transpose=*/false);
+          break;
+      }
+      auto src = users.Row(u);
+      for (int k = 0; k < dim; ++k) dst[k] += w * src[k];
+    }
+  }
+}
+
+void RefForward(const BipartiteGraph& g, Norm norm, int layers,
+                const Matrix& zu0, const Matrix& zv0, Matrix* su, Matrix* sv,
+                bool include_layer0) {
+  const int dim = zu0.cols();
+  *su = Matrix(zu0.rows(), dim, 0.0);
+  *sv = Matrix(zv0.rows(), dim, 0.0);
+  Matrix cu = zu0;
+  Matrix cv = zv0;
+  if (include_layer0) {
+    su->data() = cu.data();
+    sv->data() = cv.data();
+  }
+  for (int l = 1; l <= layers; ++l) {
+    Matrix nu = cu;
+    Matrix nv = cv;
+    RefAggregateToUsers(g, norm, cv, &nu, /*transpose=*/false);
+    RefAggregateToItems(g, norm, cu, &nv, /*transpose=*/false);
+    for (size_t i = 0; i < su->data().size(); ++i) {
+      su->data()[i] += nu.data()[i];
+    }
+    for (size_t i = 0; i < sv->data().size(); ++i) {
+      sv->data()[i] += nv.data()[i];
+    }
+    cu = std::move(nu);
+    cv = std::move(nv);
+  }
+}
+
+void RefBackward(const BipartiteGraph& g, Norm norm, int layers,
+                 const Matrix& gsu, const Matrix& gsv, Matrix* gzu0,
+                 Matrix* gzv0, bool include_layer0) {
+  Matrix lu = gsu;
+  Matrix lv = gsv;
+  if (layers == 0) {
+    if (include_layer0) {
+      for (size_t i = 0; i < lu.data().size(); ++i) {
+        gzu0->data()[i] += lu.data()[i];
+      }
+      for (size_t i = 0; i < lv.data().size(); ++i) {
+        gzv0->data()[i] += lv.data()[i];
+      }
+    }
+    return;
+  }
+  for (int l = layers - 1; l >= 0; --l) {
+    Matrix nlu = lu;
+    Matrix nlv = lv;
+    RefAggregateToUsers(g, norm, lv, &nlu, /*transpose=*/true);
+    RefAggregateToItems(g, norm, lu, &nlv, /*transpose=*/true);
+    const bool in_sum = (l >= 1) || include_layer0;
+    if (in_sum) {
+      for (size_t i = 0; i < nlu.data().size(); ++i) {
+        nlu.data()[i] += gsu.data()[i];
+      }
+      for (size_t i = 0; i < nlv.data().size(); ++i) {
+        nlv.data()[i] += gsv.data()[i];
+      }
+    }
+    lu = std::move(nlu);
+    lv = std::move(nlv);
+  }
+  for (size_t i = 0; i < lu.data().size(); ++i) gzu0->data()[i] += lu.data()[i];
+  for (size_t i = 0; i < lv.data().size(); ++i) gzv0->data()[i] += lv.data()[i];
+}
+
+class PropagationOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, Norm, bool>> {};
+
+TEST_P(PropagationOracleTest, CsrForwardAndBackwardBitIdenticalToReference) {
+  const auto [layers, norm, include0] = GetParam();
+  Rng rng(layers * 31 + static_cast<int>(norm) * 7 + (include0 ? 1 : 0));
+  const int nu = 13, ni = 17, dim = 5;
+  std::vector<std::vector<int>> adj(nu);
+  for (int u = 0; u < nu; ++u) {
+    for (int v = 0; v < ni; ++v) {
+      if (rng.Bernoulli(0.35)) adj[u].push_back(v);
+    }
+  }
+  BipartiteGraph g(nu, ni, adj);
+  GcnPropagator prop(&g, layers, norm, /*num_threads=*/3);
+
+  Matrix zu(nu, dim), zv(ni, dim), yu(nu, dim), yv(ni, dim);
+  zu.FillGaussian(&rng, 1.0);
+  zv.FillGaussian(&rng, 1.0);
+  yu.FillGaussian(&rng, 1.0);
+  yv.FillGaussian(&rng, 1.0);
+
+  Matrix su, sv, ref_su, ref_sv;
+  prop.Forward(zu, zv, &su, &sv, include0);
+  RefForward(g, norm, layers, zu, zv, &ref_su, &ref_sv, include0);
+  // EXPECT_EQ on the flat double vectors is exact — bit identity, not an
+  // epsilon comparison.
+  EXPECT_EQ(su.data(), ref_su.data());
+  EXPECT_EQ(sv.data(), ref_sv.data());
+
+  Matrix gu(nu, dim, 0.0), gv(ni, dim, 0.0);
+  Matrix ref_gu(nu, dim, 0.0), ref_gv(ni, dim, 0.0);
+  prop.Backward(yu, yv, &gu, &gv, include0);
+  RefBackward(g, norm, layers, yu, yv, &ref_gu, &ref_gv, include0);
+  EXPECT_EQ(gu.data(), ref_gu.data());
+  EXPECT_EQ(gv.data(), ref_gv.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayersNormsLayer0, PropagationOracleTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(Norm::kReceiver, Norm::kSymmetric),
+                       ::testing::Bool()));
+
+TEST(PropagationTest, ForwardReusesOutputCapacityAcrossCalls) {
+  // The hot path runs Forward/Backward every batch; after the first call
+  // warms up the scratch, repeat calls must not reallocate the outputs
+  // (vector::assign keeps capacity, so the buffer address is stable).
+  auto g = TinyGraph();
+  GcnPropagator prop(&g, 2, Norm::kSymmetric);
+  Matrix zu(3, 4), zv(3, 4);
+  Rng rng(5);
+  zu.FillGaussian(&rng, 1.0);
+  zv.FillGaussian(&rng, 1.0);
+  Matrix su, sv;
+  prop.Forward(zu, zv, &su, &sv, true);
+  const double* su_buf = su.data().data();
+  const double* sv_buf = sv.data().data();
+  Matrix first_su = su;
+  for (int rep = 0; rep < 3; ++rep) {
+    prop.Forward(zu, zv, &su, &sv, true);
+    EXPECT_EQ(su.data().data(), su_buf) << "rep " << rep;
+    EXPECT_EQ(sv.data().data(), sv_buf) << "rep " << rep;
+  }
+  EXPECT_EQ(su.data(), first_su.data());  // repeat calls are idempotent
+}
 
 TEST(PropagationTest, ColdNodesKeepTheirEmbedding) {
   // A user with no interactions must pass through unchanged (plus the

@@ -8,6 +8,8 @@
 //
 // Training flags (all models route through core::Trainer):
 //   --threads=N      ParallelFor workers (0 = hardware concurrency)
+//   --parallel=MODE  det (default; thread-count-invariant sharded SGD) or
+//                    seq (bit-identical single-stream legacy order)
 //   --patience=N     early stopping: stop after N validation probes without
 //                    improvement, restore the best parameters (0 = off)
 //   --eval-every=N   epochs between validation probes when patience > 0
@@ -84,6 +86,9 @@ core::TrainConfig ConfigFromFlags(const FlagParser& flags) {
   config.lambda = flags.GetDouble("lambda");
   config.margin = flags.GetDouble("margin");
   config.num_threads = flags.GetInt("threads");
+  config.parallel_mode = flags.GetString("parallel") == "seq"
+                             ? core::ParallelMode::kSequential
+                             : core::ParallelMode::kDeterministic;
   config.early_stopping_patience = flags.GetInt("patience");
   config.eval_every = flags.GetInt("eval-every");
   return config;
@@ -94,9 +99,11 @@ class EpochPrinter final : public core::TrainObserver {
  public:
   void OnEpochEnd(const core::EpochStats& stats) override {
     if (stats.val_metric >= 0.0) {
-      std::printf("epoch %-4d loss=%.4f (%.2fs) val Recall@10=%.2f%%%s\n",
+      std::printf("epoch %-4d loss=%.4f (%.2fs train, %.2fs probe) "
+                  "val Recall@10=%.2f%%%s\n",
                   stats.epoch, stats.mean_loss, stats.seconds,
-                  stats.val_metric, stats.improved ? " *" : "");
+                  stats.probe_seconds, stats.val_metric,
+                  stats.improved ? " *" : "");
     } else {
       std::printf("epoch %-4d loss=%.4f (%.2fs)\n", stats.epoch,
                   stats.mean_loss, stats.seconds);
@@ -222,6 +229,9 @@ int main(int argc, char** argv) {
   flags.AddDouble("lambda", 2.0, "logic regularizer weight");
   flags.AddDouble("margin", 1.0, "LMNN margin");
   flags.AddInt("threads", 0, "ParallelFor workers (0 = hardware)");
+  flags.AddString("parallel", "det",
+                  "training parallel mode: det (thread-invariant) or seq "
+                  "(legacy single-stream)");
   flags.AddInt("patience", 0, "early-stopping patience in probes (0 = off)");
   flags.AddInt("eval-every", 10, "epochs between validation probes");
   flags.AddBool("log-epochs", false, "print per-epoch training telemetry");
