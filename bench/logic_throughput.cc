@@ -1,0 +1,319 @@
+// Logic-relation kernel throughput bench: times the legacy per-relation
+// scalar loop (core::LogicEngine in ParallelMode::kSequential — the same
+// helpers in the same order as the pre-engine code) against the batched
+// SoA slot-fill/ordered-fold kernels (kDeterministic at 1, 2, and N
+// threads), plus the LogiRec++ mining refresh (UserWeighting construction
+// and UpdateGranularity), and writes BENCH_logic.json — the tracked perf
+// trajectory of the logic hot path.
+//
+// The tag-ball cache is invalidated before every timed call
+// (MarkTagsDirty), matching training where every batch moves the tag
+// centers. The det@1-vs-serial win therefore measures exactly what the
+// engine changes: no per-relation heap allocation, per-tag instead of
+// per-relation ball computation, and contiguous blocked distance kernels.
+//
+// Regression gate (--baseline): compares speedup *ratios* measured inside
+// one run (batched-vs-serial and det@N-vs-det@1) against the committed
+// baseline with a tolerance, so the gate is robust to CI hardware
+// variance.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/embedding.h"
+#include "core/logic_engine.h"
+#include "core/weighting.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace logirec::bench {
+namespace {
+
+struct RunStats {
+  std::string label;  // "serial", "det@1", ...
+  double seconds = 0.0;
+  double relations_per_sec = 0.0;
+};
+
+/// Times `iters` full logic passes (loss + gradients into fresh
+/// accumulators, cache invalidated per call, as in training).
+RunStats TimeLogicPass(core::LogicEngine* engine, const math::Matrix& items,
+                       const math::Matrix& tags, core::ParallelMode mode,
+                       int threads, int iters, const std::string& label) {
+  math::Matrix gv, gt;
+  gv.Reset(items.rows(), items.cols());
+  gt.Reset(tags.rows(), tags.cols());
+  // Warm-up: touch every buffer once outside the timed region.
+  engine->MarkTagsDirty();
+  engine->LossesAndGrads(items, tags, 2.0, mode, threads, 0, 0, &gv, &gt);
+
+  Timer timer;
+  double sink = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    gv.Reset(items.rows(), items.cols());
+    gt.Reset(tags.rows(), tags.cols());
+    engine->MarkTagsDirty();
+    sink += engine->LossesAndGrads(items, tags, 2.0, mode, threads, i, 0,
+                                   &gv, &gt);
+  }
+  RunStats stats;
+  stats.label = label;
+  stats.seconds = timer.ElapsedSeconds();
+  stats.relations_per_sec = static_cast<double>(engine->relations_per_call()) *
+                            iters / std::max(stats.seconds, 1e-12);
+  LOGIREC_CHECK(sink >= 0.0);  // keep the work observable
+  return stats;
+}
+
+RunStats BestOf(core::LogicEngine* engine, const math::Matrix& items,
+                const math::Matrix& tags, core::ParallelMode mode,
+                int threads, int iters, const std::string& label,
+                int repeats) {
+  RunStats best =
+      TimeLogicPass(engine, items, tags, mode, threads, iters, label);
+  for (int r = 1; r < repeats; ++r) {
+    RunStats run =
+        TimeLogicPass(engine, items, tags, mode, threads, iters, label);
+    if (run.relations_per_sec > best.relations_per_sec) best = run;
+  }
+  return best;
+}
+
+/// Milliseconds per UpdateGranularity call (the per-epoch mining refresh).
+double TimeMiningMs(core::UserWeighting* weighting, const math::Matrix& users,
+                    int threads, int iters, int repeats) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    for (int i = 0; i < iters; ++i) {
+      weighting->UpdateGranularity(users, threads);
+    }
+    best = std::min(best, timer.ElapsedMillis() / iters);
+  }
+  return best;
+}
+
+/// One gated ratio, serialized with the same "model"/"speedup" keys as
+/// BENCH_training.json so the string-scan baseline reader is shared.
+struct RatioReport {
+  std::string name;
+  double speedup = 0.0;
+  std::vector<RunStats> runs;
+};
+
+void WriteJson(const std::string& path, const BenchDataset& bd,
+               const data::LogicalRelations& relations, int dim,
+               int max_threads, int batch,
+               const std::vector<RatioReport>& reports,
+               double mining_ms_1, double mining_ms_n) {
+  std::ostringstream out;
+  out << "{\n  \"meta\": "
+      << StrFormat(
+             "{\"dataset\": \"%s\", \"users\": %d, \"items\": %d, "
+             "\"tags\": %d, \"memberships\": %zu, \"hierarchy\": %zu, "
+             "\"exclusions\": %zu, \"intersections\": %zu, \"dim\": %d, "
+             "\"logic_batch\": %d, \"max_threads\": %d, \"host_cores\": %u}",
+             bd.dataset.name.c_str(), bd.dataset.num_users,
+             bd.dataset.num_items, bd.dataset.taxonomy.num_tags(),
+             relations.memberships.size(), relations.hierarchy.size(),
+             relations.exclusions.size(), relations.intersections.size(),
+             dim, batch, max_threads, std::thread::hardware_concurrency())
+      << ",\n  \"mining\": "
+      << StrFormat(
+             "{\"update_granularity_ms_1t\": %.4f, "
+             "\"update_granularity_ms_nt\": %.4f, \"threads_n\": %d}",
+             mining_ms_1, mining_ms_n, max_threads)
+      << ",\n  \"models\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const RatioReport& r = reports[i];
+    out << StrFormat("    {\"model\": \"%s\", \"speedup\": %.3f,\n",
+                     r.name.c_str(), r.speedup)
+        << "     \"runs\": [";
+    for (size_t j = 0; j < r.runs.size(); ++j) {
+      out << StrFormat(
+          "%s{\"mode\": \"%s\", \"seconds\": %.4f, "
+          "\"relations_per_sec\": %.0f}",
+          j == 0 ? "" : ",\n              ", r.runs[j].label.c_str(),
+          r.runs[j].seconds, r.runs[j].relations_per_sec);
+    }
+    out << "]}" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot write " + path);
+  f << out.str();
+}
+
+std::map<std::string, double> ReadBaselineSpeedups(const std::string& path) {
+  std::ifstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot read baseline " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  std::map<std::string, double> speedups;
+  size_t pos = 0;
+  const std::string model_key = "\"model\": \"";
+  const std::string speedup_key = "\"speedup\": ";
+  while ((pos = text.find(model_key, pos)) != std::string::npos) {
+    pos += model_key.size();
+    const size_t name_end = text.find('"', pos);
+    LOGIREC_CHECK(name_end != std::string::npos);
+    const std::string name = text.substr(pos, name_end - pos);
+    const size_t spos = text.find(speedup_key, name_end);
+    LOGIREC_CHECK_MSG(spos != std::string::npos,
+                      "baseline missing speedup for " + name);
+    speedups[name] = std::stod(text.substr(spos + speedup_key.size()));
+    pos = name_end;
+  }
+  return speedups;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("dataset", "cd", "benchmark dataset preset");
+  flags.AddDouble("scale", 0.4, "dataset scale factor");
+  flags.AddInt("dim", 32, "embedding dimension");
+  flags.AddInt("iters", 200, "logic passes per timed run");
+  flags.AddInt("repeats", 3,
+               "timed runs per (mode, threads) config; fastest reported");
+  flags.AddInt("threads", 0,
+               "max worker count for the widest run (0 = hardware)");
+  flags.AddInt("batch", 0, "relations per family per pass (0 = full pass)");
+  flags.AddString("out", "BENCH_logic.json", "output JSON path");
+  flags.AddString("baseline", "",
+                  "committed BENCH_logic.json to gate against (empty = no "
+                  "gate)");
+  flags.AddDouble("max-regression", 0.30,
+                  "fail if a speedup ratio drops more than this fraction "
+                  "below the baseline");
+  const Status st = flags.Parse(argc, argv);
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  int max_threads = flags.GetInt("threads");
+  if (max_threads <= 0) {
+    max_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const int dim = flags.GetInt("dim");
+  const int iters = flags.GetInt("iters");
+  const int repeats = flags.GetInt("repeats");
+  const int batch = flags.GetInt("batch");
+
+  const BenchDataset bd =
+      MakeBenchDataset(flags.GetString("dataset"), flags.GetDouble("scale"));
+  const data::LogicalRelations relations =
+      bd.dataset.ExtractRelations(/*overlap_tolerance=*/0,
+                                  /*intersection_support=*/2);
+
+  Rng rng(7);
+  math::Matrix items(bd.dataset.num_items, dim);
+  math::Matrix tags(bd.dataset.taxonomy.num_tags(), dim);
+  core::InitPoincareRows(&items, &rng, 0.05);
+  core::InitHyperplaneCenters(&tags, bd.dataset.taxonomy, &rng);
+
+  core::LogicEngine::Options opts;
+  opts.use_intersection = !relations.intersections.empty();
+  opts.relation_batch = batch;
+  core::LogicEngine engine(relations, opts);
+
+  std::printf(
+      "logic_throughput: %s relations=%ld (mem=%zu hie=%zu exc=%zu int=%zu) "
+      "dim=%d iters=%d max_threads=%d\n",
+      bd.dataset.name.c_str(), engine.total_relations(),
+      relations.memberships.size(), relations.hierarchy.size(),
+      relations.exclusions.size(), relations.intersections.size(), dim,
+      iters, max_threads);
+
+  // ---- logic kernels -------------------------------------------------
+  const RunStats serial =
+      BestOf(&engine, items, tags, core::ParallelMode::kSequential, 1, iters,
+             "serial", repeats);
+  std::vector<RunStats> det_runs;
+  std::vector<int> thread_counts = {1, 2};
+  if (max_threads > 2) thread_counts.push_back(max_threads);
+  for (int t : thread_counts) {
+    det_runs.push_back(BestOf(&engine, items, tags,
+                              core::ParallelMode::kDeterministic, t, iters,
+                              StrFormat("det@%d", t), repeats));
+  }
+
+  RatioReport kernels;  // batched SoA kernels vs the serial seed path
+  kernels.name = "logic_kernels";
+  kernels.runs.push_back(serial);
+  kernels.runs.insert(kernels.runs.end(), det_runs.begin(), det_runs.end());
+  kernels.speedup = det_runs.front().relations_per_sec /
+                    std::max(serial.relations_per_sec, 1e-12);
+
+  RatioReport parallel;  // thread scaling of the deterministic pass
+  parallel.name = "logic_parallel";
+  parallel.runs = det_runs;
+  parallel.speedup = det_runs.back().relations_per_sec /
+                     std::max(det_runs.front().relations_per_sec, 1e-12);
+
+  for (const RunStats& run : kernels.runs) {
+    std::printf("  %-8s %12.0f relations/s\n", run.label.c_str(),
+                run.relations_per_sec);
+  }
+  std::printf("  batched det@1 vs serial: %.2fx; %s vs det@1: %.2fx\n",
+              kernels.speedup, det_runs.back().label.c_str(),
+              parallel.speedup);
+
+  // ---- mining refresh ------------------------------------------------
+  core::UserWeighting weighting(bd.dataset, bd.split.train, relations,
+                                std::max(bd.dataset.taxonomy.num_levels(), 1),
+                                max_threads);
+  math::Matrix users(bd.dataset.num_users, dim + 1);
+  core::InitLorentzRows(&users, &rng, 0.05);
+  const int mining_iters = std::max(1, iters / 10);
+  const double mining_ms_1 =
+      TimeMiningMs(&weighting, users, 1, mining_iters, repeats);
+  const double mining_ms_n =
+      TimeMiningMs(&weighting, users, max_threads, mining_iters, repeats);
+  std::printf("  mining UpdateGranularity: %.3f ms @1, %.3f ms @%d\n",
+              mining_ms_1, mining_ms_n, max_threads);
+
+  const std::vector<RatioReport> reports = {kernels, parallel};
+  WriteJson(flags.GetString("out"), bd, relations, dim, max_threads, batch,
+            reports, mining_ms_1, mining_ms_n);
+  std::printf("wrote %s\n", flags.GetString("out").c_str());
+
+  if (!flags.GetString("baseline").empty()) {
+    const auto baseline = ReadBaselineSpeedups(flags.GetString("baseline"));
+    const double max_regression = flags.GetDouble("max-regression");
+    bool failed = false;
+    for (const RatioReport& r : reports) {
+      auto it = baseline.find(r.name);
+      if (it == baseline.end()) continue;
+      const double floor = it->second * (1.0 - max_regression);
+      if (r.speedup < floor) {
+        std::printf(
+            "REGRESSION %s: speedup %.2fx < %.2fx (baseline %.2fx - %.0f%% "
+            "tolerance)\n",
+            r.name.c_str(), r.speedup, floor, it->second,
+            100.0 * max_regression);
+        failed = true;
+      }
+    }
+    if (failed) return 1;
+    std::printf("regression gate passed (tolerance %.0f%%)\n",
+                100.0 * max_regression);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace logirec::bench
+
+int main(int argc, char** argv) { return logirec::bench::Main(argc, argv); }

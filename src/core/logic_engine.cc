@@ -1,0 +1,525 @@
+#include "core/logic_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logic_losses.h"
+#include "hyper/poincare.h"
+#include "math/simd.h"
+#include "math/vec.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+
+using math::Matrix;
+
+namespace {
+
+/// Distinguishes the relation-sampling streams from the trainer's
+/// negative streams MixSeed(seed, ...) and aux streams MixSeed(~seed, ...).
+constexpr uint64_t kLogicSeedSalt = 0x6c6f676963ULL;  // "logic"
+
+/// Relations per phase-1 work unit: big enough to amortize the dispatch,
+/// small enough to balance families of a few hundred relations across
+/// workers. Chunk boundaries never affect values — every relation's slot
+/// is an independent pure function of the inputs.
+constexpr int kChunk = 128;
+
+/// Read-only view of the per-tag ball cache plus the raw center matrix,
+/// passed into the flat kernels below.
+struct TagCacheView {
+  const double* centers;  ///< enclosing-ball centers o_c, row-major
+  const double* raw;      ///< hyperplane centers c, row-major
+  const double* radius;   ///< r_c
+  const double* n;        ///< max(||c||, kMinNorm)
+  const double* a;        ///< (1 + n^2) / (2 n^2)
+  const double* da_dn;    ///< -1 / n^3
+  const double* dr_dn;    ///< -(n^2 + 1) / (2 n^2)
+  int d;
+};
+
+/// out[r] = ||xbase[xids[r]] - ybase[yids[r]]||^2 for r in [begin, end).
+/// Four independent accumulator chains per pass; each relation's sum adds
+/// its terms in the same ascending-k order as math::SquaredNorm over the
+/// explicit difference vector, so sqrt(out[r]) is bit-identical to the
+/// scalar helpers' math::Norm(math::Sub(x, y)).
+LOGIREC_SIMD_CLONES
+void PairDistSq(const double* xbase, const int* xids, const double* ybase,
+                const int* yids, int d, int begin, int end, double* out) {
+  int r = begin;
+  for (; r + 4 <= end; r += 4) {
+    const double* x0 = xbase + static_cast<size_t>(xids[r]) * d;
+    const double* x1 = xbase + static_cast<size_t>(xids[r + 1]) * d;
+    const double* x2 = xbase + static_cast<size_t>(xids[r + 2]) * d;
+    const double* x3 = xbase + static_cast<size_t>(xids[r + 3]) * d;
+    const double* y0 = ybase + static_cast<size_t>(yids[r]) * d;
+    const double* y1 = ybase + static_cast<size_t>(yids[r + 1]) * d;
+    const double* y2 = ybase + static_cast<size_t>(yids[r + 2]) * d;
+    const double* y3 = ybase + static_cast<size_t>(yids[r + 3]) * d;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double d0 = x0[k] - y0[k];
+      const double d1 = x1[k] - y1[k];
+      const double d2 = x2[k] - y2[k];
+      const double d3 = x3[k] - y3[k];
+      s0 += d0 * d0;
+      s1 += d1 * d1;
+      s2 += d2 * d2;
+      s3 += d3 * d3;
+    }
+    out[r] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < end; ++r) {
+    const double* x = xbase + static_cast<size_t>(xids[r]) * d;
+    const double* y = ybase + static_cast<size_t>(yids[r]) * d;
+    double s = 0.0;
+    for (int k = 0; k < d; ++k) {
+      const double dk = x[k] - y[k];
+      s += dk * dk;
+    }
+    out[r] = s;
+  }
+}
+
+/// Assigns (does not accumulate) into `out` the pullback of a ball-space
+/// gradient through BallFromCenter for tag `t`: center gradient
+/// g_center = (bx - by) * s_c and radius gradient `grad_radius`. This is
+/// hyper::BallFromCenterVjp with the n/a/da_dn/dr_dn prefix read from the
+/// cache instead of recomputed per relation — statement for statement the
+/// same expressions, so every value matches the scalar path bitwise.
+inline void AssignBallVjp(const double* bx, const double* by, double s_c,
+                          double grad_radius, int t, const TagCacheView& tc,
+                          double* out) {
+  const int d = tc.d;
+  const double* c = tc.raw + static_cast<size_t>(t) * d;
+  // math::Dot(g_center, c): each term rounds (bx-by)*s_c first, exactly
+  // like the materialized math::Scale row the legacy loop dotted with c.
+  double g_dot_c = 0.0;
+  for (int k = 0; k < d; ++k) {
+    g_dot_c += ((bx[k] - by[k]) * s_c) * c[k];
+  }
+  const double n = tc.n[t];
+  const double a = tc.a[t];
+  const double da_dn = tc.da_dn[t];
+  const double dr_dn = tc.dr_dn[t];
+  for (int j = 0; j < d; ++j) {
+    double g = 0.0;
+    g += a * ((bx[j] - by[j]) * s_c) + (da_dn / n) * c[j] * g_dot_c;
+    g += grad_radius * dr_dn * c[j] / n;
+    out[j] = g;
+  }
+}
+
+}  // namespace
+
+LogicEngine::LogicEngine(const data::LogicalRelations& relations,
+                         const Options& options)
+    : options_(options) {
+  if (options_.use_membership) {
+    mem_.x.reserve(relations.memberships.size());
+    mem_.y.reserve(relations.memberships.size());
+    for (const auto& [item, tag] : relations.memberships) {
+      mem_.x.push_back(item);
+      mem_.y.push_back(tag);
+      max_item_ = std::max(max_item_, item);
+      max_tag_ = std::max(max_tag_, tag);
+    }
+  }
+  if (options_.use_hierarchy) {
+    hie_.x.reserve(relations.hierarchy.size());
+    hie_.y.reserve(relations.hierarchy.size());
+    for (const data::HierarchyPair& h : relations.hierarchy) {
+      hie_.x.push_back(h.parent);
+      hie_.y.push_back(h.child);
+      max_tag_ = std::max({max_tag_, h.parent, h.child});
+    }
+  }
+  if (options_.use_exclusion) {
+    exc_.x.reserve(relations.exclusions.size());
+    exc_.y.reserve(relations.exclusions.size());
+    for (const data::ExclusionPair& e : relations.exclusions) {
+      exc_.x.push_back(e.a);
+      exc_.y.push_back(e.b);
+      max_tag_ = std::max({max_tag_, e.a, e.b});
+    }
+  }
+  if (options_.use_intersection) {
+    int_.x.reserve(relations.intersections.size());
+    int_.y.reserve(relations.intersections.size());
+    for (const data::IntersectionPair& p : relations.intersections) {
+      int_.x.push_back(p.a);
+      int_.y.push_back(p.b);
+      max_tag_ = std::max({max_tag_, p.a, p.b});
+    }
+  }
+  mem_.base = 0;
+  hie_.base = mem_.size();
+  exc_.base = hie_.base + hie_.size();
+  int_.base = exc_.base + exc_.size();
+  total_ = int_.base + int_.size();
+
+  // Destination CSRs for the full-pass ordered fold. Entries are appended
+  // family by family in relation order, so every destination row lists
+  // its relations in exactly the order the legacy loops touched it.
+  item_offsets_.assign(static_cast<size_t>(max_item_ + 1) + 1, 0);
+  tag_offsets_.assign(static_cast<size_t>(max_tag_ + 1) + 1, 0);
+  for (int v : mem_.x) ++item_offsets_[v + 1];
+  for (int t : mem_.y) ++tag_offsets_[t + 1];
+  for (const Family* f : {&hie_, &exc_, &int_}) {
+    for (int t : f->x) ++tag_offsets_[t + 1];
+    for (int t : f->y) ++tag_offsets_[t + 1];
+  }
+  for (size_t i = 1; i < item_offsets_.size(); ++i) {
+    item_offsets_[i] += item_offsets_[i - 1];
+  }
+  for (size_t i = 1; i < tag_offsets_.size(); ++i) {
+    tag_offsets_[i] += tag_offsets_[i - 1];
+  }
+  item_rels_.resize(item_offsets_.back());
+  tag_entries_.resize(tag_offsets_.back());
+  std::vector<int> item_cursor(item_offsets_.begin(), item_offsets_.end() - 1);
+  std::vector<int> tag_cursor(tag_offsets_.begin(), tag_offsets_.end() - 1);
+  for (int r = 0; r < mem_.size(); ++r) {
+    item_rels_[item_cursor[mem_.x[r]]++] = mem_.base + r;
+    tag_entries_[tag_cursor[mem_.y[r]]++] =
+        (static_cast<uint32_t>(mem_.base + r) << 1) | 1u;
+  }
+  for (const Family* f : {&hie_, &exc_, &int_}) {
+    for (int r = 0; r < f->size(); ++r) {
+      tag_entries_[tag_cursor[f->x[r]]++] =
+          static_cast<uint32_t>(f->base + r) << 1;
+      tag_entries_[tag_cursor[f->y[r]]++] =
+          (static_cast<uint32_t>(f->base + r) << 1) | 1u;
+    }
+  }
+}
+
+long LogicEngine::relations_per_call() const {
+  const int nb = options_.relation_batch;
+  long per_call = 0;
+  for (const Family* f : {&mem_, &hie_, &exc_, &int_}) {
+    per_call += (nb > 0 && nb < f->size()) ? nb : f->size();
+  }
+  return per_call;
+}
+
+void LogicEngine::RefreshTagCache(const Matrix& tag_centers,
+                                  int num_threads) {
+  const int nt = tag_centers.rows();
+  const int d = tag_centers.cols();
+  if (!tags_dirty_ && ball_center_.rows() == nt && ball_center_.cols() == d) {
+    return;
+  }
+  ball_center_.Reset(nt, d);
+  radius_.resize(nt);
+  norm_.resize(nt);
+  scale_a_.resize(nt);
+  da_dn_.resize(nt);
+  dr_dn_.resize(nt);
+  ParallelFor(0, nt, [&](int t) {
+    // The shared prefix of hyper::BallFromCenter and BallFromCenterVjp,
+    // expression for expression: cached once per tag instead of
+    // recomputed (with two Vec allocations) once per relation.
+    const math::ConstSpan c = tag_centers.Row(t);
+    const double n = std::max(math::Norm(c), hyper::kMinNorm);
+    const double a = (1.0 + n * n) / (2.0 * n * n);
+    math::Span o = ball_center_.Row(t);
+    for (int k = 0; k < d; ++k) o[k] = c[k] * a;
+    radius_[t] = (1.0 - n * n) / (2.0 * n);
+    norm_[t] = n;
+    scale_a_[t] = a;
+    da_dn_[t] = -1.0 / (n * n * n);
+    dr_dn_[t] = -(n * n + 1.0) / (2.0 * n * n);
+  }, num_threads);
+  tags_dirty_ = false;
+}
+
+bool LogicEngine::BuildRuns(int epoch, int shard,
+                            std::vector<FamilyRun>* runs) {
+  runs->clear();
+  const int nb = options_.relation_batch;
+  bool sampled = false;
+  int base = 0;
+  const std::pair<Kind, const Family*> families[] = {{kMembership, &mem_},
+                                                     {kHierarchy, &hie_},
+                                                     {kExclusion, &exc_},
+                                                     {kIntersection, &int_}};
+  for (const auto& [kind, fam] : families) {
+    if (fam->size() == 0) continue;
+    FamilyRun run;
+    run.kind = kind;
+    run.base = base;
+    run.count = (nb > 0 && nb < fam->size()) ? nb : fam->size();
+    run.rescale = static_cast<double>(fam->size()) / run.count;
+    if (run.count < fam->size()) sampled = true;
+    runs->push_back(run);
+    base += run.count;
+  }
+  if (!sampled) {
+    for (FamilyRun& run : *runs) {
+      const Family& fam = run.kind == kMembership   ? mem_
+                          : run.kind == kHierarchy  ? hie_
+                          : run.kind == kExclusion  ? exc_
+                                                    : int_;
+      run.xids = fam.x.data();
+      run.yids = fam.y.data();
+    }
+    return false;
+  }
+  // Sampled call: gather every run's endpoint ids into the contiguous
+  // sx_/sy_ position arrays. All draws come from one counter-based
+  // stream consumed in fixed family order, so the slice is a pure
+  // function of (seed, epoch, shard) — identical for every thread count
+  // and for both scheduling modes.
+  sx_.resize(base);
+  sy_.resize(base);
+  Rng rng(Rng::MixSeed(options_.seed ^ kLogicSeedSalt,
+                       static_cast<uint64_t>(epoch),
+                       static_cast<uint64_t>(shard)));
+  for (FamilyRun& run : *runs) {
+    const Family& fam = run.kind == kMembership   ? mem_
+                        : run.kind == kHierarchy  ? hie_
+                        : run.kind == kExclusion  ? exc_
+                                                  : int_;
+    if (run.count < fam.size()) {
+      for (int j = 0; j < run.count; ++j) {
+        const int idx = rng.UniformInt(fam.size());
+        sx_[run.base + j] = fam.x[idx];
+        sy_[run.base + j] = fam.y[idx];
+      }
+    } else {
+      std::copy(fam.x.begin(), fam.x.end(), sx_.begin() + run.base);
+      std::copy(fam.y.begin(), fam.y.end(), sy_.begin() + run.base);
+    }
+    run.xids = sx_.data() + run.base;
+    run.yids = sy_.data() + run.base;
+  }
+  return true;
+}
+
+double LogicEngine::LossesAndGrads(const Matrix& items,
+                                   const Matrix& tag_centers, double lambda,
+                                   ParallelMode mode, int num_threads,
+                                   int epoch, int shard, Matrix* grad_items,
+                                   Matrix* grad_tags) {
+  if (total_ == 0) return 0.0;
+  LOGIREC_CHECK(grad_items != nullptr && grad_tags != nullptr);
+  LOGIREC_CHECK(max_item_ < items.rows());
+  LOGIREC_CHECK(max_tag_ < tag_centers.rows());
+  LOGIREC_CHECK(grad_items->rows() == items.rows() &&
+                grad_items->cols() == items.cols());
+  LOGIREC_CHECK(grad_tags->rows() == tag_centers.rows() &&
+                grad_tags->cols() == tag_centers.cols());
+  LOGIREC_CHECK(items.cols() == tag_centers.cols());
+  if (mode == ParallelMode::kSequential) {
+    return SequentialPass(items, tag_centers, lambda, epoch, shard,
+                          grad_items, grad_tags);
+  }
+  return DeterministicPass(items, tag_centers, lambda, num_threads, epoch,
+                           shard, grad_items, grad_tags);
+}
+
+double LogicEngine::SequentialPass(const Matrix& items,
+                                   const Matrix& tag_centers, double lambda,
+                                   int epoch, int shard, Matrix* grad_items,
+                                   Matrix* grad_tags) {
+  std::vector<FamilyRun> runs;
+  const bool sampled = BuildRuns(epoch, shard, &runs);
+  double loss = 0.0;
+  for (const FamilyRun& run : runs) {
+    // The scalar loss helpers applied in relation order — at full pass
+    // this is literally the pre-engine per-relation loop (the bit-level
+    // test oracle); sampled calls rescale by |family| / n.
+    const double scale = sampled ? lambda * run.rescale : lambda;
+    for (int r = 0; r < run.count; ++r) {
+      const int x = run.xids[r];
+      const int y = run.yids[r];
+      double l = 0.0;
+      switch (run.kind) {
+        case kMembership:
+          l = MembershipLossAndGrad(items.Row(x), tag_centers.Row(y), scale,
+                                    grad_items->Row(x), grad_tags->Row(y));
+          break;
+        case kHierarchy:
+          l = HierarchyLossAndGrad(tag_centers.Row(x), tag_centers.Row(y),
+                                   scale, grad_tags->Row(x),
+                                   grad_tags->Row(y));
+          break;
+        case kExclusion:
+          l = ExclusionLossAndGrad(tag_centers.Row(x), tag_centers.Row(y),
+                                   scale, grad_tags->Row(x),
+                                   grad_tags->Row(y));
+          break;
+        case kIntersection:
+          l = IntersectionLossAndGrad(tag_centers.Row(x), tag_centers.Row(y),
+                                      scale, grad_tags->Row(x),
+                                      grad_tags->Row(y));
+          break;
+      }
+      loss += sampled ? run.rescale * l : l;
+    }
+  }
+  return loss;
+}
+
+double LogicEngine::DeterministicPass(const Matrix& items,
+                                      const Matrix& tag_centers,
+                                      double lambda, int num_threads,
+                                      int epoch, int shard,
+                                      Matrix* grad_items, Matrix* grad_tags) {
+  RefreshTagCache(tag_centers, num_threads);
+  const int d = items.cols();
+  std::vector<FamilyRun> runs;
+  const bool sampled = BuildRuns(epoch, shard, &runs);
+  int total = 0;
+  for (const FamilyRun& run : runs) total += run.count;
+  slots_.Shape(total, d);
+  dist_sq_.resize(total);
+
+  const TagCacheView tc{ball_center_.Row(0).data(),
+                        tag_centers.Row(0).data(),
+                        radius_.data(),
+                        norm_.data(),
+                        scale_a_.data(),
+                        da_dn_.data(),
+                        dr_dn_.data(),
+                        d};
+  const double* items_base = items.Row(0).data();
+
+  // ---- phase 1: parallel slot fill -----------------------------------
+  // Every position's loss and endpoint gradient rows are pure functions
+  // of (embeddings, relation), assigned into slots owned by that
+  // position alone — chunked so the blocked distance kernel amortizes
+  // across relations.
+  for (const FamilyRun& run : runs) {
+    const double scale = sampled ? lambda * run.rescale : lambda;
+    const double* xbase = run.kind == kMembership ? items_base : tc.centers;
+    const int chunks = (run.count + kChunk - 1) / kChunk;
+    ParallelFor(0, chunks, [&](int ch) {
+      const int r0 = ch * kChunk;
+      const int r1 = std::min(run.count, r0 + kChunk);
+      double* ds = dist_sq_.data() + run.base;
+      PairDistSq(xbase, run.xids, tc.centers, run.yids, d, r0, r1, ds);
+      for (int r = r0; r < r1; ++r) {
+        const int p = run.base + r;
+        const int x = run.xids[r];
+        const int y = run.yids[r];
+        const double dist = std::max(std::sqrt(ds[r]), kLogicDistEps);
+        double loss = 0.0;
+        switch (run.kind) {
+          case kMembership:
+            loss = dist - tc.radius[y];
+            break;
+          case kHierarchy:
+            loss = dist + tc.radius[y] - tc.radius[x];
+            break;
+          case kExclusion:
+            loss = tc.radius[x] + tc.radius[y] - dist;
+            break;
+          case kIntersection:
+            loss = dist - (tc.radius[x] + tc.radius[y]);
+            break;
+        }
+        if (loss <= 0.0) {
+          slots_.Loss(p) = 0.0;
+          continue;
+        }
+        slots_.Loss(p) = loss;
+        double* gx = slots_.GradX(p);
+        double* gy = slots_.GradY(p);
+        switch (run.kind) {
+          case kMembership: {
+            const double* xv = items_base + static_cast<size_t>(x) * d;
+            const double* o = tc.centers + static_cast<size_t>(y) * d;
+            // math::Axpy(scale / dist, diff, grad_item), assign form.
+            const double s_item = scale / dist;
+            for (int k = 0; k < d; ++k) gx[k] = s_item * (xv[k] - o[k]);
+            AssignBallVjp(xv, o, -scale / dist, -scale, y, tc, gy);
+            break;
+          }
+          case kHierarchy: {
+            const double* op = tc.centers + static_cast<size_t>(x) * d;
+            const double* oc = tc.centers + static_cast<size_t>(y) * d;
+            AssignBallVjp(op, oc, scale / dist, -scale, x, tc, gx);
+            AssignBallVjp(op, oc, -scale / dist, scale, y, tc, gy);
+            break;
+          }
+          case kExclusion: {
+            const double* oa = tc.centers + static_cast<size_t>(x) * d;
+            const double* ob = tc.centers + static_cast<size_t>(y) * d;
+            AssignBallVjp(oa, ob, -scale / dist, scale, x, tc, gx);
+            AssignBallVjp(oa, ob, scale / dist, scale, y, tc, gy);
+            break;
+          }
+          case kIntersection: {
+            const double* oa = tc.centers + static_cast<size_t>(x) * d;
+            const double* ob = tc.centers + static_cast<size_t>(y) * d;
+            AssignBallVjp(oa, ob, scale / dist, -scale, x, tc, gx);
+            AssignBallVjp(oa, ob, -scale / dist, -scale, y, tc, gy);
+            break;
+          }
+        }
+      }
+    }, num_threads);
+  }
+
+  // ---- phase 2: ordered fold ------------------------------------------
+  double loss = 0.0;
+  if (!sampled) {
+    // Tag-conflict-free scatter: positions equal global relation indices,
+    // so the static destination CSRs apply — one worker per destination
+    // row, contributions added in relation order (the per-row slice of
+    // the legacy accumulation order, which is all bit-identity needs).
+    ParallelFor(0, static_cast<int>(item_offsets_.size()) - 1, [&](int v) {
+      math::Span row = grad_items->Row(v);
+      for (int e = item_offsets_[v]; e < item_offsets_[v + 1]; ++e) {
+        const int p = item_rels_[e];
+        if (slots_.Loss(p) <= 0.0) continue;
+        const double* g = slots_.GradX(p);
+        for (int k = 0; k < d; ++k) row[k] += g[k];
+      }
+    }, num_threads);
+    ParallelFor(0, static_cast<int>(tag_offsets_.size()) - 1, [&](int t) {
+      math::Span row = grad_tags->Row(t);
+      for (int e = tag_offsets_[t]; e < tag_offsets_[t + 1]; ++e) {
+        const uint32_t entry = tag_entries_[e];
+        const int p = static_cast<int>(entry >> 1);
+        if (slots_.Loss(p) <= 0.0) continue;
+        const double* g = (entry & 1u) ? slots_.GradY(p) : slots_.GradX(p);
+        for (int k = 0; k < d; ++k) row[k] += g[k];
+      }
+    }, num_threads);
+    // Hinge-inactive relations contribute an exact 0.0, so the running
+    // sum matches the legacy loop's term-by-term accumulation.
+    for (int p = 0; p < total; ++p) loss += slots_.Loss(p);
+  } else {
+    // Sampled calls use positions, not relation indices, so the static
+    // CSRs do not apply; the slice is small by construction, and a single
+    // ordered walk keeps the result a pure function of the slice.
+    for (const FamilyRun& run : runs) {
+      for (int r = 0; r < run.count; ++r) {
+        const int p = run.base + r;
+        const double l = slots_.Loss(p);
+        loss += run.rescale * l;
+        if (l <= 0.0) continue;
+        const int x = run.xids[r];
+        const int y = run.yids[r];
+        math::Span xrow = run.kind == kMembership ? grad_items->Row(x)
+                                                  : grad_tags->Row(x);
+        const double* gx = slots_.GradX(p);
+        for (int k = 0; k < d; ++k) xrow[k] += gx[k];
+        math::Span yrow = grad_tags->Row(y);
+        const double* gy = slots_.GradY(p);
+        for (int k = 0; k < d; ++k) yrow[k] += gy[k];
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace logirec::core

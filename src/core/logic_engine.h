@@ -1,0 +1,150 @@
+#ifndef LOGIREC_CORE_LOGIC_ENGINE_H_
+#define LOGIREC_CORE_LOGIC_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/recommender.h"
+#include "core/shard_grads.h"
+#include "data/dataset.h"
+#include "math/matrix.h"
+
+namespace logirec::core {
+
+/// Batched, deterministic executor of the logic-relation losses (Eqs.
+/// 3-5 plus the intersection extension). Replaces the per-relation
+/// scalar loops over data::LogicalRelations with a structure-of-arrays
+/// relation store and a two-phase slot-fill / ordered-fold pipeline:
+///
+///  * SoA store — each relation family's endpoint ids live in flat
+///    int arrays (item/tag, parent/child, a/b), so the hinge-distance
+///    kernels stream contiguous index arrays instead of chasing
+///    struct-of-pairs layouts, and the per-relation virtual-free inner
+///    loops compile to runtime-dispatched AVX2 clones (math/simd.h).
+///  * Per-tag ball cache — BallFromCenter's (o_c, r_c, ||c||, a, da/dn,
+///    dr/dn) are pure functions of a tag's center row. The legacy loop
+///    recomputed them once per *relation* (with two heap-allocated Vecs
+///    each); the engine computes them once per *tag*, O(T·d) instead of
+///    O(R·d), and rebuilds only when MarkTagsDirty() says the centers
+///    moved. Cached values are computed with the exact expressions of
+///    hyper::BallFromCenter/BallFromCenterVjp, so nothing changes at the
+///    bit level.
+///  * Determinism — ParallelMode::kSequential runs the literal legacy
+///    loop (same scalar helpers, same order: the test oracle);
+///    kDeterministic fills per-relation gradient slots in parallel
+///    (RelationGradSlots) and folds them so every destination row
+///    receives its contributions in relation order — a pure function of
+///    the inputs, thread-count invariant, and (at full pass) bit-identical
+///    to kSequential.
+///  * Relation mini-batching — Options::relation_batch > 0 samples that
+///    many relations per family per call from a counter-based stream
+///    Rng(MixSeed(seed ^ salt, epoch, shard)), with loss and gradients
+///    rescaled by |family| / n (unbiased). Default is the full pass.
+///
+/// All buffers are persistent: steady-state calls do not allocate.
+class LogicEngine {
+ public:
+  struct Options {
+    // Family switches (mirror the LogiRecConfig ablations); disabled
+    // families are not ingested at all.
+    bool use_membership = true;
+    bool use_hierarchy = true;
+    bool use_exclusion = true;
+    bool use_intersection = false;
+    /// Relations sampled per family per call; 0 = full pass.
+    int relation_batch = 0;
+    /// Base seed of the relation-sampling counter streams.
+    uint64_t seed = 7;
+  };
+
+  LogicEngine(const data::LogicalRelations& relations, const Options& options);
+
+  /// Invalidates the per-tag ball cache. Call after any step that moves
+  /// tag centers; the next kDeterministic call rebuilds the cache.
+  void MarkTagsDirty() { tags_dirty_ = true; }
+
+  /// Accumulates the logic losses and their `lambda`-scaled gradients
+  /// into `grad_items` / `grad_tags` (same contract as the scalar
+  /// helpers: gradients scaled by lambda, the returned summed loss
+  /// unscaled). `items` are the Poincaré item rows, `tag_centers` the
+  /// hyperplane centers. (epoch, shard) key the relation-sampling stream
+  /// when relation_batch > 0 and are ignored otherwise.
+  double LossesAndGrads(const math::Matrix& items,
+                        const math::Matrix& tag_centers, double lambda,
+                        ParallelMode mode, int num_threads, int epoch,
+                        int shard, math::Matrix* grad_items,
+                        math::Matrix* grad_tags);
+
+  /// Ingested relation count across the enabled families.
+  long total_relations() const { return total_; }
+  /// Effective relations processed per call under the current options
+  /// (accounts for relation_batch).
+  long relations_per_call() const;
+
+ private:
+  enum Kind { kMembership = 0, kHierarchy, kExclusion, kIntersection };
+
+  /// One relation family's SoA endpoint arrays. `x` is the item (for
+  /// membership) or the first tag (parent / a); `y` the tag / child / b.
+  struct Family {
+    std::vector<int> x, y;
+    int base = 0;  ///< global slot index of this family's relation 0
+    int size() const { return static_cast<int>(x.size()); }
+  };
+
+  /// Per-call view of one family: either the full SoA arrays or the
+  /// sampled slice gathered into sx_/sy_, plus the unbiasing rescale.
+  struct FamilyRun {
+    Kind kind;
+    int base = 0;   ///< global slot index of this run's position 0
+    int count = 0;  ///< positions processed this call
+    double rescale = 1.0;
+    const int* xids = nullptr;
+    const int* yids = nullptr;
+  };
+
+  void RefreshTagCache(const math::Matrix& tag_centers, int num_threads);
+  /// Builds the per-call family runs; returns true when any family is
+  /// sampled (sx_/sy_ hold the gathered endpoint ids for ALL positions).
+  bool BuildRuns(int epoch, int shard, std::vector<FamilyRun>* runs);
+
+  double SequentialPass(const math::Matrix& items,
+                        const math::Matrix& tag_centers, double lambda,
+                        int epoch, int shard, math::Matrix* grad_items,
+                        math::Matrix* grad_tags);
+  double DeterministicPass(const math::Matrix& items,
+                           const math::Matrix& tag_centers, double lambda,
+                           int num_threads, int epoch, int shard,
+                           math::Matrix* grad_items, math::Matrix* grad_tags);
+
+  Options options_;
+  Family mem_, hie_, exc_, int_;
+  long total_ = 0;
+  int max_item_ = -1;  ///< largest item id referenced (memberships)
+  int max_tag_ = -1;   ///< largest tag id referenced (any family)
+
+  // Destination CSRs for the full-pass ordered fold: each item/tag row
+  // lists the global relation indices that touch it, in relation-
+  // processing order, so one worker per destination row applies that
+  // row's contributions in the legacy accumulation order (tag-conflict-
+  // free scatter). Tag entries encode (relation << 1) | endpoint, where
+  // endpoint 0 reads GradX and 1 reads GradY.
+  std::vector<int> item_offsets_, item_rels_;
+  std::vector<int> tag_offsets_;
+  std::vector<uint32_t> tag_entries_;
+
+  // Per-tag ball cache (see class comment). Rebuilt by RefreshTagCache
+  // when dirty or when the tag matrix changed shape.
+  bool tags_dirty_ = true;
+  math::Matrix ball_center_;  // num_tags x d
+  std::vector<double> radius_, norm_, scale_a_, da_dn_, dr_dn_;
+
+  // Persistent per-call scratch.
+  RelationGradSlots slots_;
+  std::vector<double> dist_sq_;
+  std::vector<int> sx_, sy_;  ///< gathered endpoint ids (sampled calls)
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_LOGIC_ENGINE_H_

@@ -13,7 +13,7 @@ using hyper::BallFromCenterVjp;
 using math::Vec;
 
 namespace {
-constexpr double kEps = 1e-12;
+constexpr double kEps = kLogicDistEps;
 }  // namespace
 
 double MembershipLossAndGrad(ConstSpan item, ConstSpan tag_center,

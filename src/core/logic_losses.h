@@ -8,6 +8,12 @@ namespace logirec::core {
 using math::ConstSpan;
 using math::Span;
 
+/// Floor applied to every center/item distance before dividing by it in
+/// the hinge gradients below. Exported so core::LogicEngine's batched
+/// kernels clamp with the exact same epsilon and stay bit-identical to
+/// these scalar helpers.
+inline constexpr double kLogicDistEps = 1e-12;
+
 /// Membership loss (Eq. 3): an item point must fall inside the enclosing
 /// d-ball of its tag's hyperplane,
 ///   L = max(0, ||v - o_t|| - r_t),

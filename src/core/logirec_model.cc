@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/embedding.h"
+#include "core/logic_engine.h"
 #include "core/logic_losses.h"
 #include "core/persistence.h"
 #include "core/shard_grads.h"
@@ -18,6 +19,7 @@
 #include "util/string_util.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace logirec::core {
 
@@ -37,9 +39,15 @@ struct LogiRecModel::TrainState {
   std::unique_ptr<graph::GcnPropagator> prop;
   std::unique_ptr<opt::SgdOptimizer> user_sgd, item_sgd, tag_sgd;
   bool identity = false;  // prop has zero layers
+  // Batched executor of the logic-relation losses (SoA store + cached
+  // per-tag balls + deterministic slot-fill/ordered-fold kernels).
+  std::unique_ptr<LogicEngine> logic;
   // The LogiRec++ granularity refresh runs once per epoch, on the first
   // batch that needs Alpha().
   int granularity_epoch = -1;
+  // Per-epoch wall-time phase counters, drained by DrainEpochTimers().
+  double logic_seconds = 0.0;
+  double mining_seconds = 0.0;
   // Persistent per-batch scratch (forward outputs, gradient accumulators,
   // per-pair slots for the deterministic pipeline): Reset/Shape reuse
   // capacity, so steady-state batches do not allocate.
@@ -54,6 +62,18 @@ void LiftItems(const Matrix& poincare, Matrix* lorentz, int num_threads) {
     const math::Vec x = hyper::PoincareToLorentz(poincare.Row(v));
     math::Copy(x, lorentz->Row(v));
   }, num_threads);
+}
+
+std::unique_ptr<LogicEngine> MakeLogicEngine(
+    const LogiRecConfig& config, const data::LogicalRelations& relations) {
+  LogicEngine::Options opts;
+  opts.use_membership = config.use_membership;
+  opts.use_hierarchy = config.use_hierarchy;
+  opts.use_exclusion = config.use_exclusion;
+  opts.use_intersection = config.use_intersection;
+  opts.relation_batch = config.logic_batch;
+  opts.seed = config.seed;
+  return std::make_unique<LogicEngine>(relations, opts);
 }
 
 }  // namespace
@@ -111,9 +131,10 @@ void LogiRecModel::FitHyperbolic(const data::Dataset& dataset,
   if (config_.use_mining) {
     weighting_ = std::make_unique<UserWeighting>(
         dataset, split.train, relations_,
-        std::max(dataset.taxonomy.num_levels(), 1));
+        std::max(dataset.taxonomy.num_levels(), 1), config_.num_threads);
   }
 
+  ts_->logic = MakeLogicEngine(config_, relations_);
   ts_->user_rsgd = std::make_unique<opt::LorentzRsgd>(config_.learning_rate,
                                                       config_.grad_clip);
   ts_->item_rsgd = std::make_unique<opt::PoincareRsgd>(
@@ -156,9 +177,10 @@ void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
   if (config_.use_mining) {
     weighting_ = std::make_unique<UserWeighting>(
         dataset, split.train, relations_,
-        std::max(dataset.taxonomy.num_levels(), 1));
+        std::max(dataset.taxonomy.num_levels(), 1), config_.num_threads);
   }
 
+  ts_->logic = MakeLogicEngine(config_, relations_);
   ts_->user_sgd = std::make_unique<opt::SgdOptimizer>(
       config_.learning_rate, config_.l2, config_.grad_clip);
   ts_->item_sgd = std::make_unique<opt::SgdOptimizer>(
@@ -176,38 +198,33 @@ double LogiRecModel::TrainOnBatch(const BatchContext& ctx) {
                                 : TrainOnBatchEuclidean(ctx);
 }
 
-double LogiRecModel::LogicLossesAndGrads(Matrix* gv, Matrix* gt) {
-  const double lam = config_.lambda;
-  double loss = 0.0;
-  if (config_.use_membership) {
-    for (const auto& [item, tag] : relations_.memberships) {
-      loss += MembershipLossAndGrad(item_poincare_.Row(item),
-                                    tag_centers_.Row(tag), lam,
-                                    gv->Row(item), gt->Row(tag));
-    }
+double LogiRecModel::LogicLossesAndGrads(const BatchContext& ctx, Matrix* gv,
+                                         Matrix* gt) {
+  // The logic pass follows the global scheduling mode unless the
+  // logic_parallel override pins it (e.g. timing the legacy scalar loop
+  // against the batched kernels inside one otherwise-identical run).
+  ParallelMode mode = ctx.mode;
+  if (config_.logic_parallel == LogicParallel::kSequential) {
+    mode = ParallelMode::kSequential;
+  } else if (config_.logic_parallel == LogicParallel::kDeterministic) {
+    mode = ParallelMode::kDeterministic;
   }
-  if (config_.use_hierarchy) {
-    for (const data::HierarchyPair& h : relations_.hierarchy) {
-      loss += HierarchyLossAndGrad(tag_centers_.Row(h.parent),
-                                   tag_centers_.Row(h.child), lam,
-                                   gt->Row(h.parent), gt->Row(h.child));
-    }
-  }
-  if (config_.use_exclusion) {
-    for (const data::ExclusionPair& e : relations_.exclusions) {
-      loss += ExclusionLossAndGrad(tag_centers_.Row(e.a),
-                                   tag_centers_.Row(e.b), lam, gt->Row(e.a),
-                                   gt->Row(e.b));
-    }
-  }
-  if (config_.use_intersection) {
-    for (const data::IntersectionPair& p : relations_.intersections) {
-      loss += IntersectionLossAndGrad(tag_centers_.Row(p.a),
-                                      tag_centers_.Row(p.b), lam,
-                                      gt->Row(p.a), gt->Row(p.b));
-    }
-  }
+  Timer timer;
+  const double loss = ts_->logic->LossesAndGrads(
+      item_poincare_, tag_centers_, config_.lambda, mode, ctx.num_threads,
+      ctx.epoch, ctx.shard, gv, gt);
+  ts_->logic_seconds += timer.ElapsedSeconds();
   return loss;
+}
+
+void LogiRecModel::DrainEpochTimers(double* logic_seconds,
+                                    double* mining_seconds) {
+  *logic_seconds = ts_ ? ts_->logic_seconds : 0.0;
+  *mining_seconds = ts_ ? ts_->mining_seconds : 0.0;
+  if (ts_) {
+    ts_->logic_seconds = 0.0;
+    ts_->mining_seconds = 0.0;
+  }
 }
 
 double LogiRecModel::TrainOnBatchHyperbolic(const BatchContext& ctx) {
@@ -224,8 +241,10 @@ double LogiRecModel::TrainOnBatchHyperbolic(const BatchContext& ctx) {
   Matrix& fv = ts_->fv;
   ts_->hgcn->Forward(user_lorentz_, ts_->item_lorentz, &fu, &fv);
   if (weighting_ && ts_->granularity_epoch != ctx.epoch) {
-    weighting_->UpdateGranularity(fu);
+    Timer mining_timer;
+    weighting_->UpdateGranularity(fu, ctx.num_threads);
     ts_->granularity_epoch = ctx.epoch;
+    ts_->mining_seconds += mining_timer.ElapsedSeconds();
   }
 
   // ---- L_Rec (Eq. 9 / Eq. 15): LMNN hinge on this batch ------------
@@ -313,7 +332,7 @@ double LogiRecModel::TrainOnBatchHyperbolic(const BatchContext& ctx) {
   Matrix& gt = ts_->gt;
   gt.Reset(nt, d);
   if (lam > 0.0) {
-    loss += LogicLossesAndGrads(&gv, &gt);
+    loss += LogicLossesAndGrads(ctx, &gv, &gt);
   }
 
   // ---- Riemannian SGD updates ---------------------------------------
@@ -329,6 +348,7 @@ double LogiRecModel::TrainOnBatchHyperbolic(const BatchContext& ctx) {
       ts_->tag_rsgd->Step(t, tag_centers_.Row(t), gt.Row(t));
       hyper::ClampHyperplaneCenter(tag_centers_.Row(t));
     }, ctx.num_threads);
+    ts_->logic->MarkTagsDirty();
   }
   return loss;
 }
@@ -353,14 +373,16 @@ double LogiRecModel::TrainOnBatchEuclidean(const BatchContext& ctx) {
   if (weighting_ && ts_->granularity_epoch != ctx.epoch) {
     // Euclidean granularity proxy: lift to the hyperboloid and measure
     // the distance to the origin there.
+    Timer mining_timer;
     Matrix lifted(nu, d + 1);
     ParallelFor(0, nu, [&](int u) {
       auto row = lifted.Row(u);
       for (int k = 0; k < d; ++k) row[k + 1] = fu.At(u, k);
       hyper::ProjectToHyperboloid(row);
     }, ctx.num_threads);
-    weighting_->UpdateGranularity(lifted);
+    weighting_->UpdateGranularity(lifted, ctx.num_threads);
     ts_->granularity_epoch = ctx.epoch;
+    ts_->mining_seconds += mining_timer.ElapsedSeconds();
   }
 
   const int npp = config_.negatives_per_positive;
@@ -443,7 +465,7 @@ double LogiRecModel::TrainOnBatchEuclidean(const BatchContext& ctx) {
   Matrix& gt = ts_->gt;
   gt.Reset(nt, d);
   if (lam > 0.0) {
-    loss += LogicLossesAndGrads(&gv, &gt);
+    loss += LogicLossesAndGrads(ctx, &gv, &gt);
   }
 
   ParallelFor(0, nu, [&](int u) {
@@ -457,6 +479,7 @@ double LogiRecModel::TrainOnBatchEuclidean(const BatchContext& ctx) {
       ts_->tag_sgd->Step(t, tag_centers_.Row(t), gt.Row(t));
       hyper::ClampHyperplaneCenter(tag_centers_.Row(t));
     }, ctx.num_threads);
+    ts_->logic->MarkTagsDirty();
   }
   return loss;
 }
@@ -466,7 +489,9 @@ void LogiRecModel::SyncScoringState() {
     LiftItems(item_poincare_, &ts_->item_lorentz, config_.num_threads);
     ts_->hgcn->Forward(user_lorentz_, ts_->item_lorentz, &final_user_,
                        &final_item_);
-    if (weighting_) weighting_->UpdateGranularity(final_user_);
+    if (weighting_) {
+      weighting_->UpdateGranularity(final_user_, config_.num_threads);
+    }
   } else {
     if (ts_->identity) {
       final_user_ = user_euclidean_;

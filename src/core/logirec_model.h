@@ -123,14 +123,20 @@ class LogiRecModel final : public Recommender, private Trainable {
   int NegativeDrawsPerPair() const override {
     return config_.negatives_per_positive;
   }
+  void DrainEpochTimers(double* logic_seconds,
+                        double* mining_seconds) override;
   void SyncScoringState() override;
   void CollectParameters(ParameterSet* params) override;
 
   double TrainOnBatchHyperbolic(const BatchContext& ctx);
   double TrainOnBatchEuclidean(const BatchContext& ctx);
   /// Accumulates the logic losses (Eqs. 3-5) into `gv` (item grads) and
-  /// `gt` (tag grads); returns the summed loss.
-  double LogicLossesAndGrads(math::Matrix* gv, math::Matrix* gt);
+  /// `gt` (tag grads) through the batched core::LogicEngine; returns the
+  /// summed loss. `ctx` supplies the scheduling mode (subject to the
+  /// TrainConfig::logic_parallel override) and the (epoch, shard) key of
+  /// the relation mini-batch stream.
+  double LogicLossesAndGrads(const BatchContext& ctx, math::Matrix* gv,
+                             math::Matrix* gt);
 
   void FitHyperbolic(const data::Dataset& dataset, const data::Split& split);
   void FitEuclidean(const data::Dataset& dataset, const data::Split& split);

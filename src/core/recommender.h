@@ -27,6 +27,17 @@ enum class ParallelMode {
   kDeterministic,
 };
 
+/// Scheduling override for the logic-relation pass of LogiRec/LogiRec++
+/// (TrainConfig::logic_parallel). The pass normally inherits
+/// TrainConfig::parallel_mode; the explicit values pin it independently
+/// of how the ranking loss is scheduled (e.g. to time the legacy scalar
+/// loop against the batched kernels inside one training run).
+enum class LogicParallel {
+  kFollowGlobal,   ///< use parallel_mode (the default)
+  kSequential,     ///< per-relation scalar loop, bit-identical legacy order
+  kDeterministic,  ///< batched slot-fill + ordered-fold kernels
+};
+
 /// Hyperparameters shared by every model in the repository (Section
 /// VI-A4). Individual models may ignore fields that do not apply.
 struct TrainConfig {
@@ -66,6 +77,18 @@ struct TrainConfig {
   /// engine is the default; kSequential reproduces the legacy stream
   /// bit-for-bit for equivalence testing.
   ParallelMode parallel_mode = ParallelMode::kDeterministic;
+
+  /// LogiRec/LogiRec++ only: relations sampled per logic family per
+  /// optimization step (0 = every relation, the default). Sampled slices
+  /// come from counter-based streams keyed by (seed, epoch, shard) —
+  /// results stay a pure function of the seed and thread-count invariant
+  /// — and the sampled loss/gradients are rescaled by |family| / n so the
+  /// regularizer stays an unbiased estimate of the full pass.
+  int logic_batch = 0;
+
+  /// LogiRec/LogiRec++ only: scheduling mode for the logic-relation pass
+  /// (see LogicParallel). kFollowGlobal inherits parallel_mode.
+  LogicParallel logic_parallel = LogicParallel::kFollowGlobal;
 
   /// Telemetry hook (non-owning, may be null): receives EpochStats after
   /// every epoch and a TrainSummary when training ends.

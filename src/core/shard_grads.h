@@ -72,6 +72,64 @@ class PairGradSlots {
   std::vector<double> loss_;
 };
 
+/// Per-relation gradient slot buffer backing core::LogicEngine's
+/// deterministic logic-loss pipeline — the same slot-fill + ordered-fold
+/// contract as PairGradSlots, specialized for the two-endpoint logic
+/// relations (item/tag for membership, tag/tag for hierarchy, exclusion
+/// and intersection):
+///
+///   phase 1 (parallel): every relation r is handled by exactly one
+///     worker, which *assigns* (does not accumulate) the relation's two
+///     endpoint gradient rows and its loss into slots owned by r alone.
+///     Inactive relations (hinge <= 0) write only Loss(r) = 0; their
+///     gradient slots are left unspecified and must not be read;
+///   phase 2 (ordered):  slots are folded into the shared item/tag
+///     gradient accumulators so that each destination row receives its
+///     contributions in relation-processing order — either a single
+///     thread walking relations in order, or one worker per destination
+///     row walking that row's relations in order (tag-conflict-free by
+///     construction; per-row order is all bit-identity requires).
+///
+/// Each slot is a pure function of (batch-start embeddings, relation), so
+/// the fold result is bit-identical for every thread count. The buffer is
+/// persistent: Shape() reuses capacity, so steady-state batches do not
+/// allocate (and never zero-fills — active slots are fully assigned).
+class RelationGradSlots {
+ public:
+  /// Shapes the buffer for `relations` relations with `width` doubles per
+  /// endpoint gradient row. Contents are unspecified.
+  void Shape(int relations, int width) {
+    width_ = width;
+    data_.resize(static_cast<size_t>(relations) * 2 * width);
+    loss_.resize(relations);
+  }
+
+  /// First endpoint's gradient row (item for membership, parent for
+  /// hierarchy, `a` for exclusion/intersection).
+  double* GradX(int r) {
+    return data_.data() + static_cast<size_t>(r) * 2 * width_;
+  }
+  /// Second endpoint's gradient row (tag / child / `b`).
+  double* GradY(int r) {
+    return data_.data() + static_cast<size_t>(r) * 2 * width_ + width_;
+  }
+  const double* GradX(int r) const {
+    return data_.data() + static_cast<size_t>(r) * 2 * width_;
+  }
+  const double* GradY(int r) const {
+    return data_.data() + static_cast<size_t>(r) * 2 * width_ + width_;
+  }
+
+  double& Loss(int r) { return loss_[r]; }
+  double Loss(int r) const { return loss_[r]; }
+  int width() const { return width_; }
+
+ private:
+  int width_ = 0;
+  std::vector<double> data_;
+  std::vector<double> loss_;
+};
+
 }  // namespace logirec::core
 
 #endif  // LOGIREC_CORE_SHARD_GRADS_H_

@@ -114,7 +114,8 @@ TrainSummary Trainer::Train(Trainable* model, const data::Split& split,
                        config_.grad_clip,
                        config_.parallel_mode,
                        deterministic ? negatives.data() : nullptr,
-                       deterministic ? draws : 0};
+                       deterministic ? draws : 0,
+                       s};
       loss += model->TrainOnBatch(ctx);
     }
     loss += model->EpochTail(epoch, rng);
@@ -125,6 +126,7 @@ TrainSummary Trainer::Train(Trainable* model, const data::Split& split,
     stats.samples = static_cast<long>(pairs.size());
     stats.mean_loss = pairs.empty() ? 0.0 : loss / pairs.size();
     stats.seconds = epoch_timer.ElapsedSeconds();
+    model->DrainEpochTimers(&stats.logic_seconds, &stats.mining_seconds);
 
     bool stop = false;
     if (early_stop && (epoch + 1) % config_.eval_every == 0) {

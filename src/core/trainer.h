@@ -21,6 +21,14 @@ struct EpochStats {
   double seconds = 0.0;     ///< wall time of training only (probe excluded)
   double probe_seconds = 0.0;  ///< wall time of the validation probe
                                ///< (sync + evaluate), 0 when not probed
+  /// Wall time of the logic-relation pass (LogiRec's Eqs. 3-5 kernels)
+  /// summed over the epoch's batches; 0 for models without one. Included
+  /// in `seconds` — this is a breakdown, not an extra cost.
+  double logic_seconds = 0.0;
+  /// Wall time of the LogiRec++ mining refresh (UpdateGranularity + alpha
+  /// recompute) this epoch; 0 for models without mining. Also included in
+  /// `seconds`.
+  double mining_seconds = 0.0;
   double val_metric = -1.0; ///< validation Recall@10 when probed, else -1
   bool improved = false;    ///< true when this probe set a new best
 };
@@ -78,6 +86,11 @@ struct BatchContext {
   /// `negative_draws` per pair, indexed by absolute pair index.
   const int* negatives = nullptr;
   int negative_draws = 0;
+  /// Index of this batch in the epoch's shard partition — the `s` of the
+  /// per-shard counter streams Rng(MixSeed(seed, epoch, s)). Models that
+  /// need additional deterministic per-batch streams (e.g. LogiRec's
+  /// relation mini-batching) key their own MixSeed streams on it.
+  int shard = 0;
 
   /// The k-th negative for pairs[pair_index] (absolute index). In
   /// kSequential mode this draws from the live sampler stream — call it
@@ -116,6 +129,17 @@ class Trainable {
     (void)epoch;
     (void)rng;
     return 0.0;
+  }
+
+  /// Drains the per-epoch wall-time phase counters the model accumulated
+  /// across its batches — the logic-relation pass and the LogiRec++
+  /// mining refresh — into the epoch's telemetry. Called once per epoch,
+  /// after EpochTail; implementations must reset their accumulators so
+  /// the next epoch starts from zero. The default reports no breakdown.
+  virtual void DrainEpochTimers(double* logic_seconds,
+                                double* mining_seconds) {
+    *logic_seconds = 0.0;
+    *mining_seconds = 0.0;
   }
 
   /// Brings the model's scoring state in sync with its current

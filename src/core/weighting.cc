@@ -3,19 +3,65 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <set>
 
 #include "hyper/lorentz.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace logirec::core {
+
+namespace {
+
+/// Sorted (min-tag, max-tag) -> level exclusion lookup. Duplicate pairs
+/// keep the last extracted level, matching the map-assignment semantics
+/// the original std::map build had.
+struct ExclusionIndex {
+  struct Entry {
+    int a, b, level;
+  };
+  std::vector<Entry> entries;
+
+  explicit ExclusionIndex(const std::vector<data::ExclusionPair>& pairs) {
+    entries.reserve(pairs.size());
+    for (const data::ExclusionPair& e : pairs) {
+      entries.push_back({std::min(e.a, e.b), std::max(e.a, e.b), e.level});
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& x, const Entry& y) {
+                       return x.a != y.a ? x.a < y.a : x.b < y.b;
+                     });
+    // Keep the last entry of each (a, b) run.
+    size_t out = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i + 1 < entries.size() && entries[i + 1].a == entries[i].a &&
+          entries[i + 1].b == entries[i].b) {
+        continue;
+      }
+      entries[out++] = entries[i];
+    }
+    entries.resize(out);
+  }
+
+  /// Level of the exclusion between `ta` < `tb`, or -1 when absent.
+  int Find(int ta, int tb) const {
+    auto it = std::lower_bound(entries.begin(), entries.end(),
+                               std::pair<int, int>{ta, tb},
+                               [](const Entry& e, const std::pair<int, int>& k) {
+                                 return e.a != k.first ? e.a < k.first
+                                                       : e.b < k.second;
+                               });
+    if (it == entries.end() || it->a != ta || it->b != tb) return -1;
+    return it->level;
+  }
+};
+
+}  // namespace
 
 UserWeighting::UserWeighting(
     const data::Dataset& dataset,
     const std::vector<std::vector<int>>& train_items,
-    const data::LogicalRelations& relations, int eta) {
+    const data::LogicalRelations& relations, int eta, int num_threads) {
   const int num_users = static_cast<int>(train_items.size());
-  tag_counts_.resize(num_users);
   total_tags_.assign(num_users, 0);
   tag_types_.assign(num_users, 0);
   exclusive_pairs_.assign(num_users, 0);
@@ -23,23 +69,24 @@ UserWeighting::UserWeighting(
   gr_.assign(num_users, 1.0);
   alpha_.assign(num_users, 1.0);
 
-  // Exclusion lookup: (min, max) tag pair -> level.
-  std::map<std::pair<int, int>, int> exclusion;
-  for (const data::ExclusionPair& e : relations.exclusions) {
-    exclusion[{std::min(e.a, e.b), std::max(e.a, e.b)}] = e.level;
-  }
+  const ExclusionIndex exclusion(relations.exclusions);
 
-  for (int u = 0; u < num_users; ++u) {
+  // Phase 1 (parallel over users): every user's tag counts, TF penalty,
+  // and CON are functions of that user's items alone. The sorted count
+  // list and the ascending a < b pair loop reproduce the original
+  // std::map iteration order, so con_ is identical bit for bit.
+  std::vector<std::vector<std::pair<int, int>>> counts(num_users);
+  ParallelFor(0, num_users, [&](int u) {
     // T_u: all tags of the user's training items, with multiplicity.
-    std::map<int, int> counts;
+    std::map<int, int> user_counts;
     for (int item : train_items[u]) {
       for (int tag : dataset.item_tags[item]) {
-        ++counts[tag];
+        ++user_counts[tag];
         ++total_tags_[u];
       }
     }
-    tag_counts_[u].assign(counts.begin(), counts.end());
-    tag_types_[u] = static_cast<int>(counts.size());
+    counts[u].assign(user_counts.begin(), user_counts.end());
+    tag_types_[u] = static_cast<int>(user_counts.size());
 
     // TF per tag (Eq. 11). |T_u| >= 2 keeps the log denominator positive.
     const double denom = std::log(std::max(total_tags_[u], 2));
@@ -48,37 +95,63 @@ UserWeighting::UserWeighting(
     // Exclusion-weighted penalty (Eq. 12): sum over the user's exclusive
     // tag pairs of TF_i * TF_j * exp(eta - level).
     double penalty = 0.0;
-    for (size_t a = 0; a < tag_counts_[u].size(); ++a) {
-      for (size_t b = a + 1; b < tag_counts_[u].size(); ++b) {
-        const int ta = tag_counts_[u][a].first;
-        const int tb = tag_counts_[u][b].first;
-        auto it = exclusion.find({ta, tb});
-        if (it == exclusion.end()) continue;
+    for (size_t a = 0; a < counts[u].size(); ++a) {
+      for (size_t b = a + 1; b < counts[u].size(); ++b) {
+        const int level =
+            exclusion.Find(counts[u][a].first, counts[u][b].first);
+        if (level < 0) continue;
         ++exclusive_pairs_[u];
-        const int level = it->second;
-        penalty += tf(tag_counts_[u][a].second) *
-                   tf(tag_counts_[u][b].second) *
+        penalty += tf(counts[u][a].second) * tf(counts[u][b].second) *
                    std::exp(static_cast<double>(eta - level));
       }
     }
     con_[u] = std::exp(-penalty);
+  }, num_threads);
+
+  // Phase 2 (serial): flatten the per-user lists into the CSR arrays.
+  tag_offsets_.assign(num_users + 1, 0);
+  for (int u = 0; u < num_users; ++u) {
+    tag_offsets_[u + 1] =
+        tag_offsets_[u] + static_cast<int>(counts[u].size());
+  }
+  tag_ids_.resize(tag_offsets_[num_users]);
+  tag_counts_.resize(tag_offsets_[num_users]);
+  for (int u = 0; u < num_users; ++u) {
+    int p = tag_offsets_[u];
+    for (const auto& [tag, count] : counts[u]) {
+      tag_ids_[p] = tag;
+      tag_counts_[p] = count;
+      ++p;
+    }
   }
 }
 
 double UserWeighting::Tf(int user, int tag) const {
+  const auto begin = tag_ids_.begin() + tag_offsets_[user];
+  const auto end = tag_ids_.begin() + tag_offsets_[user + 1];
+  const auto it = std::lower_bound(begin, end, tag);
+  if (it == end || *it != tag) return 0.0;
   const double denom = std::log(std::max(total_tags_[user], 2));
-  for (const auto& [t, count] : tag_counts_[user]) {
-    if (t == tag) return std::log(count + 1.0) / denom;
-  }
-  return 0.0;
+  const int count = tag_counts_[it - tag_ids_.begin()];
+  return std::log(count + 1.0) / denom;
 }
 
-void UserWeighting::UpdateGranularity(const math::Matrix& user_lorentz) {
+void UserWeighting::UpdateGranularity(const math::Matrix& user_lorentz,
+                                      int num_threads) {
   LOGIREC_CHECK(user_lorentz.rows() == num_users());
   const math::Vec origin = hyper::LorentzOrigin(user_lorentz.cols());
+  // Distance pass: each user's origin distance is independent of every
+  // other row, so it fans out over workers; the normalization below folds
+  // them serially in user order.
+  ParallelFor(0, num_users(), [&](int u) {
+    const double g = hyper::LorentzDistance(origin, user_lorentz.Row(u));
+    // A row pushed off the hyperboloid by a diverging step can yield an
+    // acosh of a value < 1 (NaN). Treat it as 0 so the shared max — and
+    // through it every user's alpha — stays finite.
+    gr_[u] = std::isfinite(g) ? g : 0.0;
+  }, num_threads);
   double max_gr = 0.0;
   for (int u = 0; u < num_users(); ++u) {
-    gr_[u] = hyper::LorentzDistance(origin, user_lorentz.Row(u));
     max_gr = std::max(max_gr, gr_[u]);
   }
   if (max_gr <= 0.0) max_gr = 1.0;

@@ -12,13 +12,23 @@ namespace logirec::core {
 /// (Eq. 12) is static — it depends only on interacted tags and extracted
 /// exclusions — while granularity GR_u (Eq. 13) is recomputed from the
 /// current user embeddings each epoch.
+///
+/// The per-user tag statistics live in a CSR layout (one flat id/count
+/// array pair indexed by per-user offsets) so TF/CON lookups are binary
+/// searches over contiguous memory, and both the construction pass and
+/// the granularity refresh parallelize over users: every user's counts,
+/// penalty, and origin distance are independent, and the serial
+/// normalization that follows consumes them in user order, so results are
+/// identical for every thread count.
 class UserWeighting {
  public:
   /// `train_items[u]` lists user u's training items. `eta` is the number
-  /// of taxonomy levels (the paper sets η = 4).
+  /// of taxonomy levels (the paper sets η = 4). `num_threads` fans the
+  /// per-user statistics pass out over workers (0 = hardware concurrency).
   UserWeighting(const data::Dataset& dataset,
                 const std::vector<std::vector<int>>& train_items,
-                const data::LogicalRelations& relations, int eta);
+                const data::LogicalRelations& relations, int eta,
+                int num_threads = 0);
 
   /// Normalized tag frequency TF(t, T_u) (Eq. 11); 0 when the user never
   /// interacted with the tag.
@@ -30,8 +40,12 @@ class UserWeighting {
   /// Recomputes granularity GR_u (Eq. 13) = d_H(o, u^H) from the current
   /// Lorentz user embeddings, then normalizes to (0, 1] by the maximum so
   /// the geometric mean with CON is scale-free, and refreshes the
-  /// personalized weights alpha_u (Eq. 14).
-  void UpdateGranularity(const math::Matrix& user_lorentz);
+  /// personalized weights alpha_u (Eq. 14). Non-finite distances (rows
+  /// pushed off the hyperboloid by a diverging step) are treated as 0 so
+  /// one bad row cannot poison every user's alpha through the shared
+  /// normalizer. The distance pass runs in parallel over users.
+  void UpdateGranularity(const math::Matrix& user_lorentz,
+                         int num_threads = 0);
 
   double Gr(int user) const { return gr_[user]; }
   double Alpha(int user) const { return alpha_[user]; }
@@ -46,8 +60,12 @@ class UserWeighting {
   int TagTypeCount(int user) const { return tag_types_[user]; }
 
  private:
-  // Sparse per-user tag occurrence counts (tag id -> count).
-  std::vector<std::vector<std::pair<int, int>>> tag_counts_;
+  // Per-user tag occurrence counts in CSR form: user u's distinct tags
+  // are tag_ids_[tag_offsets_[u], tag_offsets_[u+1]) in ascending order,
+  // with occurrence counts in the parallel tag_counts_ array.
+  std::vector<int> tag_offsets_;
+  std::vector<int> tag_ids_;
+  std::vector<int> tag_counts_;
   std::vector<int> total_tags_;    ///< |T_u| with multiplicity
   std::vector<int> tag_types_;     ///< distinct tags
   std::vector<int> exclusive_pairs_;

@@ -25,6 +25,14 @@ struct LogicalRelations {
   /// Future-work extension: demonstrably overlapping tag pairs. Empty
   /// unless requested through ExtractRelations' `intersection_support`.
   std::vector<IntersectionPair> intersections;
+
+  /// Total relation count across all four families.
+  long TotalCount() const {
+    return static_cast<long>(memberships.size()) +
+           static_cast<long>(hierarchy.size()) +
+           static_cast<long>(exclusions.size()) +
+           static_cast<long>(intersections.size());
+  }
 };
 
 /// A tagged recommendation dataset: users, items, timestamped implicit

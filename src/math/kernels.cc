@@ -8,6 +8,7 @@
 // The Poincaré kernels must clamp with the exact same epsilon as
 // hyper::PoincareDistance to stay bit-identical to the scalar path.
 #include "hyper/poincare.h"
+#include "math/simd.h"
 #include "util/logging.h"
 
 namespace logirec::math {
@@ -202,23 +203,6 @@ inline void CheckShapes(ConstSpan user, const ScoringView& items, Span out) {
   LOGIREC_CHECK(static_cast<int>(out.size()) == items.items());
   LOGIREC_CHECK(!user.empty());
 }
-
-// Runtime-dispatched AVX2 clone for the transposed accumulators. Wider
-// lanes only change how many independent items are processed per
-// instruction — each item's mul-then-add sequence and rounding are
-// untouched, so clones stay bit-identical to the default build. AVX2 has
-// no fused-multiply-add instructions (FMA is a separate ISA extension we
-// deliberately do NOT enable), so the compiler cannot contract mul+add
-// into a differently-rounded fma.
-// (target_clones emits an IFUNC resolver that runs during relocation,
-// before the sanitizer runtimes initialize — crashing at startup — so
-// clones are disabled under TSan/ASan builds.)
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
-#define LOGIREC_SIMD_CLONES __attribute__((target_clones("default", "avx2")))
-#else
-#define LOGIREC_SIMD_CLONES
-#endif
 
 /// out[v] = sign0 * u[0]*col0[v] + sum_{k>=1} u[k]*colk[v]. Each item's
 /// sum adds terms in the same ascending-k order as the scalar helpers

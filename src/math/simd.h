@@ -1,0 +1,24 @@
+#ifndef LOGIREC_MATH_SIMD_H_
+#define LOGIREC_MATH_SIMD_H_
+
+// Runtime-dispatched AVX2 clones for batched numeric kernels (the
+// math/kernels.cc pattern, shared here so other kernel families —
+// core::LogicEngine's relation kernels — use the identical dispatch
+// policy). Wider lanes only change how many independent accumulator
+// chains are processed per instruction — each chain's mul-then-add
+// sequence and rounding are untouched, so clones stay bit-identical to
+// the default build. AVX2 has no fused-multiply-add instructions (FMA is
+// a separate ISA extension we deliberately do NOT enable), so the
+// compiler cannot contract mul+add into a differently-rounded fma.
+//
+// (target_clones emits an IFUNC resolver that runs during relocation,
+// before the sanitizer runtimes initialize — crashing at startup — so
+// clones are disabled under TSan/ASan builds.)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define LOGIREC_SIMD_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define LOGIREC_SIMD_CLONES
+#endif
+
+#endif  // LOGIREC_MATH_SIMD_H_

@@ -1,0 +1,303 @@
+#include "core/logic_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/embedding.h"
+#include "core/logic_losses.h"
+#include "data/synthetic.h"
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace logirec::core {
+namespace {
+
+using math::Matrix;
+
+/// Synthetic dataset small enough for exhaustive bitwise comparison but
+/// with every relation family populated (intersections included).
+struct Fixture {
+  data::Dataset dataset;
+  data::LogicalRelations relations;
+  Matrix items, tags;
+
+  explicit Fixture(uint64_t seed = 5) {
+    data::SyntheticConfig config;
+    config.num_users = 60;
+    config.num_items = 90;
+    config.seed = seed;
+    dataset = data::GenerateSynthetic(config);
+    relations = dataset.ExtractRelations(/*overlap_tolerance=*/0,
+                                         /*intersection_support=*/2);
+    // The generator's taxonomy rarely yields intersection pairs at this
+    // scale; append synthetic ones (random distinct tag pairs) so the
+    // fourth kernel is exercised. Oracle and engine read the same list.
+    const int num_tags = dataset.taxonomy.num_tags();
+    Rng pair_rng(seed + 2);
+    for (int i = 0; i < 40; ++i) {
+      const int a = pair_rng.UniformInt(num_tags);
+      const int b = pair_rng.UniformInt(num_tags);
+      if (a == b) continue;
+      relations.intersections.push_back({a, b, /*support=*/2});
+    }
+    const int d = 8;
+    items = Matrix(dataset.num_items, d);
+    tags = Matrix(dataset.taxonomy.num_tags(), d);
+    Rng rng(seed + 1);
+    InitPoincareRows(&items, &rng, 0.05);
+    InitHyperplaneCenters(&tags, dataset.taxonomy, &rng);
+  }
+};
+
+/// The pre-engine per-relation loop, verbatim: the bit-level oracle.
+double LegacyLoop(const data::LogicalRelations& relations,
+                  const Matrix& items, const Matrix& tags, double lambda,
+                  bool use_intersection, Matrix* gv, Matrix* gt) {
+  double loss = 0.0;
+  for (const auto& [item, tag] : relations.memberships) {
+    loss += MembershipLossAndGrad(items.Row(item), tags.Row(tag), lambda,
+                                  gv->Row(item), gt->Row(tag));
+  }
+  for (const data::HierarchyPair& h : relations.hierarchy) {
+    loss += HierarchyLossAndGrad(tags.Row(h.parent), tags.Row(h.child),
+                                 lambda, gt->Row(h.parent), gt->Row(h.child));
+  }
+  for (const data::ExclusionPair& e : relations.exclusions) {
+    loss += ExclusionLossAndGrad(tags.Row(e.a), tags.Row(e.b), lambda,
+                                 gt->Row(e.a), gt->Row(e.b));
+  }
+  if (use_intersection) {
+    for (const data::IntersectionPair& p : relations.intersections) {
+      loss += IntersectionLossAndGrad(tags.Row(p.a), tags.Row(p.b), lambda,
+                                      gt->Row(p.a), gt->Row(p.b));
+    }
+  }
+  return loss;
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(a.At(r, c), b.At(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+struct EngineResult {
+  double loss = 0.0;
+  Matrix gv, gt;
+};
+
+EngineResult RunEngine(const Fixture& fx, const LogicEngine::Options& opts,
+                       ParallelMode mode, int threads, int epoch = 0,
+                       int shard = 0) {
+  LogicEngine engine(fx.relations, opts);
+  EngineResult out;
+  out.gv = Matrix(fx.items.rows(), fx.items.cols());
+  out.gt = Matrix(fx.tags.rows(), fx.tags.cols());
+  out.loss = engine.LossesAndGrads(fx.items, fx.tags, /*lambda=*/2.0, mode,
+                                   threads, epoch, shard, &out.gv, &out.gt);
+  return out;
+}
+
+TEST(LogicEngineTest, FixtureExercisesEveryFamily) {
+  Fixture fx;
+  EXPECT_GT(fx.relations.memberships.size(), 0u);
+  EXPECT_GT(fx.relations.hierarchy.size(), 0u);
+  EXPECT_GT(fx.relations.exclusions.size(), 0u);
+  EXPECT_GT(fx.relations.intersections.size(), 0u);
+}
+
+TEST(LogicEngineTest, SequentialIsBitIdenticalToLegacyLoop) {
+  Fixture fx;
+  LogicEngine::Options opts;
+  opts.use_intersection = true;
+
+  Matrix gv_legacy(fx.items.rows(), fx.items.cols());
+  Matrix gt_legacy(fx.tags.rows(), fx.tags.cols());
+  const double legacy =
+      LegacyLoop(fx.relations, fx.items, fx.tags, 2.0,
+                 /*use_intersection=*/true, &gv_legacy, &gt_legacy);
+
+  const EngineResult seq =
+      RunEngine(fx, opts, ParallelMode::kSequential, /*threads=*/1);
+  EXPECT_EQ(legacy, seq.loss);
+  ExpectBitIdentical(gv_legacy, seq.gv);
+  ExpectBitIdentical(gt_legacy, seq.gt);
+}
+
+TEST(LogicEngineTest, DeterministicFullPassMatchesSequentialBitwise) {
+  Fixture fx;
+  LogicEngine::Options opts;
+  opts.use_intersection = true;
+  const EngineResult seq =
+      RunEngine(fx, opts, ParallelMode::kSequential, /*threads=*/1);
+  for (int threads : {1, 2, 8}) {
+    const EngineResult det =
+        RunEngine(fx, opts, ParallelMode::kDeterministic, threads);
+    EXPECT_EQ(seq.loss, det.loss) << "threads=" << threads;
+    ExpectBitIdentical(seq.gv, det.gv);
+    ExpectBitIdentical(seq.gt, det.gt);
+  }
+}
+
+TEST(LogicEngineTest, FamilySwitchesMatchLegacySubsets) {
+  Fixture fx;
+  // The published model: no intersection family.
+  LogicEngine::Options opts;
+  opts.use_intersection = false;
+  Matrix gv_legacy(fx.items.rows(), fx.items.cols());
+  Matrix gt_legacy(fx.tags.rows(), fx.tags.cols());
+  const double legacy =
+      LegacyLoop(fx.relations, fx.items, fx.tags, 2.0,
+                 /*use_intersection=*/false, &gv_legacy, &gt_legacy);
+  const EngineResult det =
+      RunEngine(fx, opts, ParallelMode::kDeterministic, /*threads=*/4);
+  EXPECT_EQ(legacy, det.loss);
+  ExpectBitIdentical(gv_legacy, det.gv);
+  ExpectBitIdentical(gt_legacy, det.gt);
+}
+
+TEST(LogicEngineTest, TagCacheRefreshesAfterMarkTagsDirty) {
+  Fixture fx;
+  LogicEngine::Options opts;
+  opts.use_intersection = true;
+  LogicEngine engine(fx.relations, opts);
+
+  Matrix gv(fx.items.rows(), fx.items.cols());
+  Matrix gt(fx.tags.rows(), fx.tags.cols());
+  engine.LossesAndGrads(fx.items, fx.tags, 2.0, ParallelMode::kDeterministic,
+                        2, 0, 0, &gv, &gt);
+
+  // Move the tag centers (as a tag RSGD step would) and invalidate.
+  Fixture moved = fx;
+  for (int t = 0; t < moved.tags.rows(); ++t) {
+    for (int k = 0; k < moved.tags.cols(); ++k) {
+      moved.tags.At(t, k) *= 0.9;
+    }
+  }
+  engine.MarkTagsDirty();
+  Matrix gv2(fx.items.rows(), fx.items.cols());
+  Matrix gt2(fx.tags.rows(), fx.tags.cols());
+  const double stale = engine.LossesAndGrads(
+      moved.items, moved.tags, 2.0, ParallelMode::kDeterministic, 2, 0, 0,
+      &gv2, &gt2);
+
+  // A fresh engine sees the moved centers with a cold cache: identical.
+  const EngineResult fresh =
+      RunEngine(moved, opts, ParallelMode::kDeterministic, 2);
+  EXPECT_EQ(fresh.loss, stale);
+  ExpectBitIdentical(fresh.gv, gv2);
+  ExpectBitIdentical(fresh.gt, gt2);
+}
+
+TEST(LogicEngineTest, BatchAtLeastFamilySizeIsTheFullPass) {
+  Fixture fx;
+  LogicEngine::Options full;
+  full.use_intersection = true;
+  LogicEngine::Options batched = full;
+  batched.relation_batch = 1 << 20;  // larger than every family
+
+  const EngineResult a =
+      RunEngine(fx, full, ParallelMode::kDeterministic, 2);
+  const EngineResult b =
+      RunEngine(fx, batched, ParallelMode::kDeterministic, 2);
+  EXPECT_EQ(a.loss, b.loss);
+  ExpectBitIdentical(a.gv, b.gv);
+  ExpectBitIdentical(a.gt, b.gt);
+}
+
+TEST(LogicEngineTest, SampledBatchIsThreadAndModeInvariant) {
+  Fixture fx;
+  LogicEngine::Options opts;
+  opts.use_intersection = true;
+  opts.relation_batch = 16;
+
+  const EngineResult seq =
+      RunEngine(fx, opts, ParallelMode::kSequential, 1, /*epoch=*/3,
+                /*shard=*/2);
+  for (int threads : {1, 2, 8}) {
+    const EngineResult det = RunEngine(
+        fx, opts, ParallelMode::kDeterministic, threads, /*epoch=*/3,
+        /*shard=*/2);
+    EXPECT_EQ(seq.loss, det.loss) << "threads=" << threads;
+    ExpectBitIdentical(seq.gv, det.gv);
+    ExpectBitIdentical(seq.gt, det.gt);
+  }
+}
+
+TEST(LogicEngineTest, SampledBatchesDifferAcrossEpochsAndShards) {
+  Fixture fx;
+  LogicEngine::Options opts;
+  opts.use_intersection = true;
+  opts.relation_batch = 16;
+  const EngineResult e0 =
+      RunEngine(fx, opts, ParallelMode::kDeterministic, 2, 0, 0);
+  const EngineResult e1 =
+      RunEngine(fx, opts, ParallelMode::kDeterministic, 2, 1, 0);
+  const EngineResult s1 =
+      RunEngine(fx, opts, ParallelMode::kDeterministic, 2, 0, 1);
+  EXPECT_NE(e0.loss, e1.loss);
+  EXPECT_NE(e0.loss, s1.loss);
+}
+
+TEST(LogicEngineTest, SampledLossIsUnbiasedScaleOfFullPass) {
+  Fixture fx;
+  LogicEngine::Options full;
+  full.use_intersection = true;
+  const EngineResult exact =
+      RunEngine(fx, full, ParallelMode::kDeterministic, 2);
+
+  // Mean of the rescaled sampled losses over many draws approaches the
+  // full-pass loss (law of large numbers; generous tolerance).
+  LogicEngine::Options sampled = full;
+  sampled.relation_batch = 32;
+  LogicEngine engine(fx.relations, sampled);
+  Matrix gv(fx.items.rows(), fx.items.cols());
+  Matrix gt(fx.tags.rows(), fx.tags.cols());
+  double mean = 0.0;
+  const int draws = 400;
+  for (int e = 0; e < draws; ++e) {
+    mean += engine.LossesAndGrads(fx.items, fx.tags, 2.0,
+                                  ParallelMode::kDeterministic, 2, e, 0,
+                                  &gv, &gt);
+  }
+  mean /= draws;
+  EXPECT_NEAR(mean, exact.loss, 0.15 * exact.loss);
+}
+
+TEST(LogicEngineTest, EmptyRelationsReturnZero) {
+  data::LogicalRelations empty;
+  LogicEngine::Options opts;
+  LogicEngine engine(empty, opts);
+  Matrix items(4, 8), tags(3, 8), gv(4, 8), gt(3, 8);
+  EXPECT_EQ(engine.total_relations(), 0);
+  EXPECT_EQ(engine.LossesAndGrads(items, tags, 2.0,
+                                  ParallelMode::kDeterministic, 4, 0, 0, &gv,
+                                  &gt),
+            0.0);
+}
+
+TEST(LogicEngineTest, RelationsPerCallAccountsForBatching) {
+  Fixture fx;
+  LogicEngine::Options opts;
+  opts.use_intersection = true;
+  LogicEngine full(fx.relations, opts);
+  EXPECT_EQ(full.total_relations(), fx.relations.TotalCount());
+  EXPECT_EQ(full.relations_per_call(), full.total_relations());
+
+  opts.relation_batch = 4;
+  LogicEngine batched(fx.relations, opts);
+  long expected = 0;
+  for (size_t n : {fx.relations.memberships.size(),
+                   fx.relations.hierarchy.size(),
+                   fx.relations.exclusions.size(),
+                   fx.relations.intersections.size()}) {
+    expected += std::min<long>(4, static_cast<long>(n));
+  }
+  EXPECT_EQ(batched.relations_per_call(), expected);
+}
+
+}  // namespace
+}  // namespace logirec::core

@@ -215,5 +215,136 @@ TEST(LogicLossesTest, ScaleParameterScalesGradients) {
   for (int i = 0; i < 2; ++i) EXPECT_NEAR(g1[i], 3.0 * g2[i], 1e-12);
 }
 
+TEST(IntersectionLossTest, GradientMatchesFiniteDifferenceBothArguments) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec a(3), b(3);
+    for (double& x : a) x = rng.Gaussian(0.0, 1.0);
+    for (double& x : b) x = rng.Gaussian(0.0, 1.0);
+    // Large norms -> small distant balls -> the disjointness hinge fires.
+    math::ScaleInPlace(math::Span(a), rng.Uniform(0.6, 0.9) / math::Norm(a));
+    math::ScaleInPlace(math::Span(b), rng.Uniform(0.6, 0.9) / math::Norm(b));
+    if (IntersectionLoss(a, b) <= 1e-3) {
+      --trial;
+      continue;
+    }
+    Vec ga(3, 0.0), gb(3, 0.0);
+    IntersectionLossAndGrad(a, b, 1.0, math::Span(ga), math::Span(gb));
+    ExpectGradientsClose(
+        ga, NumericalGradient(
+                [&](const std::vector<double>& x) {
+                  return IntersectionLoss(x, b);
+                },
+                a),
+        1e-4);
+    ExpectGradientsClose(
+        gb, NumericalGradient(
+                [&](const std::vector<double>& x) {
+                  return IntersectionLoss(a, x);
+                },
+                b),
+        1e-4);
+  }
+}
+
+// ---- hinge-boundary behaviour, all four losses ------------------------
+//
+// Each case provides an endpoint pair with the hinge strictly active and
+// one with it strictly inactive, plus a path x(t) crossing the kink so
+// continuity can be checked at the boundary itself.
+
+struct LossCase {
+  const char* name;
+  // (x, y, scale, gx, gy) -> loss, accumulating into gx/gy.
+  double (*loss_grad)(math::ConstSpan, math::ConstSpan, double, math::Span,
+                      math::Span);
+  double (*loss)(math::ConstSpan, math::ConstSpan);
+  Vec active_x, active_y;
+  Vec inactive_x, inactive_y;
+};
+
+std::vector<LossCase> AllLossCases() {
+  std::vector<LossCase> cases;
+  // Membership: item far outside the ball / well inside it.
+  cases.push_back({"membership", &MembershipLossAndGrad, &MembershipLoss,
+                   Vec{-0.9, 0.0}, CenterWithNorm(0.5, 2),
+                   Vec{1.25, 0.0}, CenterWithNorm(0.5, 2)});
+  // Hierarchy: child escaped the parent / nested on the same ray.
+  cases.push_back({"hierarchy", &HierarchyLossAndGrad, &HierarchyLoss,
+                   CenterWithNorm(0.6, 2), Vec{0.0, 0.65},
+                   CenterWithNorm(0.3, 2), CenterWithNorm(0.35, 2)});
+  // Exclusion: overlapping giant balls / opposite-side disjoint balls.
+  cases.push_back({"exclusion", &ExclusionLossAndGrad, &ExclusionLoss,
+                   Vec{0.3, 0.0}, Vec{0.32, 0.01},
+                   Vec{0.8, 0.0}, Vec{-0.8, 0.0}});
+  // Intersection: exactly the mirrored configurations.
+  cases.push_back({"intersection", &IntersectionLossAndGrad,
+                   &IntersectionLoss, Vec{0.8, 0.0}, Vec{-0.8, 0.0},
+                   Vec{0.3, 0.0}, Vec{0.32, 0.01}});
+  return cases;
+}
+
+TEST(LogicLossesTest, InactiveHingeLeavesGradientsUntouched) {
+  for (const LossCase& c : AllLossCases()) {
+    SCOPED_TRACE(c.name);
+    ASSERT_EQ(c.loss(c.inactive_x, c.inactive_y), 0.0);
+    // Accumulation contract: an inactive relation must not write at all,
+    // not even an explicit zero.
+    Vec gx{123.0, -7.0}, gy{42.0, 0.25};
+    EXPECT_EQ(c.loss_grad(c.inactive_x, c.inactive_y, 2.0, math::Span(gx),
+                          math::Span(gy)),
+              0.0);
+    EXPECT_EQ(gx[0], 123.0);
+    EXPECT_EQ(gx[1], -7.0);
+    EXPECT_EQ(gy[0], 42.0);
+    EXPECT_EQ(gy[1], 0.25);
+  }
+}
+
+TEST(LogicLossesTest, ScaleScalesBothEndpointGradientsLinearly) {
+  for (const LossCase& c : AllLossCases()) {
+    SCOPED_TRACE(c.name);
+    ASSERT_GT(c.loss(c.active_x, c.active_y), 0.0);
+    Vec gx1(2, 0.0), gy1(2, 0.0), gx2(2, 0.0), gy2(2, 0.0);
+    const double l1 = c.loss_grad(c.active_x, c.active_y, 1.0,
+                                  math::Span(gx1), math::Span(gy1));
+    const double l2 = c.loss_grad(c.active_x, c.active_y, 2.5,
+                                  math::Span(gx2), math::Span(gy2));
+    // The returned loss is unscaled; only the gradients carry `scale`.
+    EXPECT_EQ(l1, l2);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_NEAR(gx2[i], 2.5 * gx1[i], 1e-9 * std::max(1.0, std::abs(gx2[i])));
+      EXPECT_NEAR(gy2[i], 2.5 * gy1[i], 1e-9 * std::max(1.0, std::abs(gy2[i])));
+    }
+  }
+}
+
+TEST(LogicLossesTest, LossIsContinuousAcrossHingeKink) {
+  for (const LossCase& c : AllLossCases()) {
+    SCOPED_TRACE(c.name);
+    // x(t) interpolates from the inactive to the active configuration;
+    // somewhere in between the hinge switches on.
+    auto loss_at = [&](double t) {
+      Vec x(2), y(2);
+      for (int i = 0; i < 2; ++i) {
+        x[i] = (1.0 - t) * c.inactive_x[i] + t * c.active_x[i];
+        y[i] = (1.0 - t) * c.inactive_y[i] + t * c.active_y[i];
+      }
+      return c.loss(x, y);
+    };
+    ASSERT_EQ(loss_at(0.0), 0.0);
+    ASSERT_GT(loss_at(1.0), 0.0);
+    double lo = 0.0, hi = 1.0;  // bisect to the kink
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (loss_at(mid) > 0.0 ? hi : lo) = mid;
+    }
+    // Just past the kink the hinge has barely opened: the loss approaches
+    // 0 continuously instead of jumping.
+    EXPECT_LT(loss_at(hi + 1e-7), 1e-4);
+    EXPECT_EQ(loss_at(lo - 1e-7 < 0.0 ? 0.0 : lo - 1e-7), 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace logirec::core

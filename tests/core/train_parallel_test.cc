@@ -117,6 +117,40 @@ TEST(TrainParallelTest, LogiRecDeterministicModeIsThreadInvariant) {
                                       ParallelMode::kDeterministic);
 }
 
+TEST(TrainParallelTest, LogiRecWithoutMiningIsThreadInvariant) {
+  // The default config is LogiRec++ (mining on); cover plain LogiRec too
+  // so the batched logic kernels are exercised without the weighting.
+  LogiRecConfig config = SmallLogiRecConfig();
+  config.use_mining = false;
+  ExpectThreadInvariant<LogiRecModel>(config, ParallelMode::kDeterministic);
+}
+
+TEST(TrainParallelTest, RelationMiniBatchingIsThreadInvariant) {
+  // Sampled logic slices come from counter streams keyed on
+  // (seed, epoch, shard) — metrics must stay a pure function of the seed.
+  LogiRecConfig config = SmallLogiRecConfig();
+  config.logic_batch = 24;
+  ExpectThreadInvariant<LogiRecModel>(config, ParallelMode::kDeterministic);
+}
+
+TEST(TrainParallelTest, LogicParallelOverrideKeepsMetricsIdentical) {
+  // det full pass is bit-identical to the sequential scalar loop, so
+  // forcing either override inside a deterministic run must not change a
+  // single score.
+  Fixture fx;
+  LogiRecConfig config = SmallLogiRecConfig();
+  config.logic_parallel = LogicParallel::kSequential;
+  const auto seq_logic = TrainAndScore<LogiRecModel>(
+      fx, config, ParallelMode::kDeterministic, 2);
+  config.logic_parallel = LogicParallel::kDeterministic;
+  const auto det_logic = TrainAndScore<LogiRecModel>(
+      fx, config, ParallelMode::kDeterministic, 2);
+  ASSERT_EQ(seq_logic.size(), det_logic.size());
+  for (size_t i = 0; i < seq_logic.size(); ++i) {
+    EXPECT_EQ(seq_logic[i], det_logic[i]) << "probe user #" << i;
+  }
+}
+
 TEST(TrainParallelTest, HgcfDeterministicModeIsThreadInvariant) {
   ExpectThreadInvariant<baselines::Hgcf>(SmallBaselineConfig(),
                                          ParallelMode::kDeterministic);

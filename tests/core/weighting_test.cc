@@ -120,6 +120,69 @@ TEST(UserWeightingTest, GranularityTracksDistanceToOrigin) {
   EXPECT_GT(w.Alpha(2), w.Alpha(0));
 }
 
+TEST(UserWeightingTest, AllUsersAtOriginKeepFiniteAlphas) {
+  // Regression: when every user sits at the hyperboloid origin the max
+  // granularity is 0; the normalizer must fall back to 1 instead of
+  // producing 0/0 = NaN alphas.
+  const data::Dataset ds = MakeDataset();
+  std::vector<std::vector<int>> train = {{0}, {1}, {2}};
+  UserWeighting w(ds, train, ds.ExtractRelations(), 2);
+  math::Matrix users(3, 4);
+  for (int u = 0; u < 3; ++u) users.At(u, 0) = 1.0;  // the Lorentz origin
+  w.UpdateGranularity(users);
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_TRUE(std::isfinite(w.Gr(u))) << "user " << u;
+    EXPECT_TRUE(std::isfinite(w.Alpha(u))) << "user " << u;
+    EXPECT_GT(w.Alpha(u), 0.0);
+  }
+}
+
+TEST(UserWeightingTest, NonFiniteDistanceCannotPoisonAlphas) {
+  // A row pushed off the hyperboloid (e.g. by a diverged step) yields a
+  // NaN origin distance; it must be treated as 0 rather than leaking into
+  // the shared max and every user's alpha.
+  const data::Dataset ds = MakeDataset();
+  std::vector<std::vector<int>> train = {{0}, {1}, {2}};
+  UserWeighting w(ds, train, ds.ExtractRelations(), 2);
+  math::Matrix users(3, 4);
+  Rng rng(4);
+  InitLorentzRows(&users, &rng, 0.05);
+  users.At(1, 0) = 0.0;  // invalid: Lorentz inner product >= -1 -> NaN acosh
+  w.UpdateGranularity(users);
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_TRUE(std::isfinite(w.Gr(u))) << "user " << u;
+    EXPECT_TRUE(std::isfinite(w.Alpha(u))) << "user " << u;
+  }
+}
+
+TEST(UserWeightingTest, ConstructionAndRefreshAreThreadInvariant) {
+  const data::Dataset ds = MakeDataset();
+  std::vector<std::vector<int>> train = {{0, 4, 1}, {0, 1, 2, 3}, {2, 6}};
+  const data::LogicalRelations rel = ds.ExtractRelations();
+  math::Matrix users(3, 4);
+  Rng rng(9);
+  InitLorentzRows(&users, &rng, 0.3);
+
+  UserWeighting base(ds, train, rel, ds.taxonomy.num_levels(), 1);
+  base.UpdateGranularity(users, 1);
+  for (int threads : {2, 8}) {
+    UserWeighting w(ds, train, rel, ds.taxonomy.num_levels(), threads);
+    w.UpdateGranularity(users, threads);
+    for (int u = 0; u < 3; ++u) {
+      EXPECT_EQ(base.Con(u), w.Con(u)) << "threads=" << threads;
+      EXPECT_EQ(base.Gr(u), w.Gr(u)) << "threads=" << threads;
+      EXPECT_EQ(base.Alpha(u), w.Alpha(u)) << "threads=" << threads;
+      EXPECT_EQ(base.ExclusivePairCount(u), w.ExclusivePairCount(u));
+      EXPECT_EQ(base.TagTypeCount(u), w.TagTypeCount(u));
+    }
+    for (int u = 0; u < 3; ++u) {
+      for (int t = 0; t < ds.taxonomy.num_tags(); ++t) {
+        EXPECT_EQ(base.Tf(u, t), w.Tf(u, t));
+      }
+    }
+  }
+}
+
 TEST(UserWeightingTest, TagTypeCountsDistinctTags) {
   const data::Dataset ds = MakeDataset();
   std::vector<std::vector<int>> train = {{0, 4, 1}, {0}, {}};

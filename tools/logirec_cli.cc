@@ -13,7 +13,16 @@
 //   --patience=N     early stopping: stop after N validation probes without
 //                    improvement, restore the best parameters (0 = off)
 //   --eval-every=N   epochs between validation probes when patience > 0
-//   --log-epochs     print per-epoch loss/validation telemetry
+//   --log-epochs     print per-epoch loss/validation telemetry, including
+//                    the ranking / logic / mining wall-time breakdown
+//
+// LogiRec/LogiRec++ logic-pass flags:
+//   --logic-batch=N       relations sampled per logic family per step
+//                         (0 = every relation; sampled slices are unbiased
+//                         and thread-count invariant)
+//   --logic-parallel=MODE det (batched slot-fill kernels) or seq (legacy
+//                         per-relation scalar loop); empty follows
+//                         --parallel
 //
 // (*) only LogiRec/LogiRec++ support persistence; other zoo models are
 // trained and evaluated in one `train --evaluate` invocation.
@@ -91,6 +100,13 @@ core::TrainConfig ConfigFromFlags(const FlagParser& flags) {
                              : core::ParallelMode::kDeterministic;
   config.early_stopping_patience = flags.GetInt("patience");
   config.eval_every = flags.GetInt("eval-every");
+  config.logic_batch = flags.GetInt("logic-batch");
+  const std::string logic_parallel = flags.GetString("logic-parallel");
+  if (logic_parallel == "seq") {
+    config.logic_parallel = core::LogicParallel::kSequential;
+  } else if (logic_parallel == "det") {
+    config.logic_parallel = core::LogicParallel::kDeterministic;
+  }  // empty (the default) follows --parallel
   return config;
 }
 
@@ -98,15 +114,26 @@ core::TrainConfig ConfigFromFlags(const FlagParser& flags) {
 class EpochPrinter final : public core::TrainObserver {
  public:
   void OnEpochEnd(const core::EpochStats& stats) override {
+    // Phase breakdown (logic pass / mining refresh are included in the
+    // train time; ranking is the remainder). Only shown when the model
+    // reports one, so baseline output stays unchanged.
+    char phases[96] = "";
+    if (stats.logic_seconds > 0.0 || stats.mining_seconds > 0.0) {
+      std::snprintf(phases, sizeof(phases),
+                    " [rank %.2fs, logic %.2fs, mine %.2fs]",
+                    stats.seconds - stats.logic_seconds -
+                        stats.mining_seconds,
+                    stats.logic_seconds, stats.mining_seconds);
+    }
     if (stats.val_metric >= 0.0) {
-      std::printf("epoch %-4d loss=%.4f (%.2fs train, %.2fs probe) "
+      std::printf("epoch %-4d loss=%.4f (%.2fs train, %.2fs probe)%s "
                   "val Recall@10=%.2f%%%s\n",
                   stats.epoch, stats.mean_loss, stats.seconds,
-                  stats.probe_seconds, stats.val_metric,
+                  stats.probe_seconds, phases, stats.val_metric,
                   stats.improved ? " *" : "");
     } else {
-      std::printf("epoch %-4d loss=%.4f (%.2fs)\n", stats.epoch,
-                  stats.mean_loss, stats.seconds);
+      std::printf("epoch %-4d loss=%.4f (%.2fs)%s\n", stats.epoch,
+                  stats.mean_loss, stats.seconds, phases);
     }
   }
   void OnTrainEnd(const core::TrainSummary& summary) override {
@@ -232,6 +259,12 @@ int main(int argc, char** argv) {
   flags.AddString("parallel", "det",
                   "training parallel mode: det (thread-invariant) or seq "
                   "(legacy single-stream)");
+  flags.AddInt("logic-batch", 0,
+               "LogiRec: relations sampled per logic family per step "
+               "(0 = full pass)");
+  flags.AddString("logic-parallel", "",
+                  "LogiRec logic-pass mode: det (batched kernels) or seq "
+                  "(legacy scalar loop); empty follows --parallel");
   flags.AddInt("patience", 0, "early-stopping patience in probes (0 = off)");
   flags.AddInt("eval-every", 10, "epochs between validation probes");
   flags.AddBool("log-epochs", false, "print per-epoch training telemetry");
