@@ -1,0 +1,374 @@
+// Serving throughput bench: trains a model set, snapshots each one to
+// disk, restores it through serve::ServableModel (the same binary path
+// logirec_serve uses), and measures both serving paths of the
+// ModelServer on one host:
+//
+//   sync     Rank() on the caller's thread — exact scores, per-call
+//            buffers; per-request latency percentiles + QPS.
+//   batched  Submit() through the request batcher — ranking-surrogate
+//            kernels, per-worker reused buffers, one generation acquire
+//            per micro-batch; end-to-end QPS under a full queue.
+//
+// Both paths return bit-identical rankings (ScoreMode::kRanking
+// contract), which the bench spot-checks before timing. Writes
+// BENCH_serving.json — the tracked serving-perf trajectory.
+//
+// Gates:
+//   --min-batch-speedup  fail if a gated model's batched QPS / sync QPS
+//                        falls below this floor (the CI smoke gate).
+//                        Gated models default to the hyperbolic scorers,
+//                        where the ranking-surrogate batch path beats
+//                        exact sync scoring; Euclidean dot-product
+//                        models are reported ungated (sync is already
+//                        near-optimal for them on one core).
+//   --baseline           compare each model's batch_speedup against the
+//                        committed BENCH_serving.json; both sides of the
+//                        ratio come from one run on one machine, so the
+//                        gate is robust to CI hardware variance.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/snapshot.h"
+#include "serve/servable.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace logirec::bench {
+namespace {
+
+struct SyncStats {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct BatchedStats {
+  double qps = 0.0;
+  long batches = 0;
+  long max_batch = 0;
+  double p50_ms = 0.0;  // enqueue-to-completion, from the server's ring
+  double p99_ms = 0.0;
+};
+
+struct ModelReport {
+  std::string model;
+  SyncStats sync;
+  BatchedStats batched;
+  double batch_speedup = 0.0;  // batched qps over sync qps
+};
+
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples->size() - 1) + 0.5);
+  std::nth_element(samples->begin(), samples->begin() + idx, samples->end());
+  return (*samples)[idx];
+}
+
+/// Trains `name`, round-trips it through a binary snapshot, and returns
+/// the restored servable generation — the bench measures exactly what a
+/// production server would load, not the in-memory trained object.
+std::shared_ptr<const serve::ServableModel> MakeServable(
+    const std::string& name, const core::TrainConfig& config,
+    const BenchDataset& bd) {
+  auto model = baselines::MakeModel(name, config);
+  LOGIREC_CHECK_MSG(model.ok(), model.status().ToString());
+  const Status fit = (*model)->Fit(bd.dataset, bd.split);
+  LOGIREC_CHECK_MSG(fit.ok(), fit.ToString());
+
+  core::SnapshotHeader header;
+  header.dim = config.dim;
+  header.layers = config.layers;
+  header.num_users = bd.dataset.num_users;
+  header.num_items = bd.dataset.num_items;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("logirec_serve_bench_" + name + ".snap"))
+          .string();
+  const Status wr = core::ModelSnapshot::Write(**model, header, path);
+  LOGIREC_CHECK_MSG(wr.ok(), wr.ToString());
+  auto servable = serve::ServableModel::FromSnapshot(
+      path, baselines::MakeModel, &bd.split, /*generation=*/1);
+  std::filesystem::remove(path);
+  LOGIREC_CHECK_MSG(servable.ok(), servable.status().ToString());
+  return *servable;
+}
+
+ModelReport BenchModel(const std::string& name,
+                       const core::TrainConfig& config,
+                       const BenchDataset& bd, int requests, int top_k,
+                       const serve::ServerOptions& options) {
+  serve::ModelServer server(options);
+  server.Swap(MakeServable(name, config, bd));
+  const int num_users = bd.dataset.num_users;
+
+  ModelReport report;
+  report.model = name;
+
+  // Spot-check the bit-identical contract between the two paths before
+  // trusting the speedup: same users, same k, same item lists.
+  for (int u = 0; u < std::min(num_users, 16); ++u) {
+    std::vector<int> sync_items;
+    const Status st = server.Rank(u, top_k, &sync_items);
+    LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+    serve::RankResponse batched = server.Submit(u, top_k).get();
+    LOGIREC_CHECK_MSG(batched.status.ok(), batched.status.ToString());
+    LOGIREC_CHECK_MSG(sync_items == batched.items,
+                      "sync/batched ranking mismatch for " + name);
+  }
+
+  // Sync path: one request at a time on this thread, warm pass first.
+  std::vector<int> out;
+  for (int r = 0; r < std::min(requests, 256); ++r) {
+    LOGIREC_CHECK(server.Rank(r % num_users, top_k, &out).ok());
+  }
+  std::vector<double> per_request_us;
+  per_request_us.reserve(requests);
+  Timer sync_timer;
+  for (int r = 0; r < requests; ++r) {
+    Timer request_timer;
+    LOGIREC_CHECK(server.Rank(r % num_users, top_k, &out).ok());
+    per_request_us.push_back(request_timer.ElapsedSeconds() * 1e6);
+  }
+  const double sync_s = sync_timer.ElapsedSeconds();
+  report.sync.qps = requests / std::max(sync_s, 1e-12);
+  report.sync.p50_us = Percentile(&per_request_us, 0.50);
+  report.sync.p95_us = Percentile(&per_request_us, 0.95);
+  report.sync.p99_us = Percentile(&per_request_us, 0.99);
+
+  // Batched path: keep the queue saturated so the dispatcher always has
+  // a full micro-batch to drain — the offered-load regime batching is
+  // for. Warm pass first, then time submit-all / drain-all.
+  {
+    std::vector<std::future<serve::RankResponse>> warm;
+    for (int r = 0; r < std::min(requests, 256); ++r) {
+      warm.push_back(server.Submit(r % num_users, top_k));
+    }
+    for (auto& f : warm) LOGIREC_CHECK(f.get().status.ok());
+  }
+  const serve::ServerStats before = server.Stats();
+  std::vector<std::future<serve::RankResponse>> futures;
+  futures.reserve(requests);
+  Timer batched_timer;
+  for (int r = 0; r < requests; ++r) {
+    futures.push_back(server.Submit(r % num_users, top_k));
+  }
+  for (auto& f : futures) LOGIREC_CHECK(f.get().status.ok());
+  const double batched_s = batched_timer.ElapsedSeconds();
+  const serve::ServerStats after = server.Stats();
+  report.batched.qps = requests / std::max(batched_s, 1e-12);
+  report.batched.batches = after.batches_dispatched -
+                           before.batches_dispatched;
+  report.batched.max_batch = after.max_batch_size;
+  report.batched.p50_ms = after.p50_ms;
+  report.batched.p99_ms = after.p99_ms;
+
+  report.batch_speedup =
+      report.batched.qps / std::max(report.sync.qps, 1e-12);
+  return report;
+}
+
+void WriteJson(const std::string& path, const BenchDataset& bd,
+               const core::TrainConfig& config, int requests, int top_k,
+               const serve::ServerOptions& options,
+               const std::vector<ModelReport>& reports) {
+  std::ostringstream out;
+  out << "{\n  \"meta\": "
+      << StrFormat(
+             "{\"dataset\": \"%s\", \"users\": %d, \"items\": %d, "
+             "\"dim\": %d, \"requests\": %d, \"top_k\": %d, "
+             "\"max_batch\": %d}",
+             bd.dataset.name.c_str(), bd.dataset.num_users,
+             bd.dataset.num_items, config.dim, requests, top_k,
+             options.max_batch)
+      << ",\n  \"models\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ModelReport& r = reports[i];
+    out << StrFormat("    {\"model\": \"%s\", \"batch_speedup\": %.3f,\n",
+                     r.model.c_str(), r.batch_speedup)
+        << StrFormat(
+               "     \"sync\": {\"qps\": %.1f, \"p50_us\": %.2f, "
+               "\"p95_us\": %.2f, \"p99_us\": %.2f},\n",
+               r.sync.qps, r.sync.p50_us, r.sync.p95_us, r.sync.p99_us)
+        << StrFormat(
+               "     \"batched\": {\"qps\": %.1f, \"batches\": %ld, "
+               "\"max_batch\": %ld, \"p50_ms\": %.3f, \"p99_ms\": %.3f}}",
+               r.batched.qps, r.batched.batches, r.batched.max_batch,
+               r.batched.p50_ms, r.batched.p99_ms)
+        << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot write " + path);
+  f << out.str();
+}
+
+/// Minimal extraction of per-model batch speedups from a
+/// BENCH_serving.json produced by WriteJson (not a general JSON parser).
+std::map<std::string, double> ReadBaselineSpeedups(const std::string& path) {
+  std::ifstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot read baseline " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  std::map<std::string, double> speedups;
+  size_t pos = 0;
+  const std::string model_key = "\"model\": \"";
+  const std::string speedup_key = "\"batch_speedup\": ";
+  while ((pos = text.find(model_key, pos)) != std::string::npos) {
+    pos += model_key.size();
+    const size_t name_end = text.find('"', pos);
+    LOGIREC_CHECK(name_end != std::string::npos);
+    const std::string name = text.substr(pos, name_end - pos);
+    const size_t spos = text.find(speedup_key, name_end);
+    LOGIREC_CHECK_MSG(spos != std::string::npos,
+                      "baseline missing batch_speedup for " + name);
+    speedups[name] = std::stod(text.substr(spos + speedup_key.size()));
+    pos = name_end;
+  }
+  return speedups;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("models", "BPRMF,HGCF,LogiRec++",
+                  "comma-separated model names, or 'all' for the full zoo");
+  flags.AddString("dataset", "cd", "benchmark dataset preset");
+  flags.AddDouble("scale", 8.0,
+                  "dataset scale factor (batching pays off on realistic "
+                  "catalogs; tiny ones are queue-overhead bound)");
+  flags.AddInt("dim", 32, "embedding dimension");
+  flags.AddInt("epochs", 3,
+               "training epochs (serving speed is independent of fit "
+               "quality, so keep this small)");
+  flags.AddInt("requests", 2048, "timed requests per path per model");
+  flags.AddInt("batch", 32, "request micro-batch cap");
+  flags.AddInt("threads", 0, "scoring workers (0 = hardware)");
+  flags.AddInt("topk", 10, "ranking cutoff");
+  flags.AddString("out", "BENCH_serving.json", "output JSON path");
+  flags.AddDouble("min-batch-speedup", 0.0,
+                  "fail if a gated model's batched QPS / sync QPS is "
+                  "below this floor (0 = no gate)");
+  flags.AddString("gate-models", "HGCF,LogiRec++",
+                  "models the min-batch-speedup floor applies to. The "
+                  "batching win comes from the ranking-surrogate kernels, "
+                  "so it holds for hyperbolic scorers; Euclidean "
+                  "dot-product models (BPRMF) ride along as the "
+                  "reference where sync is already near-optimal");
+  flags.AddString("baseline", "",
+                  "committed BENCH_serving.json to gate against (empty = "
+                  "no gate)");
+  flags.AddDouble("max-regression", 0.30,
+                  "fail if a model's batch_speedup drops more than this "
+                  "fraction below the baseline");
+  const Status st = flags.Parse(argc, argv);
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  core::TrainConfig config;
+  config.dim = flags.GetInt("dim");
+  config.epochs = flags.GetInt("epochs");
+  config.seed = 7;
+
+  const BenchDataset bd =
+      MakeBenchDataset(flags.GetString("dataset"), flags.GetDouble("scale"));
+  std::vector<std::string> models;
+  if (flags.GetString("models") == "all") {
+    models = baselines::AllModelNames();
+  } else {
+    models = Split(flags.GetString("models"), ',');
+  }
+  const int requests = flags.GetInt("requests");
+  const int top_k = flags.GetInt("topk");
+  serve::ServerOptions options;
+  options.max_batch = flags.GetInt("batch");
+  options.num_threads = flags.GetInt("threads");
+  options.default_k = top_k;
+
+  std::printf(
+      "serve_throughput: %s users=%d items=%d dim=%d requests=%d batch=%d\n",
+      bd.dataset.name.c_str(), bd.dataset.num_users, bd.dataset.num_items,
+      config.dim, requests, options.max_batch);
+  std::printf("%-10s %12s %12s %9s %10s %10s\n", "model", "sync qps",
+              "batch qps", "speedup", "sync p99", "batch p99");
+
+  std::vector<ModelReport> reports;
+  for (const std::string& name : models) {
+    reports.push_back(
+        BenchModel(name, config, bd, requests, top_k, options));
+    const ModelReport& r = reports.back();
+    std::printf("%-10s %12.1f %12.1f %8.2fx %8.2fus %8.2fms\n",
+                r.model.c_str(), r.sync.qps, r.batched.qps, r.batch_speedup,
+                r.sync.p99_us, r.batched.p99_ms);
+  }
+
+  WriteJson(flags.GetString("out"), bd, config, requests, top_k, options,
+            reports);
+  std::printf("wrote %s\n", flags.GetString("out").c_str());
+
+  bool failed = false;
+  const double min_speedup = flags.GetDouble("min-batch-speedup");
+  if (min_speedup > 0.0) {
+    const std::vector<std::string> gated =
+        Split(flags.GetString("gate-models"), ',');
+    for (const ModelReport& r : reports) {
+      if (std::find(gated.begin(), gated.end(), r.model) == gated.end()) {
+        continue;
+      }
+      if (r.batch_speedup < min_speedup) {
+        std::printf(
+            "GATE FAILED %s: batched/sync speedup %.2fx < required %.2fx\n",
+            r.model.c_str(), r.batch_speedup, min_speedup);
+        failed = true;
+      }
+    }
+    if (!failed) {
+      std::printf("batch-speedup gate passed (floor %.2fx)\n", min_speedup);
+    }
+  }
+
+  if (!flags.GetString("baseline").empty()) {
+    const auto baseline = ReadBaselineSpeedups(flags.GetString("baseline"));
+    const double max_regression = flags.GetDouble("max-regression");
+    bool regressed = false;
+    for (const ModelReport& r : reports) {
+      auto it = baseline.find(r.model);
+      if (it == baseline.end()) continue;
+      const double floor = it->second * (1.0 - max_regression);
+      if (r.batch_speedup < floor) {
+        std::printf(
+            "REGRESSION %s: batch_speedup %.2fx < %.2fx (baseline %.2fx - "
+            "%.0f%% tolerance)\n",
+            r.model.c_str(), r.batch_speedup, floor, it->second,
+            100.0 * max_regression);
+        regressed = true;
+      }
+    }
+    if (!regressed) {
+      std::printf("regression gate passed (tolerance %.0f%%)\n",
+                  100.0 * max_regression);
+    }
+    failed = failed || regressed;
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace logirec::bench
+
+int main(int argc, char** argv) { return logirec::bench::Main(argc, argv); }

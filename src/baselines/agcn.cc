@@ -173,6 +173,19 @@ void Agcn::SyncScoringState() {
   fitted_ = true;
 }
 
+void Agcn::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&final_user_);
+  state->Add(&final_item_);
+}
+
+Status Agcn::FinalizeRestoredState() {
+  // SyncScoringState() would re-fuse and re-propagate, which needs the
+  // training graph and tag lists; the snapshot stores the final rows.
+  item_view_.Assign(final_item_);
+  fitted_ = true;
+  return Status::OK();
+}
+
 void Agcn::CollectParameters(core::ParameterSet* params) {
   params->Add(&user_);
   params->Add(&item_);

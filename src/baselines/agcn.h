@@ -37,6 +37,11 @@ class Agcn final : public core::Recommender, private core::Trainable {
     return &final_item_;
   }
 
+  // Snapshot scoring state (core/snapshot.h): the layer-averaged final
+  // embeddings with the tag fusion already baked in.
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   void SyncScoringState() override;

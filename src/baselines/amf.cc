@@ -87,13 +87,28 @@ void Amf::SyncScoringState() {
   fitted_ = true;
 }
 
+void Amf::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&user_);
+  state->Add(&effective_item_);
+}
+
+Status Amf::FinalizeRestoredState() {
+  // SyncScoringState() would re-fuse from the tag lists, which a restored
+  // model does not carry; the snapshot stores the fused rows directly.
+  item_view_.Assign(effective_item_);
+  fitted_ = true;
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
+// Reads the materialized effective rows (value-identical to re-fusing
+// EffectiveItem(v), which a snapshot-restored model cannot do).
 void Amf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
-  out->resize(item_.rows());
+  out->resize(effective_item_.rows());
   auto pu = user_.Row(user);
-  for (int v = 0; v < item_.rows(); ++v) {
-    (*out)[v] = math::Dot(pu, EffectiveItem(v));
+  for (int v = 0; v < effective_item_.rows(); ++v) {
+    (*out)[v] = math::Dot(pu, effective_item_.Row(v));
   }
 }
 

@@ -25,6 +25,11 @@ class Amf final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "AMF"; }
 
+  // Snapshot scoring state (core/snapshot.h): the materialized
+  // aspect-fused item rows — scoring never needs the tag lists back.
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   void SyncScoringState() override;

@@ -57,6 +57,17 @@ void Bprmf::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_bias_);
 }
 
+void Bprmf::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&user_);
+  state->Add(&item_);
+  state->Add(&item_bias_);
+}
+
+Status Bprmf::FinalizeRestoredState() {
+  SyncScoringState();
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Bprmf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);

@@ -24,6 +24,10 @@ class Bprmf final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "BPRMF"; }
 
+  // Snapshot scoring state (core/snapshot.h): user/item factors + bias.
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   void SyncScoringState() override {

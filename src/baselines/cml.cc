@@ -59,6 +59,16 @@ void Cml::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_);
 }
 
+void Cml::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&user_);
+  state->Add(&item_);
+}
+
+Status Cml::FinalizeRestoredState() {
+  SyncScoringState();
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Cml::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
@@ -164,13 +174,28 @@ void Cmlf::SyncScoringState() {
   fitted_ = true;
 }
 
+void Cmlf::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&user_);
+  state->Add(&effective_item_);
+}
+
+Status Cmlf::FinalizeRestoredState() {
+  // SyncScoringState() would re-fuse from the tag lists, which a restored
+  // model does not carry; the snapshot stores the fused rows directly.
+  item_view_.Assign(effective_item_);
+  fitted_ = true;
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
+// Reads the materialized effective rows (value-identical to re-fusing
+// EffectiveItem(v), which a snapshot-restored model cannot do).
 void Cmlf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);
-  out->resize(item_.rows());
+  out->resize(effective_item_.rows());
   auto pu = user_.Row(user);
-  for (int v = 0; v < item_.rows(); ++v) {
-    (*out)[v] = -math::SquaredDistance(pu, EffectiveItem(v));
+  for (int v = 0; v < effective_item_.rows(); ++v) {
+    (*out)[v] = -math::SquaredDistance(pu, effective_item_.Row(v));
   }
 }
 

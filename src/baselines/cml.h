@@ -25,6 +25,10 @@ class Cml final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "CML"; }
 
+  // Snapshot scoring state (core/snapshot.h): the metric-space points.
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   void SyncScoringState() override {
@@ -51,6 +55,11 @@ class Cmlf final : public core::Recommender, private core::Trainable {
   void ScoreItemsInto(int user, math::Span out,
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "CMLF"; }
+
+  // Snapshot scoring state (core/snapshot.h): the materialized effective
+  // items — scoring never needs the tag lists back.
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
 
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;

@@ -139,6 +139,17 @@ void Gdcf::CollectParameters(core::ParameterSet* params) {
   params->Add(&chunk_logits_);
 }
 
+void Gdcf::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&user_);
+  state->Add(&item_);
+  state->Add(&chunk_logits_);
+}
+
+Status Gdcf::FinalizeRestoredState() {
+  SyncScoringState();
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Gdcf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);

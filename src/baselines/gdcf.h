@@ -25,6 +25,11 @@ class Gdcf final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "GDCF"; }
 
+  // Snapshot scoring state (core/snapshot.h): chunked embeddings plus
+  // the softmax fusion logits.
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  private:
   static constexpr int kChunks = 4;
 

@@ -168,6 +168,19 @@ void Hgcf::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_);
 }
 
+void Hgcf::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&final_user_);
+  state->Add(&final_item_);
+}
+
+Status Hgcf::FinalizeRestoredState() {
+  // SyncScoringState() would re-run the hyperbolic GCN, which needs the
+  // training graph; the snapshot stores the propagated embeddings.
+  item_view_.Assign(final_item_);
+  fitted_ = true;
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Hgcf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);

@@ -33,6 +33,12 @@ class Hgcf : public core::Recommender, private core::Trainable {
   }
   ItemSpace item_space() const override { return ItemSpace::kLorentz; }
 
+  // Snapshot scoring state (core/snapshot.h): the post-GCN Lorentz
+  // embeddings — shared by HRCF, whose extra regularizer only shapes
+  // training. Propagation is baked in.
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  protected:
   /// Hook for HRCF: extra gradient contributions on the *final* (post-GCN)
   /// embeddings, added before backpropagation. Default: none.

@@ -82,6 +82,16 @@ void HyperMl::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_);
 }
 
+void HyperMl::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&user_);
+  state->Add(&item_);
+}
+
+Status HyperMl::FinalizeRestoredState() {
+  SyncScoringState();
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void HyperMl::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);

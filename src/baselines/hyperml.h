@@ -26,6 +26,10 @@ class HyperMl final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "HyperML"; }
 
+  // Snapshot scoring state (core/snapshot.h): the Poincaré-ball points.
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   void SyncScoringState() override {

@@ -138,6 +138,19 @@ void LightGcn::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_);
 }
 
+void LightGcn::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&final_user_);
+  state->Add(&final_item_);
+}
+
+Status LightGcn::FinalizeRestoredState() {
+  // SyncScoringState() would re-run propagation, which needs the training
+  // graph; the snapshot stores the propagated embeddings directly.
+  item_view_.Assign(final_item_);
+  fitted_ = true;
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void LightGcn::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);

@@ -31,6 +31,12 @@ class LightGcn final : public core::Recommender, private core::Trainable {
     return &final_item_;
   }
 
+  // Snapshot scoring state (core/snapshot.h): the layer-averaged final
+  // embeddings — propagation is baked in, so a restored model never
+  // needs the interaction graph.
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   void SyncScoringState() override;

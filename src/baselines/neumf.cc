@@ -114,6 +114,35 @@ void NeuMf::CollectParameters(core::ParameterSet* params) {
   for (math::Vec* tensor : mlp_->ParameterTensors()) params->Add(tensor);
 }
 
+void NeuMf::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&gmf_user_);
+  state->Add(&gmf_item_);
+  state->Add(&mlp_user_);
+  state->Add(&mlp_item_);
+  state->Add(&gmf_out_);
+  state->Add(&bias_);
+  // Unfitted and not prepared for restore: no MLP tensors to walk. The
+  // snapshot reader's tensor-count check turns that into an error.
+  if (mlp_ == nullptr) return;
+  for (math::Vec* tensor : mlp_->ParameterTensors()) state->Add(tensor);
+}
+
+void NeuMf::PrepareForRestore() {
+  if (mlp_ != nullptr) return;
+  // Same tower shape as Fit(); the He-initialized weights are fully
+  // overwritten by the snapshot payload.
+  const int d = config_.dim;
+  Rng rng(config_.seed);
+  mlp_ = std::make_unique<math::Mlp>(
+      std::vector<int>{2 * d, d, d / 2 > 0 ? d / 2 : 1, 1},
+      math::Activation::kRelu, &rng);
+}
+
+Status NeuMf::FinalizeRestoredState() {
+  SyncScoringState();
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void NeuMf::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);

@@ -26,6 +26,14 @@ class NeuMf final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "NeuMF"; }
 
+  // Snapshot scoring state (core/snapshot.h): both towers, the fusion
+  // weights/bias, and every MLP layer tensor. PrepareForRestore()
+  // allocates the MLP so the enumeration has destinations to fill on a
+  // freshly constructed model.
+  void CollectScoringState(core::ParameterSet* state) override;
+  void PrepareForRestore() override;
+  Status FinalizeRestoredState() override;
+
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   int NegativeDrawsPerPair() const override {

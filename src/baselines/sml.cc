@@ -90,6 +90,16 @@ void Sml::CollectParameters(core::ParameterSet* params) {
   params->Add(&item_margin_);
 }
 
+void Sml::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&user_);
+  state->Add(&item_);
+}
+
+Status Sml::FinalizeRestoredState() {
+  SyncScoringState();
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void Sml::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);

@@ -26,6 +26,11 @@ class Sml final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "SML"; }
 
+  // Snapshot scoring state (core/snapshot.h): the metric-space points
+  // (the adaptive margins only shape training, never scoring).
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  private:
   static constexpr double kMarginLo = 0.05;
   static constexpr double kMarginHi = 1.0;

@@ -124,6 +124,17 @@ void TransC::CollectParameters(core::ParameterSet* params) {
   params->Add(&relation_);
 }
 
+void TransC::CollectScoringState(core::ParameterSet* state) {
+  state->Add(&user_);
+  state->Add(&item_);
+  state->Add(&relation_);
+}
+
+Status TransC::FinalizeRestoredState() {
+  SyncScoringState();
+  return Status::OK();
+}
+
 // Scalar reference scoring; the ranking hot path is ScoreItemsInto().
 void TransC::ScoreItems(int user, std::vector<double>* out) const {
   LOGIREC_CHECK(fitted_);

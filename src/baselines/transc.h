@@ -29,6 +29,11 @@ class TransC final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "TransC"; }
 
+  // Snapshot scoring state (core/snapshot.h): user/item points plus the
+  // shared translation (the concept spheres only shape training).
+  void CollectScoringState(core::ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   double EpochTail(int epoch, Rng* rng) override;

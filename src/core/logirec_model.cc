@@ -505,6 +505,31 @@ void LogiRecModel::SyncScoringState() {
   fitted_ = true;
 }
 
+void LogiRecModel::CollectScoringState(ParameterSet* state) {
+  state->Add(&final_user_);
+  state->Add(&final_item_);
+  state->Add(&item_poincare_);
+  state->Add(&tag_centers_);
+}
+
+Status LogiRecModel::FinalizeRestoredState() {
+  // SyncScoringState() would re-run the propagation, which needs the
+  // training graph; the snapshot stores the final embeddings.
+  item_view_.Assign(final_item_);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status LogiRecModel::ApplySnapshotFlags(uint32_t flags) {
+  if ((flags & ~kSnapshotFlagEuclidean) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s: unknown snapshot flags 0x%x", name().c_str(),
+                  flags & ~kSnapshotFlagEuclidean));
+  }
+  config_.use_hyperbolic = (flags & kSnapshotFlagEuclidean) == 0;
+  return Status::OK();
+}
+
 void LogiRecModel::CollectParameters(ParameterSet* params) {
   if (config_.use_hyperbolic) {
     params->Add(&user_lorentz_);
@@ -611,6 +636,7 @@ Result<LogiRecModel> LogiRecModel::Load(const std::string& dir) {
   model.final_item_ = std::move(*final_item);
   model.item_poincare_ = std::move(*item_poincare);
   model.tag_centers_ = std::move(*tag_centers);
+  model.item_view_.Assign(model.final_item_);
   model.fitted_ = true;
   return model;
 }

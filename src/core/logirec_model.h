@@ -80,6 +80,18 @@ class LogiRecModel final : public Recommender, private Trainable {
   /// Restores a model saved by Save() into a scoring-ready state.
   static Result<LogiRecModel> Load(const std::string& dir);
 
+  // Snapshot scoring state (core/snapshot.h): the post-GCN Lorentz tables
+  // plus the logic-constrained Poincaré items and tag centers, mirroring
+  // the CSV Save() set. The Euclidean "w/o Hyper" variant is recorded in
+  // the snapshot flag word so a restore scores with the right metric.
+  static constexpr uint32_t kSnapshotFlagEuclidean = 1u << 0;
+  void CollectScoringState(ParameterSet* state) override;
+  Status FinalizeRestoredState() override;
+  uint32_t SnapshotFlags() const override {
+    return config_.use_hyperbolic ? 0u : kSnapshotFlagEuclidean;
+  }
+  Status ApplySnapshotFlags(uint32_t flags) override;
+
   const LogiRecConfig& config() const { return config_; }
 
   /// For visualization we expose the logic-constrained Poincaré item

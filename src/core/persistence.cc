@@ -29,7 +29,14 @@ Result<math::Matrix> LoadMatrixCsv(const std::string& path) {
   auto rows = ParseInt(table->header[0]);
   auto cols = ParseInt(table->header[1]);
   if (!rows.ok() || !cols.ok()) {
-    return Status::IoError("bad matrix header in " + path);
+    return Status::IoError(StrFormat(
+        "bad matrix header \"%s,%s\" in %s (want integer rows,cols)",
+        table->header[0].c_str(), table->header[1].c_str(), path.c_str()));
+  }
+  if (*rows < 0 || *cols < 0) {
+    return Status::IoError(StrFormat(
+        "negative matrix dimensions %dx%d in %s", *rows, *cols,
+        path.c_str()));
   }
   if (static_cast<int>(table->rows.size()) != *rows) {
     return Status::IoError(StrFormat("expected %d rows, found %zu in %s",
@@ -39,12 +46,17 @@ Result<math::Matrix> LoadMatrixCsv(const std::string& path) {
   math::Matrix m(*rows, *cols);
   for (int r = 0; r < *rows; ++r) {
     if (static_cast<int>(table->rows[r].size()) != *cols) {
-      return Status::IoError(StrFormat("row %d has wrong arity in %s", r,
-                                       path.c_str()));
+      return Status::IoError(StrFormat(
+          "row %d has %zu cells, expected %d in %s", r,
+          table->rows[r].size(), *cols, path.c_str()));
     }
     for (int c = 0; c < *cols; ++c) {
       auto value = ParseDouble(table->rows[r][c]);
-      if (!value.ok()) return value.status();
+      if (!value.ok()) {
+        return Status::IoError(StrFormat(
+            "unparseable cell \"%s\" at row %d col %d in %s",
+            table->rows[r][c].c_str(), r, c, path.c_str()));
+      }
       m.At(r, c) = *value;
     }
   }

@@ -1,7 +1,9 @@
 #ifndef LOGIREC_CORE_RECOMMENDER_H_
 #define LOGIREC_CORE_RECOMMENDER_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "eval/evaluator.h"
@@ -11,6 +13,27 @@
 namespace logirec::core {
 
 class TrainObserver;  // core/trainer.h
+
+/// Mutable views of a model's tensor state, in a fixed model-defined
+/// order. Two enumerations hand these out: Trainable::CollectParameters()
+/// registers the *training parameters* (so core::Trainer can snapshot and
+/// restore the best validation checkpoint), and
+/// Recommender::CollectScoringState() registers the *scoring-ready state*
+/// (so core::ModelSnapshot can persist a servable model to disk). Both
+/// walk the same container so checkpointing and snapshotting share one
+/// tensor-enumeration mechanism.
+struct ParameterSet {
+  std::vector<math::Matrix*> matrices;
+  std::vector<math::Vec*> vectors;
+  std::vector<double*> scalars;
+
+  void Add(math::Matrix* m) { matrices.push_back(m); }
+  void Add(math::Vec* v) { vectors.push_back(v); }
+  void Add(double* s) { scalars.push_back(s); }
+  bool empty() const {
+    return matrices.empty() && vectors.empty() && scalars.empty();
+  }
+};
 
 /// How core::Trainer schedules an epoch's mini-batch shards.
 enum class ParallelMode {
@@ -114,6 +137,51 @@ class Recommender : public eval::Scorer {
   /// no single item embedding matrix (e.g. NeuMF's two towers).
   virtual const math::Matrix* ItemEmbeddings() const { return nullptr; }
   virtual ItemSpace item_space() const { return ItemSpace::kEuclidean; }
+
+  // --- binary snapshots (core/snapshot.h) ------------------------------
+  //
+  // A snapshot persists the model's *scoring-ready* state — exactly the
+  // tensors ScoreItems()/ScoreItemsInto() read (final post-propagation
+  // embeddings, fused towers, biases), not the raw training parameters —
+  // so a restored model scores bit-identically without the dataset, the
+  // propagation graph, or any optimizer state. Restore protocol, driven
+  // by ModelSnapshot::Read on a freshly constructed model:
+  //   1. ApplySnapshotFlags(header.flags)
+  //   2. PrepareForRestore()        — allocate sub-structures (NeuMF MLP)
+  //   3. CollectScoringState(&s)    — hand out destination tensors
+  //   4. tensors are filled in enumeration order, CRC-checked
+  //   5. FinalizeRestoredState()    — rebuild ScoringViews, mark fitted
+
+  /// Registers the tensors that constitute the scoring-ready state, in a
+  /// fixed order. The default registers nothing, which ModelSnapshot
+  /// reports as "snapshot unsupported" for out-of-tree models.
+  virtual void CollectScoringState(ParameterSet* state) { (void)state; }
+
+  /// Allocates sub-structures that must exist before CollectScoringState
+  /// can hand out tensor pointers on a freshly constructed model.
+  virtual void PrepareForRestore() {}
+
+  /// Marks restored tensors scoring-ready (rebuild cached ScoringViews,
+  /// set the fitted flag). Only called after every registered tensor has
+  /// been filled and checksum-verified.
+  virtual Status FinalizeRestoredState() {
+    return Status::FailedPrecondition(name() +
+                                      " does not support snapshot restore");
+  }
+
+  /// Model-specific config bits persisted in the snapshot header (e.g.
+  /// LogiRec's Euclidean-ablation flag). Zero for every stock model.
+  virtual uint32_t SnapshotFlags() const { return 0; }
+
+  /// Applies header flags before restore; unknown nonzero flags are an
+  /// error so a snapshot of an unsupported variant never mis-scores.
+  virtual Status ApplySnapshotFlags(uint32_t flags) {
+    if (flags != 0) {
+      return Status::InvalidArgument(
+          name() + " snapshot carries unsupported flags");
+    }
+    return Status::OK();
+  }
 };
 
 }  // namespace logirec::core

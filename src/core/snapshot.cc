@@ -1,0 +1,358 @@
+#include "core/snapshot.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace logirec::core {
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "model snapshots are defined little-endian; add byte "
+              "swapping before building on a big-endian target");
+
+void PutU32(std::vector<unsigned char>* buf, uint32_t v) {
+  const size_t at = buf->size();
+  buf->resize(at + sizeof v);
+  std::memcpy(buf->data() + at, &v, sizeof v);
+}
+
+void PutI32(std::vector<unsigned char>* buf, int32_t v) {
+  PutU32(buf, static_cast<uint32_t>(v));
+}
+
+void PutBytes(std::vector<unsigned char>* buf, const void* data,
+              size_t len) {
+  const size_t at = buf->size();
+  buf->resize(at + len);
+  std::memcpy(buf->data() + at, data, len);
+}
+
+/// Bounds-checked forward cursor over the bulk-loaded file image. Every
+/// read reports truncation through ok()/error() instead of running off
+/// the buffer, so corrupted files degrade into descriptive Status errors.
+class Cursor {
+ public:
+  Cursor(const unsigned char* data, size_t size, const std::string& path)
+      : data_(data), size_(size), path_(path) {}
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof *v, "u32"); }
+  bool ReadI32(int32_t* v) { return ReadRaw(v, sizeof *v, "i32"); }
+
+  bool ReadString(uint32_t len, std::string* out) {
+    if (!Ensure(len, "string")) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  /// Returns a pointer to `len` raw payload bytes and advances.
+  const unsigned char* ReadSpan(size_t len, const char* what) {
+    if (!Ensure(len, what)) return nullptr;
+    const unsigned char* p = data_ + pos_;
+    pos_ += len;
+    return p;
+  }
+
+  size_t pos() const { return pos_; }
+  bool ok() const { return error_.ok(); }
+  const Status& error() const { return error_; }
+
+ private:
+  bool ReadRaw(void* out, size_t len, const char* what) {
+    if (!Ensure(len, what)) return false;
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool Ensure(size_t len, const char* what) {
+    if (!error_.ok()) return false;
+    if (pos_ + len > size_) {
+      error_ = Status::IoError(StrFormat(
+          "truncated snapshot %s: need %zu bytes for %s at offset %zu, "
+          "file has %zu",
+          path_.c_str(), len, what, pos_, size_));
+      return false;
+    }
+    return true;
+  }
+
+  const unsigned char* data_;
+  size_t size_;
+  std::string path_;
+  size_t pos_ = 0;
+  Status error_ = Status::OK();
+};
+
+Status BulkLoad(const std::string& path, std::vector<unsigned char>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open snapshot: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat snapshot: " + path);
+  }
+  out->resize(static_cast<size_t>(size));
+  const size_t read =
+      size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) {
+    return Status::IoError("short read on snapshot: " + path);
+  }
+  return Status::OK();
+}
+
+/// Parses the fixed header (through header_crc). On success the cursor
+/// sits on the first tensor record and counts are filled in.
+Status ParseHeader(Cursor* cur, const std::string& path,
+                   SnapshotHeader* header, uint32_t* n_matrices,
+                   uint32_t* n_vectors, uint32_t* n_scalars) {
+  uint32_t magic = 0, version = 0;
+  if (!cur->ReadU32(&magic)) return cur->error();
+  if (magic != ModelSnapshot::kMagic) {
+    return Status::IoError(StrFormat(
+        "%s is not a model snapshot (bad magic 0x%08x)", path.c_str(),
+        magic));
+  }
+  if (!cur->ReadU32(&version)) return cur->error();
+  if (version != ModelSnapshot::kVersion) {
+    return Status::IoError(StrFormat(
+        "unsupported snapshot version %u in %s (this build reads %u)",
+        version, path.c_str(), ModelSnapshot::kVersion));
+  }
+  uint32_t name_len = 0;
+  int32_t dim = 0, layers = 0, num_users = 0, num_items = 0;
+  if (!cur->ReadU32(&header->flags) || !cur->ReadI32(&dim) ||
+      !cur->ReadI32(&layers) || !cur->ReadI32(&num_users) ||
+      !cur->ReadI32(&num_items) || !cur->ReadU32(&name_len)) {
+    return cur->error();
+  }
+  if (name_len > 256) {
+    return Status::IoError("implausible model-name length in " + path);
+  }
+  if (!cur->ReadString(name_len, &header->model)) return cur->error();
+  if (!cur->ReadU32(n_matrices) || !cur->ReadU32(n_vectors) ||
+      !cur->ReadU32(n_scalars)) {
+    return cur->error();
+  }
+  header->dim = dim;
+  header->layers = layers;
+  header->num_users = num_users;
+  header->num_items = num_items;
+
+  // Consume the header CRC; callers recompute it over the preceding
+  // bytes (the cursor position marks where it sits).
+  uint32_t stored_crc = 0;
+  if (!cur->ReadU32(&stored_crc)) return cur->error();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ModelSnapshot::Write(Recommender& model, SnapshotHeader header,
+                            const std::string& path) {
+  ParameterSet state;
+  model.CollectScoringState(&state);
+  if (state.empty()) {
+    return Status::FailedPrecondition(
+        model.name() + " registers no scoring state; snapshot unsupported");
+  }
+  header.model = model.name();
+  header.flags = model.SnapshotFlags();
+
+  std::vector<unsigned char> buf;
+  PutU32(&buf, kMagic);
+  PutU32(&buf, kVersion);
+  PutU32(&buf, header.flags);
+  PutI32(&buf, header.dim);
+  PutI32(&buf, header.layers);
+  PutI32(&buf, header.num_users);
+  PutI32(&buf, header.num_items);
+  PutU32(&buf, static_cast<uint32_t>(header.model.size()));
+  PutBytes(&buf, header.model.data(), header.model.size());
+  PutU32(&buf, static_cast<uint32_t>(state.matrices.size()));
+  PutU32(&buf, static_cast<uint32_t>(state.vectors.size()));
+  PutU32(&buf, static_cast<uint32_t>(state.scalars.size()));
+  PutU32(&buf, Crc32(buf.data(), buf.size()));
+
+  for (const math::Matrix* m : state.matrices) {
+    PutI32(&buf, m->rows());
+    PutI32(&buf, m->cols());
+    const size_t bytes = m->data().size() * sizeof(double);
+    PutU32(&buf, Crc32(m->data().data(), bytes));
+    PutBytes(&buf, m->data().data(), bytes);
+  }
+  for (const math::Vec* v : state.vectors) {
+    PutI32(&buf, static_cast<int32_t>(v->size()));
+    const size_t bytes = v->size() * sizeof(double);
+    PutU32(&buf, Crc32(v->data(), bytes));
+    PutBytes(&buf, v->data(), bytes);
+  }
+  if (!state.scalars.empty()) {
+    std::vector<double> block;
+    block.reserve(state.scalars.size());
+    for (const double* s : state.scalars) block.push_back(*s);
+    const size_t bytes = block.size() * sizeof(double);
+    PutU32(&buf, Crc32(block.data(), bytes));
+    PutBytes(&buf, block.data(), bytes);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create snapshot: " + path);
+  }
+  const size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  const bool closed_ok = std::fclose(f) == 0;
+  if (written != buf.size() || !closed_ok) {
+    return Status::IoError("short write on snapshot: " + path);
+  }
+  return Status::OK();
+}
+
+Result<SnapshotHeader> ModelSnapshot::Peek(const std::string& path) {
+  std::vector<unsigned char> buf;
+  LOGIREC_RETURN_IF_ERROR(BulkLoad(path, &buf));
+  Cursor cur(buf.data(), buf.size(), path);
+  SnapshotHeader header;
+  uint32_t nm = 0, nv = 0, ns = 0;
+  LOGIREC_RETURN_IF_ERROR(ParseHeader(&cur, path, &header, &nm, &nv, &ns));
+  const size_t crc_at = cur.pos() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + crc_at, sizeof stored_crc);
+  if (Crc32(buf.data(), crc_at) != stored_crc) {
+    return Status::IoError("snapshot header checksum mismatch in " + path);
+  }
+  return header;
+}
+
+Result<std::unique_ptr<Recommender>> ModelSnapshot::Read(
+    const std::string& path, const ModelFactory& factory,
+    SnapshotHeader* header_out) {
+  std::vector<unsigned char> buf;
+  LOGIREC_RETURN_IF_ERROR(BulkLoad(path, &buf));
+  Cursor cur(buf.data(), buf.size(), path);
+  SnapshotHeader header;
+  uint32_t n_matrices = 0, n_vectors = 0, n_scalars = 0;
+  LOGIREC_RETURN_IF_ERROR(
+      ParseHeader(&cur, path, &header, &n_matrices, &n_vectors, &n_scalars));
+  const size_t header_crc_at = cur.pos() - sizeof(uint32_t);
+  uint32_t stored_header_crc = 0;
+  std::memcpy(&stored_header_crc, buf.data() + header_crc_at,
+              sizeof stored_header_crc);
+  if (Crc32(buf.data(), header_crc_at) != stored_header_crc) {
+    return Status::IoError("snapshot header checksum mismatch in " + path);
+  }
+
+  TrainConfig config;
+  config.dim = header.dim;
+  config.layers = header.layers;
+  auto model = factory(header.model, config);
+  if (!model.ok()) return model.status();
+  LOGIREC_RETURN_IF_ERROR((*model)->ApplySnapshotFlags(header.flags));
+  (*model)->PrepareForRestore();
+  ParameterSet state;
+  (*model)->CollectScoringState(&state);
+  if (state.matrices.size() != n_matrices ||
+      state.vectors.size() != n_vectors ||
+      state.scalars.size() != n_scalars) {
+    return Status::IoError(StrFormat(
+        "snapshot %s carries %u/%u/%u tensors but %s enumerates "
+        "%zu/%zu/%zu — incompatible snapshot",
+        path.c_str(), n_matrices, n_vectors, n_scalars,
+        header.model.c_str(), state.matrices.size(), state.vectors.size(),
+        state.scalars.size()));
+  }
+
+  for (size_t i = 0; i < state.matrices.size(); ++i) {
+    int32_t rows = 0, cols = 0;
+    uint32_t crc = 0;
+    if (!cur.ReadI32(&rows) || !cur.ReadI32(&cols) || !cur.ReadU32(&crc)) {
+      return cur.error();
+    }
+    if (rows < 0 || cols < 0) {
+      return Status::IoError(StrFormat("matrix %zu in %s has negative "
+                                       "shape %dx%d",
+                                       i, path.c_str(), rows, cols));
+    }
+    math::Matrix* dst = state.matrices[i];
+    if (dst->rows() > 0 &&
+        (dst->rows() != rows || dst->cols() != cols)) {
+      return Status::IoError(StrFormat(
+          "matrix %zu in %s is %dx%d but %s expects %dx%d", i,
+          path.c_str(), rows, cols, header.model.c_str(), dst->rows(),
+          dst->cols()));
+    }
+    const size_t bytes =
+        static_cast<size_t>(rows) * static_cast<size_t>(cols) *
+        sizeof(double);
+    const unsigned char* payload = cur.ReadSpan(bytes, "matrix payload");
+    if (payload == nullptr) return cur.error();
+    if (Crc32(payload, bytes) != crc) {
+      return Status::IoError(StrFormat(
+          "matrix %zu checksum mismatch in %s (corrupted snapshot)", i,
+          path.c_str()));
+    }
+    dst->Reset(rows, cols);
+    std::memcpy(dst->data().data(), payload, bytes);
+  }
+  for (size_t i = 0; i < state.vectors.size(); ++i) {
+    int32_t len = 0;
+    uint32_t crc = 0;
+    if (!cur.ReadI32(&len) || !cur.ReadU32(&crc)) return cur.error();
+    if (len < 0) {
+      return Status::IoError(StrFormat("vector %zu in %s has negative "
+                                       "length %d",
+                                       i, path.c_str(), len));
+    }
+    math::Vec* dst = state.vectors[i];
+    if (!dst->empty() && static_cast<int32_t>(dst->size()) != len) {
+      return Status::IoError(StrFormat(
+          "vector %zu in %s has length %d but %s expects %zu", i,
+          path.c_str(), len, header.model.c_str(), dst->size()));
+    }
+    const size_t bytes = static_cast<size_t>(len) * sizeof(double);
+    const unsigned char* payload = cur.ReadSpan(bytes, "vector payload");
+    if (payload == nullptr) return cur.error();
+    if (Crc32(payload, bytes) != crc) {
+      return Status::IoError(StrFormat(
+          "vector %zu checksum mismatch in %s (corrupted snapshot)", i,
+          path.c_str()));
+    }
+    dst->resize(len);
+    std::memcpy(dst->data(), payload, bytes);
+  }
+  if (!state.scalars.empty()) {
+    uint32_t crc = 0;
+    if (!cur.ReadU32(&crc)) return cur.error();
+    const size_t bytes = state.scalars.size() * sizeof(double);
+    const unsigned char* payload = cur.ReadSpan(bytes, "scalar block");
+    if (payload == nullptr) return cur.error();
+    if (Crc32(payload, bytes) != crc) {
+      return Status::IoError("scalar block checksum mismatch in " + path);
+    }
+    for (size_t i = 0; i < state.scalars.size(); ++i) {
+      std::memcpy(state.scalars[i], payload + i * sizeof(double),
+                  sizeof(double));
+    }
+  }
+  if (cur.pos() != buf.size()) {
+    return Status::IoError(StrFormat(
+        "%zu trailing bytes after the last tensor in %s",
+        buf.size() - cur.pos(), path.c_str()));
+  }
+
+  LOGIREC_RETURN_IF_ERROR((*model)->FinalizeRestoredState());
+  if (header_out != nullptr) *header_out = header;
+  return std::move(*model);
+}
+
+}  // namespace logirec::core

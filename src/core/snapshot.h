@@ -1,0 +1,78 @@
+#ifndef LOGIREC_CORE_SNAPSHOT_H_
+#define LOGIREC_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/recommender.h"
+#include "util/status.h"
+
+namespace logirec::core {
+
+/// The parsed header of a binary model snapshot.
+struct SnapshotHeader {
+  std::string model;   ///< zoo name ("BPRMF", ..., "LogiRec++")
+  int dim = 0;         ///< embedding dimension the model was built with
+  int layers = 0;      ///< GCN depth (informational; propagation is baked
+                       ///< into the stored final embeddings)
+  int num_users = 0;
+  int num_items = 0;
+  uint32_t flags = 0;  ///< Recommender::SnapshotFlags() bits
+};
+
+/// Constructs an untrained model by zoo name — the signature of
+/// baselines::MakeModel, injected so core does not depend on the zoo.
+using ModelFactory = std::function<Result<std::unique_ptr<Recommender>>(
+    const std::string& name, const TrainConfig& config)>;
+
+/// Versioned, checksummed, little-endian binary model snapshots — the
+/// canonical on-disk format for trained models (CSV via core/persistence
+/// stays available as a debug/export format).
+///
+/// Layout (all integers little-endian):
+///
+///   u32 magic "LRSn"   u32 version   u32 flags
+///   i32 dim   i32 layers   i32 num_users   i32 num_items
+///   u32 name_len, name bytes
+///   u32 n_matrices   u32 n_vectors   u32 n_scalars
+///   u32 header_crc32 (over everything above)
+///   per matrix:  i32 rows, i32 cols, u32 crc32, f64 payload (row-major)
+///   per vector:  i32 len,            u32 crc32, f64 payload
+///   scalar blk:  (n_scalars > 0)     u32 crc32, f64 payload
+///
+/// The payload tensors are the model's *scoring-ready* state, walked via
+/// Recommender::CollectScoringState() in its fixed enumeration order, so
+/// a restored model scores bit-identically to the saved one without the
+/// dataset or any training state. Every CRC32 is over the raw payload
+/// bytes; Read() loads the whole file with a single fread and verifies
+/// checksums before handing tensors to the model.
+class ModelSnapshot {
+ public:
+  static constexpr uint32_t kMagic = 0x6E53524Cu;  // "LRSn"
+  static constexpr uint32_t kVersion = 1;
+
+  /// Serializes `model`'s scoring state to `path` (overwriting).
+  /// `header.model` and `header.flags` are filled from the model; the
+  /// caller supplies dim/layers/num_users/num_items. Fails on models that
+  /// register no scoring state.
+  static Status Write(Recommender& model, SnapshotHeader header,
+                      const std::string& path);
+
+  /// Reads and validates the header only (magic, version, header CRC).
+  static Result<SnapshotHeader> Peek(const std::string& path);
+
+  /// Restores a scoring-ready model: constructs it through `factory`
+  /// (pass baselines::MakeModel), then fills its scoring-state tensors
+  /// from the snapshot, verifying shapes and per-tensor checksums. Any
+  /// corruption — bad magic, unknown version, flipped payload byte,
+  /// truncated tensor — yields a descriptive error, never a crash.
+  static Result<std::unique_ptr<Recommender>> Read(
+      const std::string& path, const ModelFactory& factory,
+      SnapshotHeader* header_out = nullptr);
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_SNAPSHOT_H_

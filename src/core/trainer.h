@@ -51,21 +51,9 @@ class TrainObserver {
   virtual void OnTrainEnd(const TrainSummary& summary) { (void)summary; }
 };
 
-/// Mutable views of a model's parameter state, registered via
-/// Trainable::CollectParameters() so the Trainer can snapshot the best
-/// validation checkpoint and restore it when early stopping fires.
-struct ParameterSet {
-  std::vector<math::Matrix*> matrices;
-  std::vector<math::Vec*> vectors;
-  std::vector<double*> scalars;
-
-  void Add(math::Matrix* m) { matrices.push_back(m); }
-  void Add(math::Vec* v) { vectors.push_back(v); }
-  void Add(double* s) { scalars.push_back(s); }
-  bool empty() const {
-    return matrices.empty() && vectors.empty() && scalars.empty();
-  }
-};
+// ParameterSet (the tensor-enumeration container CollectParameters fills)
+// lives in core/recommender.h, shared with the scoring-state enumeration
+// that core/snapshot.h walks.
 
 /// One contiguous slice of the epoch's shuffled (user, positive) pairs,
 /// plus the shared sampling state. Models must consume pairs in order and

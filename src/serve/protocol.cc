@@ -1,0 +1,83 @@
+#include "serve/protocol.h"
+
+#include "util/string_util.h"
+
+namespace logirec::serve {
+
+Result<Request> ParseRequestLine(const std::string& line) {
+  const std::string_view trimmed = Trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    return Status::NotFound("blank line");
+  }
+  Request request;
+  if (trimmed.front() == '!') {
+    if (trimmed == "!quit") {
+      request.kind = Request::Kind::kQuit;
+      return request;
+    }
+    if (trimmed == "!stats") {
+      request.kind = Request::Kind::kStats;
+      return request;
+    }
+    if (StartsWith(trimmed, "!swap")) {
+      const std::string_view path = Trim(trimmed.substr(5));
+      if (path.empty()) {
+        return Status::InvalidArgument("!swap needs a snapshot path");
+      }
+      request.kind = Request::Kind::kSwap;
+      request.path = std::string(path);
+      return request;
+    }
+    return Status::InvalidArgument("unknown command: " +
+                                   std::string(trimmed));
+  }
+  // "<user_id> [k]"
+  std::vector<std::string> fields;
+  for (const std::string& f : Split(trimmed, ' ')) {
+    if (!Trim(f).empty()) fields.push_back(std::string(Trim(f)));
+  }
+  if (fields.empty() || fields.size() > 2) {
+    return Status::InvalidArgument(
+        "expected '<user_id> [k]', got: " + std::string(trimmed));
+  }
+  auto user = ParseInt(fields[0]);
+  if (!user.ok()) {
+    return Status::InvalidArgument("bad user id: " + fields[0]);
+  }
+  request.user = *user;
+  if (fields.size() == 2) {
+    auto k = ParseInt(fields[1]);
+    if (!k.ok() || *k <= 0) {
+      return Status::InvalidArgument("bad k: " + fields[1]);
+    }
+    request.k = *k;
+  }
+  return request;
+}
+
+std::string FormatRanking(int user, uint64_t generation,
+                          const std::vector<int>& items) {
+  std::string out = StrFormat("ok user=%d gen=%llu items=", user,
+                              static_cast<unsigned long long>(generation));
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += StrFormat("%d", items[i]);
+  }
+  return out;
+}
+
+std::string FormatStats(const ServerStats& stats) {
+  return StrFormat(
+      "stats requests=%ld failed=%ld batches=%ld swaps=%ld "
+      "max_queue=%ld max_batch=%ld p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f",
+      stats.requests_completed, stats.requests_failed,
+      stats.batches_dispatched, stats.swaps, stats.max_queue_depth,
+      stats.max_batch_size, stats.p50_ms, stats.p95_ms, stats.p99_ms);
+}
+
+std::string FormatError(const Status& status) {
+  return StrFormat("error %s: %s", StatusCodeToString(status.code()),
+                   status.message().c_str());
+}
+
+}  // namespace logirec::serve

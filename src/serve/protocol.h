@@ -1,0 +1,44 @@
+#ifndef LOGIREC_SERVE_PROTOCOL_H_
+#define LOGIREC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace logirec::serve {
+
+/// The newline protocol spoken by tools/logirec_serve over stdin/stdout
+/// and TCP. One request per line:
+///
+///   <user_id> [k]     rank: top-k item ids for the user (k defaults
+///                     server-side when omitted)
+///   !swap <path>      hot-swap the model from a binary snapshot
+///   !stats            dump the server counters
+///   !quit             close this session
+///
+/// Responses are single lines: "ok user=<u> gen=<g> items=<id,id,...>",
+/// "stats ...", "bye", or "error <code>: <message>".
+struct Request {
+  enum class Kind { kRank, kSwap, kStats, kQuit };
+  Kind kind = Kind::kRank;
+  int user = 0;
+  int k = 0;  ///< 0 = server default
+  std::string path;  ///< kSwap only
+};
+
+/// Parses one protocol line. Blank lines and `#` comments yield
+/// kNotFound (callers skip them); malformed input yields
+/// kInvalidArgument with a descriptive message.
+Result<Request> ParseRequestLine(const std::string& line);
+
+std::string FormatRanking(int user, uint64_t generation,
+                          const std::vector<int>& items);
+std::string FormatStats(const ServerStats& stats);
+std::string FormatError(const Status& status);
+
+}  // namespace logirec::serve
+
+#endif  // LOGIREC_SERVE_PROTOCOL_H_

@@ -1,0 +1,67 @@
+#include "serve/servable.h"
+
+#include <limits>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace logirec::serve {
+
+Result<std::shared_ptr<const ServableModel>> ServableModel::Create(
+    std::unique_ptr<core::Recommender> model, int num_users, int num_items,
+    const data::Split* split, uint64_t generation) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("ServableModel needs a model");
+  }
+  if (num_users <= 0 || num_items <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "ServableModel needs positive dimensions, got %d users x %d items",
+        num_users, num_items));
+  }
+  if (split != nullptr &&
+      static_cast<int>(split->train.size()) != num_users) {
+    return Status::InvalidArgument(StrFormat(
+        "split covers %zu users but the model serves %d",
+        split->train.size(), num_users));
+  }
+  auto servable = std::shared_ptr<ServableModel>(
+      new ServableModel(std::move(model), num_users, num_items, generation));
+  if (split != nullptr) {
+    // Seen = train + validation, the same mask the evaluator applies to
+    // the test fold, so served rankings match offline evaluation.
+    servable->seen_offsets_.resize(num_users + 1, 0);
+    for (int u = 0; u < num_users; ++u) {
+      servable->seen_offsets_[u + 1] =
+          servable->seen_offsets_[u] +
+          static_cast<int64_t>(split->train[u].size()) +
+          static_cast<int64_t>(split->validation[u].size());
+    }
+    servable->seen_items_.reserve(
+        static_cast<size_t>(servable->seen_offsets_[num_users]));
+    for (int u = 0; u < num_users; ++u) {
+      for (int v : split->train[u]) servable->seen_items_.push_back(v);
+      for (int v : split->validation[u]) servable->seen_items_.push_back(v);
+    }
+  }
+  return std::shared_ptr<const ServableModel>(std::move(servable));
+}
+
+Result<std::shared_ptr<const ServableModel>> ServableModel::FromSnapshot(
+    const std::string& path, const core::ModelFactory& factory,
+    const data::Split* split, uint64_t generation) {
+  core::SnapshotHeader header;
+  auto model = core::ModelSnapshot::Read(path, factory, &header);
+  if (!model.ok()) return model.status();
+  return Create(std::move(*model), header.num_users, header.num_items,
+                split, generation);
+}
+
+void ServableModel::MaskSeen(int user, math::Span scores) const {
+  if (seen_offsets_.empty()) return;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  for (int64_t i = seen_offsets_[user]; i < seen_offsets_[user + 1]; ++i) {
+    scores[seen_items_[i]] = kNegInf;
+  }
+}
+
+}  // namespace logirec::serve

@@ -1,0 +1,74 @@
+#ifndef LOGIREC_SERVE_SERVABLE_H_
+#define LOGIREC_SERVE_SERVABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "core/snapshot.h"
+#include "data/dataset.h"
+#include "math/vec.h"
+#include "util/status.h"
+
+namespace logirec::serve {
+
+/// One immutable generation of servable state: a scoring-ready model plus
+/// the request-time context serving needs — per-user seen-item lists (CSR)
+/// for exclusion masking. Construction is the only mutation; after that a
+/// ServableModel is shared read-only across every serving thread, so the
+/// hot-swap path can publish a new generation by swapping one pointer.
+class ServableModel {
+ public:
+  /// Wraps a scoring-ready model. `split` (optional) supplies the seen
+  /// items to exclude from rankings — train + validation folds, matching
+  /// the evaluator's masking; pass null to rank over all items.
+  static Result<std::shared_ptr<const ServableModel>> Create(
+      std::unique_ptr<core::Recommender> model, int num_users, int num_items,
+      const data::Split* split, uint64_t generation);
+
+  /// Restores a generation from a binary snapshot (core::ModelSnapshot),
+  /// taking user/item counts from the snapshot header.
+  static Result<std::shared_ptr<const ServableModel>> FromSnapshot(
+      const std::string& path, const core::ModelFactory& factory,
+      const data::Split* split, uint64_t generation);
+
+  const core::Recommender& scorer() const { return *model_; }
+  int num_users() const { return num_users_; }
+  int num_items() const { return num_items_; }
+  uint64_t generation() const { return generation_; }
+  std::string model_name() const { return model_->name(); }
+
+  /// Sets the score of every item `user` has already seen to -inf so the
+  /// Top-K never re-recommends it. No-op when built without a split.
+  void MaskSeen(int user, math::Span scores) const;
+
+  /// The number of seen (masked) items for `user`.
+  int SeenCount(int user) const {
+    return seen_offsets_.empty()
+               ? 0
+               : static_cast<int>(seen_offsets_[user + 1] -
+                                  seen_offsets_[user]);
+  }
+
+ private:
+  ServableModel(std::unique_ptr<core::Recommender> model, int num_users,
+                int num_items, uint64_t generation)
+      : model_(std::move(model)),
+        num_users_(num_users),
+        num_items_(num_items),
+        generation_(generation) {}
+
+  std::unique_ptr<core::Recommender> model_;
+  int num_users_;
+  int num_items_;
+  uint64_t generation_;
+  // Seen-item CSR over users; empty when no split was supplied.
+  std::vector<int64_t> seen_offsets_;  // num_users + 1
+  std::vector<int32_t> seen_items_;
+};
+
+}  // namespace logirec::serve
+
+#endif  // LOGIREC_SERVE_SERVABLE_H_

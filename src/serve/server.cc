@@ -1,0 +1,215 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "eval/metrics.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace logirec::serve {
+
+namespace {
+constexpr size_t kLatencyRingSize = 4096;
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t at = static_cast<size_t>(p * (sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(at, sorted->size() - 1)];
+}
+}  // namespace
+
+ModelServer::ModelServer(ServerOptions options) : options_(options) {
+  scratch_.resize(
+      ResolveWorkerCount(options_.num_threads,
+                         std::max(options_.max_batch, 1)));
+  latency_ring_.resize(kLatencyRingSize, 0.0);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+ModelServer::~ModelServer() { Stop(); }
+
+uint64_t ModelServer::Swap(std::shared_ptr<const ServableModel> model) {
+  const uint64_t generation = model->generation();
+  {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = std::move(model);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return generation;
+}
+
+std::shared_ptr<const ServableModel> ModelServer::Current() const {
+  std::lock_guard<std::mutex> lock(current_mu_);
+  return current_;
+}
+
+Status ModelServer::Rank(int user, int k, std::vector<int>* out) {
+  // The synchronous path: canonical (exact) scores and per-call buffers.
+  // Submit() serves the same items through the batched ranking-surrogate
+  // path; the throughput bench measures the gap between the two.
+  const std::shared_ptr<const ServableModel> model = Current();
+  if (model == nullptr) {
+    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("no model has been swapped in");
+  }
+  if (user < 0 || user >= model->num_users()) {
+    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(StrFormat(
+        "user %d out of range [0, %d)", user, model->num_users()));
+  }
+  if (k <= 0) k = options_.default_k;
+  k = std::min(k, model->num_items());
+  std::vector<double> scores(model->num_items());
+  model->scorer().ScoreItemsInto(user, math::Span(scores),
+                                 eval::ScoreMode::kExact);
+  model->MaskSeen(user, math::Span(scores));
+  *out = eval::TopK(scores, k);
+  requests_completed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::future<RankResponse> ModelServer::Submit(int user, int k) {
+  Pending pending;
+  pending.user = user;
+  pending.k = k;
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<RankResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      RankResponse response;
+      response.status =
+          Status::FailedPrecondition("server is shutting down");
+      pending.promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    const long depth = static_cast<long>(queue_.size());
+    if (depth > max_queue_depth_.load(std::memory_order_relaxed)) {
+      max_queue_depth_.store(depth, std::memory_order_relaxed);
+    }
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ModelServer::DispatchLoop() {
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      const int take =
+          std::min<int>(options_.max_batch, static_cast<int>(queue_.size()));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ServeBatch(&batch);
+  }
+}
+
+void ModelServer::ServeBatch(std::vector<Pending>* batch) {
+  const int n = static_cast<int>(batch->size());
+  batches_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  if (n > max_batch_size_.load(std::memory_order_relaxed)) {
+    max_batch_size_.store(n, std::memory_order_relaxed);
+  }
+  // One generation acquire for the whole micro-batch; a concurrent Swap()
+  // retires the old generation only after these requests release it.
+  const std::shared_ptr<const ServableModel> model = Current();
+  if (model == nullptr) {
+    for (Pending& p : *batch) {
+      RankResponse response;
+      response.status =
+          Status::FailedPrecondition("no model has been swapped in");
+      requests_failed_.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_value(std::move(response));
+    }
+    return;
+  }
+  ParallelForWorker(0, n, [&](int worker, int i) {
+    Pending& p = (*batch)[i];
+    p.promise.set_value(RankOn(*model, p.user, p.k, &scratch_[worker]));
+    RecordLatency(p.enqueued);
+  }, options_.num_threads);
+}
+
+RankResponse ModelServer::RankOn(const ServableModel& model, int user,
+                                 int k, WorkerScratch* scratch) {
+  RankResponse response;
+  response.generation = model.generation();
+  if (user < 0 || user >= model.num_users()) {
+    response.status = Status::InvalidArgument(StrFormat(
+        "user %d out of range [0, %d)", user, model.num_users()));
+    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+  if (k <= 0) k = options_.default_k;
+  k = std::min(k, model.num_items());
+  scratch->scores.resize(model.num_items());
+  // kRanking: monotone surrogate scores — same Top-K order and ties as
+  // the exact path (eval::ScoreMode contract), without per-item
+  // transcendentals on the hyperbolic models.
+  model.scorer().ScoreItemsInto(user, math::Span(scratch->scores),
+                                eval::ScoreMode::kRanking);
+  model.MaskSeen(user, math::Span(scratch->scores));
+  eval::TopKInto(math::ConstSpan(scratch->scores.data(),
+                                 scratch->scores.size()),
+                 k, &scratch->topk_scratch, &scratch->ranked);
+  response.items = scratch->ranked;
+  requests_completed_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+void ModelServer::RecordLatency(
+    std::chrono::steady_clock::time_point enqueued) {
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - enqueued)
+          .count();
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_ring_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+}
+
+ServerStats ModelServer::Stats() const {
+  ServerStats stats;
+  stats.requests_completed =
+      requests_completed_.load(std::memory_order_relaxed);
+  stats.requests_failed = requests_failed_.load(std::memory_order_relaxed);
+  stats.batches_dispatched =
+      batches_dispatched_.load(std::memory_order_relaxed);
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
+  stats.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  stats.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    window.assign(latency_ring_.begin(),
+                  latency_ring_.begin() + latency_count_);
+  }
+  std::sort(window.begin(), window.end());
+  stats.p50_ms = Percentile(&window, 0.50);
+  stats.p95_ms = Percentile(&window, 0.95);
+  stats.p99_ms = Percentile(&window, 0.99);
+  return stats;
+}
+
+void ModelServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+}  // namespace logirec::serve

@@ -1,0 +1,147 @@
+#ifndef LOGIREC_SERVE_SERVER_H_
+#define LOGIREC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/servable.h"
+#include "util/status.h"
+
+namespace logirec::serve {
+
+/// A completed ranking request.
+struct RankResponse {
+  Status status;
+  std::vector<int> items;    ///< best first
+  uint64_t generation = 0;   ///< model generation that served the request
+};
+
+struct ServerOptions {
+  /// Upper bound on requests per dispatched micro-batch.
+  int max_batch = 32;
+  /// Worker threads for batch scoring (0 = hardware concurrency).
+  int num_threads = 0;
+  /// Default cutoff when a request asks for k <= 0.
+  int default_k = 10;
+};
+
+/// A point-in-time copy of the server's counters.
+struct ServerStats {
+  long requests_completed = 0;  ///< sync + async
+  long requests_failed = 0;
+  long batches_dispatched = 0;
+  long swaps = 0;
+  long max_queue_depth = 0;   ///< high-water mark of the async queue
+  long max_batch_size = 0;    ///< largest micro-batch dispatched
+  // Latency of recent async requests, enqueue-to-completion.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Hot-swappable model server with a request-batching front.
+///
+/// The active ServableModel generation sits behind one shared_ptr
+/// guarded by a tiny mutex held only for the pointer copy (libstdc++'s
+/// atomic<shared_ptr> is a bit-spinlock underneath, equally lock-based
+/// but opaque to TSan): Swap() publishes a new generation with a single
+/// pointer assignment while in-flight requests keep scoring against the
+/// generation they acquired — zero downtime, and the scoring work
+/// itself never holds a lock.
+///
+/// Two serving paths share the bit-identical Top-K contract:
+///  - Rank() scores synchronously on the caller's thread with exact
+///    (canonical) scores and per-call buffers — the simple path.
+///  - Submit() enqueues; a dispatcher thread drains the queue into
+///    micro-batches (<= max_batch) scored through the ranking-surrogate
+///    kernels with per-worker reused buffers and one generation acquire
+///    per batch. ScoreMode::kRanking preserves Top-K order and ties, so
+///    both paths return identical item lists.
+class ModelServer {
+ public:
+  explicit ModelServer(ServerOptions options = {});
+  ~ModelServer();
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  /// Publishes `model` as the active generation; returns its generation
+  /// number. In-flight requests finish on the generation they hold.
+  uint64_t Swap(std::shared_ptr<const ServableModel> model);
+
+  /// The active generation (null before the first Swap()).
+  std::shared_ptr<const ServableModel> Current() const;
+
+  /// Synchronous ranking on the caller's thread (exact scores).
+  Status Rank(int user, int k, std::vector<int>* out);
+
+  /// Enqueues a request for batched dispatch. The future is fulfilled by
+  /// the dispatcher; after Stop() new submissions fail immediately.
+  std::future<RankResponse> Submit(int user, int k);
+
+  ServerStats Stats() const;
+
+  /// Drains the queue (pending requests complete) and joins the
+  /// dispatcher. Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  struct Pending {
+    int user = 0;
+    int k = 0;
+    std::promise<RankResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  /// Per-worker scoring scratch, reused across batches: the score buffer
+  /// and the Top-K id buffers. Steady-state batches do not allocate.
+  struct WorkerScratch {
+    math::Vec scores;
+    std::vector<int> topk_scratch;
+    std::vector<int> ranked;
+  };
+
+  void DispatchLoop();
+  void ServeBatch(std::vector<Pending>* batch);
+  RankResponse RankOn(const ServableModel& model, int user, int k,
+                      WorkerScratch* scratch);
+  void RecordLatency(std::chrono::steady_clock::time_point enqueued);
+
+  const ServerOptions options_;
+
+  // Guards only the generation-pointer copy; never held while scoring.
+  mutable std::mutex current_mu_;
+  std::shared_ptr<const ServableModel> current_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+  std::vector<WorkerScratch> scratch_;
+
+  // Counters (atomics: bumped from worker threads under TSan).
+  std::atomic<long> requests_completed_{0};
+  std::atomic<long> requests_failed_{0};
+  std::atomic<long> batches_dispatched_{0};
+  std::atomic<long> swaps_{0};
+  std::atomic<long> max_queue_depth_{0};
+  std::atomic<long> max_batch_size_{0};
+
+  // Ring of recent async latencies (ms) for the percentile telemetry.
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+};
+
+}  // namespace logirec::serve
+
+#endif  // LOGIREC_SERVE_SERVER_H_

@@ -1,0 +1,18 @@
+#ifndef LOGIREC_UTIL_CRC32_H_
+#define LOGIREC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace logirec {
+
+/// CRC-32 (ISO 3309 / zlib polynomial 0xEDB88320) of `len` bytes at
+/// `data`. Used by the binary model snapshots (core/snapshot.h) to detect
+/// bit rot and truncation per tensor. To checksum a buffer incrementally,
+/// feed the previous return value back through `seed`; the empty-input
+/// CRC is 0.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace logirec
+
+#endif  // LOGIREC_UTIL_CRC32_H_

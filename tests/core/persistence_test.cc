@@ -1,6 +1,7 @@
 #include "core/persistence.h"
 
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -14,7 +15,10 @@ namespace {
 class PersistenceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/logirec_persistence_test";
+    // Unique per test case: ctest runs cases as parallel processes, and a
+    // shared directory lets concurrent cases clobber each other's files.
+    dir_ = ::testing::TempDir() + "/logirec_persistence_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -36,6 +40,34 @@ TEST_F(PersistenceTest, MatrixRoundTripIsExact) {
 
 TEST_F(PersistenceTest, LoadMissingMatrixFails) {
   EXPECT_FALSE(LoadMatrixCsv(dir_ + "/absent.csv").ok());
+}
+
+// Every malformed-CSV error names the file and the offending location,
+// so a bad export is diagnosable from the message alone.
+TEST_F(PersistenceTest, MalformedCsvErrorsDescribeTheProblem) {
+  struct Case {
+    const char* name;
+    const char* content;
+    const char* expect_in_message;
+  };
+  const Case cases[] = {
+      {"bad_header.csv", "two,3\n1,2,3\n1,2,3\n", "bad matrix header"},
+      {"negative_dims.csv", "-2,3\n", "negative matrix dimensions"},
+      {"row_count.csv", "3,2\n1,2\n3,4\n", "expected 3 rows"},
+      {"arity.csv", "2,3\n1,2,3\n4,5\n", "row 1 has 2 cells"},
+      {"bad_cell.csv", "2,2\n1,2\n3,oops\n", "\"oops\" at row 1 col 1"},
+  };
+  for (const Case& c : cases) {
+    const std::string path = dir_ + "/" + c.name;
+    std::ofstream(path) << c.content;
+    auto loaded = LoadMatrixCsv(path);
+    ASSERT_FALSE(loaded.ok()) << c.name;
+    const std::string message = loaded.status().message();
+    EXPECT_NE(message.find(c.expect_in_message), std::string::npos)
+        << c.name << ": " << message;
+    EXPECT_NE(message.find(c.name), std::string::npos)
+        << "error must name the file: " << message;
+  }
 }
 
 TEST_F(PersistenceTest, ModelSaveLoadPreservesScores) {

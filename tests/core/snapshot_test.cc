@@ -1,0 +1,273 @@
+// Binary model snapshots: round-trip every zoo model bit-identically and
+// degrade every corruption mode into a descriptive error, never a crash.
+
+#include "core/snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "core/logirec_model.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace logirec::core {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case: ctest runs cases as parallel processes, and a
+    // shared directory lets concurrent cases clobber each other's files.
+    dir_ = ::testing::TempDir() + "/logirec_snapshot_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    data::SyntheticConfig config;
+    config.num_users = 60;
+    config.num_items = 80;
+    config.seed = 7;
+    dataset_ = data::GenerateSynthetic(config);
+    split_ = data::TemporalSplit(dataset_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  TrainConfig FastConfig() const {
+    TrainConfig config;
+    config.dim = 8;
+    config.layers = 2;
+    config.epochs = 5;
+    return config;
+  }
+
+  SnapshotHeader HeaderFor(const TrainConfig& config) const {
+    SnapshotHeader header;
+    header.dim = config.dim;
+    header.layers = config.layers;
+    header.num_users = dataset_.num_users;
+    header.num_items = dataset_.num_items;
+    return header;
+  }
+
+  /// Trains `name`, snapshots it, and returns the snapshot path.
+  std::string WriteTrainedSnapshot(const std::string& name,
+                                   Recommender** model_out = nullptr) {
+    const TrainConfig config = FastConfig();
+    auto model = baselines::MakeModel(name, config);
+    EXPECT_TRUE(model.ok()) << name;
+    EXPECT_TRUE((*model)->Fit(dataset_, split_).ok()) << name;
+    const std::string path = dir_ + "/" + name + ".snap";
+    EXPECT_TRUE(ModelSnapshot::Write(**model, HeaderFor(config), path).ok())
+        << name;
+    if (model_out != nullptr) {
+      trained_ = std::move(*model);
+      *model_out = trained_.get();
+    }
+    return path;
+  }
+
+  std::vector<unsigned char> Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>());
+  }
+
+  void Dump(const std::string& path,
+            const std::vector<unsigned char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+
+  std::string dir_;
+  data::Dataset dataset_;
+  data::Split split_;
+  std::unique_ptr<Recommender> trained_;
+};
+
+TEST_F(SnapshotTest, RoundTripScoresBitIdenticallyForEveryModel) {
+  for (const std::string& name : baselines::AllModelNames()) {
+    Recommender* original = nullptr;
+    const std::string path = WriteTrainedSnapshot(name, &original);
+
+    SnapshotHeader header;
+    auto restored = ModelSnapshot::Read(path, baselines::MakeModel, &header);
+    ASSERT_TRUE(restored.ok()) << name << ": "
+                               << restored.status().ToString();
+    EXPECT_EQ(header.model, original->name());
+    EXPECT_EQ(header.num_users, dataset_.num_users);
+    EXPECT_EQ(header.num_items, dataset_.num_items);
+    EXPECT_EQ((*restored)->name(), original->name());
+
+    std::vector<double> want, got;
+    math::Vec want_buf(dataset_.num_items), got_buf(dataset_.num_items);
+    for (int u : {0, 13, 59}) {
+      original->ScoreItems(u, &want);
+      (*restored)->ScoreItems(u, &got);
+      EXPECT_EQ(want, got) << name << " user " << u;
+      // The ranking fast path must restore bit-identically as well.
+      original->ScoreItemsInto(u, math::Span(want_buf),
+                               eval::ScoreMode::kRanking);
+      (*restored)->ScoreItemsInto(u, math::Span(got_buf),
+                                  eval::ScoreMode::kRanking);
+      EXPECT_EQ(want_buf, got_buf) << name << " user " << u << " (ranking)";
+    }
+  }
+}
+
+TEST_F(SnapshotTest, EuclideanLogiRecRestoresWithItsMetric) {
+  // The "w/o Hyper" ablation travels through the flag word: the factory
+  // builds a default (hyperbolic) LogiRec and ApplySnapshotFlags() must
+  // switch it back before the tensors land.
+  LogiRecConfig config;
+  config.dim = 8;
+  config.epochs = 5;
+  config.use_hyperbolic = false;
+  LogiRecModel model(config);
+  ASSERT_TRUE(model.Fit(dataset_, split_).ok());
+  const std::string path = dir_ + "/euclid.snap";
+  TrainConfig base = config;
+  ASSERT_TRUE(ModelSnapshot::Write(model, HeaderFor(base), path).ok());
+
+  SnapshotHeader header;
+  auto restored = ModelSnapshot::Read(path, baselines::MakeModel, &header);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_NE(header.flags, 0u);
+  EXPECT_EQ((*restored)->item_space(),
+            Recommender::ItemSpace::kEuclidean);
+  std::vector<double> want, got;
+  model.ScoreItems(5, &want);
+  (*restored)->ScoreItems(5, &got);
+  EXPECT_EQ(want, got);
+}
+
+TEST_F(SnapshotTest, PeekReportsHeaderWithoutConstructingAModel) {
+  const std::string path = WriteTrainedSnapshot("BPRMF");
+  auto header = ModelSnapshot::Peek(path);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->model, "BPRMF");
+  EXPECT_EQ(header->dim, 8);
+  EXPECT_EQ(header->num_users, dataset_.num_users);
+  EXPECT_EQ(header->num_items, dataset_.num_items);
+}
+
+TEST_F(SnapshotTest, WriteBeforeFitFails) {
+  auto model = baselines::MakeModel("BPRMF", FastConfig());
+  ASSERT_TRUE(model.ok());
+  // Unfitted: the scoring-state tensors are all empty, which Write turns
+  // into 0x0 records; restoring such a snapshot must not crash either.
+  const std::string path = dir_ + "/unfitted.snap";
+  const Status st =
+      ModelSnapshot::Write(**model, HeaderFor(FastConfig()), path);
+  if (st.ok()) {
+    auto restored = ModelSnapshot::Read(path, baselines::MakeModel);
+    // Either outcome is fine; it must simply not crash.
+    (void)restored;
+  }
+}
+
+TEST_F(SnapshotTest, MissingFileFails) {
+  EXPECT_FALSE(ModelSnapshot::Peek(dir_ + "/absent.snap").ok());
+  EXPECT_FALSE(
+      ModelSnapshot::Read(dir_ + "/absent.snap", baselines::MakeModel).ok());
+}
+
+TEST_F(SnapshotTest, BadMagicFails) {
+  const std::string path = WriteTrainedSnapshot("BPRMF");
+  std::vector<unsigned char> bytes = Slurp(path);
+  bytes[0] ^= 0xFF;
+  Dump(path, bytes);
+  const auto result = ModelSnapshot::Read(path, baselines::MakeModel);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, UnsupportedVersionFails) {
+  const std::string path = WriteTrainedSnapshot("BPRMF");
+  std::vector<unsigned char> bytes = Slurp(path);
+  bytes[4] = 0x7F;  // version lives right after the magic word
+  Dump(path, bytes);
+  const auto result = ModelSnapshot::Read(path, baselines::MakeModel);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, FlippedHeaderByteFailsTheHeaderChecksum) {
+  const std::string path = WriteTrainedSnapshot("BPRMF");
+  std::vector<unsigned char> bytes = Slurp(path);
+  bytes[9] ^= 0x01;  // inside the flags word, covered by the header CRC
+  Dump(path, bytes);
+  const auto result = ModelSnapshot::Peek(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, FlippedPayloadByteFailsTheTensorChecksum) {
+  const std::string path = WriteTrainedSnapshot("BPRMF");
+  std::vector<unsigned char> bytes = Slurp(path);
+  bytes[bytes.size() - 5] ^= 0x01;  // deep inside the last tensor payload
+  Dump(path, bytes);
+  const auto result = ModelSnapshot::Read(path, baselines::MakeModel);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, TruncatedTensorFails) {
+  const std::string path = WriteTrainedSnapshot("BPRMF");
+  std::vector<unsigned char> bytes = Slurp(path);
+  bytes.resize(bytes.size() / 2);
+  Dump(path, bytes);
+  const auto result = ModelSnapshot::Read(path, baselines::MakeModel);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, TrailingGarbageFails) {
+  const std::string path = WriteTrainedSnapshot("BPRMF");
+  std::vector<unsigned char> bytes = Slurp(path);
+  bytes.push_back(0xAB);
+  bytes.push_back(0xCD);
+  Dump(path, bytes);
+  const auto result = ModelSnapshot::Read(path, baselines::MakeModel);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trailing"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, EveryPrefixTruncationFailsCleanly) {
+  // Exhaustive prefix fuzz: a snapshot cut at *any* byte boundary must
+  // produce an error, never a crash or a false success.
+  const std::string path = WriteTrainedSnapshot("NeuMF");
+  const std::vector<unsigned char> bytes = Slurp(path);
+  const std::string cut = dir_ + "/cut.snap";
+  // Byte-exhaustive over the header region, then strided over payloads.
+  const size_t dense = 64;
+  for (size_t n = 0; n < bytes.size();
+       n += (n < dense ? 1 : bytes.size() / 53 + 1)) {
+    Dump(cut, std::vector<unsigned char>(bytes.begin(), bytes.begin() + n));
+    EXPECT_FALSE(ModelSnapshot::Read(cut, baselines::MakeModel).ok())
+        << "prefix of " << n << " bytes parsed as a valid snapshot";
+  }
+}
+
+TEST_F(SnapshotTest, UnknownModelNameFails) {
+  // A header naming a model the factory cannot build must surface the
+  // factory's error instead of crashing.
+  auto model = baselines::MakeModel("BPRMF", FastConfig());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(dataset_, split_).ok());
+  const std::string path = dir_ + "/renamed.snap";
+  ASSERT_TRUE(
+      ModelSnapshot::Write(**model, HeaderFor(FastConfig()), path).ok());
+  auto result = ModelSnapshot::Read(
+      path,
+      [](const std::string& name, const TrainConfig& config) {
+        return baselines::MakeModel("NoSuch" + name, config);
+      });
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace logirec::core

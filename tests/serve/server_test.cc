@@ -1,0 +1,213 @@
+// ModelServer: batched responses must be bit-identical to the synchronous
+// exact path and to a hand-rolled evaluator-style ranking; the protocol
+// codec must round-trip every request form.
+
+#include "serve/server.h"
+
+#include <future>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "serve/protocol.h"
+#include "serve/servable.h"
+
+namespace logirec::serve {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticConfig config;
+    config.num_users = 50;
+    config.num_items = 70;
+    config.seed = 11;
+    dataset_ = data::GenerateSynthetic(config);
+    split_ = data::TemporalSplit(dataset_);
+  }
+
+  std::shared_ptr<const ServableModel> TrainServable(
+      const std::string& name, uint64_t generation,
+      core::Recommender** model_out = nullptr) {
+    core::TrainConfig config;
+    config.dim = 8;
+    config.layers = 2;
+    config.epochs = 5;
+    config.seed = 3 + generation;  // distinct weights per generation
+    auto model = baselines::MakeModel(name, config);
+    EXPECT_TRUE(model.ok());
+    EXPECT_TRUE((*model)->Fit(dataset_, split_).ok());
+    if (model_out != nullptr) *model_out = model->get();
+    auto servable =
+        ServableModel::Create(std::move(*model), dataset_.num_users,
+                              dataset_.num_items, &split_, generation);
+    EXPECT_TRUE(servable.ok()) << servable.status().ToString();
+    return *servable;
+  }
+
+  /// Evaluator-style reference: exact scores, train+validation masked.
+  std::vector<int> ReferenceTopK(const core::Recommender& model, int user,
+                                 int k) const {
+    std::vector<double> scores;
+    model.ScoreItems(user, &scores);
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    for (int v : split_.train[user]) scores[v] = kNegInf;
+    for (int v : split_.validation[user]) scores[v] = kNegInf;
+    return eval::TopK(scores, k);
+  }
+
+  data::Dataset dataset_;
+  data::Split split_;
+};
+
+TEST_F(ServerTest, RankWithoutModelFails) {
+  ModelServer server;
+  std::vector<int> items;
+  const Status st = server.Rank(0, 10, &items);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  auto response = server.Submit(0, 10).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServerTest, SyncAndBatchedPathsMatchTheEvaluatorRanking) {
+  // HGCF exercises the Lorentz surrogate scoring; BPRMF the dot-product
+  // path. Both serving paths must agree with the exact reference.
+  for (const char* name : {"BPRMF", "HGCF", "LogiRec"}) {
+    core::Recommender* raw = nullptr;
+    ModelServer server;
+    server.Swap(TrainServable(name, 1, &raw));
+    for (int user : {0, 7, 49}) {
+      const std::vector<int> want = ReferenceTopK(*raw, user, 10);
+      std::vector<int> sync_items;
+      ASSERT_TRUE(server.Rank(user, 10, &sync_items).ok()) << name;
+      EXPECT_EQ(sync_items, want) << name << " user " << user << " (sync)";
+      auto response = server.Submit(user, 10).get();
+      ASSERT_TRUE(response.status.ok()) << name;
+      EXPECT_EQ(response.items, want)
+          << name << " user " << user << " (batched)";
+      EXPECT_EQ(response.generation, 1u);
+    }
+  }
+}
+
+TEST_F(ServerTest, SeenItemsAreNeverRecommended) {
+  ModelServer server;
+  server.Swap(TrainServable("BPRMF", 1));
+  for (int user = 0; user < dataset_.num_users; ++user) {
+    auto response = server.Submit(user, 20).get();
+    ASSERT_TRUE(response.status.ok());
+    for (int item : response.items) {
+      for (int seen : split_.train[user]) EXPECT_NE(item, seen);
+      for (int seen : split_.validation[user]) EXPECT_NE(item, seen);
+    }
+  }
+}
+
+TEST_F(ServerTest, ManySubmissionsComplete) {
+  ServerOptions options;
+  options.max_batch = 8;
+  ModelServer server(options);
+  server.Swap(TrainServable("BPRMF", 1));
+  std::vector<std::future<RankResponse>> futures;
+  const int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(server.Submit(i % dataset_.num_users, 10));
+  }
+  for (auto& f : futures) {
+    const RankResponse response = f.get();
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_EQ(static_cast<int>(response.items.size()), 10);
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_GE(stats.requests_completed, kRequests);
+  EXPECT_GE(stats.batches_dispatched, kRequests / options.max_batch);
+  EXPECT_LE(stats.max_batch_size, options.max_batch);
+  EXPECT_EQ(stats.requests_failed, 0);
+}
+
+TEST_F(ServerTest, OutOfRangeUserFailsBothPaths) {
+  ModelServer server;
+  server.Swap(TrainServable("BPRMF", 1));
+  std::vector<int> items;
+  EXPECT_EQ(server.Rank(dataset_.num_users, 10, &items).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Submit(-1, 10).get().status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, SwapRetiresTheOldGenerationForNewRequests) {
+  core::Recommender* first = nullptr;
+  core::Recommender* second = nullptr;
+  ModelServer server;
+  server.Swap(TrainServable("BPRMF", 1, &first));
+  const std::vector<int> want_first = ReferenceTopK(*first, 3, 10);
+  auto before = server.Submit(3, 10).get();
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.generation, 1u);
+  EXPECT_EQ(before.items, want_first);
+
+  EXPECT_EQ(server.Swap(TrainServable("BPRMF", 2, &second)), 2u);
+  const std::vector<int> want_second = ReferenceTopK(*second, 3, 10);
+  auto after = server.Submit(3, 10).get();
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.generation, 2u);
+  EXPECT_EQ(after.items, want_second);
+  EXPECT_EQ(server.Stats().swaps, 2);
+}
+
+TEST_F(ServerTest, SubmitAfterStopFailsImmediately) {
+  ModelServer server;
+  server.Swap(TrainServable("BPRMF", 1));
+  server.Stop();
+  auto response = server.Submit(0, 10).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProtocolTest, ParsesRankRequests) {
+  auto r = ParseRequestLine("17 5\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, Request::Kind::kRank);
+  EXPECT_EQ(r->user, 17);
+  EXPECT_EQ(r->k, 5);
+  auto bare = ParseRequestLine("  42  ");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->user, 42);
+  EXPECT_EQ(bare->k, 0);  // server default
+}
+
+TEST(ProtocolTest, ParsesCommands) {
+  EXPECT_EQ(ParseRequestLine("!quit")->kind, Request::Kind::kQuit);
+  EXPECT_EQ(ParseRequestLine("!stats")->kind, Request::Kind::kStats);
+  auto swap = ParseRequestLine("!swap /tmp/model.snap");
+  ASSERT_TRUE(swap.ok());
+  EXPECT_EQ(swap->kind, Request::Kind::kSwap);
+  EXPECT_EQ(swap->path, "/tmp/model.snap");
+}
+
+TEST(ProtocolTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseRequestLine("not_a_number").ok());
+  EXPECT_FALSE(ParseRequestLine("3 -1").ok());
+  EXPECT_FALSE(ParseRequestLine("1 2 3").ok());
+  EXPECT_FALSE(ParseRequestLine("!swap").ok());
+  EXPECT_FALSE(ParseRequestLine("!frobnicate").ok());
+  // Blank lines and comments are skippable, not errors per se.
+  EXPECT_EQ(ParseRequestLine("").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ParseRequestLine("# hi").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ProtocolTest, FormatsResponses) {
+  EXPECT_EQ(FormatRanking(4, 9, {3, 1, 2}), "ok user=4 gen=9 items=3,1,2");
+  EXPECT_EQ(FormatRanking(0, 1, {}), "ok user=0 gen=1 items=");
+  const std::string err =
+      FormatError(Status::InvalidArgument("bad user id: x"));
+  EXPECT_NE(err.find("InvalidArgument"), std::string::npos);
+  EXPECT_NE(err.find("bad user id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logirec::serve

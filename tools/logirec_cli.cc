@@ -24,8 +24,12 @@
 //                         per-relation scalar loop); empty follows
 //                         --parallel
 //
-// (*) only LogiRec/LogiRec++ support persistence; other zoo models are
-// trained and evaluated in one `train --evaluate` invocation.
+// Persistence:
+//   --save-model=PATH  (train) write a binary model snapshot; works for
+//                      every zoo model (core::ModelSnapshot)
+//   --load-model=PATH  (evaluate/recommend) restore a binary snapshot
+//   --model-out/--model-in keep the legacy LogiRec-only CSV directory
+//   format as a debug/export path.
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +37,7 @@
 
 #include "baselines/model_zoo.h"
 #include "core/logirec_model.h"
+#include "core/snapshot.h"
 #include "data/io.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
@@ -174,6 +179,18 @@ int CmdTrain(const FlagParser& flags) {
   eval::Evaluator evaluator(&split, dataset->num_items);
   PrintEval(evaluator.Evaluate(**model));
 
+  const std::string save_model = flags.GetString("save-model");
+  if (!save_model.empty()) {
+    core::SnapshotHeader header;
+    header.dim = config.dim;
+    header.layers = config.layers;
+    header.num_users = dataset->num_users;
+    header.num_items = dataset->num_items;
+    st = core::ModelSnapshot::Write(**model, header, save_model);
+    if (!st.ok()) return Fail(st);
+    std::printf("snapshot saved to %s\n", save_model.c_str());
+  }
+
   const std::string model_out = flags.GetString("model-out");
   if (!model_out.empty()) {
     auto* logirec = dynamic_cast<core::LogiRecModel*>(model->get());
@@ -190,14 +207,33 @@ int CmdTrain(const FlagParser& flags) {
   return 0;
 }
 
+/// Restores a scoring-ready model from --load-model (binary snapshot,
+/// any zoo model) or the legacy --model-in CSV directory (LogiRec only).
+Result<std::unique_ptr<core::Recommender>> LoadSavedModel(
+    const FlagParser& flags) {
+  const std::string load_model = flags.GetString("load-model");
+  if (!load_model.empty()) {
+    return core::ModelSnapshot::Read(load_model, baselines::MakeModel);
+  }
+  const std::string model_in = flags.GetString("model-in");
+  if (model_in.empty()) {
+    return Status::InvalidArgument(
+        "pass --load-model=SNAPSHOT or --model-in=CSV_DIR");
+  }
+  auto model = core::LogiRecModel::Load(model_in);
+  if (!model.ok()) return model.status();
+  return std::unique_ptr<core::Recommender>(
+      std::make_unique<core::LogiRecModel>(std::move(*model)));
+}
+
 int CmdEvaluate(const FlagParser& flags) {
   auto dataset = LoadData(flags);
   if (!dataset.ok()) return Fail(dataset.status());
   const data::Split split = data::TemporalSplit(*dataset);
-  auto model = core::LogiRecModel::Load(flags.GetString("model-in"));
+  auto model = LoadSavedModel(flags);
   if (!model.ok()) return Fail(model.status());
   eval::Evaluator evaluator(&split, dataset->num_items);
-  PrintEval(evaluator.Evaluate(*model));
+  PrintEval(evaluator.Evaluate(**model));
   return 0;
 }
 
@@ -205,7 +241,7 @@ int CmdRecommend(const FlagParser& flags) {
   auto dataset = LoadData(flags);
   if (!dataset.ok()) return Fail(dataset.status());
   const data::Split split = data::TemporalSplit(*dataset);
-  auto model = core::LogiRecModel::Load(flags.GetString("model-in"));
+  auto model = LoadSavedModel(flags);
   if (!model.ok()) return Fail(model.status());
 
   const int user = flags.GetInt("user");
@@ -213,7 +249,7 @@ int CmdRecommend(const FlagParser& flags) {
     return Fail(Status::OutOfRange("no such user"));
   }
   std::vector<double> scores;
-  model->ScoreItems(user, &scores);
+  (*model)->ScoreItems(user, &scores);
   for (int v : split.train[user]) {
     scores[v] = -std::numeric_limits<double>::infinity();
   }
@@ -245,8 +281,12 @@ int main(int argc, char** argv) {
   flags.AddString("out", "logirec_data", "output dir for `generate`");
   flags.AddString("data", "", "dataset dir (from `generate` or SaveDataset)");
   flags.AddString("model", "LogiRec++", "model name for `train`");
-  flags.AddString("model-out", "", "where `train` persists the model");
-  flags.AddString("model-in", "", "saved model dir for evaluate/recommend");
+  flags.AddString("model-out", "", "where `train` persists the model (CSV)");
+  flags.AddString("model-in", "", "saved CSV model dir for evaluate/recommend");
+  flags.AddString("save-model", "",
+                  "binary snapshot path `train` writes (any zoo model)");
+  flags.AddString("load-model", "",
+                  "binary snapshot path for evaluate/recommend");
   flags.AddInt("user", 0, "user id for `recommend`");
   flags.AddInt("topk", 10, "list length for `recommend`");
   flags.AddInt("dim", 32, "embedding dimension");

@@ -1,0 +1,226 @@
+// logirec_serve — online recommendation server over a binary model
+// snapshot, speaking the newline protocol (serve/protocol.h):
+//
+//   <user_id> [k]   ->  ok user=U gen=G items=id,id,...
+//   !swap PATH      ->  hot-swap the model from another snapshot
+//   !stats          ->  server counters and latency percentiles
+//   !quit           ->  end the session
+//
+// Modes:
+//   stdio (default)      one request per stdin line, one response line
+//   --port=N             TCP on 127.0.0.1:N, same protocol per connection
+//                        (sessions are served sequentially;
+//                        --max-sessions bounds the process for tests)
+//
+//   --snapshot=PATH      initial model (required)
+//   --data=DIR           dataset dir; enables seen-item exclusion via the
+//                        temporal split (same mask as the evaluator)
+//   --batch=N            micro-batch cap of the request batcher
+//   --threads=N          scoring workers (0 = hardware concurrency)
+//   --topk=N             default k when a request omits it
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "baselines/model_zoo.h"
+#include "data/io.h"
+#include "serve/protocol.h"
+#include "serve/servable.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace logirec;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Session state shared by the stdio and TCP front ends.
+struct Serving {
+  serve::ModelServer* server = nullptr;
+  const data::Split* split = nullptr;  // null = no exclusion masking
+  uint64_t next_generation = 1;
+};
+
+/// Handles one protocol line. Returns false when the session should end.
+/// Writes nothing for skippable lines (blanks, comments).
+bool HandleLine(const std::string& line, Serving* serving,
+                std::string* response) {
+  response->clear();
+  auto request = serve::ParseRequestLine(line);
+  if (!request.ok()) {
+    if (request.status().code() == StatusCode::kNotFound) return true;
+    *response = serve::FormatError(request.status());
+    return true;
+  }
+  switch (request->kind) {
+    case serve::Request::Kind::kQuit:
+      *response = "bye";
+      return false;
+    case serve::Request::Kind::kStats:
+      *response = serve::FormatStats(serving->server->Stats());
+      return true;
+    case serve::Request::Kind::kSwap: {
+      auto servable = serve::ServableModel::FromSnapshot(
+          request->path, baselines::MakeModel, serving->split,
+          ++serving->next_generation);
+      if (!servable.ok()) {
+        *response = serve::FormatError(servable.status());
+        return true;
+      }
+      const uint64_t generation = serving->server->Swap(*servable);
+      *response = StrFormat(
+          "ok swapped gen=%llu model=%s",
+          static_cast<unsigned long long>(generation),
+          serving->server->Current()->model_name().c_str());
+      return true;
+    }
+    case serve::Request::Kind::kRank: {
+      serve::RankResponse ranked =
+          serving->server->Submit(request->user, request->k).get();
+      *response = ranked.status.ok()
+                      ? serve::FormatRanking(request->user,
+                                             ranked.generation,
+                                             ranked.items)
+                      : serve::FormatError(ranked.status);
+      return true;
+    }
+  }
+  return true;
+}
+
+int RunStdio(Serving* serving) {
+  std::string line, response;
+  while (std::getline(std::cin, line)) {
+    const bool keep_going = HandleLine(line, serving, &response);
+    if (!response.empty()) std::printf("%s\n", response.c_str());
+    std::fflush(stdout);
+    if (!keep_going) break;
+  }
+  return 0;
+}
+
+/// Minimal sequential TCP front end on 127.0.0.1: accept, serve the
+/// session line-by-line, repeat. Plenty for a bench driver or smoke test;
+/// concurrency lives in the request batcher, not the socket layer.
+int RunTcp(Serving* serving, int port, int max_sessions) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Fail(Status::IoError("socket() failed"));
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listener, 8) < 0) {
+    ::close(listener);
+    return Fail(Status::IoError(
+        StrFormat("cannot listen on 127.0.0.1:%d", port)));
+  }
+  std::fprintf(stderr, "listening on 127.0.0.1:%d\n", port);
+
+  int sessions = 0;
+  while (max_sessions <= 0 || sessions < max_sessions) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) break;
+    ++sessions;
+    std::string pending, response;
+    char buf[4096];
+    bool keep_going = true;
+    while (keep_going) {
+      const ssize_t n = ::read(conn, buf, sizeof buf);
+      if (n <= 0) break;
+      pending.append(buf, static_cast<size_t>(n));
+      size_t eol;
+      while (keep_going && (eol = pending.find('\n')) != std::string::npos) {
+        const std::string line = pending.substr(0, eol);
+        pending.erase(0, eol + 1);
+        keep_going = HandleLine(line, serving, &response);
+        if (!response.empty()) {
+          response.push_back('\n');
+          size_t sent = 0;
+          while (sent < response.size()) {
+            const ssize_t w = ::write(conn, response.data() + sent,
+                                      response.size() - sent);
+            if (w <= 0) {
+              keep_going = false;
+              break;
+            }
+            sent += static_cast<size_t>(w);
+          }
+        }
+      }
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("snapshot", "", "binary model snapshot to serve");
+  flags.AddString("data", "",
+                  "dataset dir for seen-item exclusion (optional)");
+  flags.AddInt("port", 0, "TCP port on 127.0.0.1 (0 = stdio mode)");
+  flags.AddInt("batch", 32, "request micro-batch cap");
+  flags.AddInt("threads", 0, "scoring workers (0 = hardware)");
+  flags.AddInt("topk", 10, "default k when a request omits it");
+  flags.AddInt("max-sessions", 0,
+               "TCP: exit after this many sessions (0 = serve forever)");
+  const Status st = flags.Parse(argc, argv);
+  if (!st.ok()) return Fail(st);
+  if (flags.help_requested()) return 0;
+  if (flags.GetString("snapshot").empty()) {
+    return Fail(Status::InvalidArgument("--snapshot is required"));
+  }
+
+  // The split must outlive the server: ServableModel keeps only the CSR
+  // it builds, but swaps construct new servables from it.
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<data::Split> split;
+  if (!flags.GetString("data").empty()) {
+    auto loaded = data::LoadDataset(flags.GetString("data"));
+    if (!loaded.ok()) return Fail(loaded.status());
+    dataset = std::make_unique<data::Dataset>(std::move(*loaded));
+    split = std::make_unique<data::Split>(data::TemporalSplit(*dataset));
+  }
+
+  serve::ServerOptions options;
+  options.max_batch = flags.GetInt("batch");
+  options.num_threads = flags.GetInt("threads");
+  options.default_k = flags.GetInt("topk");
+  serve::ModelServer server(options);
+
+  Serving serving;
+  serving.server = &server;
+  serving.split = split.get();
+  auto servable = serve::ServableModel::FromSnapshot(
+      flags.GetString("snapshot"), baselines::MakeModel, serving.split,
+      serving.next_generation);
+  if (!servable.ok()) return Fail(servable.status());
+  server.Swap(*servable);
+  std::fprintf(stderr, "serving %s (%d users, %d items)\n",
+               (*servable)->model_name().c_str(), (*servable)->num_users(),
+               (*servable)->num_items());
+
+  const int port = flags.GetInt("port");
+  return port > 0
+             ? RunTcp(&serving, port, flags.GetInt("max-sessions"))
+             : RunStdio(&serving);
+}
