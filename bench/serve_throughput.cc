@@ -25,23 +25,45 @@
 //                        committed BENCH_serving.json; both sides of the
 //                        ratio come from one run on one machine, so the
 //                        gate is robust to CI hardware variance.
+//   --slo-p99-ms         fail if the open-loop sustained p99 exceeds this
+//                        bound (and, with --baseline, if the committed
+//                        JSON's sustained p99 does).
+//
+// Open-loop phases: after the closed-loop sync/batched measurements,
+// each model is driven through TrySubmit() at fixed Poisson offered
+// rates — sustained (--open-sustain-frac of measured batched capacity)
+// for honest p50/p95/p99, then overload (--open-overload-frac, above
+// capacity, small admission queue) where the server must stay live, shed
+// deterministically with kUnavailable, lose no accepted request, and
+// complete a mid-load generation swap. A closed-loop driver waits for
+// completions and so throttles itself to the server's speed, hiding
+// queueing delay; the open-loop schedule is drawn up front and never
+// adapts, which is the regime the p99 numbers are honest in.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/snapshot.h"
+#include "serve/latency_histogram.h"
 #include "serve/servable.h"
 #include "serve/server.h"
 #include "util/flags.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 
 namespace logirec::bench {
@@ -62,11 +84,34 @@ struct BatchedStats {
   double p99_ms = 0.0;
 };
 
+struct OpenLoopConfig {
+  int requests = 1024;
+  double sustain_frac = 0.5;   // of measured batched capacity
+  double overload_frac = 2.0;  // deliberately above capacity
+  int max_queue = 128;         // admission bound for the open-loop server
+};
+
+struct OpenLoopStats {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  // completed over wall clock
+  long submitted = 0;
+  long accepted = 0;  // admitted and completed OK
+  long shed = 0;      // rejected at admission (kUnavailable)
+  double shed_rate = 0.0;
+  // Client-observed submit-to-completion latency of accepted requests.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
 struct ModelReport {
   std::string model;
   SyncStats sync;
   BatchedStats batched;
   double batch_speedup = 0.0;  // batched qps over sync qps
+  OpenLoopStats open_sustained;
+  OpenLoopStats open_overload;
 };
 
 double Percentile(std::vector<double>* samples, double p) {
@@ -77,12 +122,18 @@ double Percentile(std::vector<double>* samples, double p) {
   return (*samples)[idx];
 }
 
+struct ServablePair {
+  std::shared_ptr<const serve::ServableModel> gen1;
+  std::shared_ptr<const serve::ServableModel> gen2;  // for mid-load swap
+};
+
 /// Trains `name`, round-trips it through a binary snapshot, and returns
-/// the restored servable generation — the bench measures exactly what a
-/// production server would load, not the in-memory trained object.
-std::shared_ptr<const serve::ServableModel> MakeServable(
-    const std::string& name, const core::TrainConfig& config,
-    const BenchDataset& bd) {
+/// two restored servable generations — the bench measures exactly what a
+/// production server would load, not the in-memory trained object, and
+/// the overload phase swaps to generation 2 mid-load.
+ServablePair MakeServables(const std::string& name,
+                           const core::TrainConfig& config,
+                           const BenchDataset& bd) {
   auto model = baselines::MakeModel(name, config);
   LOGIREC_CHECK_MSG(model.ok(), model.status().ToString());
   const Status fit = (*model)->Fit(bd.dataset, bd.split);
@@ -99,19 +150,131 @@ std::shared_ptr<const serve::ServableModel> MakeServable(
           .string();
   const Status wr = core::ModelSnapshot::Write(**model, header, path);
   LOGIREC_CHECK_MSG(wr.ok(), wr.ToString());
-  auto servable = serve::ServableModel::FromSnapshot(
-      path, baselines::MakeModel, &bd.split, /*generation=*/1);
+  ServablePair pair;
+  auto gen1 = serve::ServableModel::FromSnapshot(path, baselines::MakeModel,
+                                                 &bd.split, /*generation=*/1);
+  LOGIREC_CHECK_MSG(gen1.ok(), gen1.status().ToString());
+  auto gen2 = serve::ServableModel::FromSnapshot(path, baselines::MakeModel,
+                                                 &bd.split, /*generation=*/2);
+  LOGIREC_CHECK_MSG(gen2.ok(), gen2.status().ToString());
   std::filesystem::remove(path);
-  LOGIREC_CHECK_MSG(servable.ok(), servable.status().ToString());
-  return *servable;
+  pair.gen1 = *gen1;
+  pair.gen2 = *gen2;
+  return pair;
+}
+
+/// One open-loop phase: the Poisson arrival schedule is drawn up front
+/// from the counter RNG (deterministic per seed) and never adjusted to
+/// the server's progress; a request behind schedule fires immediately.
+/// Rejections must be explicit (kUnavailable -> counted as shed) and no
+/// admitted request may be silently dropped — both are checked, not
+/// assumed. When `mid_swap` is non-null it is published at the schedule
+/// midpoint, from another thread, while requests are in flight.
+OpenLoopStats RunOpenLoop(
+    serve::ModelServer* server, int num_users, int requests, int top_k,
+    double offered_qps, uint64_t seed,
+    std::shared_ptr<const serve::ServableModel> mid_swap) {
+  using Clock = std::chrono::steady_clock;
+  LOGIREC_CHECK(requests > 0 && offered_qps > 0.0);
+  std::vector<double> arrivals(requests);
+  double t = 0.0;
+  for (int i = 0; i < requests; ++i) {
+    // Uniform in (0, 1) from the counter RNG, then inverse-CDF to an
+    // Exp(offered_qps) inter-arrival gap.
+    const double u =
+        (static_cast<double>(Rng::MixSeed(seed, i) >> 11) + 0.5) /
+        static_cast<double>(1ULL << 53);
+    t += -std::log(u) / offered_qps;
+    arrivals[i] = t;
+  }
+  const auto at = [](Clock::time_point start, double seconds) {
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(seconds));
+  };
+
+  serve::LatencyHistogram latency;
+  std::mutex mu;
+  std::condition_variable cv;
+  long completed = 0;  // guarded by mu
+  std::atomic<long> accepted_ok{0};
+  std::atomic<long> failed{0};
+  long admitted = 0;
+  long shed = 0;
+
+  const auto start = Clock::now();
+  std::thread swapper;
+  if (mid_swap != nullptr) {
+    const double midpoint = arrivals[requests / 2];
+    swapper = std::thread([server, mid_swap, start, midpoint, at] {
+      std::this_thread::sleep_until(at(start, midpoint));
+      server->Swap(mid_swap);
+    });
+  }
+  for (int i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(at(start, arrivals[i]));
+    const auto submit_time = Clock::now();
+    const Status st = server->TrySubmit(
+        i % num_users, top_k,
+        [&latency, &mu, &cv, &completed, &accepted_ok, &failed,
+         submit_time](serve::RankResponse response) {
+          latency.Record(std::chrono::duration<double, std::milli>(
+                             Clock::now() - submit_time)
+                             .count());
+          if (response.status.ok()) {
+            accepted_ok.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          ++completed;
+          cv.notify_one();
+        });
+    if (st.ok()) {
+      ++admitted;
+    } else {
+      LOGIREC_CHECK_MSG(st.code() == StatusCode::kUnavailable,
+                        st.ToString());
+      ++shed;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return completed == admitted; });
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (swapper.joinable()) swapper.join();
+
+  // The books must balance: every submission was either admitted (and
+  // its callback fired) or explicitly shed — nothing vanished.
+  LOGIREC_CHECK(admitted + shed == requests);
+  LOGIREC_CHECK(accepted_ok.load() + failed.load() == admitted);
+  LOGIREC_CHECK_MSG(failed.load() == 0,
+                    "open-loop requests failed during the run");
+
+  OpenLoopStats stats;
+  stats.offered_qps = offered_qps;
+  stats.achieved_qps = admitted / std::max(wall, 1e-12);
+  stats.submitted = requests;
+  stats.accepted = accepted_ok.load();
+  stats.shed = shed;
+  stats.shed_rate = static_cast<double>(shed) / requests;
+  const serve::LatencyHistogram::Snapshot snap = latency.Take();
+  stats.p50_ms = snap.p50_ms;
+  stats.p95_ms = snap.p95_ms;
+  stats.p99_ms = snap.p99_ms;
+  stats.max_ms = snap.max_ms;
+  return stats;
 }
 
 ModelReport BenchModel(const std::string& name,
                        const core::TrainConfig& config,
                        const BenchDataset& bd, int requests, int top_k,
-                       const serve::ServerOptions& options) {
+                       const serve::ServerOptions& options,
+                       const OpenLoopConfig& open_config) {
+  const ServablePair servables = MakeServables(name, config, bd);
   serve::ModelServer server(options);
-  server.Swap(MakeServable(name, config, bd));
+  server.Swap(servables.gen1);
   const int num_users = bd.dataset.num_users;
 
   ModelReport report;
@@ -177,7 +340,43 @@ ModelReport BenchModel(const std::string& name,
 
   report.batch_speedup =
       report.batched.qps / std::max(report.sync.qps, 1e-12);
+
+  // Open-loop phases run on a fresh server with the small bounded queue:
+  // the sustained rate measures honest latency below capacity, the
+  // overload rate proves liveness + explicit shedding above it, with a
+  // generation swap published mid-load.
+  serve::ServerOptions open_options = options;
+  open_options.max_queue = open_config.max_queue;
+  serve::ModelServer open_server(open_options);
+  open_server.Swap(servables.gen1);
+  const double capacity = report.batched.qps;
+  report.open_sustained = RunOpenLoop(
+      &open_server, num_users, open_config.requests, top_k,
+      open_config.sustain_frac * capacity, /*seed=*/101, nullptr);
+  report.open_overload = RunOpenLoop(
+      &open_server, num_users, open_config.requests, top_k,
+      open_config.overload_frac * capacity, /*seed=*/202, servables.gen2);
+  LOGIREC_CHECK_MSG(
+      report.open_overload.shed > 0,
+      "overload phase shed nothing — offered rate never exceeded capacity");
+  // Liveness probe: after surviving overload the server still answers,
+  // and on the generation the mid-load swap published.
+  serve::RankResponse probe = open_server.Submit(0, top_k).get();
+  LOGIREC_CHECK_MSG(probe.status.ok(), probe.status.ToString());
+  LOGIREC_CHECK_MSG(probe.generation == 2,
+                    "mid-load swap did not take effect");
+  open_server.Stop();
   return report;
+}
+
+std::string OpenLoopJson(const OpenLoopStats& s) {
+  return StrFormat(
+      "{\"offered_qps\": %.1f, \"achieved_qps\": %.1f, "
+      "\"submitted\": %ld, \"accepted\": %ld, \"shed\": %ld, "
+      "\"shed_rate\": %.4f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+      "\"p99_ms\": %.3f, \"max_ms\": %.3f}",
+      s.offered_qps, s.achieved_qps, s.submitted, s.accepted, s.shed,
+      s.shed_rate, s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms);
 }
 
 void WriteJson(const std::string& path, const BenchDataset& bd,
@@ -204,10 +403,12 @@ void WriteJson(const std::string& path, const BenchDataset& bd,
                r.sync.qps, r.sync.p50_us, r.sync.p95_us, r.sync.p99_us)
         << StrFormat(
                "     \"batched\": {\"qps\": %.1f, \"batches\": %ld, "
-               "\"max_batch\": %ld, \"p50_ms\": %.3f, \"p99_ms\": %.3f}}",
+               "\"max_batch\": %ld, \"p50_ms\": %.3f, \"p99_ms\": %.3f},\n",
                r.batched.qps, r.batched.batches, r.batched.max_batch,
                r.batched.p50_ms, r.batched.p99_ms)
-        << (i + 1 < reports.size() ? "," : "") << "\n";
+        << "     \"open_sustained\": " << OpenLoopJson(r.open_sustained)
+        << ",\n     \"open_overload\": " << OpenLoopJson(r.open_overload)
+        << "}" << (i + 1 < reports.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::ofstream f(path);
@@ -215,30 +416,48 @@ void WriteJson(const std::string& path, const BenchDataset& bd,
   f << out.str();
 }
 
-/// Minimal extraction of per-model batch speedups from a
-/// BENCH_serving.json produced by WriteJson (not a general JSON parser).
-std::map<std::string, double> ReadBaselineSpeedups(const std::string& path) {
+struct BaselineEntry {
+  double batch_speedup = 0.0;
+  double sustained_p99_ms = -1.0;  // -1 = absent (pre-open-loop format)
+};
+
+/// Minimal extraction of per-model gate inputs from a BENCH_serving.json
+/// produced by WriteJson (not a general JSON parser).
+std::map<std::string, BaselineEntry> ReadBaseline(const std::string& path) {
   std::ifstream f(path);
   LOGIREC_CHECK_MSG(f.good(), "cannot read baseline " + path);
   std::stringstream buf;
   buf << f.rdbuf();
   const std::string text = buf.str();
-  std::map<std::string, double> speedups;
+  std::map<std::string, BaselineEntry> entries;
   size_t pos = 0;
   const std::string model_key = "\"model\": \"";
   const std::string speedup_key = "\"batch_speedup\": ";
+  const std::string sustained_key = "\"open_sustained\": ";
+  const std::string p99_key = "\"p99_ms\": ";
   while ((pos = text.find(model_key, pos)) != std::string::npos) {
     pos += model_key.size();
     const size_t name_end = text.find('"', pos);
     LOGIREC_CHECK(name_end != std::string::npos);
     const std::string name = text.substr(pos, name_end - pos);
+    const size_t next_model = text.find(model_key, name_end);
+    BaselineEntry entry;
     const size_t spos = text.find(speedup_key, name_end);
-    LOGIREC_CHECK_MSG(spos != std::string::npos,
+    LOGIREC_CHECK_MSG(spos != std::string::npos && spos < next_model,
                       "baseline missing batch_speedup for " + name);
-    speedups[name] = std::stod(text.substr(spos + speedup_key.size()));
+    entry.batch_speedup = std::stod(text.substr(spos + speedup_key.size()));
+    const size_t opos = text.find(sustained_key, name_end);
+    if (opos != std::string::npos && opos < next_model) {
+      const size_t ppos = text.find(p99_key, opos);
+      LOGIREC_CHECK_MSG(ppos != std::string::npos && ppos < next_model,
+                        "baseline open_sustained missing p99_ms for " + name);
+      entry.sustained_p99_ms =
+          std::stod(text.substr(ppos + p99_key.size()));
+    }
+    entries[name] = entry;
     pos = name_end;
   }
-  return speedups;
+  return entries;
 }
 
 int Main(int argc, char** argv) {
@@ -273,6 +492,21 @@ int Main(int argc, char** argv) {
   flags.AddDouble("max-regression", 0.30,
                   "fail if a model's batch_speedup drops more than this "
                   "fraction below the baseline");
+  flags.AddInt("open-requests", 1024,
+               "requests per open-loop phase (sustained and overload)");
+  flags.AddDouble("open-sustain-frac", 0.5,
+                  "sustained offered rate as a fraction of the measured "
+                  "batched capacity");
+  flags.AddDouble("open-overload-frac", 2.0,
+                  "overload offered rate as a fraction of capacity; must "
+                  "exceed 1 so shedding is guaranteed");
+  flags.AddInt("open-queue", 128,
+               "admission-queue bound for the open-loop phases (small, so "
+               "overload sheds instead of buffering)");
+  flags.AddDouble("slo-p99-ms", 0.0,
+                  "fail if the sustained open-loop p99 exceeds this bound "
+                  "(0 = no gate); with --baseline the committed JSON's "
+                  "sustained p99 must meet it too");
   const Status st = flags.Parse(argc, argv);
   LOGIREC_CHECK_MSG(st.ok(), st.ToString());
   if (flags.help_requested()) {
@@ -300,21 +534,32 @@ int Main(int argc, char** argv) {
   options.num_threads = flags.GetInt("threads");
   options.default_k = top_k;
 
+  OpenLoopConfig open_config;
+  open_config.requests = flags.GetInt("open-requests");
+  open_config.sustain_frac = flags.GetDouble("open-sustain-frac");
+  open_config.overload_frac = flags.GetDouble("open-overload-frac");
+  open_config.max_queue = flags.GetInt("open-queue");
+  LOGIREC_CHECK_MSG(open_config.overload_frac > 1.0,
+                    "--open-overload-frac must exceed 1");
+
   std::printf(
       "serve_throughput: %s users=%d items=%d dim=%d requests=%d batch=%d\n",
       bd.dataset.name.c_str(), bd.dataset.num_users, bd.dataset.num_items,
       config.dim, requests, options.max_batch);
-  std::printf("%-10s %12s %12s %9s %10s %10s\n", "model", "sync qps",
-              "batch qps", "speedup", "sync p99", "batch p99");
+  std::printf("%-10s %12s %12s %9s %10s %10s %10s %9s\n", "model",
+              "sync qps", "batch qps", "speedup", "sync p99", "batch p99",
+              "open p99", "shed");
 
   std::vector<ModelReport> reports;
   for (const std::string& name : models) {
-    reports.push_back(
-        BenchModel(name, config, bd, requests, top_k, options));
+    reports.push_back(BenchModel(name, config, bd, requests, top_k, options,
+                                 open_config));
     const ModelReport& r = reports.back();
-    std::printf("%-10s %12.1f %12.1f %8.2fx %8.2fus %8.2fms\n",
-                r.model.c_str(), r.sync.qps, r.batched.qps, r.batch_speedup,
-                r.sync.p99_us, r.batched.p99_ms);
+    std::printf(
+        "%-10s %12.1f %12.1f %8.2fx %8.2fus %8.2fms %8.2fms %8.1f%%\n",
+        r.model.c_str(), r.sync.qps, r.batched.qps, r.batch_speedup,
+        r.sync.p99_us, r.batched.p99_ms, r.open_sustained.p99_ms,
+        100.0 * r.open_overload.shed_rate);
   }
 
   WriteJson(flags.GetString("out"), bd, config, requests, top_k, options,
@@ -342,20 +587,56 @@ int Main(int argc, char** argv) {
     }
   }
 
+  const double slo_p99 = flags.GetDouble("slo-p99-ms");
+  if (slo_p99 > 0.0) {
+    bool breached = false;
+    for (const ModelReport& r : reports) {
+      if (r.open_sustained.p99_ms > slo_p99) {
+        std::printf(
+            "SLO BREACH %s: sustained open-loop p99 %.2fms > %.2fms\n",
+            r.model.c_str(), r.open_sustained.p99_ms, slo_p99);
+        breached = true;
+      }
+      // Shed-rate correctness at sustained load: a server below capacity
+      // must not be rejecting a meaningful share of admission attempts.
+      if (r.open_sustained.shed_rate > 0.05) {
+        std::printf(
+            "SLO BREACH %s: sustained shed rate %.1f%% (server below "
+            "capacity must admit)\n",
+            r.model.c_str(), 100.0 * r.open_sustained.shed_rate);
+        breached = true;
+      }
+    }
+    if (!breached) {
+      std::printf("p99 SLO gate passed (bound %.2fms)\n", slo_p99);
+    }
+    failed = failed || breached;
+  }
+
   if (!flags.GetString("baseline").empty()) {
-    const auto baseline = ReadBaselineSpeedups(flags.GetString("baseline"));
+    const auto baseline = ReadBaseline(flags.GetString("baseline"));
     const double max_regression = flags.GetDouble("max-regression");
     bool regressed = false;
     for (const ModelReport& r : reports) {
       auto it = baseline.find(r.model);
       if (it == baseline.end()) continue;
-      const double floor = it->second * (1.0 - max_regression);
+      const double floor =
+          it->second.batch_speedup * (1.0 - max_regression);
       if (r.batch_speedup < floor) {
         std::printf(
             "REGRESSION %s: batch_speedup %.2fx < %.2fx (baseline %.2fx - "
             "%.0f%% tolerance)\n",
-            r.model.c_str(), r.batch_speedup, floor, it->second,
-            100.0 * max_regression);
+            r.model.c_str(), r.batch_speedup, floor,
+            it->second.batch_speedup, 100.0 * max_regression);
+        regressed = true;
+      }
+      // The committed artifact itself must honor the SLO — a regression
+      // cannot be hidden by committing a degraded baseline.
+      if (slo_p99 > 0.0 && it->second.sustained_p99_ms > slo_p99) {
+        std::printf(
+            "BASELINE SLO BREACH %s: committed sustained p99 %.2fms > "
+            "%.2fms\n",
+            r.model.c_str(), it->second.sustained_p99_ms, slo_p99);
         regressed = true;
       }
     }

@@ -1,0 +1,110 @@
+#include "serve/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace logirec::serve {
+
+namespace {
+// Each power-of-two octave above the exact range is split into
+// 2^kSubBits linear sub-buckets, bounding the relative bucket width.
+constexpr int kSubBits = 5;
+constexpr int kSub = 1 << kSubBits;          // 32 sub-buckets per octave
+constexpr uint64_t kExactLimit = 2 * kSub;   // [0, 64) is bucket-per-value
+constexpr uint64_t kMaxValueUs = (1ULL << 30) - 1;  // ~17.9 min saturation
+constexpr int kOctaves = 30 - (kSubBits + 1) + 1;   // msb in [6, 30]
+constexpr int kNumBuckets = static_cast<int>(kExactLimit) + kOctaves * kSub;
+
+void AtomicMaxU64(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int LatencyHistogram::num_buckets() { return kNumBuckets; }
+
+int LatencyHistogram::BucketIndex(uint64_t us) {
+  us = std::min(us, kMaxValueUs);
+  if (us < kExactLimit) return static_cast<int>(us);
+  const int msb = 63 - std::countl_zero(us);
+  const int shift = msb - kSubBits;
+  const int sub = static_cast<int>((us >> shift) - kSub);
+  const int index = static_cast<int>(kExactLimit) +
+                    (msb - kSubBits - 1) * kSub + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketMidUs(int index) {
+  if (index < static_cast<int>(kExactLimit)) return index;
+  const int octave = (index - static_cast<int>(kExactLimit)) / kSub;
+  const int sub = (index - static_cast<int>(kExactLimit)) % kSub;
+  const uint64_t width = 1ULL << (octave + 1);
+  const uint64_t low = static_cast<uint64_t>(kSub + sub) * width;
+  return static_cast<double>(low) + static_cast<double>(width - 1) / 2.0;
+}
+
+void LatencyHistogram::Record(double ms) {
+  const double us_f = std::max(ms, 0.0) * 1000.0;
+  const uint64_t us =
+      us_f >= static_cast<double>(kMaxValueUs)
+          ? kMaxValueUs
+          : static_cast<uint64_t>(std::llround(us_f));
+  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  AtomicMaxU64(&max_us_, us);
+}
+
+double LatencyHistogram::PercentileFromCounts(
+    const std::vector<uint64_t>& counts, uint64_t total, double p) const {
+  if (total == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(clamped * total));
+  rank = std::clamp<uint64_t>(rank, 1, total);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) return BucketMidUs(i) / 1000.0;
+  }
+  return BucketMidUs(kNumBuckets - 1) / 1000.0;
+}
+
+double LatencyHistogram::PercentileMs(double p) const {
+  std::vector<uint64_t> counts(kNumBuckets);
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  return PercentileFromCounts(counts, total, p);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Take() const {
+  std::vector<uint64_t> counts(kNumBuckets);
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  Snapshot snapshot;
+  snapshot.count = static_cast<long>(total);
+  snapshot.p50_ms = PercentileFromCounts(counts, total, 0.50);
+  snapshot.p95_ms = PercentileFromCounts(counts, total, 0.95);
+  snapshot.p99_ms = PercentileFromCounts(counts, total, 0.99);
+  snapshot.max_ms = max_us_.load(std::memory_order_relaxed) / 1000.0;
+  snapshot.mean_ms =
+      total == 0 ? 0.0
+                 : sum_us_.load(std::memory_order_relaxed) /
+                       (1000.0 * static_cast<double>(total));
+  return snapshot;
+}
+
+}  // namespace logirec::serve

@@ -1,0 +1,67 @@
+#ifndef LOGIREC_SERVE_LATENCY_HISTOGRAM_H_
+#define LOGIREC_SERVE_LATENCY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace logirec::serve {
+
+/// Log-bucketed (HDR-style) latency histogram, safe for concurrent
+/// recorders. Values are recorded in integer microseconds into buckets
+/// that grow geometrically: each power-of-two octave is split into 32
+/// linear sub-buckets, so every bucket's width is at most 1/32 of its
+/// value and any extracted percentile is within ~3% of the exact sample
+/// percentile (histogram_test checks this bound against a sorted-vector
+/// oracle). Unlike the fixed ring it replaced, the histogram covers every
+/// request ever recorded — no window truncation — at a fixed ~10KB of
+/// counters.
+///
+/// Record() is lock-free (one relaxed fetch_add plus a CAS max); a
+/// Snapshot() taken while recorders are running is a consistent-enough
+/// point-in-time view for telemetry: each counter is read atomically and
+/// the percentile walk uses the counts it read.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one latency measurement. Thread-safe. Non-positive values
+  /// count in the lowest bucket; values beyond ~17 minutes saturate into
+  /// the top bucket.
+  void Record(double ms);
+
+  struct Snapshot {
+    long count = 0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+    double mean_ms = 0.0;
+  };
+
+  /// Point-in-time counters and percentiles. Thread-safe.
+  Snapshot Take() const;
+
+  /// Percentile (p in [0, 1]) of everything recorded so far, in ms.
+  double PercentileMs(double p) const;
+
+  // --- exposed for tests ---
+  /// The bucket index a value in microseconds lands in.
+  static int BucketIndex(uint64_t us);
+  /// The representative (midpoint) value of a bucket, in microseconds.
+  static double BucketMidUs(int index);
+  static int num_buckets();
+
+ private:
+  double PercentileFromCounts(const std::vector<uint64_t>& counts,
+                              uint64_t total, double p) const;
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+}  // namespace logirec::serve
+
+#endif  // LOGIREC_SERVE_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,133 @@
+#include "serve/net/connection.h"
+
+#include <cerrno>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace logirec::serve::net {
+
+Connection::Connection(int fd, EventLoop* loop, size_t max_line_bytes,
+                       Callbacks callbacks)
+    : fd_(fd),
+      loop_(loop),
+      framer_(max_line_bytes),
+      callbacks_(std::move(callbacks)) {}
+
+Connection::~Connection() { Close(); }
+
+Status Connection::Register() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  const Status st = loop_->Add(
+      fd_, /*want_read=*/true, /*want_write=*/false,
+      [this](const EventLoop::Event& event) { HandleEvent(event); });
+  registered_ = st.ok();
+  return st;
+}
+
+void Connection::HandleEvent(const EventLoop::Event& event) {
+  if (closed()) return;
+  if (event.writable) FlushWrites();
+  if (!closed() && event.readable) HandleReadable();
+  if (!closed() && event.hangup && !eof_seen_) broken_ = true;
+  if (!closed() && callbacks_.on_state_change) callbacks_.on_state_change();
+}
+
+void Connection::HandleReadable() {
+  if (!reading_) {
+    // Drain-and-discard so a chatty peer cannot wedge level-triggered
+    // wakeups after `!quit`.
+    char sink[4096];
+    ssize_t n;
+    while ((n = ::read(fd_, sink, sizeof sink)) > 0) {
+    }
+    if (n == 0) eof_seen_ = true;
+    return;
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      framer_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_seen_ = true;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // level-triggered: we'll be woken again
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      broken_ = true;
+    }
+    break;
+  }
+  std::string line;
+  while (reading_ && framer_.Next(&line)) {
+    if (callbacks_.on_line) callbacks_.on_line(line);
+    if (closed()) return;
+  }
+  // A half-closed peer may still be waiting for the reply to a final
+  // unterminated line (getline semantics).
+  if (reading_ && eof_seen_ && framer_.FlushRemainder(&line)) {
+    if (callbacks_.on_line) callbacks_.on_line(line);
+  }
+}
+
+void Connection::SendLine(const std::string& line) {
+  if (closed() || broken_) return;
+  out_.reserve(out_.size() + line.size() + 1);
+  out_ += line;
+  out_ += '\n';
+  FlushWrites();
+}
+
+void Connection::FlushWrites() {
+  if (closed() || broken_) return;
+  while (out_sent_ < out_.size()) {
+    const ssize_t n =
+        ::write(fd_, out_.data() + out_sent_, out_.size() - out_sent_);
+    if (n > 0) {
+      out_sent_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    broken_ = true;
+    return;
+  }
+  if (out_sent_ == out_.size()) {
+    out_.clear();
+    out_sent_ = 0;
+  } else if (out_sent_ >= 4096 && out_sent_ * 2 >= out_.size()) {
+    out_.erase(0, out_sent_);
+    out_sent_ = 0;
+  }
+  UpdateInterest();
+}
+
+void Connection::StopReading() {
+  reading_ = false;
+  UpdateInterest();
+}
+
+void Connection::UpdateInterest() {
+  if (closed() || !registered_) return;
+  const bool want_write = write_pending();
+  if (want_write == want_write_armed_ && reading_) return;
+  // Read interest stays on even after StopReading() so we observe EOF
+  // and drain stray bytes instead of spinning the peer's send buffer.
+  loop_->Update(fd_, /*want_read=*/true, want_write);
+  want_write_armed_ = want_write;
+}
+
+void Connection::Close() {
+  if (closed()) return;
+  if (registered_) loop_->Remove(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace logirec::serve::net

@@ -1,0 +1,85 @@
+#ifndef LOGIREC_SERVE_NET_CONNECTION_H_
+#define LOGIREC_SERVE_NET_CONNECTION_H_
+
+#include <functional>
+#include <string>
+
+#include "serve/net/event_loop.h"
+#include "serve/net/framing.h"
+#include "util/status.h"
+
+namespace logirec::serve::net {
+
+/// One non-blocking connection on an event loop: the byte pump half of a
+/// session. Reads are framed into lines through LineFramer; writes go
+/// through an outbound buffer that absorbs partial write() progress and
+/// arms EPOLLOUT only while bytes remain. All methods and callbacks run
+/// on the loop thread; policy (when to reply, when to close) lives in
+/// the owner, which reads the state flags below.
+///
+/// State flags the owner drives its machine from:
+///  - framing_error(): an oversized line tripped the framer (sticky);
+///  - eof_seen(): the peer half-closed; any unterminated remainder was
+///    already delivered through on_line (so `5 4` + FIN still ranks);
+///  - broken(): read/write error or hangup — flush is pointless;
+///  - write_pending(): outbound bytes not yet accepted by the kernel.
+class Connection {
+ public:
+  struct Callbacks {
+    /// One complete framed line (no terminator).
+    std::function<void(const std::string& line)> on_line;
+    /// Fired after every burst of I/O activity or state transition; the
+    /// owner re-evaluates its state machine (flush replies, close, ...).
+    std::function<void()> on_state_change;
+  };
+
+  Connection(int fd, EventLoop* loop, size_t max_line_bytes,
+             Callbacks callbacks);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Makes the fd non-blocking and registers with the loop.
+  Status Register();
+
+  /// Queues `line` + '\n' for writing; writes as much as the socket
+  /// accepts now and buffers the rest.
+  void SendLine(const std::string& line);
+
+  /// Stops delivering further lines (input after `!quit` is ignored).
+  void StopReading();
+
+  /// Deregisters and closes the fd. Idempotent; no callbacks fire.
+  void Close();
+
+  bool closed() const { return fd_ < 0; }
+  bool eof_seen() const { return eof_seen_; }
+  bool broken() const { return broken_; }
+  bool framing_error() const { return !framer_.status().ok(); }
+  const Status& framer_status() const { return framer_.status(); }
+  bool write_pending() const { return out_.size() > out_sent_; }
+  int fd() const { return fd_; }
+
+ private:
+  void HandleEvent(const EventLoop::Event& event);
+  void HandleReadable();
+  void FlushWrites();
+  void UpdateInterest();
+
+  int fd_;
+  EventLoop* loop_;
+  LineFramer framer_;
+  Callbacks callbacks_;
+  std::string out_;
+  size_t out_sent_ = 0;
+  bool reading_ = true;
+  bool eof_seen_ = false;
+  bool broken_ = false;
+  bool registered_ = false;
+  bool want_write_armed_ = false;
+};
+
+}  // namespace logirec::serve::net
+
+#endif  // LOGIREC_SERVE_NET_CONNECTION_H_

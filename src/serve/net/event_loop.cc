@@ -1,0 +1,241 @@
+#include "serve/net/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define LOGIREC_HAVE_EPOLL 1
+#endif
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace logirec::serve::net {
+
+namespace {
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+}  // namespace
+
+EventLoop::EventLoop(Backend backend) : backend_(backend) {
+#if LOGIREC_HAVE_EPOLL
+  if (backend_ == Backend::kAuto) backend_ = Backend::kEpoll;
+#else
+  if (backend_ == Backend::kAuto || backend_ == Backend::kEpoll) {
+    backend_ = Backend::kPoll;
+  }
+#endif
+#if LOGIREC_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    LOGIREC_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  }
+#endif
+  int pipe_fds[2];
+  LOGIREC_CHECK_MSG(::pipe(pipe_fds) == 0, "wakeup pipe failed");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+  // The wake fd participates like any other registration; its callback
+  // just drains the pipe (tasks run at the end of the wake).
+  const Status st = Add(wake_read_fd_, /*want_read=*/true,
+                        /*want_write=*/false, [this](const Event&) {
+                          char buf[256];
+                          while (::read(wake_read_fd_, buf, sizeof buf) > 0) {
+                          }
+                        });
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+}
+
+EventLoop::~EventLoop() {
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+#if LOGIREC_HAVE_EPOLL
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+}
+
+Status EventLoop::Add(int fd, bool want_read, bool want_write,
+                      FdCallback callback) {
+  if (registrations_.count(fd) > 0) {
+    return Status::AlreadyExists(StrFormat("fd %d already registered", fd));
+  }
+  auto reg = std::make_shared<Registration>();
+  reg->fd = fd;
+  reg->want_read = want_read;
+  reg->want_write = want_write;
+  reg->callback = std::move(callback);
+  const Status st = BackendAdd(*reg);
+  if (!st.ok()) return st;
+  registrations_.emplace(fd, std::move(reg));
+  return Status::OK();
+}
+
+Status EventLoop::Update(int fd, bool want_read, bool want_write) {
+  auto it = registrations_.find(fd);
+  if (it == registrations_.end()) {
+    return Status::NotFound(StrFormat("fd %d is not registered", fd));
+  }
+  it->second->want_read = want_read;
+  it->second->want_write = want_write;
+  return BackendUpdate(*it->second);
+}
+
+void EventLoop::Remove(int fd) {
+  auto it = registrations_.find(fd);
+  if (it == registrations_.end()) return;
+  BackendRemove(fd);
+  registrations_.erase(it);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void EventLoop::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void EventLoop::Wake() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wake; EAGAIN is fine.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void EventLoop::DrainTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  std::vector<std::pair<int, Event>> fired;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fired.clear();
+    BackendWait(&fired);
+    for (const auto& [fd, event] : fired) {
+      // Look up fresh: an earlier callback this wake may have removed it.
+      auto it = registrations_.find(fd);
+      if (it == registrations_.end()) continue;
+      // Hold a ref so a callback removing its own fd stays alive.
+      const std::shared_ptr<Registration> reg = it->second;
+      reg->callback(event);
+    }
+    DrainTasks();
+  }
+  // Completions posted during the final wake (e.g. by a model server
+  // draining its queue) still run before Run() returns.
+  DrainTasks();
+}
+
+#if LOGIREC_HAVE_EPOLL
+namespace {
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t mask = EPOLLRDHUP;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+}  // namespace
+#endif
+
+Status EventLoop::BackendAdd(const Registration& reg) {
+#if LOGIREC_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(reg.want_read, reg.want_write);
+    ev.data.fd = reg.fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, reg.fd, &ev) != 0) {
+      return Status::IoError(StrFormat("epoll_ctl(ADD, %d): %s", reg.fd,
+                                       std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+#endif
+  (void)reg;
+  return Status::OK();  // poll builds its set per wait
+}
+
+Status EventLoop::BackendUpdate(const Registration& reg) {
+#if LOGIREC_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(reg.want_read, reg.want_write);
+    ev.data.fd = reg.fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, reg.fd, &ev) != 0) {
+      return Status::IoError(StrFormat("epoll_ctl(MOD, %d): %s", reg.fd,
+                                       std::strerror(errno)));
+    }
+  }
+#endif
+  (void)reg;
+  return Status::OK();
+}
+
+void EventLoop::BackendRemove(int fd) {
+#if LOGIREC_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  (void)fd;
+}
+
+void EventLoop::BackendWait(std::vector<std::pair<int, Event>>* fired) {
+#if LOGIREC_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, /*timeout=*/-1);
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.readable = (events[i].events & (EPOLLIN | EPOLLPRI)) != 0;
+      event.writable = (events[i].events & EPOLLOUT) != 0;
+      event.hangup =
+          (events[i].events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0;
+      if (event.hangup) event.readable = true;  // let read() observe EOF
+      const int fd = events[i].data.fd;
+      fired->emplace_back(fd, event);
+    }
+    return;
+  }
+#endif
+  std::vector<pollfd> pfds;
+  pfds.reserve(registrations_.size());
+  for (const auto& [fd, reg] : registrations_) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    if (reg->want_read) pfd.events |= POLLIN;
+    if (reg->want_write) pfd.events |= POLLOUT;
+    pfds.push_back(pfd);
+  }
+  const int n = ::poll(pfds.data(), pfds.size(), /*timeout=*/-1);
+  if (n <= 0) return;
+  for (const pollfd& pfd : pfds) {
+    if (pfd.revents == 0) continue;
+    Event event;
+    event.readable = (pfd.revents & (POLLIN | POLLPRI)) != 0;
+    event.writable = (pfd.revents & POLLOUT) != 0;
+    event.hangup = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    if (event.hangup) event.readable = true;
+    fired->emplace_back(pfd.fd, event);
+  }
+}
+
+}  // namespace logirec::serve::net

@@ -1,0 +1,99 @@
+#ifndef LOGIREC_SERVE_NET_EVENT_LOOP_H_
+#define LOGIREC_SERVE_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace logirec::serve::net {
+
+/// Single-threaded readiness event loop over non-blocking fds, with a
+/// thread-safe task queue for cross-thread completion delivery.
+///
+/// Backends: edge-agnostic level-triggered epoll on Linux (the serving
+/// default) and a portable poll() fallback; kAuto picks epoll where
+/// available. Both present identical semantics, and the tests run both,
+/// so the fallback cannot rot.
+///
+/// Threading contract: Add/Update/Remove and all fd callbacks run on the
+/// loop thread (registration before Run() starts counts as loop-thread).
+/// Post() and Stop() are safe from any thread — they push through a
+/// self-pipe, so a completion landing on a worker thread can hand its
+/// result back to the loop without touching connection state. Tasks
+/// posted after the loop stops are still drained by Run() before it
+/// returns; tasks posted after Run() has returned are dropped on
+/// destruction (by then the owner has already torn down the endpoints).
+class EventLoop {
+ public:
+  enum class Backend { kAuto, kEpoll, kPoll };
+
+  struct Event {
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  ///< peer closed / error; also flagged readable
+  };
+  using FdCallback = std::function<void(const Event&)>;
+
+  explicit EventLoop(Backend backend = Backend::kAuto);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (must already be non-blocking) for readiness
+  /// callbacks. Loop thread only.
+  Status Add(int fd, bool want_read, bool want_write, FdCallback callback);
+  /// Changes the interest set of a registered fd. Loop thread only.
+  Status Update(int fd, bool want_read, bool want_write);
+  /// Deregisters `fd` (does not close it). Safe to call from inside a
+  /// callback, including for an fd with events still pending this wake.
+  void Remove(int fd);
+
+  /// Enqueues `task` to run on the loop thread. Thread-safe.
+  void Post(std::function<void()> task);
+
+  /// Runs until Stop(). Must be called from exactly one thread.
+  void Run();
+
+  /// Makes Run() return after the current wake finishes dispatching.
+  /// Thread-safe, idempotent.
+  void Stop();
+
+  /// The backend actually in use (kAuto resolved).
+  Backend backend() const { return backend_; }
+
+ private:
+  struct Registration {
+    int fd = 0;
+    bool want_read = false;
+    bool want_write = false;
+    FdCallback callback;
+  };
+
+  Status BackendAdd(const Registration& reg);
+  Status BackendUpdate(const Registration& reg);
+  void BackendRemove(int fd);
+  /// Blocks for readiness; appends (fd, event) pairs.
+  void BackendWait(std::vector<std::pair<int, Event>>* fired);
+  void Wake();
+  void DrainTasks();
+
+  Backend backend_;
+  int epoll_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::unordered_map<int, std::shared_ptr<Registration>> registrations_;
+
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace logirec::serve::net
+
+#endif  // LOGIREC_SERVE_NET_EVENT_LOOP_H_

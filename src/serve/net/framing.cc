@@ -1,0 +1,59 @@
+#include "serve/net/framing.h"
+
+#include "util/string_util.h"
+
+namespace logirec::serve::net {
+
+void LineFramer::Append(const char* data, size_t n) {
+  if (!status_.ok()) return;
+  buf_.append(data, n);
+}
+
+bool LineFramer::Next(std::string* line) {
+  if (!status_.ok()) return false;
+  const size_t eol = buf_.find('\n', start_);
+  if (eol == std::string::npos) {
+    // No complete line: enforce the length bound on the partial one.
+    if (buffered() > max_line_bytes_) {
+      status_ = Status::OutOfRange(StrFormat(
+          "line exceeds %zu bytes", max_line_bytes_));
+      buf_.clear();
+      start_ = 0;
+    }
+    return false;
+  }
+  size_t end = eol;
+  if (end > start_ && buf_[end - 1] == '\r') --end;
+  if (end - start_ > max_line_bytes_) {
+    status_ = Status::OutOfRange(StrFormat(
+        "line exceeds %zu bytes", max_line_bytes_));
+    buf_.clear();
+    start_ = 0;
+    return false;
+  }
+  line->assign(buf_, start_, end - start_);
+  start_ = eol + 1;
+  Compact();
+  return true;
+}
+
+bool LineFramer::FlushRemainder(std::string* line) {
+  if (!status_.ok() || buffered() == 0) return false;
+  size_t end = buf_.size();
+  if (end > start_ && buf_[end - 1] == '\r') --end;
+  line->assign(buf_, start_, end - start_);
+  buf_.clear();
+  start_ = 0;
+  return !line->empty();
+}
+
+void LineFramer::Compact() {
+  // Reclaim the consumed prefix once it dominates the buffer, keeping
+  // per-line work amortized O(length) even for long pipelined bursts.
+  if (start_ >= 4096 && start_ * 2 >= buf_.size()) {
+    buf_.erase(0, start_);
+    start_ = 0;
+  }
+}
+
+}  // namespace logirec::serve::net

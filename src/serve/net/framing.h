@@ -1,0 +1,57 @@
+#ifndef LOGIREC_SERVE_NET_FRAMING_H_
+#define LOGIREC_SERVE_NET_FRAMING_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace logirec::serve::net {
+
+/// Incremental, length-safe newline framing. Bytes arrive in arbitrary
+/// fragments (partial reads across event-loop wakeups, many pipelined
+/// lines in one read); Append() buffers them and Next() pops complete
+/// lines in order, without the trailing '\n' (a preceding '\r' is also
+/// stripped, so CRLF clients work).
+///
+/// Safety: an incomplete line longer than `max_line_bytes` trips a
+/// sticky kOutOfRange status — the transport should reply with an error
+/// and close, instead of buffering an attacker-sized "line" forever.
+/// Complete lines already buffered before the oversized one are still
+/// delivered first.
+class LineFramer {
+ public:
+  explicit LineFramer(size_t max_line_bytes = 1 << 16)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends raw bytes to the buffer. No-op once errored.
+  void Append(const char* data, size_t n);
+
+  /// Pops the next complete line into `*line`. Returns false when no
+  /// complete line is buffered (or the framer is errored with no earlier
+  /// complete lines left).
+  bool Next(std::string* line);
+
+  /// Pops the unterminated remainder as a final line (what getline does
+  /// for a last line without '\n'). Call at EOF. Returns false when the
+  /// buffer is empty or errored.
+  bool FlushRemainder(std::string* line);
+
+  /// OK, or the sticky kOutOfRange oversized-line error.
+  const Status& status() const { return status_; }
+
+  /// Bytes buffered but not yet returned as lines.
+  size_t buffered() const { return buf_.size() - start_; }
+
+ private:
+  void Compact();
+
+  const size_t max_line_bytes_;
+  std::string buf_;
+  size_t start_ = 0;  // consumed prefix of buf_
+  Status status_;
+};
+
+}  // namespace logirec::serve::net
+
+#endif  // LOGIREC_SERVE_NET_FRAMING_H_

@@ -1,0 +1,193 @@
+#include "serve/net/net_server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/string_util.h"
+
+namespace logirec::serve::net {
+
+namespace {
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+}  // namespace
+
+NetServer::NetServer(NetServerOptions options, SessionFactory factory)
+    : options_(std::move(options)),
+      factory_(std::move(factory)),
+      loop_(options_.backend) {}
+
+NetServer::~NetServer() {
+  connections_.clear();  // closes fds; loop_ outlives them
+  if (listener_ >= 0) ::close(listener_);
+}
+
+Status NetServer::Start() {
+  listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener_ < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listener_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listener_, options_.listen_backlog) < 0) {
+    ::close(listener_);
+    listener_ = -1;
+    return Status::IoError(
+        StrFormat("cannot listen on 127.0.0.1:%d", options_.port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listener_);
+  return loop_.Add(listener_, /*want_read=*/true, /*want_write=*/false,
+                   [this](const EventLoop::Event&) { HandleAccept(); });
+}
+
+void NetServer::Run() {
+  loop_.Run();
+  // Anything still open at shutdown is torn down here, on the loop
+  // thread's stack, before the loop object can go away.
+  connections_.clear();
+}
+
+void NetServer::Shutdown() {
+  loop_.Post([this] {
+    shutting_down_ = true;
+    CloseListener();
+    // Graceful drain: stop reading new input everywhere, but every reply
+    // already in flight is still delivered; each connection closes the
+    // moment nothing more is owed (idle ones close right here).
+    std::vector<uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (const auto& [id, entry] : connections_) ids.push_back(id);
+    for (const uint64_t id : ids) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      it->second.closing = true;
+      it->second.connection->StopReading();
+      FlushSession(id);
+    }
+    CheckDone();
+  });
+}
+
+void NetServer::HandleAccept() {
+  for (;;) {
+    if (listener_ < 0) return;
+    const int fd = ::accept(listener_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient error: wait for the next wake
+    }
+    const uint64_t id = next_id_++;
+    Entry entry;
+    entry.session = factory_();
+    entry.session->SetFlushHook([this, id] {
+      // Fires on worker threads when an async reply completes; bounce
+      // onto the loop thread, where all connection state lives.
+      loop_.Post([this, id] { FlushSession(id); });
+    });
+    Connection::Callbacks callbacks;
+    callbacks.on_line = [this, id](const std::string& line) {
+      OnLine(id, line);
+    };
+    callbacks.on_state_change = [this, id] { FlushSession(id); };
+    entry.connection = std::make_unique<Connection>(
+        fd, &loop_, options_.max_line_bytes, std::move(callbacks));
+    const Status st = entry.connection->Register();
+    if (!st.ok()) continue;  // Entry dtor closes the fd
+    connections_.emplace(id, std::move(entry));
+    const long accepted =
+        sessions_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.max_sessions > 0 && accepted >= options_.max_sessions) {
+      // Budget spent: close the listener now so the N+1th connect is
+      // refused by the kernel, not left dangling in the backlog.
+      CloseListener();
+      return;
+    }
+  }
+}
+
+void NetServer::OnLine(uint64_t id, const std::string& line) {
+  auto it = connections_.find(id);
+  if (it == connections_.end() || it->second.closing) return;
+  it->second.session->HandleLine(line);
+  FlushSession(id);
+}
+
+void NetServer::FlushSession(uint64_t id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Entry& entry = it->second;
+  Connection& conn = *entry.connection;
+  if (conn.closed()) return;
+  if (conn.broken()) {
+    CloseConnection(id);
+    return;
+  }
+  std::vector<std::string> replies;
+  bool close_after = false;
+  entry.session->DrainReady(&replies, &close_after);
+  for (const std::string& reply : replies) conn.SendLine(reply);
+  if (close_after && !entry.closing) {
+    entry.closing = true;
+    conn.StopReading();
+  }
+  if (conn.framing_error() && !entry.error_reported) {
+    entry.error_reported = true;
+    entry.closing = true;
+    conn.SendLine(entry.session->FramingErrorReply(conn.framer_status()));
+    conn.StopReading();
+  }
+  // Close once nothing is owed: the session has no replies in flight and
+  // the kernel has taken every outbound byte. An EOF from the peer only
+  // closes after in-flight replies flush — a half-closed client still
+  // gets its answers.
+  const bool done_serving = entry.closing || conn.eof_seen();
+  if (done_serving && !entry.session->HasPending() &&
+      !conn.write_pending()) {
+    CloseConnection(id);
+  }
+}
+
+void NetServer::CloseConnection(uint64_t id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  it->second.connection->Close();
+  // Defer the erase: we may be on this connection's callback stack.
+  loop_.Post([this, id] {
+    connections_.erase(id);
+    CheckDone();
+  });
+}
+
+void NetServer::CloseListener() {
+  if (listener_ < 0) return;
+  loop_.Remove(listener_);
+  ::close(listener_);
+  listener_ = -1;
+}
+
+void NetServer::CheckDone() {
+  if (listener_ >= 0) return;  // still accepting
+  // Live connections may exist but be closed-and-pending-erase.
+  for (const auto& [id, entry] : connections_) {
+    if (!entry.connection->closed()) return;
+  }
+  loop_.Stop();
+}
+
+}  // namespace logirec::serve::net

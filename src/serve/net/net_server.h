@@ -1,0 +1,130 @@
+#ifndef LOGIREC_SERVE_NET_NET_SERVER_H_
+#define LOGIREC_SERVE_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/net/connection.h"
+#include "serve/net/event_loop.h"
+#include "util/status.h"
+
+namespace logirec::serve::net {
+
+/// A per-connection line-protocol application. The transport feeds it
+/// complete lines and writes back whatever DrainReady() yields, in
+/// order. Implementations may complete replies asynchronously from other
+/// threads (e.g. a model server's workers): DrainReady()/HasPending()
+/// must be thread-safe, and the flush hook — which may fire on any
+/// thread — tells the transport new replies may be ready.
+class LineSession {
+ public:
+  virtual ~LineSession() = default;
+
+  /// Handles one request line (transport thread).
+  virtual void HandleLine(const std::string& line) = 0;
+
+  /// Pops the in-order prefix of ready replies. Sets *close_after when
+  /// the session wants the connection closed once these are flushed.
+  /// Thread-safe.
+  virtual void DrainReady(std::vector<std::string>* replies,
+                          bool* close_after) = 0;
+
+  /// True while replies are still owed (in flight or ready). Thread-safe.
+  virtual bool HasPending() const = 0;
+
+  /// Installs the new-replies notification hook (called before any
+  /// HandleLine). The hook may fire on any thread.
+  virtual void SetFlushHook(std::function<void()> hook) = 0;
+
+  /// The reply line sent before closing a connection whose input framing
+  /// failed (e.g. an oversized line).
+  virtual std::string FramingErrorReply(const Status& error) = 0;
+};
+
+using SessionFactory = std::function<std::shared_ptr<LineSession>()>;
+
+struct NetServerOptions {
+  int port = 0;              ///< 0 = kernel-assigned; see port()
+  /// Stop accepting after this many connections and return from Run()
+  /// once the accepted ones drain (0 = serve until Shutdown()). The
+  /// listener closes the moment the budget is spent, so "max sessions
+  /// reached" is deterministic, not dependent on accept ordering.
+  int max_sessions = 0;
+  size_t max_line_bytes = 1 << 16;
+  int listen_backlog = 64;
+  EventLoop::Backend backend = EventLoop::Backend::kAuto;
+};
+
+/// Concurrent line-protocol TCP server on 127.0.0.1: a non-blocking
+/// accept loop plus per-connection state machines on one event loop.
+/// Request handling is delegated to LineSession instances (one per
+/// connection) which may answer asynchronously; the server guarantees
+/// in-order reply delivery per connection and never drops an accepted
+/// request's reply short of the peer disconnecting.
+///
+/// Lifetime contract: asynchronous completions post back through this
+/// server's event loop, so anything that can still fire a session flush
+/// hook (e.g. serve::ModelServer workers) must be stopped/drained before
+/// this object is destroyed.
+class NetServer {
+ public:
+  NetServer(NetServerOptions options, SessionFactory factory);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1. After OK, port() is the bound port.
+  Status Start();
+
+  /// Serves until Shutdown() or the max-sessions budget drains. Call
+  /// from exactly one thread, after Start().
+  void Run();
+
+  /// Graceful stop from any thread: closes the listener; Run() returns
+  /// once every live connection has closed. Idempotent.
+  void Shutdown();
+
+  int port() const { return port_; }
+  long sessions_accepted() const {
+    return sessions_accepted_.load(std::memory_order_relaxed);
+  }
+  EventLoop::Backend backend() const { return loop_.backend(); }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Connection> connection;
+    std::shared_ptr<LineSession> session;
+    bool closing = false;        // reply flushed → close when drained
+    bool error_reported = false; // framing-error reply already queued
+  };
+
+  void HandleAccept();
+  void OnLine(uint64_t id, const std::string& line);
+  /// Drains ready replies to the socket and advances the connection
+  /// state machine (framing errors, EOF, quit, close-when-drained).
+  void FlushSession(uint64_t id);
+  void CloseConnection(uint64_t id);
+  void CloseListener();
+  /// Stops the loop once no listener and no connections remain.
+  void CheckDone();
+
+  const NetServerOptions options_;
+  const SessionFactory factory_;
+  EventLoop loop_;
+  int listener_ = -1;
+  int port_ = 0;
+  bool shutting_down_ = false;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, Entry> connections_;
+  std::atomic<long> sessions_accepted_{0};
+};
+
+}  // namespace logirec::serve::net
+
+#endif  // LOGIREC_SERVE_NET_NET_SERVER_H_

@@ -68,12 +68,16 @@ std::string FormatRanking(int user, uint64_t generation,
 
 std::string FormatStats(const ServerStats& stats) {
   return StrFormat(
-      "stats requests=%ld failed=%ld batches=%ld swaps=%ld "
-      "max_queue=%ld max_batch=%ld p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f",
-      stats.requests_completed, stats.requests_failed,
+      "stats requests=%ld failed=%ld shed=%ld batches=%ld swaps=%ld "
+      "max_queue=%ld max_batch=%ld latency_n=%ld p50_ms=%.3f p95_ms=%.3f "
+      "p99_ms=%.3f max_ms=%.3f mean_ms=%.3f",
+      stats.requests_completed, stats.requests_failed, stats.requests_shed,
       stats.batches_dispatched, stats.swaps, stats.max_queue_depth,
-      stats.max_batch_size, stats.p50_ms, stats.p95_ms, stats.p99_ms);
+      stats.max_batch_size, stats.latency_count, stats.p50_ms, stats.p95_ms,
+      stats.p99_ms, stats.max_ms, stats.mean_ms);
 }
+
+std::string FormatBusy() { return "!busy"; }
 
 std::string FormatError(const Status& status) {
   return StrFormat("error %s: %s", StatusCodeToString(status.code()),

@@ -20,7 +20,12 @@ namespace logirec::serve {
 ///   !quit             close this session
 ///
 /// Responses are single lines: "ok user=<u> gen=<g> items=<id,id,...>",
-/// "stats ...", "bye", or "error <code>: <message>".
+/// "stats ...", "bye", or "error <code>: <message>". Under overload the
+/// server answers a rank request with "!busy" instead of queueing it —
+/// the backpressure contract: every accepted line gets exactly one reply
+/// in request order, and an overloaded server says so immediately rather
+/// than letting latency grow without bound. Clients should back off and
+/// retry on "!busy".
 struct Request {
   enum class Kind { kRank, kSwap, kStats, kQuit };
   Kind kind = Kind::kRank;
@@ -38,6 +43,8 @@ std::string FormatRanking(int user, uint64_t generation,
                           const std::vector<int>& items);
 std::string FormatStats(const ServerStats& stats);
 std::string FormatError(const Status& status);
+/// The shed reply for a rank request the admission queue rejected.
+std::string FormatBusy();
 
 }  // namespace logirec::serve
 

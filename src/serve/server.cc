@@ -11,21 +11,25 @@
 namespace logirec::serve {
 
 namespace {
-constexpr size_t kLatencyRingSize = 4096;
-
-double Percentile(std::vector<double>* sorted, double p) {
-  if (sorted->empty()) return 0.0;
-  const size_t at = static_cast<size_t>(p * (sorted->size() - 1) + 0.5);
-  return (*sorted)[std::min(at, sorted->size() - 1)];
+void AtomicMaxLong(std::atomic<long>* target, long value) {
+  long cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
 }
 }  // namespace
 
-ModelServer::ModelServer(ServerOptions options) : options_(options) {
-  scratch_.resize(
+ModelServer::ModelServer(ServerOptions options)
+    : options_(options), paused_(options.start_paused) {
+  const int workers =
       ResolveWorkerCount(options_.num_threads,
-                         std::max(options_.max_batch, 1)));
-  latency_ring_.resize(kLatencyRingSize, 0.0);
-  dispatcher_ = std::thread([this] { DispatchLoop(); });
+                         std::max(options_.max_batch, 1));
+  scratch_.resize(workers);
+  workers_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
 }
 
 ModelServer::~ModelServer() { Stop(); }
@@ -47,8 +51,8 @@ std::shared_ptr<const ServableModel> ModelServer::Current() const {
 
 Status ModelServer::Rank(int user, int k, std::vector<int>* out) {
   // The synchronous path: canonical (exact) scores and per-call buffers.
-  // Submit() serves the same items through the batched ranking-surrogate
-  // path; the throughput bench measures the gap between the two.
+  // Submit()/TrySubmit() serve the same items through the batched
+  // ranking-surrogate path; the throughput bench measures the gap.
   const std::shared_ptr<const ServableModel> model = Current();
   if (model == nullptr) {
     requests_failed_.fetch_add(1, std::memory_order_relaxed);
@@ -71,37 +75,76 @@ Status ModelServer::Rank(int user, int k, std::vector<int>* out) {
 }
 
 std::future<RankResponse> ModelServer::Submit(int user, int k) {
+  auto promise = std::make_shared<std::promise<RankResponse>>();
+  std::future<RankResponse> future = promise->get_future();
   Pending pending;
   pending.user = user;
   pending.k = k;
+  pending.done = [promise](RankResponse response) {
+    promise->set_value(std::move(response));
+  };
   pending.enqueued = std::chrono::steady_clock::now();
-  std::future<RankResponse> future = pending.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return stopping_ ||
+             static_cast<int>(queue_.size()) < options_.max_queue;
+    });
     if (stopping_) {
       RankResponse response;
       response.status =
           Status::FailedPrecondition("server is shutting down");
-      pending.promise.set_value(std::move(response));
+      lock.unlock();
+      promise->set_value(std::move(response));
       return future;
     }
     queue_.push_back(std::move(pending));
-    const long depth = static_cast<long>(queue_.size());
-    if (depth > max_queue_depth_.load(std::memory_order_relaxed)) {
-      max_queue_depth_.store(depth, std::memory_order_relaxed);
-    }
+    AtomicMaxLong(&max_queue_depth_, static_cast<long>(queue_.size()));
   }
   cv_.notify_one();
   return future;
 }
 
-void ModelServer::DispatchLoop() {
+Status ModelServer::TrySubmit(int user, int k, RankCallback done) {
+  Pending pending;
+  pending.user = user;
+  pending.k = k;
+  pending.done = std::move(done);
+  pending.enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("server is shutting down");
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+      requests_shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(StrFormat(
+          "admission queue full (%d pending)", options_.max_queue));
+    }
+    queue_.push_back(std::move(pending));
+    AtomicMaxLong(&max_queue_depth_, static_cast<long>(queue_.size()));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+void ModelServer::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void ModelServer::WorkerLoop(int worker) {
   std::vector<Pending> batch;
   for (;;) {
     batch.clear();
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
       if (queue_.empty()) return;  // stopping_ && drained
       const int take =
           std::min<int>(options_.max_batch, static_cast<int>(queue_.size()));
@@ -110,34 +153,34 @@ void ModelServer::DispatchLoop() {
         queue_.pop_front();
       }
     }
-    ServeBatch(&batch);
+    // Freed queue space: wake blocked Submit() callers (and peer workers,
+    // if requests remain).
+    space_cv_.notify_all();
+    ServeBatch(&batch, worker);
   }
 }
 
-void ModelServer::ServeBatch(std::vector<Pending>* batch) {
+void ModelServer::ServeBatch(std::vector<Pending>* batch, int worker) {
   const int n = static_cast<int>(batch->size());
   batches_dispatched_.fetch_add(1, std::memory_order_relaxed);
-  if (n > max_batch_size_.load(std::memory_order_relaxed)) {
-    max_batch_size_.store(n, std::memory_order_relaxed);
-  }
+  AtomicMaxLong(&max_batch_size_, n);
   // One generation acquire for the whole micro-batch; a concurrent Swap()
   // retires the old generation only after these requests release it.
   const std::shared_ptr<const ServableModel> model = Current();
-  if (model == nullptr) {
-    for (Pending& p : *batch) {
-      RankResponse response;
+  for (Pending& p : *batch) {
+    RankResponse response;
+    if (model == nullptr) {
       response.status =
           Status::FailedPrecondition("no model has been swapped in");
       requests_failed_.fetch_add(1, std::memory_order_relaxed);
-      p.promise.set_value(std::move(response));
+    } else {
+      response = RankOn(*model, p.user, p.k, &scratch_[worker]);
     }
-    return;
+    latency_.Record(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - p.enqueued)
+                        .count());
+    p.done(std::move(response));
   }
-  ParallelForWorker(0, n, [&](int worker, int i) {
-    Pending& p = (*batch)[i];
-    p.promise.set_value(RankOn(*model, p.user, p.k, &scratch_[worker]));
-    RecordLatency(p.enqueued);
-  }, options_.num_threads);
 }
 
 RankResponse ModelServer::RankOn(const ServableModel& model, int user,
@@ -167,49 +210,40 @@ RankResponse ModelServer::RankOn(const ServableModel& model, int user,
   return response;
 }
 
-void ModelServer::RecordLatency(
-    std::chrono::steady_clock::time_point enqueued) {
-  const double ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - enqueued)
-          .count();
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  latency_ring_[latency_next_] = ms;
-  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
-  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
-}
-
 ServerStats ModelServer::Stats() const {
   ServerStats stats;
   stats.requests_completed =
       requests_completed_.load(std::memory_order_relaxed);
   stats.requests_failed = requests_failed_.load(std::memory_order_relaxed);
+  stats.requests_shed = requests_shed_.load(std::memory_order_relaxed);
   stats.batches_dispatched =
       batches_dispatched_.load(std::memory_order_relaxed);
   stats.swaps = swaps_.load(std::memory_order_relaxed);
   stats.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   stats.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
-  std::vector<double> window;
-  {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    window.assign(latency_ring_.begin(),
-                  latency_ring_.begin() + latency_count_);
-  }
-  std::sort(window.begin(), window.end());
-  stats.p50_ms = Percentile(&window, 0.50);
-  stats.p95_ms = Percentile(&window, 0.95);
-  stats.p99_ms = Percentile(&window, 0.99);
+  const LatencyHistogram::Snapshot latency = latency_.Take();
+  stats.latency_count = latency.count;
+  stats.p50_ms = latency.p50_ms;
+  stats.p95_ms = latency.p95_ms;
+  stats.p99_ms = latency.p99_ms;
+  stats.max_ms = latency.max_ms;
+  stats.mean_ms = latency.mean_ms;
   return stats;
 }
 
 void ModelServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && !dispatcher_.joinable()) return;
+    if (stopping_ && workers_.empty()) return;
     stopping_ = true;
+    paused_ = false;  // a paused server still drains on shutdown
   }
   cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  space_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 }
 
 }  // namespace logirec::serve

@@ -6,12 +6,14 @@
 #include <cstdint>
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "serve/latency_histogram.h"
 #include "serve/servable.h"
 #include "util/status.h"
 
@@ -24,30 +26,50 @@ struct RankResponse {
   uint64_t generation = 0;   ///< model generation that served the request
 };
 
+/// Completion callback for TrySubmit(). Invoked exactly once, on a worker
+/// thread, after the request is scored (or failed). Implementations must
+/// be thread-safe and fast — they run on the serving hot path.
+using RankCallback = std::function<void(RankResponse)>;
+
 struct ServerOptions {
   /// Upper bound on requests per dispatched micro-batch.
   int max_batch = 32;
-  /// Worker threads for batch scoring (0 = hardware concurrency).
+  /// Worker threads draining the admission queue (0 = hardware
+  /// concurrency). Each worker serves whole micro-batches with its own
+  /// reused scratch, so workers are also the scoring parallelism.
   int num_threads = 0;
   /// Default cutoff when a request asks for k <= 0.
   int default_k = 10;
+  /// Admission-queue capacity. TrySubmit() sheds (kUnavailable) beyond
+  /// this depth; the blocking Submit() waits for space instead. The bound
+  /// is what keeps an overloaded server's latency finite: work either
+  /// starts within max_queue requests or is rejected immediately.
+  int max_queue = 1024;
+  /// Test hook: start with the workers parked until Resume() is called,
+  /// so tests can deterministically fill the admission queue.
+  bool start_paused = false;
 };
 
 /// A point-in-time copy of the server's counters.
 struct ServerStats {
   long requests_completed = 0;  ///< sync + async
   long requests_failed = 0;
+  long requests_shed = 0;     ///< TrySubmit rejections (queue full)
   long batches_dispatched = 0;
   long swaps = 0;
-  long max_queue_depth = 0;   ///< high-water mark of the async queue
+  long max_queue_depth = 0;   ///< high-water mark of the admission queue
   long max_batch_size = 0;    ///< largest micro-batch dispatched
-  // Latency of recent async requests, enqueue-to-completion.
+  // Async request latency, enqueue-to-completion, over the whole lifetime
+  // (log-bucketed histogram; see serve/latency_histogram.h).
+  long latency_count = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_ms = 0.0;
 };
 
-/// Hot-swappable model server with a request-batching front.
+/// Hot-swappable model server with a bounded, multi-worker batching front.
 ///
 /// The active ServableModel generation sits behind one shared_ptr
 /// guarded by a tiny mutex held only for the pointer copy (libstdc++'s
@@ -57,14 +79,21 @@ struct ServerStats {
 /// generation they acquired — zero downtime, and the scoring work
 /// itself never holds a lock.
 ///
-/// Two serving paths share the bit-identical Top-K contract:
+/// Three entry points share the bit-identical Top-K contract:
 ///  - Rank() scores synchronously on the caller's thread with exact
-///    (canonical) scores and per-call buffers — the simple path.
-///  - Submit() enqueues; a dispatcher thread drains the queue into
-///    micro-batches (<= max_batch) scored through the ranking-surrogate
-///    kernels with per-worker reused buffers and one generation acquire
-///    per batch. ScoreMode::kRanking preserves Top-K order and ties, so
-///    both paths return identical item lists.
+///    (canonical) scores and per-call buffers — the oracle path.
+///  - Submit() enqueues into the bounded admission queue, blocking for
+///    space when it is full (cooperative in-process clients).
+///  - TrySubmit() never blocks: when the queue is at max_queue it sheds
+///    with kUnavailable so a network front end can answer `!busy`
+///    immediately instead of queueing unboundedly. Accepted requests are
+///    never silently dropped — the callback always fires, even on Stop().
+///
+/// N worker threads drain the queue in micro-batches (<= max_batch),
+/// scoring through the ranking-surrogate kernels with per-worker reused
+/// buffers and one generation acquire per batch. ScoreMode::kRanking
+/// preserves Top-K order and ties, so every path returns identical item
+/// lists regardless of worker count or batch boundaries.
 class ModelServer {
  public:
   explicit ModelServer(ServerOptions options = {});
@@ -83,21 +112,32 @@ class ModelServer {
   /// Synchronous ranking on the caller's thread (exact scores).
   Status Rank(int user, int k, std::vector<int>* out);
 
-  /// Enqueues a request for batched dispatch. The future is fulfilled by
-  /// the dispatcher; after Stop() new submissions fail immediately.
+  /// Enqueues a request for batched dispatch, blocking while the
+  /// admission queue is full. The future is fulfilled by a worker; after
+  /// Stop() new submissions fail immediately.
   std::future<RankResponse> Submit(int user, int k);
+
+  /// Non-blocking admission: enqueues and returns OK (the callback fires
+  /// later, on a worker thread), or rejects immediately with kUnavailable
+  /// when the queue is at capacity (`done` is not invoked) or
+  /// kFailedPrecondition after Stop().
+  Status TrySubmit(int user, int k, RankCallback done);
+
+  /// Releases workers parked by ServerOptions::start_paused. No-op
+  /// otherwise.
+  void Resume();
 
   ServerStats Stats() const;
 
-  /// Drains the queue (pending requests complete) and joins the
-  /// dispatcher. Idempotent; the destructor calls it.
+  /// Drains the queue (pending requests complete) and joins the workers.
+  /// Idempotent; the destructor calls it.
   void Stop();
 
  private:
   struct Pending {
     int user = 0;
     int k = 0;
-    std::promise<RankResponse> promise;
+    RankCallback done;
     std::chrono::steady_clock::time_point enqueued;
   };
   /// Per-worker scoring scratch, reused across batches: the score buffer
@@ -108,11 +148,10 @@ class ModelServer {
     std::vector<int> ranked;
   };
 
-  void DispatchLoop();
-  void ServeBatch(std::vector<Pending>* batch);
+  void WorkerLoop(int worker);
+  void ServeBatch(std::vector<Pending>* batch, int worker);
   RankResponse RankOn(const ServableModel& model, int user, int k,
                       WorkerScratch* scratch);
-  void RecordLatency(std::chrono::steady_clock::time_point enqueued);
 
   const ServerOptions options_;
 
@@ -121,25 +160,25 @@ class ModelServer {
   std::shared_ptr<const ServableModel> current_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        // queue became non-empty / stopping
+  std::condition_variable space_cv_;  // queue has room (blocking Submit)
   std::deque<Pending> queue_;
   bool stopping_ = false;
-  std::thread dispatcher_;
+  bool paused_ = false;
+  std::vector<std::thread> workers_;
   std::vector<WorkerScratch> scratch_;
 
   // Counters (atomics: bumped from worker threads under TSan).
   std::atomic<long> requests_completed_{0};
   std::atomic<long> requests_failed_{0};
+  std::atomic<long> requests_shed_{0};
   std::atomic<long> batches_dispatched_{0};
   std::atomic<long> swaps_{0};
   std::atomic<long> max_queue_depth_{0};
   std::atomic<long> max_batch_size_{0};
 
-  // Ring of recent async latencies (ms) for the percentile telemetry.
-  mutable std::mutex latency_mu_;
-  std::vector<double> latency_ring_;
-  size_t latency_next_ = 0;
-  size_t latency_count_ = 0;
+  // Enqueue-to-completion latency of async requests.
+  LatencyHistogram latency_;
 };
 
 }  // namespace logirec::serve

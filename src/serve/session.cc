@@ -1,0 +1,144 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "serve/servable.h"
+#include "util/string_util.h"
+
+namespace logirec::serve {
+
+void ProtocolSession::SetFlushHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_hook_ = std::move(hook);
+}
+
+std::string ProtocolSession::FramingErrorReply(const Status& error) {
+  return FormatError(error);
+}
+
+uint64_t ProtocolSession::PushSlot(bool ready, bool close_after,
+                                   std::string text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot slot;
+  slot.seq = next_seq_++;
+  slot.ready = ready;
+  slot.close_after = close_after;
+  slot.text = std::move(text);
+  slots_.push_back(std::move(slot));
+  return slots_.back().seq;
+}
+
+void ProtocolSession::CompleteSlot(uint64_t seq, std::string text) {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Slot& slot : slots_) {
+      if (slot.seq != seq) continue;
+      slot.text = std::move(text);
+      slot.ready = true;
+      break;
+    }
+    // Not found: the slot was discarded by a pipelined !quit — the
+    // client renounced the reply; the completed work is simply dropped.
+    hook = flush_hook_;
+  }
+  if (hook) hook();
+}
+
+void ProtocolSession::HandleLine(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (quit_seen_) return;
+  }
+  auto request = ParseRequestLine(line);
+  if (!request.ok()) {
+    // Blank lines and comments are skippable; anything else earns an
+    // error reply on an intact connection — malformed input must never
+    // silently drop the session.
+    if (request.status().code() == StatusCode::kNotFound) return;
+    PushSlot(/*ready=*/true, /*close_after=*/false,
+             FormatError(request.status()));
+    return;
+  }
+  switch (request->kind) {
+    case Request::Kind::kQuit: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        quit_seen_ = true;
+      }
+      PushSlot(/*ready=*/true, /*close_after=*/true, "bye");
+      return;
+    }
+    case Request::Kind::kStats:
+      PushSlot(/*ready=*/true, /*close_after=*/false,
+               FormatStats(context_->server->Stats()));
+      return;
+    case Request::Kind::kSwap: {
+      // Loaded on the calling thread (the transport's loop): a swap
+      // stalls request admission for the load duration but never fails
+      // in-flight work — workers hold the generation they acquired.
+      const uint64_t generation =
+          context_->generation->fetch_add(1, std::memory_order_relaxed) + 1;
+      auto servable = ServableModel::FromSnapshot(
+          request->path, context_->factory, context_->split, generation);
+      if (!servable.ok()) {
+        PushSlot(/*ready=*/true, /*close_after=*/false,
+                 FormatError(servable.status()));
+        return;
+      }
+      context_->server->Swap(*servable);
+      PushSlot(/*ready=*/true, /*close_after=*/false,
+               StrFormat("ok swapped gen=%llu model=%s",
+                         static_cast<unsigned long long>(generation),
+                         (*servable)->model_name().c_str()));
+      return;
+    }
+    case Request::Kind::kRank:
+      HandleRank(*request);
+      return;
+  }
+}
+
+void ProtocolSession::HandleRank(const Request& request) {
+  const uint64_t seq =
+      PushSlot(/*ready=*/false, /*close_after=*/false, std::string());
+  auto self = shared_from_this();
+  const int user = request.user;
+  const Status admitted = context_->server->TrySubmit(
+      request.user, request.k, [self, seq, user](RankResponse response) {
+        self->CompleteSlot(
+            seq, response.status.ok()
+                     ? FormatRanking(user, response.generation,
+                                     response.items)
+                     : FormatError(response.status));
+      });
+  if (admitted.ok()) return;
+  // Shed (queue full) or shutting down: the slot answers immediately —
+  // `!busy` is the backpressure contract, not an error.
+  CompleteSlot(seq, admitted.code() == StatusCode::kUnavailable
+                        ? FormatBusy()
+                        : FormatError(admitted));
+}
+
+void ProtocolSession::DrainReady(std::vector<std::string>* replies,
+                                 bool* close_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!slots_.empty() && slots_.front().ready) {
+    replies->push_back(std::move(slots_.front().text));
+    const bool close = slots_.front().close_after;
+    slots_.pop_front();
+    if (close) {
+      *close_after = true;
+      // Anything pipelined after !quit was never promised a reply.
+      slots_.clear();
+      return;
+    }
+  }
+}
+
+bool ProtocolSession::HasPending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !slots_.empty();
+}
+
+}  // namespace logirec::serve

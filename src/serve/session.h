@@ -1,0 +1,85 @@
+#ifndef LOGIREC_SERVE_SESSION_H_
+#define LOGIREC_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "data/dataset.h"
+#include "serve/net/net_server.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace logirec::serve {
+
+/// One client's view of the newline protocol, shared by the stdio REPL
+/// and every TCP connection. The session owns the reply-ordering
+/// contract for pipelined input: every non-skippable request line gets
+/// exactly one reply line, delivered in request order, even when rank
+/// requests complete asynchronously on model-server workers while
+/// `!stats`/`!swap` answer synchronously in between.
+///
+/// Mechanics: each request allocates a slot in a FIFO; synchronous
+/// requests fill their slot immediately, rank requests fill it from the
+/// completion callback (any thread), and DrainReady() releases only the
+/// ready prefix. A rank the server sheds (admission queue full) fills
+/// its slot with the protocol-level `!busy` reply instead — the client
+/// hears about overload immediately, in order, and can back off.
+class ProtocolSession
+    : public net::LineSession,
+      public std::enable_shared_from_this<ProtocolSession> {
+ public:
+  /// State shared by all sessions of one serving process. `generation`
+  /// hands out unique, increasing generation numbers to concurrent
+  /// `!swap`s.
+  struct Context {
+    ModelServer* server = nullptr;
+    const data::Split* split = nullptr;  // null = no seen-item masking
+    std::atomic<uint64_t>* generation = nullptr;
+    core::ModelFactory factory;
+  };
+
+  explicit ProtocolSession(std::shared_ptr<const Context> context)
+      : context_(std::move(context)) {}
+
+  // net::LineSession:
+  void HandleLine(const std::string& line) override;
+  void DrainReady(std::vector<std::string>* replies,
+                  bool* close_after) override;
+  bool HasPending() const override;
+  void SetFlushHook(std::function<void()> hook) override;
+  std::string FramingErrorReply(const Status& error) override;
+
+ private:
+  struct Slot {
+    uint64_t seq = 0;
+    bool ready = false;
+    bool close_after = false;
+    std::string text;
+  };
+
+  /// Appends a slot; returns its sequence number. Caller holds no lock.
+  uint64_t PushSlot(bool ready, bool close_after, std::string text);
+  /// Fills a pending slot and fires the flush hook. Tolerates a slot
+  /// discarded by a racing `!quit` (the reply is simply dropped).
+  void CompleteSlot(uint64_t seq, std::string text);
+  void HandleRank(const Request& request);
+
+  const std::shared_ptr<const Context> context_;
+
+  mutable std::mutex mu_;
+  std::deque<Slot> slots_;
+  uint64_t next_seq_ = 1;
+  bool quit_seen_ = false;  // ignore pipelined input after !quit
+  std::function<void()> flush_hook_;
+};
+
+}  // namespace logirec::serve
+
+#endif  // LOGIREC_SERVE_SESSION_H_

@@ -1,0 +1,206 @@
+// EventLoop: identical semantics on both backends — readiness dispatch
+// over pipes, interest-set updates, Remove-inside-callback safety, and
+// thread-safe Post()/Stop() via the self-pipe.
+
+#include "serve/net/event_loop.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace logirec::serve::net {
+namespace {
+
+void MakeNonBlocking(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+}
+
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+  Pipe() {
+    int fds[2];
+    EXPECT_EQ(::pipe(fds), 0);
+    read_fd = fds[0];
+    write_fd = fds[1];
+    MakeNonBlocking(read_fd);
+    MakeNonBlocking(write_fd);
+  }
+  ~Pipe() {
+    if (read_fd >= 0) ::close(read_fd);
+    if (write_fd >= 0) ::close(write_fd);
+  }
+};
+
+class EventLoopTest
+    : public ::testing::TestWithParam<EventLoop::Backend> {};
+
+TEST_P(EventLoopTest, BackendResolves) {
+  EventLoop loop(GetParam());
+  EXPECT_NE(loop.backend(), EventLoop::Backend::kAuto);
+#if defined(__linux__)
+  if (GetParam() == EventLoop::Backend::kEpoll) {
+    EXPECT_EQ(loop.backend(), EventLoop::Backend::kEpoll);
+  }
+#endif
+  if (GetParam() == EventLoop::Backend::kPoll) {
+    EXPECT_EQ(loop.backend(), EventLoop::Backend::kPoll);
+  }
+}
+
+TEST_P(EventLoopTest, DispatchesReadableAndStops) {
+  EventLoop loop(GetParam());
+  Pipe pipe;
+  std::string received;
+  ASSERT_TRUE(loop.Add(pipe.read_fd, /*want_read=*/true,
+                       /*want_write=*/false,
+                       [&](const EventLoop::Event& event) {
+                         ASSERT_TRUE(event.readable);
+                         char buf[64];
+                         ssize_t n;
+                         while ((n = ::read(pipe.read_fd, buf, sizeof buf)) >
+                                0) {
+                           received.append(buf, n);
+                         }
+                         if (received.size() >= 5) loop.Stop();
+                       })
+                  .ok());
+  ASSERT_EQ(::write(pipe.write_fd, "hello", 5), 5);
+  loop.Run();
+  EXPECT_EQ(received, "hello");
+}
+
+TEST_P(EventLoopTest, WriteInterestFiresOnlyWhenArmed) {
+  // An empty pipe is immediately writable, so a want_write registration
+  // fires at once; after Update() drops the interest the loop goes
+  // quiet (we prove it by stopping from a posted task, not the fd).
+  EventLoop loop(GetParam());
+  Pipe pipe;
+  int writable_fires = 0;
+  ASSERT_TRUE(loop.Add(pipe.write_fd, /*want_read=*/false,
+                       /*want_write=*/true,
+                       [&](const EventLoop::Event& event) {
+                         EXPECT_TRUE(event.writable);
+                         ++writable_fires;
+                         ASSERT_TRUE(loop.Update(pipe.write_fd,
+                                                 /*want_read=*/false,
+                                                 /*want_write=*/false)
+                                         .ok());
+                         loop.Post([&] { loop.Stop(); });
+                       })
+                  .ok());
+  loop.Run();
+  EXPECT_EQ(writable_fires, 1);
+}
+
+TEST_P(EventLoopTest, RemoveInsideCallbackIsSafe) {
+  // Two fds fire in the same wake; the first callback removes BOTH
+  // registrations. The loop must not dispatch to the dangling one.
+  EventLoop loop(GetParam());
+  Pipe a;
+  Pipe b;
+  std::atomic<int> calls{0};
+  auto remove_both = [&](const EventLoop::Event&) {
+    calls.fetch_add(1);
+    loop.Remove(a.read_fd);
+    loop.Remove(b.read_fd);
+    loop.Stop();
+  };
+  ASSERT_TRUE(loop.Add(a.read_fd, true, false, remove_both).ok());
+  ASSERT_TRUE(loop.Add(b.read_fd, true, false, remove_both).ok());
+  ASSERT_EQ(::write(a.write_fd, "x", 1), 1);
+  ASSERT_EQ(::write(b.write_fd, "x", 1), 1);
+  loop.Run();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_P(EventLoopTest, DuplicateAddFails) {
+  EventLoop loop(GetParam());
+  Pipe pipe;
+  ASSERT_TRUE(
+      loop.Add(pipe.read_fd, true, false, [](const EventLoop::Event&) {})
+          .ok());
+  EXPECT_EQ(loop.Add(pipe.read_fd, true, false,
+                     [](const EventLoop::Event&) {})
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(loop.Update(12345, true, false).code(), StatusCode::kNotFound);
+}
+
+TEST_P(EventLoopTest, PostFromOtherThreadsRunsOnLoopThread) {
+  EventLoop loop(GetParam());
+  const std::thread::id loop_thread = std::this_thread::get_id();
+  std::atomic<int> ran{0};
+  constexpr int kPosters = 4;
+  constexpr int kTasksPerPoster = 100;
+  std::vector<std::thread> posters;
+  for (int t = 0; t < kPosters; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < kTasksPerPoster; ++i) {
+        loop.Post([&, loop_thread] {
+          EXPECT_EQ(std::this_thread::get_id(), loop_thread);
+          if (ran.fetch_add(1) + 1 == kPosters * kTasksPerPoster) {
+            loop.Stop();
+          }
+        });
+      }
+    });
+  }
+  loop.Run();  // this thread is the loop thread
+  for (auto& poster : posters) poster.join();
+  EXPECT_EQ(ran.load(), kPosters * kTasksPerPoster);
+}
+
+TEST_P(EventLoopTest, StopFromAnotherThreadWakesABlockedLoop) {
+  EventLoop loop(GetParam());
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.Stop();
+  });
+  loop.Run();  // no fds, no tasks: blocks until the cross-thread Stop
+  stopper.join();
+  SUCCEED();
+}
+
+TEST_P(EventLoopTest, HangupIsReportedReadable) {
+  // Peer closes its end: the loop must surface readability so the
+  // owner's read() observes EOF (how connections learn about FIN).
+  EventLoop loop(GetParam());
+  Pipe pipe;
+  bool saw_eof = false;
+  ASSERT_TRUE(loop.Add(pipe.read_fd, true, false,
+                       [&](const EventLoop::Event& event) {
+                         ASSERT_TRUE(event.readable);
+                         char buf[8];
+                         if (::read(pipe.read_fd, buf, sizeof buf) == 0) {
+                           saw_eof = true;
+                           loop.Remove(pipe.read_fd);
+                           loop.Stop();
+                         }
+                       })
+                  .ok());
+  ::close(pipe.write_fd);
+  pipe.write_fd = -1;
+  loop.Run();
+  EXPECT_TRUE(saw_eof);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EventLoopTest,
+#if defined(__linux__)
+    ::testing::Values(EventLoop::Backend::kEpoll, EventLoop::Backend::kPoll),
+#else
+    ::testing::Values(EventLoop::Backend::kPoll),
+#endif
+    [](const ::testing::TestParamInfo<EventLoop::Backend>& info) {
+      return info.param == EventLoop::Backend::kEpoll ? "Epoll" : "Poll";
+    });
+
+}  // namespace
+}  // namespace logirec::serve::net

@@ -1,0 +1,149 @@
+// LineFramer: incremental newline framing under adversarial
+// fragmentation — byte-at-a-time partial reads, many pipelined lines in
+// one append, CRLF peers, oversized and unterminated lines.
+
+#include "serve/net/framing.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace logirec::serve::net {
+namespace {
+
+std::vector<std::string> DrainAll(LineFramer* framer) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (framer->Next(&line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(LineFramerTest, SingleLine) {
+  LineFramer framer;
+  const std::string data = "3 10\n";
+  framer.Append(data.data(), data.size());
+  std::string line;
+  ASSERT_TRUE(framer.Next(&line));
+  EXPECT_EQ(line, "3 10");
+  EXPECT_FALSE(framer.Next(&line));
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(LineFramerTest, PartialReadsAcrossWakeups) {
+  // The payload arrives one byte per append — the worst case for a
+  // non-blocking read loop — and still frames exactly once per line.
+  LineFramer framer;
+  const std::string data = "17 5\n!stats\n42\n";
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : data) {
+    framer.Append(&c, 1);
+    while (framer.Next(&line)) lines.push_back(line);
+  }
+  EXPECT_EQ(lines, (std::vector<std::string>{"17 5", "!stats", "42"}));
+}
+
+TEST(LineFramerTest, PipelinedBurstInOneAppend) {
+  LineFramer framer;
+  std::string data;
+  for (int i = 0; i < 100; ++i) data += std::to_string(i) + " 10\n";
+  framer.Append(data.data(), data.size());
+  const std::vector<std::string> lines = DrainAll(&framer);
+  ASSERT_EQ(lines.size(), 100u);
+  EXPECT_EQ(lines[0], "0 10");
+  EXPECT_EQ(lines[99], "99 10");
+}
+
+TEST(LineFramerTest, StripsCarriageReturn) {
+  LineFramer framer;
+  const std::string data = "7 3\r\n!quit\r\n";
+  framer.Append(data.data(), data.size());
+  EXPECT_EQ(DrainAll(&framer),
+            (std::vector<std::string>{"7 3", "!quit"}));
+}
+
+TEST(LineFramerTest, EmptyLinesSurvive) {
+  LineFramer framer;
+  const std::string data = "\n\n1\n";
+  framer.Append(data.data(), data.size());
+  EXPECT_EQ(DrainAll(&framer), (std::vector<std::string>{"", "", "1"}));
+}
+
+TEST(LineFramerTest, OversizedIncompleteLineTripsStickyError) {
+  LineFramer framer(/*max_line_bytes=*/16);
+  const std::string data(17, 'x');  // no terminator, beyond the bound
+  framer.Append(data.data(), data.size());
+  std::string line;
+  EXPECT_FALSE(framer.Next(&line));
+  EXPECT_EQ(framer.status().code(), StatusCode::kOutOfRange);
+  // Sticky: later appends are ignored, nothing is ever framed again.
+  const std::string more = "1 2\n";
+  framer.Append(more.data(), more.size());
+  EXPECT_FALSE(framer.Next(&line));
+  EXPECT_EQ(framer.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(LineFramerTest, OversizedTerminatedLineAlsoErrors) {
+  LineFramer framer(/*max_line_bytes=*/8);
+  const std::string data = "123456789\n";  // 9 > 8, terminated
+  framer.Append(data.data(), data.size());
+  std::string line;
+  EXPECT_FALSE(framer.Next(&line));
+  EXPECT_EQ(framer.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(LineFramerTest, ExactlyMaxBytesIsFine) {
+  LineFramer framer(/*max_line_bytes=*/4);
+  const std::string data = "1234\n";
+  framer.Append(data.data(), data.size());
+  std::string line;
+  ASSERT_TRUE(framer.Next(&line));
+  EXPECT_EQ(line, "1234");
+  EXPECT_TRUE(framer.status().ok());
+}
+
+TEST(LineFramerTest, CompleteLinesBeforeTheOversizedOneStillDeliver) {
+  LineFramer framer(/*max_line_bytes=*/8);
+  const std::string data = "ok 1\n" + std::string(64, 'y');
+  framer.Append(data.data(), data.size());
+  std::string line;
+  ASSERT_TRUE(framer.Next(&line));
+  EXPECT_EQ(line, "ok 1");
+  EXPECT_FALSE(framer.Next(&line));
+  EXPECT_EQ(framer.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(LineFramerTest, FlushRemainderActsLikeGetline) {
+  // An unterminated final line (client sent "5 4" then FIN) is still
+  // delivered once, at EOF.
+  LineFramer framer;
+  const std::string data = "1 2\n5 4";
+  framer.Append(data.data(), data.size());
+  std::string line;
+  ASSERT_TRUE(framer.Next(&line));
+  EXPECT_EQ(line, "1 2");
+  EXPECT_FALSE(framer.Next(&line));
+  EXPECT_EQ(framer.buffered(), 3u);
+  ASSERT_TRUE(framer.FlushRemainder(&line));
+  EXPECT_EQ(line, "5 4");
+  EXPECT_FALSE(framer.FlushRemainder(&line));
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(LineFramerTest, LongPipelinedStreamStaysCompact) {
+  // Compaction must keep the consumed prefix from growing unboundedly
+  // while preserving framing across compaction points.
+  LineFramer framer;
+  const std::string chunk = "12345 10\n";
+  std::string line;
+  for (int i = 0; i < 10000; ++i) {
+    framer.Append(chunk.data(), chunk.size());
+    ASSERT_TRUE(framer.Next(&line));
+    EXPECT_EQ(line, "12345 10");
+  }
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace logirec::serve::net

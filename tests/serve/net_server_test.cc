@@ -1,0 +1,492 @@
+// NetServer + ProtocolSession end to end over real sockets: concurrent
+// rankings must match the synchronous Rank() oracle bit for bit, replies
+// must come back in request order under pipelining, malformed input must
+// answer with an error line instead of dropping the connection, overload
+// must shed with `!busy` (never a silent drop), `!swap` must succeed
+// mid-load, and --max-sessions semantics must drain deterministically.
+
+#include "serve/net/net_server.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "core/snapshot.h"
+#include "data/synthetic.h"
+#include "serve/protocol.h"
+#include "serve/servable.h"
+#include "serve/server.h"
+#include "serve/session.h"
+
+namespace logirec::serve {
+namespace {
+
+/// Minimal blocking line client for tests.
+class TestClient {
+ public:
+  TestClient() = default;
+  ~TestClient() { Close(); }
+
+  void Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof addr),
+              0)
+        << std::strerror(errno);
+  }
+
+  void Send(const std::string& data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  /// Half-closes the write side (client FIN); reads stay open.
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Blocking read of the next '\n'-terminated line (stripped). Fails
+  /// the test on EOF.
+  std::string ReadLine() {
+    std::string line;
+    EXPECT_TRUE(TryReadLine(&line)) << "unexpected EOF";
+    return line;
+  }
+
+  /// Like ReadLine but returns false on EOF instead of failing.
+  bool TryReadLine(std::string* line) {
+    for (;;) {
+      const size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        *line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return true;
+      }
+      char buf[512];
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n <= 0) return false;
+      buffer_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  /// Blocks until the server closes the connection; returns any bytes
+  /// received after the last ReadLine.
+  std::string ReadUntilEof() {
+    char buf[512];
+    ssize_t n;
+    while ((n = ::read(fd_, buf, sizeof buf)) > 0) {
+      buffer_.append(buf, static_cast<size_t>(n));
+    }
+    return buffer_;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticConfig config;
+    config.num_users = 40;
+    config.num_items = 60;
+    config.seed = 21;
+    dataset_ = data::GenerateSynthetic(config);
+    split_ = data::TemporalSplit(dataset_);
+  }
+
+  void TearDown() override {
+    StopServer();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  core::TrainConfig FastConfig(uint64_t seed) const {
+    core::TrainConfig config;
+    config.dim = 8;
+    config.layers = 2;
+    config.epochs = 4;
+    config.seed = seed;
+    return config;
+  }
+
+  std::unique_ptr<core::Recommender> Train(uint64_t seed) {
+    auto model = baselines::MakeModel("BPRMF", FastConfig(seed));
+    EXPECT_TRUE(model.ok());
+    EXPECT_TRUE((*model)->Fit(dataset_, split_).ok());
+    return std::move(*model);
+  }
+
+  /// Trains a distinct model and writes it as a snapshot for `!swap`.
+  std::string WriteSnapshot(uint64_t seed) {
+    if (dir_.empty()) {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("logirec_net_test_" + std::to_string(::getpid()));
+      std::filesystem::create_directories(dir_);
+    }
+    auto model = Train(seed);
+    core::SnapshotHeader header;
+    header.dim = 8;
+    header.layers = 2;
+    header.num_users = dataset_.num_users;
+    header.num_items = dataset_.num_items;
+    const std::string path =
+        (std::filesystem::path(dir_) / ("gen" + std::to_string(seed) + ".snap"))
+            .string();
+    EXPECT_TRUE(core::ModelSnapshot::Write(*model, header, path).ok());
+    return path;
+  }
+
+  /// Boots a ModelServer + NetServer pair on an ephemeral port and runs
+  /// the accept loop on a background thread.
+  void StartServer(ServerOptions server_options = {},
+                   net::NetServerOptions net_options = {}) {
+    model_server_ = std::make_unique<ModelServer>(server_options);
+    auto servable = ServableModel::Create(Train(1), dataset_.num_users,
+                                          dataset_.num_items, &split_, 1);
+    ASSERT_TRUE(servable.ok());
+    model_server_->Swap(*servable);
+
+    generation_.store(1);
+    context_ = std::make_shared<ProtocolSession::Context>();
+    context_->server = model_server_.get();
+    context_->split = &split_;
+    context_->generation = &generation_;
+    context_->factory = baselines::MakeModel;
+
+    net_ = std::make_unique<net::NetServer>(net_options, [this] {
+      return std::make_shared<ProtocolSession>(context_);
+    });
+    ASSERT_TRUE(net_->Start().ok());
+    loop_thread_ = std::thread([this] { net_->Run(); });
+  }
+
+  void StopServer() {
+    if (net_ != nullptr) net_->Shutdown();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    // Lifetime contract: drain workers (whose completions post through
+    // the loop) before the NetServer and its loop are destroyed.
+    if (model_server_ != nullptr) model_server_->Stop();
+    net_.reset();
+    model_server_.reset();
+  }
+
+  /// The oracle reply line for a rank request, via the synchronous path.
+  std::string ExpectedRankReply(int user, int k, uint64_t generation) {
+    std::vector<int> items;
+    EXPECT_TRUE(model_server_->Rank(user, k, &items).ok());
+    return FormatRanking(user, generation, items);
+  }
+
+  data::Dataset dataset_;
+  data::Split split_;
+  std::string dir_;
+  std::unique_ptr<ModelServer> model_server_;
+  std::atomic<uint64_t> generation_{1};
+  std::shared_ptr<ProtocolSession::Context> context_;
+  std::unique_ptr<net::NetServer> net_;
+  std::thread loop_thread_;
+};
+
+TEST_F(NetServerTest, RankRepliesMatchTheSyncOracle) {
+  StartServer();
+  TestClient client;
+  client.Connect(net_->port());
+  for (int user : {0, 7, 39}) {
+    client.Send(std::to_string(user) + " 10\n");
+    EXPECT_EQ(client.ReadLine(), ExpectedRankReply(user, 10, 1));
+  }
+  client.Send("!quit\n");
+  EXPECT_EQ(client.ReadLine(), "bye");
+}
+
+TEST_F(NetServerTest, PollBackendServesIdentically) {
+  net::NetServerOptions net_options;
+  net_options.backend = net::EventLoop::Backend::kPoll;
+  StartServer({}, net_options);
+  ASSERT_EQ(net_->backend(), net::EventLoop::Backend::kPoll);
+  TestClient client;
+  client.Connect(net_->port());
+  client.Send("3 5\n");
+  EXPECT_EQ(client.ReadLine(), ExpectedRankReply(3, 5, 1));
+}
+
+TEST_F(NetServerTest, PartialReadsAcrossWakeupsStillFrame) {
+  StartServer();
+  TestClient client;
+  client.Connect(net_->port());
+  // Dribble one request byte by byte: each byte is (at least) one epoll
+  // wakeup; the connection must buffer across them.
+  const std::string request = "12 10\n";
+  for (char c : request) {
+    client.Send(std::string(1, c));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(client.ReadLine(), ExpectedRankReply(12, 10, 1));
+}
+
+TEST_F(NetServerTest, PipelinedBurstRepliesInRequestOrder) {
+  StartServer();
+  TestClient client;
+  client.Connect(net_->port());
+  // One write carrying rank requests with a synchronous !stats wedged in
+  // the middle: replies must come back strictly in request order even
+  // though ranks complete on worker threads and !stats inline.
+  std::string burst;
+  for (int user = 0; user < 10; ++user) burst += std::to_string(user) + " 5\n";
+  burst += "!stats\n";
+  for (int user = 10; user < 20; ++user) {
+    burst += std::to_string(user) + " 5\n";
+  }
+  client.Send(burst);
+  for (int user = 0; user < 10; ++user) {
+    EXPECT_EQ(client.ReadLine(), ExpectedRankReply(user, 5, 1));
+  }
+  EXPECT_EQ(client.ReadLine().rfind("stats requests=", 0), 0u);
+  for (int user = 10; user < 20; ++user) {
+    EXPECT_EQ(client.ReadLine(), ExpectedRankReply(user, 5, 1));
+  }
+}
+
+TEST_F(NetServerTest, MalformedInputGetsErrorReplyAndConnectionSurvives) {
+  StartServer();
+  TestClient client;
+  client.Connect(net_->port());
+  client.Send("not_a_number 10\n");
+  const std::string error = client.ReadLine();
+  EXPECT_EQ(error.rfind("error InvalidArgument", 0), 0u) << error;
+  // Out-of-range user: the request is well-formed, the server answers
+  // with the rank error — still no disconnect.
+  client.Send("99999 10\n");
+  EXPECT_EQ(client.ReadLine().rfind("error InvalidArgument", 0), 0u);
+  // The same connection keeps serving.
+  client.Send("5 10\n");
+  EXPECT_EQ(client.ReadLine(), ExpectedRankReply(5, 10, 1));
+}
+
+TEST_F(NetServerTest, OversizedLineGetsOneErrorReplyThenClose) {
+  net::NetServerOptions net_options;
+  net_options.max_line_bytes = 64;
+  StartServer({}, net_options);
+  TestClient client;
+  client.Connect(net_->port());
+  client.Send(std::string(1000, '7'));  // no terminator, over the bound
+  const std::string error = client.ReadLine();
+  EXPECT_EQ(error.rfind("error OutOfRange", 0), 0u) << error;
+  std::string extra;
+  EXPECT_FALSE(client.TryReadLine(&extra)) << extra;  // then EOF
+}
+
+TEST_F(NetServerTest, UnterminatedFinalLineIsAnsweredAtEof) {
+  StartServer();
+  TestClient client;
+  client.Connect(net_->port());
+  client.Send("8 10");  // no trailing newline
+  client.ShutdownWrite();
+  EXPECT_EQ(client.ReadLine(), ExpectedRankReply(8, 10, 1));
+  std::string extra;
+  EXPECT_FALSE(client.TryReadLine(&extra));  // server closes after drain
+}
+
+TEST_F(NetServerTest, QuitDiscardsTrailingPipelinedInput) {
+  StartServer();
+  TestClient client;
+  client.Connect(net_->port());
+  client.Send("1 5\n!quit\n2 5\n3 5\n");
+  EXPECT_EQ(client.ReadLine(), ExpectedRankReply(1, 5, 1));
+  EXPECT_EQ(client.ReadLine(), "bye");
+  std::string extra;
+  EXPECT_FALSE(client.TryReadLine(&extra)) << extra;
+}
+
+TEST_F(NetServerTest, ConcurrentConnectionsAllMatchTheOracle) {
+  StartServer();
+  // Precompute oracle replies on this thread (Rank is thread-safe, but
+  // keeping the check data-race-trivial keeps TSan output clean).
+  std::vector<std::string> expected;
+  for (int user = 0; user < dataset_.num_users; ++user) {
+    expected.push_back(ExpectedRankReply(user, 10, 1));
+  }
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client;
+      client.Connect(net_->port());
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const int user = (c * 7 + i) % dataset_.num_users;
+        client.Send(std::to_string(user) + " 10\n");
+        std::string reply;
+        if (!client.TryReadLine(&reply) || reply != expected[user]) {
+          mismatches.fetch_add(1);
+        }
+      }
+      client.Send("!quit\n");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(net_->sessions_accepted(), kClients);
+}
+
+TEST_F(NetServerTest, MaxSessionsClosesListenerAndRunDrains) {
+  net::NetServerOptions net_options;
+  net_options.max_sessions = 2;
+  StartServer({}, net_options);
+  const int port = net_->port();
+  TestClient first;
+  first.Connect(port);
+  first.Send("1 5\n");
+  EXPECT_EQ(first.ReadLine(), ExpectedRankReply(1, 5, 1));
+  TestClient second;
+  second.Connect(port);
+  second.Send("2 5\n");
+  EXPECT_EQ(second.ReadLine(), ExpectedRankReply(2, 5, 1));
+  // Budget spent, but live connections keep serving until they quit.
+  first.Send("3 5\n");
+  EXPECT_EQ(first.ReadLine(), ExpectedRankReply(3, 5, 1));
+  first.Send("!quit\n");
+  EXPECT_EQ(first.ReadLine(), "bye");
+  second.Send("!quit\n");
+  EXPECT_EQ(second.ReadLine(), "bye");
+  // Run() must return on its own once both connections drain.
+  loop_thread_.join();
+  EXPECT_EQ(net_->sessions_accepted(), 2);
+}
+
+TEST_F(NetServerTest, OverloadShedsWithBusyInOrderAndNothingIsDropped) {
+  // Workers start parked and the admission queue holds exactly one
+  // request, so the outcome is deterministic: the first rank is
+  // admitted, the next two are shed. The shed replies are only
+  // releasable after the first completes (in-order contract), so all
+  // three arrive after Resume() as: ok, !busy, !busy.
+  ServerOptions server_options;
+  server_options.max_queue = 1;
+  server_options.start_paused = true;
+  StartServer(server_options);
+  TestClient client;
+  client.Connect(net_->port());
+  client.Send("4 10\n5 10\n6 10\n");
+  // Give the loop time to push all three through admission while parked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  model_server_->Resume();
+  EXPECT_EQ(client.ReadLine(), ExpectedRankReply(4, 10, 1));
+  EXPECT_EQ(client.ReadLine(), FormatBusy());
+  EXPECT_EQ(client.ReadLine(), FormatBusy());
+  // Every line got exactly one reply; the counters agree.
+  const ServerStats stats = model_server_->Stats();
+  EXPECT_EQ(stats.requests_shed, 2);
+  // The connection survives shedding.
+  client.Send("7 10\n");
+  EXPECT_EQ(client.ReadLine(), ExpectedRankReply(7, 10, 1));
+}
+
+TEST_F(NetServerTest, SwapUnderLoadCompletesWithZeroFailures) {
+  StartServer();
+  const std::string snapshot = WriteSnapshot(2);
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> ok_replies{0};
+  std::atomic<long> bad_replies{0};
+  // Two clients hammer ranks; every reply must be an ok line from
+  // generation 1 or 2 — never an error, never a dropped reply.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client;
+      client.Connect(net_->port());
+      int i = 0;
+      while (!stop.load()) {
+        const int user = (c + 2 * i++) % dataset_.num_users;
+        client.Send(std::to_string(user) + " 10\n");
+        std::string reply;
+        if (!client.TryReadLine(&reply)) {
+          bad_replies.fetch_add(1);
+          return;
+        }
+        const std::string prefix =
+            "ok user=" + std::to_string(user) + " gen=";
+        if (reply.rfind(prefix, 0) != 0) {
+          bad_replies.fetch_add(1);
+        } else {
+          ok_replies.fetch_add(1);
+        }
+      }
+      client.Send("!quit\n");
+    });
+  }
+  while (ok_replies.load() < 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  TestClient swapper;
+  swapper.Connect(net_->port());
+  swapper.Send("!swap " + snapshot + "\n");
+  const std::string swap_reply = swapper.ReadLine();
+  EXPECT_EQ(swap_reply.rfind("ok swapped gen=2", 0), 0u) << swap_reply;
+  // Keep load flowing on the new generation before stopping.
+  const long after_swap_target = ok_replies.load() + 50;
+  while (ok_replies.load() < after_swap_target) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& thread : clients) thread.join();
+  swapper.Send("!quit\n");
+  EXPECT_EQ(swapper.ReadLine(), "bye");
+
+  EXPECT_EQ(bad_replies.load(), 0);
+  const ServerStats stats = model_server_->Stats();
+  EXPECT_EQ(stats.requests_failed, 0);
+  EXPECT_EQ(stats.swaps, 2);  // initial publish + !swap
+  // New requests now serve generation 2.
+  TestClient fresh;
+  fresh.Connect(net_->port());
+  fresh.Send("0 10\n");
+  EXPECT_EQ(fresh.ReadLine().rfind("ok user=0 gen=2 items=", 0), 0u);
+}
+
+TEST_F(NetServerTest, ShutdownWhileClientsAreConnectedStillReturns) {
+  StartServer();
+  TestClient idle;
+  idle.Connect(net_->port());
+  TestClient active;
+  active.Connect(net_->port());
+  active.Send("1 5\n");
+  EXPECT_EQ(active.ReadLine(), ExpectedRankReply(1, 5, 1));
+  net_->Shutdown();
+  // Shutdown closes the listener and the connections; both clients see
+  // EOF and Run() returns.
+  std::string line;
+  EXPECT_FALSE(idle.TryReadLine(&line));
+  EXPECT_FALSE(active.TryReadLine(&line));
+  loop_thread_.join();
+}
+
+}  // namespace
+}  // namespace logirec::serve

@@ -4,8 +4,10 @@
 
 #include "serve/server.h"
 
+#include <atomic>
 #include <future>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -165,6 +167,78 @@ TEST_F(ServerTest, SubmitAfterStopFailsImmediately) {
   server.Stop();
   auto response = server.Submit(0, 10).get();
   EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServerTest, TrySubmitShedsAtMaxQueueAndNeverInvokesTheCallback) {
+  // One queue slot, workers parked: the first request is admitted, every
+  // further one is shed immediately with kUnavailable — deterministic
+  // backpressure, no waiting, no callback for rejected work.
+  ServerOptions options;
+  options.max_queue = 1;
+  options.start_paused = true;
+  core::Recommender* raw = nullptr;
+  ModelServer server(options);
+  server.Swap(TrainServable("BPRMF", 1, &raw));
+  auto first = std::make_shared<std::promise<RankResponse>>();
+  ASSERT_TRUE(server
+                  .TrySubmit(2, 10,
+                             [first](RankResponse response) {
+                               first->set_value(std::move(response));
+                             })
+                  .ok());
+  std::atomic<bool> shed_callback_fired{false};
+  for (int i = 0; i < 3; ++i) {
+    const Status shed = server.TrySubmit(
+        3, 10, [&](RankResponse) { shed_callback_fired.store(true); });
+    EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(server.Stats().requests_shed, 3);
+  server.Resume();
+  const RankResponse response = first->get_future().get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.items, ReferenceTopK(*raw, 2, 10));
+  EXPECT_FALSE(shed_callback_fired.load());
+}
+
+TEST_F(ServerTest, StopCompletesEveryAcceptedRequest) {
+  // Accepted means answered: requests sitting in a paused queue still
+  // get their callbacks when Stop() drains it.
+  ServerOptions options;
+  options.start_paused = true;
+  ModelServer server(options);
+  server.Swap(TrainServable("BPRMF", 1));
+  std::atomic<int> completed{0};
+  const int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(server
+                    .TrySubmit(i % dataset_.num_users, 10,
+                               [&](RankResponse response) {
+                                 EXPECT_TRUE(response.status.ok());
+                                 completed.fetch_add(1);
+                               })
+                    .ok());
+  }
+  EXPECT_EQ(completed.load(), 0);  // still parked
+  server.Stop();
+  EXPECT_EQ(completed.load(), kRequests);
+  // And after Stop, TrySubmit rejects without touching the callback.
+  EXPECT_EQ(server.TrySubmit(0, 10, [](RankResponse) {}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServerTest, StatsExposeLatencyPercentiles) {
+  ModelServer server;
+  server.Swap(TrainServable("BPRMF", 1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(server.Submit(i % dataset_.num_users, 10).get().status.ok());
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.latency_count, 100);
+  EXPECT_GT(stats.p50_ms, 0.0);
+  EXPECT_LE(stats.p50_ms, stats.p95_ms);
+  EXPECT_LE(stats.p95_ms, stats.p99_ms);
+  EXPECT_LE(stats.p99_ms, stats.max_ms * 1.05);
+  EXPECT_GT(stats.mean_ms, 0.0);
 }
 
 TEST(ProtocolTest, ParsesRankRequests) {

@@ -5,12 +5,21 @@
 //   !swap PATH      ->  hot-swap the model from another snapshot
 //   !stats          ->  server counters and latency percentiles
 //   !quit           ->  end the session
+//   (overload)      ->  "!busy" instead of unbounded queueing
+//
+// This binary is a thin shell: the protocol session (ordered replies,
+// busy shedding) is serve::ProtocolSession, the concurrent TCP front is
+// serve::net::NetServer (epoll event loop with a poll fallback,
+// per-connection framing state machines), and request execution is the
+// bounded-queue worker pool inside serve::ModelServer.
 //
 // Modes:
 //   stdio (default)      one request per stdin line, one response line
-//   --port=N             TCP on 127.0.0.1:N, same protocol per connection
-//                        (sessions are served sequentially;
-//                        --max-sessions bounds the process for tests)
+//   --port=N             concurrent TCP on 127.0.0.1:N (0 picks a free
+//                        port, printed on stderr), same protocol per
+//                        connection; --max-sessions bounds the process
+//                        for tests: the listener closes after that many
+//                        accepts and the process exits once they drain
 //
 //   --snapshot=PATH      initial model (required)
 //   --data=DIR           dataset dir; enables seen-item exclusion via the
@@ -18,22 +27,26 @@
 //   --batch=N            micro-batch cap of the request batcher
 //   --threads=N          scoring workers (0 = hardware concurrency)
 //   --topk=N             default k when a request omits it
+//   --max-queue=N        admission-queue bound; beyond it ranks get !busy
+//   --poller=auto|epoll|poll   event-loop backend for the TCP mode
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
-
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
+#include <vector>
 
 #include "baselines/model_zoo.h"
 #include "data/io.h"
+#include "serve/net/net_server.h"
 #include "serve/protocol.h"
 #include "serve/servable.h"
 #include "serve/server.h"
+#include "serve/session.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -46,127 +59,41 @@ int Fail(const Status& status) {
   return 1;
 }
 
-/// Session state shared by the stdio and TCP front ends.
-struct Serving {
-  serve::ModelServer* server = nullptr;
-  const data::Split* split = nullptr;  // null = no exclusion masking
-  uint64_t next_generation = 1;
-};
-
-/// Handles one protocol line. Returns false when the session should end.
-/// Writes nothing for skippable lines (blanks, comments).
-bool HandleLine(const std::string& line, Serving* serving,
-                std::string* response) {
-  response->clear();
-  auto request = serve::ParseRequestLine(line);
-  if (!request.ok()) {
-    if (request.status().code() == StatusCode::kNotFound) return true;
-    *response = serve::FormatError(request.status());
-    return true;
-  }
-  switch (request->kind) {
-    case serve::Request::Kind::kQuit:
-      *response = "bye";
-      return false;
-    case serve::Request::Kind::kStats:
-      *response = serve::FormatStats(serving->server->Stats());
-      return true;
-    case serve::Request::Kind::kSwap: {
-      auto servable = serve::ServableModel::FromSnapshot(
-          request->path, baselines::MakeModel, serving->split,
-          ++serving->next_generation);
-      if (!servable.ok()) {
-        *response = serve::FormatError(servable.status());
-        return true;
+/// The stdio REPL: one session, each line answered before the next is
+/// read. Rank replies complete on worker threads; the flush hook wakes
+/// this thread to print them in order.
+int RunStdio(const std::shared_ptr<serve::ProtocolSession>& session) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  session->SetFlushHook([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
+    session->HandleLine(line);
+    for (;;) {
+      std::vector<std::string> replies;
+      bool close_after = false;
+      session->DrainReady(&replies, &close_after);
+      for (const std::string& reply : replies) {
+        std::printf("%s\n", reply.c_str());
       }
-      const uint64_t generation = serving->server->Swap(*servable);
-      *response = StrFormat(
-          "ok swapped gen=%llu model=%s",
-          static_cast<unsigned long long>(generation),
-          serving->server->Current()->model_name().c_str());
-      return true;
-    }
-    case serve::Request::Kind::kRank: {
-      serve::RankResponse ranked =
-          serving->server->Submit(request->user, request->k).get();
-      *response = ranked.status.ok()
-                      ? serve::FormatRanking(request->user,
-                                             ranked.generation,
-                                             ranked.items)
-                      : serve::FormatError(ranked.status);
-      return true;
-    }
-  }
-  return true;
-}
-
-int RunStdio(Serving* serving) {
-  std::string line, response;
-  while (std::getline(std::cin, line)) {
-    const bool keep_going = HandleLine(line, serving, &response);
-    if (!response.empty()) std::printf("%s\n", response.c_str());
-    std::fflush(stdout);
-    if (!keep_going) break;
-  }
-  return 0;
-}
-
-/// Minimal sequential TCP front end on 127.0.0.1: accept, serve the
-/// session line-by-line, repeat. Plenty for a bench driver or smoke test;
-/// concurrency lives in the request batcher, not the socket layer.
-int RunTcp(Serving* serving, int port, int max_sessions) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) return Fail(Status::IoError("socket() failed"));
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-          0 ||
-      ::listen(listener, 8) < 0) {
-    ::close(listener);
-    return Fail(Status::IoError(
-        StrFormat("cannot listen on 127.0.0.1:%d", port)));
-  }
-  std::fprintf(stderr, "listening on 127.0.0.1:%d\n", port);
-
-  int sessions = 0;
-  while (max_sessions <= 0 || sessions < max_sessions) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) break;
-    ++sessions;
-    std::string pending, response;
-    char buf[4096];
-    bool keep_going = true;
-    while (keep_going) {
-      const ssize_t n = ::read(conn, buf, sizeof buf);
-      if (n <= 0) break;
-      pending.append(buf, static_cast<size_t>(n));
-      size_t eol;
-      while (keep_going && (eol = pending.find('\n')) != std::string::npos) {
-        const std::string line = pending.substr(0, eol);
-        pending.erase(0, eol + 1);
-        keep_going = HandleLine(line, serving, &response);
-        if (!response.empty()) {
-          response.push_back('\n');
-          size_t sent = 0;
-          while (sent < response.size()) {
-            const ssize_t w = ::write(conn, response.data() + sent,
-                                      response.size() - sent);
-            if (w <= 0) {
-              keep_going = false;
-              break;
-            }
-            sent += static_cast<size_t>(w);
-          }
-        }
+      std::fflush(stdout);
+      if (close_after) {
+        quit = true;
+        break;
       }
+      if (!session->HasPending()) break;
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock, std::chrono::milliseconds(50),
+                  [&] { return ready; });
+      ready = false;
     }
-    ::close(conn);
   }
-  ::close(listener);
   return 0;
 }
 
@@ -177,17 +104,36 @@ int main(int argc, char** argv) {
   flags.AddString("snapshot", "", "binary model snapshot to serve");
   flags.AddString("data", "",
                   "dataset dir for seen-item exclusion (optional)");
-  flags.AddInt("port", 0, "TCP port on 127.0.0.1 (0 = stdio mode)");
+  flags.AddInt("port", -1,
+               "TCP port on 127.0.0.1 (-1 = stdio mode, 0 = pick a free "
+               "port)");
   flags.AddInt("batch", 32, "request micro-batch cap");
   flags.AddInt("threads", 0, "scoring workers (0 = hardware)");
   flags.AddInt("topk", 10, "default k when a request omits it");
+  flags.AddInt("max-queue", 1024,
+               "admission-queue bound; rank requests beyond it are shed "
+               "with !busy");
   flags.AddInt("max-sessions", 0,
-               "TCP: exit after this many sessions (0 = serve forever)");
+               "TCP: close the listener after this many accepted "
+               "connections and exit once they drain (0 = serve forever)");
+  flags.AddString("poller", "auto",
+                  "TCP event-loop backend: auto, epoll, or poll");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) return Fail(st);
   if (flags.help_requested()) return 0;
   if (flags.GetString("snapshot").empty()) {
     return Fail(Status::InvalidArgument("--snapshot is required"));
+  }
+  serve::net::EventLoop::Backend backend;
+  if (flags.GetString("poller") == "auto") {
+    backend = serve::net::EventLoop::Backend::kAuto;
+  } else if (flags.GetString("poller") == "epoll") {
+    backend = serve::net::EventLoop::Backend::kEpoll;
+  } else if (flags.GetString("poller") == "poll") {
+    backend = serve::net::EventLoop::Backend::kPoll;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --poller: " +
+                                        flags.GetString("poller")));
   }
 
   // The split must outlive the server: ServableModel keeps only the CSR
@@ -205,14 +151,19 @@ int main(int argc, char** argv) {
   options.max_batch = flags.GetInt("batch");
   options.num_threads = flags.GetInt("threads");
   options.default_k = flags.GetInt("topk");
+  options.max_queue = flags.GetInt("max-queue");
   serve::ModelServer server(options);
 
-  Serving serving;
-  serving.server = &server;
-  serving.split = split.get();
+  std::atomic<uint64_t> generation{1};
+  auto context = std::make_shared<serve::ProtocolSession::Context>();
+  context->server = &server;
+  context->split = split.get();
+  context->generation = &generation;
+  context->factory = baselines::MakeModel;
+
   auto servable = serve::ServableModel::FromSnapshot(
-      flags.GetString("snapshot"), baselines::MakeModel, serving.split,
-      serving.next_generation);
+      flags.GetString("snapshot"), baselines::MakeModel, context->split,
+      generation.load());
   if (!servable.ok()) return Fail(servable.status());
   server.Swap(*servable);
   std::fprintf(stderr, "serving %s (%d users, %d items)\n",
@@ -220,7 +171,27 @@ int main(int argc, char** argv) {
                (*servable)->num_items());
 
   const int port = flags.GetInt("port");
-  return port > 0
-             ? RunTcp(&serving, port, flags.GetInt("max-sessions"))
-             : RunStdio(&serving);
+  if (port < 0) {
+    const int rc =
+        RunStdio(std::make_shared<serve::ProtocolSession>(context));
+    server.Stop();  // drain before the session machinery goes away
+    return rc;
+  }
+
+  serve::net::NetServerOptions net_options;
+  net_options.port = port;
+  net_options.max_sessions = flags.GetInt("max-sessions");
+  net_options.backend = backend;
+  serve::net::NetServer net(net_options, [context] {
+    return std::make_shared<serve::ProtocolSession>(context);
+  });
+  const Status started = net.Start();
+  if (!started.ok()) return Fail(started);
+  std::fprintf(stderr, "listening on 127.0.0.1:%d\n", net.port());
+  net.Run();
+  // Drain the worker pool before NetServer (and its event loop) is
+  // destroyed: completions post through the loop (NetServer lifetime
+  // contract).
+  server.Stop();
+  return 0;
 }

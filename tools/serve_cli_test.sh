@@ -59,11 +59,17 @@ then
     sleep 0.1
   done
   if grep -q "listening" "$WORK/tcp.log"; then
-    RESPONSE="$(printf '5 4\n!quit\n' \
+    # Pipelined burst in one write: replies must come back one per
+    # request line, in order, through the concurrent server.
+    RESPONSE="$(printf '5 4\n6 4\n!stats\n!quit\n' \
       | timeout 10 bash -c "exec 3<>/dev/tcp/127.0.0.1/$PORT; cat >&3; cat <&3" \
       || true)"
     echo "$RESPONSE" | grep -q "ok user=5 gen=1 items=" \
       || { echo "TCP session failed: $RESPONSE" >&2; exit 1; }
+    echo "$RESPONSE" | grep -q "ok user=6 gen=1 items=" \
+      || { echo "TCP pipelined reply missing: $RESPONSE" >&2; exit 1; }
+    echo "$RESPONSE" | grep -q "stats requests=" \
+      || { echo "TCP stats reply missing: $RESPONSE" >&2; exit 1; }
     wait "$SERVER_PID"
   else
     echo "note: TCP bind unavailable, skipping TCP check" >&2
