@@ -6,6 +6,9 @@
 // standardize dataset generation, repeated seeded runs, and mean±std
 // formatting so the printed rows read like the originals.
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -16,8 +19,10 @@
 #include "data/dataset.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
+#include "math/matrix.h"
 #include "math/stats.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -112,6 +117,113 @@ inline const std::vector<std::string>& DatasetNames() {
   static const std::vector<std::string> names = {"ciao", "cd", "clothing",
                                                  "book"};
   return names;
+}
+
+/// Nth-element percentile over a scratch sample buffer (reorders it).
+/// Shared by the serving and retrieval throughput benches so their
+/// latency columns are computed identically.
+inline double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples->size() - 1) + 0.5);
+  std::nth_element(samples->begin(), samples->begin() + idx, samples->end());
+  return (*samples)[idx];
+}
+
+/// Uniform double in (0, 1) from the counter RNG: a pure function of
+/// (seed, i), so schedules and synthetic catalogs are reproducible and
+/// order-independent.
+inline double CounterUniform(uint64_t seed, uint64_t i) {
+  return (static_cast<double>(Rng::MixSeed(seed, i) >> 11) + 0.5) /
+         static_cast<double>(1ULL << 53);
+}
+
+/// Synthetic embedding catalogs for the retrieval bench: one generator
+/// per scoring geometry, all driven by the counter RNG (row r is a pure
+/// function of (seed, r), identical at any generation order).
+///
+/// With `clusters > 0` rows come from a Gaussian mixture — cluster
+/// centers at the requested scale, members offset by 0.35*scale noise —
+/// which is the shape trained item tables actually have (items group by
+/// genre/brand/taxonomy). `clusters == 0` gives the i.i.d. limit, the
+/// structureless worst case for any ANN index.
+
+/// Gaussian rows (Box–Muller over counter draws), optionally mixed over
+/// `clusters` centers. Row r of the output is logical row r + row_offset
+/// of the (seed, clusters) stream, so two calls with the same seed and
+/// disjoint offsets draw from the SAME mixture (shared centers) without
+/// overlapping rows — how the bench keeps queries aimed at catalog mass.
+inline math::Matrix GaussianEmbeddings(int rows, int cols, uint64_t seed,
+                                       double scale, int clusters = 0,
+                                       int row_offset = 0) {
+  math::Matrix m(rows, cols);
+  constexpr uint64_t kCenterSalt = 0x5851f42d4c957f2dULL;
+  for (int r = 0; r < rows; ++r) {
+    const uint64_t row = static_cast<uint64_t>(r) + row_offset;
+    const int cluster =
+        clusters > 0
+            ? static_cast<int>(Rng::MixSeed(seed ^ kCenterSalt, row) %
+                               static_cast<uint64_t>(clusters))
+            : -1;
+    const double noise = clusters > 0 ? 0.35 * scale : scale;
+    for (int c = 0; c < cols; ++c) {
+      const uint64_t k = row * cols + c;
+      const double u1 = CounterUniform(seed, 2 * k);
+      const double u2 = CounterUniform(seed, 2 * k + 1);
+      double x =
+          noise * std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      if (cluster >= 0) {
+        const uint64_t ck =
+            static_cast<uint64_t>(cluster) * cols + c;
+        const double cu1 = CounterUniform(seed ^ kCenterSalt, 2 * ck);
+        const double cu2 = CounterUniform(seed ^ kCenterSalt, 2 * ck + 1);
+        x += scale * std::sqrt(-2.0 * std::log(cu1)) *
+             std::cos(6.283185307179586 * cu2);
+      }
+      m.At(r, c) = x;
+    }
+  }
+  return m;
+}
+
+/// Rows on the Lorentz hyperboloid: spatial coordinates Gaussian, time
+/// coordinate x0 = sqrt(1 + ||x||^2) (curvature -1 convention).
+inline math::Matrix LorentzEmbeddings(int rows, int cols, uint64_t seed,
+                                      double scale, int clusters = 0,
+                                      int row_offset = 0) {
+  LOGIREC_CHECK(cols >= 2);
+  math::Matrix m =
+      GaussianEmbeddings(rows, cols, seed, scale, clusters, row_offset);
+  for (int r = 0; r < rows; ++r) {
+    double sq = 0.0;
+    for (int c = 1; c < cols; ++c) sq += m.At(r, c) * m.At(r, c);
+    m.At(r, 0) = std::sqrt(1.0 + sq);
+  }
+  return m;
+}
+
+/// Rows in the Poincare ball of the given radius (< 1): clustered
+/// direction times a radius bounded away from the boundary, so the
+/// conformal factor 1 - ||v||^2 stays well conditioned.
+inline math::Matrix BallEmbeddings(int rows, int cols, uint64_t seed,
+                                   double radius, int clusters = 0,
+                                   int row_offset = 0) {
+  LOGIREC_CHECK(radius > 0.0 && radius < 1.0);
+  math::Matrix m =
+      GaussianEmbeddings(rows, cols, seed, 1.0, clusters, row_offset);
+  for (int r = 0; r < rows; ++r) {
+    double sq = 0.0;
+    for (int c = 0; c < cols; ++c) sq += m.At(r, c) * m.At(r, c);
+    const double norm = std::sqrt(std::max(sq, 1e-24));
+    // Radius ~ radius * u^(1/cols): uniform in the ball, then shrunk.
+    const double target =
+        radius * std::pow(CounterUniform(seed ^ 0x9e3779b97f4a7c15ULL,
+                                         static_cast<uint64_t>(r) + row_offset),
+                          1.0 / cols);
+    const double f = target / norm;
+    for (int c = 0; c < cols; ++c) m.At(r, c) *= f;
+  }
+  return m;
 }
 
 }  // namespace logirec::bench

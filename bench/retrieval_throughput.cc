@@ -1,0 +1,521 @@
+// Retrieval throughput bench: sublinear ANN indexes (IVF, HNSW) vs the
+// exact blocked-kernel scan, on large synthetic catalogs in each scoring
+// geometry the model zoo serves through a ranking surrogate:
+//
+//   dot       Gaussian embeddings, inner-product scoring (BPRMF family)
+//   lorentz   hyperboloid embeddings, Lorentz inner product (HGCF/LogiRec)
+//   poincare  Poincare-ball embeddings, -gamma scoring (HyperML)
+//
+// For every space the bench measures the exact-scan oracle (full kRanking
+// scan + TopKInto — the same code path serving falls back to), then each
+// index: build time, single-thread query QPS, latency percentiles, and
+// recall@k against the oracle. Candidates are exactly reranked, so any
+// recall loss is purely "the true item was never generated", never a
+// scoring approximation. Writes BENCH_retrieval.json — the tracked
+// recall/throughput trajectory.
+//
+// Gates:
+//   --min-recall     fail if either index's recall@k falls below this in
+//                    any space (CI smoke: 0.95).
+//   --min-speedup    fail if either index's QPS / exact-scan QPS falls
+//                    below this in any space (CI smoke: 3.0). Both sides
+//                    of the ratio come from one run on one machine.
+//   --baseline       compare against the committed BENCH_retrieval.json:
+//                    the committed artifact must itself meet --min-recall
+//                    and --min-speedup (a degraded baseline cannot hide),
+//                    and each index's live speedup must stay within
+//                    --max-regression of the committed one.
+//
+// Determinism: with --det-items > 0 the bench also builds each index at
+// thread counts {1, 2, 8} on a reduced catalog and CHECKs the structural
+// fingerprints match — seed => identical index, regardless of hardware
+// parallelism.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "retrieval/embedding_scorer.h"
+#include "retrieval/retriever.h"
+#include "util/flags.h"
+
+namespace logirec::bench {
+namespace {
+
+using retrieval::EmbeddingScorer;
+using retrieval::SurrogateKind;
+
+struct SpaceSpec {
+  std::string name;
+  SurrogateKind kind = SurrogateKind::kDot;
+};
+
+Result<SpaceSpec> ParseSpace(const std::string& name) {
+  SpaceSpec spec;
+  spec.name = name;
+  if (name == "dot") {
+    spec.kind = SurrogateKind::kDot;
+  } else if (name == "lorentz") {
+    spec.kind = SurrogateKind::kLorentzDot;
+  } else if (name == "poincare") {
+    spec.kind = SurrogateKind::kNegPoincareGamma;
+  } else {
+    return Status::InvalidArgument("unknown space: " + name +
+                                   " (want dot|lorentz|poincare)");
+  }
+  return spec;
+}
+
+EmbeddingScorer MakeScorer(const SpaceSpec& space, int users, int items,
+                           int dim, uint64_t seed, int clusters) {
+  // Users are rows [items, items+users) of the same mixture stream as the
+  // catalog (shared centers, disjoint rows), so queries aim where catalog
+  // mass lives — like trained user embeddings do.
+  switch (space.kind) {
+    case SurrogateKind::kLorentzDot:
+      return EmbeddingScorer(
+          LorentzEmbeddings(users, dim, seed, 0.4, clusters, items),
+          LorentzEmbeddings(items, dim, seed, 0.4, clusters), space.kind);
+    case SurrogateKind::kNegPoincareGamma:
+      return EmbeddingScorer(
+          BallEmbeddings(users, dim, seed, 0.8, clusters, items),
+          BallEmbeddings(items, dim, seed, 0.8, clusters), space.kind);
+    default:
+      return EmbeddingScorer(
+          GaussianEmbeddings(users, dim, seed, 0.5, clusters, items),
+          GaussianEmbeddings(items, dim, seed, 0.5, clusters), space.kind);
+  }
+}
+
+struct PathStats {
+  double build_s = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double recall = 1.0;
+  double speedup = 1.0;  // qps over the exact scan's qps
+};
+
+struct SpaceReport {
+  std::string space;
+  double exact_qps = 0.0;
+  double exact_p50_us = 0.0;
+  double exact_p99_us = 0.0;
+  PathStats ivf;
+  PathStats hnsw;
+};
+
+/// Times `queries` retrievals (cycling over the scorer's users) through
+/// `retriever` (null = the exact-scan fallback), returning QPS +
+/// percentiles and filling `results` per query for the recall pass.
+template <typename Retrieve>
+void TimeQueries(int queries, int num_users, Retrieve&& retrieve,
+                 std::vector<std::vector<int>>* results, double* qps,
+                 double* p50_us, double* p99_us) {
+  results->assign(queries, {});
+  // Warm pass: touch every buffer and fault the index in.
+  std::vector<int> warm;
+  for (int q = 0; q < std::min(queries, 64); ++q) {
+    retrieve(q % num_users, &warm);
+  }
+  std::vector<double> per_query_us;
+  per_query_us.reserve(queries);
+  Timer total;
+  for (int q = 0; q < queries; ++q) {
+    Timer one;
+    retrieve(q % num_users, &(*results)[q]);
+    per_query_us.push_back(one.ElapsedSeconds() * 1e6);
+  }
+  const double wall = total.ElapsedSeconds();
+  *qps = queries / std::max(wall, 1e-12);
+  *p50_us = Percentile(&per_query_us, 0.50);
+  *p99_us = Percentile(&per_query_us, 0.99);
+}
+
+double RecallAgainst(const std::vector<std::vector<int>>& truth,
+                     const std::vector<std::vector<int>>& got) {
+  LOGIREC_CHECK(truth.size() == got.size());
+  long hit = 0, total = 0;
+  for (size_t q = 0; q < truth.size(); ++q) {
+    const std::set<int> got_set(got[q].begin(), got[q].end());
+    for (int v : truth[q]) hit += got_set.count(v) > 0 ? 1 : 0;
+    total += static_cast<long>(truth[q].size());
+  }
+  return total == 0 ? 1.0 : static_cast<double>(hit) / total;
+}
+
+/// Thread-count determinism: same seed must yield bit-identical index
+/// structure at 1, 2, and 8 build threads (reduced catalog size).
+void CheckDeterminism(const SpaceSpec& space, int items, int dim,
+                      int clusters, const retrieval::IvfOptions& ivf_base,
+                      const retrieval::HnswOptions& hnsw_base) {
+  EmbeddingScorer scorer = MakeScorer(space, /*users=*/8, items, dim,
+                                      /*seed=*/4242, clusters);
+  const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+  uint64_t ivf_fp = 0, hnsw_fp = 0;
+  bool first = true;
+  for (int threads : {1, 2, 8}) {
+    retrieval::IvfOptions ivf = ivf_base;
+    ivf.num_threads = threads;
+    retrieval::HnswOptions hnsw = hnsw_base;
+    hnsw.num_threads = threads;
+    const uint64_t i_fp = retrieval::IvfIndex::Build(spec, ivf)->Fingerprint();
+    const uint64_t h_fp =
+        retrieval::HnswIndex::Build(spec, hnsw)->Fingerprint();
+    if (first) {
+      ivf_fp = i_fp;
+      hnsw_fp = h_fp;
+      first = false;
+    }
+    LOGIREC_CHECK_MSG(i_fp == ivf_fp,
+                      "IVF fingerprint differs at " +
+                          std::to_string(threads) + " threads");
+    LOGIREC_CHECK_MSG(h_fp == hnsw_fp,
+                      "HNSW fingerprint differs at " +
+                          std::to_string(threads) + " threads");
+  }
+  std::printf("  determinism ok (%d items, threads 1/2/8: ivf %016llx "
+              "hnsw %016llx)\n",
+              items, static_cast<unsigned long long>(ivf_fp),
+              static_cast<unsigned long long>(hnsw_fp));
+}
+
+SpaceReport BenchSpace(const SpaceSpec& space, int users, int items, int dim,
+                       int clusters, int queries, int top_k,
+                       const retrieval::IvfOptions& ivf_options,
+                       const retrieval::HnswOptions& hnsw_options,
+                       int threads) {
+  EmbeddingScorer scorer = MakeScorer(space, users, items, dim,
+                                      /*seed=*/1717, clusters);
+  SpaceReport report;
+  report.space = space.name;
+
+  eval::RetrieveScratch scratch;
+  std::vector<std::vector<int>> truth, got;
+
+  // Exact oracle: the RetrieveInto fallback (full kRanking scan +
+  // TopKInto) — the identical code serving uses with --retrieval=exact.
+  TimeQueries(
+      queries, users,
+      [&](int user, std::vector<int>* out) {
+        scorer.RetrieveInto(user, top_k, nullptr, &scratch, out);
+      },
+      &truth, &report.exact_qps, &report.exact_p50_us, &report.exact_p99_us);
+
+  const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+  {
+    retrieval::IvfOptions options = ivf_options;
+    options.num_threads = threads;
+    Timer build;
+    auto index = retrieval::IvfIndex::Build(spec, options);
+    report.ivf.build_s = build.ElapsedSeconds();
+    TimeQueries(
+        queries, users,
+        [&](int user, std::vector<int>* out) {
+          index->RetrieveTopK(scorer, user, top_k, top_k, nullptr, &scratch,
+                              out);
+        },
+        &got, &report.ivf.qps, &report.ivf.p50_us, &report.ivf.p99_us);
+    report.ivf.recall = RecallAgainst(truth, got);
+    report.ivf.speedup = report.ivf.qps / std::max(report.exact_qps, 1e-12);
+  }
+  {
+    retrieval::HnswOptions options = hnsw_options;
+    options.num_threads = threads;
+    Timer build;
+    auto index = retrieval::HnswIndex::Build(spec, options);
+    report.hnsw.build_s = build.ElapsedSeconds();
+    TimeQueries(
+        queries, users,
+        [&](int user, std::vector<int>* out) {
+          index->RetrieveTopK(scorer, user, top_k, top_k, nullptr, &scratch,
+                              out);
+        },
+        &got, &report.hnsw.qps, &report.hnsw.p50_us, &report.hnsw.p99_us);
+    report.hnsw.recall = RecallAgainst(truth, got);
+    report.hnsw.speedup =
+        report.hnsw.qps / std::max(report.exact_qps, 1e-12);
+  }
+  return report;
+}
+
+std::string PathJson(const PathStats& s) {
+  return StrFormat(
+      "{\"build_s\": %.3f, \"qps\": %.1f, \"p50_us\": %.2f, "
+      "\"p99_us\": %.2f, \"recall\": %.4f, \"speedup\": %.3f}",
+      s.build_s, s.qps, s.p50_us, s.p99_us, s.recall, s.speedup);
+}
+
+void WriteJson(const std::string& path, int users, int items, int dim,
+               int clusters, int queries, int top_k,
+               const retrieval::IvfOptions& ivf_options,
+               const retrieval::HnswOptions& hnsw_options,
+               const std::vector<SpaceReport>& reports) {
+  std::ostringstream out;
+  out << "{\n  \"meta\": "
+      << StrFormat(
+             "{\"users\": %d, \"items\": %d, \"dim\": %d, \"clusters\": %d, "
+             "\"queries\": %d, \"top_k\": %d, \"nprobe\": %d, "
+             "\"ef_search\": %d, \"M\": %d}",
+             users, items, dim, clusters, queries, top_k, ivf_options.nprobe,
+             hnsw_options.ef_search, hnsw_options.M)
+      << ",\n  \"spaces\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const SpaceReport& r = reports[i];
+    out << StrFormat("    {\"space\": \"%s\",\n", r.space.c_str())
+        << StrFormat(
+               "     \"exact\": {\"qps\": %.1f, \"p50_us\": %.2f, "
+               "\"p99_us\": %.2f},\n",
+               r.exact_qps, r.exact_p50_us, r.exact_p99_us)
+        << "     \"ivf\": " << PathJson(r.ivf) << ",\n"
+        << "     \"hnsw\": " << PathJson(r.hnsw) << "}"
+        << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot write " + path);
+  f << out.str();
+}
+
+struct BaselineEntry {
+  double ivf_recall = 0.0;
+  double ivf_speedup = 0.0;
+  double hnsw_recall = 0.0;
+  double hnsw_speedup = 0.0;
+};
+
+/// Minimal extraction of gate inputs from a BENCH_retrieval.json produced
+/// by WriteJson (not a general JSON parser) — the same idiom the serving
+/// bench uses for BENCH_serving.json.
+std::map<std::string, BaselineEntry> ReadBaseline(const std::string& path) {
+  std::ifstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot read baseline " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  std::map<std::string, BaselineEntry> entries;
+  size_t pos = 0;
+  const std::string space_key = "\"space\": \"";
+  const std::string ivf_key = "\"ivf\": ";
+  const std::string hnsw_key = "\"hnsw\": ";
+  const std::string recall_key = "\"recall\": ";
+  const std::string speedup_key = "\"speedup\": ";
+  while ((pos = text.find(space_key, pos)) != std::string::npos) {
+    pos += space_key.size();
+    const size_t name_end = text.find('"', pos);
+    LOGIREC_CHECK(name_end != std::string::npos);
+    const std::string name = text.substr(pos, name_end - pos);
+    const size_t next_space = text.find(space_key, name_end);
+    BaselineEntry entry;
+    for (const auto& [index_key, recall_out, speedup_out] :
+         {std::make_tuple(ivf_key, &entry.ivf_recall, &entry.ivf_speedup),
+          std::make_tuple(hnsw_key, &entry.hnsw_recall,
+                          &entry.hnsw_speedup)}) {
+      const size_t ipos = text.find(index_key, name_end);
+      LOGIREC_CHECK_MSG(ipos != std::string::npos && ipos < next_space,
+                        "baseline missing " + index_key + " for " + name);
+      const size_t rpos = text.find(recall_key, ipos);
+      const size_t spos = text.find(speedup_key, ipos);
+      LOGIREC_CHECK_MSG(rpos != std::string::npos && rpos < next_space &&
+                            spos != std::string::npos && spos < next_space,
+                        "baseline missing recall/speedup for " + name);
+      *recall_out = std::stod(text.substr(rpos + recall_key.size()));
+      *speedup_out = std::stod(text.substr(spos + speedup_key.size()));
+    }
+    entries[name] = entry;
+    pos = name_end;
+  }
+  LOGIREC_CHECK_MSG(!entries.empty(),
+                    "baseline " + path + " contains no spaces");
+  return entries;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("spaces", "dot,lorentz,poincare",
+                  "comma-separated scoring geometries to bench");
+  flags.AddInt("items", 100000, "catalog size");
+  flags.AddInt("users", 256, "distinct query embeddings (cycled)");
+  flags.AddInt("dim", 32, "embedding dimension");
+  flags.AddInt("clusters", 256,
+               "Gaussian-mixture components in the synthetic catalogs "
+               "(0 = i.i.d., the structureless ANN worst case)");
+  flags.AddInt("queries", 1024, "timed queries per path per space");
+  flags.AddInt("topk", 10, "ranking cutoff (recall@k uses the same k)");
+  flags.AddInt("cells", 0, "IVF cells (0 = sqrt(items))");
+  flags.AddInt("nprobe", 32, "IVF cells scanned per query");
+  flags.AddInt("M", 16, "HNSW links per node");
+  flags.AddInt("ef-construction", 128, "HNSW build beam width");
+  flags.AddInt("ef-search", 96, "HNSW query beam width");
+  flags.AddInt("threads", 0, "index build threads (0 = hardware)");
+  flags.AddInt("det-items", 20000,
+               "reduced catalog for the thread-count determinism check "
+               "(0 = skip)");
+  flags.AddString("out", "BENCH_retrieval.json", "output JSON path");
+  flags.AddDouble("min-recall", 0.0,
+                  "fail if either index's recall@k is below this in any "
+                  "space (0 = no gate)");
+  flags.AddDouble("min-speedup", 0.0,
+                  "fail if either index's QPS / exact QPS is below this "
+                  "in any space (0 = no gate)");
+  flags.AddString("baseline", "",
+                  "committed BENCH_retrieval.json to gate against (empty "
+                  "= no gate)");
+  flags.AddDouble("max-regression", 0.5,
+                  "fail if an index's speedup drops more than this "
+                  "fraction below the baseline");
+  const Status st = flags.Parse(argc, argv);
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  const int users = flags.GetInt("users");
+  const int items = flags.GetInt("items");
+  const int dim = flags.GetInt("dim");
+  const int clusters = flags.GetInt("clusters");
+  const int queries = flags.GetInt("queries");
+  const int top_k = flags.GetInt("topk");
+  retrieval::IvfOptions ivf_options;
+  ivf_options.cells = flags.GetInt("cells");
+  ivf_options.nprobe = flags.GetInt("nprobe");
+  retrieval::HnswOptions hnsw_options;
+  hnsw_options.M = flags.GetInt("M");
+  hnsw_options.ef_construction = flags.GetInt("ef-construction");
+  hnsw_options.ef_search = flags.GetInt("ef-search");
+
+  std::vector<SpaceSpec> spaces;
+  for (const std::string& name : Split(flags.GetString("spaces"), ',')) {
+    auto space = ParseSpace(name);
+    LOGIREC_CHECK_MSG(space.ok(), space.status().ToString());
+    spaces.push_back(*space);
+  }
+
+  std::printf(
+      "retrieval_throughput: items=%d dim=%d queries=%d topk=%d nprobe=%d "
+      "ef=%d\n",
+      items, dim, queries, top_k, ivf_options.nprobe,
+      hnsw_options.ef_search);
+  std::printf("%-9s %11s | %8s %11s %8s %8s | %8s %11s %8s %8s\n", "space",
+              "exact qps", "ivf bld", "ivf qps", "recall", "speedup",
+              "hnsw bld", "hnsw qps", "recall", "speedup");
+
+  std::vector<SpaceReport> reports;
+  for (const SpaceSpec& space : spaces) {
+    reports.push_back(BenchSpace(space, users, items, dim, clusters, queries,
+                                 top_k, ivf_options, hnsw_options,
+                                 flags.GetInt("threads")));
+    const SpaceReport& r = reports.back();
+    std::printf(
+        "%-9s %11.1f | %7.2fs %11.1f %8.3f %7.2fx | %7.2fs %11.1f %8.3f "
+        "%7.2fx\n",
+        r.space.c_str(), r.exact_qps, r.ivf.build_s, r.ivf.qps,
+        r.ivf.recall, r.ivf.speedup, r.hnsw.build_s, r.hnsw.qps,
+        r.hnsw.recall, r.hnsw.speedup);
+  }
+
+  const int det_items = flags.GetInt("det-items");
+  if (det_items > 0) {
+    for (const SpaceSpec& space : spaces) {
+      std::printf("determinism check: %s\n", space.name.c_str());
+      CheckDeterminism(space, det_items, dim, clusters, ivf_options,
+                       hnsw_options);
+    }
+  }
+
+  WriteJson(flags.GetString("out"), users, items, dim, clusters, queries,
+            top_k,
+            ivf_options, hnsw_options, reports);
+  std::printf("wrote %s\n", flags.GetString("out").c_str());
+
+  bool failed = false;
+  const double min_recall = flags.GetDouble("min-recall");
+  const double min_speedup = flags.GetDouble("min-speedup");
+  for (const SpaceReport& r : reports) {
+    for (const auto& [index_name, stats] :
+         {std::make_pair("ivf", &r.ivf), std::make_pair("hnsw", &r.hnsw)}) {
+      if (min_recall > 0.0 && stats->recall < min_recall) {
+        std::printf("GATE FAILED %s/%s: recall@%d %.4f < required %.4f\n",
+                    r.space.c_str(), index_name, top_k, stats->recall,
+                    min_recall);
+        failed = true;
+      }
+      if (min_speedup > 0.0 && stats->speedup < min_speedup) {
+        std::printf(
+            "GATE FAILED %s/%s: speedup %.2fx over exact scan < required "
+            "%.2fx\n",
+            r.space.c_str(), index_name, stats->speedup, min_speedup);
+        failed = true;
+      }
+    }
+  }
+  if (!failed && (min_recall > 0.0 || min_speedup > 0.0)) {
+    std::printf("recall/speedup gates passed (recall >= %.2f, speedup >= "
+                "%.2fx)\n",
+                min_recall, min_speedup);
+  }
+
+  if (!flags.GetString("baseline").empty()) {
+    const auto baseline = ReadBaseline(flags.GetString("baseline"));
+    const double max_regression = flags.GetDouble("max-regression");
+    bool regressed = false;
+    for (const SpaceReport& r : reports) {
+      auto it = baseline.find(r.space);
+      if (it == baseline.end()) continue;
+      const BaselineEntry& b = it->second;
+      // The committed artifact must itself honor the recall and speedup
+      // bars — a degraded BENCH_retrieval.json cannot be silently
+      // committed.
+      if (min_recall > 0.0 &&
+          (b.ivf_recall < min_recall || b.hnsw_recall < min_recall)) {
+        std::printf(
+            "BASELINE GATE FAILED %s: committed recall (ivf %.4f, hnsw "
+            "%.4f) below %.4f\n",
+            r.space.c_str(), b.ivf_recall, b.hnsw_recall, min_recall);
+        regressed = true;
+      }
+      if (min_speedup > 0.0 &&
+          (b.ivf_speedup < min_speedup || b.hnsw_speedup < min_speedup)) {
+        std::printf(
+            "BASELINE GATE FAILED %s: committed speedup (ivf %.2fx, hnsw "
+            "%.2fx) below %.2fx\n",
+            r.space.c_str(), b.ivf_speedup, b.hnsw_speedup, min_speedup);
+        regressed = true;
+      }
+      for (const auto& [index_name, now, then] :
+           {std::make_tuple("ivf", r.ivf.speedup, b.ivf_speedup),
+            std::make_tuple("hnsw", r.hnsw.speedup, b.hnsw_speedup)}) {
+        const double floor = then * (1.0 - max_regression);
+        if (now < floor) {
+          std::printf(
+              "REGRESSION %s/%s: speedup %.2fx < %.2fx (baseline %.2fx - "
+              "%.0f%% tolerance)\n",
+              r.space.c_str(), index_name, now, floor, then,
+              100.0 * max_regression);
+          regressed = true;
+        }
+      }
+    }
+    if (!regressed) {
+      std::printf("baseline gate passed (tolerance %.0f%%)\n",
+                  100.0 * max_regression);
+    }
+    failed = failed || regressed;
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace logirec::bench
+
+int main(int argc, char** argv) { return logirec::bench::Main(argc, argv); }

@@ -114,14 +114,6 @@ struct ModelReport {
   OpenLoopStats open_overload;
 };
 
-double Percentile(std::vector<double>* samples, double p) {
-  if (samples->empty()) return 0.0;
-  const size_t idx = static_cast<size_t>(
-      p * static_cast<double>(samples->size() - 1) + 0.5);
-  std::nth_element(samples->begin(), samples->begin() + idx, samples->end());
-  return (*samples)[idx];
-}
-
 struct ServablePair {
   std::shared_ptr<const serve::ServableModel> gen1;
   std::shared_ptr<const serve::ServableModel> gen2;  // for mid-load swap
@@ -179,12 +171,9 @@ OpenLoopStats RunOpenLoop(
   std::vector<double> arrivals(requests);
   double t = 0.0;
   for (int i = 0; i < requests; ++i) {
-    // Uniform in (0, 1) from the counter RNG, then inverse-CDF to an
-    // Exp(offered_qps) inter-arrival gap.
-    const double u =
-        (static_cast<double>(Rng::MixSeed(seed, i) >> 11) + 0.5) /
-        static_cast<double>(1ULL << 53);
-    t += -std::log(u) / offered_qps;
+    // Uniform in (0, 1), then inverse-CDF to an Exp(offered_qps)
+    // inter-arrival gap.
+    t += -std::log(CounterUniform(seed, i)) / offered_qps;
     arrivals[i] = t;
   }
   const auto at = [](Clock::time_point start, double seconds) {

@@ -25,6 +25,19 @@ class Amf final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "AMF"; }
 
+  // kRanking surrogate for ANN retrieval: <p_u, fused item row>.
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = eval::RankingSurrogateSpec::Kind::kDot;
+    spec.items = &item_view_;
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return user_.Row(user);
+  }
+
   // Snapshot scoring state (core/snapshot.h): the materialized
   // aspect-fused item rows — scoring never needs the tag lists back.
   void CollectScoringState(core::ParameterSet* state) override;

@@ -24,6 +24,20 @@ class Bprmf final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "BPRMF"; }
 
+  // kRanking surrogate for ANN retrieval: <p_u, q_v> + b_v.
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = eval::RankingSurrogateSpec::Kind::kDotBias;
+    spec.items = &item_view_;
+    spec.bias = item_bias_.data();
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return user_.Row(user);
+  }
+
   // Snapshot scoring state (core/snapshot.h): user/item factors + bias.
   void CollectScoringState(core::ParameterSet* state) override;
   Status FinalizeRestoredState() override;

@@ -25,6 +25,19 @@ class Cml final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "CML"; }
 
+  // kRanking surrogate for ANN retrieval: -||p_u - q_v||^2.
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = eval::RankingSurrogateSpec::Kind::kNegSquaredEuclidean;
+    spec.items = &item_view_;
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return user_.Row(user);
+  }
+
   // Snapshot scoring state (core/snapshot.h): the metric-space points.
   void CollectScoringState(core::ParameterSet* state) override;
   Status FinalizeRestoredState() override;
@@ -55,6 +68,19 @@ class Cmlf final : public core::Recommender, private core::Trainable {
   void ScoreItemsInto(int user, math::Span out,
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "CMLF"; }
+
+  // kRanking surrogate for ANN retrieval: -||p_u - fused item row||^2.
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = eval::RankingSurrogateSpec::Kind::kNegSquaredEuclidean;
+    spec.items = &item_view_;
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return user_.Row(user);
+  }
 
   // Snapshot scoring state (core/snapshot.h): the materialized effective
   // items — scoring never needs the tag lists back.

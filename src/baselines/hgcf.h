@@ -28,6 +28,21 @@ class Hgcf : public core::Recommender, private core::Trainable {
   void ScoreItemsInto(int user, math::Span out,
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "HGCF"; }
+
+  // kRanking surrogate for ANN retrieval: the raw Lorentz inner product
+  // <final_u, final_v>_L (d = acosh(-dot), acosh monotone). Hrcf
+  // inherits the same scoring state and surrogate.
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = eval::RankingSurrogateSpec::Kind::kLorentzDot;
+    spec.items = &item_view_;
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return final_user_.Row(user);
+  }
   const math::Matrix* ItemEmbeddings() const override {
     return &final_item_;
   }

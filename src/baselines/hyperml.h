@@ -26,6 +26,20 @@ class HyperMl final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "HyperML"; }
 
+  // kRanking surrogate for ANN retrieval: -gamma(p_u, q_v) on the
+  // Poincaré ball (d_P = acosh(gamma)).
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = eval::RankingSurrogateSpec::Kind::kNegPoincareGamma;
+    spec.items = &item_view_;
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return user_.Row(user);
+  }
+
   // Snapshot scoring state (core/snapshot.h): the Poincaré-ball points.
   void CollectScoringState(core::ParameterSet* state) override;
   Status FinalizeRestoredState() override;

@@ -27,6 +27,19 @@ class LightGcn final : public core::Recommender, private core::Trainable {
   void ScoreItemsInto(int user, math::Span out,
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "LightGCN"; }
+
+  // kRanking surrogate for ANN retrieval: <final_u, final_v>.
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = eval::RankingSurrogateSpec::Kind::kDot;
+    spec.items = &item_view_;
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return final_user_.Row(user);
+  }
   const math::Matrix* ItemEmbeddings() const override {
     return &final_item_;
   }

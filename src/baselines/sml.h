@@ -26,6 +26,19 @@ class Sml final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "SML"; }
 
+  // kRanking surrogate for ANN retrieval: -||p_u - q_v||^2.
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = eval::RankingSurrogateSpec::Kind::kNegSquaredEuclidean;
+    spec.items = &item_view_;
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return user_.Row(user);
+  }
+
   // Snapshot scoring state (core/snapshot.h): the metric-space points
   // (the adaptive margins only shape training, never scoring).
   void CollectScoringState(core::ParameterSet* state) override;

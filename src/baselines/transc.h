@@ -29,6 +29,25 @@ class TransC final : public core::Recommender, private core::Trainable {
                       eval::ScoreMode mode) const override;
   std::string name() const override { return "TransC"; }
 
+  // kRanking surrogate for ANN retrieval: -||(p_u + r) - q_v||. The
+  // query is computed (translation), so it fills the caller's scratch
+  // with the exact same u[k] + r[k] rounding as ScoreItemsInto.
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = eval::RankingSurrogateSpec::Kind::kNegEuclidean;
+    spec.items = &item_view_;
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* scratch) const override {
+    const int d = static_cast<int>(relation_.size());
+    scratch->resize(d);
+    const math::ConstSpan pu = user_.Row(user);
+    for (int k = 0; k < d; ++k) (*scratch)[k] = pu[k] + relation_[k];
+    return math::ConstSpan(*scratch);
+  }
+
   // Snapshot scoring state (core/snapshot.h): user/item points plus the
   // shared translation (the concept spheres only shape training).
   void CollectScoringState(core::ParameterSet* state) override;

@@ -72,6 +72,22 @@ class LogiRecModel final : public Recommender, private Trainable {
     return config_.use_mining ? "LogiRec++" : "LogiRec";
   }
 
+  // kRanking surrogate for ANN retrieval: the raw Lorentz inner product
+  // on the hyperboloid, or -||u - v||^2 for the Euclidean ablation.
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    if (item_view_.empty()) return spec;
+    spec.kind = config_.use_hyperbolic
+                    ? eval::RankingSurrogateSpec::Kind::kLorentzDot
+                    : eval::RankingSurrogateSpec::Kind::kNegSquaredEuclidean;
+    spec.items = &item_view_;
+    return spec;
+  }
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return final_user_.Row(user);
+  }
+
   /// Persists the trained model (all embedding tables plus a meta file)
   /// into the existing directory `dir`. Optimizer state and the per-user
   /// weighting are not saved; a loaded model is scoring-ready only.

@@ -19,6 +19,36 @@ void Scorer::ScoreItemsInto(int user, math::Span out, ScoreMode /*mode*/) const 
   std::copy(tmp.begin(), tmp.end(), out.begin());
 }
 
+void Scorer::RetrieveInto(int user, int k, const ItemFilter* filter,
+                          RetrieveScratch* scratch, std::vector<int>* out,
+                          int min_candidates) const {
+  if (retriever_ != nullptr) {
+    retriever_->RetrieveTopK(*this, user, k, std::max(min_candidates, k),
+                             filter, scratch, out);
+    return;
+  }
+  // Exact-scan fallback: the oracle the ANN indexes are verified against.
+  // Filtered items are masked to -inf, which TopKInto never returns.
+  scratch->scores.resize(0);  // keep capacity, force resize below
+  std::vector<double>& scores = scratch->scores;
+  // The scorer knows its catalog size only implicitly; size the buffer
+  // from the surrogate spec when available, else from ScoreItems.
+  const RankingSurrogateSpec spec = RankingSurrogate();
+  if (spec.kind != RankingSurrogateSpec::Kind::kNone) {
+    scores.resize(spec.items->items());
+    ScoreItemsInto(user, math::Span(scores), ScoreMode::kRanking);
+  } else {
+    ScoreItems(user, &scores);
+  }
+  if (filter != nullptr) {
+    const double neg_inf = -std::numeric_limits<double>::infinity();
+    for (size_t v = 0; v < scores.size(); ++v) {
+      if (filter->Excluded(static_cast<int>(v))) scores[v] = neg_inf;
+    }
+  }
+  TopKInto(math::ConstSpan(scores), k, &scratch->topk, out);
+}
+
 double EvalResult::Get(const std::string& key) const {
   auto it = mean.find(key);
   LOGIREC_CHECK_MSG(it != mean.end(), "missing metric " + key);

@@ -1,11 +1,14 @@
 #ifndef LOGIREC_EVAL_EVALUATOR_H_
 #define LOGIREC_EVAL_EVALUATOR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
+#include "math/kernels.h"
 #include "math/vec.h"
 
 namespace logirec::eval {
@@ -20,6 +23,84 @@ enum class ScoreMode {
   /// equal-score ties are preserved, but the values are not comparable
   /// across modes. This is the ranking hot path.
   kRanking,
+};
+
+/// Description of a scorer's kRanking surrogate space, for sublinear
+/// retrieval (src/retrieval/). When `kind != kNone`, the scorer promises
+/// that its kRanking scores are exactly
+///
+///   score(u, v) = Finish_kind(query(u), items.column v [, bias[v]])
+///
+/// where Finish_kind is the per-item reduction of the matching
+/// math/kernels.h kernel (kDot -> DotsInto, kLorentzDot ->
+/// LorentzDotsInto, ...). Every kind reduces to an *inner product in an
+/// augmented space* (see retrieval/surrogate.h), which is what makes
+/// hyperbolic top-k indexable by standard IVF / graph ANN structures.
+struct RankingSurrogateSpec {
+  enum class Kind {
+    kNone,                 ///< no linear surrogate (e.g. NeuMF's MLP tower)
+    kDot,                  ///< <q, v>
+    kDotBias,              ///< <q, v> + bias[v]
+    kNegSquaredEuclidean,  ///< -||q - v||^2
+    kNegEuclidean,         ///< -||q - v||
+    kLorentzDot,           ///< <q, v>_L (raw Lorentz inner product)
+    kNegPoincareGamma,     ///< -gamma(q, v), d_P = acosh(gamma)
+  };
+  Kind kind = Kind::kNone;
+  /// Column-major item catalog (with cached squared norms). Non-null and
+  /// non-empty whenever kind != kNone.
+  const math::ScoringView* items = nullptr;
+  /// kDotBias only: per-item additive bias, items->items() entries.
+  const double* bias = nullptr;
+};
+
+/// Serve-time exclusion predicate for retrieval (e.g. "the user has
+/// already seen this item"). Called per *candidate*, not per catalog
+/// item, so a virtual call is fine here.
+class ItemFilter {
+ public:
+  virtual ~ItemFilter() = default;
+  virtual bool Excluded(int item) const = 0;
+};
+
+/// Reusable per-thread scratch for Scorer::RetrieveInto and the retrieval
+/// indexes behind it. All buffers keep their capacity across calls, so a
+/// serving worker ranking many users steady-states allocation-free. The
+/// fields are deliberately generic — each index repurposes them (IVF:
+/// cell scores + candidate pairs; HNSW: beam heaps + epoch-stamped
+/// visited marks).
+struct RetrieveScratch {
+  math::Vec scores;      ///< full-catalog scores (exact-scan fallback)
+  math::Vec query;       ///< RankingQuery storage for computed queries
+  math::Vec aug_query;   ///< augmented-space query
+  std::vector<int> ids;  ///< candidate item ids
+  std::vector<int> topk; ///< TopKInto candidate scratch
+  std::vector<std::pair<double, int>> heap_a;  ///< (score, id) working sets
+  std::vector<std::pair<double, int>> heap_b;
+  std::vector<uint32_t> marks;  ///< epoch-stamped visited flags
+  uint32_t mark_epoch = 0;
+};
+
+class Scorer;
+
+/// Candidate generation + exact rerank behind Scorer::RetrieveInto,
+/// implemented by the ANN indexes in src/retrieval/. Kept abstract here
+/// so eval does not depend on the retrieval library.
+class CandidateRetriever {
+ public:
+  virtual ~CandidateRetriever() = default;
+
+  /// Fills `out` with the top-k items for `user` (best first), excluding
+  /// filtered items. `min_candidates` is the breadth floor the caller
+  /// needs (typically k + the user's filtered-item count) — the index
+  /// widens its probe until it reaches it or the catalog is exhausted.
+  /// The contract (see DESIGN.md §2h): candidate scores are bit-identical
+  /// to the scorer's kRanking scan, so whenever the candidate set covers
+  /// the true top-k the result equals the exact full scan exactly.
+  virtual void RetrieveTopK(const Scorer& scorer, int user, int k,
+                            int min_candidates, const ItemFilter* filter,
+                            RetrieveScratch* scratch,
+                            std::vector<int>* out) const = 0;
 };
 
 /// Scoring interface the evaluator consumes. Higher score = better item.
@@ -37,6 +118,44 @@ class Scorer {
   /// scorers keep working unchanged (the bridge allocates and always
   /// returns exact scores, which is valid in either mode).
   virtual void ScoreItemsInto(int user, math::Span out, ScoreMode mode) const;
+
+  /// Describes this scorer's kRanking surrogate space so an ANN index can
+  /// be built over it. The default (kind == kNone) opts out: retrieval
+  /// falls back to the exact scan. Only valid once the model is
+  /// scoring-ready (after Fit() or snapshot restore).
+  virtual RankingSurrogateSpec RankingSurrogate() const { return {}; }
+
+  /// The user-side query vector of the surrogate space. Models whose
+  /// query is a plain embedding row return a view into their state;
+  /// models with a computed query (e.g. TransC's u + r translation) fill
+  /// `*scratch` and return a view into it.
+  virtual math::ConstSpan RankingQuery(int user, math::Vec* scratch) const {
+    (void)user;
+    (void)scratch;
+    return {};
+  }
+
+  /// Attaches a retrieval index built over this scorer's surrogate space
+  /// (serve::ServableModel does this at snapshot-restore time). Non-owning;
+  /// the retriever must outlive the scorer or be detached (nullptr).
+  void AttachRetriever(const CandidateRetriever* retriever) {
+    retriever_ = retriever;
+  }
+  const CandidateRetriever* retriever() const { return retriever_; }
+
+  /// Sublinear top-k entry point: with a retriever attached, candidates
+  /// come from the ANN index and are exactly reranked (bit-identical to
+  /// the kRanking scan); without one this is the exact O(items) scan.
+  /// Either way `out` holds at most k unfiltered item ids, best first,
+  /// with the TopKInto tie-break (descending score, ascending id).
+  /// `min_candidates` (default: k) lets callers that filter widen the
+  /// index probe, e.g. k + the user's seen-item count.
+  void RetrieveInto(int user, int k, const ItemFilter* filter,
+                    RetrieveScratch* scratch, std::vector<int>* out,
+                    int min_candidates = 0) const;
+
+ private:
+  const CandidateRetriever* retriever_ = nullptr;
 };
 
 /// Aggregate metrics across users, plus per-user vectors for significance

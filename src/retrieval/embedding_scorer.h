@@ -1,0 +1,69 @@
+#ifndef LOGIREC_RETRIEVAL_EMBEDDING_SCORER_H_
+#define LOGIREC_RETRIEVAL_EMBEDDING_SCORER_H_
+
+#include <utility>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "math/kernels.h"
+#include "math/matrix.h"
+#include "retrieval/surrogate.h"
+
+namespace logirec::retrieval {
+
+/// Minimal Scorer over raw user/item embedding tables, for the retrieval
+/// bench and index tests: large synthetic catalogs without training a
+/// model. Its canonical score IS the surrogate (kExact == kRanking),
+/// which is valid under the ScoreMode contract and makes the full
+/// kRanking scan the recall oracle.
+class EmbeddingScorer : public eval::Scorer {
+ public:
+  /// `bias` is required (one entry per item row) for kDotBias, ignored
+  /// otherwise.
+  EmbeddingScorer(math::Matrix users, math::Matrix items, SurrogateKind kind,
+                  math::Vec bias = {})
+      : users_(std::move(users)),
+        items_(std::move(items)),
+        bias_(std::move(bias)),
+        kind_(kind) {
+    view_.Assign(items_);
+  }
+
+  int num_users() const { return users_.rows(); }
+  int num_items() const { return items_.rows(); }
+
+  void ScoreItems(int user, std::vector<double>* out) const override {
+    out->resize(view_.items());
+    ScoreItemsInto(user, math::Span(*out), eval::ScoreMode::kExact);
+  }
+
+  void ScoreItemsInto(int user, math::Span out,
+                      eval::ScoreMode /*mode*/) const override {
+    SurrogateScanInto(kind_, users_.Row(user), view_,
+                      bias_.empty() ? nullptr : bias_.data(), out);
+  }
+
+  eval::RankingSurrogateSpec RankingSurrogate() const override {
+    eval::RankingSurrogateSpec spec;
+    spec.kind = kind_;
+    spec.items = &view_;
+    spec.bias = bias_.empty() ? nullptr : bias_.data();
+    return spec;
+  }
+
+  math::ConstSpan RankingQuery(int user,
+                               math::Vec* /*scratch*/) const override {
+    return users_.Row(user);
+  }
+
+ private:
+  math::Matrix users_;
+  math::Matrix items_;
+  math::Vec bias_;
+  math::ScoringView view_;
+  SurrogateKind kind_;
+};
+
+}  // namespace logirec::retrieval
+
+#endif  // LOGIREC_RETRIEVAL_EMBEDDING_SCORER_H_

@@ -1,0 +1,401 @@
+#include "retrieval/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace logirec::retrieval {
+
+namespace {
+
+/// Hard cap on node levels; with mL = 1/ln(M) the probability of drawing
+/// past it is ~M^-24 — the cap only bounds allocation.
+constexpr int kLevelCap = 24;
+
+uint64_t HashU64(uint64_t h, uint64_t x) {
+  // FNV-1a over the 8 bytes of x.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Max-heap comparator for the beam's candidate pool: top = best
+/// (BetterScored order).
+inline bool CandidateLess(const std::pair<double, int>& a,
+                          const std::pair<double, int>& b) {
+  return BetterScored(b, a);
+}
+
+/// Min-heap comparator for the beam's result pool: top = worst.
+inline bool ResultLess(const std::pair<double, int>& a,
+                       const std::pair<double, int>& b) {
+  return BetterScored(a, b);
+}
+
+}  // namespace
+
+double HnswIndex::Sim(math::ConstSpan q, int v) const {
+  return math::Dot(q, aug_.Row(v));
+}
+
+int HnswIndex::GreedyDescend(math::ConstSpan q, int from_level, int to_level,
+                             int entry) const {
+  int cur = entry;
+  if (from_level < to_level) return cur;
+  double cur_sim = Sim(q, cur);
+  for (int level = from_level; level >= to_level; --level) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (int nb : nodes_[cur].nbrs[level]) {
+        const double s = Sim(q, nb);
+        // Strict (sim, -id) lexicographic progress: every move raises the
+        // similarity or lowers the id at equal similarity, so the walk
+        // terminates and is independent of neighbor-list order.
+        if (s > cur_sim || (s == cur_sim && nb < cur)) {
+          cur = nb;
+          cur_sim = s;
+          improved = true;
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+void HnswIndex::SearchLayer(math::ConstSpan q, int level, int ef, int entry,
+                            std::vector<std::pair<double, int>>* results,
+                            std::vector<std::pair<double, int>>* candidates,
+                            std::vector<uint32_t>* marks,
+                            uint32_t* epoch) const {
+  const int n = num_items();
+  results->clear();
+  candidates->clear();
+  if (static_cast<int>(marks->size()) < n) {
+    marks->assign(n, 0);
+    *epoch = 0;
+  }
+  if (*epoch == std::numeric_limits<uint32_t>::max()) {
+    std::fill(marks->begin(), marks->end(), 0);
+    *epoch = 0;
+  }
+  const uint32_t e = ++*epoch;
+
+  (*marks)[entry] = e;
+  const std::pair<double, int> seed(Sim(q, entry), entry);
+  candidates->push_back(seed);
+  results->push_back(seed);
+
+  while (!candidates->empty()) {
+    std::pop_heap(candidates->begin(), candidates->end(), CandidateLess);
+    const std::pair<double, int> cur = candidates->back();
+    candidates->pop_back();
+    if (static_cast<int>(results->size()) >= ef &&
+        BetterScored(results->front(), cur)) {
+      break;  // the beam's worst kept result beats the best frontier node
+    }
+    for (int nb : nodes_[cur.second].nbrs[level]) {
+      if ((*marks)[nb] == e) continue;
+      (*marks)[nb] = e;
+      const std::pair<double, int> cand(Sim(q, nb), nb);
+      if (static_cast<int>(results->size()) < ef ||
+          BetterScored(cand, results->front())) {
+        candidates->push_back(cand);
+        std::push_heap(candidates->begin(), candidates->end(), CandidateLess);
+        results->push_back(cand);
+        std::push_heap(results->begin(), results->end(), ResultLess);
+        if (static_cast<int>(results->size()) > ef) {
+          std::pop_heap(results->begin(), results->end(), ResultLess);
+          results->pop_back();
+        }
+      }
+    }
+  }
+  std::sort(results->begin(), results->end(), BetterScored);
+}
+
+void HnswIndex::SelectNeighbors(
+    const std::vector<std::pair<double, int>>& candidates, int max_conn,
+    std::vector<std::pair<double, int>>* out) const {
+  out->clear();
+  for (const std::pair<double, int>& cand : candidates) {
+    if (static_cast<int>(out->size()) >= max_conn) break;
+    bool keep = true;
+    for (const std::pair<double, int>& kept : *out) {
+      // The classic HNSW diversity rule in similarity terms: drop `cand`
+      // if it is closer to an already-kept neighbor than to the new node
+      // (a kept node already covers that direction of the graph).
+      if (math::Dot(aug_.Row(cand.second), aug_.Row(kept.second)) >
+          cand.first) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out->push_back(cand);
+  }
+}
+
+std::unique_ptr<HnswIndex> HnswIndex::Build(
+    const eval::RankingSurrogateSpec& spec, const HnswOptions& options) {
+  const int n = spec.items->items();
+  LOGIREC_CHECK(n > 0);
+
+  auto index = std::unique_ptr<HnswIndex>(new HnswIndex());
+  index->spec_ = spec;
+  index->options_ = options;
+  index->options_.M = std::max(2, options.M);
+  index->options_.ef_construction =
+      std::max(options.ef_construction, index->options_.M);
+  index->options_.batch = std::max(1, options.batch);
+  const int M = index->options_.M;
+
+  // Norm-equalizing MIPS->cosine reduction (Bachrach et al.): append
+  // sqrt(phi^2 - ||v~||^2) to every augmented item, with phi the max
+  // augmented norm; queries append 0, so every query dot is unchanged.
+  // Item-item dots become spherical proximity (all items share norm phi),
+  // which removes the high-norm "hub" pathology of raw inner-product
+  // graphs — without it, low-norm items that win queries after the
+  // -||v||^2 correction collect no inbound links and become unreachable.
+  {
+    math::Matrix raw;
+    BuildAugmentedItems(spec, &raw, options.num_threads);
+    const int ad = raw.cols();
+    std::vector<double> norms_sq(n);
+    ParallelFor(0, n, [&](int v) {
+      norms_sq[v] = math::SquaredNorm(raw.Row(v));
+    }, options.num_threads);
+    double max_sq = 0.0;
+    for (int v = 0; v < n; ++v) max_sq = std::max(max_sq, norms_sq[v]);
+    index->aug_ = math::Matrix(n, ad + 1);
+    ParallelFor(0, n, [&](int v) {
+      math::Span row = index->aug_.Row(v);
+      math::ConstSpan src = raw.Row(v);
+      for (int k = 0; k < ad; ++k) row[k] = src[k];
+      row[ad] = std::sqrt(std::max(0.0, max_sq - norms_sq[v]));
+    }, options.num_threads);
+  }
+
+  // Counter-RNG level assignment: a pure function of (seed, id).
+  index->nodes_.resize(n);
+  const double ml = 1.0 / std::log(static_cast<double>(M));
+  for (int i = 0; i < n; ++i) {
+    const double u =
+        (static_cast<double>(Rng::MixSeed(options.seed, i) >> 11) + 0.5) *
+        0x1.0p-53;
+    const int level =
+        std::min(static_cast<int>(-std::log(u) * ml), kLevelCap);
+    Node& node = index->nodes_[i];
+    node.level = level;
+    node.nbrs.resize(level + 1);
+    node.sims.resize(level + 1);
+  }
+
+  const auto max_conn = [M](int level) { return level == 0 ? 2 * M : M; };
+
+  // Per-worker search scratch for the parallel phase.
+  struct BuildScratch {
+    std::vector<std::pair<double, int>> results;
+    std::vector<std::pair<double, int>> candidates;
+    std::vector<uint32_t> marks;
+    uint32_t epoch = 0;
+  };
+  const int batch = index->options_.batch;
+  std::vector<BuildScratch> scratch(
+      std::max(1, ResolveWorkerCount(options.num_threads, batch)));
+  // proposed[i - b0][level] = heuristic-selected neighbors from phase 1.
+  std::vector<std::vector<std::vector<std::pair<double, int>>>> proposed(
+      batch);
+
+  for (int b0 = 0; b0 < n; b0 += batch) {
+    const int b1 = std::min(n, b0 + batch);
+    const int frozen_entry = index->entry_;
+    const int frozen_max = index->max_level_;
+
+    // Phase 1 (parallel): every batch node searches the frozen graph —
+    // a pure read, so the proposals are thread-count independent.
+    ParallelForWorker(b0, b1, [&](int worker, int i) {
+      std::vector<std::vector<std::pair<double, int>>>& levels =
+          proposed[i - b0];
+      const int node_level = index->nodes_[i].level;
+      levels.assign(node_level + 1, {});
+      if (frozen_entry < 0) return;
+      const math::ConstSpan q = index->aug_.Row(i);
+      BuildScratch& bs = scratch[worker];
+      int cur =
+          index->GreedyDescend(q, frozen_max, node_level + 1, frozen_entry);
+      for (int level = std::min(frozen_max, node_level); level >= 0;
+           --level) {
+        index->SearchLayer(q, level, index->options_.ef_construction, cur,
+                           &bs.results, &bs.candidates, &bs.marks,
+                           &bs.epoch);
+        index->SelectNeighbors(bs.results, max_conn(level),
+                               &levels[level]);
+        if (!bs.results.empty()) cur = bs.results[0].second;
+      }
+    }, options.num_threads);
+
+    // Phase 2 (serial, ascending id): merge earlier same-batch nodes as
+    // extra candidates, link, and shrink overflowing reciprocal lists by
+    // cached link similarity — deterministic by construction.
+    for (int i = b0; i < b1; ++i) {
+      Node& node = index->nodes_[i];
+      for (int level = 0; level <= node.level; ++level) {
+        std::vector<std::pair<double, int>> links = proposed[i - b0][level];
+        for (int j = b0; j < i; ++j) {
+          if (index->nodes_[j].level < level) continue;
+          links.emplace_back(index->Sim(index->aug_.Row(i), j), j);
+        }
+        std::sort(links.begin(), links.end(), BetterScored);
+        links.erase(std::unique(links.begin(), links.end()), links.end());
+        if (static_cast<int>(links.size()) > max_conn(level)) {
+          links.resize(max_conn(level));
+        }
+        node.nbrs[level].reserve(links.size());
+        node.sims[level].reserve(links.size());
+        for (const std::pair<double, int>& link : links) {
+          node.nbrs[level].push_back(link.second);
+          node.sims[level].push_back(link.first);
+          // Reciprocal edge, shrunk by worst cached similarity when the
+          // neighbor's list overflows.
+          Node& other = index->nodes_[link.second];
+          other.nbrs[level].push_back(i);
+          other.sims[level].push_back(link.first);
+          if (static_cast<int>(other.nbrs[level].size()) >
+              max_conn(level)) {
+            size_t worst = 0;
+            for (size_t idx = 1; idx < other.nbrs[level].size(); ++idx) {
+              if (BetterScored({other.sims[level][worst],
+                                other.nbrs[level][worst]},
+                               {other.sims[level][idx],
+                                other.nbrs[level][idx]})) {
+                worst = idx;
+              }
+            }
+            other.nbrs[level].erase(other.nbrs[level].begin() + worst);
+            other.sims[level].erase(other.sims[level].begin() + worst);
+          }
+        }
+      }
+      if (node.level > index->max_level_) {
+        index->max_level_ = node.level;
+        index->entry_ = i;
+      }
+    }
+  }
+
+  // Level-0 connectivity repair: queries reach items by following
+  // out-links from the entry, and the reciprocal-link shrinking above can
+  // (rarely) orphan a node. A serial BFS finds every unreachable node
+  // (ascending id) and grafts it onto its most similar reached node, so
+  // "beam of ef >= n" provably degenerates to the exhaustive exact scan.
+  {
+    std::vector<char> reached(n, 0);
+    std::vector<int> stack;
+    stack.push_back(index->entry_);
+    reached[index->entry_] = 1;
+    int count = 1;
+    const auto flood = [&] {
+      while (!stack.empty()) {
+        const int v = stack.back();
+        stack.pop_back();
+        for (int nb : index->nodes_[v].nbrs[0]) {
+          if (reached[nb]) continue;
+          reached[nb] = 1;
+          ++count;
+          stack.push_back(nb);
+        }
+      }
+    };
+    flood();
+    for (int i = 0; i < n && count < n; ++i) {
+      if (reached[i]) continue;
+      int best = -1;
+      double best_sim = -std::numeric_limits<double>::infinity();
+      for (int j = 0; j < n; ++j) {
+        if (!reached[j]) continue;
+        const double s = math::Dot(index->aug_.Row(i), index->aug_.Row(j));
+        if (s > best_sim) {
+          best_sim = s;
+          best = j;
+        }
+      }
+      index->nodes_[best].nbrs[0].push_back(i);
+      index->nodes_[best].sims[0].push_back(best_sim);
+      reached[i] = 1;
+      ++count;
+      stack.push_back(i);
+      flood();  // the graft may make the orphan's whole cluster reachable
+    }
+  }
+  return index;
+}
+
+void HnswIndex::RetrieveTopK(const eval::Scorer& scorer, int user, int k,
+                             int min_candidates,
+                             const eval::ItemFilter* filter,
+                             eval::RetrieveScratch* scratch,
+                             std::vector<int>* out) const {
+  out->clear();
+  if (k <= 0 || entry_ < 0) return;
+
+  const math::ConstSpan query = scorer.RankingQuery(user, &scratch->query);
+  LOGIREC_CHECK(static_cast<int>(query.size()) == spec_.items->dim());
+  AugmentQuery(spec_, query, &scratch->aug_query);
+  // The norm-equalizing item coordinate pairs with a 0 on the query side:
+  // every graph-space dot equals the plain augmented dot.
+  scratch->aug_query.push_back(0.0);
+  const math::ConstSpan q(scratch->aug_query);
+
+  // Widen the beam to the caller's candidate floor so filtering (seen
+  // items) cannot starve the final top-k.
+  const int ef =
+      std::max(options_.ef_search, std::max(min_candidates, k));
+  const int top = GreedyDescend(q, max_level_, 1, entry_);
+  SearchLayer(q, 0, ef, top, &scratch->heap_a, &scratch->heap_b,
+              &scratch->marks, &scratch->mark_epoch);
+
+  // Exact rerank: replace the approximate augmented-dot beam scores with
+  // the bit-identical per-item kRanking surrogate, drop filtered items,
+  // and select with the TopKInto tie-break.
+  std::vector<std::pair<double, int>>& candidates = scratch->heap_b;
+  candidates.clear();
+  for (const std::pair<double, int>& cand : scratch->heap_a) {
+    const int v = cand.second;
+    if (filter != nullptr && filter->Excluded(v)) continue;
+    candidates.emplace_back(SurrogateScore(spec_, query, v), v);
+  }
+  const int take = std::min<int>(k, static_cast<int>(candidates.size()));
+  if (take < static_cast<int>(candidates.size())) {
+    std::nth_element(candidates.begin(), candidates.begin() + (take - 1),
+                     candidates.end(), BetterScored);
+    candidates.resize(take);
+  }
+  std::sort(candidates.begin(), candidates.end(), BetterScored);
+  out->reserve(take);
+  for (int i = 0; i < take; ++i) out->push_back(candidates[i].second);
+}
+
+uint64_t HnswIndex::Fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = HashU64(h, static_cast<uint64_t>(nodes_.size()));
+  h = HashU64(h, static_cast<uint64_t>(entry_));
+  for (const Node& node : nodes_) {
+    h = HashU64(h, static_cast<uint64_t>(node.level));
+    for (int level = 0; level <= node.level; ++level) {
+      h = HashU64(h, node.nbrs[level].size());
+      for (int nb : node.nbrs[level]) {
+        h = HashU64(h, static_cast<uint64_t>(nb));
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace logirec::retrieval

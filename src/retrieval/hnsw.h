@@ -1,0 +1,109 @@
+#ifndef LOGIREC_RETRIEVAL_HNSW_H_
+#define LOGIREC_RETRIEVAL_HNSW_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "math/matrix.h"
+#include "retrieval/surrogate.h"
+
+namespace logirec::retrieval {
+
+struct HnswOptions {
+  /// Max links per node on the upper levels (level 0 keeps 2*M).
+  int M = 16;
+  /// Beam width while inserting.
+  int ef_construction = 128;
+  /// Beam width while querying (widened automatically when the caller's
+  /// min_candidates floor exceeds it).
+  int ef_search = 96;
+  uint64_t seed = 1;
+  /// Build parallelism (0 = hardware); the graph is identical at any
+  /// value (see the batch-build note below).
+  int num_threads = 0;
+  /// Nodes inserted per deterministic build batch.
+  int batch = 64;
+};
+
+/// Small-world graph index (HNSW-style) over the augmented surrogate
+/// space, searched by inner product.
+///
+/// The graph lives in a norm-equalized copy of the augmented space: every
+/// item gets one extra coordinate sqrt(phi^2 - ||v~||^2) (phi = max
+/// augmented norm) and queries a matching 0, which leaves all query dots
+/// unchanged but makes item-item dots spherical proximity — the standard
+/// MIPS->cosine reduction, avoiding the hub pathology of raw
+/// inner-product graphs. A serial post-build BFS grafts any node the
+/// entry cannot reach onto its most similar reached node, so a beam of
+/// ef >= n provably visits the whole catalog (the exact-scan limit).
+///
+/// Determinism strategy: node levels come from the counter-RNG
+/// (Rng::MixSeed(seed, id)), so they are a pure function of the seed.
+/// Insertion runs in fixed batches: phase 1 lets every node of the batch
+/// search the FROZEN graph in parallel (a pure read, including heuristic
+/// neighbor selection), phase 2 links the batch serially in ascending id
+/// order (merging earlier same-batch nodes as extra candidates and
+/// shrinking overflowing reciprocal lists by cached similarity). Both
+/// phases are independent of the thread count, so seed => identical
+/// graph.
+///
+/// Queries greedy-descend the upper levels, beam-search level 0 with
+/// `ef`, then exactly rerank the candidates through the bit-identical
+/// per-item surrogate score (retrieval/surrogate.h) with the TopKInto
+/// tie-break.
+class HnswIndex : public eval::CandidateRetriever {
+ public:
+  static std::unique_ptr<HnswIndex> Build(
+      const eval::RankingSurrogateSpec& spec, const HnswOptions& options);
+
+  void RetrieveTopK(const eval::Scorer& scorer, int user, int k,
+                    int min_candidates, const eval::ItemFilter* filter,
+                    eval::RetrieveScratch* scratch,
+                    std::vector<int>* out) const override;
+
+  int num_items() const { return static_cast<int>(nodes_.size()); }
+  int max_level() const { return max_level_; }
+
+  /// Structural hash (levels + adjacency), for the determinism tests.
+  uint64_t Fingerprint() const;
+
+ private:
+  struct Node {
+    int level = 0;
+    /// Per level: neighbor ids and the cached similarity of each link
+    /// (used for cheap worst-drop shrinking during reciprocal updates).
+    std::vector<std::vector<int>> nbrs;
+    std::vector<std::vector<double>> sims;
+  };
+
+  HnswIndex() = default;
+
+  double Sim(math::ConstSpan q, int v) const;
+  int GreedyDescend(math::ConstSpan q, int from_level, int to_level,
+                    int entry) const;
+  /// Beam search on one level; results end up sorted (sim desc, id asc).
+  void SearchLayer(math::ConstSpan q, int level, int ef, int entry,
+                   std::vector<std::pair<double, int>>* results,
+                   std::vector<std::pair<double, int>>* candidates,
+                   std::vector<uint32_t>* marks, uint32_t* epoch) const;
+  /// HNSW neighbor heuristic over (sim desc, id asc)-sorted candidates:
+  /// keep c only if it is closer to the new node than to every already
+  /// kept neighbor (diversity), up to max_conn.
+  void SelectNeighbors(const std::vector<std::pair<double, int>>& candidates,
+                       int max_conn,
+                       std::vector<std::pair<double, int>>* out) const;
+
+  eval::RankingSurrogateSpec spec_;
+  HnswOptions options_;
+  math::Matrix aug_;  ///< row-major augmented item vectors
+  std::vector<Node> nodes_;
+  int entry_ = -1;
+  int max_level_ = -1;
+};
+
+}  // namespace logirec::retrieval
+
+#endif  // LOGIREC_RETRIEVAL_HNSW_H_

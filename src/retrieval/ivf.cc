@@ -1,0 +1,240 @@
+#include "retrieval/ivf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace logirec::retrieval {
+
+namespace {
+
+/// Fixed shard count for the centroid-update fold. Partial sums are
+/// computed per shard in parallel (each shard walks its item range in
+/// ascending order), then folded serially shard 0..kShards-1 — the
+/// floating-point accumulation order is a function of the shard
+/// boundaries only, never of the thread count.
+constexpr int kUpdateShards = 64;
+
+uint64_t HashU64(uint64_t h, uint64_t x) {
+  // FNV-1a over the 8 bytes of x.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashDouble(uint64_t h, double x) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(x));
+  __builtin_memcpy(&bits, &x, sizeof(bits));
+  return HashU64(h, bits);
+}
+
+}  // namespace
+
+std::unique_ptr<IvfIndex> IvfIndex::Build(
+    const eval::RankingSurrogateSpec& spec, const IvfOptions& options) {
+  const math::ScoringView& view = *spec.items;
+  const int n = view.items();
+  const int d = view.dim();
+  LOGIREC_CHECK(n > 0);
+
+  auto index = std::unique_ptr<IvfIndex>(new IvfIndex());
+  index->spec_ = spec;
+  index->options_ = options;
+  index->num_items_ = n;
+
+  int cells = options.cells > 0
+                  ? options.cells
+                  : static_cast<int>(std::lround(std::sqrt(n)));
+  cells = std::max(1, std::min(cells, n));
+
+  // Augmented item vectors — the clustering (and probing) space.
+  math::Matrix aug;
+  BuildAugmentedItems(spec, &aug, options.num_threads);
+  const int ad = aug.cols();
+
+  // Deterministic distinct init: counter-RNG draws with rejection. The
+  // attempt counter is the stream, so the chosen seeds are a pure
+  // function of (seed, n, cells).
+  math::Matrix centroids(cells, ad);
+  {
+    std::vector<char> used(n, 0);
+    uint64_t attempt = 0;
+    for (int c = 0; c < cells; ++c) {
+      int pick;
+      do {
+        pick = static_cast<int>(Rng::MixSeed(options.seed, attempt++) %
+                                static_cast<uint64_t>(n));
+      } while (used[pick]);
+      used[pick] = 1;
+      math::Copy(aug.Row(pick), centroids.Row(c));
+    }
+  }
+
+  std::vector<int> assignment(n, 0);
+  const int shards = std::min(kUpdateShards, n);
+  // Per-shard partial state: sums[shard] is cells x ad, counts likewise.
+  std::vector<math::Matrix> shard_sums(shards);
+  std::vector<std::vector<int64_t>> shard_counts(shards);
+
+  for (int iter = 0; iter < std::max(options.iterations, 1); ++iter) {
+    // Assign: pure per-item argmin over centroids (ties -> lowest cell
+    // id), deterministic at any thread count.
+    ParallelFor(0, n, [&](int v) {
+      math::ConstSpan x = aug.Row(v);
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < cells; ++c) {
+        const double dist = math::SquaredDistance(x, centroids.Row(c));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      assignment[v] = best_c;
+    }, options.num_threads);
+
+    // Update: parallel per-shard partial sums over ascending item ranges,
+    // then a serial ordered fold.
+    ParallelFor(0, shards, [&](int s) {
+      math::Matrix& sums = shard_sums[s];
+      sums.Reset(cells, ad);
+      std::vector<int64_t>& counts = shard_counts[s];
+      counts.assign(cells, 0);
+      const int64_t begin = static_cast<int64_t>(s) * n / shards;
+      const int64_t end = static_cast<int64_t>(s + 1) * n / shards;
+      for (int64_t v = begin; v < end; ++v) {
+        const int c = assignment[v];
+        math::Span acc = sums.Row(c);
+        math::ConstSpan x = aug.Row(static_cast<int>(v));
+        for (int k = 0; k < ad; ++k) acc[k] += x[k];
+        ++counts[c];
+      }
+    }, options.num_threads);
+    for (int c = 0; c < cells; ++c) {
+      int64_t count = 0;
+      math::Span acc = shard_sums[0].Row(c);
+      for (int s = 1; s < shards; ++s) {
+        math::ConstSpan part = shard_sums[s].Row(c);
+        for (int k = 0; k < ad; ++k) acc[k] += part[k];
+      }
+      for (int s = 0; s < shards; ++s) count += shard_counts[s][c];
+      if (count == 0) continue;  // empty cell keeps its old centroid
+      math::Span target = centroids.Row(c);
+      const double inv = 1.0 / static_cast<double>(count);
+      for (int k = 0; k < ad; ++k) target[k] = acc[k] * inv;
+    }
+  }
+
+  // Materialize the cells: ascending member ids (the loop order), plus a
+  // per-cell ScoringView over the members' original coordinates so the
+  // probe scan runs the same blocked kernels as the full scan.
+  index->cell_ids_.assign(cells, {});
+  for (int v = 0; v < n; ++v) index->cell_ids_[assignment[v]].push_back(v);
+  index->cell_views_.resize(cells);
+  const bool with_bias = spec.kind == SurrogateKind::kDotBias;
+  if (with_bias) index->cell_bias_.resize(cells);
+  ParallelFor(0, cells, [&](int c) {
+    const std::vector<int>& ids = index->cell_ids_[c];
+    if (ids.empty()) return;
+    math::Matrix members(static_cast<int>(ids.size()), d);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      math::Span row = members.Row(static_cast<int>(i));
+      for (int k = 0; k < d; ++k) row[k] = view.Col(k)[ids[i]];
+    }
+    index->cell_views_[c].Assign(members);
+    if (with_bias) {
+      std::vector<double>& bias = index->cell_bias_[c];
+      bias.resize(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) bias[i] = spec.bias[ids[i]];
+    }
+  }, options.num_threads);
+
+  index->centroids_.Assign(centroids);
+  return index;
+}
+
+void IvfIndex::RetrieveTopK(const eval::Scorer& scorer, int user, int k,
+                            int min_candidates,
+                            const eval::ItemFilter* filter,
+                            eval::RetrieveScratch* scratch,
+                            std::vector<int>* out) const {
+  out->clear();
+  if (k <= 0) return;
+  const int cells = this->cells();
+
+  const math::ConstSpan query = scorer.RankingQuery(user, &scratch->query);
+  LOGIREC_CHECK(static_cast<int>(query.size()) == spec_.items->dim());
+  AugmentQuery(spec_, query, &scratch->aug_query);
+
+  // Rank cells by augmented dot against the centroids (same score order
+  // the cells were clustered for), best first with id tie-break.
+  scratch->scores.resize(cells);
+  math::DotsInto(math::ConstSpan(scratch->aug_query),
+                 centroids_, math::Span(scratch->scores));
+  std::vector<std::pair<double, int>>& order = scratch->heap_a;
+  order.clear();
+  for (int c = 0; c < cells; ++c) order.emplace_back(scratch->scores[c], c);
+  std::sort(order.begin(), order.end(), BetterScored);
+
+  // Scan cells best-first until both floors are met: at least nprobe
+  // cells, and at least min_candidates unfiltered candidates (so the
+  // caller's seen-item masking cannot starve the final top-k).
+  const int floor = std::max(std::max(min_candidates, k), 0);
+  std::vector<std::pair<double, int>>& candidates = scratch->heap_b;
+  candidates.clear();
+  for (int probed = 0; probed < cells; ++probed) {
+    if (probed >= options_.nprobe &&
+        static_cast<int>(candidates.size()) >= floor) {
+      break;
+    }
+    const int c = order[probed].second;
+    const std::vector<int>& ids = cell_ids_[c];
+    if (ids.empty()) continue;
+    scratch->scores.resize(ids.size());
+    SurrogateScanInto(spec_.kind, query, cell_views_[c],
+                      cell_bias_.empty() ? nullptr : cell_bias_[c].data(),
+                      math::Span(scratch->scores));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const int v = ids[i];
+      if (filter != nullptr && filter->Excluded(v)) continue;
+      candidates.emplace_back(scratch->scores[i], v);
+    }
+  }
+
+  // Exact Top-K selection over the candidates, with the TopKInto
+  // tie-break; candidate scores already equal the full-scan kRanking
+  // values bit-for-bit (same kernels, same per-item term order).
+  const int take = std::min<int>(k, static_cast<int>(candidates.size()));
+  if (take < static_cast<int>(candidates.size())) {
+    std::nth_element(candidates.begin(), candidates.begin() + (take - 1),
+                     candidates.end(), BetterScored);
+    candidates.resize(take);
+  }
+  std::sort(candidates.begin(), candidates.end(), BetterScored);
+  out->reserve(take);
+  for (int i = 0; i < take; ++i) out->push_back(candidates[i].second);
+}
+
+uint64_t IvfIndex::Fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = HashU64(h, static_cast<uint64_t>(cells()));
+  for (const std::vector<int>& ids : cell_ids_) {
+    h = HashU64(h, ids.size());
+    for (int v : ids) h = HashU64(h, static_cast<uint64_t>(v));
+  }
+  for (int c = 0; c < centroids_.items(); ++c) {
+    for (int k = 0; k < centroids_.dim(); ++k) {
+      h = HashDouble(h, centroids_.Col(k)[c]);
+    }
+  }
+  return h;
+}
+
+}  // namespace logirec::retrieval

@@ -1,0 +1,75 @@
+#ifndef LOGIREC_RETRIEVAL_IVF_H_
+#define LOGIREC_RETRIEVAL_IVF_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "math/kernels.h"
+#include "retrieval/surrogate.h"
+
+namespace logirec::retrieval {
+
+struct IvfOptions {
+  /// Number of k-means cells (0 = round(sqrt(num_items)), the classic
+  /// IVF balance point where probe cost ~ cell-scan cost).
+  int cells = 0;
+  /// Lloyd iterations. A handful suffices — the recall gate, not the
+  /// k-means objective, is the quality criterion.
+  int iterations = 5;
+  /// Cells scanned per query (widened automatically when the caller's
+  /// min_candidates floor is not reached).
+  int nprobe = 16;
+  uint64_t seed = 1;
+  /// Build parallelism (0 = hardware). The index is identical at any
+  /// value: assignment is a pure per-item function and centroid updates
+  /// fold fixed shards in serial order.
+  int num_threads = 0;
+};
+
+/// Clustered inverted-file index over the augmented surrogate space.
+///
+/// Build clusters the augmented item vectors (retrieval/surrogate.h) with
+/// deterministic counter-RNG k-means; each cell stores its member ids
+/// (ascending) plus a column-major ScoringView over the members' ORIGINAL
+/// coordinates. A query ranks cells by augmented dot against the
+/// centroids, then scans the top `nprobe` cells with the same blocked
+/// kRanking kernels the full scan uses — so candidate scores are
+/// bit-identical to the exact scan and the "rerank" is simply Top-K
+/// selection over the scanned candidates.
+class IvfIndex : public eval::CandidateRetriever {
+ public:
+  /// Builds from a scorer's surrogate spec. The spec's ScoringView must
+  /// outlive the index (serve::ServableModel keeps the model inside the
+  /// same immutable generation).
+  static std::unique_ptr<IvfIndex> Build(const eval::RankingSurrogateSpec& spec,
+                                         const IvfOptions& options);
+
+  void RetrieveTopK(const eval::Scorer& scorer, int user, int k,
+                    int min_candidates, const eval::ItemFilter* filter,
+                    eval::RetrieveScratch* scratch,
+                    std::vector<int>* out) const override;
+
+  int cells() const { return static_cast<int>(cell_ids_.size()); }
+  int num_items() const { return num_items_; }
+
+  /// Structural hash (cell membership + centroid bits), for the
+  /// determinism tests: same seed => same fingerprint at any thread count.
+  uint64_t Fingerprint() const;
+
+ private:
+  IvfIndex() = default;
+
+  eval::RankingSurrogateSpec spec_;
+  IvfOptions options_;
+  math::ScoringView centroids_;              ///< augmented space, for probing
+  std::vector<std::vector<int>> cell_ids_;   ///< ascending item ids per cell
+  std::vector<math::ScoringView> cell_views_;  ///< original coords per cell
+  std::vector<std::vector<double>> cell_bias_;  ///< kDotBias only
+  int num_items_ = 0;
+};
+
+}  // namespace logirec::retrieval
+
+#endif  // LOGIREC_RETRIEVAL_IVF_H_

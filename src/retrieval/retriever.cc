@@ -1,0 +1,49 @@
+#include "retrieval/retriever.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace logirec::retrieval {
+
+Result<RetrievalKind> ParseRetrievalKind(const std::string& name) {
+  if (name == "exact") return RetrievalKind::kExact;
+  if (name == "ivf") return RetrievalKind::kIvf;
+  if (name == "hnsw") return RetrievalKind::kHnsw;
+  return Status::InvalidArgument(
+      StrFormat("unknown retrieval kind '%s' (want exact|ivf|hnsw)",
+                name.c_str()));
+}
+
+std::string RetrievalKindName(RetrievalKind kind) {
+  switch (kind) {
+    case RetrievalKind::kExact:
+      return "exact";
+    case RetrievalKind::kIvf:
+      return "ivf";
+    case RetrievalKind::kHnsw:
+      return "hnsw";
+  }
+  return "exact";
+}
+
+Result<std::unique_ptr<eval::CandidateRetriever>> BuildRetriever(
+    const eval::Scorer& scorer, const RetrievalOptions& options) {
+  if (options.kind == RetrievalKind::kExact) {
+    return std::unique_ptr<eval::CandidateRetriever>();
+  }
+  const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+  if (spec.kind == SurrogateKind::kNone) {
+    return Status::FailedPrecondition(
+        "model has no linear ranking surrogate; serve it with "
+        "--retrieval=exact");
+  }
+  if (options.kind == RetrievalKind::kIvf) {
+    return std::unique_ptr<eval::CandidateRetriever>(
+        IvfIndex::Build(spec, options.ivf));
+  }
+  return std::unique_ptr<eval::CandidateRetriever>(
+      HnswIndex::Build(spec, options.hnsw));
+}
+
+}  // namespace logirec::retrieval

@@ -1,0 +1,45 @@
+#ifndef LOGIREC_RETRIEVAL_RETRIEVER_H_
+#define LOGIREC_RETRIEVAL_RETRIEVER_H_
+
+#include <memory>
+#include <string>
+
+#include "eval/evaluator.h"
+#include "retrieval/hnsw.h"
+#include "retrieval/ivf.h"
+#include "util/status.h"
+
+namespace logirec::retrieval {
+
+enum class RetrievalKind {
+  kExact,  ///< no index: full-scan ranking (the oracle path)
+  kIvf,
+  kHnsw,
+};
+
+/// "exact" | "ivf" | "hnsw" (the --retrieval flag vocabulary).
+Result<RetrievalKind> ParseRetrievalKind(const std::string& name);
+std::string RetrievalKindName(RetrievalKind kind);
+
+struct RetrievalOptions {
+  RetrievalKind kind = RetrievalKind::kExact;
+  IvfOptions ivf;
+  HnswOptions hnsw;
+};
+
+/// Builds the configured ANN index over `scorer`'s kRanking surrogate
+/// space. kExact returns a null pointer (callers keep the exact-scan
+/// path); kIvf/kHnsw fail with kFailedPrecondition when the scorer has
+/// no linear surrogate (RankingSurrogateSpec::kNone, e.g. NeuMF's MLP
+/// tower) — such models can only be served exactly.
+///
+/// The returned index holds pointers into the scorer's scoring state
+/// (its ScoringView), so the scorer must outlive it; attach with
+/// eval::Scorer::AttachRetriever to route Scorer::RetrieveInto through
+/// the index.
+Result<std::unique_ptr<eval::CandidateRetriever>> BuildRetriever(
+    const eval::Scorer& scorer, const RetrievalOptions& options);
+
+}  // namespace logirec::retrieval
+
+#endif  // LOGIREC_RETRIEVAL_RETRIEVER_H_

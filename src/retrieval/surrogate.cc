@@ -1,0 +1,208 @@
+#include "retrieval/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hyper/poincare.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace logirec::retrieval {
+
+namespace {
+
+inline void CheckSpec(const eval::RankingSurrogateSpec& spec) {
+  LOGIREC_CHECK_MSG(spec.kind != SurrogateKind::kNone,
+                    "scorer has no ranking surrogate");
+  LOGIREC_CHECK(spec.items != nullptr && !spec.items->empty());
+  if (spec.kind == SurrogateKind::kDotBias) {
+    LOGIREC_CHECK_MSG(spec.bias != nullptr, "kDotBias requires a bias array");
+  }
+}
+
+/// beta_v with the exact clamp the Poincaré kernels use.
+inline double BetaOf(double norm_sq) {
+  return std::max(1.0 - norm_sq, hyper::kBallEps);
+}
+
+}  // namespace
+
+int AugmentedDim(const eval::RankingSurrogateSpec& spec) {
+  CheckSpec(spec);
+  const int d = spec.items->dim();
+  switch (spec.kind) {
+    case SurrogateKind::kDot:
+    case SurrogateKind::kLorentzDot:
+      return d;
+    case SurrogateKind::kDotBias:
+    case SurrogateKind::kNegSquaredEuclidean:
+    case SurrogateKind::kNegEuclidean:
+      return d + 1;
+    case SurrogateKind::kNegPoincareGamma:
+      return d + 2;
+    case SurrogateKind::kNone:
+      break;
+  }
+  LOGIREC_CHECK_MSG(false, "unreachable surrogate kind");
+  return 0;
+}
+
+void BuildAugmentedItems(const eval::RankingSurrogateSpec& spec,
+                         math::Matrix* out, int num_threads) {
+  CheckSpec(spec);
+  const math::ScoringView& view = *spec.items;
+  const int n = view.items();
+  const int d = view.dim();
+  const int ad = AugmentedDim(spec);
+  const SurrogateKind kind = spec.kind;
+  const double* bias = spec.bias;
+  const double* norms_sq = view.NormsSq();
+  out->Reset(n, ad);
+  ParallelFor(0, n, [&](int v) {
+    math::Span row = out->Row(v);
+    switch (kind) {
+      case SurrogateKind::kDot:
+        for (int k = 0; k < d; ++k) row[k] = view.Col(k)[v];
+        break;
+      case SurrogateKind::kDotBias:
+        for (int k = 0; k < d; ++k) row[k] = view.Col(k)[v];
+        row[d] = bias[v];
+        break;
+      case SurrogateKind::kNegSquaredEuclidean:
+      case SurrogateKind::kNegEuclidean:
+        for (int k = 0; k < d; ++k) row[k] = view.Col(k)[v];
+        row[d] = norms_sq[v];
+        break;
+      case SurrogateKind::kLorentzDot:
+        row[0] = -view.Col(0)[v];
+        for (int k = 1; k < d; ++k) row[k] = view.Col(k)[v];
+        break;
+      case SurrogateKind::kNegPoincareGamma: {
+        const double inv_beta = 1.0 / BetaOf(norms_sq[v]);
+        for (int k = 0; k < d; ++k) row[k] = view.Col(k)[v] * inv_beta;
+        row[d] = norms_sq[v] * inv_beta;
+        row[d + 1] = inv_beta;
+        break;
+      }
+      case SurrogateKind::kNone:
+        break;
+    }
+  }, num_threads);
+}
+
+void AugmentQuery(const eval::RankingSurrogateSpec& spec,
+                  math::ConstSpan query, math::Vec* out) {
+  CheckSpec(spec);
+  const int d = spec.items->dim();
+  LOGIREC_CHECK(static_cast<int>(query.size()) == d);
+  out->resize(AugmentedDim(spec));
+  switch (spec.kind) {
+    case SurrogateKind::kDot:
+    case SurrogateKind::kLorentzDot:
+      std::copy(query.begin(), query.end(), out->begin());
+      break;
+    case SurrogateKind::kDotBias:
+      std::copy(query.begin(), query.end(), out->begin());
+      (*out)[d] = 1.0;
+      break;
+    case SurrogateKind::kNegSquaredEuclidean:
+    case SurrogateKind::kNegEuclidean:
+      // <q~, [v, ||v||^2]> = 2<u,v> - ||v||^2 = -||u-v||^2 + ||u||^2.
+      for (int k = 0; k < d; ++k) (*out)[k] = 2.0 * query[k];
+      (*out)[d] = -1.0;
+      break;
+    case SurrogateKind::kNegPoincareGamma:
+      // <q~, v~> = (2<u,v> - ||v||^2 - ||u||^2) / beta_v
+      //          = -||u-v||^2 / beta_v, and
+      // -gamma = -1 + (2 / alpha_u) * <q~, v~>: affine with positive
+      // slope, so augmented-dot order is exactly -gamma order.
+      for (int k = 0; k < d; ++k) (*out)[k] = 2.0 * query[k];
+      (*out)[d] = -1.0;
+      (*out)[d + 1] = -math::SquaredNorm(query);
+      break;
+    case SurrogateKind::kNone:
+      break;
+  }
+}
+
+void SurrogateScanInto(SurrogateKind kind, math::ConstSpan query,
+                       const math::ScoringView& items, const double* bias,
+                       math::Span out) {
+  switch (kind) {
+    case SurrogateKind::kDot:
+      math::DotsInto(query, items, out);
+      return;
+    case SurrogateKind::kDotBias:
+      math::DotsInto(query, items, out);
+      // Bias added after the full dot, matching the model's kRanking pass.
+      for (int v = 0; v < items.items(); ++v) out[v] += bias[v];
+      return;
+    case SurrogateKind::kNegSquaredEuclidean:
+      math::NegSquaredEuclideanDistancesInto(query, items, out);
+      return;
+    case SurrogateKind::kNegEuclidean:
+      math::NegEuclideanDistancesInto(query, items, out);
+      return;
+    case SurrogateKind::kLorentzDot:
+      math::LorentzDotsInto(query, items, out);
+      return;
+    case SurrogateKind::kNegPoincareGamma:
+      math::NegPoincareGammasInto(query, items, out);
+      return;
+    case SurrogateKind::kNone:
+      break;
+  }
+  LOGIREC_CHECK_MSG(false, "unreachable surrogate kind");
+}
+
+double SurrogateScore(const eval::RankingSurrogateSpec& spec,
+                      math::ConstSpan query, int item) {
+  const math::ScoringView& view = *spec.items;
+  const int d = view.dim();
+  const double* u = query.data();
+  switch (spec.kind) {
+    case SurrogateKind::kDot: {
+      double s = u[0] * view.Col(0)[item];
+      for (int k = 1; k < d; ++k) s += u[k] * view.Col(k)[item];
+      return s;
+    }
+    case SurrogateKind::kDotBias: {
+      double s = u[0] * view.Col(0)[item];
+      for (int k = 1; k < d; ++k) s += u[k] * view.Col(k)[item];
+      return s + spec.bias[item];
+    }
+    case SurrogateKind::kNegSquaredEuclidean:
+    case SurrogateKind::kNegEuclidean: {
+      double s = 0.0;
+      for (int k = 0; k < d; ++k) {
+        const double diff = u[k] - view.Col(k)[item];
+        s += diff * diff;
+      }
+      return spec.kind == SurrogateKind::kNegSquaredEuclidean
+                 ? -s
+                 : -std::sqrt(s);
+    }
+    case SurrogateKind::kLorentzDot: {
+      double s = (-u[0]) * view.Col(0)[item];
+      for (int k = 1; k < d; ++k) s += u[k] * view.Col(k)[item];
+      return s;
+    }
+    case SurrogateKind::kNegPoincareGamma: {
+      double dist_sq = 0.0;
+      for (int k = 0; k < d; ++k) {
+        const double diff = u[k] - view.Col(k)[item];
+        dist_sq += diff * diff;
+      }
+      const double alpha =
+          std::max(1.0 - math::SquaredNorm(query), hyper::kBallEps);
+      const double beta = BetaOf(view.NormsSq()[item]);
+      return -(1.0 + 2.0 * dist_sq / (alpha * beta));
+    }
+    case SurrogateKind::kNone:
+      break;
+  }
+  LOGIREC_CHECK_MSG(false, "unreachable surrogate kind");
+  return 0.0;
+}
+
+}  // namespace logirec::retrieval

@@ -1,0 +1,78 @@
+#ifndef LOGIREC_RETRIEVAL_SURROGATE_H_
+#define LOGIREC_RETRIEVAL_SURROGATE_H_
+
+#include <utility>
+
+#include "eval/evaluator.h"
+#include "math/kernels.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+
+namespace logirec::retrieval {
+
+using SurrogateKind = eval::RankingSurrogateSpec::Kind;
+
+/// The augmented-MIPS reduction behind both ANN indexes.
+///
+/// Every kRanking surrogate (eval::RankingSurrogateSpec) is an inner
+/// product after a fixed per-item/per-query lift:
+///
+///   kDot                  q~ = u              v~ = v                 (d)
+///   kDotBias              q~ = [u, 1]         v~ = [v, b_v]          (d+1)
+///   kNegSquaredEuclidean  q~ = [2u, -1]       v~ = [v, ||v||^2]      (d+1)
+///   kNegEuclidean         (same lift; -||u-v|| is monotone in it)
+///   kLorentzDot           q~ = u              v~ = [-v_0, v_1..]     (d)
+///   kNegPoincareGamma     q~ = [2u, -1, -||u||^2]
+///                         v~ = [v, ||v||^2, 1] / beta_v              (d+2)
+///
+/// In each case <q~, v~> is, for a fixed query, a strictly increasing
+/// affine transform of the kRanking score — so nearest-neighbor structure
+/// in the augmented dot space is exactly top-k structure in the original
+/// (hyperbolic or Euclidean) geometry. The lifts are only used to *build*
+/// and *probe* the indexes; final candidate scores always come from
+/// SurrogateScanInto / SurrogateScore, which are bit-identical to the
+/// math/kernels.h kRanking kernels.
+
+/// (score desc, id asc) over explicit (score, id) pairs — the TopKInto
+/// tie-break, applied to candidate sets that are not id-contiguous. Both
+/// indexes select and order their rerank output with this comparator so
+/// a covering candidate set reproduces the full-scan ranking exactly.
+inline bool BetterScored(const std::pair<double, int>& a,
+                         const std::pair<double, int>& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second < b.second;
+}
+
+/// Dimension of the augmented space for this surrogate kind.
+int AugmentedDim(const eval::RankingSurrogateSpec& spec);
+
+/// Fills `out` (resized to spec.items->items() x AugmentedDim) with the
+/// augmented item vectors. Parallel over items (pure per-row function, so
+/// the result is identical at any thread count).
+void BuildAugmentedItems(const eval::RankingSurrogateSpec& spec,
+                         math::Matrix* out, int num_threads = 0);
+
+/// Lifts the user-side query into the augmented space (out is resized).
+void AugmentQuery(const eval::RankingSurrogateSpec& spec,
+                  math::ConstSpan query, math::Vec* out);
+
+/// Scores every item of `items` (a full-catalog or per-cell ScoringView
+/// over ORIGINAL item coordinates) with the kRanking kernel for `kind`,
+/// bit-identical to the full-scan kernels in math/kernels.h. `bias` (may
+/// be null except for kDotBias) holds one entry per item of this view.
+void SurrogateScanInto(SurrogateKind kind, math::ConstSpan query,
+                       const math::ScoringView& items, const double* bias,
+                       math::Span out);
+
+/// Single-item surrogate score, bit-identical to what the full-catalog
+/// kRanking scan writes at `item`: the ScoringView kernels add each
+/// item's terms one at a time in ascending-k order, so a scalar gather
+/// over spec.items->Col(k)[item] reproduces the exact rounding sequence.
+/// This is the HNSW rerank path (per-candidate gather instead of a cell
+/// scan).
+double SurrogateScore(const eval::RankingSurrogateSpec& spec,
+                      math::ConstSpan query, int item);
+
+}  // namespace logirec::retrieval
+
+#endif  // LOGIREC_RETRIEVAL_SURROGATE_H_

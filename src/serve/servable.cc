@@ -1,5 +1,6 @@
 #include "serve/servable.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -7,9 +8,30 @@
 
 namespace logirec::serve {
 
+namespace {
+
+/// Seen-item exclusion for the retrieval path: binary search over the
+/// user's sorted CSR row. Called per ANN *candidate* (hundreds), not per
+/// catalog item, so the log(seen) probe is cheap.
+class SeenFilter : public eval::ItemFilter {
+ public:
+  SeenFilter(const int32_t* begin, const int32_t* end)
+      : begin_(begin), end_(end) {}
+  bool Excluded(int item) const override {
+    return std::binary_search(begin_, end_, item);
+  }
+
+ private:
+  const int32_t* begin_;
+  const int32_t* end_;
+};
+
+}  // namespace
+
 Result<std::shared_ptr<const ServableModel>> ServableModel::Create(
     std::unique_ptr<core::Recommender> model, int num_users, int num_items,
-    const data::Split* split, uint64_t generation) {
+    const data::Split* split, uint64_t generation,
+    const retrieval::RetrievalOptions& retrieval) {
   if (model == nullptr) {
     return Status::InvalidArgument("ServableModel needs a model");
   }
@@ -41,19 +63,36 @@ Result<std::shared_ptr<const ServableModel>> ServableModel::Create(
     for (int u = 0; u < num_users; ++u) {
       for (int v : split->train[u]) servable->seen_items_.push_back(v);
       for (int v : split->validation[u]) servable->seen_items_.push_back(v);
+      // Sorted rows: MaskSeen is order-insensitive and the retrieval
+      // filter binary-searches.
+      std::sort(servable->seen_items_.begin() +
+                    servable->seen_offsets_[u],
+                servable->seen_items_.begin() +
+                    servable->seen_offsets_[u + 1]);
     }
+  }
+  if (retrieval.kind != retrieval::RetrievalKind::kExact) {
+    // Built before the generation is published: the index shares the
+    // immutable lifetime of the model whose ScoringView it references.
+    auto retriever =
+        retrieval::BuildRetriever(*servable->model_, retrieval);
+    if (!retriever.ok()) return retriever.status();
+    servable->retriever_ = std::move(*retriever);
+    servable->retrieval_kind_ = retrieval.kind;
+    servable->model_->AttachRetriever(servable->retriever_.get());
   }
   return std::shared_ptr<const ServableModel>(std::move(servable));
 }
 
 Result<std::shared_ptr<const ServableModel>> ServableModel::FromSnapshot(
     const std::string& path, const core::ModelFactory& factory,
-    const data::Split* split, uint64_t generation) {
+    const data::Split* split, uint64_t generation,
+    const retrieval::RetrievalOptions& retrieval) {
   core::SnapshotHeader header;
   auto model = core::ModelSnapshot::Read(path, factory, &header);
   if (!model.ok()) return model.status();
   return Create(std::move(*model), header.num_users, header.num_items,
-                split, generation);
+                split, generation, retrieval);
 }
 
 void ServableModel::MaskSeen(int user, math::Span scores) const {
@@ -62,6 +101,19 @@ void ServableModel::MaskSeen(int user, math::Span scores) const {
   for (int64_t i = seen_offsets_[user]; i < seen_offsets_[user + 1]; ++i) {
     scores[seen_items_[i]] = kNegInf;
   }
+}
+
+void ServableModel::RetrieveRanked(int user, int k,
+                                   eval::RetrieveScratch* scratch,
+                                   std::vector<int>* out) const {
+  if (seen_offsets_.empty()) {
+    model_->RetrieveInto(user, k, nullptr, scratch, out, k);
+    return;
+  }
+  const SeenFilter filter(seen_items_.data() + seen_offsets_[user],
+                          seen_items_.data() + seen_offsets_[user + 1]);
+  model_->RetrieveInto(user, k, &filter, scratch, out,
+                       k + SeenCount(user));
 }
 
 }  // namespace logirec::serve

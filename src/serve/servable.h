@@ -10,6 +10,7 @@
 #include "core/snapshot.h"
 #include "data/dataset.h"
 #include "math/vec.h"
+#include "retrieval/retriever.h"
 #include "util/status.h"
 
 namespace logirec::serve {
@@ -24,15 +25,24 @@ class ServableModel {
   /// Wraps a scoring-ready model. `split` (optional) supplies the seen
   /// items to exclude from rankings — train + validation folds, matching
   /// the evaluator's masking; pass null to rank over all items.
+  /// `retrieval` (default: exact) optionally builds an ANN index over the
+  /// model's kRanking surrogate space at construction time; the index
+  /// lives inside this immutable generation, so hot-swap stays a single
+  /// pointer assignment and in-flight requests keep the index they
+  /// acquired.
   static Result<std::shared_ptr<const ServableModel>> Create(
       std::unique_ptr<core::Recommender> model, int num_users, int num_items,
-      const data::Split* split, uint64_t generation);
+      const data::Split* split, uint64_t generation,
+      const retrieval::RetrievalOptions& retrieval = {});
 
   /// Restores a generation from a binary snapshot (core::ModelSnapshot),
-  /// taking user/item counts from the snapshot header.
+  /// taking user/item counts from the snapshot header. The retrieval
+  /// index (if any) is built right after restore, before the generation
+  /// is published.
   static Result<std::shared_ptr<const ServableModel>> FromSnapshot(
       const std::string& path, const core::ModelFactory& factory,
-      const data::Split* split, uint64_t generation);
+      const data::Split* split, uint64_t generation,
+      const retrieval::RetrievalOptions& retrieval = {});
 
   const core::Recommender& scorer() const { return *model_; }
   int num_users() const { return num_users_; }
@@ -52,6 +62,20 @@ class ServableModel {
                                   seen_offsets_[user]);
   }
 
+  /// True when this generation carries an ANN retrieval index.
+  bool retrieval_enabled() const { return retriever_ != nullptr; }
+  /// The retrieval kind this generation was built with ("exact" when no
+  /// index was requested or the model opted out).
+  retrieval::RetrievalKind retrieval_kind() const { return retrieval_kind_; }
+
+  /// Sublinear ranking through the index (Scorer::RetrieveInto): ANN
+  /// candidates, exact rerank, seen-item exclusion via a binary-search
+  /// filter over the CSR row (the probe is widened by SeenCount so
+  /// filtering cannot starve the top-k). Falls back to the exact scan
+  /// when no index is attached. `out` holds at most k items, best first.
+  void RetrieveRanked(int user, int k, eval::RetrieveScratch* scratch,
+                      std::vector<int>* out) const;
+
  private:
   ServableModel(std::unique_ptr<core::Recommender> model, int num_users,
                 int num_items, uint64_t generation)
@@ -64,9 +88,15 @@ class ServableModel {
   int num_users_;
   int num_items_;
   uint64_t generation_;
-  // Seen-item CSR over users; empty when no split was supplied.
+  // Seen-item CSR over users; empty when no split was supplied. Rows are
+  // sorted ascending so the retrieval filter can binary-search them.
   std::vector<int64_t> seen_offsets_;  // num_users + 1
   std::vector<int32_t> seen_items_;
+  // ANN index over the model's surrogate space (null = exact serving).
+  // Owned by the generation and attached to the model's Scorer, so it
+  // shares the generation's immutable lifetime.
+  std::unique_ptr<eval::CandidateRetriever> retriever_;
+  retrieval::RetrievalKind retrieval_kind_ = retrieval::RetrievalKind::kExact;
 };
 
 }  // namespace logirec::serve

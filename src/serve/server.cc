@@ -195,6 +195,15 @@ RankResponse ModelServer::RankOn(const ServableModel& model, int user,
   }
   if (k <= 0) k = options_.default_k;
   k = std::min(k, model.num_items());
+  if (model.retrieval_enabled()) {
+    // Sublinear path: ANN candidates from the generation's index, exact
+    // rerank, seen-item exclusion — whenever the candidate set covers
+    // the true top-k this equals the scan below item-for-item.
+    model.RetrieveRanked(user, k, &scratch->retrieve, &scratch->ranked);
+    response.items = scratch->ranked;
+    requests_completed_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
   scratch->scores.resize(model.num_items());
   // kRanking: monotone surrogate scores — same Top-K order and ties as
   // the exact path (eval::ScoreMode contract), without per-item

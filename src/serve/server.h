@@ -140,12 +140,14 @@ class ModelServer {
     RankCallback done;
     std::chrono::steady_clock::time_point enqueued;
   };
-  /// Per-worker scoring scratch, reused across batches: the score buffer
-  /// and the Top-K id buffers. Steady-state batches do not allocate.
+  /// Per-worker scoring scratch, reused across batches: the score buffer,
+  /// the Top-K id buffers, and the retrieval scratch (beam heaps, visited
+  /// marks). Steady-state batches do not allocate.
   struct WorkerScratch {
     math::Vec scores;
     std::vector<int> topk_scratch;
     std::vector<int> ranked;
+    eval::RetrieveScratch retrieve;
   };
 
   void WorkerLoop(int worker);

@@ -80,7 +80,8 @@ void ProtocolSession::HandleLine(const std::string& line) {
       const uint64_t generation =
           context_->generation->fetch_add(1, std::memory_order_relaxed) + 1;
       auto servable = ServableModel::FromSnapshot(
-          request->path, context_->factory, context_->split, generation);
+          request->path, context_->factory, context_->split, generation,
+          context_->retrieval);
       if (!servable.ok()) {
         PushSlot(/*ready=*/true, /*close_after=*/false,
                  FormatError(servable.status()));

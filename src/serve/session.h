@@ -43,6 +43,10 @@ class ProtocolSession
     const data::Split* split = nullptr;  // null = no seen-item masking
     std::atomic<uint64_t>* generation = nullptr;
     core::ModelFactory factory;
+    /// Retrieval configuration applied to every generation this process
+    /// creates, including `!swap` restores — the swapped-in snapshot gets
+    /// its ANN index rebuilt before the generation is published.
+    retrieval::RetrievalOptions retrieval;
   };
 
   explicit ProtocolSession(std::shared_ptr<const Context> context)

@@ -1,0 +1,136 @@
+// Surrogate round-trip property, for every model in the zoo: after a
+// binary snapshot save/load, (1) the kRanking surrogate still orders the
+// catalog exactly like the exact scores, (2) the surrogate spec survives
+// restoration (same kind, scoring state re-wired to the restored
+// tensors), and (3) where a linear surrogate exists, a covering ANN probe
+// over the RESTORED model reproduces its exact top-k — the property the
+// serving path relies on when it builds the index at snapshot-restore
+// time.
+
+#include <cctype>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "core/snapshot.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "retrieval/retriever.h"
+
+namespace logirec::eval {
+namespace {
+
+class SurrogateRoundtripTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/logirec_surrogate_roundtrip_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    data::SyntheticConfig config;
+    config.num_users = 60;
+    config.num_items = 80;
+    config.seed = 11;
+    dataset_ = data::GenerateSynthetic(config);
+    split_ = data::TemporalSplit(dataset_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  data::Dataset dataset_;
+  data::Split split_;
+};
+
+TEST_P(SurrogateRoundtripTest, RankingOrderSurvivesSnapshotRoundTrip) {
+  core::TrainConfig config;
+  config.dim = 8;
+  config.layers = 2;
+  config.epochs = 5;
+  auto model = baselines::MakeModel(GetParam(), config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(dataset_, split_).ok());
+
+  core::SnapshotHeader header;
+  header.dim = config.dim;
+  header.layers = config.layers;
+  header.num_users = dataset_.num_users;
+  header.num_items = dataset_.num_items;
+  const std::string path = dir_ + "/" + GetParam() + ".snap";
+  ASSERT_TRUE(core::ModelSnapshot::Write(**model, header, path).ok());
+  auto restored = core::ModelSnapshot::Read(path, baselines::MakeModel);
+  ASSERT_TRUE(restored.ok());
+
+  // The surrogate kind is a property of the architecture; restoring must
+  // neither lose it nor invent one.
+  const RankingSurrogateSpec before = (*model)->RankingSurrogate();
+  const RankingSurrogateSpec after = (*restored)->RankingSurrogate();
+  ASSERT_EQ(after.kind, before.kind) << GetParam();
+  if (after.kind != RankingSurrogateSpec::Kind::kNone) {
+    ASSERT_NE(after.items, nullptr);
+    ASSERT_EQ(after.items->items(), dataset_.num_items);
+  }
+
+  const int n = dataset_.num_items;
+  std::vector<double> exact(n), ranking(n);
+  std::vector<int> scratch, exact_order, ranking_order;
+  for (int u = 0; u < dataset_.num_users; u += 4) {
+    // Property (1): full-catalog order equivalence on the restored model,
+    // k = n so every rank position (and every tie) is checked.
+    (*restored)->ScoreItemsInto(u, math::Span(exact), ScoreMode::kExact);
+    (*restored)->ScoreItemsInto(u, math::Span(ranking),
+                                ScoreMode::kRanking);
+    TopKInto(math::ConstSpan(exact.data(), exact.size()), n, &scratch,
+             &exact_order);
+    TopKInto(math::ConstSpan(ranking.data(), ranking.size()), n, &scratch,
+             &ranking_order);
+    ASSERT_EQ(ranking_order, exact_order) << GetParam() << " user " << u;
+    // And the restored ranking path agrees with the original model's.
+    (*model)->ScoreItemsInto(u, math::Span(ranking), ScoreMode::kRanking);
+    TopKInto(math::ConstSpan(ranking.data(), ranking.size()), n, &scratch,
+             &ranking_order);
+    ASSERT_EQ(ranking_order, exact_order)
+        << GetParam() << " user " << u << " (original vs restored)";
+  }
+
+  // Property (3): a covering IVF probe over the restored model equals its
+  // exact top-k; surrogate-free models must refuse the index instead.
+  retrieval::RetrievalOptions options;
+  options.kind = retrieval::RetrievalKind::kIvf;
+  options.ivf.cells = 5;
+  options.ivf.nprobe = 5;
+  auto built = retrieval::BuildRetriever(**restored, options);
+  if (after.kind == RankingSurrogateSpec::Kind::kNone) {
+    ASSERT_FALSE(built.ok()) << GetParam();
+    EXPECT_EQ(built.status().code(), StatusCode::kFailedPrecondition);
+    return;
+  }
+  ASSERT_TRUE(built.ok()) << GetParam() << ": "
+                          << built.status().ToString();
+  (*restored)->AttachRetriever(built->get());
+  RetrieveScratch retrieve_scratch;
+  std::vector<int> retrieved;
+  for (int u = 0; u < dataset_.num_users; u += 4) {
+    (*restored)->ScoreItemsInto(u, math::Span(exact), ScoreMode::kExact);
+    (*restored)->RetrieveInto(u, 10, nullptr, &retrieve_scratch,
+                              &retrieved);
+    EXPECT_EQ(retrieved, TopK(exact, 10)) << GetParam() << " user " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelZoo, SurrogateRoundtripTest,
+    ::testing::ValuesIn(baselines::AllModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace logirec::eval

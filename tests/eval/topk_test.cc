@@ -122,6 +122,45 @@ TEST(TopKTest, EqualScoresPreferSmallerId) {
 TEST(TopKTest, ZeroOrNegativeKReturnsEmpty) {
   std::vector<double> scores = {1.0, 2.0};
   EXPECT_TRUE(TopK(scores, 0).empty());
+  EXPECT_TRUE(TopK(scores, -3).empty());
+  std::vector<int> scratch, out{7, 8, 9};
+  TopKInto(math::ConstSpan(scores.data(), scores.size()), 0, &scratch, &out);
+  EXPECT_TRUE(out.empty());  // stale output must be cleared, not kept
+}
+
+TEST(TopKTest, KEqualToAndBeyondNumItems) {
+  // k == n and k > n both return the full ranking; the candidate-retrieval
+  // path leans on this when min_candidates exceeds the catalog.
+  std::vector<double> scores = {0.5, -1.0, 2.0, 0.5};
+  const std::vector<int> want = {2, 0, 3, 1};  // ties: smaller id first
+  EXPECT_EQ(TopK(scores, 4), want);
+  EXPECT_EQ(TopK(scores, 1000), want);
+  std::vector<int> scratch, out;
+  TopKInto(math::ConstSpan(scores.data(), scores.size()),
+           static_cast<int>(scores.size()), &scratch, &out);
+  EXPECT_EQ(out, want);
+}
+
+TEST(TopKTest, AllTiedScoresRankByAscendingId) {
+  // The documented deterministic tie-break: equal scores order by item id
+  // ascending — a total order, so fully tied input is just 0..k-1.
+  std::vector<double> scores(64, 3.25);
+  EXPECT_EQ(TopK(scores, 5), (std::vector<int>{0, 1, 2, 3, 4}));
+  std::vector<int> scratch, out;
+  TopKInto(math::ConstSpan(scores.data(), scores.size()), 64, &scratch,
+           &out);
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], i);
+  // Same law through the large-n threshold-scan path (k*8 < n).
+  std::vector<double> big(4096, -7.5);
+  EXPECT_EQ(TopK(big, 3), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TopKTest, TopKIntoEmptyScores) {
+  std::vector<double> empty;
+  std::vector<int> scratch, out{1, 2};
+  TopKInto(math::ConstSpan(empty.data(), empty.size()), 5, &scratch, &out);
+  EXPECT_TRUE(out.empty());
 }
 
 }  // namespace

@@ -1,0 +1,240 @@
+// HNSW index contract: a catalog-wide beam reproduces the exact ranking
+// (the graph search becomes an exhaustive walk of the connected
+// component), the candidate floor widens the beam past ef_search, and the
+// batched build is a pure function of the seed at any thread count.
+
+#include "retrieval/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "math/matrix.h"
+#include "retrieval/embedding_scorer.h"
+#include "util/rng.h"
+
+namespace logirec::retrieval {
+namespace {
+
+constexpr int kItems = 300;
+constexpr int kUsers = 12;
+constexpr int kDim = 12;
+
+class SetFilter : public eval::ItemFilter {
+ public:
+  explicit SetFilter(std::set<int> excluded)
+      : excluded_(std::move(excluded)) {}
+  bool Excluded(int item) const override { return excluded_.count(item) > 0; }
+
+ private:
+  std::set<int> excluded_;
+};
+
+math::Matrix RandomMatrix(int rows, int cols, uint64_t seed, double lo,
+                          double hi) {
+  math::Matrix m(rows, cols);
+  Rng rng(seed);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m.At(r, c) = rng.Uniform(lo, hi);
+  }
+  return m;
+}
+
+EmbeddingScorer ScorerFor(SurrogateKind kind, uint64_t seed) {
+  const double bound =
+      kind == SurrogateKind::kNegPoincareGamma
+          ? 0.8 / std::sqrt(static_cast<double>(kDim))
+          : 1.0;
+  math::Vec bias;
+  if (kind == SurrogateKind::kDotBias) {
+    Rng rng(seed + 2);
+    bias.resize(kItems);
+    for (double& b : bias) b = rng.Uniform(-0.5, 0.5);
+  }
+  return EmbeddingScorer(RandomMatrix(kUsers, kDim, seed + 1, -bound, bound),
+                         RandomMatrix(kItems, kDim, seed, -bound, bound),
+                         kind, std::move(bias));
+}
+
+std::vector<int> ExactTopK(const EmbeddingScorer& scorer, int user, int k,
+                           const eval::ItemFilter* filter = nullptr) {
+  std::vector<double> scores(scorer.num_items());
+  scorer.ScoreItemsInto(user, math::Span(scores),
+                        eval::ScoreMode::kRanking);
+  if (filter != nullptr) {
+    for (int v = 0; v < scorer.num_items(); ++v) {
+      if (filter->Excluded(v)) {
+        scores[v] = -std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  std::vector<int> scratch, out;
+  eval::TopKInto(math::ConstSpan(scores.data(), scores.size()), k, &scratch,
+                 &out);
+  return out;
+}
+
+const std::vector<SurrogateKind>& IndexableKinds() {
+  static const std::vector<SurrogateKind> kinds = {
+      SurrogateKind::kDot,          SurrogateKind::kDotBias,
+      SurrogateKind::kNegSquaredEuclidean,
+      SurrogateKind::kNegEuclidean, SurrogateKind::kLorentzDot,
+      SurrogateKind::kNegPoincareGamma,
+  };
+  return kinds;
+}
+
+TEST(HnswIndexTest, CatalogWideBeamMatchesExactScanForEveryKind) {
+  // With ef >= n the beam never saturates, so SearchLayer exhausts the
+  // level-0 component and the exact rerank sees every (reachable) item —
+  // the result must equal the full scan item-for-item.
+  for (SurrogateKind kind : IndexableKinds()) {
+    EmbeddingScorer scorer = ScorerFor(kind, 211);
+    HnswOptions options;
+    options.M = 8;
+    options.ef_search = kItems;
+    auto index = HnswIndex::Build(scorer.RankingSurrogate(), options);
+    ASSERT_EQ(index->num_items(), kItems);
+    ASSERT_GE(index->max_level(), 0);
+    eval::RetrieveScratch scratch;
+    std::vector<int> got;
+    for (int u = 0; u < kUsers; ++u) {
+      index->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &got);
+      EXPECT_EQ(got, ExactTopK(scorer, u, 10))
+          << "kind " << static_cast<int>(kind) << " user " << u;
+    }
+  }
+}
+
+TEST(HnswIndexTest, MinCandidatesFloorWidensTheBeam) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kNegSquaredEuclidean, 7);
+  HnswOptions options;
+  options.M = 8;
+  options.ef_search = 4;  // far too narrow on its own
+  auto index = HnswIndex::Build(scorer.RankingSurrogate(), options);
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  for (int u = 0; u < kUsers; ++u) {
+    index->RetrieveTopK(scorer, u, 10, kItems, nullptr, &scratch, &got);
+    EXPECT_EQ(got, ExactTopK(scorer, u, 10)) << "user " << u;
+  }
+}
+
+TEST(HnswIndexTest, FilterNeverSurfacesExcludedItems) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kLorentzDot, 17);
+  HnswOptions options;
+  options.M = 8;
+  options.ef_search = kItems;
+  auto index = HnswIndex::Build(scorer.RankingSurrogate(), options);
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  for (int u = 0; u < kUsers; ++u) {
+    const std::vector<int> top = ExactTopK(scorer, u, 3);
+    SetFilter filter(std::set<int>(top.begin(), top.end()));
+    index->RetrieveTopK(scorer, u, 10, 10, &filter, &scratch, &got);
+    EXPECT_EQ(got, ExactTopK(scorer, u, 10, &filter)) << "user " << u;
+  }
+}
+
+TEST(HnswIndexTest, BuildIsThreadCountInvariant) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kNegPoincareGamma, 29);
+  const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+  std::vector<std::unique_ptr<HnswIndex>> indexes;
+  for (int threads : {1, 2, 8}) {
+    HnswOptions options;
+    options.M = 8;
+    options.ef_search = 32;
+    options.num_threads = threads;
+    indexes.push_back(HnswIndex::Build(spec, options));
+  }
+  EXPECT_EQ(indexes[0]->Fingerprint(), indexes[1]->Fingerprint());
+  EXPECT_EQ(indexes[0]->Fingerprint(), indexes[2]->Fingerprint());
+  eval::RetrieveScratch scratch;
+  std::vector<int> a, b, c;
+  for (int u = 0; u < kUsers; ++u) {
+    indexes[0]->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &a);
+    indexes[1]->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &b);
+    indexes[2]->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &c);
+    EXPECT_EQ(a, b) << "user " << u;
+    EXPECT_EQ(a, c) << "user " << u;
+  }
+}
+
+TEST(HnswIndexTest, RebuildsAreIdenticalAndSeedSensitive) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kDot, 31);
+  const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+  HnswOptions options;
+  options.M = 8;
+  auto a = HnswIndex::Build(spec, options);
+  auto b = HnswIndex::Build(spec, options);
+  EXPECT_EQ(a->Fingerprint(), b->Fingerprint());
+  options.seed = 99;
+  auto c = HnswIndex::Build(spec, options);
+  EXPECT_NE(a->Fingerprint(), c->Fingerprint());
+}
+
+TEST(HnswIndexTest, BatchSizeDoesNotChangeSearchQuality) {
+  // Different batch sizes produce different (but equally valid) graphs;
+  // with a catalog-wide beam both must still reproduce the exact scan.
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kDot, 59);
+  const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+  for (int batch : {1, 16, 512}) {
+    HnswOptions options;
+    options.M = 8;
+    options.ef_search = kItems;
+    options.batch = batch;
+    auto index = HnswIndex::Build(spec, options);
+    eval::RetrieveScratch scratch;
+    std::vector<int> got;
+    for (int u = 0; u < kUsers; u += 3) {
+      index->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &got);
+      EXPECT_EQ(got, ExactTopK(scorer, u, 10))
+          << "batch " << batch << " user " << u;
+    }
+  }
+}
+
+TEST(HnswIndexTest, EdgeCases) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kDot, 61);
+  HnswOptions options;
+  options.M = 8;
+  options.ef_search = kItems;
+  auto index = HnswIndex::Build(scorer.RankingSurrogate(), options);
+  eval::RetrieveScratch scratch;
+  std::vector<int> got{4, 5};
+  index->RetrieveTopK(scorer, 0, 0, 0, nullptr, &scratch, &got);
+  EXPECT_TRUE(got.empty());
+  index->RetrieveTopK(scorer, 0, kItems + 50, kItems, nullptr, &scratch,
+                      &got);
+  EXPECT_EQ(got, ExactTopK(scorer, 0, kItems));
+}
+
+TEST(HnswIndexTest, ModestBeamKeepsUsefulRecall) {
+  // Sanity floor only; the bench owns the real recall gate.
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kNegSquaredEuclidean, 67);
+  HnswOptions options;
+  options.M = 8;
+  options.ef_search = 32;
+  auto index = HnswIndex::Build(scorer.RankingSurrogate(), options);
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  int hit = 0, total = 0;
+  for (int u = 0; u < kUsers; ++u) {
+    const std::vector<int> want = ExactTopK(scorer, u, 10);
+    index->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &got);
+    const std::set<int> got_set(got.begin(), got.end());
+    for (int v : want) hit += got_set.count(v);
+    total += static_cast<int>(want.size());
+  }
+  EXPECT_GE(static_cast<double>(hit) / total, 0.5);
+}
+
+}  // namespace
+}  // namespace logirec::retrieval

@@ -1,0 +1,240 @@
+// IVF index contract: a covering probe reproduces the exact full-scan
+// ranking item-for-item (same scores, same tie-break), the candidate
+// floor defeats filtering starvation, and the build is a pure function of
+// the seed — identical at any thread count.
+
+#include "retrieval/ivf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "math/matrix.h"
+#include "retrieval/embedding_scorer.h"
+#include "util/rng.h"
+
+namespace logirec::retrieval {
+namespace {
+
+constexpr int kItems = 300;
+constexpr int kUsers = 12;
+constexpr int kDim = 12;
+
+class SetFilter : public eval::ItemFilter {
+ public:
+  explicit SetFilter(std::set<int> excluded)
+      : excluded_(std::move(excluded)) {}
+  bool Excluded(int item) const override { return excluded_.count(item) > 0; }
+
+ private:
+  std::set<int> excluded_;
+};
+
+math::Matrix RandomMatrix(int rows, int cols, uint64_t seed, double lo,
+                          double hi) {
+  math::Matrix m(rows, cols);
+  Rng rng(seed);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m.At(r, c) = rng.Uniform(lo, hi);
+  }
+  return m;
+}
+
+EmbeddingScorer ScorerFor(SurrogateKind kind, uint64_t seed) {
+  const double bound =
+      kind == SurrogateKind::kNegPoincareGamma
+          ? 0.8 / std::sqrt(static_cast<double>(kDim))
+          : 1.0;
+  math::Vec bias;
+  if (kind == SurrogateKind::kDotBias) {
+    Rng rng(seed + 2);
+    bias.resize(kItems);
+    for (double& b : bias) b = rng.Uniform(-0.5, 0.5);
+  }
+  return EmbeddingScorer(RandomMatrix(kUsers, kDim, seed + 1, -bound, bound),
+                         RandomMatrix(kItems, kDim, seed, -bound, bound),
+                         kind, std::move(bias));
+}
+
+/// The exact full-scan ranking: kRanking scores, optional mask, TopKInto.
+std::vector<int> ExactTopK(const EmbeddingScorer& scorer, int user, int k,
+                           const eval::ItemFilter* filter = nullptr) {
+  std::vector<double> scores(scorer.num_items());
+  scorer.ScoreItemsInto(user, math::Span(scores),
+                        eval::ScoreMode::kRanking);
+  if (filter != nullptr) {
+    for (int v = 0; v < scorer.num_items(); ++v) {
+      if (filter->Excluded(v)) {
+        scores[v] = -std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  std::vector<int> scratch, out;
+  eval::TopKInto(math::ConstSpan(scores.data(), scores.size()), k, &scratch,
+                 &out);
+  return out;
+}
+
+const std::vector<SurrogateKind>& IndexableKinds() {
+  static const std::vector<SurrogateKind> kinds = {
+      SurrogateKind::kDot,          SurrogateKind::kDotBias,
+      SurrogateKind::kNegSquaredEuclidean,
+      SurrogateKind::kNegEuclidean, SurrogateKind::kLorentzDot,
+      SurrogateKind::kNegPoincareGamma,
+  };
+  return kinds;
+}
+
+TEST(IvfIndexTest, CoveringProbeMatchesExactScanForEveryKind) {
+  for (SurrogateKind kind : IndexableKinds()) {
+    EmbeddingScorer scorer = ScorerFor(kind, 101);
+    IvfOptions options;
+    options.cells = 8;
+    options.nprobe = 8;  // probe everything: candidates == catalog
+    auto index = IvfIndex::Build(scorer.RankingSurrogate(), options);
+    ASSERT_EQ(index->num_items(), kItems);
+    eval::RetrieveScratch scratch;
+    std::vector<int> got;
+    for (int u = 0; u < kUsers; ++u) {
+      index->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &got);
+      EXPECT_EQ(got, ExactTopK(scorer, u, 10))
+          << "kind " << static_cast<int>(kind) << " user " << u;
+    }
+  }
+}
+
+TEST(IvfIndexTest, MinCandidatesFloorWidensTheProbe) {
+  // nprobe=1 would normally scan a single cell; a min_candidates floor of
+  // the whole catalog must widen the probe until the scan is exhaustive,
+  // making the result exact regardless of nprobe.
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kNegSquaredEuclidean, 7);
+  IvfOptions options;
+  options.cells = 16;
+  options.nprobe = 1;
+  auto index = IvfIndex::Build(scorer.RankingSurrogate(), options);
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  for (int u = 0; u < kUsers; ++u) {
+    index->RetrieveTopK(scorer, u, 10, kItems, nullptr, &scratch, &got);
+    EXPECT_EQ(got, ExactTopK(scorer, u, 10)) << "user " << u;
+  }
+}
+
+TEST(IvfIndexTest, FilterNeverSurfacesExcludedItems) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kDot, 13);
+  IvfOptions options;
+  options.cells = 8;
+  options.nprobe = 8;
+  auto index = IvfIndex::Build(scorer.RankingSurrogate(), options);
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  for (int u = 0; u < kUsers; ++u) {
+    // Exclude the unfiltered winners: the filtered result must be exactly
+    // the exact ranking with those items masked, never merely truncated.
+    const std::vector<int> top = ExactTopK(scorer, u, 3);
+    SetFilter filter(std::set<int>(top.begin(), top.end()));
+    index->RetrieveTopK(scorer, u, 10, 10, &filter, &scratch, &got);
+    EXPECT_EQ(got, ExactTopK(scorer, u, 10, &filter)) << "user " << u;
+    for (int v : top) {
+      EXPECT_EQ(std::count(got.begin(), got.end(), v), 0);
+    }
+  }
+}
+
+TEST(IvfIndexTest, BuildIsThreadCountInvariant) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kNegPoincareGamma, 29);
+  const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+  std::vector<std::unique_ptr<IvfIndex>> indexes;
+  for (int threads : {1, 2, 8}) {
+    IvfOptions options;
+    options.cells = 12;
+    options.nprobe = 3;
+    options.num_threads = threads;
+    indexes.push_back(IvfIndex::Build(spec, options));
+  }
+  EXPECT_EQ(indexes[0]->Fingerprint(), indexes[1]->Fingerprint());
+  EXPECT_EQ(indexes[0]->Fingerprint(), indexes[2]->Fingerprint());
+  // And the retrieval output (not just the structure) is identical.
+  eval::RetrieveScratch scratch;
+  std::vector<int> a, b, c;
+  for (int u = 0; u < kUsers; ++u) {
+    indexes[0]->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &a);
+    indexes[1]->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &b);
+    indexes[2]->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &c);
+    EXPECT_EQ(a, b) << "user " << u;
+    EXPECT_EQ(a, c) << "user " << u;
+  }
+}
+
+TEST(IvfIndexTest, SeedChangesTheClustering) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kDot, 31);
+  const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+  IvfOptions options;
+  options.cells = 12;
+  auto a = IvfIndex::Build(spec, options);
+  options.seed = 99;
+  auto b = IvfIndex::Build(spec, options);
+  EXPECT_NE(a->Fingerprint(), b->Fingerprint());
+}
+
+TEST(IvfIndexTest, DefaultCellCountIsSqrtN) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kDot, 41);
+  auto index = IvfIndex::Build(scorer.RankingSurrogate(), IvfOptions());
+  EXPECT_EQ(index->cells(),
+            static_cast<int>(std::lround(std::sqrt(kItems))));
+  // Every item lands in exactly one cell.
+  int total = 0;
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  index->RetrieveTopK(scorer, 0, kItems, kItems, nullptr, &scratch, &got);
+  total = static_cast<int>(got.size());
+  EXPECT_EQ(total, kItems);
+  std::sort(got.begin(), got.end());
+  EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end());
+}
+
+TEST(IvfIndexTest, EdgeCases) {
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kDot, 43);
+  IvfOptions options;
+  options.cells = 8;
+  options.nprobe = 8;
+  auto index = IvfIndex::Build(scorer.RankingSurrogate(), options);
+  eval::RetrieveScratch scratch;
+  std::vector<int> got{1, 2, 3};
+  index->RetrieveTopK(scorer, 0, 0, 0, nullptr, &scratch, &got);
+  EXPECT_TRUE(got.empty());  // k == 0 clears stale output
+  // k beyond the catalog returns the full exact ranking.
+  index->RetrieveTopK(scorer, 0, kItems + 50, kItems, nullptr, &scratch,
+                      &got);
+  EXPECT_EQ(got, ExactTopK(scorer, 0, kItems));
+}
+
+TEST(IvfIndexTest, PartialProbeKeepsUsefulRecall) {
+  // Not a gate (the bench owns the recall/speedup gates) — a sanity floor
+  // far below the benched operating point, deterministic by seed.
+  EmbeddingScorer scorer = ScorerFor(SurrogateKind::kNegSquaredEuclidean, 47);
+  IvfOptions options;
+  options.nprobe = 4;  // of sqrt(300) ~ 17 cells
+  auto index = IvfIndex::Build(scorer.RankingSurrogate(), options);
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  int hit = 0, total = 0;
+  for (int u = 0; u < kUsers; ++u) {
+    const std::vector<int> want = ExactTopK(scorer, u, 10);
+    index->RetrieveTopK(scorer, u, 10, 10, nullptr, &scratch, &got);
+    const std::set<int> got_set(got.begin(), got.end());
+    for (int v : want) hit += got_set.count(v);
+    total += static_cast<int>(want.size());
+  }
+  EXPECT_GE(static_cast<double>(hit) / total, 0.5);
+}
+
+}  // namespace
+}  // namespace logirec::retrieval

@@ -1,0 +1,191 @@
+// The retrieval front door: flag-name parsing, BuildRetriever dispatch
+// (exact => no index; surrogate-free models => descriptive error), and
+// Scorer::RetrieveInto routing — attached index vs exact fallback.
+
+#include "retrieval/retriever.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "math/matrix.h"
+#include "retrieval/embedding_scorer.h"
+#include "util/rng.h"
+
+namespace logirec::retrieval {
+namespace {
+
+constexpr int kItems = 120;
+constexpr int kUsers = 10;
+constexpr int kDim = 8;
+
+/// A scorer with no linear ranking surrogate (the NeuMF shape): only the
+/// scalar bridge is available, so ANN indexing must be refused.
+class OpaqueScorer : public eval::Scorer {
+ public:
+  void ScoreItems(int user, std::vector<double>* out) const override {
+    out->assign(kItems, 0.0);
+    for (int v = 0; v < kItems; ++v) {
+      (*out)[v] = std::sin(0.1 * (user + 1) * (v + 1));
+    }
+  }
+
+  int num_items() const { return kItems; }
+};
+
+class SetFilter : public eval::ItemFilter {
+ public:
+  explicit SetFilter(std::set<int> excluded)
+      : excluded_(std::move(excluded)) {}
+  bool Excluded(int item) const override { return excluded_.count(item) > 0; }
+
+ private:
+  std::set<int> excluded_;
+};
+
+EmbeddingScorer MakeScorer(uint64_t seed) {
+  Rng rng(seed);
+  math::Matrix users(kUsers, kDim), items(kItems, kDim);
+  for (int r = 0; r < kUsers; ++r) {
+    for (int c = 0; c < kDim; ++c) users.At(r, c) = rng.Gaussian(0.0, 0.5);
+  }
+  for (int r = 0; r < kItems; ++r) {
+    for (int c = 0; c < kDim; ++c) items.At(r, c) = rng.Gaussian(0.0, 0.5);
+  }
+  return EmbeddingScorer(std::move(users), std::move(items),
+                         SurrogateKind::kDot);
+}
+
+std::vector<int> ExactTopK(const eval::Scorer& scorer, int num_items,
+                           int user, int k,
+                           const eval::ItemFilter* filter = nullptr) {
+  std::vector<double> scores;
+  scorer.ScoreItems(user, &scores);
+  if (filter != nullptr) {
+    for (int v = 0; v < num_items; ++v) {
+      if (filter->Excluded(v)) {
+        scores[v] = -std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  std::vector<int> scratch, out;
+  eval::TopKInto(math::ConstSpan(scores.data(), scores.size()), k, &scratch,
+                 &out);
+  return out;
+}
+
+TEST(RetrieverTest, ParseRetrievalKind) {
+  auto exact = ParseRetrievalKind("exact");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, RetrievalKind::kExact);
+  auto ivf = ParseRetrievalKind("ivf");
+  ASSERT_TRUE(ivf.ok());
+  EXPECT_EQ(*ivf, RetrievalKind::kIvf);
+  auto hnsw = ParseRetrievalKind("hnsw");
+  ASSERT_TRUE(hnsw.ok());
+  EXPECT_EQ(*hnsw, RetrievalKind::kHnsw);
+  EXPECT_FALSE(ParseRetrievalKind("annoy").ok());
+  EXPECT_FALSE(ParseRetrievalKind("").ok());
+}
+
+TEST(RetrieverTest, KindNamesRoundTrip) {
+  for (RetrievalKind kind : {RetrievalKind::kExact, RetrievalKind::kIvf,
+                             RetrievalKind::kHnsw}) {
+    auto parsed = ParseRetrievalKind(RetrievalKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(RetrieverTest, ExactKindBuildsNoIndex) {
+  EmbeddingScorer scorer = MakeScorer(5);
+  auto built = BuildRetriever(scorer, RetrievalOptions());
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->get(), nullptr);
+}
+
+TEST(RetrieverTest, SurrogateFreeModelIsRefused) {
+  OpaqueScorer scorer;
+  for (RetrievalKind kind : {RetrievalKind::kIvf, RetrievalKind::kHnsw}) {
+    RetrievalOptions options;
+    options.kind = kind;
+    auto built = BuildRetriever(scorer, options);
+    ASSERT_FALSE(built.ok());
+    EXPECT_EQ(built.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(RetrieverTest, RetrieveIntoRoutesThroughAttachedIndex) {
+  EmbeddingScorer scorer = MakeScorer(9);
+  RetrievalOptions options;
+  options.kind = RetrievalKind::kIvf;
+  options.ivf.cells = 6;
+  options.ivf.nprobe = 6;  // covering probe: result must be exact
+  auto built = BuildRetriever(scorer, options);
+  ASSERT_TRUE(built.ok());
+  ASSERT_NE(built->get(), nullptr);
+
+  eval::RetrieveScratch scratch;
+  std::vector<int> detached, attached;
+  // Detached: the exact surrogate-scan fallback inside RetrieveInto.
+  scorer.RetrieveInto(0, 10, nullptr, &scratch, &detached);
+  EXPECT_EQ(detached, ExactTopK(scorer, kItems, 0, 10));
+
+  scorer.AttachRetriever(built->get());
+  EXPECT_EQ(scorer.retriever(), built->get());
+  for (int u = 0; u < kUsers; ++u) {
+    scorer.RetrieveInto(u, 10, nullptr, &scratch, &attached);
+    EXPECT_EQ(attached, ExactTopK(scorer, kItems, u, 10)) << "user " << u;
+  }
+
+  // Filtered retrieval through the same entry point.
+  const std::vector<int> top = ExactTopK(scorer, kItems, 3, 3);
+  SetFilter filter(std::set<int>(top.begin(), top.end()));
+  scorer.RetrieveInto(3, 10, &filter, &scratch, &attached);
+  EXPECT_EQ(attached, ExactTopK(scorer, kItems, 3, 10, &filter));
+
+  scorer.AttachRetriever(nullptr);
+  EXPECT_EQ(scorer.retriever(), nullptr);
+}
+
+TEST(RetrieverTest, HnswBuildThroughTheFrontDoor) {
+  EmbeddingScorer scorer = MakeScorer(15);
+  RetrievalOptions options;
+  options.kind = RetrievalKind::kHnsw;
+  options.hnsw.M = 8;
+  options.hnsw.ef_search = kItems;
+  auto built = BuildRetriever(scorer, options);
+  ASSERT_TRUE(built.ok());
+  ASSERT_NE(built->get(), nullptr);
+  scorer.AttachRetriever(built->get());
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  for (int u = 0; u < kUsers; ++u) {
+    scorer.RetrieveInto(u, 10, nullptr, &scratch, &got);
+    EXPECT_EQ(got, ExactTopK(scorer, kItems, u, 10)) << "user " << u;
+  }
+}
+
+TEST(RetrieverTest, ExactFallbackWorksWithoutAnySurrogate) {
+  // A kNone scorer can still RetrieveInto — it just pays for the scalar
+  // bridge scan. This is the serving path for NeuMF-style models.
+  OpaqueScorer scorer;
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  scorer.RetrieveInto(2, 10, nullptr, &scratch, &got);
+  EXPECT_EQ(got, ExactTopK(scorer, kItems, 2, 10));
+  const std::vector<int> top = ExactTopK(scorer, kItems, 2, 2);
+  SetFilter filter(std::set<int>(top.begin(), top.end()));
+  scorer.RetrieveInto(2, 10, &filter, &scratch, &got);
+  EXPECT_EQ(got, ExactTopK(scorer, kItems, 2, 10, &filter));
+}
+
+}  // namespace
+}  // namespace logirec::retrieval

@@ -1,0 +1,235 @@
+// Surrogate-space contract: every augmented-MIPS lift is an affine,
+// positive-slope transform of the kRanking score (so ANN structure in the
+// augmented dot space IS top-k structure in the original geometry), and
+// the scalar per-item score — the HNSW rerank path — reproduces the
+// blocked kernel scans bit-for-bit.
+
+#include "retrieval/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/kernels.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+#include "retrieval/embedding_scorer.h"
+#include "util/rng.h"
+
+namespace logirec::retrieval {
+namespace {
+
+constexpr int kItems = 200;
+constexpr int kDim = 12;
+
+math::Matrix GaussianMatrix(int rows, int cols, uint64_t seed,
+                            double scale) {
+  math::Matrix m(rows, cols);
+  Rng rng(seed);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m.At(r, c) = rng.Gaussian(0.0, scale);
+  }
+  return m;
+}
+
+/// Rows with ||row|| <= radius (coordinate-wise bounded), for the
+/// Poincare kind where the lift divides by 1 - ||v||^2.
+math::Matrix BallMatrix(int rows, int cols, uint64_t seed, double radius) {
+  math::Matrix m(rows, cols);
+  Rng rng(seed);
+  const double bound = radius / std::sqrt(static_cast<double>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.At(r, c) = rng.Uniform(-bound, bound);
+    }
+  }
+  return m;
+}
+
+math::Matrix ItemsFor(SurrogateKind kind, uint64_t seed) {
+  return kind == SurrogateKind::kNegPoincareGamma
+             ? BallMatrix(kItems, kDim, seed, 0.8)
+             : GaussianMatrix(kItems, kDim, seed, 0.5);
+}
+
+EmbeddingScorer ScorerFor(SurrogateKind kind, uint64_t seed) {
+  math::Matrix users = kind == SurrogateKind::kNegPoincareGamma
+                           ? BallMatrix(8, kDim, seed + 1, 0.8)
+                           : GaussianMatrix(8, kDim, seed + 1, 0.5);
+  math::Vec bias;
+  if (kind == SurrogateKind::kDotBias) {
+    Rng rng(seed + 2);
+    bias.resize(kItems);
+    for (double& b : bias) b = rng.Gaussian(0.0, 0.3);
+  }
+  return EmbeddingScorer(std::move(users), ItemsFor(kind, seed), kind,
+                         std::move(bias));
+}
+
+const std::vector<SurrogateKind>& AllKinds() {
+  static const std::vector<SurrogateKind> kinds = {
+      SurrogateKind::kDot,          SurrogateKind::kDotBias,
+      SurrogateKind::kNegSquaredEuclidean,
+      SurrogateKind::kNegEuclidean, SurrogateKind::kLorentzDot,
+      SurrogateKind::kNegPoincareGamma,
+  };
+  return kinds;
+}
+
+TEST(SurrogateTest, AugmentedDims) {
+  for (SurrogateKind kind : AllKinds()) {
+    EmbeddingScorer scorer = ScorerFor(kind, 11);
+    const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+    int want = kDim;
+    if (kind == SurrogateKind::kDotBias ||
+        kind == SurrogateKind::kNegSquaredEuclidean ||
+        kind == SurrogateKind::kNegEuclidean) {
+      want = kDim + 1;
+    } else if (kind == SurrogateKind::kNegPoincareGamma) {
+      want = kDim + 2;
+    }
+    EXPECT_EQ(AugmentedDim(spec), want) << static_cast<int>(kind);
+  }
+}
+
+TEST(SurrogateTest, ScalarScoreBitIdenticalToKernelScan) {
+  // SurrogateScore must reproduce the blocked-kernel scan value at every
+  // item EXACTLY (same floating-point rounding sequence) — the retrieval
+  // contract says ANN + rerank equals the full scan item-for-item, which
+  // only holds if the rerank scores carry identical bits.
+  for (SurrogateKind kind : AllKinds()) {
+    EmbeddingScorer scorer = ScorerFor(kind, 23);
+    const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+    std::vector<double> scan(kItems);
+    math::Vec query_scratch;
+    for (int u = 0; u < scorer.num_users(); ++u) {
+      scorer.ScoreItemsInto(u, math::Span(scan), eval::ScoreMode::kRanking);
+      const math::ConstSpan q = scorer.RankingQuery(u, &query_scratch);
+      for (int v = 0; v < kItems; ++v) {
+        ASSERT_EQ(SurrogateScore(spec, q, v), scan[v])
+            << "kind " << static_cast<int>(kind) << " user " << u
+            << " item " << v;
+      }
+    }
+  }
+}
+
+TEST(SurrogateTest, AugmentedDotIsPositiveAffineInSurrogateScore) {
+  // The documented reductions: <q~, v~> = a * f(s_v) + b with a > 0 and f
+  // strictly increasing. Verified numerically per kind.
+  for (SurrogateKind kind : AllKinds()) {
+    EmbeddingScorer scorer = ScorerFor(kind, 37);
+    const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+    math::Matrix aug_items;
+    BuildAugmentedItems(spec, &aug_items);
+    ASSERT_EQ(aug_items.rows(), kItems);
+    ASSERT_EQ(aug_items.cols(), AugmentedDim(spec));
+
+    std::vector<double> scores(kItems);
+    math::Vec query_scratch, aug_query;
+    for (int u = 0; u < scorer.num_users(); ++u) {
+      const math::ConstSpan q = scorer.RankingQuery(u, &query_scratch);
+      AugmentQuery(spec, q, &aug_query);
+      ASSERT_EQ(static_cast<int>(aug_query.size()), aug_items.cols());
+      scorer.ScoreItemsInto(u, math::Span(scores),
+                            eval::ScoreMode::kRanking);
+      const double unorm_sq = math::SquaredNorm(q);
+      for (int v = 0; v < kItems; ++v) {
+        const double dot = math::Dot(math::ConstSpan(aug_query),
+                                     aug_items.Row(v));
+        const double s = scores[v];
+        double want = 0.0;
+        switch (kind) {
+          case SurrogateKind::kDot:
+          case SurrogateKind::kDotBias:
+          case SurrogateKind::kLorentzDot:
+            want = s;  // the lift is the identity transform
+            break;
+          case SurrogateKind::kNegSquaredEuclidean:
+            want = s + unorm_sq;  // 2u.v - ||v||^2 = -||u-v||^2 + ||u||^2
+            break;
+          case SurrogateKind::kNegEuclidean:
+            want = -(s * s) + unorm_sq;  // s = -||u-v|| <= 0
+            break;
+          case SurrogateKind::kNegPoincareGamma: {
+            // s = -(1 + 2||u-v||^2/(alpha_u beta_v)), dot = -||u-v||^2/beta_v
+            const double alpha =
+                std::max(1.0 - unorm_sq, 1e-5);
+            want = (s + 1.0) * alpha / 2.0;
+            break;
+          }
+          case SurrogateKind::kNone:
+            FAIL();
+        }
+        EXPECT_NEAR(dot, want, 1e-9 * (1.0 + std::abs(want)))
+            << "kind " << static_cast<int>(kind) << " user " << u
+            << " item " << v;
+      }
+    }
+  }
+}
+
+TEST(SurrogateTest, AugmentedDotOrderMatchesSurrogateOrder) {
+  // End to end: ranking all items by augmented dot gives the same
+  // permutation as ranking by surrogate score (continuous random data, so
+  // no ties and fp noise cannot flip well-separated neighbors).
+  for (SurrogateKind kind : AllKinds()) {
+    EmbeddingScorer scorer = ScorerFor(kind, 53);
+    const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+    math::Matrix aug_items;
+    BuildAugmentedItems(spec, &aug_items);
+    std::vector<double> scores(kItems);
+    math::Vec query_scratch, aug_query;
+    for (int u = 0; u < scorer.num_users(); ++u) {
+      const math::ConstSpan q = scorer.RankingQuery(u, &query_scratch);
+      AugmentQuery(spec, q, &aug_query);
+      scorer.ScoreItemsInto(u, math::Span(scores),
+                            eval::ScoreMode::kRanking);
+      std::vector<std::pair<double, int>> by_dot, by_score;
+      for (int v = 0; v < kItems; ++v) {
+        by_dot.emplace_back(
+            math::Dot(math::ConstSpan(aug_query), aug_items.Row(v)), v);
+        by_score.emplace_back(scores[v], v);
+      }
+      std::sort(by_dot.begin(), by_dot.end(), BetterScored);
+      std::sort(by_score.begin(), by_score.end(), BetterScored);
+      for (int i = 0; i < kItems; ++i) {
+        ASSERT_EQ(by_dot[i].second, by_score[i].second)
+            << "kind " << static_cast<int>(kind) << " user " << u
+            << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(SurrogateTest, BuildAugmentedItemsThreadCountInvariant) {
+  for (SurrogateKind kind : AllKinds()) {
+    EmbeddingScorer scorer = ScorerFor(kind, 71);
+    const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
+    math::Matrix one, eight;
+    BuildAugmentedItems(spec, &one, /*num_threads=*/1);
+    BuildAugmentedItems(spec, &eight, /*num_threads=*/8);
+    ASSERT_EQ(one.rows(), eight.rows());
+    ASSERT_EQ(one.cols(), eight.cols());
+    for (int r = 0; r < one.rows(); ++r) {
+      for (int c = 0; c < one.cols(); ++c) {
+        ASSERT_EQ(one.At(r, c), eight.At(r, c)) << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(SurrogateTest, BetterScoredIsTheTopKOrder) {
+  EXPECT_TRUE(BetterScored({2.0, 5}, {1.0, 0}));
+  EXPECT_FALSE(BetterScored({1.0, 0}, {2.0, 5}));
+  EXPECT_TRUE(BetterScored({1.0, 2}, {1.0, 3}));   // tie: smaller id first
+  EXPECT_FALSE(BetterScored({1.0, 3}, {1.0, 2}));
+  EXPECT_FALSE(BetterScored({1.0, 2}, {1.0, 2}));  // irreflexive
+}
+
+}  // namespace
+}  // namespace logirec::retrieval

@@ -1,0 +1,202 @@
+// Serving-layer retrieval parity: a generation restored with an ANN index
+// at full-coverage parameters must rank exactly like the synchronous
+// exact path — same items, same order, seen-item masking included — for
+// dot-space, Euclidean, and both hyperbolic model families. Also pins the
+// failure mode for surrogate-free models and the index-through-hot-swap
+// flow.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "core/snapshot.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "serve/servable.h"
+#include "serve/server.h"
+
+namespace logirec::serve {
+namespace {
+
+class RetrievalParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/logirec_retrieval_parity_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    data::SyntheticConfig config;
+    config.num_users = 60;
+    config.num_items = 90;
+    config.seed = 7;
+    dataset_ = data::GenerateSynthetic(config);
+    split_ = data::TemporalSplit(dataset_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  core::TrainConfig FastConfig() const {
+    core::TrainConfig config;
+    config.dim = 8;
+    config.layers = 2;
+    config.epochs = 5;
+    return config;
+  }
+
+  std::string WriteTrainedSnapshot(const std::string& name) {
+    const core::TrainConfig config = FastConfig();
+    auto model = baselines::MakeModel(name, config);
+    EXPECT_TRUE(model.ok()) << name;
+    EXPECT_TRUE((*model)->Fit(dataset_, split_).ok()) << name;
+    core::SnapshotHeader header;
+    header.dim = config.dim;
+    header.layers = config.layers;
+    header.num_users = dataset_.num_users;
+    header.num_items = dataset_.num_items;
+    const std::string path = dir_ + "/" + name + ".snap";
+    EXPECT_TRUE(core::ModelSnapshot::Write(**model, header, path).ok())
+        << name;
+    return path;
+  }
+
+  /// Full-coverage configurations: every candidate generation sees the
+  /// whole catalog, so ANN output must equal the exact path bit-for-bit.
+  static retrieval::RetrievalOptions CoveringIvf() {
+    retrieval::RetrievalOptions options;
+    options.kind = retrieval::RetrievalKind::kIvf;
+    options.ivf.cells = 6;
+    options.ivf.nprobe = 6;
+    return options;
+  }
+  retrieval::RetrievalOptions CoveringHnsw() const {
+    retrieval::RetrievalOptions options;
+    options.kind = retrieval::RetrievalKind::kHnsw;
+    options.hnsw.M = 8;
+    options.hnsw.ef_search = dataset_.num_items;
+    return options;
+  }
+
+  /// The synchronous oracle: exact scores, seen masking, TopK.
+  std::vector<int> ExactRank(const ServableModel& servable, int user,
+                             int k) const {
+    std::vector<double> scores(servable.num_items());
+    servable.scorer().ScoreItemsInto(user, math::Span(scores),
+                                     eval::ScoreMode::kExact);
+    servable.MaskSeen(user, math::Span(scores));
+    return eval::TopK(scores, k);
+  }
+
+  void ExpectParity(const std::string& name,
+                    const retrieval::RetrievalOptions& retrieval) {
+    const std::string path = WriteTrainedSnapshot(name);
+    auto servable = ServableModel::FromSnapshot(
+        path, baselines::MakeModel, &split_, /*generation=*/1, retrieval);
+    ASSERT_TRUE(servable.ok()) << name << ": "
+                               << servable.status().ToString();
+    ASSERT_TRUE((*servable)->retrieval_enabled()) << name;
+    EXPECT_EQ((*servable)->retrieval_kind(), retrieval.kind) << name;
+    eval::RetrieveScratch scratch;
+    std::vector<int> got;
+    for (int u = 0; u < dataset_.num_users; ++u) {
+      (*servable)->RetrieveRanked(u, 10, &scratch, &got);
+      EXPECT_EQ(got, ExactRank(**servable, u, 10))
+          << name << " user " << u;
+    }
+  }
+
+  std::string dir_;
+  data::Dataset dataset_;
+  data::Split split_;
+};
+
+TEST_F(RetrievalParityTest, IvfMatchesExactRankAcrossGeometries) {
+  // One model per surrogate family: dot+bias, translated Euclidean,
+  // squared Euclidean, Poincare gamma, Lorentz inner product, and the
+  // paper model itself.
+  for (const char* name :
+       {"BPRMF", "TransC", "CML", "HyperML", "HGCF", "LogiRec"}) {
+    ExpectParity(name, CoveringIvf());
+  }
+}
+
+TEST_F(RetrievalParityTest, HnswMatchesExactRankAcrossGeometries) {
+  for (const char* name :
+       {"BPRMF", "TransC", "CML", "HyperML", "HGCF", "LogiRec"}) {
+    ExpectParity(name, CoveringHnsw());
+  }
+}
+
+TEST_F(RetrievalParityTest, MaskedRetrievalNeverReturnsSeenItems) {
+  const std::string path = WriteTrainedSnapshot("HGCF");
+  auto servable = ServableModel::FromSnapshot(
+      path, baselines::MakeModel, &split_, /*generation=*/1, CoveringIvf());
+  ASSERT_TRUE(servable.ok());
+  std::vector<double> scores((*servable)->num_items(), 0.0);
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  for (int u = 0; u < dataset_.num_users; ++u) {
+    if ((*servable)->SeenCount(u) == 0) continue;
+    // MaskSeen marks the forbidden set; retrieval must avoid all of it.
+    std::fill(scores.begin(), scores.end(), 0.0);
+    (*servable)->MaskSeen(u, math::Span(scores));
+    (*servable)->RetrieveRanked(u, 10, &scratch, &got);
+    for (int v : got) {
+      EXPECT_NE(scores[v], -std::numeric_limits<double>::infinity())
+          << "user " << u << " item " << v;
+    }
+  }
+}
+
+TEST_F(RetrievalParityTest, ServerWorkersUseTheIndexAndAgreeWithRank) {
+  const std::string path = WriteTrainedSnapshot("LogiRec");
+  auto servable = ServableModel::FromSnapshot(
+      path, baselines::MakeModel, &split_, /*generation=*/1, CoveringHnsw());
+  ASSERT_TRUE(servable.ok());
+  ServerOptions options;
+  options.num_threads = 2;
+  ModelServer server(options);
+  server.Swap(*servable);
+  for (int u = 0; u < dataset_.num_users; u += 5) {
+    std::vector<int> sync;
+    ASSERT_TRUE(server.Rank(u, 10, &sync).ok());
+    RankResponse async = server.Submit(u, 10).get();
+    ASSERT_TRUE(async.status.ok());
+    EXPECT_EQ(async.items, sync) << "user " << u;
+  }
+  server.Stop();
+}
+
+TEST_F(RetrievalParityTest, SurrogateFreeModelFailsToBuildAnIndex) {
+  const std::string path = WriteTrainedSnapshot("NeuMF");
+  auto servable = ServableModel::FromSnapshot(
+      path, baselines::MakeModel, &split_, /*generation=*/1, CoveringIvf());
+  ASSERT_FALSE(servable.ok());
+  EXPECT_EQ(servable.status().code(), StatusCode::kFailedPrecondition);
+  // The same snapshot serves fine exactly.
+  auto exact = ServableModel::FromSnapshot(path, baselines::MakeModel,
+                                           &split_, /*generation=*/1);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_FALSE((*exact)->retrieval_enabled());
+  EXPECT_EQ((*exact)->retrieval_kind(), retrieval::RetrievalKind::kExact);
+}
+
+TEST_F(RetrievalParityTest, DefaultOptionsKeepExactServing) {
+  const std::string path = WriteTrainedSnapshot("BPRMF");
+  auto servable = ServableModel::FromSnapshot(path, baselines::MakeModel,
+                                              &split_, /*generation=*/1);
+  ASSERT_TRUE(servable.ok());
+  EXPECT_FALSE((*servable)->retrieval_enabled());
+  // RetrieveRanked still works — it falls back to the exact scan.
+  eval::RetrieveScratch scratch;
+  std::vector<int> got;
+  (*servable)->RetrieveRanked(0, 10, &scratch, &got);
+  EXPECT_EQ(got, ExactRank(**servable, 0, 10));
+}
+
+}  // namespace
+}  // namespace logirec::serve

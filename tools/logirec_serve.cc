@@ -29,6 +29,13 @@
 //   --topk=N             default k when a request omits it
 //   --max-queue=N        admission-queue bound; beyond it ranks get !busy
 //   --poller=auto|epoll|poll   event-loop backend for the TCP mode
+//   --retrieval=exact|ivf|hnsw   candidate generation: exact full scan
+//                        (default) or a sublinear ANN index over the
+//                        model's ranking-surrogate space, built at
+//                        snapshot load (and on every !swap) and carried
+//                        inside the immutable generation
+//   --nprobe=N           IVF cells scanned per query
+//   --ef-search=N        HNSW beam width per query
 
 #include <atomic>
 #include <chrono>
@@ -42,6 +49,7 @@
 
 #include "baselines/model_zoo.h"
 #include "data/io.h"
+#include "retrieval/retriever.h"
 #include "serve/net/net_server.h"
 #include "serve/protocol.h"
 #include "serve/servable.h"
@@ -118,6 +126,10 @@ int main(int argc, char** argv) {
                "connections and exit once they drain (0 = serve forever)");
   flags.AddString("poller", "auto",
                   "TCP event-loop backend: auto, epoll, or poll");
+  flags.AddString("retrieval", "exact",
+                  "candidate generation: exact, ivf, or hnsw");
+  flags.AddInt("nprobe", 16, "IVF cells scanned per query");
+  flags.AddInt("ef-search", 96, "HNSW beam width per query");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) return Fail(st);
   if (flags.help_requested()) return 0;
@@ -147,6 +159,14 @@ int main(int argc, char** argv) {
     split = std::make_unique<data::Split>(data::TemporalSplit(*dataset));
   }
 
+  auto retrieval_kind =
+      retrieval::ParseRetrievalKind(flags.GetString("retrieval"));
+  if (!retrieval_kind.ok()) return Fail(retrieval_kind.status());
+  retrieval::RetrievalOptions retrieval_options;
+  retrieval_options.kind = *retrieval_kind;
+  retrieval_options.ivf.nprobe = flags.GetInt("nprobe");
+  retrieval_options.hnsw.ef_search = flags.GetInt("ef-search");
+
   serve::ServerOptions options;
   options.max_batch = flags.GetInt("batch");
   options.num_threads = flags.GetInt("threads");
@@ -160,15 +180,18 @@ int main(int argc, char** argv) {
   context->split = split.get();
   context->generation = &generation;
   context->factory = baselines::MakeModel;
+  context->retrieval = retrieval_options;
 
   auto servable = serve::ServableModel::FromSnapshot(
       flags.GetString("snapshot"), baselines::MakeModel, context->split,
-      generation.load());
+      generation.load(), retrieval_options);
   if (!servable.ok()) return Fail(servable.status());
   server.Swap(*servable);
-  std::fprintf(stderr, "serving %s (%d users, %d items)\n",
+  std::fprintf(stderr, "serving %s (%d users, %d items, retrieval=%s)\n",
                (*servable)->model_name().c_str(), (*servable)->num_users(),
-               (*servable)->num_items());
+               (*servable)->num_items(),
+               retrieval::RetrievalKindName((*servable)->retrieval_kind())
+                   .c_str());
 
   const int port = flags.GetInt("port");
   if (port < 0) {
