@@ -18,9 +18,12 @@
 #include "core/recommender.h"
 #include "data/dataset.h"
 #include "data/synthetic.h"
+#include "eval/compact.h"
 #include "eval/evaluator.h"
+#include "math/compact.h"
 #include "math/matrix.h"
 #include "math/stats.h"
+#include "retrieval/embedding_scorer.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -138,9 +141,40 @@ inline double CounterUniform(uint64_t seed, uint64_t i) {
          static_cast<double>(1ULL << 53);
 }
 
+/// Rounds every coordinate of `m` to the nearest value representable at
+/// `dtype` (identity for kF64; float narrowing for kF32; per-row
+/// symmetric int8 quantize-then-dequantize for kInt8, the exact transform
+/// math::Int8Catalog applies). Catalogs generated through this are
+/// *exactly* representable at the target precision, so a compact catalog
+/// or compact index built from them carries zero re-encoding error and
+/// any recall delta a bench measures is attributable to kernel arithmetic
+/// and index truncation, never to a second quantization.
+inline void RoundTripDtype(math::Matrix* m, eval::ScorePrecision dtype) {
+  if (dtype == eval::ScorePrecision::kF64) return;
+  const int cols = m->cols();
+  std::vector<int8_t> codes(cols);
+  for (int r = 0; r < m->rows(); ++r) {
+    auto row = m->Row(r);
+    if (dtype == eval::ScorePrecision::kF32) {
+      for (int c = 0; c < cols; ++c) {
+        row[c] = static_cast<double>(static_cast<float>(row[c]));
+      }
+    } else {
+      const float scale = math::QuantizeInt8Row(
+          math::ConstSpan(row.data(), row.size()), codes.data());
+      for (int c = 0; c < cols; ++c) {
+        row[c] = static_cast<double>(scale) * codes[c];
+      }
+    }
+  }
+}
+
 /// Synthetic embedding catalogs for the retrieval bench: one generator
 /// per scoring geometry, all driven by the counter RNG (row r is a pure
-/// function of (seed, r), identical at any generation order).
+/// function of (seed, r), identical at any generation order). The
+/// trailing `dtype` round-trips rows through a compact storage precision
+/// (RoundTripDtype above) — the serve, retrieval, and scale benches share
+/// this one generation path for every precision they measure.
 ///
 /// With `clusters > 0` rows come from a Gaussian mixture — cluster
 /// centers at the requested scale, members offset by 0.35*scale noise —
@@ -153,9 +187,10 @@ inline double CounterUniform(uint64_t seed, uint64_t i) {
 /// of the (seed, clusters) stream, so two calls with the same seed and
 /// disjoint offsets draw from the SAME mixture (shared centers) without
 /// overlapping rows — how the bench keeps queries aimed at catalog mass.
-inline math::Matrix GaussianEmbeddings(int rows, int cols, uint64_t seed,
-                                       double scale, int clusters = 0,
-                                       int row_offset = 0) {
+inline math::Matrix GaussianEmbeddings(
+    int rows, int cols, uint64_t seed, double scale, int clusters = 0,
+    int row_offset = 0,
+    eval::ScorePrecision dtype = eval::ScorePrecision::kF64) {
   math::Matrix m(rows, cols);
   constexpr uint64_t kCenterSalt = 0x5851f42d4c957f2dULL;
   for (int r = 0; r < rows; ++r) {
@@ -183,14 +218,16 @@ inline math::Matrix GaussianEmbeddings(int rows, int cols, uint64_t seed,
       m.At(r, c) = x;
     }
   }
+  RoundTripDtype(&m, dtype);
   return m;
 }
 
 /// Rows on the Lorentz hyperboloid: spatial coordinates Gaussian, time
 /// coordinate x0 = sqrt(1 + ||x||^2) (curvature -1 convention).
-inline math::Matrix LorentzEmbeddings(int rows, int cols, uint64_t seed,
-                                      double scale, int clusters = 0,
-                                      int row_offset = 0) {
+inline math::Matrix LorentzEmbeddings(
+    int rows, int cols, uint64_t seed, double scale, int clusters = 0,
+    int row_offset = 0,
+    eval::ScorePrecision dtype = eval::ScorePrecision::kF64) {
   LOGIREC_CHECK(cols >= 2);
   math::Matrix m =
       GaussianEmbeddings(rows, cols, seed, scale, clusters, row_offset);
@@ -199,15 +236,19 @@ inline math::Matrix LorentzEmbeddings(int rows, int cols, uint64_t seed,
     for (int c = 1; c < cols; ++c) sq += m.At(r, c) * m.At(r, c);
     m.At(r, 0) = std::sqrt(1.0 + sq);
   }
+  // Round-trip last: compact rows sit a rounding step off the exact
+  // hyperboloid, the same deviation a narrowed trained model carries.
+  RoundTripDtype(&m, dtype);
   return m;
 }
 
 /// Rows in the Poincare ball of the given radius (< 1): clustered
 /// direction times a radius bounded away from the boundary, so the
 /// conformal factor 1 - ||v||^2 stays well conditioned.
-inline math::Matrix BallEmbeddings(int rows, int cols, uint64_t seed,
-                                   double radius, int clusters = 0,
-                                   int row_offset = 0) {
+inline math::Matrix BallEmbeddings(
+    int rows, int cols, uint64_t seed, double radius, int clusters = 0,
+    int row_offset = 0,
+    eval::ScorePrecision dtype = eval::ScorePrecision::kF64) {
   LOGIREC_CHECK(radius > 0.0 && radius < 1.0);
   math::Matrix m =
       GaussianEmbeddings(rows, cols, seed, 1.0, clusters, row_offset);
@@ -223,7 +264,59 @@ inline math::Matrix BallEmbeddings(int rows, int cols, uint64_t seed,
     const double f = target / norm;
     for (int c = 0; c < cols; ++c) m.At(r, c) *= f;
   }
+  RoundTripDtype(&m, dtype);
   return m;
+}
+
+/// The three scoring geometries the retrieval and scale benches sweep,
+/// each tied to the zoo family it stands in for.
+struct SpaceSpec {
+  std::string name;
+  retrieval::SurrogateKind kind = retrieval::SurrogateKind::kDot;
+};
+
+inline Result<SpaceSpec> ParseSpace(const std::string& name) {
+  SpaceSpec spec;
+  spec.name = name;
+  if (name == "dot") {
+    spec.kind = retrieval::SurrogateKind::kDot;
+  } else if (name == "lorentz") {
+    spec.kind = retrieval::SurrogateKind::kLorentzDot;
+  } else if (name == "poincare") {
+    spec.kind = retrieval::SurrogateKind::kNegPoincareGamma;
+  } else {
+    return Status::InvalidArgument("unknown space: " + name +
+                                   " (want dot|lorentz|poincare)");
+  }
+  return spec;
+}
+
+/// One EmbeddingScorer per geometry over the mixture catalogs above.
+/// Users are rows [items, items+users) of the same mixture stream as the
+/// catalog (shared centers, disjoint rows), so queries aim where catalog
+/// mass lives — like trained user embeddings do. `dtype` round-trips the
+/// item catalog only: queries stay f64 and are narrowed at scoring time,
+/// exactly as serving narrows live ranking queries.
+inline retrieval::EmbeddingScorer MakeSpaceScorer(
+    const SpaceSpec& space, int users, int items, int dim, uint64_t seed,
+    int clusters, eval::ScorePrecision dtype = eval::ScorePrecision::kF64) {
+  switch (space.kind) {
+    case retrieval::SurrogateKind::kLorentzDot:
+      return retrieval::EmbeddingScorer(
+          LorentzEmbeddings(users, dim, seed, 0.4, clusters, items),
+          LorentzEmbeddings(items, dim, seed, 0.4, clusters, 0, dtype),
+          space.kind);
+    case retrieval::SurrogateKind::kNegPoincareGamma:
+      return retrieval::EmbeddingScorer(
+          BallEmbeddings(users, dim, seed, 0.8, clusters, items),
+          BallEmbeddings(items, dim, seed, 0.8, clusters, 0, dtype),
+          space.kind);
+    default:
+      return retrieval::EmbeddingScorer(
+          GaussianEmbeddings(users, dim, seed, 0.5, clusters, items),
+          GaussianEmbeddings(items, dim, seed, 0.5, clusters, 0, dtype),
+          space.kind);
+  }
 }
 
 }  // namespace logirec::bench

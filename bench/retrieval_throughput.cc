@@ -54,48 +54,6 @@ namespace {
 using retrieval::EmbeddingScorer;
 using retrieval::SurrogateKind;
 
-struct SpaceSpec {
-  std::string name;
-  SurrogateKind kind = SurrogateKind::kDot;
-};
-
-Result<SpaceSpec> ParseSpace(const std::string& name) {
-  SpaceSpec spec;
-  spec.name = name;
-  if (name == "dot") {
-    spec.kind = SurrogateKind::kDot;
-  } else if (name == "lorentz") {
-    spec.kind = SurrogateKind::kLorentzDot;
-  } else if (name == "poincare") {
-    spec.kind = SurrogateKind::kNegPoincareGamma;
-  } else {
-    return Status::InvalidArgument("unknown space: " + name +
-                                   " (want dot|lorentz|poincare)");
-  }
-  return spec;
-}
-
-EmbeddingScorer MakeScorer(const SpaceSpec& space, int users, int items,
-                           int dim, uint64_t seed, int clusters) {
-  // Users are rows [items, items+users) of the same mixture stream as the
-  // catalog (shared centers, disjoint rows), so queries aim where catalog
-  // mass lives — like trained user embeddings do.
-  switch (space.kind) {
-    case SurrogateKind::kLorentzDot:
-      return EmbeddingScorer(
-          LorentzEmbeddings(users, dim, seed, 0.4, clusters, items),
-          LorentzEmbeddings(items, dim, seed, 0.4, clusters), space.kind);
-    case SurrogateKind::kNegPoincareGamma:
-      return EmbeddingScorer(
-          BallEmbeddings(users, dim, seed, 0.8, clusters, items),
-          BallEmbeddings(items, dim, seed, 0.8, clusters), space.kind);
-    default:
-      return EmbeddingScorer(
-          GaussianEmbeddings(users, dim, seed, 0.5, clusters, items),
-          GaussianEmbeddings(items, dim, seed, 0.5, clusters), space.kind);
-  }
-}
-
 struct PathStats {
   double build_s = 0.0;
   double qps = 0.0;
@@ -157,9 +115,10 @@ double RecallAgainst(const std::vector<std::vector<int>>& truth,
 /// structure at 1, 2, and 8 build threads (reduced catalog size).
 void CheckDeterminism(const SpaceSpec& space, int items, int dim,
                       int clusters, const retrieval::IvfOptions& ivf_base,
-                      const retrieval::HnswOptions& hnsw_base) {
-  EmbeddingScorer scorer = MakeScorer(space, /*users=*/8, items, dim,
-                                      /*seed=*/4242, clusters);
+                      const retrieval::HnswOptions& hnsw_base,
+                      eval::ScorePrecision dtype) {
+  EmbeddingScorer scorer = MakeSpaceScorer(space, /*users=*/8, items, dim,
+                                           /*seed=*/4242, clusters, dtype);
   const eval::RankingSurrogateSpec spec = scorer.RankingSurrogate();
   uint64_t ivf_fp = 0, hnsw_fp = 0;
   bool first = true;
@@ -193,9 +152,9 @@ SpaceReport BenchSpace(const SpaceSpec& space, int users, int items, int dim,
                        int clusters, int queries, int top_k,
                        const retrieval::IvfOptions& ivf_options,
                        const retrieval::HnswOptions& hnsw_options,
-                       int threads) {
-  EmbeddingScorer scorer = MakeScorer(space, users, items, dim,
-                                      /*seed=*/1717, clusters);
+                       int threads, eval::ScorePrecision dtype) {
+  EmbeddingScorer scorer = MakeSpaceScorer(space, users, items, dim,
+                                           /*seed=*/1717, clusters, dtype);
   SpaceReport report;
   report.space = space.name;
 
@@ -357,6 +316,11 @@ int Main(int argc, char** argv) {
   flags.AddInt("ef-construction", 128, "HNSW build beam width");
   flags.AddInt("ef-search", 96, "HNSW query beam width");
   flags.AddInt("threads", 0, "index build threads (0 = hardware)");
+  flags.AddString("dtype", "f64",
+                  "catalog storage precision: f64 (the committed-baseline "
+                  "default), f32, or int8. Compact dtypes round-trip the "
+                  "catalog through the storage encoding and build the "
+                  "indexes with matching compact scoring state");
   flags.AddInt("det-items", 20000,
                "reduced catalog for the thread-count determinism check "
                "(0 = skip)");
@@ -386,13 +350,19 @@ int Main(int argc, char** argv) {
   const int clusters = flags.GetInt("clusters");
   const int queries = flags.GetInt("queries");
   const int top_k = flags.GetInt("topk");
+  eval::ScorePrecision dtype;
+  LOGIREC_CHECK_MSG(
+      eval::ParseScorePrecision(flags.GetString("dtype"), &dtype),
+      "unknown --dtype: " + flags.GetString("dtype"));
   retrieval::IvfOptions ivf_options;
   ivf_options.cells = flags.GetInt("cells");
   ivf_options.nprobe = flags.GetInt("nprobe");
+  ivf_options.precision = dtype;
   retrieval::HnswOptions hnsw_options;
   hnsw_options.M = flags.GetInt("M");
   hnsw_options.ef_construction = flags.GetInt("ef-construction");
   hnsw_options.ef_search = flags.GetInt("ef-search");
+  hnsw_options.precision = dtype;
 
   std::vector<SpaceSpec> spaces;
   for (const std::string& name : Split(flags.GetString("spaces"), ',')) {
@@ -414,7 +384,7 @@ int Main(int argc, char** argv) {
   for (const SpaceSpec& space : spaces) {
     reports.push_back(BenchSpace(space, users, items, dim, clusters, queries,
                                  top_k, ivf_options, hnsw_options,
-                                 flags.GetInt("threads")));
+                                 flags.GetInt("threads"), dtype));
     const SpaceReport& r = reports.back();
     std::printf(
         "%-9s %11.1f | %7.2fs %11.1f %8.3f %7.2fx | %7.2fs %11.1f %8.3f "
@@ -429,7 +399,7 @@ int Main(int argc, char** argv) {
     for (const SpaceSpec& space : spaces) {
       std::printf("determinism check: %s\n", space.name.c_str());
       CheckDeterminism(space, det_items, dim, clusters, ivf_options,
-                       hnsw_options);
+                       hnsw_options, dtype);
     }
   }
 

@@ -1,0 +1,590 @@
+// Million-scale serving precision bench: the compact scoring state
+// (f32 / int8) against the f64 oracle, per model, per retrieval shape,
+// on the 1M-user / 100k-item streaming preset
+// (data::MillionScaleConfig).
+//
+// For each model (default: LogiRec++, the hyperbolic HGCF, and the
+// Euclidean BPRMF reference) the bench:
+//
+//   1. fits the model on the million preset (epochs default 0 — table
+//      initialization only; serving throughput is independent of fit
+//      quality and the preset exists to stress user count and catalog
+//      size, not convergence),
+//   2. writes one binary snapshot per storage dtype (f64 / f32 / int8)
+//      and records the byte sizes — the int8 ≤ 0.3x f64 compression
+//      claim is measured here, not assumed,
+//   3. restores a ServableModel per precision x {exact, ivf, hnsw}
+//      from the dtype-matched snapshot (the production conversion flow:
+//      `logirec_serve --save-model` then serve at that precision) and
+//      measures warm single-stream users/sec, latency percentiles,
+//      snapshot load wall time, and resident scoring-state bytes,
+//   4. scores every combo's top-k overlap against the f64 exact-scan
+//      oracle (recall_vs_f64 — the ranking-quality cost of the compact
+//      arithmetic plus any index truncation).
+//
+// A separate quality phase trains each model properly on the CD config
+// and evaluates NDCG@20 / Recall@20 through eval::CompactScorer at f32
+// and int8 against the same model's f64 metrics — the tolerance-gated
+// correctness contract of DESIGN.md §2i (compact precisions are
+// metric-neutral within a measured delta, not bit-identical).
+//
+// Writes BENCH_scale.json — the committed precision-trajectory
+// artifact; CI gates both a smoke run of this binary and the committed
+// JSON itself.
+//
+// Gates (0 = off):
+//   --min-f32-speedup      fail if f32 exact users/sec / f64 exact
+//                          users/sec falls below this for any model
+//   --max-int8-bytes       fail if int8 snapshot bytes / f64 snapshot
+//                          bytes exceeds this for any model
+//   --max-ndcg-delta       fail if |NDCG@20(f32) - NDCG@20(f64)| (0-1
+//                          scale) exceeds this for any model
+//   --max-ndcg-delta-int8  same bound for int8 (quantization flips more
+//                          near-ties, so it gets its own tolerance)
+//   --min-recall           fail if any combo's top-k overlap with the
+//                          f64 exact oracle falls below this
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/snapshot.h"
+#include "eval/compact.h"
+#include "eval/metrics.h"
+#include "retrieval/retriever.h"
+#include "serve/servable.h"
+#include "util/flags.h"
+
+namespace logirec::bench {
+namespace {
+
+const std::vector<eval::ScorePrecision>& Precisions() {
+  static const std::vector<eval::ScorePrecision> all = {
+      eval::ScorePrecision::kF64, eval::ScorePrecision::kF32,
+      eval::ScorePrecision::kInt8};
+  return all;
+}
+
+const std::vector<retrieval::RetrievalKind>& Kinds() {
+  static const std::vector<retrieval::RetrievalKind> all = {
+      retrieval::RetrievalKind::kExact, retrieval::RetrievalKind::kIvf,
+      retrieval::RetrievalKind::kHnsw};
+  return all;
+}
+
+core::SnapshotDtype DtypeFor(eval::ScorePrecision precision) {
+  switch (precision) {
+    case eval::ScorePrecision::kF32:
+      return core::SnapshotDtype::kF32;
+    case eval::ScorePrecision::kInt8:
+      return core::SnapshotDtype::kInt8;
+    default:
+      return core::SnapshotDtype::kF64;
+  }
+}
+
+struct SnapshotInfo {
+  std::string path;
+  uint64_t bytes = 0;
+};
+
+struct ComboStats {
+  std::string precision;
+  std::string retrieval;
+  double users_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double recall_vs_f64 = 1.0;   ///< top-k overlap with the f64 exact oracle
+  double load_ms = 0.0;         ///< ModelSnapshot::Read wall time
+  double build_s = 0.0;         ///< FromSnapshot total (restore + index)
+  unsigned long long resident_bytes = 0;
+};
+
+struct QualityStats {
+  double ndcg20_f64 = 0.0;     // percent, as the paper's tables print it
+  double recall20_f64 = 0.0;
+  double ndcg20_f32 = 0.0;
+  double recall20_f32 = 0.0;
+  double ndcg20_int8 = 0.0;
+  double recall20_int8 = 0.0;
+  // Absolute deltas on the 0-1 metric scale (percent / 100) — the units
+  // the tolerance gate speaks.
+  double delta_ndcg20_f32 = 0.0;
+  double delta_recall20_f32 = 0.0;
+  double delta_ndcg20_int8 = 0.0;
+  double delta_recall20_int8 = 0.0;
+};
+
+struct ModelReport {
+  std::string model;
+  std::map<std::string, SnapshotInfo> snapshots;  // keyed by dtype name
+  double int8_bytes_ratio = 0.0;
+  double f32_bytes_ratio = 0.0;
+  std::vector<ComboStats> combos;
+  double f32_exact_speedup = 0.0;  // f32 exact users/sec over f64 exact
+  double int8_exact_speedup = 0.0;
+  QualityStats quality;
+};
+
+/// Ranks `user` through the same dispatch serve::ModelServer::RankOn
+/// uses: the index / compact-catalog path when one is present, else the
+/// f64 kRanking scan with seen-item masking and TopKInto.
+void RankUser(const serve::ServableModel& model, int user, int k,
+              eval::RetrieveScratch* scratch, std::vector<int>* topk_scratch,
+              std::vector<int>* out) {
+  if (model.retrieval_enabled() || model.compact_enabled()) {
+    model.RetrieveRanked(user, k, scratch, out);
+    return;
+  }
+  scratch->scores.resize(model.num_items());
+  model.scorer().ScoreItemsInto(user, math::Span(scratch->scores),
+                                eval::ScoreMode::kRanking);
+  model.MaskSeen(user, math::Span(scratch->scores));
+  eval::TopKInto(
+      math::ConstSpan(scratch->scores.data(), scratch->scores.size()), k,
+      topk_scratch, out);
+}
+
+double OverlapRecall(const std::vector<std::vector<int>>& oracle,
+                     const std::vector<std::vector<int>>& got) {
+  LOGIREC_CHECK(oracle.size() == got.size());
+  long hit = 0, total = 0;
+  for (size_t q = 0; q < oracle.size(); ++q) {
+    const std::set<int> got_set(got[q].begin(), got[q].end());
+    for (int v : oracle[q]) hit += got_set.count(v) > 0 ? 1 : 0;
+    total += static_cast<long>(oracle[q].size());
+  }
+  return total == 0 ? 1.0 : static_cast<double>(hit) / total;
+}
+
+ComboStats BenchCombo(const std::string& snapshot_path,
+                      const data::Split* split,
+                      const retrieval::RetrievalOptions& options, int queries,
+                      int top_k, std::vector<std::vector<int>>* results) {
+  ComboStats stats;
+  stats.precision = eval::ScorePrecisionName(options.precision);
+  stats.retrieval = retrieval::RetrievalKindName(options.kind);
+
+  Timer build;
+  auto servable = serve::ServableModel::FromSnapshot(
+      snapshot_path, baselines::MakeModel, split, /*generation=*/1, options);
+  LOGIREC_CHECK_MSG(servable.ok(), servable.status().ToString());
+  stats.build_s = build.ElapsedSeconds();
+  const serve::ServableModel& model = **servable;
+  stats.load_ms = model.snapshot_load_ms();
+  stats.resident_bytes = model.ResidentScoringBytes();
+
+  const int num_users = model.num_users();
+  eval::RetrieveScratch scratch;
+  std::vector<int> topk_scratch;
+  results->assign(queries, {});
+
+  std::vector<int> warm;
+  for (int q = 0; q < std::min(queries, 256); ++q) {
+    RankUser(model, q % num_users, top_k, &scratch, &topk_scratch, &warm);
+  }
+  std::vector<double> per_query_us;
+  per_query_us.reserve(queries);
+  Timer total;
+  for (int q = 0; q < queries; ++q) {
+    Timer one;
+    RankUser(model, q % num_users, top_k, &scratch, &topk_scratch,
+             &(*results)[q]);
+    per_query_us.push_back(one.ElapsedSeconds() * 1e6);
+  }
+  const double wall = total.ElapsedSeconds();
+  stats.users_per_s = queries / std::max(wall, 1e-12);
+  stats.p50_us = Percentile(&per_query_us, 0.50);
+  stats.p99_us = Percentile(&per_query_us, 0.99);
+  return stats;
+}
+
+QualityStats BenchQuality(const std::string& name, core::TrainConfig config,
+                          const BenchDataset& qd) {
+  config = TuneForDataset(name, qd.dataset.name, config);
+  auto model = baselines::MakeModel(name, config);
+  LOGIREC_CHECK_MSG(model.ok(), model.status().ToString());
+  const Status fit = (*model)->Fit(qd.dataset, qd.split);
+  LOGIREC_CHECK_MSG(fit.ok(), fit.ToString());
+
+  eval::Evaluator evaluator(&qd.split, qd.dataset.num_items);
+  const eval::EvalResult base = evaluator.Evaluate(**model);
+  QualityStats q;
+  q.ndcg20_f64 = base.Get("NDCG@20");
+  q.recall20_f64 = base.Get("Recall@20");
+
+  for (const eval::ScorePrecision precision :
+       {eval::ScorePrecision::kF32, eval::ScorePrecision::kInt8}) {
+    eval::CompactCatalog catalog;
+    const Status built =
+        catalog.Build((*model)->RankingSurrogate(), precision);
+    LOGIREC_CHECK_MSG(built.ok(), built.ToString());
+    eval::CompactScorer compact(model->get(), &catalog);
+    const eval::EvalResult res = evaluator.Evaluate(compact);
+    const double dn = std::abs(base.Get("NDCG@20") - res.Get("NDCG@20")) / 100.0;
+    const double dr =
+        std::abs(base.Get("Recall@20") - res.Get("Recall@20")) / 100.0;
+    if (precision == eval::ScorePrecision::kF32) {
+      q.ndcg20_f32 = res.Get("NDCG@20");
+      q.recall20_f32 = res.Get("Recall@20");
+      q.delta_ndcg20_f32 = dn;
+      q.delta_recall20_f32 = dr;
+    } else {
+      q.ndcg20_int8 = res.Get("NDCG@20");
+      q.recall20_int8 = res.Get("Recall@20");
+      q.delta_ndcg20_int8 = dn;
+      q.delta_recall20_int8 = dr;
+    }
+  }
+  return q;
+}
+
+ModelReport BenchModel(const std::string& name,
+                       const core::TrainConfig& config,
+                       const BenchDataset& bd,
+                       const retrieval::RetrievalOptions& base_options,
+                       int queries, int top_k) {
+  ModelReport report;
+  report.model = name;
+
+  auto model = baselines::MakeModel(name, config);
+  LOGIREC_CHECK_MSG(model.ok(), model.status().ToString());
+  Timer fit_timer;
+  const Status fit = (*model)->Fit(bd.dataset, bd.split);
+  LOGIREC_CHECK_MSG(fit.ok(), fit.ToString());
+  std::printf("  %s: fit %.1fs", name.c_str(), fit_timer.ElapsedSeconds());
+
+  core::SnapshotHeader header;
+  header.dim = config.dim;
+  header.layers = config.layers;
+  header.num_users = bd.dataset.num_users;
+  header.num_items = bd.dataset.num_items;
+  for (const eval::ScorePrecision precision : Precisions()) {
+    const core::SnapshotDtype dtype = DtypeFor(precision);
+    SnapshotInfo info;
+    info.path = (std::filesystem::temp_directory_path() /
+                 ("logirec_scale_" + name + "_" +
+                  core::SnapshotDtypeName(dtype) + ".snap"))
+                    .string();
+    const Status wr =
+        core::ModelSnapshot::Write(**model, header, info.path, dtype);
+    LOGIREC_CHECK_MSG(wr.ok(), wr.ToString());
+    info.bytes = std::filesystem::file_size(info.path);
+    report.snapshots[core::SnapshotDtypeName(dtype)] = info;
+  }
+  model->reset();  // serve from the restored snapshots only
+  const double f64_bytes =
+      static_cast<double>(report.snapshots.at("f64").bytes);
+  report.f32_bytes_ratio = report.snapshots.at("f32").bytes / f64_bytes;
+  report.int8_bytes_ratio = report.snapshots.at("int8").bytes / f64_bytes;
+  std::printf(", snapshots f64=%.1fMB f32=%.2fx int8=%.2fx\n",
+              f64_bytes / 1e6, report.f32_bytes_ratio,
+              report.int8_bytes_ratio);
+
+  std::vector<std::vector<int>> oracle, got;
+  for (const eval::ScorePrecision precision : Precisions()) {
+    const std::string dtype_name =
+        core::SnapshotDtypeName(DtypeFor(precision));
+    const SnapshotInfo& snap = report.snapshots.at(dtype_name);
+    for (const retrieval::RetrievalKind kind : Kinds()) {
+      retrieval::RetrievalOptions options = base_options;
+      options.kind = kind;
+      options.precision = precision;
+      const bool is_oracle = precision == eval::ScorePrecision::kF64 &&
+                             kind == retrieval::RetrievalKind::kExact;
+      ComboStats stats = BenchCombo(snap.path, &bd.split, options, queries,
+                                    top_k, is_oracle ? &oracle : &got);
+      if (!is_oracle) {
+        stats.recall_vs_f64 = OverlapRecall(oracle, got);
+      }
+      std::printf("    %-4s %-5s %10.1f users/s  p99 %8.1fus  recall %.4f  "
+                  "load %7.1fms  resident %6.1fMB\n",
+                  stats.precision.c_str(), stats.retrieval.c_str(),
+                  stats.users_per_s, stats.p99_us, stats.recall_vs_f64,
+                  stats.load_ms, stats.resident_bytes / 1e6);
+      report.combos.push_back(std::move(stats));
+    }
+  }
+  const auto users_per_s = [&](const char* precision,
+                               const char* kind) -> double {
+    for (const ComboStats& c : report.combos) {
+      if (c.precision == precision && c.retrieval == kind) {
+        return c.users_per_s;
+      }
+    }
+    return 0.0;
+  };
+  report.f32_exact_speedup =
+      users_per_s("f32", "exact") / std::max(users_per_s("f64", "exact"), 1e-12);
+  report.int8_exact_speedup =
+      users_per_s("int8", "exact") /
+      std::max(users_per_s("f64", "exact"), 1e-12);
+
+  for (auto& [dtype_name, info] : report.snapshots) {
+    (void)dtype_name;
+    std::filesystem::remove(info.path);
+  }
+  return report;
+}
+
+std::string ComboJson(const ComboStats& c) {
+  return StrFormat(
+      "{\"precision\": \"%s\", \"retrieval\": \"%s\", "
+      "\"users_per_s\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+      "\"recall_vs_f64\": %.4f, \"load_ms\": %.2f, \"build_s\": %.2f, "
+      "\"resident_bytes\": %llu}",
+      c.precision.c_str(), c.retrieval.c_str(), c.users_per_s, c.p50_us,
+      c.p99_us, c.recall_vs_f64, c.load_ms, c.build_s, c.resident_bytes);
+}
+
+void WriteJson(const std::string& path, const BenchDataset& bd,
+               const core::TrainConfig& config, int queries, int top_k,
+               const std::vector<ModelReport>& reports) {
+  std::ostringstream out;
+  out << "{\n  \"meta\": "
+      << StrFormat(
+             "{\"dataset\": \"%s\", \"users\": %d, \"items\": %d, "
+             "\"dim\": %d, \"queries\": %d, \"top_k\": %d}",
+             bd.dataset.name.c_str(), bd.dataset.num_users,
+             bd.dataset.num_items, config.dim, queries, top_k)
+      << ",\n  \"models\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ModelReport& r = reports[i];
+    out << StrFormat(
+               "    {\"model\": \"%s\", \"f32_exact_speedup\": %.3f, "
+               "\"int8_exact_speedup\": %.3f, \"f32_bytes_ratio\": %.4f, "
+               "\"int8_bytes_ratio\": %.4f,\n",
+               r.model.c_str(), r.f32_exact_speedup, r.int8_exact_speedup,
+               r.f32_bytes_ratio, r.int8_bytes_ratio)
+        << StrFormat(
+               "     \"snapshot_bytes\": {\"f64\": %llu, \"f32\": %llu, "
+               "\"int8\": %llu},\n",
+               static_cast<unsigned long long>(r.snapshots.at("f64").bytes),
+               static_cast<unsigned long long>(r.snapshots.at("f32").bytes),
+               static_cast<unsigned long long>(r.snapshots.at("int8").bytes))
+        << "     \"paths\": [\n";
+    for (size_t c = 0; c < r.combos.size(); ++c) {
+      out << "       " << ComboJson(r.combos[c])
+          << (c + 1 < r.combos.size() ? "," : "") << "\n";
+    }
+    const QualityStats& q = r.quality;
+    out << "     ],\n"
+        << StrFormat(
+               "     \"quality\": {\"ndcg20_f64\": %.4f, "
+               "\"recall20_f64\": %.4f, \"ndcg20_f32\": %.4f, "
+               "\"ndcg20_int8\": %.4f, \"delta_ndcg20_f32\": %.6f, "
+               "\"delta_recall20_f32\": %.6f, \"delta_ndcg20_int8\": %.6f, "
+               "\"delta_recall20_int8\": %.6f}}",
+               q.ndcg20_f64, q.recall20_f64, q.ndcg20_f32, q.ndcg20_int8,
+               q.delta_ndcg20_f32, q.delta_recall20_f32, q.delta_ndcg20_int8,
+               q.delta_recall20_int8)
+        << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream f(path);
+  LOGIREC_CHECK_MSG(f.good(), "cannot write " + path);
+  f << out.str();
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("models", "BPRMF,HGCF,LogiRec++",
+                  "comma-separated model names (needs a linear ranking "
+                  "surrogate; includes a Euclidean reference by default)");
+  flags.AddDouble("scale", 1.0,
+                  "MillionScaleConfig scale (1.0 = 1M users / 100k items; "
+                  "CI smoke uses a small fraction)");
+  flags.AddInt("dim", 16, "embedding dimension for the scale phase");
+  flags.AddInt("epochs", 0,
+               "fit epochs on the million preset (0 = initialize tables "
+               "only; serving throughput is fit-quality independent)");
+  flags.AddInt("queries", 2048, "timed rankings per precision x retrieval");
+  flags.AddInt("topk", 10, "ranking cutoff");
+  flags.AddInt("nprobe", 32, "IVF cells scanned per query");
+  flags.AddInt("cells", 0, "IVF cells (0 = sqrt(items))");
+  flags.AddInt("M", 16, "HNSW links per node");
+  flags.AddInt("ef-construction", 128, "HNSW build beam width");
+  flags.AddInt("ef-search", 96, "HNSW query beam width");
+  flags.AddInt("threads", 0, "index build threads (0 = hardware)");
+  flags.AddString("quality-dataset", "cd",
+                  "dataset preset for the NDCG-delta quality phase");
+  flags.AddDouble("quality-scale", 1.0, "quality-phase dataset scale");
+  flags.AddInt("quality-dim", 32, "quality-phase embedding dimension");
+  flags.AddInt("quality-epochs", 30, "quality-phase training epochs");
+  flags.AddString("out", "BENCH_scale.json", "output JSON path");
+  flags.AddDouble("min-f32-speedup", 0.0,
+                  "fail if any model's f32 exact users/sec over f64 exact "
+                  "is below this (0 = no gate)");
+  flags.AddDouble("max-int8-bytes", 0.0,
+                  "fail if any model's int8/f64 snapshot byte ratio "
+                  "exceeds this (0 = no gate)");
+  flags.AddDouble("max-ndcg-delta", 0.0,
+                  "fail if any model's |NDCG@20(f32) - NDCG@20(f64)| on "
+                  "the 0-1 scale exceeds this (0 = no gate)");
+  flags.AddDouble("max-ndcg-delta-int8", 0.0,
+                  "same bound for int8 (its own tolerance: quantization "
+                  "flips more near-ties than f32 narrowing)");
+  flags.AddDouble("min-recall", 0.0,
+                  "fail if any combo's top-k overlap with the f64 exact "
+                  "oracle is below this sanity floor (0 = no gate); note "
+                  "IVF/HNSW recall here measures ANN quality at the given "
+                  "nprobe/ef, not precision fidelity — see max-recall-drift");
+  flags.AddDouble("max-recall-drift", 0.0,
+                  "fail if a compact combo's oracle recall differs from the "
+                  "same retrieval kind's f64 recall by more than this "
+                  "(0 = no gate) — the precision-neutrality bar: narrowing "
+                  "may flip near-ties but must not change what the index "
+                  "finds");
+  const Status st = flags.Parse(argc, argv);
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  core::TrainConfig config;
+  config.dim = flags.GetInt("dim");
+  config.epochs = flags.GetInt("epochs");
+  config.num_threads = flags.GetInt("threads");
+  config.seed = 7;
+
+  Timer gen_timer;
+  const BenchDataset bd =
+      MakeBenchDataset("million", flags.GetDouble("scale"));
+  std::printf(
+      "scale_throughput: %s users=%d items=%d interactions=%zu dim=%d "
+      "(generated in %.1fs)\n",
+      bd.dataset.name.c_str(), bd.dataset.num_users, bd.dataset.num_items,
+      bd.dataset.interactions.size(), config.dim,
+      gen_timer.ElapsedSeconds());
+
+  retrieval::RetrievalOptions base_options;
+  base_options.ivf.cells = flags.GetInt("cells");
+  base_options.ivf.nprobe = flags.GetInt("nprobe");
+  base_options.ivf.num_threads = flags.GetInt("threads");
+  base_options.hnsw.M = flags.GetInt("M");
+  base_options.hnsw.ef_construction = flags.GetInt("ef-construction");
+  base_options.hnsw.ef_search = flags.GetInt("ef-search");
+  base_options.hnsw.num_threads = flags.GetInt("threads");
+
+  const std::vector<std::string> models =
+      Split(flags.GetString("models"), ',');
+  const int queries = flags.GetInt("queries");
+  const int top_k = flags.GetInt("topk");
+
+  std::vector<ModelReport> reports;
+  for (const std::string& name : models) {
+    reports.push_back(
+        BenchModel(name, config, bd, base_options, queries, top_k));
+  }
+
+  // Quality phase: real training on a small config where NDCG means
+  // something, compact metrics vs the same model's f64 metrics.
+  core::TrainConfig quality_config;
+  quality_config.dim = flags.GetInt("quality-dim");
+  quality_config.epochs = flags.GetInt("quality-epochs");
+  quality_config.num_threads = flags.GetInt("threads");
+  quality_config.seed = 7;
+  const BenchDataset qd = MakeBenchDataset(flags.GetString("quality-dataset"),
+                                           flags.GetDouble("quality-scale"));
+  std::printf("quality phase: %s users=%d items=%d epochs=%d\n",
+              qd.dataset.name.c_str(), qd.dataset.num_users,
+              qd.dataset.num_items, quality_config.epochs);
+  for (ModelReport& r : reports) {
+    r.quality = BenchQuality(r.model, quality_config, qd);
+    std::printf(
+        "  %-10s NDCG@20 f64=%.3f f32=%.3f int8=%.3f  delta f32=%.2e "
+        "int8=%.2e\n",
+        r.model.c_str(), r.quality.ndcg20_f64, r.quality.ndcg20_f32,
+        r.quality.ndcg20_int8, r.quality.delta_ndcg20_f32,
+        r.quality.delta_ndcg20_int8);
+  }
+
+  WriteJson(flags.GetString("out"), bd, config, queries, top_k, reports);
+  std::printf("wrote %s\n", flags.GetString("out").c_str());
+
+  bool failed = false;
+  const double min_f32_speedup = flags.GetDouble("min-f32-speedup");
+  const double max_int8_bytes = flags.GetDouble("max-int8-bytes");
+  const double max_ndcg_delta = flags.GetDouble("max-ndcg-delta");
+  const double max_ndcg_delta_int8 = flags.GetDouble("max-ndcg-delta-int8");
+  const double min_recall = flags.GetDouble("min-recall");
+  const double max_recall_drift = flags.GetDouble("max-recall-drift");
+  for (const ModelReport& r : reports) {
+    if (min_f32_speedup > 0.0 && r.f32_exact_speedup < min_f32_speedup) {
+      std::printf("GATE FAILED %s: f32 exact speedup %.2fx < %.2fx\n",
+                  r.model.c_str(), r.f32_exact_speedup, min_f32_speedup);
+      failed = true;
+    }
+    if (max_int8_bytes > 0.0 && r.int8_bytes_ratio > max_int8_bytes) {
+      std::printf("GATE FAILED %s: int8 snapshot ratio %.3fx > %.3fx\n",
+                  r.model.c_str(), r.int8_bytes_ratio, max_int8_bytes);
+      failed = true;
+    }
+    if (max_ndcg_delta > 0.0 &&
+        r.quality.delta_ndcg20_f32 > max_ndcg_delta) {
+      std::printf("GATE FAILED %s: f32 NDCG@20 delta %.2e > %.2e\n",
+                  r.model.c_str(), r.quality.delta_ndcg20_f32,
+                  max_ndcg_delta);
+      failed = true;
+    }
+    if (max_ndcg_delta_int8 > 0.0 &&
+        r.quality.delta_ndcg20_int8 > max_ndcg_delta_int8) {
+      std::printf("GATE FAILED %s: int8 NDCG@20 delta %.2e > %.2e\n",
+                  r.model.c_str(), r.quality.delta_ndcg20_int8,
+                  max_ndcg_delta_int8);
+      failed = true;
+    }
+    if (min_recall > 0.0) {
+      for (const ComboStats& c : r.combos) {
+        if (c.recall_vs_f64 < min_recall) {
+          std::printf(
+              "GATE FAILED %s %s/%s: recall vs f64 oracle %.4f < %.4f\n",
+              r.model.c_str(), c.precision.c_str(), c.retrieval.c_str(),
+              c.recall_vs_f64, min_recall);
+          failed = true;
+        }
+      }
+    }
+    if (max_recall_drift > 0.0) {
+      for (const ComboStats& c : r.combos) {
+        if (c.precision == "f64") continue;
+        double f64_recall = 1.0;
+        for (const ComboStats& ref : r.combos) {
+          if (ref.precision == "f64" && ref.retrieval == c.retrieval) {
+            f64_recall = ref.recall_vs_f64;
+          }
+        }
+        const double drift = std::abs(c.recall_vs_f64 - f64_recall);
+        if (drift > max_recall_drift) {
+          std::printf(
+              "GATE FAILED %s %s/%s: recall drift vs f64 %s %.4f > %.4f\n",
+              r.model.c_str(), c.precision.c_str(), c.retrieval.c_str(),
+              c.retrieval.c_str(), drift, max_recall_drift);
+          failed = true;
+        }
+      }
+    }
+  }
+  if (!failed && (min_f32_speedup > 0.0 || max_int8_bytes > 0.0 ||
+                  max_ndcg_delta > 0.0 || min_recall > 0.0 ||
+                  max_recall_drift > 0.0)) {
+    std::printf("scale gates passed\n");
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace logirec::bench
+
+int main(int argc, char** argv) { return logirec::bench::Main(argc, argv); }

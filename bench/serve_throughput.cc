@@ -125,7 +125,8 @@ struct ServablePair {
 /// the overload phase swaps to generation 2 mid-load.
 ServablePair MakeServables(const std::string& name,
                            const core::TrainConfig& config,
-                           const BenchDataset& bd) {
+                           const BenchDataset& bd,
+                           eval::ScorePrecision precision) {
   auto model = baselines::MakeModel(name, config);
   LOGIREC_CHECK_MSG(model.ok(), model.status().ToString());
   const Status fit = (*model)->Fit(bd.dataset, bd.split);
@@ -140,14 +141,22 @@ ServablePair MakeServables(const std::string& name,
       (std::filesystem::temp_directory_path() /
        ("logirec_serve_bench_" + name + ".snap"))
           .string();
-  const Status wr = core::ModelSnapshot::Write(**model, header, path);
+  core::SnapshotDtype dtype = core::SnapshotDtype::kF64;
+  if (precision == eval::ScorePrecision::kF32) {
+    dtype = core::SnapshotDtype::kF32;
+  } else if (precision == eval::ScorePrecision::kInt8) {
+    dtype = core::SnapshotDtype::kInt8;
+  }
+  const Status wr = core::ModelSnapshot::Write(**model, header, path, dtype);
   LOGIREC_CHECK_MSG(wr.ok(), wr.ToString());
+  retrieval::RetrievalOptions retrieval;
+  retrieval.precision = precision;
   ServablePair pair;
-  auto gen1 = serve::ServableModel::FromSnapshot(path, baselines::MakeModel,
-                                                 &bd.split, /*generation=*/1);
+  auto gen1 = serve::ServableModel::FromSnapshot(
+      path, baselines::MakeModel, &bd.split, /*generation=*/1, retrieval);
   LOGIREC_CHECK_MSG(gen1.ok(), gen1.status().ToString());
-  auto gen2 = serve::ServableModel::FromSnapshot(path, baselines::MakeModel,
-                                                 &bd.split, /*generation=*/2);
+  auto gen2 = serve::ServableModel::FromSnapshot(
+      path, baselines::MakeModel, &bd.split, /*generation=*/2, retrieval);
   LOGIREC_CHECK_MSG(gen2.ok(), gen2.status().ToString());
   std::filesystem::remove(path);
   pair.gen1 = *gen1;
@@ -260,8 +269,9 @@ ModelReport BenchModel(const std::string& name,
                        const core::TrainConfig& config,
                        const BenchDataset& bd, int requests, int top_k,
                        const serve::ServerOptions& options,
-                       const OpenLoopConfig& open_config) {
-  const ServablePair servables = MakeServables(name, config, bd);
+                       const OpenLoopConfig& open_config,
+                       eval::ScorePrecision precision) {
+  const ServablePair servables = MakeServables(name, config, bd, precision);
   serve::ModelServer server(options);
   server.Swap(servables.gen1);
   const int num_users = bd.dataset.num_users;
@@ -462,6 +472,11 @@ int Main(int argc, char** argv) {
                "training epochs (serving speed is independent of fit "
                "quality, so keep this small)");
   flags.AddInt("requests", 2048, "timed requests per path per model");
+  flags.AddString("dtype", "f64",
+                  "serving precision: snapshots are written at this dtype "
+                  "and every servable generation restores at it (f64 = the "
+                  "committed-baseline path; f32/int8 exercise the compact "
+                  "serving pipeline end to end)");
   flags.AddInt("batch", 32, "request micro-batch cap");
   flags.AddInt("threads", 0, "scoring workers (0 = hardware)");
   flags.AddInt("topk", 10, "ranking cutoff");
@@ -508,6 +523,11 @@ int Main(int argc, char** argv) {
   config.epochs = flags.GetInt("epochs");
   config.seed = 7;
 
+  eval::ScorePrecision precision;
+  LOGIREC_CHECK_MSG(
+      eval::ParseScorePrecision(flags.GetString("dtype"), &precision),
+      "unknown --dtype: " + flags.GetString("dtype"));
+
   const BenchDataset bd =
       MakeBenchDataset(flags.GetString("dataset"), flags.GetDouble("scale"));
   std::vector<std::string> models;
@@ -542,7 +562,7 @@ int Main(int argc, char** argv) {
   std::vector<ModelReport> reports;
   for (const std::string& name : models) {
     reports.push_back(BenchModel(name, config, bd, requests, top_k, options,
-                                 open_config));
+                                 open_config, precision));
     const ModelReport& r = reports.back();
     std::printf(
         "%-10s %12.1f %12.1f %8.2fx %8.2fus %8.2fms %8.2fms %8.1f%%\n",

@@ -1,10 +1,12 @@
 #include "core/snapshot.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "math/compact.h"
 #include "util/crc32.h"
 #include "util/string_util.h"
 
@@ -111,23 +113,56 @@ Status BulkLoad(const std::string& path, std::vector<unsigned char>* out) {
   return Status::OK();
 }
 
+/// Validates a wire dtype code read from a tensor tag or the v2 header.
+Status CheckDtypeCode(uint32_t code, const char* where,
+                      const std::string& path) {
+  if (code > static_cast<uint32_t>(SnapshotDtype::kInt8)) {
+    return Status::IoError(StrFormat(
+        "unknown dtype code %u in %s (%s); this build knows f64|f32|int8",
+        code, path.c_str(), where));
+  }
+  return Status::OK();
+}
+
+/// Rejects NaN/Inf payload values — a snapshot with a non-finite
+/// coordinate can only produce garbage rankings, so corruption that
+/// survives the CRC (e.g. written by a buggy producer) fails loudly here
+/// instead of serving NaN scores.
+template <typename T>
+Status CheckFinite(const T* values, size_t count, const char* what,
+                   size_t tensor_index, const std::string& path) {
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::isfinite(values[i])) {
+      return Status::IoError(StrFormat(
+          "%s %zu in %s holds a non-finite value at flat index %zu "
+          "(corrupted or mis-produced snapshot)",
+          what, tensor_index, path.c_str(), i));
+    }
+  }
+  return Status::OK();
+}
+
 /// Parses the fixed header (through header_crc). On success the cursor
-/// sits on the first tensor record and counts are filled in.
+/// sits on the first tensor record, counts are filled in, and *version
+/// tells the caller which tensor-record layout follows.
 Status ParseHeader(Cursor* cur, const std::string& path,
-                   SnapshotHeader* header, uint32_t* n_matrices,
-                   uint32_t* n_vectors, uint32_t* n_scalars) {
-  uint32_t magic = 0, version = 0;
+                   SnapshotHeader* header, uint32_t* version,
+                   uint32_t* n_matrices, uint32_t* n_vectors,
+                   uint32_t* n_scalars) {
+  uint32_t magic = 0;
   if (!cur->ReadU32(&magic)) return cur->error();
   if (magic != ModelSnapshot::kMagic) {
     return Status::IoError(StrFormat(
         "%s is not a model snapshot (bad magic 0x%08x)", path.c_str(),
         magic));
   }
-  if (!cur->ReadU32(&version)) return cur->error();
-  if (version != ModelSnapshot::kVersion) {
+  if (!cur->ReadU32(version)) return cur->error();
+  if (*version != ModelSnapshot::kVersion &&
+      *version != ModelSnapshot::kVersionCompact) {
     return Status::IoError(StrFormat(
-        "unsupported snapshot version %u in %s (this build reads %u)",
-        version, path.c_str(), ModelSnapshot::kVersion));
+        "unsupported snapshot version %u in %s (this build reads %u-%u)",
+        *version, path.c_str(), ModelSnapshot::kVersion,
+        ModelSnapshot::kVersionCompact));
   }
   uint32_t name_len = 0;
   int32_t dim = 0, layers = 0, num_users = 0, num_items = 0;
@@ -140,6 +175,13 @@ Status ParseHeader(Cursor* cur, const std::string& path,
     return Status::IoError("implausible model-name length in " + path);
   }
   if (!cur->ReadString(name_len, &header->model)) return cur->error();
+  header->dtype = SnapshotDtype::kF64;
+  if (*version == ModelSnapshot::kVersionCompact) {
+    uint32_t dtype_code = 0;
+    if (!cur->ReadU32(&dtype_code)) return cur->error();
+    LOGIREC_RETURN_IF_ERROR(CheckDtypeCode(dtype_code, "header", path));
+    header->dtype = static_cast<SnapshotDtype>(dtype_code);
+  }
   if (!cur->ReadU32(n_matrices) || !cur->ReadU32(n_vectors) ||
       !cur->ReadU32(n_scalars)) {
     return cur->error();
@@ -158,8 +200,28 @@ Status ParseHeader(Cursor* cur, const std::string& path,
 
 }  // namespace
 
+std::string SnapshotDtypeName(SnapshotDtype dtype) {
+  switch (dtype) {
+    case SnapshotDtype::kF64:
+      return "f64";
+    case SnapshotDtype::kF32:
+      return "f32";
+    case SnapshotDtype::kInt8:
+      return "int8";
+  }
+  return "f64";
+}
+
+Result<SnapshotDtype> ParseSnapshotDtype(const std::string& name) {
+  if (name == "f64") return SnapshotDtype::kF64;
+  if (name == "f32") return SnapshotDtype::kF32;
+  if (name == "int8") return SnapshotDtype::kInt8;
+  return Status::InvalidArgument(StrFormat(
+      "unknown snapshot dtype '%s' (want f64|f32|int8)", name.c_str()));
+}
+
 Status ModelSnapshot::Write(Recommender& model, SnapshotHeader header,
-                            const std::string& path) {
+                            const std::string& path, SnapshotDtype dtype) {
   ParameterSet state;
   model.CollectScoringState(&state);
   if (state.empty()) {
@@ -168,10 +230,11 @@ Status ModelSnapshot::Write(Recommender& model, SnapshotHeader header,
   }
   header.model = model.name();
   header.flags = model.SnapshotFlags();
+  const bool compact = dtype != SnapshotDtype::kF64;
 
   std::vector<unsigned char> buf;
   PutU32(&buf, kMagic);
-  PutU32(&buf, kVersion);
+  PutU32(&buf, compact ? kVersionCompact : kVersion);
   PutU32(&buf, header.flags);
   PutI32(&buf, header.dim);
   PutI32(&buf, header.layers);
@@ -179,25 +242,58 @@ Status ModelSnapshot::Write(Recommender& model, SnapshotHeader header,
   PutI32(&buf, header.num_items);
   PutU32(&buf, static_cast<uint32_t>(header.model.size()));
   PutBytes(&buf, header.model.data(), header.model.size());
+  if (compact) PutU32(&buf, static_cast<uint32_t>(dtype));
   PutU32(&buf, static_cast<uint32_t>(state.matrices.size()));
   PutU32(&buf, static_cast<uint32_t>(state.vectors.size()));
   PutU32(&buf, static_cast<uint32_t>(state.scalars.size()));
   PutU32(&buf, Crc32(buf.data(), buf.size()));
 
   for (const math::Matrix* m : state.matrices) {
+    if (compact) PutU32(&buf, static_cast<uint32_t>(dtype));
     PutI32(&buf, m->rows());
     PutI32(&buf, m->cols());
-    const size_t bytes = m->data().size() * sizeof(double);
-    PutU32(&buf, Crc32(m->data().data(), bytes));
-    PutBytes(&buf, m->data().data(), bytes);
+    if (!compact) {
+      const size_t bytes = m->data().size() * sizeof(double);
+      PutU32(&buf, Crc32(m->data().data(), bytes));
+      PutBytes(&buf, m->data().data(), bytes);
+    } else if (dtype == SnapshotDtype::kF32) {
+      std::vector<float> narrow(m->data().size());
+      for (size_t i = 0; i < narrow.size(); ++i) {
+        narrow[i] = static_cast<float>(m->data()[i]);
+      }
+      const size_t bytes = narrow.size() * sizeof(float);
+      PutU32(&buf, Crc32(narrow.data(), bytes));
+      PutBytes(&buf, narrow.data(), bytes);
+    } else {
+      // Int8: per-row scales then row-major codes, one CRC over both.
+      // QuantizeInt8Row is the resident catalog's encoder, so the bytes
+      // on disk equal what Int8Catalog would hold in memory.
+      const int rows = m->rows();
+      const int cols = m->cols();
+      std::vector<float> scales(rows);
+      std::vector<int8_t> codes(static_cast<size_t>(rows) * cols);
+      for (int r = 0; r < rows; ++r) {
+        scales[r] = math::QuantizeInt8Row(
+            m->Row(r), codes.data() + static_cast<size_t>(r) * cols);
+      }
+      const size_t scale_bytes = scales.size() * sizeof(float);
+      const size_t code_bytes = codes.size() * sizeof(int8_t);
+      uint32_t crc = Crc32(scales.data(), scale_bytes);
+      crc = Crc32(codes.data(), code_bytes, crc);
+      PutU32(&buf, crc);
+      PutBytes(&buf, scales.data(), scale_bytes);
+      PutBytes(&buf, codes.data(), code_bytes);
+    }
   }
   for (const math::Vec* v : state.vectors) {
+    if (compact) PutU32(&buf, static_cast<uint32_t>(SnapshotDtype::kF64));
     PutI32(&buf, static_cast<int32_t>(v->size()));
     const size_t bytes = v->size() * sizeof(double);
     PutU32(&buf, Crc32(v->data(), bytes));
     PutBytes(&buf, v->data(), bytes);
   }
   if (!state.scalars.empty()) {
+    if (compact) PutU32(&buf, static_cast<uint32_t>(SnapshotDtype::kF64));
     std::vector<double> block;
     block.reserve(state.scalars.size());
     for (const double* s : state.scalars) block.push_back(*s);
@@ -223,14 +319,16 @@ Result<SnapshotHeader> ModelSnapshot::Peek(const std::string& path) {
   LOGIREC_RETURN_IF_ERROR(BulkLoad(path, &buf));
   Cursor cur(buf.data(), buf.size(), path);
   SnapshotHeader header;
-  uint32_t nm = 0, nv = 0, ns = 0;
-  LOGIREC_RETURN_IF_ERROR(ParseHeader(&cur, path, &header, &nm, &nv, &ns));
+  uint32_t version = 0, nm = 0, nv = 0, ns = 0;
+  LOGIREC_RETURN_IF_ERROR(
+      ParseHeader(&cur, path, &header, &version, &nm, &nv, &ns));
   const size_t crc_at = cur.pos() - sizeof(uint32_t);
   uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, buf.data() + crc_at, sizeof stored_crc);
   if (Crc32(buf.data(), crc_at) != stored_crc) {
     return Status::IoError("snapshot header checksum mismatch in " + path);
   }
+  header.file_bytes = buf.size();
   return header;
 }
 
@@ -241,9 +339,10 @@ Result<std::unique_ptr<Recommender>> ModelSnapshot::Read(
   LOGIREC_RETURN_IF_ERROR(BulkLoad(path, &buf));
   Cursor cur(buf.data(), buf.size(), path);
   SnapshotHeader header;
-  uint32_t n_matrices = 0, n_vectors = 0, n_scalars = 0;
-  LOGIREC_RETURN_IF_ERROR(
-      ParseHeader(&cur, path, &header, &n_matrices, &n_vectors, &n_scalars));
+  uint32_t version = 0, n_matrices = 0, n_vectors = 0, n_scalars = 0;
+  LOGIREC_RETURN_IF_ERROR(ParseHeader(&cur, path, &header, &version,
+                                      &n_matrices, &n_vectors, &n_scalars));
+  const bool tagged = version == kVersionCompact;
   const size_t header_crc_at = cur.pos() - sizeof(uint32_t);
   uint32_t stored_header_crc = 0;
   std::memcpy(&stored_header_crc, buf.data() + header_crc_at,
@@ -273,6 +372,13 @@ Result<std::unique_ptr<Recommender>> ModelSnapshot::Read(
   }
 
   for (size_t i = 0; i < state.matrices.size(); ++i) {
+    SnapshotDtype dtype = SnapshotDtype::kF64;
+    if (tagged) {
+      uint32_t tag = 0;
+      if (!cur.ReadU32(&tag)) return cur.error();
+      LOGIREC_RETURN_IF_ERROR(CheckDtypeCode(tag, "matrix tag", path));
+      dtype = static_cast<SnapshotDtype>(tag);
+    }
     int32_t rows = 0, cols = 0;
     uint32_t crc = 0;
     if (!cur.ReadI32(&rows) || !cur.ReadI32(&cols) || !cur.ReadU32(&crc)) {
@@ -291,20 +397,87 @@ Result<std::unique_ptr<Recommender>> ModelSnapshot::Read(
           path.c_str(), rows, cols, header.model.c_str(), dst->rows(),
           dst->cols()));
     }
-    const size_t bytes =
-        static_cast<size_t>(rows) * static_cast<size_t>(cols) *
-        sizeof(double);
-    const unsigned char* payload = cur.ReadSpan(bytes, "matrix payload");
-    if (payload == nullptr) return cur.error();
-    if (Crc32(payload, bytes) != crc) {
-      return Status::IoError(StrFormat(
-          "matrix %zu checksum mismatch in %s (corrupted snapshot)", i,
-          path.c_str()));
+    const size_t count =
+        static_cast<size_t>(rows) * static_cast<size_t>(cols);
+    if (dtype == SnapshotDtype::kF64) {
+      const size_t bytes = count * sizeof(double);
+      const unsigned char* payload = cur.ReadSpan(bytes, "matrix payload");
+      if (payload == nullptr) return cur.error();
+      if (Crc32(payload, bytes) != crc) {
+        return Status::IoError(StrFormat(
+            "matrix %zu checksum mismatch in %s (corrupted snapshot)", i,
+            path.c_str()));
+      }
+      // Copy first (the payload may sit unaligned in the file image),
+      // then validate; on failure the half-filled model is discarded.
+      dst->Reset(rows, cols);
+      std::memcpy(dst->data().data(), payload, bytes);
+      LOGIREC_RETURN_IF_ERROR(
+          CheckFinite(dst->data().data(), count, "matrix", i, path));
+    } else if (dtype == SnapshotDtype::kF32) {
+      const size_t bytes = count * sizeof(float);
+      const unsigned char* payload =
+          cur.ReadSpan(bytes, "f32 matrix payload");
+      if (payload == nullptr) return cur.error();
+      if (Crc32(payload, bytes) != crc) {
+        return Status::IoError(StrFormat(
+            "matrix %zu checksum mismatch in %s (corrupted snapshot)", i,
+            path.c_str()));
+      }
+      // The payload may be unaligned inside the file image; copy before
+      // typed access.
+      std::vector<float> narrow(count);
+      std::memcpy(narrow.data(), payload, bytes);
+      LOGIREC_RETURN_IF_ERROR(
+          CheckFinite(narrow.data(), count, "matrix", i, path));
+      dst->Reset(rows, cols);
+      for (size_t j = 0; j < count; ++j) {
+        dst->data()[j] = static_cast<double>(narrow[j]);
+      }
+    } else {
+      const size_t scale_bytes = static_cast<size_t>(rows) * sizeof(float);
+      const size_t code_bytes = count * sizeof(int8_t);
+      const unsigned char* payload =
+          cur.ReadSpan(scale_bytes + code_bytes, "int8 matrix payload");
+      if (payload == nullptr) return cur.error();
+      uint32_t actual = Crc32(payload, scale_bytes);
+      actual = Crc32(payload + scale_bytes, code_bytes, actual);
+      if (actual != crc) {
+        return Status::IoError(StrFormat(
+            "matrix %zu checksum mismatch in %s (corrupted snapshot)", i,
+            path.c_str()));
+      }
+      std::vector<float> scales(rows);
+      std::memcpy(scales.data(), payload, scale_bytes);
+      LOGIREC_RETURN_IF_ERROR(CheckFinite(
+          scales.data(), scales.size(), "matrix (int8 scales)", i, path));
+      const int8_t* codes =
+          reinterpret_cast<const int8_t*>(payload + scale_bytes);
+      // Dequantize scale * code back into the model's f64 tensor. The
+      // restored state requantizes to the identical codes (idempotence),
+      // so serving this snapshot at int8 precision is exact.
+      dst->Reset(rows, cols);
+      for (int32_t r = 0; r < rows; ++r) {
+        const double scale = static_cast<double>(scales[r]);
+        double* out = dst->data().data() + static_cast<size_t>(r) * cols;
+        const int8_t* row = codes + static_cast<size_t>(r) * cols;
+        for (int32_t k = 0; k < cols; ++k) {
+          out[k] = scale * static_cast<double>(row[k]);
+        }
+      }
     }
-    dst->Reset(rows, cols);
-    std::memcpy(dst->data().data(), payload, bytes);
   }
   for (size_t i = 0; i < state.vectors.size(); ++i) {
+    if (tagged) {
+      uint32_t tag = 0;
+      if (!cur.ReadU32(&tag)) return cur.error();
+      LOGIREC_RETURN_IF_ERROR(CheckDtypeCode(tag, "vector tag", path));
+      if (static_cast<SnapshotDtype>(tag) != SnapshotDtype::kF64) {
+        return Status::IoError(StrFormat(
+            "vector %zu in %s is not f64 — vectors always store exact",
+            i, path.c_str()));
+      }
+    }
     int32_t len = 0;
     uint32_t crc = 0;
     if (!cur.ReadI32(&len) || !cur.ReadU32(&crc)) return cur.error();
@@ -329,8 +502,20 @@ Result<std::unique_ptr<Recommender>> ModelSnapshot::Read(
     }
     dst->resize(len);
     std::memcpy(dst->data(), payload, bytes);
+    LOGIREC_RETURN_IF_ERROR(CheckFinite(
+        dst->data(), static_cast<size_t>(len), "vector", i, path));
   }
   if (!state.scalars.empty()) {
+    if (tagged) {
+      uint32_t tag = 0;
+      if (!cur.ReadU32(&tag)) return cur.error();
+      LOGIREC_RETURN_IF_ERROR(CheckDtypeCode(tag, "scalar tag", path));
+      if (static_cast<SnapshotDtype>(tag) != SnapshotDtype::kF64) {
+        return Status::IoError(
+            "scalar block in " + path + " is not f64 — scalars always "
+            "store exact");
+      }
+    }
     uint32_t crc = 0;
     if (!cur.ReadU32(&crc)) return cur.error();
     const size_t bytes = state.scalars.size() * sizeof(double);
@@ -339,9 +524,12 @@ Result<std::unique_ptr<Recommender>> ModelSnapshot::Read(
     if (Crc32(payload, bytes) != crc) {
       return Status::IoError("scalar block checksum mismatch in " + path);
     }
+    std::vector<double> block(state.scalars.size());
+    std::memcpy(block.data(), payload, bytes);
+    LOGIREC_RETURN_IF_ERROR(CheckFinite(block.data(), block.size(),
+                                        "scalar block", 0, path));
     for (size_t i = 0; i < state.scalars.size(); ++i) {
-      std::memcpy(state.scalars[i], payload + i * sizeof(double),
-                  sizeof(double));
+      *state.scalars[i] = block[i];
     }
   }
   if (cur.pos() != buf.size()) {
@@ -351,6 +539,7 @@ Result<std::unique_ptr<Recommender>> ModelSnapshot::Read(
   }
 
   LOGIREC_RETURN_IF_ERROR((*model)->FinalizeRestoredState());
+  header.file_bytes = buf.size();
   if (header_out != nullptr) *header_out = header;
   return std::move(*model);
 }

@@ -11,6 +11,18 @@
 
 namespace logirec::core {
 
+/// On-disk storage dtype of a snapshot's matrix tensors. The wire codes
+/// are part of the format — never renumber.
+enum class SnapshotDtype : uint32_t {
+  kF64 = 0,   ///< exact f64 payload (the bit-identical default)
+  kF32 = 1,   ///< f32 payload, widened exactly to f64 on load
+  kInt8 = 2,  ///< symmetric per-row int8 codes + f32 scales
+};
+
+/// "f64" | "f32" | "int8" (the --save-precision flag vocabulary).
+std::string SnapshotDtypeName(SnapshotDtype dtype);
+Result<SnapshotDtype> ParseSnapshotDtype(const std::string& name);
+
 /// The parsed header of a binary model snapshot.
 struct SnapshotHeader {
   std::string model;   ///< zoo name ("BPRMF", ..., "LogiRec++")
@@ -20,6 +32,11 @@ struct SnapshotHeader {
   int num_users = 0;
   int num_items = 0;
   uint32_t flags = 0;  ///< Recommender::SnapshotFlags() bits
+  /// Matrix storage dtype (v1 files are implicitly kF64). Vectors and
+  /// scalars always store f64 — they are tiny (biases, curvatures) and
+  /// keeping them exact costs nothing.
+  SnapshotDtype dtype = SnapshotDtype::kF64;
+  uint64_t file_bytes = 0;  ///< on-disk size, filled by Peek/Read
 };
 
 /// Constructs an untrained model by zoo name — the signature of
@@ -31,7 +48,7 @@ using ModelFactory = std::function<Result<std::unique_ptr<Recommender>>(
 /// canonical on-disk format for trained models (CSV via core/persistence
 /// stays available as a debug/export format).
 ///
-/// Layout (all integers little-endian):
+/// Version 1 layout (all integers little-endian):
 ///
 ///   u32 magic "LRSn"   u32 version   u32 flags
 ///   i32 dim   i32 layers   i32 num_users   i32 num_items
@@ -42,23 +59,46 @@ using ModelFactory = std::function<Result<std::unique_ptr<Recommender>>(
 ///   per vector:  i32 len,            u32 crc32, f64 payload
 ///   scalar blk:  (n_scalars > 0)     u32 crc32, f64 payload
 ///
+/// Version 2 (compact dtypes) inserts `u32 dtype` after the name bytes
+/// and prefixes every tensor record with its own `u32 dtype` tag:
+///
+///   per matrix:  u32 dtype, i32 rows, i32 cols, u32 crc32, payload
+///     kF32 payload:  f32 values (row-major)
+///     kInt8 payload: f32 scales[rows], i8 codes[rows * cols] (row-major)
+///   per vector:  u32 dtype (always kF64), i32 len, u32 crc32, f64 payload
+///   scalar blk:  u32 dtype (always kF64), u32 crc32, f64 payload
+///
+/// Write() emits version 1 for kF64 — byte-identical to pre-dtype builds,
+/// so the back-compat path is exercised by every f64 round trip — and
+/// version 2 for compact dtypes. Read() accepts both.
+///
 /// The payload tensors are the model's *scoring-ready* state, walked via
 /// Recommender::CollectScoringState() in its fixed enumeration order, so
-/// a restored model scores bit-identically to the saved one without the
-/// dataset or any training state. Every CRC32 is over the raw payload
-/// bytes; Read() loads the whole file with a single fread and verifies
-/// checksums before handing tensors to the model.
+/// a restored f64 model scores bit-identically to the saved one without
+/// the dataset or any training state. Compact snapshots are lossy by
+/// design: Read() widens f32 exactly (or dequantizes int8 as scale *
+/// code) back into the model's f64 tensors, and re-quantizing the
+/// restored state reproduces the encoded values bit-for-bit (f32
+/// narrowing and int8 quantization are both idempotent), so serving a
+/// compact snapshot at its own precision is exact. Every CRC32 is over
+/// the raw payload bytes; Read() loads the whole file with a single fread,
+/// verifies checksums, and rejects non-finite tensor values (NaN/Inf)
+/// before handing tensors to the model.
 class ModelSnapshot {
  public:
   static constexpr uint32_t kMagic = 0x6E53524Cu;  // "LRSn"
   static constexpr uint32_t kVersion = 1;
+  /// Version written for kF32/kInt8 (per-tensor dtype tags).
+  static constexpr uint32_t kVersionCompact = 2;
 
   /// Serializes `model`'s scoring state to `path` (overwriting).
   /// `header.model` and `header.flags` are filled from the model; the
-  /// caller supplies dim/layers/num_users/num_items. Fails on models that
-  /// register no scoring state.
+  /// caller supplies dim/layers/num_users/num_items. `dtype` selects the
+  /// matrix storage precision (vectors/scalars always store f64). Fails
+  /// on models that register no scoring state.
   static Status Write(Recommender& model, SnapshotHeader header,
-                      const std::string& path);
+                      const std::string& path,
+                      SnapshotDtype dtype = SnapshotDtype::kF64);
 
   /// Reads and validates the header only (magic, version, header CRC).
   static Result<SnapshotHeader> Peek(const std::string& path);

@@ -84,6 +84,22 @@ std::string TakeName(std::vector<std::string>* pool, Rng* rng, int level,
 }  // namespace
 
 Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  std::vector<Interaction> interactions;
+  interactions.reserve(static_cast<size_t>(
+      static_cast<double>(config.num_users) *
+      std::max(config.interactions_per_user, 6.0)));
+  Dataset out = StreamSynthetic(
+      config, [&interactions](const Interaction& x) {
+        interactions.push_back(x);
+      });
+  out.interactions = std::move(interactions);
+  LOGIREC_CHECK(out.Validate().ok());
+  return out;
+}
+
+Dataset StreamSynthetic(
+    const SyntheticConfig& config,
+    const std::function<void(const Interaction&)>& sink) {
   Rng rng(config.seed);
   Dataset out;
   out.name = config.name;
@@ -230,12 +246,11 @@ Dataset GenerateSynthetic(const SyntheticConfig& config) {
         item = pick_in_subtree(focus);
       }
       if (seen.insert(item).second) {
-        out.interactions.push_back({u, item, ts++});
+        sink(Interaction{u, item, ts++});
       }
     }
   }
 
-  LOGIREC_CHECK(out.Validate().ok());
   return out;
 }
 
@@ -300,9 +315,31 @@ SyntheticConfig BookLikeConfig(double scale, uint64_t seed) {
   return c;
 }
 
+SyntheticConfig MillionScaleConfig(double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "MillionCD";
+  c.num_users = static_cast<int>(1000000 * scale);
+  c.num_items = static_cast<int>(100000 * scale);
+  c.levels = 4;
+  c.top_level_tags = 6;
+  c.branching_min = 3;
+  c.branching_max = 5;
+  // Serving scale, not training scale: a light interaction budget keeps
+  // generation and split cost linear in users while the user count and
+  // catalog do the stressing.
+  c.interactions_per_user = 8.0;
+  c.interactions_spread = 0.35;
+  c.overlap_sibling_prob = 0.12;
+  c.seed = seed;
+  return c;
+}
+
 Result<Dataset> GenerateBenchmarkDataset(const std::string& which,
                                          double scale, uint64_t seed) {
   const std::string key = ToLower(which);
+  if (key == "million") {
+    return GenerateSynthetic(MillionScaleConfig(scale, seed ? seed : 55));
+  }
   if (key == "ciao") {
     return GenerateSynthetic(CiaoLikeConfig(scale, seed ? seed : 11));
   }

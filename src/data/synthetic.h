@@ -2,6 +2,7 @@
 #define LOGIREC_DATA_SYNTHETIC_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "data/dataset.h"
@@ -62,6 +63,18 @@ struct SyntheticConfig {
 /// Generates a dataset from `config`. Deterministic in `config.seed`.
 Dataset GenerateSynthetic(const SyntheticConfig& config);
 
+/// Streaming variant: builds the dataset skeleton (taxonomy, item tags,
+/// user/item counts) and invokes `sink` once per interaction in
+/// generation order — user-major, per-user timestamps ascending — without
+/// materializing the interaction vector. The million-scale preset is
+/// consumed through this path: at 10^6 users the interactions dominate
+/// the generator's footprint, and a consumer that only needs counts,
+/// degree histograms, or a CSR build can take them one at a time.
+/// GenerateSynthetic is this function plus a vector-appending sink, so
+/// the two paths produce identical interactions for identical configs.
+Dataset StreamSynthetic(const SyntheticConfig& config,
+                        const std::function<void(const Interaction&)>& sink);
+
 /// Presets mirroring the shape of the paper's four benchmarks (Table I) at
 /// roughly 1/40 scale. `scale` multiplies user/item counts (1.0 = preset
 /// default); relative density ordering (Ciao densest, Clothing sparsest,
@@ -71,7 +84,16 @@ SyntheticConfig CdLikeConfig(double scale = 1.0, uint64_t seed = 22);
 SyntheticConfig ClothingLikeConfig(double scale = 1.0, uint64_t seed = 33);
 SyntheticConfig BookLikeConfig(double scale = 1.0, uint64_t seed = 44);
 
-/// Convenience: generates one of "ciao", "cd", "clothing", "book".
+/// Million-scale serving preset: 1M users / 100k items at scale 1.0 with
+/// a deep CD-style taxonomy and a deliberately light interaction budget
+/// (~8 per user — the catalog and user-count stress serving; training
+/// quality is not the point). Feeds the scale-throughput bench through
+/// StreamSynthetic / GenerateSynthetic like every other preset; `scale`
+/// shrinks it proportionally for CI smoke runs.
+SyntheticConfig MillionScaleConfig(double scale = 1.0, uint64_t seed = 55);
+
+/// Convenience: generates one of "ciao", "cd", "clothing", "book", or
+/// "million" (the 1M-user/100k-item serving-scale preset).
 Result<Dataset> GenerateBenchmarkDataset(const std::string& which,
                                          double scale = 1.0,
                                          uint64_t seed = 0);

@@ -1,0 +1,312 @@
+#include "eval/compact.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hyper/poincare.h"
+#include "util/logging.h"
+
+namespace logirec::eval {
+
+using Kind = RankingSurrogateSpec::Kind;
+
+const char* ScorePrecisionName(ScorePrecision precision) {
+  switch (precision) {
+    case ScorePrecision::kF64: return "f64";
+    case ScorePrecision::kF32: return "f32";
+    case ScorePrecision::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+bool ParseScorePrecision(const std::string& text, ScorePrecision* out) {
+  if (text == "f64") {
+    *out = ScorePrecision::kF64;
+  } else if (text == "f32") {
+    *out = ScorePrecision::kF32;
+  } else if (text == "int8") {
+    *out = ScorePrecision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status CompactCatalog::Build(const RankingSurrogateSpec& spec,
+                             ScorePrecision precision) {
+  if (precision == ScorePrecision::kF64) {
+    return Status::InvalidArgument(
+        "CompactCatalog: precision f64 is the native path; nothing to build");
+  }
+  if (spec.kind == Kind::kNone || spec.items == nullptr ||
+      spec.items->empty()) {
+    return Status::FailedPrecondition(
+        "CompactCatalog: scorer has no linear ranking surrogate "
+        "(kind=none); compact serving requires one");
+  }
+  kind_ = spec.kind;
+  precision_ = precision;
+  items_ = spec.items->items();
+  dim_ = spec.items->dim();
+  if (precision == ScorePrecision::kF32) {
+    view_f_.Assign(*spec.items);
+    catalog_i8_ = math::Int8Catalog();
+  } else {
+    catalog_i8_.Assign(*spec.items);
+    view_f_ = math::ScoringViewF();
+  }
+  bias_.clear();
+  if (kind_ == Kind::kDotBias) {
+    LOGIREC_CHECK(spec.bias != nullptr);
+    bias_.resize(items_);
+    for (int v = 0; v < items_; ++v) bias_[v] = static_cast<float>(spec.bias[v]);
+  }
+  return Status::OK();
+}
+
+size_t CompactCatalog::ResidentBytes() const {
+  size_t bytes = bias_.size() * sizeof(float);
+  if (precision_ == ScorePrecision::kF32) {
+    bytes += view_f_.ResidentBytes();
+  } else {
+    bytes += catalog_i8_.ResidentBytes();
+  }
+  return bytes;
+}
+
+void CompactCatalog::NarrowQuery(math::ConstSpan query, math::VecF* out) {
+  out->resize(query.size());
+  for (size_t i = 0; i < query.size(); ++i) {
+    (*out)[i] = static_cast<float>(query[i]);
+  }
+}
+
+namespace {
+
+/// Shared dispatch over the two compact slab types (identical kernel
+/// names, different catalogs).
+template <typename Catalog>
+void CompactScanIntoImpl(Kind kind, math::ConstSpanF query,
+                         const Catalog& items, const float* bias,
+                         math::SpanF out) {
+  switch (kind) {
+    case Kind::kDot:
+      math::DotsInto(query, items, out);
+      break;
+    case Kind::kDotBias:
+      LOGIREC_CHECK(bias != nullptr);
+      math::DotsInto(query, items, out);
+      for (size_t v = 0; v < out.size(); ++v) out[v] += bias[v];
+      break;
+    case Kind::kNegSquaredEuclidean:
+      math::NegSquaredEuclideanDistancesInto(query, items, out);
+      break;
+    case Kind::kNegEuclidean:
+      math::NegEuclideanDistancesInto(query, items, out);
+      break;
+    case Kind::kLorentzDot:
+      math::LorentzDotsInto(query, items, out);
+      break;
+    case Kind::kNegPoincareGamma:
+      math::NegPoincareGammasInto(query, items, out);
+      break;
+    case Kind::kNone:
+      LOGIREC_CHECK(false);
+  }
+}
+
+}  // namespace
+
+void CompactScanInto(Kind kind, math::ConstSpanF query,
+                     const math::ScoringViewF& items, const float* bias,
+                     math::SpanF out) {
+  CompactScanIntoImpl(kind, query, items, bias, out);
+}
+
+void CompactScanInto(Kind kind, math::ConstSpanF query,
+                     const math::Int8Catalog& items, const float* bias,
+                     math::SpanF out) {
+  CompactScanIntoImpl(kind, query, items, bias, out);
+}
+
+void CompactCatalog::ScoreInto(math::ConstSpanF query, math::SpanF out) const {
+  LOGIREC_CHECK(built());
+  const float* bias = bias_.empty() ? nullptr : bias_.data();
+  if (precision_ == ScorePrecision::kF32) {
+    CompactScanIntoImpl(kind_, query, view_f_, bias, out);
+  } else {
+    CompactScanIntoImpl(kind_, query, catalog_i8_, bias, out);
+  }
+}
+
+namespace {
+
+/// Per-item f32 dot in the kernels' ascending-k order (the grouped column
+/// passes reduce each item as one serial ascending-k chain, so this
+/// scalar loop reproduces the scan bit-for-bit).
+inline float SubsetDot(const float* q, const math::ScoringViewF& view, int v,
+                       float sign0) {
+  float t = (sign0 * q[0]) * view.Col(0)[v];
+  const int d = view.dim();
+  for (int k = 1; k < d; ++k) t += q[k] * view.Col(k)[v];
+  return t;
+}
+
+inline float SubsetSquaredDiff(const float* q, const math::ScoringViewF& view,
+                               int v) {
+  float diff = q[0] - view.Col(0)[v];
+  float t = diff * diff;
+  const int d = view.dim();
+  for (int k = 1; k < d; ++k) {
+    diff = q[k] - view.Col(k)[v];
+    t += diff * diff;
+  }
+  return t;
+}
+
+inline float SubsetCodeDot(const float* q, const math::Int8Catalog& cat, int v,
+                           float sign0) {
+  float t = (sign0 * q[0]) * static_cast<float>(cat.Col(0)[v]);
+  const int d = cat.dim();
+  for (int k = 1; k < d; ++k) t += q[k] * static_cast<float>(cat.Col(k)[v]);
+  return t;
+}
+
+/// The int8 squared-distance factorization, identical expression (and
+/// zero clamp) to RawDotsToSquaredDistances in math/compact.cc.
+inline float SubsetCodeSquaredDistance(float unorm,
+                                       const math::Int8Catalog& cat, int v,
+                                       float raw) {
+  const float d2 = unorm - 2.0f * cat.Scales()[v] * raw + cat.NormsSq()[v];
+  return d2 > 0.0f ? d2 : 0.0f;
+}
+
+inline float GammaOf(float alpha, float beta_arg, float dist_sq) {
+  const float beta = std::max(beta_arg, static_cast<float>(hyper::kBallEps));
+  return 1.0f + 2.0f * dist_sq / (alpha * beta);
+}
+
+}  // namespace
+
+void CompactCatalog::ScoreSubset(math::ConstSpanF query,
+                                 std::span<const int> ids,
+                                 math::SpanF out) const {
+  LOGIREC_CHECK(built());
+  LOGIREC_CHECK(ids.size() == out.size());
+  LOGIREC_CHECK(static_cast<int>(query.size()) == dim_);
+  const float* q = query.data();
+  if (precision_ == ScorePrecision::kF32) {
+    switch (kind_) {
+      case Kind::kDot:
+        for (size_t i = 0; i < ids.size(); ++i)
+          out[i] = SubsetDot(q, view_f_, ids[i], 1.0f);
+        break;
+      case Kind::kDotBias:
+        for (size_t i = 0; i < ids.size(); ++i)
+          out[i] = SubsetDot(q, view_f_, ids[i], 1.0f) + bias_[ids[i]];
+        break;
+      case Kind::kNegSquaredEuclidean:
+        for (size_t i = 0; i < ids.size(); ++i)
+          out[i] = -SubsetSquaredDiff(q, view_f_, ids[i]);
+        break;
+      case Kind::kNegEuclidean:
+        for (size_t i = 0; i < ids.size(); ++i)
+          out[i] = -std::sqrt(SubsetSquaredDiff(q, view_f_, ids[i]));
+        break;
+      case Kind::kLorentzDot:
+        for (size_t i = 0; i < ids.size(); ++i)
+          out[i] = SubsetDot(q, view_f_, ids[i], -1.0f);
+        break;
+      case Kind::kNegPoincareGamma: {
+        const float alpha = std::max(1.0f - math::SquaredNormF(query),
+                                     static_cast<float>(hyper::kBallEps));
+        for (size_t i = 0; i < ids.size(); ++i) {
+          const int v = ids[i];
+          out[i] = -GammaOf(alpha, 1.0f - view_f_.NormsSq()[v],
+                            SubsetSquaredDiff(q, view_f_, v));
+        }
+        break;
+      }
+      case Kind::kNone:
+        LOGIREC_CHECK(false);
+    }
+    return;
+  }
+  switch (kind_) {
+    case Kind::kDot:
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const int v = ids[i];
+        out[i] = catalog_i8_.Scales()[v] * SubsetCodeDot(q, catalog_i8_, v, 1.0f);
+      }
+      break;
+    case Kind::kDotBias:
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const int v = ids[i];
+        out[i] =
+            catalog_i8_.Scales()[v] * SubsetCodeDot(q, catalog_i8_, v, 1.0f) +
+            bias_[v];
+      }
+      break;
+    case Kind::kNegSquaredEuclidean: {
+      const float unorm = math::SquaredNormF(query);
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const int v = ids[i];
+        out[i] = -SubsetCodeSquaredDistance(
+            unorm, catalog_i8_, v, SubsetCodeDot(q, catalog_i8_, v, 1.0f));
+      }
+      break;
+    }
+    case Kind::kNegEuclidean: {
+      const float unorm = math::SquaredNormF(query);
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const int v = ids[i];
+        out[i] = -std::sqrt(SubsetCodeSquaredDistance(
+            unorm, catalog_i8_, v, SubsetCodeDot(q, catalog_i8_, v, 1.0f)));
+      }
+      break;
+    }
+    case Kind::kLorentzDot:
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const int v = ids[i];
+        out[i] =
+            catalog_i8_.Scales()[v] * SubsetCodeDot(q, catalog_i8_, v, -1.0f);
+      }
+      break;
+    case Kind::kNegPoincareGamma: {
+      const float unorm = math::SquaredNormF(query);
+      const float alpha =
+          std::max(1.0f - unorm, static_cast<float>(hyper::kBallEps));
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const int v = ids[i];
+        out[i] = -GammaOf(alpha, 1.0f - catalog_i8_.NormsSq()[v],
+                          SubsetCodeSquaredDistance(
+                              unorm, catalog_i8_, v,
+                              SubsetCodeDot(q, catalog_i8_, v, 1.0f)));
+      }
+      break;
+    }
+    case Kind::kNone:
+      LOGIREC_CHECK(false);
+  }
+}
+
+void CompactScorer::ScoreItems(int user, std::vector<double>* out) const {
+  out->resize(catalog_->items());
+  ScoreItemsInto(user, math::Span(out->data(), out->size()), ScoreMode::kExact);
+}
+
+void CompactScorer::ScoreItemsInto(int user, math::Span out,
+                                   ScoreMode mode) const {
+  (void)mode;  // compact scores are the surrogate in both modes
+  math::Vec query_scratch;
+  const math::ConstSpan query = base_->RankingQuery(user, &query_scratch);
+  LOGIREC_CHECK(!query.empty());
+  math::VecF query_f;
+  CompactCatalog::NarrowQuery(query, &query_f);
+  math::VecF scores_f(out.size());
+  catalog_->ScoreInto(math::ConstSpanF(query_f.data(), query_f.size()),
+                      math::SpanF(scores_f.data(), scores_f.size()));
+  for (size_t v = 0; v < out.size(); ++v) out[v] = scores_f[v];
+}
+
+}  // namespace logirec::eval

@@ -1,0 +1,120 @@
+#ifndef LOGIREC_EVAL_COMPACT_H_
+#define LOGIREC_EVAL_COMPACT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "math/compact.h"
+#include "math/kernels.h"
+#include "math/vec.h"
+#include "util/status.h"
+
+namespace logirec::eval {
+
+/// Serving-side scoring precision. Training and evaluation default to
+/// kF64, the bit-identical path; kF32 and kInt8 are compact serving
+/// variants whose rankings are tolerance-gated against the f64 oracle
+/// (DESIGN.md §2i) and deterministic per precision.
+enum class ScorePrecision {
+  kF64,   ///< double coordinates (the bit-identity contract)
+  kF32,   ///< float coordinates, 8 AVX2 lanes per register
+  kInt8,  ///< int8 codes + per-item f32 scales, dequantized in-kernel
+};
+
+/// Stable lowercase name: "f64", "f32", "int8".
+const char* ScorePrecisionName(ScorePrecision precision);
+
+/// Parses "f64" / "f32" / "int8". Returns false on anything else.
+bool ParseScorePrecision(const std::string& text, ScorePrecision* out);
+
+/// Compact full-scan dispatch: scores every item of a compact catalog
+/// slab (a ScoringViewF or an Int8Catalog — e.g. one IVF cell) with the
+/// kRanking surrogate for `kind`. `bias` may be null except for kDotBias
+/// (one float per item of this slab). These are the compact counterparts
+/// of retrieval::SurrogateScanInto.
+void CompactScanInto(RankingSurrogateSpec::Kind kind, math::ConstSpanF query,
+                     const math::ScoringViewF& items, const float* bias,
+                     math::SpanF out);
+void CompactScanInto(RankingSurrogateSpec::Kind kind, math::ConstSpanF query,
+                     const math::Int8Catalog& items, const float* bias,
+                     math::SpanF out);
+
+/// Compact clone of a scorer's kRanking surrogate catalog: the item side
+/// of a RankingSurrogateSpec re-encoded as float columns (kF32) or int8
+/// codes with per-item scales (kInt8), plus a narrowed copy of the
+/// per-item bias when the surrogate has one.
+///
+/// Scores are the same surrogate family as the f64 kRanking scan — only
+/// the arithmetic precision differs — so Top-K order agrees with the f64
+/// oracle up to rounding-induced flips of near-tied items (the measured
+/// NDCG/Recall delta the scale bench gates on). ScoreInto and ScoreSubset
+/// accumulate each item in the identical ascending-k order, so subset
+/// rerank is bit-identical to the full compact scan, and both are
+/// bit-identical run-to-run at any thread count.
+class CompactCatalog {
+ public:
+  CompactCatalog() = default;
+
+  /// Re-encodes `spec` at `precision`. Fails with kFailedPrecondition when
+  /// the scorer has no linear surrogate (spec.kind == kNone) — models
+  /// like NeuMF cannot be served compactly — or kInvalidArgument for
+  /// precision kF64 (the f64 path serves straight from the model).
+  Status Build(const RankingSurrogateSpec& spec, ScorePrecision precision);
+
+  bool built() const { return kind_ != RankingSurrogateSpec::Kind::kNone; }
+  ScorePrecision precision() const { return precision_; }
+  RankingSurrogateSpec::Kind kind() const { return kind_; }
+  int items() const { return items_; }
+  int dim() const { return dim_; }
+
+  /// Bytes resident in the compact catalog (codes/columns + norms +
+  /// scales + bias).
+  size_t ResidentBytes() const;
+
+  /// Narrows a f64 ranking query into `*out` (resized to query.size()).
+  static void NarrowQuery(math::ConstSpan query, math::VecF* out);
+
+  /// Full-catalog compact scan: out[v] = surrogate score of item v
+  /// (out.size() == items()).
+  void ScoreInto(math::ConstSpanF query, math::SpanF out) const;
+
+  /// Gathered rerank: out[i] = surrogate score of ids[i], bit-identical
+  /// to the corresponding ScoreInto entries.
+  void ScoreSubset(math::ConstSpanF query, std::span<const int> ids,
+                   math::SpanF out) const;
+
+ private:
+  RankingSurrogateSpec::Kind kind_ = RankingSurrogateSpec::Kind::kNone;
+  ScorePrecision precision_ = ScorePrecision::kF32;
+  int items_ = 0;
+  int dim_ = 0;
+  math::ScoringViewF view_f_;    // kF32
+  math::Int8Catalog catalog_i8_; // kInt8
+  math::VecF bias_;              // kDotBias only
+};
+
+/// Scorer adapter that routes ScoreItemsInto through a CompactCatalog,
+/// so the standard Evaluator can measure compact-precision NDCG/Recall
+/// against the f64 oracle with zero bespoke metric code. The base scorer
+/// supplies the per-user ranking query; scores are widened back to
+/// double for the evaluator. Allocates per call — this is an evaluation
+/// harness, not the serving hot path (serve::ServableModel drives the
+/// catalog directly with reusable scratch).
+class CompactScorer : public Scorer {
+ public:
+  CompactScorer(const Scorer* base, const CompactCatalog* catalog)
+      : base_(base), catalog_(catalog) {}
+
+  void ScoreItems(int user, std::vector<double>* out) const override;
+  void ScoreItemsInto(int user, math::Span out, ScoreMode mode) const override;
+
+ private:
+  const Scorer* base_;
+  const CompactCatalog* catalog_;
+};
+
+}  // namespace logirec::eval
+
+#endif  // LOGIREC_EVAL_COMPACT_H_

@@ -79,6 +79,8 @@ struct RetrieveScratch {
   std::vector<std::pair<double, int>> heap_b;
   std::vector<uint32_t> marks;  ///< epoch-stamped visited flags
   uint32_t mark_epoch = 0;
+  math::VecF scores_f;  ///< compact-path full-catalog scores (f32/int8)
+  math::VecF query_f;   ///< compact-path narrowed query
 };
 
 class Scorer;
@@ -101,6 +103,11 @@ class CandidateRetriever {
                             int min_candidates, const ItemFilter* filter,
                             RetrieveScratch* scratch,
                             std::vector<int>* out) const = 0;
+
+  /// Bytes of resident index state (coordinate slabs, adjacency,
+  /// centroids), for serving telemetry. 0 when the index does not track
+  /// it.
+  virtual size_t ResidentBytes() const { return 0; }
 };
 
 /// Scoring interface the evaluator consumes. Higher score = better item.

@@ -81,11 +81,14 @@ double ApAtK(const std::vector<int>& ranked, const std::vector<int>& truth,
   return denom > 0 ? sum / denom : 0.0;
 }
 
-void TopKInto(math::ConstSpan scores, int k, std::vector<int>* scratch,
-              std::vector<int>* out) {
+namespace {
+
+template <typename T>
+void TopKIntoImpl(std::span<const T> scores, int k, std::vector<int>* scratch,
+                  std::vector<int>* out) {
   out->clear();
   if (k <= 0) return;
-  const double neg_inf = -std::numeric_limits<double>::infinity();
+  const T neg_inf = -std::numeric_limits<T>::infinity();
   const int n = static_cast<int>(scores.size());
   // Fast path for k << n: one threshold scan over the raw scores, keeping
   // the running top-k id list (best first) in `scratch`. Almost every item
@@ -98,10 +101,10 @@ void TopKInto(math::ConstSpan scores, int k, std::vector<int>* scratch,
     scratch->resize(k);
     int* top = scratch->data();
     int size = 0;
-    double worst = 0.0;  // k-th best score/id, valid once size == k
+    T worst{0};  // k-th best score/id, valid once size == k
     int worst_id = -1;
     for (int i = 0; i < n; ++i) {
-      const double s = scores[i];
+      const T s = scores[i];
       if (size == k) {
         if (s < worst || (s == worst && i > worst_id)) continue;
       }
@@ -148,6 +151,18 @@ void TopKInto(math::ConstSpan scores, int k, std::vector<int>* scratch,
     std::sort(scratch->begin(), scratch->begin() + take, better);
   }
   out->assign(scratch->begin(), scratch->begin() + take);
+}
+
+}  // namespace
+
+void TopKInto(math::ConstSpan scores, int k, std::vector<int>* scratch,
+              std::vector<int>* out) {
+  TopKIntoImpl<double>(scores, k, scratch, out);
+}
+
+void TopKInto(math::ConstSpanF scores, int k, std::vector<int>* scratch,
+              std::vector<int>* out) {
+  TopKIntoImpl<float>(scores, k, scratch, out);
 }
 
 std::vector<int> TopK(const std::vector<double>& scores, int k) {

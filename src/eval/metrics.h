@@ -49,6 +49,13 @@ std::vector<int> TopK(const std::vector<double>& scores, int k);
 void TopKInto(math::ConstSpan scores, int k, std::vector<int>* scratch,
               std::vector<int>* out);
 
+/// Float overload for the compact (f32/int8) scoring path: identical
+/// selection logic and the identical tie-break contract. Note that f32
+/// rounding can create equal scores where the f64 path has none — the
+/// ascending-id tie-break keeps the result deterministic either way.
+void TopKInto(math::ConstSpanF scores, int k, std::vector<int>* scratch,
+              std::vector<int>* out);
+
 }  // namespace logirec::eval
 
 #endif  // LOGIREC_EVAL_METRICS_H_

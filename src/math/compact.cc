@@ -1,0 +1,257 @@
+#include "math/compact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "hyper/poincare.h"
+#include "math/simd.h"
+#include "util/logging.h"
+
+namespace logirec::math {
+
+namespace {
+
+inline void CheckShapes(ConstSpanF user, const Int8Catalog& items, SpanF out) {
+  LOGIREC_CHECK(static_cast<int>(user.size()) == items.dim());
+  LOGIREC_CHECK(static_cast<int>(out.size()) == items.items());
+  LOGIREC_CHECK(!user.empty());
+}
+
+/// Deterministic symmetric quantizer for one coordinate. Rounding half
+/// away from zero (lround) is independent of the FP environment, unlike
+/// lrint. The clamp guards the |x| == maxabs case where x / scale can
+/// round up to 127.0000001.
+inline int8_t QuantizeCoord(double x, double inv_scale) {
+  const long q = std::lround(x * inv_scale);
+  return static_cast<int8_t>(std::clamp(q, -127l, 127l));
+}
+
+}  // namespace
+
+template <typename RowAt>
+void Int8Catalog::AssignRows(int n, int d, const RowAt& row_at) {
+  n_ = n;
+  d_ = d;
+  codes_.assign(static_cast<size_t>(n) * d, 0);
+  scales_.assign(n, 0.0f);
+  norms_sq_.assign(n, 0.0f);
+  for (int v = 0; v < n; ++v) {
+    double maxabs = 0.0;
+    for (int k = 0; k < d; ++k) maxabs = std::max(maxabs, std::abs(row_at(v, k)));
+    if (maxabs == 0.0) continue;  // all-zero row: scale 0, codes 0
+    const double scale = maxabs / 127.0;
+    const double inv_scale = 127.0 / maxabs;
+    long sum_sq = 0;
+    for (int k = 0; k < d; ++k) {
+      const int8_t q = QuantizeCoord(row_at(v, k), inv_scale);
+      codes_[static_cast<size_t>(k) * n + v] = q;
+      sum_sq += static_cast<long>(q) * q;
+    }
+    const float scale_f = static_cast<float>(scale);
+    scales_[v] = scale_f;
+    norms_sq_[v] = scale_f * scale_f * static_cast<float>(sum_sq);
+  }
+}
+
+float QuantizeInt8Row(ConstSpan row, int8_t* codes) {
+  const int d = static_cast<int>(row.size());
+  double maxabs = 0.0;
+  for (int k = 0; k < d; ++k) maxabs = std::max(maxabs, std::abs(row[k]));
+  if (maxabs == 0.0) {
+    std::fill(codes, codes + d, static_cast<int8_t>(0));
+    return 0.0f;
+  }
+  const double inv_scale = 127.0 / maxabs;
+  for (int k = 0; k < d; ++k) codes[k] = QuantizeCoord(row[k], inv_scale);
+  return static_cast<float>(maxabs / 127.0);
+}
+
+void Int8Catalog::Assign(const Matrix& items) {
+  const double* base = items.data().data();
+  const int d = items.cols();
+  AssignRows(items.rows(), d, [base, d](int v, int k) {
+    return base[static_cast<size_t>(v) * d + k];
+  });
+}
+
+void Int8Catalog::Assign(const ScoringView& src) {
+  const int n = src.items();
+  AssignRows(n, src.dim(),
+             [&src, n](int v, int k) { return src.Col(k)[v]; });
+}
+
+namespace {
+
+/// out[v] = sign0 * u[0]*code0[v] + sum_{k>=1} u[k]*codek[v], codes
+/// widened to float in the lanes. Same column-grouping as the f32
+/// AccumulateDots so out[v] is touched once per 8-column group.
+__attribute__((always_inline)) inline void AccumulateCodeDotsImpl(
+    const float* u, const Int8Catalog& items, float* __restrict__ out,
+    float sign0) {
+  const int n = items.items();
+  const int d = items.dim();
+  const float u0 = sign0 * u[0];
+  int k = 1;
+  if (d >= 9) {
+    const int8_t* __restrict__ c0 = items.Col(0);
+    const int8_t* __restrict__ c1 = items.Col(1);
+    const int8_t* __restrict__ c2 = items.Col(2);
+    const int8_t* __restrict__ c3 = items.Col(3);
+    const int8_t* __restrict__ c4 = items.Col(4);
+    const int8_t* __restrict__ c5 = items.Col(5);
+    const int8_t* __restrict__ c6 = items.Col(6);
+    const int8_t* __restrict__ c7 = items.Col(7);
+    const int8_t* __restrict__ c8 = items.Col(8);
+    const float u1 = u[1], u2 = u[2], u3 = u[3], u4 = u[4], u5 = u[5],
+                u6 = u[6], u7 = u[7], u8 = u[8];
+    for (int v = 0; v < n; ++v) {
+      float t = u0 * static_cast<float>(c0[v]);
+      t += u1 * static_cast<float>(c1[v]);
+      t += u2 * static_cast<float>(c2[v]);
+      t += u3 * static_cast<float>(c3[v]);
+      t += u4 * static_cast<float>(c4[v]);
+      t += u5 * static_cast<float>(c5[v]);
+      t += u6 * static_cast<float>(c6[v]);
+      t += u7 * static_cast<float>(c7[v]);
+      t += u8 * static_cast<float>(c8[v]);
+      out[v] = t;
+    }
+    k = 9;
+  } else {
+    const int8_t* __restrict__ c0 = items.Col(0);
+    for (int v = 0; v < n; ++v) out[v] = u0 * static_cast<float>(c0[v]);
+  }
+  for (; k + 8 <= d; k += 8) {
+    const int8_t* __restrict__ c0 = items.Col(k);
+    const int8_t* __restrict__ c1 = items.Col(k + 1);
+    const int8_t* __restrict__ c2 = items.Col(k + 2);
+    const int8_t* __restrict__ c3 = items.Col(k + 3);
+    const int8_t* __restrict__ c4 = items.Col(k + 4);
+    const int8_t* __restrict__ c5 = items.Col(k + 5);
+    const int8_t* __restrict__ c6 = items.Col(k + 6);
+    const int8_t* __restrict__ c7 = items.Col(k + 7);
+    const float u1 = u[k], u2 = u[k + 1], u3 = u[k + 2], u4 = u[k + 3],
+                u5 = u[k + 4], u6 = u[k + 5], u7 = u[k + 6], u8 = u[k + 7];
+    for (int v = 0; v < n; ++v) {
+      float t = out[v];
+      t += u1 * static_cast<float>(c0[v]);
+      t += u2 * static_cast<float>(c1[v]);
+      t += u3 * static_cast<float>(c2[v]);
+      t += u4 * static_cast<float>(c3[v]);
+      t += u5 * static_cast<float>(c4[v]);
+      t += u6 * static_cast<float>(c5[v]);
+      t += u7 * static_cast<float>(c6[v]);
+      t += u8 * static_cast<float>(c7[v]);
+      out[v] = t;
+    }
+  }
+  for (; k < d; ++k) {
+    const float uk = u[k];
+    const int8_t* __restrict__ c = items.Col(k);
+    for (int v = 0; v < n; ++v) out[v] += uk * static_cast<float>(c[v]);
+  }
+}
+
+LOGIREC_SIMD_CLONES
+void AccumulateCodeDots(const float* u, const Int8Catalog& items,
+                        float* __restrict__ out, float sign0) {
+  AccumulateCodeDotsImpl(u, items, out, sign0);
+}
+
+/// Scales the raw code dots by the per-item scale in place.
+LOGIREC_SIMD_CLONES
+void ScaleByItem(const Int8Catalog& items, float* __restrict__ out) {
+  const float* __restrict__ s = items.Scales();
+  const int n = items.items();
+  for (int v = 0; v < n; ++v) out[v] *= s[v];
+}
+
+/// Turns raw code dots into squared distances in place:
+/// ||u||^2 - 2*scale*raw + norms_sq, clamped at zero (the factorized form
+/// can go epsilon-negative when u is nearly a dequantized row).
+LOGIREC_SIMD_CLONES
+void RawDotsToSquaredDistances(ConstSpanF user, const Int8Catalog& items,
+                               float* __restrict__ out) {
+  float unorm = 0.0f;
+  for (const float x : user) unorm += x * x;
+  const float* __restrict__ s = items.Scales();
+  const float* __restrict__ nsq = items.NormsSq();
+  const int n = items.items();
+  for (int v = 0; v < n; ++v) {
+    const float d2 = unorm - 2.0f * s[v] * out[v] + nsq[v];
+    out[v] = d2 > 0.0f ? d2 : 0.0f;
+  }
+}
+
+}  // namespace
+
+void DotsInto(ConstSpanF user, const Int8Catalog& items, SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateCodeDots(user.data(), items, out.data(), 1.0f);
+  ScaleByItem(items, out.data());
+}
+
+void NegSquaredEuclideanDistancesInto(ConstSpanF user, const Int8Catalog& items,
+                                      SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateCodeDots(user.data(), items, out.data(), 1.0f);
+  RawDotsToSquaredDistances(user, items, out.data());
+  for (float& o : out) o = -o;
+}
+
+void NegEuclideanDistancesInto(ConstSpanF user, const Int8Catalog& items,
+                               SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateCodeDots(user.data(), items, out.data(), 1.0f);
+  RawDotsToSquaredDistances(user, items, out.data());
+  for (float& o : out) o = -std::sqrt(o);
+}
+
+void LorentzDotsInto(ConstSpanF user, const Int8Catalog& items, SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateCodeDots(user.data(), items, out.data(), -1.0f);
+  ScaleByItem(items, out.data());
+}
+
+void NegLorentzDistancesInto(ConstSpanF user, const Int8Catalog& items,
+                             SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateCodeDots(user.data(), items, out.data(), -1.0f);
+  ScaleByItem(items, out.data());
+  for (float& o : out) o = -SafeAcoshF(-o);
+}
+
+namespace {
+
+template <typename FinishFn>
+inline void PoincareFromCatalog(ConstSpanF user, const Int8Catalog& items,
+                                SpanF out, const FinishFn& finish) {
+  CheckShapes(user, items, out);
+  AccumulateCodeDots(user.data(), items, out.data(), 1.0f);
+  RawDotsToSquaredDistances(user, items, out.data());
+  const float alpha =
+      std::max(1.0f - SquaredNormF(user), static_cast<float>(hyper::kBallEps));
+  const float* nsq = items.NormsSq();
+  const int n = items.items();
+  for (int v = 0; v < n; ++v) {
+    const float beta =
+        std::max(1.0f - nsq[v], static_cast<float>(hyper::kBallEps));
+    out[v] = finish(1.0f + 2.0f * out[v] / (alpha * beta));
+  }
+}
+
+}  // namespace
+
+void NegPoincareDistancesInto(ConstSpanF user, const Int8Catalog& items,
+                              SpanF out) {
+  PoincareFromCatalog(user, items, out,
+                      [](float gamma) { return -SafeAcoshF(gamma); });
+}
+
+void NegPoincareGammasInto(ConstSpanF user, const Int8Catalog& items,
+                           SpanF out) {
+  PoincareFromCatalog(user, items, out, [](float gamma) { return -gamma; });
+}
+
+}  // namespace logirec::math

@@ -1,0 +1,101 @@
+#ifndef LOGIREC_MATH_COMPACT_H_
+#define LOGIREC_MATH_COMPACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/kernels.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+
+namespace logirec::math {
+
+/// Symmetric int8-quantized item catalog for the compact serving path.
+///
+/// Each item row is quantized independently: scale = max_k |x_k| / 127,
+/// code_k = round(x_k / scale) in [-127, 127] (round half away from zero,
+/// so quantization is deterministic and independent of the FP rounding
+/// mode). The dequantized coordinate is scale * code — never materialized
+/// as a float row: the kernels accumulate raw code dots and apply the
+/// per-item scale once at the finish, so the resident state stays 1 byte
+/// per coordinate plus 8 bytes per item (scale + cached norm).
+///
+/// Quantization is idempotent: the max-magnitude coordinate maps to
+/// exactly +/-127, so requantizing the dequantized row reproduces the
+/// same scale and the same codes. A snapshot round-trip through int8
+/// therefore rebuilds a bit-identical catalog.
+///
+/// Codes are stored column-major (like ScoringView) so the scan kernels
+/// put the item index in the inner loop and AVX2 widens 8 codes to float
+/// lanes per step.
+class Int8Catalog {
+ public:
+  Int8Catalog() = default;
+
+  /// Quantizes `items` row by row.
+  void Assign(const Matrix& items);
+
+  /// Quantizes from an existing f64 scoring view (the compact serving
+  /// path starts from a model's RankingSurrogate spec).
+  void Assign(const ScoringView& src);
+
+  int items() const { return n_; }
+  int dim() const { return d_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Column k: the k-th code of every item, contiguous.
+  const int8_t* Col(int k) const {
+    return codes_.data() + static_cast<size_t>(k) * n_;
+  }
+  /// Per-item dequantization scales.
+  const float* Scales() const { return scales_.data(); }
+  /// Squared norms of the dequantized rows: scale^2 * sum(code^2), the
+  /// integer sum being exact.
+  const float* NormsSq() const { return norms_sq_.data(); }
+
+  /// Bytes resident in the code + scale + norm buffers.
+  size_t ResidentBytes() const {
+    return codes_.size() * sizeof(int8_t) +
+           (scales_.size() + norms_sq_.size()) * sizeof(float);
+  }
+
+ private:
+  template <typename RowAt>
+  void AssignRows(int n, int d, const RowAt& row_at);
+
+  int n_ = 0;
+  int d_ = 0;
+  std::vector<int8_t> codes_;
+  std::vector<float> scales_;
+  std::vector<float> norms_sq_;
+};
+
+/// Quantizes one f64 row with the catalog's symmetric per-row scheme
+/// (scale = max|x|/127, codes = lround(x/scale) clamped to [-127, 127])
+/// and returns the dequantization scale (0 for an all-zero row, codes all
+/// 0). Snapshot encoding uses this exact routine so on-disk codes match
+/// the resident Int8Catalog bit-for-bit, and quantization idempotence
+/// makes a dequantize -> requantize round trip stable.
+float QuantizeInt8Row(ConstSpan row, int8_t* codes);
+
+/// Int8 counterparts of the seven scoring kernels. The query stays float
+/// (queries are per-request, not resident); accumulation is float over
+/// widened codes in the same ascending-k order as the f32 kernels, so
+/// outputs are deterministic run-to-run. Distances use the factorization
+/// ||u - x||^2 = ||u||^2 - 2 * scale * <u, code> + norms_sq[x], clamped
+/// at zero before any sqrt/acosh.
+void DotsInto(ConstSpanF user, const Int8Catalog& items, SpanF out);
+void NegSquaredEuclideanDistancesInto(ConstSpanF user, const Int8Catalog& items,
+                                      SpanF out);
+void NegEuclideanDistancesInto(ConstSpanF user, const Int8Catalog& items,
+                               SpanF out);
+void LorentzDotsInto(ConstSpanF user, const Int8Catalog& items, SpanF out);
+void NegLorentzDistancesInto(ConstSpanF user, const Int8Catalog& items,
+                             SpanF out);
+void NegPoincareDistancesInto(ConstSpanF user, const Int8Catalog& items,
+                              SpanF out);
+void NegPoincareGammasInto(ConstSpanF user, const Int8Catalog& items, SpanF out);
+
+}  // namespace logirec::math
+
+#endif  // LOGIREC_MATH_COMPACT_H_

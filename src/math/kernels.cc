@@ -178,27 +178,54 @@ void NegPoincareGammasInto(ConstSpan user, const Matrix& items, Span out) {
 
 // ---- Transposed kernels ----------------------------------------------------
 
-void ScoringView::Assign(const Matrix& items) {
+template <typename T>
+void BasicScoringView<T>::Assign(const Matrix& items) {
   n_ = items.rows();
   d_ = items.cols();
   cols_.resize(static_cast<size_t>(n_) * d_);
-  norms_sq_.assign(n_, 0.0);
+  norms_sq_.assign(n_, T{0});
   const double* row = items.data().data();
   for (int v = 0; v < n_; ++v, row += d_) {
-    // Same ascending-k order as the scalar norm loops, so the cached
-    // norms are bit-identical to what the row-major kernels recompute.
-    double norm_sq = 0.0;
+    // Same ascending-k order as the scalar norm loops. For T=double the
+    // cached norms are bit-identical to what the row-major kernels
+    // recompute; for T=float they are accumulated in float from the
+    // narrowed coordinates, so the f32 kernels see a self-consistent
+    // catalog.
+    T norm_sq{0};
     for (int k = 0; k < d_; ++k) {
-      cols_[static_cast<size_t>(k) * n_ + v] = row[k];
-      norm_sq += row[k] * row[k];
+      const T x = static_cast<T>(row[k]);
+      cols_[static_cast<size_t>(k) * n_ + v] = x;
+      norm_sq += x * x;
     }
     norms_sq_[v] = norm_sq;
   }
 }
 
+template <typename T>
+void BasicScoringView<T>::Assign(const BasicScoringView<double>& src) {
+  n_ = src.items();
+  d_ = src.dim();
+  cols_.resize(static_cast<size_t>(n_) * d_);
+  norms_sq_.assign(n_, T{0});
+  for (int k = 0; k < d_; ++k) {
+    const double* c = src.Col(k);
+    T* dst = cols_.data() + static_cast<size_t>(k) * n_;
+    for (int v = 0; v < n_; ++v) {
+      const T x = static_cast<T>(c[v]);
+      dst[v] = x;
+      norms_sq_[v] += x * x;  // ascending-k per item, same as Assign(Matrix)
+    }
+  }
+}
+
+template class BasicScoringView<double>;
+template class BasicScoringView<float>;
+
 namespace {
 
-inline void CheckShapes(ConstSpan user, const ScoringView& items, Span out) {
+template <typename T>
+inline void CheckShapes(std::span<const T> user, const BasicScoringView<T>& items,
+                        std::span<T> out) {
   LOGIREC_CHECK(static_cast<int>(user.size()) == items.dim());
   LOGIREC_CHECK(static_cast<int>(out.size()) == items.items());
   LOGIREC_CHECK(!user.empty());
@@ -216,27 +243,28 @@ inline void CheckShapes(ConstSpan user, const ScoringView& items, Span out) {
 /// scalar temp, preserving the exact ascending-k rounding order. With
 /// d=33 (the common dim+1 Lorentz case) the whole reduction is one init
 /// pass plus three grouped passes.
-LOGIREC_SIMD_CLONES
-void AccumulateDots(const double* u, const ScoringView& items,
-                    double* __restrict__ out, double sign0) {
+template <typename T>
+__attribute__((always_inline)) inline void AccumulateDotsImpl(
+    const T* u, const BasicScoringView<T>& items, T* __restrict__ out,
+    T sign0) {
   const int n = items.items();
   const int d = items.dim();
-  const double u0 = sign0 * u[0];
+  const T u0 = sign0 * u[0];
   int k = 1;
   if (d >= 9) {
-    const double* __restrict__ c0 = items.Col(0);
-    const double* __restrict__ c1 = items.Col(1);
-    const double* __restrict__ c2 = items.Col(2);
-    const double* __restrict__ c3 = items.Col(3);
-    const double* __restrict__ c4 = items.Col(4);
-    const double* __restrict__ c5 = items.Col(5);
-    const double* __restrict__ c6 = items.Col(6);
-    const double* __restrict__ c7 = items.Col(7);
-    const double* __restrict__ c8 = items.Col(8);
-    const double u1 = u[1], u2 = u[2], u3 = u[3], u4 = u[4], u5 = u[5],
-                 u6 = u[6], u7 = u[7], u8 = u[8];
+    const T* __restrict__ c0 = items.Col(0);
+    const T* __restrict__ c1 = items.Col(1);
+    const T* __restrict__ c2 = items.Col(2);
+    const T* __restrict__ c3 = items.Col(3);
+    const T* __restrict__ c4 = items.Col(4);
+    const T* __restrict__ c5 = items.Col(5);
+    const T* __restrict__ c6 = items.Col(6);
+    const T* __restrict__ c7 = items.Col(7);
+    const T* __restrict__ c8 = items.Col(8);
+    const T u1 = u[1], u2 = u[2], u3 = u[3], u4 = u[4], u5 = u[5], u6 = u[6],
+            u7 = u[7], u8 = u[8];
     for (int v = 0; v < n; ++v) {
-      double t = u0 * c0[v];
+      T t = u0 * c0[v];
       t += u1 * c1[v];
       t += u2 * c2[v];
       t += u3 * c3[v];
@@ -249,22 +277,22 @@ void AccumulateDots(const double* u, const ScoringView& items,
     }
     k = 9;
   } else {
-    const double* __restrict__ c0 = items.Col(0);
+    const T* __restrict__ c0 = items.Col(0);
     for (int v = 0; v < n; ++v) out[v] = u0 * c0[v];
   }
   for (; k + 8 <= d; k += 8) {
-    const double* __restrict__ c0 = items.Col(k);
-    const double* __restrict__ c1 = items.Col(k + 1);
-    const double* __restrict__ c2 = items.Col(k + 2);
-    const double* __restrict__ c3 = items.Col(k + 3);
-    const double* __restrict__ c4 = items.Col(k + 4);
-    const double* __restrict__ c5 = items.Col(k + 5);
-    const double* __restrict__ c6 = items.Col(k + 6);
-    const double* __restrict__ c7 = items.Col(k + 7);
-    const double u1 = u[k], u2 = u[k + 1], u3 = u[k + 2], u4 = u[k + 3],
-                 u5 = u[k + 4], u6 = u[k + 5], u7 = u[k + 6], u8 = u[k + 7];
+    const T* __restrict__ c0 = items.Col(k);
+    const T* __restrict__ c1 = items.Col(k + 1);
+    const T* __restrict__ c2 = items.Col(k + 2);
+    const T* __restrict__ c3 = items.Col(k + 3);
+    const T* __restrict__ c4 = items.Col(k + 4);
+    const T* __restrict__ c5 = items.Col(k + 5);
+    const T* __restrict__ c6 = items.Col(k + 6);
+    const T* __restrict__ c7 = items.Col(k + 7);
+    const T u1 = u[k], u2 = u[k + 1], u3 = u[k + 2], u4 = u[k + 3],
+            u5 = u[k + 4], u6 = u[k + 5], u7 = u[k + 6], u8 = u[k + 7];
     for (int v = 0; v < n; ++v) {
-      double t = out[v];
+      T t = out[v];
       t += u1 * c0[v];
       t += u2 * c1[v];
       t += u3 * c2[v];
@@ -277,37 +305,51 @@ void AccumulateDots(const double* u, const ScoringView& items,
     }
   }
   for (; k < d; ++k) {
-    const double uk = u[k];
-    const double* __restrict__ c = items.Col(k);
+    const T uk = u[k];
+    const T* __restrict__ c = items.Col(k);
     for (int v = 0; v < n; ++v) out[v] += uk * c[v];
   }
+}
+
+LOGIREC_SIMD_CLONES
+void AccumulateDots(const double* u, const ScoringView& items,
+                    double* __restrict__ out, double sign0) {
+  AccumulateDotsImpl<double>(u, items, out, sign0);
+}
+
+/// f32 clone: 8 lanes per AVX2 register instead of 4. The impl is forced
+/// inline so each target clone compiles the loops with its own ISA.
+LOGIREC_SIMD_CLONES
+void AccumulateDots(const float* u, const ScoringViewF& items,
+                    float* __restrict__ out, float sign0) {
+  AccumulateDotsImpl<float>(u, items, out, sign0);
 }
 
 /// out[v] = sum_k (u[k] - colk[v])^2, same ordering and column-grouping
 /// strategy (and hence the same bit-identity guarantee) as
 /// AccumulateDots above.
-LOGIREC_SIMD_CLONES
-void AccumulateSquaredDiffs(const double* u, const ScoringView& items,
-                            double* __restrict__ out) {
+template <typename T>
+__attribute__((always_inline)) inline void AccumulateSquaredDiffsImpl(
+    const T* u, const BasicScoringView<T>& items, T* __restrict__ out) {
   const int n = items.items();
   const int d = items.dim();
-  const double u0 = u[0];
+  const T u0 = u[0];
   int k = 1;
   if (d >= 9) {
-    const double* __restrict__ c0 = items.Col(0);
-    const double* __restrict__ c1 = items.Col(1);
-    const double* __restrict__ c2 = items.Col(2);
-    const double* __restrict__ c3 = items.Col(3);
-    const double* __restrict__ c4 = items.Col(4);
-    const double* __restrict__ c5 = items.Col(5);
-    const double* __restrict__ c6 = items.Col(6);
-    const double* __restrict__ c7 = items.Col(7);
-    const double* __restrict__ c8 = items.Col(8);
-    const double u1 = u[1], u2 = u[2], u3 = u[3], u4 = u[4], u5 = u[5],
-                 u6 = u[6], u7 = u[7], u8 = u[8];
+    const T* __restrict__ c0 = items.Col(0);
+    const T* __restrict__ c1 = items.Col(1);
+    const T* __restrict__ c2 = items.Col(2);
+    const T* __restrict__ c3 = items.Col(3);
+    const T* __restrict__ c4 = items.Col(4);
+    const T* __restrict__ c5 = items.Col(5);
+    const T* __restrict__ c6 = items.Col(6);
+    const T* __restrict__ c7 = items.Col(7);
+    const T* __restrict__ c8 = items.Col(8);
+    const T u1 = u[1], u2 = u[2], u3 = u[3], u4 = u[4], u5 = u[5], u6 = u[6],
+            u7 = u[7], u8 = u[8];
     for (int v = 0; v < n; ++v) {
-      double diff = u0 - c0[v];
-      double t = diff * diff;
+      T diff = u0 - c0[v];
+      T t = diff * diff;
       diff = u1 - c1[v];
       t += diff * diff;
       diff = u2 - c2[v];
@@ -328,26 +370,26 @@ void AccumulateSquaredDiffs(const double* u, const ScoringView& items,
     }
     k = 9;
   } else {
-    const double* __restrict__ c0 = items.Col(0);
+    const T* __restrict__ c0 = items.Col(0);
     for (int v = 0; v < n; ++v) {
-      const double diff = u0 - c0[v];
+      const T diff = u0 - c0[v];
       out[v] = diff * diff;
     }
   }
   for (; k + 8 <= d; k += 8) {
-    const double* __restrict__ c0 = items.Col(k);
-    const double* __restrict__ c1 = items.Col(k + 1);
-    const double* __restrict__ c2 = items.Col(k + 2);
-    const double* __restrict__ c3 = items.Col(k + 3);
-    const double* __restrict__ c4 = items.Col(k + 4);
-    const double* __restrict__ c5 = items.Col(k + 5);
-    const double* __restrict__ c6 = items.Col(k + 6);
-    const double* __restrict__ c7 = items.Col(k + 7);
-    const double u1 = u[k], u2 = u[k + 1], u3 = u[k + 2], u4 = u[k + 3],
-                 u5 = u[k + 4], u6 = u[k + 5], u7 = u[k + 6], u8 = u[k + 7];
+    const T* __restrict__ c0 = items.Col(k);
+    const T* __restrict__ c1 = items.Col(k + 1);
+    const T* __restrict__ c2 = items.Col(k + 2);
+    const T* __restrict__ c3 = items.Col(k + 3);
+    const T* __restrict__ c4 = items.Col(k + 4);
+    const T* __restrict__ c5 = items.Col(k + 5);
+    const T* __restrict__ c6 = items.Col(k + 6);
+    const T* __restrict__ c7 = items.Col(k + 7);
+    const T u1 = u[k], u2 = u[k + 1], u3 = u[k + 2], u4 = u[k + 3],
+            u5 = u[k + 4], u6 = u[k + 5], u7 = u[k + 6], u8 = u[k + 7];
     for (int v = 0; v < n; ++v) {
-      double t = out[v];
-      double diff = u1 - c0[v];
+      T t = out[v];
+      T diff = u1 - c0[v];
       t += diff * diff;
       diff = u2 - c1[v];
       t += diff * diff;
@@ -367,26 +409,41 @@ void AccumulateSquaredDiffs(const double* u, const ScoringView& items,
     }
   }
   for (; k < d; ++k) {
-    const double uk = u[k];
-    const double* __restrict__ c = items.Col(k);
+    const T uk = u[k];
+    const T* __restrict__ c = items.Col(k);
     for (int v = 0; v < n; ++v) {
-      const double diff = uk - c[v];
+      const T diff = uk - c[v];
       out[v] += diff * diff;
     }
   }
 }
 
-template <typename FinishFn>
-inline void PoincareFromView(ConstSpan user, const ScoringView& items,
-                             Span out, const FinishFn& finish) {
+LOGIREC_SIMD_CLONES
+void AccumulateSquaredDiffs(const double* u, const ScoringView& items,
+                            double* __restrict__ out) {
+  AccumulateSquaredDiffsImpl<double>(u, items, out);
+}
+
+LOGIREC_SIMD_CLONES
+void AccumulateSquaredDiffs(const float* u, const ScoringViewF& items,
+                            float* __restrict__ out) {
+  AccumulateSquaredDiffsImpl<float>(u, items, out);
+}
+
+template <typename T, typename FinishFn>
+inline void PoincareFromView(std::span<const T> user,
+                             const BasicScoringView<T>& items, std::span<T> out,
+                             const FinishFn& finish) {
   CheckShapes(user, items, out);
   AccumulateSquaredDiffs(user.data(), items, out.data());
-  const double alpha = std::max(1.0 - SquaredNorm(user), hyper::kBallEps);
-  const double* norms_sq = items.NormsSq();
+  T unorm{0};
+  for (const T x : user) unorm += x * x;
+  const T alpha = std::max(T{1} - unorm, static_cast<T>(hyper::kBallEps));
+  const T* norms_sq = items.NormsSq();
   const int n = items.items();
   for (int v = 0; v < n; ++v) {
-    const double beta = std::max(1.0 - norms_sq[v], hyper::kBallEps);
-    out[v] = finish(1.0 + 2.0 * out[v] / (alpha * beta));
+    const T beta = std::max(T{1} - norms_sq[v], static_cast<T>(hyper::kBallEps));
+    out[v] = finish(T{1} + T{2} * out[v] / (alpha * beta));
   }
 }
 
@@ -431,6 +488,50 @@ void NegPoincareDistancesInto(ConstSpan user, const ScoringView& items,
 
 void NegPoincareGammasInto(ConstSpan user, const ScoringView& items, Span out) {
   PoincareFromView(user, items, out, [](double gamma) { return -gamma; });
+}
+
+// ---- f32 kernels (compact serving path) ------------------------------------
+
+void DotsInto(ConstSpanF user, const ScoringViewF& items, SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateDots(user.data(), items, out.data(), 1.0f);
+}
+
+void NegSquaredEuclideanDistancesInto(ConstSpanF user, const ScoringViewF& items,
+                                      SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateSquaredDiffs(user.data(), items, out.data());
+  for (float& o : out) o = -o;
+}
+
+void NegEuclideanDistancesInto(ConstSpanF user, const ScoringViewF& items,
+                               SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateSquaredDiffs(user.data(), items, out.data());
+  for (float& o : out) o = -std::sqrt(o);
+}
+
+void LorentzDotsInto(ConstSpanF user, const ScoringViewF& items, SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateDots(user.data(), items, out.data(), -1.0f);
+}
+
+void NegLorentzDistancesInto(ConstSpanF user, const ScoringViewF& items,
+                             SpanF out) {
+  CheckShapes(user, items, out);
+  AccumulateDots(user.data(), items, out.data(), -1.0f);
+  for (float& o : out) o = -SafeAcoshF(-o);
+}
+
+void NegPoincareDistancesInto(ConstSpanF user, const ScoringViewF& items,
+                              SpanF out) {
+  PoincareFromView(user, items, out,
+                   [](float gamma) { return -SafeAcoshF(gamma); });
+}
+
+void NegPoincareGammasInto(ConstSpanF user, const ScoringViewF& items,
+                           SpanF out) {
+  PoincareFromView(user, items, out, [](float gamma) { return -gamma; });
 }
 
 }  // namespace logirec::math

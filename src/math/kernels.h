@@ -73,28 +73,50 @@ void NegPoincareGammasInto(ConstSpan user, const Matrix& items, Span out);
 /// Models rebuild their view inside SyncScoringState() — the trainer
 /// calls it before every validation probe and once after Fit(), so the
 /// snapshot is never stale when scoring is legal.
-class ScoringView {
+///
+/// The view is templated over the element type: `ScoringView` (double) is
+/// the training/eval default with the bit-identity contract above, and
+/// `ScoringViewF` (float) is the compact serving variant — coordinates are
+/// narrowed once at Assign() time and the cached norms are re-accumulated
+/// in float from the narrowed values (same ascending-k order), so the f32
+/// kernels are self-consistent and deterministic, just not bit-identical
+/// to f64.
+template <typename T>
+class BasicScoringView {
  public:
-  ScoringView() = default;
+  BasicScoringView() = default;
 
-  /// Snapshots `items` (transpose + per-item squared norms).
+  /// Snapshots `items` (transpose + per-item squared norms, narrowing to
+  /// T as it copies).
   void Assign(const Matrix& items);
+
+  /// Rebuilds from an existing f64 view (the compact serving path starts
+  /// from a model's RankingSurrogate spec, which exposes the f64 view).
+  void Assign(const BasicScoringView<double>& src);
 
   int items() const { return n_; }
   int dim() const { return d_; }
   bool empty() const { return n_ == 0; }
 
   /// Column k: the k-th coordinate of every item, contiguous.
-  const double* Col(int k) const { return cols_.data() + static_cast<size_t>(k) * n_; }
+  const T* Col(int k) const { return cols_.data() + static_cast<size_t>(k) * n_; }
   /// Cached squared norms, one per item.
-  const double* NormsSq() const { return norms_sq_.data(); }
+  const T* NormsSq() const { return norms_sq_.data(); }
+
+  /// Bytes resident in the column + norm buffers (capacity excluded).
+  size_t ResidentBytes() const {
+    return (cols_.size() + norms_sq_.size()) * sizeof(T);
+  }
 
  private:
   int n_ = 0;
   int d_ = 0;
-  std::vector<double> cols_;
-  std::vector<double> norms_sq_;
+  std::vector<T> cols_;
+  std::vector<T> norms_sq_;
 };
+
+using ScoringView = BasicScoringView<double>;
+using ScoringViewF = BasicScoringView<float>;
 
 /// Transposed counterparts of the kernels above: identical contracts and
 /// bit-identical outputs, but vectorized across items via the column-major
@@ -111,6 +133,27 @@ void NegLorentzDistancesInto(ConstSpan user, const ScoringView& items,
 void NegPoincareDistancesInto(ConstSpan user, const ScoringView& items,
                               Span out);
 void NegPoincareGammasInto(ConstSpan user, const ScoringView& items, Span out);
+
+/// Single-precision clones of the seven transposed kernels for the
+/// compact serving path: identical loop structure and deterministic
+/// ascending-k accumulation order, but every load, multiply, and add is
+/// float, so AVX2 processes 8 items per register instead of 4. Outputs
+/// are NOT bit-identical to the f64 kernels — the correctness contract is
+/// the tolerance-gated ranking equivalence documented in DESIGN.md §2i —
+/// but they are bit-identical run-to-run for a fixed view (determinism
+/// per precision).
+void DotsInto(ConstSpanF user, const ScoringViewF& items, SpanF out);
+void NegSquaredEuclideanDistancesInto(ConstSpanF user, const ScoringViewF& items,
+                                      SpanF out);
+void NegEuclideanDistancesInto(ConstSpanF user, const ScoringViewF& items,
+                               SpanF out);
+void LorentzDotsInto(ConstSpanF user, const ScoringViewF& items, SpanF out);
+void NegLorentzDistancesInto(ConstSpanF user, const ScoringViewF& items,
+                             SpanF out);
+void NegPoincareDistancesInto(ConstSpanF user, const ScoringViewF& items,
+                              SpanF out);
+void NegPoincareGammasInto(ConstSpanF user, const ScoringViewF& items,
+                           SpanF out);
 
 }  // namespace logirec::math
 

@@ -91,4 +91,15 @@ double SafeAcoshGrad(double x) {
   return 1.0 / std::sqrt(x * x - 1.0);
 }
 
+float SquaredNormF(ConstSpanF a) {
+  float s = 0.0f;
+  for (const float x : a) s += x * x;
+  return s;
+}
+
+float SafeAcoshF(float x) {
+  if (x < 1.0f) x = 1.0f;
+  return std::acosh(x);
+}
+
 }  // namespace logirec::math

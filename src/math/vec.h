@@ -13,6 +13,13 @@ using Vec = std::vector<double>;
 using Span = std::span<double>;
 using ConstSpan = std::span<const double>;
 
+/// Single-precision counterparts for the compact serving path. Training
+/// and the bit-identical f64 kernels never touch these; they exist so the
+/// f32 scoring stack has first-class span types instead of raw pointers.
+using VecF = std::vector<float>;
+using SpanF = std::span<float>;
+using ConstSpanF = std::span<const float>;
+
 /// Euclidean dot product. Spans must have equal length.
 double Dot(ConstSpan a, ConstSpan b);
 
@@ -60,6 +67,14 @@ double SafeAcosh(double x);
 /// d/dx acosh(x) with the same clamping; the derivative is capped so that
 /// gradients stay finite at the boundary x -> 1+.
 double SafeAcoshGrad(double x);
+
+/// Squared Euclidean norm of a float span, accumulated in float in
+/// ascending index order (the f32 kernels' deterministic reduction order).
+float SquaredNormF(ConstSpanF a);
+
+/// Float SafeAcosh: clamps up to 1 before acoshf (the f64 guard band of
+/// 1e-12 is below float resolution, so the clamp floor is exactly 1.0f).
+float SafeAcoshF(float x);
 
 }  // namespace logirec::math
 

@@ -41,12 +41,19 @@ inline bool ResultLess(const std::pair<double, int>& a,
 
 }  // namespace
 
-double HnswIndex::Sim(math::ConstSpan q, int v) const {
-  return math::Dot(q, aug_.Row(v));
+double HnswIndex::Sim(const GraphQuery& q, int v) const {
+  if (aug_f_.empty()) return math::Dot(q.d, aug_.Row(v));
+  // Compact resident coordinates: serial ascending-k f32 accumulation,
+  // deterministic run-to-run; widening the result to double is exact, so
+  // every (sim, id) comparison downstream preserves the f32 order.
+  const float* row = aug_f_.data() + static_cast<size_t>(v) * aug_dim_;
+  float s = 0.0f;
+  for (int k = 0; k < aug_dim_; ++k) s += q.f[k] * row[k];
+  return static_cast<double>(s);
 }
 
-int HnswIndex::GreedyDescend(math::ConstSpan q, int from_level, int to_level,
-                             int entry) const {
+int HnswIndex::GreedyDescend(const GraphQuery& q, int from_level,
+                             int to_level, int entry) const {
   int cur = entry;
   if (from_level < to_level) return cur;
   double cur_sim = Sim(q, cur);
@@ -70,7 +77,7 @@ int HnswIndex::GreedyDescend(math::ConstSpan q, int from_level, int to_level,
   return cur;
 }
 
-void HnswIndex::SearchLayer(math::ConstSpan q, int level, int ef, int entry,
+void HnswIndex::SearchLayer(const GraphQuery& q, int level, int ef, int entry,
                             std::vector<std::pair<double, int>>* results,
                             std::vector<std::pair<double, int>>* candidates,
                             std::vector<uint32_t>* marks,
@@ -174,6 +181,7 @@ std::unique_ptr<HnswIndex> HnswIndex::Build(
     double max_sq = 0.0;
     for (int v = 0; v < n; ++v) max_sq = std::max(max_sq, norms_sq[v]);
     index->aug_ = math::Matrix(n, ad + 1);
+    index->aug_dim_ = ad + 1;
     ParallelFor(0, n, [&](int v) {
       math::Span row = index->aug_.Row(v);
       math::ConstSpan src = raw.Row(v);
@@ -226,7 +234,7 @@ std::unique_ptr<HnswIndex> HnswIndex::Build(
       const int node_level = index->nodes_[i].level;
       levels.assign(node_level + 1, {});
       if (frozen_entry < 0) return;
-      const math::ConstSpan q = index->aug_.Row(i);
+      const GraphQuery q{index->aug_.Row(i)};
       BuildScratch& bs = scratch[worker];
       int cur =
           index->GreedyDescend(q, frozen_max, node_level + 1, frozen_entry);
@@ -250,7 +258,8 @@ std::unique_ptr<HnswIndex> HnswIndex::Build(
         std::vector<std::pair<double, int>> links = proposed[i - b0][level];
         for (int j = b0; j < i; ++j) {
           if (index->nodes_[j].level < level) continue;
-          links.emplace_back(index->Sim(index->aug_.Row(i), j), j);
+          links.emplace_back(
+              math::Dot(index->aug_.Row(i), index->aug_.Row(j)), j);
         }
         std::sort(links.begin(), links.end(), BetterScored);
         links.erase(std::unique(links.begin(), links.end()), links.end());
@@ -334,6 +343,26 @@ std::unique_ptr<HnswIndex> HnswIndex::Build(
       flood();  // the graft may make the orphan's whole cluster reachable
     }
   }
+
+  // Compact finalization. Everything above ran in f64, so levels and
+  // adjacency — and therefore Fingerprint() — are identical across
+  // precisions. Only the RESIDENT state changes here: traversal
+  // coordinates narrow to f32 for both compact precisions (traversal is
+  // approximate by design; the rerank restores exactness within the
+  // precision) and the rerank catalog quantizes per precision over the
+  // ORIGINAL item coordinates. The f64 matrix is then released.
+  if (options.precision != eval::ScorePrecision::kF64) {
+    const Status built = index->compact_.Build(spec, options.precision);
+    LOGIREC_CHECK(built.ok());
+    const int ad1 = index->aug_dim_;
+    index->aug_f_.resize(static_cast<size_t>(n) * ad1);
+    ParallelFor(0, n, [&](int v) {
+      const math::ConstSpan src = index->aug_.Row(v);
+      float* dst = index->aug_f_.data() + static_cast<size_t>(v) * ad1;
+      for (int k = 0; k < ad1; ++k) dst[k] = static_cast<float>(src[k]);
+    }, options.num_threads);
+    index->aug_ = math::Matrix();
+  }
   return index;
 }
 
@@ -351,7 +380,12 @@ void HnswIndex::RetrieveTopK(const eval::Scorer& scorer, int user, int k,
   // The norm-equalizing item coordinate pairs with a 0 on the query side:
   // every graph-space dot equals the plain augmented dot.
   scratch->aug_query.push_back(0.0);
-  const math::ConstSpan q(scratch->aug_query);
+  const bool compact = options_.precision != eval::ScorePrecision::kF64;
+  GraphQuery q{math::ConstSpan(scratch->aug_query)};
+  if (compact) {
+    eval::CompactCatalog::NarrowQuery(q.d, &scratch->query_f);
+    q.f = scratch->query_f.data();
+  }
 
   // Widen the beam to the caller's candidate floor so filtering (seen
   // items) cannot starve the final top-k.
@@ -366,10 +400,33 @@ void HnswIndex::RetrieveTopK(const eval::Scorer& scorer, int user, int k,
   // and select with the TopKInto tie-break.
   std::vector<std::pair<double, int>>& candidates = scratch->heap_b;
   candidates.clear();
-  for (const std::pair<double, int>& cand : scratch->heap_a) {
-    const int v = cand.second;
-    if (filter != nullptr && filter->Excluded(v)) continue;
-    candidates.emplace_back(SurrogateScore(spec_, query, v), v);
+  if (!compact) {
+    for (const std::pair<double, int>& cand : scratch->heap_a) {
+      const int v = cand.second;
+      if (filter != nullptr && filter->Excluded(v)) continue;
+      candidates.emplace_back(SurrogateScore(spec_, query, v), v);
+    }
+  } else {
+    // Compact rerank: gather the unfiltered beam ids and batch them
+    // through the compact catalog (bit-identical to the compact full
+    // scan), widening the float scores exactly to double so BetterScored
+    // preserves the f32 order and ties. query_f is re-narrowed from the
+    // ORIGINAL (unaugmented) query — traversal is done with it by now.
+    scratch->ids.clear();
+    for (const std::pair<double, int>& cand : scratch->heap_a) {
+      const int v = cand.second;
+      if (filter != nullptr && filter->Excluded(v)) continue;
+      scratch->ids.push_back(v);
+    }
+    eval::CompactCatalog::NarrowQuery(query, &scratch->query_f);
+    scratch->scores_f.resize(scratch->ids.size());
+    compact_.ScoreSubset(
+        math::ConstSpanF(scratch->query_f.data(), scratch->query_f.size()),
+        scratch->ids, math::SpanF(scratch->scores_f));
+    for (size_t i = 0; i < scratch->ids.size(); ++i) {
+      candidates.emplace_back(static_cast<double>(scratch->scores_f[i]),
+                              scratch->ids[i]);
+    }
   }
   const int take = std::min<int>(k, static_cast<int>(candidates.size()));
   if (take < static_cast<int>(candidates.size())) {
@@ -380,6 +437,18 @@ void HnswIndex::RetrieveTopK(const eval::Scorer& scorer, int user, int k,
   std::sort(candidates.begin(), candidates.end(), BetterScored);
   out->reserve(take);
   for (int i = 0; i < take; ++i) out->push_back(candidates[i].second);
+}
+
+size_t HnswIndex::ResidentBytes() const {
+  size_t bytes = aug_.data().size() * sizeof(double) +
+                 aug_f_.size() * sizeof(float) + compact_.ResidentBytes();
+  for (const Node& node : nodes_) {
+    for (int level = 0; level <= node.level; ++level) {
+      bytes += node.nbrs[level].size() * sizeof(int) +
+               node.sims[level].size() * sizeof(double);
+    }
+  }
+  return bytes;
 }
 
 uint64_t HnswIndex::Fingerprint() const {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "eval/compact.h"
 #include "eval/evaluator.h"
 #include "math/matrix.h"
 #include "retrieval/surrogate.h"
@@ -26,6 +27,13 @@ struct HnswOptions {
   int num_threads = 0;
   /// Nodes inserted per deterministic build batch.
   int batch = 64;
+  /// Precision of the resident search state. The graph is always BUILT in
+  /// f64 (levels + adjacency, so the Fingerprint is identical across
+  /// precisions); with kF32/kInt8 the norm-equalized coordinates are then
+  /// narrowed to f32 for traversal (halving the resident graph bytes) and
+  /// candidates are reranked through the compact catalog instead of the
+  /// f64 surrogate.
+  eval::ScorePrecision precision = eval::ScorePrecision::kF64;
 };
 
 /// Small-world graph index (HNSW-style) over the augmented surrogate
@@ -53,7 +61,10 @@ struct HnswOptions {
 /// Queries greedy-descend the upper levels, beam-search level 0 with
 /// `ef`, then exactly rerank the candidates through the bit-identical
 /// per-item surrogate score (retrieval/surrogate.h) with the TopKInto
-/// tie-break.
+/// tie-break. With a compact precision the rerank instead goes through
+/// eval::CompactCatalog::ScoreSubset, which reproduces the compact full
+/// scan's scores bit-for-bit (see eval/compact.h), so the same
+/// candidate-coverage argument applies within the chosen precision.
 class HnswIndex : public eval::CandidateRetriever {
  public:
   static std::unique_ptr<HnswIndex> Build(
@@ -70,6 +81,10 @@ class HnswIndex : public eval::CandidateRetriever {
   /// Structural hash (levels + adjacency), for the determinism tests.
   uint64_t Fingerprint() const;
 
+  /// Resident bytes: graph coordinates (f64 or the f32 narrowing) +
+  /// adjacency lists + the compact rerank catalog (if any).
+  size_t ResidentBytes() const override;
+
  private:
   struct Node {
     int level = 0;
@@ -81,11 +96,19 @@ class HnswIndex : public eval::CandidateRetriever {
 
   HnswIndex() = default;
 
-  double Sim(math::ConstSpan q, int v) const;
-  int GreedyDescend(math::ConstSpan q, int from_level, int to_level,
+  /// A traversal query in both precisions: `d` always holds the f64
+  /// graph-space query; `f` points at its f32 narrowing when the resident
+  /// coordinates are compact (aug_f_ populated), else is null.
+  struct GraphQuery {
+    math::ConstSpan d;
+    const float* f = nullptr;
+  };
+
+  double Sim(const GraphQuery& q, int v) const;
+  int GreedyDescend(const GraphQuery& q, int from_level, int to_level,
                     int entry) const;
   /// Beam search on one level; results end up sorted (sim desc, id asc).
-  void SearchLayer(math::ConstSpan q, int level, int ef, int entry,
+  void SearchLayer(const GraphQuery& q, int level, int ef, int entry,
                    std::vector<std::pair<double, int>>* results,
                    std::vector<std::pair<double, int>>* candidates,
                    std::vector<uint32_t>* marks, uint32_t* epoch) const;
@@ -98,7 +121,15 @@ class HnswIndex : public eval::CandidateRetriever {
 
   eval::RankingSurrogateSpec spec_;
   HnswOptions options_;
-  math::Matrix aug_;  ///< row-major augmented item vectors
+  /// Row-major norm-equalized augmented item vectors. f64 precision keeps
+  /// aug_; compact precisions narrow it into aug_f_ after the (always
+  /// f64) build and release aug_, halving the resident graph bytes.
+  math::Matrix aug_;
+  math::VecF aug_f_;  ///< row-major f32 coords (compact precisions only)
+  int aug_dim_ = 0;   ///< graph-space dimensionality (augmented + 1)
+  /// Compact rerank catalog over the ORIGINAL item coordinates, built at
+  /// Build time for kF32/kInt8 (unused and empty for kF64).
+  eval::CompactCatalog compact_;
   std::vector<Node> nodes_;
   int entry_ = -1;
   int max_level_ = -1;

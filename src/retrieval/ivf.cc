@@ -137,9 +137,23 @@ std::unique_ptr<IvfIndex> IvfIndex::Build(
   // probe scan runs the same blocked kernels as the full scan.
   index->cell_ids_.assign(cells, {});
   for (int v = 0; v < n; ++v) index->cell_ids_[assignment[v]].push_back(v);
-  index->cell_views_.resize(cells);
+  const eval::ScorePrecision precision = options.precision;
+  const bool compact = precision != eval::ScorePrecision::kF64;
+  if (!compact) {
+    index->cell_views_.resize(cells);
+  } else if (precision == eval::ScorePrecision::kF32) {
+    index->cell_views_f_.resize(cells);
+  } else {
+    index->cell_cats_.resize(cells);
+  }
   const bool with_bias = spec.kind == SurrogateKind::kDotBias;
-  if (with_bias) index->cell_bias_.resize(cells);
+  if (with_bias) {
+    if (compact) {
+      index->cell_bias_f_.resize(cells);
+    } else {
+      index->cell_bias_.resize(cells);
+    }
+  }
   ParallelFor(0, cells, [&](int c) {
     const std::vector<int>& ids = index->cell_ids_[c];
     if (ids.empty()) return;
@@ -148,11 +162,29 @@ std::unique_ptr<IvfIndex> IvfIndex::Build(
       math::Span row = members.Row(static_cast<int>(i));
       for (int k = 0; k < d; ++k) row[k] = view.Col(k)[ids[i]];
     }
-    index->cell_views_[c].Assign(members);
+    // The resident catalog is narrowed/quantized per cell from the same
+    // f64 member rows the global compact catalog sees, and both encode
+    // row-locally — so cell scans reproduce the global compact scan's
+    // scores bit-for-bit (the compact analogue of the f64 bit-identity).
+    if (!compact) {
+      index->cell_views_[c].Assign(members);
+    } else if (precision == eval::ScorePrecision::kF32) {
+      index->cell_views_f_[c].Assign(members);
+    } else {
+      index->cell_cats_[c].Assign(members);
+    }
     if (with_bias) {
-      std::vector<double>& bias = index->cell_bias_[c];
-      bias.resize(ids.size());
-      for (size_t i = 0; i < ids.size(); ++i) bias[i] = spec.bias[ids[i]];
+      if (compact) {
+        math::VecF& bias = index->cell_bias_f_[c];
+        bias.resize(ids.size());
+        for (size_t i = 0; i < ids.size(); ++i) {
+          bias[i] = static_cast<float>(spec.bias[ids[i]]);
+        }
+      } else {
+        std::vector<double>& bias = index->cell_bias_[c];
+        bias.resize(ids.size());
+        for (size_t i = 0; i < ids.size(); ++i) bias[i] = spec.bias[ids[i]];
+      }
     }
   }, options.num_threads);
 
@@ -172,6 +204,8 @@ void IvfIndex::RetrieveTopK(const eval::Scorer& scorer, int user, int k,
   const math::ConstSpan query = scorer.RankingQuery(user, &scratch->query);
   LOGIREC_CHECK(static_cast<int>(query.size()) == spec_.items->dim());
   AugmentQuery(spec_, query, &scratch->aug_query);
+  const bool compact = options_.precision != eval::ScorePrecision::kF64;
+  if (compact) eval::CompactCatalog::NarrowQuery(query, &scratch->query_f);
 
   // Rank cells by augmented dot against the centroids (same score order
   // the cells were clustered for), best first with id tie-break.
@@ -197,14 +231,37 @@ void IvfIndex::RetrieveTopK(const eval::Scorer& scorer, int user, int k,
     const int c = order[probed].second;
     const std::vector<int>& ids = cell_ids_[c];
     if (ids.empty()) continue;
-    scratch->scores.resize(ids.size());
-    SurrogateScanInto(spec_.kind, query, cell_views_[c],
-                      cell_bias_.empty() ? nullptr : cell_bias_[c].data(),
-                      math::Span(scratch->scores));
+    if (!compact) {
+      scratch->scores.resize(ids.size());
+      SurrogateScanInto(spec_.kind, query, cell_views_[c],
+                        cell_bias_.empty() ? nullptr : cell_bias_[c].data(),
+                        math::Span(scratch->scores));
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const int v = ids[i];
+        if (filter != nullptr && filter->Excluded(v)) continue;
+        candidates.emplace_back(scratch->scores[i], v);
+      }
+      continue;
+    }
+    // Compact probe: scan the cell's f32/int8 catalog, then widen the
+    // float scores into the candidate pairs (widening is exact, so the
+    // double comparator preserves the float order and ties).
+    scratch->scores_f.resize(ids.size());
+    const math::ConstSpanF qf(scratch->query_f.data(),
+                              scratch->query_f.size());
+    const float* bias_f =
+        cell_bias_f_.empty() ? nullptr : cell_bias_f_[c].data();
+    if (options_.precision == eval::ScorePrecision::kF32) {
+      eval::CompactScanInto(spec_.kind, qf, cell_views_f_[c], bias_f,
+                            math::SpanF(scratch->scores_f));
+    } else {
+      eval::CompactScanInto(spec_.kind, qf, cell_cats_[c], bias_f,
+                            math::SpanF(scratch->scores_f));
+    }
     for (size_t i = 0; i < ids.size(); ++i) {
       const int v = ids[i];
       if (filter != nullptr && filter->Excluded(v)) continue;
-      candidates.emplace_back(scratch->scores[i], v);
+      candidates.emplace_back(static_cast<double>(scratch->scores_f[i]), v);
     }
   }
 
@@ -220,6 +277,29 @@ void IvfIndex::RetrieveTopK(const eval::Scorer& scorer, int user, int k,
   std::sort(candidates.begin(), candidates.end(), BetterScored);
   out->reserve(take);
   for (int i = 0; i < take; ++i) out->push_back(candidates[i].second);
+}
+
+size_t IvfIndex::ResidentBytes() const {
+  size_t bytes = centroids_.ResidentBytes();
+  for (const std::vector<int>& ids : cell_ids_) {
+    bytes += ids.size() * sizeof(int);
+  }
+  for (const math::ScoringView& view : cell_views_) {
+    bytes += view.ResidentBytes();
+  }
+  for (const math::ScoringViewF& view : cell_views_f_) {
+    bytes += view.ResidentBytes();
+  }
+  for (const math::Int8Catalog& cat : cell_cats_) {
+    bytes += cat.ResidentBytes();
+  }
+  for (const std::vector<double>& bias : cell_bias_) {
+    bytes += bias.size() * sizeof(double);
+  }
+  for (const math::VecF& bias : cell_bias_f_) {
+    bytes += bias.size() * sizeof(float);
+  }
+  return bytes;
 }
 
 uint64_t IvfIndex::Fingerprint() const {

@@ -5,7 +5,9 @@
 #include <memory>
 #include <vector>
 
+#include "eval/compact.h"
 #include "eval/evaluator.h"
+#include "math/compact.h"
 #include "math/kernels.h"
 #include "retrieval/surrogate.h"
 
@@ -26,6 +28,12 @@ struct IvfOptions {
   /// value: assignment is a pure per-item function and centroid updates
   /// fold fixed shards in serial order.
   int num_threads = 0;
+  /// Precision of the resident per-cell catalogs and the probe scans.
+  /// kF64 keeps the bit-identical contract; kF32/kInt8 store the cells
+  /// compactly and scan with the compact kernels (clustering, centroids,
+  /// and cell membership are computed in f64 either way, so the
+  /// Fingerprint is identical across precisions).
+  eval::ScorePrecision precision = eval::ScorePrecision::kF64;
 };
 
 /// Clustered inverted-file index over the augmented surrogate space.
@@ -58,6 +66,10 @@ class IvfIndex : public eval::CandidateRetriever {
   /// determinism tests: same seed => same fingerprint at any thread count.
   uint64_t Fingerprint() const;
 
+  /// Resident bytes: centroids + whichever cell-catalog family this
+  /// precision populates (+ per-cell bias and member-id lists).
+  size_t ResidentBytes() const override;
+
  private:
   IvfIndex() = default;
 
@@ -65,8 +77,14 @@ class IvfIndex : public eval::CandidateRetriever {
   IvfOptions options_;
   math::ScoringView centroids_;              ///< augmented space, for probing
   std::vector<std::vector<int>> cell_ids_;   ///< ascending item ids per cell
-  std::vector<math::ScoringView> cell_views_;  ///< original coords per cell
+  /// Exactly one resident cell-catalog family is populated, per
+  /// options_.precision: f64 views (the bit-identical default), f32
+  /// views, or int8 code catalogs.
+  std::vector<math::ScoringView> cell_views_;   ///< kF64: original coords
+  std::vector<math::ScoringViewF> cell_views_f_;  ///< kF32
+  std::vector<math::Int8Catalog> cell_cats_;      ///< kInt8
   std::vector<std::vector<double>> cell_bias_;  ///< kDotBias only
+  std::vector<math::VecF> cell_bias_f_;         ///< kDotBias, compact path
   int num_items_ = 0;
 };
 

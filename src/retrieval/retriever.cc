@@ -39,11 +39,14 @@ Result<std::unique_ptr<eval::CandidateRetriever>> BuildRetriever(
         "--retrieval=exact");
   }
   if (options.kind == RetrievalKind::kIvf) {
-    return std::unique_ptr<eval::CandidateRetriever>(
-        IvfIndex::Build(spec, options.ivf));
+    IvfOptions ivf = options.ivf;
+    ivf.precision = options.precision;
+    return std::unique_ptr<eval::CandidateRetriever>(IvfIndex::Build(spec, ivf));
   }
+  HnswOptions hnsw = options.hnsw;
+  hnsw.precision = options.precision;
   return std::unique_ptr<eval::CandidateRetriever>(
-      HnswIndex::Build(spec, options.hnsw));
+      HnswIndex::Build(spec, hnsw));
 }
 
 }  // namespace logirec::retrieval

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "eval/compact.h"
 #include "eval/evaluator.h"
 #include "retrieval/hnsw.h"
 #include "retrieval/ivf.h"
@@ -23,6 +24,13 @@ std::string RetrievalKindName(RetrievalKind kind);
 
 struct RetrievalOptions {
   RetrievalKind kind = RetrievalKind::kExact;
+  /// Serving-side scoring precision. kF64 is the bit-identical path; kF32
+  /// and kInt8 store the index's resident catalog compactly and score
+  /// candidates with the compact kernels (tolerance-gated vs the f64
+  /// oracle, deterministic per precision). BuildRetriever copies this
+  /// into the per-index options below; setting it there directly also
+  /// works.
+  eval::ScorePrecision precision = eval::ScorePrecision::kF64;
   IvfOptions ivf;
   HnswOptions hnsw;
 };

@@ -67,7 +67,7 @@ std::string FormatRanking(int user, uint64_t generation,
 }
 
 std::string FormatStats(const ServerStats& stats) {
-  return StrFormat(
+  std::string out = StrFormat(
       "stats requests=%ld failed=%ld shed=%ld batches=%ld swaps=%ld "
       "max_queue=%ld max_batch=%ld latency_n=%ld p50_ms=%.3f p95_ms=%.3f "
       "p99_ms=%.3f max_ms=%.3f mean_ms=%.3f",
@@ -75,6 +75,14 @@ std::string FormatStats(const ServerStats& stats) {
       stats.batches_dispatched, stats.swaps, stats.max_queue_depth,
       stats.max_batch_size, stats.latency_count, stats.p50_ms, stats.p95_ms,
       stats.p99_ms, stats.max_ms, stats.mean_ms);
+  if (!stats.precision.empty()) {
+    out += StrFormat(
+        " dtype=%s precision=%s resident_bytes=%llu snapshot_bytes=%llu "
+        "load_ms=%.3f",
+        stats.snapshot_dtype.c_str(), stats.precision.c_str(),
+        stats.resident_bytes, stats.snapshot_bytes, stats.snapshot_load_ms);
+  }
+  return out;
 }
 
 std::string FormatBusy() { return "!busy"; }

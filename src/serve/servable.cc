@@ -1,9 +1,11 @@
 #include "serve/servable.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <utility>
 
+#include "eval/metrics.h"
 #include "util/string_util.h"
 
 namespace logirec::serve {
@@ -71,15 +73,26 @@ Result<std::shared_ptr<const ServableModel>> ServableModel::Create(
                     servable->seen_offsets_[u + 1]);
     }
   }
+  servable->precision_ = retrieval.precision;
   if (retrieval.kind != retrieval::RetrievalKind::kExact) {
     // Built before the generation is published: the index shares the
     // immutable lifetime of the model whose ScoringView it references.
+    // A compact precision is carried inside the index (compact cells /
+    // rerank catalog), so no separate catalog is built here.
     auto retriever =
         retrieval::BuildRetriever(*servable->model_, retrieval);
     if (!retriever.ok()) return retriever.status();
     servable->retriever_ = std::move(*retriever);
     servable->retrieval_kind_ = retrieval.kind;
     servable->model_->AttachRetriever(servable->retriever_.get());
+  } else if (retrieval.precision != eval::ScorePrecision::kF64) {
+    // Compact exact serving: the generation owns the narrowed/quantized
+    // catalog and scans it instead of the model's f64 state. Models
+    // without a linear surrogate cannot be served compactly — surface
+    // that at generation-build time, not per request.
+    const Status built = servable->compact_.Build(
+        servable->model_->RankingSurrogate(), retrieval.precision);
+    if (!built.ok()) return built;
   }
   return std::shared_ptr<const ServableModel>(std::move(servable));
 }
@@ -89,10 +102,23 @@ Result<std::shared_ptr<const ServableModel>> ServableModel::FromSnapshot(
     const data::Split* split, uint64_t generation,
     const retrieval::RetrievalOptions& retrieval) {
   core::SnapshotHeader header;
+  const auto load_start = std::chrono::steady_clock::now();
   auto model = core::ModelSnapshot::Read(path, factory, &header);
+  const double load_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - load_start)
+                             .count();
   if (!model.ok()) return model.status();
-  return Create(std::move(*model), header.num_users, header.num_items,
-                split, generation, retrieval);
+  auto servable = Create(std::move(*model), header.num_users,
+                         header.num_items, split, generation, retrieval);
+  if (!servable.ok()) return servable.status();
+  // Stamp snapshot provenance for `!stats`. The generation is still
+  // private to this thread (published by the caller's Swap), so the
+  // const_cast mutates before any concurrent reader exists.
+  auto* mutable_servable = const_cast<ServableModel*>(servable->get());
+  mutable_servable->snapshot_dtype_ = header.dtype;
+  mutable_servable->snapshot_bytes_ = header.file_bytes;
+  mutable_servable->snapshot_load_ms_ = load_ms;
+  return servable;
 }
 
 void ServableModel::MaskSeen(int user, math::Span scores) const {
@@ -103,9 +129,49 @@ void ServableModel::MaskSeen(int user, math::Span scores) const {
   }
 }
 
+void ServableModel::MaskSeen(int user, math::SpanF scores) const {
+  if (seen_offsets_.empty()) return;
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  for (int64_t i = seen_offsets_[user]; i < seen_offsets_[user + 1]; ++i) {
+    scores[seen_items_[i]] = kNegInf;
+  }
+}
+
+size_t ServableModel::ResidentScoringBytes() const {
+  if (retriever_ != nullptr) return retriever_->ResidentBytes();
+  if (compact_.built()) return compact_.ResidentBytes();
+  const eval::RankingSurrogateSpec spec = model_->RankingSurrogate();
+  if (spec.kind == eval::RankingSurrogateSpec::Kind::kNone ||
+      spec.items == nullptr) {
+    return 0;
+  }
+  size_t bytes = spec.items->ResidentBytes();
+  if (spec.bias != nullptr) {
+    bytes += static_cast<size_t>(spec.items->items()) * sizeof(double);
+  }
+  return bytes;
+}
+
 void ServableModel::RetrieveRanked(int user, int k,
                                    eval::RetrieveScratch* scratch,
                                    std::vector<int>* out) const {
+  if (retriever_ == nullptr && compact_.built()) {
+    // Compact exact scan: narrowed query, compact kernels over the whole
+    // catalog, float masking, float TopKInto (same descending-score /
+    // ascending-id tie-break as the f64 path).
+    const math::ConstSpan query =
+        model_->RankingQuery(user, &scratch->query);
+    eval::CompactCatalog::NarrowQuery(query, &scratch->query_f);
+    scratch->scores_f.resize(compact_.items());
+    compact_.ScoreInto(
+        math::ConstSpanF(scratch->query_f.data(), scratch->query_f.size()),
+        math::SpanF(scratch->scores_f));
+    MaskSeen(user, math::SpanF(scratch->scores_f));
+    eval::TopKInto(
+        math::ConstSpanF(scratch->scores_f.data(), scratch->scores_f.size()),
+        k, &scratch->topk, out);
+    return;
+  }
   if (seen_offsets_.empty()) {
     model_->RetrieveInto(user, k, nullptr, scratch, out, k);
     return;

@@ -9,6 +9,7 @@
 #include "core/recommender.h"
 #include "core/snapshot.h"
 #include "data/dataset.h"
+#include "eval/compact.h"
 #include "math/vec.h"
 #include "retrieval/retriever.h"
 #include "util/status.h"
@@ -53,6 +54,29 @@ class ServableModel {
   /// Sets the score of every item `user` has already seen to -inf so the
   /// Top-K never re-recommends it. No-op when built without a split.
   void MaskSeen(int user, math::Span scores) const;
+  /// Float variant for the compact exact-scan path.
+  void MaskSeen(int user, math::SpanF scores) const;
+
+  /// The serving-side scoring precision this generation was built with.
+  eval::ScorePrecision precision() const { return precision_; }
+  /// True when exact serving scores through the compact catalog (compact
+  /// precision without an ANN index; with an index the compact state
+  /// lives inside the index instead).
+  bool compact_enabled() const { return compact_.built(); }
+
+  /// Storage dtype of the snapshot this generation was restored from
+  /// (kF64 for generations built in-process via Create).
+  core::SnapshotDtype snapshot_dtype() const { return snapshot_dtype_; }
+  /// On-disk snapshot size in bytes (0 when not snapshot-restored).
+  uint64_t snapshot_bytes() const { return snapshot_bytes_; }
+  /// Wall time ModelSnapshot::Read took (0 when not snapshot-restored).
+  double snapshot_load_ms() const { return snapshot_load_ms_; }
+
+  /// Bytes of resident scoring state on the serving path: the ANN
+  /// index's slabs when retrieval is enabled, the compact catalog on the
+  /// compact exact path, else the model's f64 scoring view (0 when the
+  /// model has no linear surrogate to measure).
+  size_t ResidentScoringBytes() const;
 
   /// The number of seen (masked) items for `user`.
   int SeenCount(int user) const {
@@ -71,8 +95,10 @@ class ServableModel {
   /// Sublinear ranking through the index (Scorer::RetrieveInto): ANN
   /// candidates, exact rerank, seen-item exclusion via a binary-search
   /// filter over the CSR row (the probe is widened by SeenCount so
-  /// filtering cannot starve the top-k). Falls back to the exact scan
-  /// when no index is attached. `out` holds at most k items, best first.
+  /// filtering cannot starve the top-k). With a compact precision and no
+  /// index, runs the compact exact scan (float scores, float masking,
+  /// float TopKInto). Falls back to the f64 exact scan otherwise. `out`
+  /// holds at most k items, best first.
   void RetrieveRanked(int user, int k, eval::RetrieveScratch* scratch,
                       std::vector<int>* out) const;
 
@@ -97,6 +123,14 @@ class ServableModel {
   // shares the generation's immutable lifetime.
   std::unique_ptr<eval::CandidateRetriever> retriever_;
   retrieval::RetrievalKind retrieval_kind_ = retrieval::RetrievalKind::kExact;
+  // Serving precision. The compact catalog is built only for compact
+  // exact serving; compact retrieval keeps its state inside the index.
+  eval::ScorePrecision precision_ = eval::ScorePrecision::kF64;
+  eval::CompactCatalog compact_;
+  // Snapshot provenance (zero/f64 for in-process Create generations).
+  core::SnapshotDtype snapshot_dtype_ = core::SnapshotDtype::kF64;
+  uint64_t snapshot_bytes_ = 0;
+  double snapshot_load_ms_ = 0.0;
 };
 
 }  // namespace logirec::serve

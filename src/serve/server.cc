@@ -195,10 +195,12 @@ RankResponse ModelServer::RankOn(const ServableModel& model, int user,
   }
   if (k <= 0) k = options_.default_k;
   k = std::min(k, model.num_items());
-  if (model.retrieval_enabled()) {
+  if (model.retrieval_enabled() || model.compact_enabled()) {
     // Sublinear path: ANN candidates from the generation's index, exact
     // rerank, seen-item exclusion — whenever the candidate set covers
-    // the true top-k this equals the scan below item-for-item.
+    // the true top-k this equals the scan below item-for-item. The
+    // compact exact scan (f32/int8 catalog, no index) routes through the
+    // same entry point.
     model.RetrieveRanked(user, k, &scratch->retrieve, &scratch->ranked);
     response.items = scratch->ranked;
     requests_completed_.fetch_add(1, std::memory_order_relaxed);
@@ -237,6 +239,13 @@ ServerStats ModelServer::Stats() const {
   stats.p99_ms = latency.p99_ms;
   stats.max_ms = latency.max_ms;
   stats.mean_ms = latency.mean_ms;
+  if (const std::shared_ptr<const ServableModel> model = Current()) {
+    stats.snapshot_dtype = core::SnapshotDtypeName(model->snapshot_dtype());
+    stats.precision = eval::ScorePrecisionName(model->precision());
+    stats.resident_bytes = model->ResidentScoringBytes();
+    stats.snapshot_bytes = model->snapshot_bytes();
+    stats.snapshot_load_ms = model->snapshot_load_ms();
+  }
   return stats;
 }
 

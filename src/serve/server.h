@@ -67,6 +67,15 @@ struct ServerStats {
   double p99_ms = 0.0;
   double max_ms = 0.0;
   double mean_ms = 0.0;
+  // Active-generation scoring state (empty/zero before the first Swap):
+  // snapshot storage dtype, serving precision, resident scoring-state
+  // bytes (index slabs / compact catalog / f64 view), snapshot size and
+  // load wall time.
+  std::string snapshot_dtype;
+  std::string precision;
+  unsigned long long resident_bytes = 0;
+  unsigned long long snapshot_bytes = 0;
+  double snapshot_load_ms = 0.0;
 };
 
 /// Hot-swappable model server with a bounded, multi-worker batching front.

@@ -139,5 +139,70 @@ TEST(SyntheticTest, ScaleGrowsCounts) {
   EXPECT_LT(small->interactions.size(), large->interactions.size());
 }
 
+/// GenerateSynthetic is StreamSynthetic plus a vector-appending sink, so
+/// the two paths must emit identical interactions in identical order —
+/// the scale bench consumes the streaming path and must see exactly the
+/// dataset the materializing path would build.
+TEST(StreamSyntheticTest, StreamMatchesMaterializedGeneration) {
+  SyntheticConfig config;
+  config.num_users = 120;
+  config.num_items = 150;
+  config.seed = 31;
+  const Dataset materialized = GenerateSynthetic(config);
+
+  std::vector<Interaction> streamed;
+  const Dataset skeleton =
+      StreamSynthetic(config, [&streamed](const Interaction& x) {
+        streamed.push_back(x);
+      });
+  EXPECT_TRUE(skeleton.interactions.empty());
+  EXPECT_EQ(skeleton.num_users, materialized.num_users);
+  EXPECT_EQ(skeleton.num_items, materialized.num_items);
+  EXPECT_EQ(skeleton.item_tags, materialized.item_tags);
+
+  ASSERT_EQ(streamed.size(), materialized.interactions.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].user, materialized.interactions[i].user) << i;
+    EXPECT_EQ(streamed[i].item, materialized.interactions[i].item) << i;
+    EXPECT_EQ(streamed[i].timestamp, materialized.interactions[i].timestamp)
+        << i;
+  }
+}
+
+TEST(StreamSyntheticTest, StreamOrderIsUserMajorWithAscendingTimestamps) {
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.num_items = 100;
+  config.seed = 9;
+  int last_user = -1;
+  long last_ts = -1;
+  StreamSynthetic(config, [&](const Interaction& x) {
+    EXPECT_GE(x.user, last_user);
+    if (x.user == last_user) {
+      EXPECT_GT(x.timestamp, last_ts);
+    } else {
+      last_user = x.user;
+    }
+    last_ts = x.timestamp;
+  });
+  EXPECT_GE(last_user, 0);
+}
+
+/// The million preset at a tiny scale: right shape, valid dataset, and
+/// reachable through the shared GenerateBenchmarkDataset front door the
+/// benches use.
+TEST(MillionScaleTest, PresetScalesAndValidates) {
+  const SyntheticConfig config = MillionScaleConfig(1.0);
+  EXPECT_EQ(config.num_users, 1000000);
+  EXPECT_EQ(config.num_items, 100000);
+
+  auto ds = GenerateBenchmarkDataset("million", /*scale=*/0.002);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_TRUE(ds->Validate().ok());
+  EXPECT_EQ(ds->num_users, 2000);
+  EXPECT_EQ(ds->num_items, 200);
+  EXPECT_GT(ds->interactions.size(), 0u);
+}
+
 }  // namespace
 }  // namespace logirec::data

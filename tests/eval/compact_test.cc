@@ -1,0 +1,285 @@
+// eval::CompactCatalog / CompactScorer: precision parsing, Build
+// preconditions, subset-vs-full-scan bit-identity (the contract IVF and
+// HNSW rerank rely on), query narrowing, float Top-K tie-breaks, and the
+// headline tolerance gate — compact NDCG/Recall against the f64 oracle
+// on a trained model.
+
+#include "eval/compact.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "retrieval/embedding_scorer.h"
+#include "util/rng.h"
+
+namespace logirec::eval {
+namespace {
+
+constexpr int kItems = 150;
+constexpr int kUsers = 12;
+constexpr int kDim = 10;
+
+retrieval::EmbeddingScorer MakeScorer(retrieval::SurrogateKind kind,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  math::Matrix users(kUsers, kDim), items(kItems, kDim);
+  for (int r = 0; r < kUsers; ++r) {
+    for (int c = 0; c < kDim; ++c) users.At(r, c) = rng.Gaussian(0.0, 0.4);
+  }
+  for (int r = 0; r < kItems; ++r) {
+    for (int c = 0; c < kDim; ++c) items.At(r, c) = rng.Gaussian(0.0, 0.4);
+  }
+  if (kind == retrieval::SurrogateKind::kLorentzDot) {
+    for (math::Matrix* m : {&users, &items}) {
+      for (int r = 0; r < m->rows(); ++r) {
+        double sq = 0.0;
+        for (int c = 1; c < kDim; ++c) sq += m->At(r, c) * m->At(r, c);
+        m->At(r, 0) = std::sqrt(1.0 + sq);
+      }
+    }
+  } else if (kind == retrieval::SurrogateKind::kNegPoincareGamma) {
+    for (math::Matrix* m : {&users, &items}) {
+      for (int r = 0; r < m->rows(); ++r) {
+        double sq = 0.0;
+        for (int c = 0; c < kDim; ++c) sq += m->At(r, c) * m->At(r, c);
+        const double f = 0.85 / std::max(std::sqrt(sq), 0.85);
+        for (int c = 0; c < kDim; ++c) m->At(r, c) *= f;
+      }
+    }
+  }
+  return retrieval::EmbeddingScorer(std::move(users), std::move(items), kind);
+}
+
+TEST(ScorePrecisionTest, NamesRoundTrip) {
+  for (ScorePrecision precision :
+       {ScorePrecision::kF64, ScorePrecision::kF32, ScorePrecision::kInt8}) {
+    ScorePrecision parsed;
+    ASSERT_TRUE(ParseScorePrecision(ScorePrecisionName(precision), &parsed));
+    EXPECT_EQ(parsed, precision);
+  }
+  ScorePrecision unused;
+  EXPECT_FALSE(ParseScorePrecision("f16", &unused));
+  EXPECT_FALSE(ParseScorePrecision("", &unused));
+  EXPECT_FALSE(ParseScorePrecision("F32", &unused));
+}
+
+TEST(CompactCatalogTest, BuildRejectsSurrogateFreeAndF64) {
+  CompactCatalog catalog;
+  RankingSurrogateSpec none;  // kind == kNone
+  EXPECT_EQ(catalog.Build(none, ScorePrecision::kF32).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(catalog.built());
+
+  auto scorer = MakeScorer(retrieval::SurrogateKind::kDot, 3);
+  EXPECT_EQ(catalog.Build(scorer.RankingSurrogate(), ScorePrecision::kF64)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(catalog.built());
+
+  ASSERT_TRUE(
+      catalog.Build(scorer.RankingSurrogate(), ScorePrecision::kF32).ok());
+  EXPECT_TRUE(catalog.built());
+  EXPECT_EQ(catalog.items(), kItems);
+  EXPECT_EQ(catalog.dim(), kDim);
+  EXPECT_GT(catalog.ResidentBytes(), 0u);
+}
+
+TEST(CompactCatalogTest, NarrowQueryNarrowsEachCoordinateOnce) {
+  math::Vec query = {1.0, -2.5, 1e-9, 3.14159265358979};
+  math::VecF out;
+  CompactCatalog::NarrowQuery(math::ConstSpan(query), &out);
+  ASSERT_EQ(out.size(), query.size());
+  for (size_t i = 0; i < query.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<float>(query[i]));
+  }
+}
+
+/// ScoreSubset must be bit-identical to the matching ScoreInto entries
+/// for every surrogate kind and both compact precisions — IVF cell scans
+/// and HNSW rerank depend on gathered scoring never diverging from the
+/// full scan.
+TEST(CompactCatalogTest, SubsetScoresBitMatchFullScan) {
+  const retrieval::SurrogateKind kinds[] = {
+      retrieval::SurrogateKind::kDot, retrieval::SurrogateKind::kLorentzDot,
+      retrieval::SurrogateKind::kNegPoincareGamma};
+  for (retrieval::SurrogateKind kind : kinds) {
+    auto scorer = MakeScorer(kind, 11);
+    for (ScorePrecision precision :
+         {ScorePrecision::kF32, ScorePrecision::kInt8}) {
+      CompactCatalog catalog;
+      ASSERT_TRUE(
+          catalog.Build(scorer.RankingSurrogate(), precision).ok());
+      math::Vec scratch;
+      math::VecF query;
+      CompactCatalog::NarrowQuery(scorer.RankingQuery(2, &scratch), &query);
+
+      math::VecF full(kItems);
+      catalog.ScoreInto(math::ConstSpanF(query), math::SpanF(full));
+
+      const std::vector<int> ids = {0, 149, 7, 7, 64, 1, 98};
+      math::VecF subset(ids.size());
+      catalog.ScoreSubset(math::ConstSpanF(query), ids,
+                          math::SpanF(subset));
+      for (size_t i = 0; i < ids.size(); ++i) {
+        EXPECT_EQ(subset[i], full[ids[i]])
+            << "kind=" << static_cast<int>(kind)
+            << " precision=" << ScorePrecisionName(precision)
+            << " id=" << ids[i];
+      }
+    }
+  }
+}
+
+TEST(CompactCatalogTest, ScoreIntoIsBitDeterministic) {
+  auto scorer = MakeScorer(retrieval::SurrogateKind::kDot, 17);
+  for (ScorePrecision precision :
+       {ScorePrecision::kF32, ScorePrecision::kInt8}) {
+    CompactCatalog catalog;
+    ASSERT_TRUE(catalog.Build(scorer.RankingSurrogate(), precision).ok());
+    math::Vec scratch;
+    math::VecF query;
+    CompactCatalog::NarrowQuery(scorer.RankingQuery(0, &scratch), &query);
+    math::VecF a(kItems), b(kItems);
+    catalog.ScoreInto(math::ConstSpanF(query), math::SpanF(a));
+    catalog.ScoreInto(math::ConstSpanF(query), math::SpanF(b));
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), sizeof(float) * kItems));
+  }
+}
+
+/// Float Top-K mirrors the f64 tie-break contract: equal scores rank by
+/// ascending item id, so compact rankings are deterministic even when
+/// narrowing creates new exact ties.
+TEST(TopKFloatTest, EqualScoresPreferSmallerId) {
+  const math::VecF scores = {1.0f, 3.0f, 3.0f, -1.0f, 3.0f, 2.0f};
+  std::vector<int> scratch, out;
+  TopKInto(math::ConstSpanF(scores.data(), scores.size()), 4, &scratch,
+           &out);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 4, 5}));
+}
+
+TEST(TopKFloatTest, AllTiedRanksByAscendingIdAndHandlesNegInf) {
+  math::VecF scores(9, 0.5f);
+  scores[3] = -std::numeric_limits<float>::infinity();  // masked item
+  std::vector<int> scratch, out;
+  TopKInto(math::ConstSpanF(scores.data(), scores.size()), 5, &scratch,
+           &out);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 4, 5}));
+}
+
+TEST(TopKFloatTest, MatchesF64TopKOnNarrowedScores) {
+  Rng rng(23);
+  math::Vec scores(500);
+  for (double& s : scores) s = rng.Gaussian();
+  math::VecF scores_f(scores.begin(), scores.end());
+  // Widen the narrowed floats back so both inputs are value-identical.
+  math::Vec widened(scores_f.begin(), scores_f.end());
+  std::vector<int> scratch, from_f64, from_f32;
+  TopKInto(math::ConstSpan(widened), 25, &scratch, &from_f64);
+  TopKInto(math::ConstSpanF(scores_f.data(), scores_f.size()), 25, &scratch,
+           &from_f32);
+  EXPECT_EQ(from_f64, from_f32);
+}
+
+class CompactScorerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticConfig config;
+    config.name = "cd-mini";
+    config.num_users = 90;
+    config.num_items = 120;
+    config.seed = 17;
+    dataset_ = data::GenerateSynthetic(config);
+    split_ = data::TemporalSplit(dataset_);
+    core::TrainConfig train;
+    train.dim = 16;
+    train.layers = 2;
+    train.epochs = 8;
+    auto model = baselines::MakeModel("LogiRec++", train);
+    ASSERT_TRUE(model.ok());
+    ASSERT_TRUE((*model)->Fit(dataset_, split_).ok());
+    model_ = std::move(*model);
+  }
+
+  data::Dataset dataset_;
+  data::Split split_;
+  std::unique_ptr<core::Recommender> model_;
+};
+
+/// The headline correctness contract (DESIGN.md §2i): compact precisions
+/// are metric-neutral within a tolerance, measured through the standard
+/// Evaluator. f32 narrowing must hold the PR's CI gate (|delta NDCG@20|
+/// <= 1e-3 on the 0-1 scale, i.e. 0.1 in the evaluator's percent units);
+/// int8 gets a wider but still tight budget.
+TEST_F(CompactScorerTest, CompactMetricsTrackF64Oracle) {
+  Evaluator evaluator(&split_, dataset_.num_items);
+  const EvalResult base = evaluator.Evaluate(*model_);
+  ASSERT_GT(base.Get("NDCG@20"), 0.0);
+
+  struct Budget {
+    ScorePrecision precision;
+    double ndcg_percent;
+  };
+  for (const Budget& budget : {Budget{ScorePrecision::kF32, 0.1},
+                               Budget{ScorePrecision::kInt8, 2.0}}) {
+    CompactCatalog catalog;
+    ASSERT_TRUE(
+        catalog.Build(model_->RankingSurrogate(), budget.precision).ok());
+    CompactScorer compact(model_.get(), &catalog);
+    const EvalResult res = evaluator.Evaluate(compact);
+    EXPECT_NEAR(res.Get("NDCG@20"), base.Get("NDCG@20"),
+                budget.ndcg_percent)
+        << ScorePrecisionName(budget.precision);
+    EXPECT_NEAR(res.Get("Recall@20"), base.Get("Recall@20"),
+                2.0 * budget.ndcg_percent)
+        << ScorePrecisionName(budget.precision);
+  }
+}
+
+/// Two evaluations of the same compact scorer produce identical metrics
+/// (determinism per precision through the full evaluation stack).
+TEST_F(CompactScorerTest, CompactEvaluationIsDeterministic) {
+  Evaluator evaluator(&split_, dataset_.num_items);
+  for (ScorePrecision precision :
+       {ScorePrecision::kF32, ScorePrecision::kInt8}) {
+    CompactCatalog catalog;
+    ASSERT_TRUE(catalog.Build(model_->RankingSurrogate(), precision).ok());
+    CompactScorer compact(model_.get(), &catalog);
+    const EvalResult a = evaluator.Evaluate(compact);
+    const EvalResult b = evaluator.Evaluate(compact);
+    for (const char* key : {"Recall@10", "Recall@20", "NDCG@10", "NDCG@20"}) {
+      EXPECT_EQ(a.Get(key), b.Get(key))
+          << ScorePrecisionName(precision) << " " << key;
+    }
+  }
+}
+
+/// ScoreItems (the scalar bridge) agrees with ScoreItemsInto in exact
+/// mode — CompactScorer is a well-formed Scorer, not just an evaluator
+/// shim.
+TEST_F(CompactScorerTest, ScalarBridgeMatchesKernelPath) {
+  CompactCatalog catalog;
+  ASSERT_TRUE(
+      catalog.Build(model_->RankingSurrogate(), ScorePrecision::kF32).ok());
+  CompactScorer compact(model_.get(), &catalog);
+  std::vector<double> scalar;
+  compact.ScoreItems(5, &scalar);
+  ASSERT_EQ(static_cast<int>(scalar.size()), dataset_.num_items);
+  math::Vec kernel(dataset_.num_items);
+  compact.ScoreItemsInto(5, math::Span(kernel), ScoreMode::kRanking);
+  for (int v = 0; v < dataset_.num_items; ++v) {
+    EXPECT_EQ(scalar[v], kernel[v]) << "item " << v;
+  }
+}
+
+}  // namespace
+}  // namespace logirec::eval

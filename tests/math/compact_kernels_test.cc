@@ -1,0 +1,291 @@
+// Compact-kernel equivalence suite: the f32 clones of the seven
+// transposed scoring kernels against their f64 originals (pinned
+// relative-error bounds — the quantitative form of the DESIGN.md §2i
+// contract), int8 catalog quantization properties (idempotence,
+// snapshot/resident code agreement, factorized-distance accuracy), and
+// run-to-run determinism of the compact paths.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/compact.h"
+#include "math/kernels.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+#include "util/rng.h"
+
+namespace logirec::math {
+namespace {
+
+constexpr int kItems = 257;  // odd, larger than any SIMD width multiple
+constexpr int kDim = 19;
+
+/// Clustered Gaussian rows, spatial scale ~0.5: the regime trained
+/// embedding tables live in (scores O(1), no catastrophic cancellation).
+Matrix RandomRows(int rows, int cols, uint64_t seed, double scale) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m.At(r, c) = scale * rng.Gaussian();
+  }
+  return m;
+}
+
+/// Lifts rows onto the Lorentz hyperboloid: x0 = sqrt(1 + ||x_s||^2).
+void LiftToHyperboloid(Matrix* m) {
+  for (int r = 0; r < m->rows(); ++r) {
+    double sq = 0.0;
+    for (int c = 1; c < m->cols(); ++c) sq += m->At(r, c) * m->At(r, c);
+    m->At(r, 0) = std::sqrt(1.0 + sq);
+  }
+}
+
+/// Scales rows into the Poincare ball (norm <= radius < 1).
+void ShrinkToBall(Matrix* m, double radius) {
+  for (int r = 0; r < m->rows(); ++r) {
+    double sq = 0.0;
+    for (int c = 0; c < m->cols(); ++c) sq += m->At(r, c) * m->At(r, c);
+    const double f = radius / std::max(std::sqrt(sq), radius);
+    for (int c = 0; c < m->cols(); ++c) m->At(r, c) *= f;
+  }
+}
+
+VecF Narrow(ConstSpan v) {
+  VecF out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = static_cast<float>(v[i]);
+  return out;
+}
+
+using KernelF64 = void (*)(ConstSpan, const ScoringView&, Span);
+using KernelF32 = void (*)(ConstSpanF, const ScoringViewF&, SpanF);
+using KernelI8 = void (*)(ConstSpanF, const Int8Catalog&, SpanF);
+
+struct KernelCase {
+  const char* name;
+  KernelF64 f64;
+  KernelF32 f32;
+  KernelI8 i8;
+  bool hyperboloid = false;  // items/users must sit on the hyperboloid
+  bool ball = false;         // items/users must sit inside the unit ball
+  /// Pinned f32-vs-f64 relative error bound. Dots and squared distances
+  /// accumulate <= dim float roundings (~dim * 2^-24 relative); the
+  /// distance/acosh kernels add one transcendental evaluated in float.
+  /// Bounds are ~10x slack over the worst case observed, pinned so a
+  /// kernel edit that degrades accuracy (e.g. reassociating into a
+  /// cancellation) fails loudly rather than shifting NDCG silently.
+  double f32_rel_bound = 5e-5;
+};
+
+const KernelCase kCases[] = {
+    {"Dots", &DotsInto, &DotsInto, &DotsInto, false, false, 5e-5},
+    {"NegSquaredEuclidean", &NegSquaredEuclideanDistancesInto,
+     &NegSquaredEuclideanDistancesInto, &NegSquaredEuclideanDistancesInto,
+     false, false, 5e-5},
+    {"NegEuclidean", &NegEuclideanDistancesInto, &NegEuclideanDistancesInto,
+     &NegEuclideanDistancesInto, false, false, 5e-5},
+    {"LorentzDots", &LorentzDotsInto, &LorentzDotsInto, &LorentzDotsInto,
+     true, false, 2e-4},
+    {"NegLorentzDistances", &NegLorentzDistancesInto,
+     &NegLorentzDistancesInto, &NegLorentzDistancesInto, true, false, 2e-3},
+    {"NegPoincareDistances", &NegPoincareDistancesInto,
+     &NegPoincareDistancesInto, &NegPoincareDistancesInto, false, true, 2e-3},
+    {"NegPoincareGammas", &NegPoincareGammasInto, &NegPoincareGammasInto,
+     &NegPoincareGammasInto, false, true, 5e-5},
+};
+
+struct Geometry {
+  Matrix items;
+  Vec user;
+
+  explicit Geometry(const KernelCase& kc, uint64_t seed) {
+    items = RandomRows(kItems, kDim, seed, 0.5);
+    Matrix users = RandomRows(1, kDim, seed ^ 0xabcdef, 0.5);
+    if (kc.hyperboloid) {
+      LiftToHyperboloid(&items);
+      LiftToHyperboloid(&users);
+    } else if (kc.ball) {
+      ShrinkToBall(&items, 0.85);
+      ShrinkToBall(&users, 0.85);
+    }
+    user.assign(users.Row(0).begin(), users.Row(0).end());
+  }
+};
+
+class CompactKernelTest : public ::testing::TestWithParam<KernelCase> {};
+
+/// The f32 clone tracks the f64 kernel within the pinned relative bound
+/// for every item, across several seeds.
+TEST_P(CompactKernelTest, F32MatchesF64WithinPinnedBound) {
+  const KernelCase& kc = GetParam();
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Geometry g(kc, seed);
+    ScoringView view;
+    view.Assign(g.items);
+    ScoringViewF view_f;
+    view_f.Assign(view);
+
+    Vec ref(kItems);
+    kc.f64(ConstSpan(g.user), view, Span(ref));
+    const VecF user_f = Narrow(ConstSpan(g.user));
+    VecF got(kItems);
+    kc.f32(ConstSpanF(user_f), view_f, SpanF(got));
+
+    for (int v = 0; v < kItems; ++v) {
+      const double denom = std::max(std::abs(ref[v]), 1.0);
+      EXPECT_NEAR(got[v], ref[v], kc.f32_rel_bound * denom)
+          << kc.name << " seed=" << seed << " item=" << v;
+    }
+  }
+}
+
+/// Int8 scores track f64 within the quantization budget. The per-row
+/// symmetric scheme keeps coordinate error <= scale/2 ~ maxabs/254, so
+/// relative score error is O(dim / 254) for O(1) coordinates — bound 0.1
+/// is ~4x slack at dim 19.
+TEST_P(CompactKernelTest, Int8MatchesF64WithinQuantizationBudget) {
+  const KernelCase& kc = GetParam();
+  Geometry g(kc, 7);
+  ScoringView view;
+  view.Assign(g.items);
+  Int8Catalog catalog;
+  catalog.Assign(view);
+
+  Vec ref(kItems);
+  kc.f64(ConstSpan(g.user), view, Span(ref));
+  const VecF user_f = Narrow(ConstSpan(g.user));
+  VecF got(kItems);
+  kc.i8(ConstSpanF(user_f), catalog, SpanF(got));
+
+  for (int v = 0; v < kItems; ++v) {
+    const double denom = std::max(std::abs(ref[v]), 1.0);
+    EXPECT_NEAR(got[v], ref[v], 0.1 * denom) << kc.name << " item=" << v;
+  }
+}
+
+/// Same view, same query, two calls: bit-identical output (the
+/// determinism-per-precision contract; no FMA-vs-scalar divergence, no
+/// run-to-run reassociation).
+TEST_P(CompactKernelTest, F32IsBitDeterministic) {
+  const KernelCase& kc = GetParam();
+  Geometry g(kc, 11);
+  ScoringViewF view_f;
+  ScoringView view;
+  view.Assign(g.items);
+  view_f.Assign(view);
+  const VecF user_f = Narrow(ConstSpan(g.user));
+  VecF a(kItems), b(kItems);
+  kc.f32(ConstSpanF(user_f), view_f, SpanF(a));
+  kc.f32(ConstSpanF(user_f), view_f, SpanF(b));
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), sizeof(float) * kItems))
+      << kc.name;
+}
+
+/// Narrowing through a rebuilt view (Matrix -> f64 view -> f32 view vs
+/// Matrix -> f32 view) lands on identical floats: Assign narrows each
+/// coordinate once, with no double-rounding asymmetry between paths.
+TEST_P(CompactKernelTest, F32ViewPathsAgree) {
+  const KernelCase& kc = GetParam();
+  Geometry g(kc, 13);
+  ScoringView view;
+  view.Assign(g.items);
+  ScoringViewF from_view, from_matrix;
+  from_view.Assign(view);
+  from_matrix.Assign(g.items);
+  ASSERT_EQ(from_view.items(), from_matrix.items());
+  for (int k = 0; k < from_view.dim(); ++k) {
+    EXPECT_EQ(0, std::memcmp(from_view.Col(k), from_matrix.Col(k),
+                             sizeof(float) * kItems))
+        << kc.name << " col=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, CompactKernelTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(Int8CatalogTest, QuantizationIsIdempotent) {
+  const Matrix items = RandomRows(64, kDim, 3, 0.5);
+  Int8Catalog first;
+  first.Assign(items);
+
+  // Dequantize into a matrix, requantize, and compare codes and scales.
+  Matrix deq(64, kDim);
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < kDim; ++c) {
+      deq.At(r, c) =
+          static_cast<double>(first.Scales()[r]) * first.Col(c)[r];
+    }
+  }
+  Int8Catalog second;
+  second.Assign(deq);
+  for (int r = 0; r < 64; ++r) {
+    EXPECT_EQ(first.Scales()[r], second.Scales()[r]) << "row " << r;
+  }
+  for (int c = 0; c < kDim; ++c) {
+    EXPECT_EQ(0, std::memcmp(first.Col(c), second.Col(c), 64)) << "col " << c;
+  }
+}
+
+TEST(Int8CatalogTest, QuantizeRowMatchesCatalogAssign) {
+  const Matrix items = RandomRows(32, kDim, 5, 0.5);
+  Int8Catalog catalog;
+  catalog.Assign(items);
+  std::vector<int8_t> codes(kDim);
+  for (int r = 0; r < 32; ++r) {
+    const float scale = QuantizeInt8Row(items.Row(r), codes.data());
+    EXPECT_EQ(scale, catalog.Scales()[r]) << "row " << r;
+    for (int c = 0; c < kDim; ++c) {
+      EXPECT_EQ(codes[c], catalog.Col(c)[r]) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(Int8CatalogTest, MaxMagnitudeCoordinateHitsFullScale) {
+  Matrix items(1, 4);
+  items.At(0, 0) = -2.0;
+  items.At(0, 1) = 1.0;
+  items.At(0, 2) = 0.5;
+  items.At(0, 3) = 0.0;
+  Int8Catalog catalog;
+  catalog.Assign(items);
+  EXPECT_EQ(-127, catalog.Col(0)[0]);
+  EXPECT_FLOAT_EQ(2.0f / 127.0f, catalog.Scales()[0]);
+  EXPECT_EQ(0, catalog.Col(3)[0]);
+}
+
+TEST(Int8CatalogTest, AllZeroRowHasZeroScaleAndCodes) {
+  Matrix items(2, 3);  // row 0 all zero, row 1 nonzero
+  items.At(1, 0) = 1.0;
+  Int8Catalog catalog;
+  catalog.Assign(items);
+  EXPECT_EQ(0.0f, catalog.Scales()[0]);
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(0, catalog.Col(c)[0]);
+  EXPECT_GT(catalog.Scales()[1], 0.0f);
+
+  // Scoring against the zero row is exactly zero, not NaN.
+  VecF user = {1.0f, 2.0f, 3.0f};
+  VecF out(2);
+  DotsInto(ConstSpanF(user), catalog, SpanF(out));
+  EXPECT_EQ(0.0f, out[0]);
+}
+
+TEST(Int8CatalogTest, ResidentBytesReflectOneBytePerCoordinate) {
+  const Matrix items = RandomRows(100, 16, 9, 0.5);
+  Int8Catalog catalog;
+  catalog.Assign(items);
+  // 100*16 codes + 100 scales + 100 norms.
+  EXPECT_EQ(100 * 16 * sizeof(int8_t) + 200 * sizeof(float),
+            catalog.ResidentBytes());
+  ScoringViewF view_f;
+  view_f.Assign(items);
+  EXPECT_LT(catalog.ResidentBytes(), view_f.ResidentBytes());
+}
+
+}  // namespace
+}  // namespace logirec::math

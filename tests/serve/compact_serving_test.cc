@@ -1,0 +1,231 @@
+// Compact serving end to end: precision plumbing through
+// ServableModel::FromSnapshot, idempotence of the snapshot-dtype /
+// serving-precision matrix (an f32-dtype file served at f32 ranks
+// exactly like an f64 file served at f32, same for int8 — the resident
+// compact state is identical either way), worker-count determinism of
+// the server at threads {1, 2, 8}, snapshot provenance surfaced through
+// ServerStats, and the !stats wire format.
+
+#include <algorithm>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "core/snapshot.h"
+#include "data/synthetic.h"
+#include "serve/protocol.h"
+#include "serve/servable.h"
+#include "serve/server.h"
+
+namespace logirec::serve {
+namespace {
+
+class CompactServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/logirec_compact_serving_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    data::SyntheticConfig config;
+    config.num_users = 60;
+    config.num_items = 90;
+    config.seed = 7;
+    dataset_ = data::GenerateSynthetic(config);
+    split_ = data::TemporalSplit(dataset_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Trains `name` once (cached) and writes a snapshot at `dtype`.
+  std::string WriteSnapshot(const std::string& name,
+                            core::SnapshotDtype dtype) {
+    core::TrainConfig config;
+    config.dim = 8;
+    config.layers = 2;
+    config.epochs = 5;
+    if (model_ == nullptr) {
+      auto model = baselines::MakeModel(name, config);
+      EXPECT_TRUE(model.ok()) << name;
+      EXPECT_TRUE((*model)->Fit(dataset_, split_).ok()) << name;
+      model_ = std::move(*model);
+    }
+    core::SnapshotHeader header;
+    header.dim = config.dim;
+    header.layers = config.layers;
+    header.num_users = dataset_.num_users;
+    header.num_items = dataset_.num_items;
+    const std::string path =
+        dir_ + "/" + name + "_" + core::SnapshotDtypeName(dtype) + ".snap";
+    EXPECT_TRUE(
+        core::ModelSnapshot::Write(*model_, header, path, dtype).ok());
+    return path;
+  }
+
+  std::shared_ptr<const ServableModel> Restore(
+      const std::string& path, eval::ScorePrecision precision,
+      uint64_t generation = 1) {
+    retrieval::RetrievalOptions options;
+    options.precision = precision;
+    auto servable = ServableModel::FromSnapshot(
+        path, baselines::MakeModel, &split_, generation, options);
+    EXPECT_TRUE(servable.ok()) << servable.status().ToString();
+    return *servable;
+  }
+
+  std::vector<std::vector<int>> RankAll(const ServableModel& servable,
+                                        int k) {
+    eval::RetrieveScratch scratch;
+    std::vector<std::vector<int>> lists(dataset_.num_users);
+    for (int u = 0; u < dataset_.num_users; ++u) {
+      servable.RetrieveRanked(u, k, &scratch, &lists[u]);
+    }
+    return lists;
+  }
+
+  std::string dir_;
+  data::Dataset dataset_;
+  data::Split split_;
+  std::unique_ptr<core::Recommender> model_;
+};
+
+TEST_F(CompactServingTest, CompactPrecisionEnablesCompactExactPath) {
+  const std::string path =
+      WriteSnapshot("LogiRec++", core::SnapshotDtype::kF64);
+  auto f64 = Restore(path, eval::ScorePrecision::kF64);
+  EXPECT_FALSE(f64->compact_enabled());
+  EXPECT_EQ(f64->precision(), eval::ScorePrecision::kF64);
+
+  auto f32 = Restore(path, eval::ScorePrecision::kF32);
+  EXPECT_TRUE(f32->compact_enabled());
+  EXPECT_FALSE(f32->retrieval_enabled());
+  EXPECT_EQ(f32->precision(), eval::ScorePrecision::kF32);
+  EXPECT_LT(f32->ResidentScoringBytes(), f64->ResidentScoringBytes());
+
+  auto i8 = Restore(path, eval::ScorePrecision::kInt8);
+  EXPECT_TRUE(i8->compact_enabled());
+  EXPECT_LT(i8->ResidentScoringBytes(), f32->ResidentScoringBytes());
+}
+
+/// The dtype/precision idempotence matrix: serving precision P from an
+/// f64 file and from a P-dtype file must rank identically for every
+/// user — narrowing (f32) and quantization (int8) are idempotent, so
+/// the resident compact catalog is the same object either way. This is
+/// what makes `--save-model` conversion safe: converting a snapshot to
+/// the serving dtype changes bytes on disk, never rankings.
+TEST_F(CompactServingTest, CompactDtypeSnapshotServesIdenticallyToF64File) {
+  const std::string f64_path =
+      WriteSnapshot("LogiRec++", core::SnapshotDtype::kF64);
+  const std::string f32_path =
+      WriteSnapshot("LogiRec++", core::SnapshotDtype::kF32);
+  const std::string i8_path =
+      WriteSnapshot("LogiRec++", core::SnapshotDtype::kInt8);
+
+  auto from_f64 = Restore(f64_path, eval::ScorePrecision::kF32);
+  auto from_f32 = Restore(f32_path, eval::ScorePrecision::kF32);
+  EXPECT_EQ(RankAll(*from_f64, 10), RankAll(*from_f32, 10));
+  EXPECT_EQ(from_f32->snapshot_dtype(), core::SnapshotDtype::kF32);
+
+  // Int8 cannot promise ranking equality against the f64 file: the int8
+  // snapshot quantizes the USER table too, so ranking queries differ by
+  // up to half a quantization step and near-ties may flip. The resident
+  // item catalog is still bit-identical (pinned by the byte-identical
+  // rewrite test in snapshot_compact_test), so the two paths must agree
+  // on the overwhelming majority of each top-10.
+  auto i8_from_f64 = Restore(f64_path, eval::ScorePrecision::kInt8);
+  auto i8_from_i8 = Restore(i8_path, eval::ScorePrecision::kInt8);
+  const auto a = RankAll(*i8_from_f64, 10);
+  const auto b = RankAll(*i8_from_i8, 10);
+  long hits = 0, total = 0;
+  for (int u = 0; u < dataset_.num_users; ++u) {
+    for (int item : a[u]) {
+      hits += std::count(b[u].begin(), b[u].end(), item);
+    }
+    total += static_cast<long>(a[u].size());
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_GE(static_cast<double>(hits) / total, 0.95);
+}
+
+/// Two restores of the same file at the same precision rank identically
+/// (compact serving is deterministic), and distinct precisions rank
+/// self-consistently across repeated calls.
+TEST_F(CompactServingTest, RestoreIsDeterministicPerPrecision) {
+  const std::string path =
+      WriteSnapshot("HGCF", core::SnapshotDtype::kF64);
+  for (eval::ScorePrecision precision :
+       {eval::ScorePrecision::kF32, eval::ScorePrecision::kInt8}) {
+    auto a = Restore(path, precision);
+    auto b = Restore(path, precision, /*generation=*/2);
+    EXPECT_EQ(RankAll(*a, 10), RankAll(*b, 10))
+        << eval::ScorePrecisionName(precision);
+  }
+}
+
+/// The server returns identical compact rankings at 1, 2, and 8 worker
+/// threads — the acceptance-gate determinism check at the serving layer.
+TEST_F(CompactServingTest, ServerRankingsIdenticalAcrossWorkerCounts) {
+  const std::string path =
+      WriteSnapshot("LogiRec++", core::SnapshotDtype::kF32);
+  for (eval::ScorePrecision precision :
+       {eval::ScorePrecision::kF32, eval::ScorePrecision::kInt8}) {
+    std::vector<std::vector<int>> baseline;
+    for (int threads : {1, 2, 8}) {
+      ServerOptions options;
+      options.num_threads = threads;
+      ModelServer server(options);
+      server.Swap(Restore(path, precision));
+      std::vector<std::future<RankResponse>> futures;
+      for (int u = 0; u < dataset_.num_users; ++u) {
+        futures.push_back(server.Submit(u, 10));
+      }
+      std::vector<std::vector<int>> lists;
+      for (auto& f : futures) {
+        RankResponse response = f.get();
+        ASSERT_TRUE(response.status.ok());
+        lists.push_back(std::move(response.items));
+      }
+      if (baseline.empty()) {
+        baseline = std::move(lists);
+      } else {
+        EXPECT_EQ(lists, baseline)
+            << eval::ScorePrecisionName(precision) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(CompactServingTest, StatsCarrySnapshotProvenance) {
+  const std::string path =
+      WriteSnapshot("LogiRec++", core::SnapshotDtype::kInt8);
+  auto servable = Restore(path, eval::ScorePrecision::kInt8);
+  EXPECT_EQ(servable->snapshot_bytes(), std::filesystem::file_size(path));
+  EXPECT_GT(servable->snapshot_load_ms(), 0.0);
+
+  ModelServer server;
+  // Before the first swap the precision fields are empty and FormatStats
+  // must omit the whole provenance clause.
+  EXPECT_EQ(FormatStats(server.Stats()).find("dtype="), std::string::npos);
+
+  server.Swap(servable);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.snapshot_dtype, "int8");
+  EXPECT_EQ(stats.precision, "int8");
+  EXPECT_EQ(stats.resident_bytes, servable->ResidentScoringBytes());
+  EXPECT_EQ(stats.snapshot_bytes, servable->snapshot_bytes());
+  EXPECT_GT(stats.snapshot_load_ms, 0.0);
+
+  const std::string line = FormatStats(stats);
+  EXPECT_EQ(line.rfind("stats requests=", 0), 0u) << line;
+  for (const char* field :
+       {"dtype=int8", "precision=int8", "resident_bytes=", "snapshot_bytes=",
+        "load_ms="}) {
+    EXPECT_NE(line.find(field), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace logirec::serve

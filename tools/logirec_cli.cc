@@ -181,14 +181,18 @@ int CmdTrain(const FlagParser& flags) {
 
   const std::string save_model = flags.GetString("save-model");
   if (!save_model.empty()) {
+    auto dtype =
+        core::ParseSnapshotDtype(flags.GetString("save-precision"));
+    if (!dtype.ok()) return Fail(dtype.status());
     core::SnapshotHeader header;
     header.dim = config.dim;
     header.layers = config.layers;
     header.num_users = dataset->num_users;
     header.num_items = dataset->num_items;
-    st = core::ModelSnapshot::Write(**model, header, save_model);
+    st = core::ModelSnapshot::Write(**model, header, save_model, *dtype);
     if (!st.ok()) return Fail(st);
-    std::printf("snapshot saved to %s\n", save_model.c_str());
+    std::printf("snapshot saved to %s (%s)\n", save_model.c_str(),
+                core::SnapshotDtypeName(*dtype).c_str());
   }
 
   const std::string model_out = flags.GetString("model-out");
@@ -285,6 +289,9 @@ int main(int argc, char** argv) {
   flags.AddString("model-in", "", "saved CSV model dir for evaluate/recommend");
   flags.AddString("save-model", "",
                   "binary snapshot path `train` writes (any zoo model)");
+  flags.AddString("save-precision", "f64",
+                  "snapshot storage dtype for --save-model: f64, f32, or "
+                  "int8");
   flags.AddString("load-model", "",
                   "binary snapshot path for evaluate/recommend");
   flags.AddInt("user", 0, "user id for `recommend`");

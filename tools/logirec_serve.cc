@@ -36,6 +36,14 @@
 //                        inside the immutable generation
 //   --nprobe=N           IVF cells scanned per query
 //   --ef-search=N        HNSW beam width per query
+//   --precision=f64|f32|int8   serving-side scoring precision: f64 is the
+//                        bit-identical default; f32/int8 serve from a
+//                        compact catalog (and compact index state) with
+//                        tolerance-gated ranking quality
+//   --save-model=PATH    conversion mode: re-encode --snapshot at
+//                        --save-precision (default: --precision) and exit
+//                        without serving
+//   --save-precision=DTYPE   storage dtype for --save-model
 
 #include <atomic>
 #include <chrono>
@@ -130,6 +138,12 @@ int main(int argc, char** argv) {
                   "candidate generation: exact, ivf, or hnsw");
   flags.AddInt("nprobe", 16, "IVF cells scanned per query");
   flags.AddInt("ef-search", 96, "HNSW beam width per query");
+  flags.AddString("precision", "f64",
+                  "serving-side scoring precision: f64, f32, or int8");
+  flags.AddString("save-model", "",
+                  "re-encode --snapshot at --save-precision and exit");
+  flags.AddString("save-precision", "",
+                  "storage dtype for --save-model (default: --precision)");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) return Fail(st);
   if (flags.help_requested()) return 0;
@@ -159,11 +173,41 @@ int main(int argc, char** argv) {
     split = std::make_unique<data::Split>(data::TemporalSplit(*dataset));
   }
 
+  eval::ScorePrecision precision;
+  if (!eval::ParseScorePrecision(flags.GetString("precision"), &precision)) {
+    return Fail(Status::InvalidArgument("unknown --precision: " +
+                                        flags.GetString("precision")));
+  }
+
+  // Conversion mode: restore the snapshot, re-encode it at the requested
+  // storage dtype, and exit — the bridge from f64 training snapshots to
+  // compact serving artifacts.
+  const std::string save_model = flags.GetString("save-model");
+  if (!save_model.empty()) {
+    const std::string dtype_name = flags.GetString("save-precision").empty()
+                                       ? flags.GetString("precision")
+                                       : flags.GetString("save-precision");
+    auto dtype = core::ParseSnapshotDtype(dtype_name);
+    if (!dtype.ok()) return Fail(dtype.status());
+    core::SnapshotHeader header;
+    auto model = core::ModelSnapshot::Read(flags.GetString("snapshot"),
+                                           baselines::MakeModel, &header);
+    if (!model.ok()) return Fail(model.status());
+    const Status written =
+        core::ModelSnapshot::Write(**model, header, save_model, *dtype);
+    if (!written.ok()) return Fail(written);
+    std::fprintf(stderr, "snapshot re-encoded as %s to %s\n",
+                 core::SnapshotDtypeName(*dtype).c_str(),
+                 save_model.c_str());
+    return 0;
+  }
+
   auto retrieval_kind =
       retrieval::ParseRetrievalKind(flags.GetString("retrieval"));
   if (!retrieval_kind.ok()) return Fail(retrieval_kind.status());
   retrieval::RetrievalOptions retrieval_options;
   retrieval_options.kind = *retrieval_kind;
+  retrieval_options.precision = precision;
   retrieval_options.ivf.nprobe = flags.GetInt("nprobe");
   retrieval_options.hnsw.ef_search = flags.GetInt("ef-search");
 
@@ -187,10 +231,15 @@ int main(int argc, char** argv) {
       generation.load(), retrieval_options);
   if (!servable.ok()) return Fail(servable.status());
   server.Swap(*servable);
-  std::fprintf(stderr, "serving %s (%d users, %d items, retrieval=%s)\n",
+  std::fprintf(stderr,
+               "serving %s (%d users, %d items, retrieval=%s, "
+               "precision=%s, snapshot_dtype=%s)\n",
                (*servable)->model_name().c_str(), (*servable)->num_users(),
                (*servable)->num_items(),
                retrieval::RetrievalKindName((*servable)->retrieval_kind())
+                   .c_str(),
+               eval::ScorePrecisionName((*servable)->precision()),
+               core::SnapshotDtypeName((*servable)->snapshot_dtype())
                    .c_str());
 
   const int port = flags.GetInt("port");
