@@ -1,0 +1,244 @@
+// Continuous-learning replay benchmark: warm-start fine-tune vs full
+// retrain over the same window schedule, through the live server.
+//
+// Both runs replay the identical window slicing, seed and evaluation
+// protocol (window t scored by the generation trained on windows < t,
+// through ModelServer::Submit, before t is ingested), so the committed
+// BENCH_pipeline.json is an apples-to-apples cost/quality comparison:
+//
+//   cost_ratio   full train-seconds / warm train-seconds per window
+//                (the whole point of warm-starting: >= --min-cost-ratio)
+//   ndcg_delta   warm mean NDCG@k - full mean NDCG@k (must stay within
+//                the --max-ndcg-drop relative band)
+//
+// Gates (CI):
+//   --min-cost-ratio   fail if warm is not this much cheaper (0 = off)
+//   --max-ndcg-drop    fail if warm NDCG falls more than this fraction
+//                      below full (quality tolerance band)
+//   --baseline=PATH    apply the same two gates to a committed
+//                      BENCH_pipeline.json without re-running
+//   zero failed in-flight requests, always (both runs, eval + live load)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "pipeline/pipeline.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace logirec;
+
+namespace {
+
+void AppendRunJson(const std::string& label,
+                   const pipeline::PipelineReport& report,
+                   std::ostringstream* out) {
+  *out << StrFormat(
+      "  \"%s\": {\"bootstrap_train_seconds\": %.4f, "
+      "\"total_train_seconds\": %.4f, \"mean_ndcg\": %.6f, "
+      "\"mean_recall\": %.6f, \"eval_users\": %ld, \"eval_failures\": %ld, "
+      "\"live_requests\": %ld, \"live_failures\": %ld, \"live_shed\": %ld,\n"
+      "    \"windows\": [",
+      label.c_str(), report.bootstrap_train_seconds,
+      report.total_train_seconds, report.mean_ndcg, report.mean_recall,
+      report.total_eval_users, report.total_eval_failures,
+      report.live_requests, report.live_failures, report.live_shed);
+  for (size_t i = 0; i < report.windows.size(); ++i) {
+    const pipeline::WindowReport& w = report.windows[i];
+    *out << StrFormat(
+        "%s\n      {\"window\": %d, \"ndcg\": %.6f, \"recall\": %.6f, "
+        "\"train_seconds\": %.4f, \"ingest_seconds\": %.4f, "
+        "\"swap_seconds\": %.4f, \"appended\": %ld, \"train_size\": %ld}",
+        i == 0 ? "" : ",", w.window, w.ndcg, w.recall, w.train_seconds,
+        w.ingest_seconds, w.swap_seconds, w.ingest.appended, w.train_size);
+  }
+  *out << "\n    ]}";
+}
+
+double ExtractDouble(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = text.find(needle);
+  LOGIREC_CHECK_MSG(pos != std::string::npos,
+                    "baseline missing key " + key);
+  return std::stod(text.substr(pos + needle.size()));
+}
+
+/// Applies the cost/quality gates to one (warm_seconds, full_seconds,
+/// warm_ndcg, full_ndcg) tuple. Returns false (after printing) on a
+/// violated gate.
+bool CheckGates(const char* what, double warm_seconds, double full_seconds,
+                double warm_ndcg, double full_ndcg, double min_cost_ratio,
+                double max_ndcg_drop) {
+  const double ratio =
+      warm_seconds > 0.0 ? full_seconds / warm_seconds : 0.0;
+  const double floor = full_ndcg * (1.0 - max_ndcg_drop);
+  std::printf("%s: cost_ratio %.2fx (gate >= %.2fx), NDCG %.4f vs full "
+              "%.4f (floor %.4f)\n",
+              what, ratio, min_cost_ratio, warm_ndcg, full_ndcg, floor);
+  bool ok = true;
+  if (min_cost_ratio > 0.0 && ratio < min_cost_ratio) {
+    std::printf("GATE FAILED (%s): warm-start is only %.2fx cheaper than "
+                "full retrain (gate %.2fx)\n",
+                what, ratio, min_cost_ratio);
+    ok = false;
+  }
+  if (warm_ndcg < floor) {
+    std::printf("GATE FAILED (%s): warm NDCG %.4f below the %.0f%% band "
+                "of full retrain (%.4f)\n",
+                what, warm_ndcg, 100.0 * (1.0 - max_ndcg_drop), floor);
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("dataset", "cd", "benchmark dataset preset");
+  flags.AddDouble("scale", 0.4, "dataset scale factor");
+  flags.AddInt("windows", 6, "replay windows");
+  flags.AddInt("bootstrap", 2, "windows ingested before the bootstrap Fit");
+  flags.AddString("model", "LogiRec++", "model-zoo name");
+  flags.AddInt("epochs", 30, "bootstrap/full-retrain epochs");
+  flags.AddInt("fine-tune-epochs", 3, "epochs per warm fine-tune");
+  flags.AddInt("dim", 32, "embedding dimension");
+  flags.AddInt("threads", 0, "training + serving threads (0 = hardware)");
+  flags.AddInt("live-threads", 2, "background load threads");
+  flags.AddInt("k", 20, "evaluation cutoff");
+  flags.AddString("out", "BENCH_pipeline.json", "output JSON path");
+  flags.AddDouble("min-cost-ratio", 0.0,
+                  "fail if full/warm train-seconds is below this (0 = off)");
+  flags.AddDouble("max-ndcg-drop", 0.10,
+                  "fail if warm NDCG falls more than this fraction below "
+                  "full retrain");
+  flags.AddString("baseline", "",
+                  "committed BENCH_pipeline.json to gate against instead "
+                  "of re-running (empty = run the replay)");
+  const Status st = flags.Parse(argc, argv);
+  LOGIREC_CHECK_MSG(st.ok(), st.ToString());
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  const double min_cost_ratio = flags.GetDouble("min-cost-ratio");
+  const double max_ndcg_drop = flags.GetDouble("max-ndcg-drop");
+
+  const std::string baseline = flags.GetString("baseline");
+  if (!baseline.empty()) {
+    std::ifstream f(baseline);
+    LOGIREC_CHECK_MSG(f.good(), "cannot read baseline " + baseline);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    const std::string text = buf.str();
+    const double warm_seconds =
+        ExtractDouble(text, "warm_train_seconds");
+    const double full_seconds =
+        ExtractDouble(text, "full_train_seconds");
+    const double warm_ndcg = ExtractDouble(text, "warm_mean_ndcg");
+    const double full_ndcg = ExtractDouble(text, "full_mean_ndcg");
+    LOGIREC_CHECK_MSG(
+        static_cast<long>(ExtractDouble(text, "total_failures")) == 0,
+        "committed baseline records failed in-flight requests");
+    return CheckGates("baseline", warm_seconds, full_seconds, warm_ndcg,
+                      full_ndcg, min_cost_ratio, max_ndcg_drop)
+               ? 0
+               : 1;
+  }
+
+  const auto bd = bench::MakeBenchDataset(flags.GetString("dataset"),
+                                          flags.GetDouble("scale"));
+  std::printf("replay: %s, %d users, %d items, %zu interactions, "
+              "%d windows (%d bootstrap)\n",
+              bd.dataset.name.c_str(), bd.dataset.num_users,
+              bd.dataset.num_items, bd.dataset.interactions.size(),
+              flags.GetInt("windows"), flags.GetInt("bootstrap"));
+
+  core::TrainConfig config;
+  config.dim = flags.GetInt("dim");
+  config.epochs = flags.GetInt("epochs");
+  config.num_threads = flags.GetInt("threads");
+  config.seed = 7;
+
+  pipeline::PipelineOptions options;
+  options.num_windows = flags.GetInt("windows");
+  options.bootstrap_windows = flags.GetInt("bootstrap");
+  options.eval_k = flags.GetInt("k");
+  options.live_load_threads = flags.GetInt("live-threads");
+  options.trainer.model = flags.GetString("model");
+  options.trainer.fine_tune_epochs = flags.GetInt("fine-tune-epochs");
+  options.server.num_threads = flags.GetInt("threads");
+
+  const std::string tmp =
+      (std::filesystem::temp_directory_path() / "logirec_pipeline_bench")
+          .string();
+  pipeline::PipelineReport reports[2];
+  const char* labels[2] = {"warm", "full"};
+  for (int run = 0; run < 2; ++run) {
+    options.full_retrain = (run == 1);
+    options.snapshot_dir = tmp + "/" + labels[run];
+    std::filesystem::create_directories(options.snapshot_dir);
+    pipeline::PipelineDriver driver(options, config);
+    auto report = driver.Run(bd.dataset);
+    LOGIREC_CHECK_MSG(report.ok(), report.status().ToString());
+    reports[run] = std::move(*report);
+    std::printf("[%s] train %.2fs, NDCG@%d %.4f, Recall@%d %.4f, live "
+                "%ld ok / %ld failed / %ld shed\n",
+                labels[run], reports[run].total_train_seconds,
+                options.eval_k, reports[run].mean_ndcg, options.eval_k,
+                reports[run].mean_recall, reports[run].live_requests,
+                reports[run].live_failures, reports[run].live_shed);
+  }
+  const pipeline::PipelineReport& warm = reports[0];
+  const pipeline::PipelineReport& full = reports[1];
+
+  const long total_failures =
+      warm.total_eval_failures + warm.live_failures +
+      full.total_eval_failures + full.live_failures;
+
+  const std::string out = flags.GetString("out");
+  std::ostringstream json;
+  json << StrFormat(
+      "{\n  \"meta\": {\"dataset\": \"%s\", \"users\": %d, \"items\": %d, "
+      "\"interactions\": %zu, \"windows\": %d, \"bootstrap\": %d, "
+      "\"model\": \"%s\", \"epochs\": %d, \"fine_tune_epochs\": %d, "
+      "\"k\": %d},\n",
+      bd.dataset.name.c_str(), bd.dataset.num_users, bd.dataset.num_items,
+      bd.dataset.interactions.size(), options.num_windows,
+      options.bootstrap_windows, options.trainer.model.c_str(),
+      config.epochs, options.trainer.fine_tune_epochs, options.eval_k);
+  json << StrFormat(
+      "  \"comparison\": {\"warm_train_seconds\": %.4f, "
+      "\"full_train_seconds\": %.4f, \"cost_ratio\": %.3f, "
+      "\"warm_mean_ndcg\": %.6f, \"full_mean_ndcg\": %.6f, "
+      "\"ndcg_delta\": %+.6f, \"total_failures\": %ld},\n",
+      warm.total_train_seconds, full.total_train_seconds,
+      warm.total_train_seconds > 0.0
+          ? full.total_train_seconds / warm.total_train_seconds
+          : 0.0,
+      warm.mean_ndcg, full.mean_ndcg, warm.mean_ndcg - full.mean_ndcg,
+      total_failures);
+  AppendRunJson("warm", warm, &json);
+  json << ",\n";
+  AppendRunJson("full", full, &json);
+  json << "\n}\n";
+  std::ofstream f(out);
+  LOGIREC_CHECK_MSG(f.good(), "cannot write " + out);
+  f << json.str();
+  std::printf("wrote %s\n", out.c_str());
+
+  bool ok = CheckGates("live", warm.total_train_seconds,
+                       full.total_train_seconds, warm.mean_ndcg,
+                       full.mean_ndcg, min_cost_ratio, max_ndcg_drop);
+  if (total_failures > 0) {
+    std::printf("GATE FAILED: %ld failed in-flight requests\n",
+                total_failures);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -4,9 +4,11 @@
 #include <cmath>
 
 #include "baselines/baseline_util.h"
+#include "core/train_resources.h"
 #include "math/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace logirec::baselines {
 
@@ -21,6 +23,36 @@ Status Bprmf::Fit(const data::Dataset& dataset, const data::Split& split) {
 
   core::Trainer trainer(config_);
   trainer.Train(this, split, dataset.num_items, &rng, this);
+  return Status::OK();
+}
+
+Status Bprmf::ResumeFit(const data::Dataset& dataset,
+                        const data::Split& split, int epochs,
+                        const core::TrainResources* resources) {
+  if (user_.rows() == 0 || item_.rows() == 0) {
+    return Status::FailedPrecondition(
+        "BPRMF::ResumeFit needs a fitted or snapshot-restored model");
+  }
+  if (user_.rows() != dataset.num_users ||
+      item_.rows() != dataset.num_items) {
+    return Status::InvalidArgument(StrFormat(
+        "BPRMF::ResumeFit: model is %dx%d users/items but the dataset has "
+        "%d/%d",
+        user_.rows(), item_.rows(), dataset.num_users, dataset.num_items));
+  }
+  if (static_cast<int>(split.train.size()) != dataset.num_users) {
+    return Status::InvalidArgument("split does not match dataset");
+  }
+  // Fresh deterministic streams per resume round: distinct from Fit()'s
+  // and from every other round, yet a pure function of (seed, round).
+  core::TrainConfig cfg = config_;
+  if (epochs > 0) cfg.epochs = epochs;
+  cfg.seed = Rng::MixSeed(config_.seed ^ core::kWarmStartSeedSalt,
+                          static_cast<uint64_t>(++resume_round_));
+  Rng rng(cfg.seed);
+  core::Trainer trainer(cfg);
+  trainer.Train(this, split, dataset.num_items, &rng, this,
+                resources != nullptr ? resources->sampler : nullptr);
   return Status::OK();
 }
 

@@ -42,6 +42,14 @@ class Bprmf final : public core::Recommender, private core::Trainable {
   void CollectScoringState(core::ParameterSet* state) override;
   Status FinalizeRestoredState() override;
 
+  // Warm-start fine-tuning: the scoring state IS the full training state
+  // (plain SGD, no optimizer moments), so BPRMF resumes from any
+  // snapshot without a trainer-state trailer.
+  bool SupportsWarmStart() const override { return true; }
+  Status ResumeFit(const data::Dataset& dataset, const data::Split& split,
+                   int epochs = 0,
+                   const core::TrainResources* resources = nullptr) override;
+
  private:
   double TrainOnBatch(const core::BatchContext& ctx) override;
   void SyncScoringState() override {
@@ -55,6 +63,7 @@ class Bprmf final : public core::Recommender, private core::Trainable {
   math::ScoringView item_view_;
   std::vector<double> item_bias_;
   bool fitted_ = false;
+  int resume_round_ = 0;  ///< warm-start rounds run (seeds their streams)
 };
 
 }  // namespace logirec::baselines

@@ -3,11 +3,13 @@
 #include <cmath>
 
 #include "core/embedding.h"
+#include "core/train_resources.h"
 #include "hyper/lorentz.h"
 #include "math/kernels.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace logirec::baselines {
 
@@ -37,6 +39,67 @@ Status Hgcf::Fit(const data::Dataset& dataset, const data::Split& split) {
 
   core::Trainer trainer(config_);
   trainer.Train(this, split, dataset.num_items, &rng, this);
+  graph_.reset();
+  hgcn_.reset();
+  user_opt_.reset();
+  item_opt_.reset();
+  fu_ = math::Matrix();
+  fv_ = math::Matrix();
+  gfu_ = math::Matrix();
+  gfv_ = math::Matrix();
+  gu_ = math::Matrix();
+  gv_ = math::Matrix();
+  slots_ = core::PairGradSlots();
+  return Status::OK();
+}
+
+void Hgcf::CollectTrainerState(core::ParameterSet* state) {
+  state->Add(&user_);
+  state->Add(&item_);
+}
+
+Status Hgcf::ResumeFit(const data::Dataset& dataset,
+                       const data::Split& split, int epochs,
+                       const core::TrainResources* resources) {
+  const int d = config_.dim;
+  const int nu = dataset.num_users;
+  const int ni = dataset.num_items;
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        name() + "::ResumeFit needs a fitted or snapshot-restored model");
+  }
+  if (final_user_.rows() != nu || final_item_.rows() != ni) {
+    return Status::InvalidArgument(StrFormat(
+        "%s::ResumeFit: model is %dx%d users/items but the dataset has "
+        "%d/%d",
+        name().c_str(), final_user_.rows(), final_item_.rows(), nu, ni));
+  }
+  if (static_cast<int>(split.train.size()) != nu) {
+    return Status::InvalidArgument("split does not match dataset");
+  }
+  // Graceful fallback for scoring-only snapshots (no trainer-state
+  // trailer): seed the base tables from the propagated finals — valid
+  // hyperboloid points, so training proceeds from a sensible warm point.
+  if (user_.rows() != nu || user_.cols() != d + 1) user_ = final_user_;
+  if (item_.rows() != ni || item_.cols() != d + 1) item_ = final_item_;
+
+  graph_ = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+  hgcn_ = std::make_unique<core::HyperbolicGcn>(graph_.get(), config_.layers,
+                                                graph::Norm::kReceiver,
+                                                config_.num_threads);
+  user_opt_ = std::make_unique<opt::LorentzRsgd>(config_.learning_rate,
+                                                 config_.grad_clip);
+  item_opt_ = std::make_unique<opt::LorentzRsgd>(config_.learning_rate,
+                                                 config_.grad_clip);
+
+  core::TrainConfig cfg = config_;
+  if (epochs > 0) cfg.epochs = epochs;
+  cfg.seed = Rng::MixSeed(config_.seed ^ core::kWarmStartSeedSalt,
+                          static_cast<uint64_t>(++resume_round_));
+  Rng rng(cfg.seed);
+  core::Trainer trainer(cfg);
+  trainer.Train(this, split, ni, &rng, this,
+                resources != nullptr ? resources->sampler : nullptr);
   graph_.reset();
   hgcn_.reset();
   user_opt_.reset();

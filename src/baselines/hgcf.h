@@ -54,6 +54,17 @@ class Hgcf : public core::Recommender, private core::Trainable {
   void CollectScoringState(core::ParameterSet* state) override;
   Status FinalizeRestoredState() override;
 
+  // Warm-start fine-tuning: the snapshot scoring state holds the
+  // *post-GCN* embeddings, so the trainer-state trailer carries the base
+  // (pre-propagation) Lorentz tables. A scoring-only snapshot falls back
+  // to seeding the base tables from the propagated finals — still valid
+  // hyperboloid points, a degraded but functional warm start.
+  bool SupportsWarmStart() const override { return true; }
+  void CollectTrainerState(core::ParameterSet* state) override;
+  Status ResumeFit(const data::Dataset& dataset, const data::Split& split,
+                   int epochs = 0,
+                   const core::TrainResources* resources = nullptr) override;
+
  protected:
   /// Hook for HRCF: extra gradient contributions on the *final* (post-GCN)
   /// embeddings, added before backpropagation. Default: none.
@@ -83,6 +94,7 @@ class Hgcf : public core::Recommender, private core::Trainable {
   // Persistent per-batch scratch (capacity reused; freed after Fit()).
   math::Matrix fu_, fv_, gfu_, gfv_, gu_, gv_;
   core::PairGradSlots slots_;
+  int resume_round_ = 0;  ///< warm-start rounds run (seeds their streams)
 };
 
 /// HRCF (Yang et al. 2022): HGCF plus a hyperbolic geometric regularizer

@@ -43,6 +43,12 @@ class HyperbolicGcn {
 
   int layers() const { return propagator_.layers(); }
 
+  /// Streaming ingest: exposes the propagator so the pipeline can splice
+  /// new edges in place (GcnPropagator::ApplyEdgeUpdates) instead of
+  /// rebuilding the whole block. Tangent/scratch caches are shape-stable
+  /// under edge appends, so no other state needs invalidation.
+  graph::GcnPropagator* mutable_propagator() { return &propagator_; }
+
  private:
   graph::GcnPropagator propagator_;
   int num_threads_ = 0;

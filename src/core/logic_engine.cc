@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "core/logic_losses.h"
 #include "hyper/poincare.h"
@@ -197,6 +198,179 @@ LogicEngine::LogicEngine(const data::LogicalRelations& relations,
           (static_cast<uint32_t>(f->base + r) << 1) | 1u;
     }
   }
+}
+
+void LogicEngine::AppendRelations(const data::LogicalRelations& delta) {
+  const int old_mem = mem_.size();
+  const int old_hie = hie_.size();
+  const int old_exc = exc_.size();
+  const int old_int = int_.size();
+
+  if (options_.use_membership) {
+    for (const auto& [item, tag] : delta.memberships) {
+      mem_.x.push_back(item);
+      mem_.y.push_back(tag);
+      max_item_ = std::max(max_item_, item);
+      max_tag_ = std::max(max_tag_, tag);
+    }
+  }
+  if (options_.use_hierarchy) {
+    for (const data::HierarchyPair& h : delta.hierarchy) {
+      hie_.x.push_back(h.parent);
+      hie_.y.push_back(h.child);
+      max_tag_ = std::max({max_tag_, h.parent, h.child});
+    }
+  }
+  if (options_.use_exclusion) {
+    for (const data::ExclusionPair& e : delta.exclusions) {
+      exc_.x.push_back(e.a);
+      exc_.y.push_back(e.b);
+      max_tag_ = std::max({max_tag_, e.a, e.b});
+    }
+  }
+  if (options_.use_intersection) {
+    for (const data::IntersectionPair& p : delta.intersections) {
+      int_.x.push_back(p.a);
+      int_.y.push_back(p.b);
+      max_tag_ = std::max({max_tag_, p.a, p.b});
+    }
+  }
+  const int dm = mem_.size() - old_mem;
+  const int dh = hie_.size() - old_hie;
+  const int de = exc_.size() - old_exc;
+  const int di = int_.size() - old_int;
+  if (dm + dh + de + di == 0) return;
+
+  hie_.base = mem_.size();
+  exc_.base = hie_.base + hie_.size();
+  int_.base = exc_.base + exc_.size();
+  total_ = int_.base + int_.size();
+
+  // Renumber the existing tag entries to the new global indices in one
+  // pass: a relation that was global index g shifts by the number of new
+  // relations inserted into families BEFORE g's family. item_rels_ holds
+  // membership indices only (base 0, unchanged), so it never renumbers.
+  const uint32_t b1 = static_cast<uint32_t>(old_mem);
+  const uint32_t b2 = b1 + static_cast<uint32_t>(old_hie);
+  const uint32_t b3 = b2 + static_cast<uint32_t>(old_exc);
+  for (uint32_t& e : tag_entries_) {
+    const uint32_t g = e >> 1;
+    const uint32_t shift = g < b1 ? 0u
+                           : g < b2 ? static_cast<uint32_t>(dm)
+                           : g < b3 ? static_cast<uint32_t>(dm + dh)
+                                    : static_cast<uint32_t>(dm + dh + de);
+    e += shift << 1;
+  }
+
+  // Grow the destination CSR offsets when new ids extend the ranges
+  // (empty trailing rows, exactly as a rebuild would size them).
+  while (static_cast<int>(item_offsets_.size()) < max_item_ + 2) {
+    item_offsets_.push_back(item_offsets_.back());
+  }
+  while (static_cast<int>(tag_offsets_.size()) < max_tag_ + 2) {
+    tag_offsets_.push_back(tag_offsets_.back());
+  }
+
+  // Item CSR: the new membership relations carry the largest membership
+  // indices, so within each item row they belong at the tail — a
+  // back-to-front splice, then fill the gaps in relation order.
+  if (dm > 0) {
+    std::vector<int> add_item(item_offsets_.size() - 1, 0);
+    for (int r = old_mem; r < mem_.size(); ++r) ++add_item[mem_.x[r]];
+    item_rels_.resize(item_rels_.size() + dm);
+    long pref = dm;
+    for (int r = static_cast<int>(add_item.size()) - 1; r >= 0 && pref > 0;
+         --r) {
+      const long begin = item_offsets_[r];
+      const long end = item_offsets_[r + 1];
+      const long move = pref - add_item[r];
+      item_offsets_[r + 1] = static_cast<int>(end + pref);
+      if (move > 0 && end > begin) {
+        std::memmove(item_rels_.data() + begin + move,
+                     item_rels_.data() + begin,
+                     static_cast<size_t>(end - begin) * sizeof(int));
+      }
+      pref = move;
+    }
+    std::vector<int> fill(add_item.size(), 0);
+    for (size_t r = 0; r < add_item.size(); ++r) {
+      fill[r] = item_offsets_[r + 1] - add_item[r];
+    }
+    for (int r = old_mem; r < mem_.size(); ++r) {
+      item_rels_[fill[mem_.x[r]]++] = mem_.base + r;
+    }
+  }
+
+  // Tag CSR: new entries interleave with renumbered old ones (a new
+  // membership index sorts below an old hierarchy one), so each touched
+  // row gets a backward in-place sorted merge. Generating the new entries
+  // family by family in relation order yields them per row already
+  // ascending by encoded value — the rebuild ordering.
+  std::vector<int> add_tag(tag_offsets_.size() - 1, 0);
+  std::vector<std::vector<uint32_t>> fresh(tag_offsets_.size() - 1);
+  const auto push_tag = [&](int t, uint32_t encoded) {
+    fresh[t].push_back(encoded);
+    ++add_tag[t];
+  };
+  for (int r = old_mem; r < mem_.size(); ++r) {
+    push_tag(mem_.y[r], (static_cast<uint32_t>(mem_.base + r) << 1) | 1u);
+  }
+  const std::pair<const Family*, int> pair_families[] = {
+      {&hie_, old_hie}, {&exc_, old_exc}, {&int_, old_int}};
+  for (const auto& [f, old_size] : pair_families) {
+    for (int r = old_size; r < f->size(); ++r) {
+      push_tag(f->x[r], static_cast<uint32_t>(f->base + r) << 1);
+      push_tag(f->y[r], (static_cast<uint32_t>(f->base + r) << 1) | 1u);
+    }
+  }
+  long total_add = 0;
+  for (int a : add_tag) total_add += a;
+  if (total_add > 0) {
+    tag_entries_.resize(tag_entries_.size() + total_add);
+    long pref = total_add;
+    for (int t = static_cast<int>(add_tag.size()) - 1; t >= 0 && pref > 0;
+         --t) {
+      const long begin = tag_offsets_[t];
+      const long end = tag_offsets_[t + 1];
+      const long move = pref - add_tag[t];
+      tag_offsets_[t + 1] = static_cast<int>(end + pref);
+      long w = end + pref;  // one past the last write slot
+      long i = end;         // old payload read cursor (exclusive)
+      int j = add_tag[t];   // fresh read cursor (exclusive)
+      const std::vector<uint32_t>& ne = fresh[t];
+      while (j > 0) {
+        if (i > begin && tag_entries_[i - 1] > ne[j - 1]) {
+          tag_entries_[--w] = tag_entries_[--i];
+        } else {
+          tag_entries_[--w] = ne[--j];
+        }
+      }
+      if (move > 0 && i > begin) {
+        std::memmove(tag_entries_.data() + begin + move,
+                     tag_entries_.data() + begin,
+                     static_cast<size_t>(i - begin) * sizeof(uint32_t));
+      }
+      pref = move;
+    }
+  }
+}
+
+const std::vector<int>& LogicEngine::family_x(int family) const {
+  const Family* fams[] = {&mem_, &hie_, &exc_, &int_};
+  LOGIREC_CHECK(family >= 0 && family < 4);
+  return fams[family]->x;
+}
+
+const std::vector<int>& LogicEngine::family_y(int family) const {
+  const Family* fams[] = {&mem_, &hie_, &exc_, &int_};
+  LOGIREC_CHECK(family >= 0 && family < 4);
+  return fams[family]->y;
+}
+
+int LogicEngine::family_base(int family) const {
+  const Family* fams[] = {&mem_, &hie_, &exc_, &int_};
+  LOGIREC_CHECK(family >= 0 && family < 4);
+  return fams[family]->base;
 }
 
 long LogicEngine::relations_per_call() const {

@@ -81,6 +81,31 @@ class LogicEngine {
   /// (accounts for relation_batch).
   long relations_per_call() const;
 
+  /// Streaming ingest: appends `delta`'s relations (respecting the same
+  /// family switches as construction) to the store *incrementally* —
+  /// family SoA arrays extended, existing destination-CSR entries
+  /// renumbered in one pass to the new global indices, and the new
+  /// entries merged into their rows at the positions a from-scratch
+  /// rebuild over the concatenated relation set would give them, so the
+  /// updated engine is element-wise identical to
+  /// `LogicEngine(all_relations, options)` (asserted by the pipeline
+  /// property tests). The per-tag ball cache stays VALID: appends add
+  /// relations, not tag centers, so no rebuild is triggered unless the
+  /// tag matrix itself changes shape.
+  void AppendRelations(const data::LogicalRelations& delta);
+
+  /// Introspection for the incremental-equals-rebuild property tests.
+  /// `family` indexes (0 membership, 1 hierarchy, 2 exclusion,
+  /// 3 intersection); x/y are the SoA endpoint arrays, base the family's
+  /// first global relation slot.
+  const std::vector<int>& family_x(int family) const;
+  const std::vector<int>& family_y(int family) const;
+  int family_base(int family) const;
+  const std::vector<int>& item_offsets() const { return item_offsets_; }
+  const std::vector<int>& item_rels() const { return item_rels_; }
+  const std::vector<int>& tag_offsets() const { return tag_offsets_; }
+  const std::vector<uint32_t>& tag_entries() const { return tag_entries_; }
+
  private:
   enum Kind { kMembership = 0, kHierarchy, kExclusion, kIntersection };
 

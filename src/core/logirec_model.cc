@@ -8,6 +8,7 @@
 #include "core/logic_losses.h"
 #include "core/persistence.h"
 #include "core/shard_grads.h"
+#include "core/train_resources.h"
 #include "graph/propagation.h"
 #include "hyper/hyperplane.h"
 #include "hyper/lorentz.h"
@@ -27,21 +28,29 @@ using math::Matrix;
 
 /// Training-only resources. Exactly one of the {hgcn} / {prop} propagator
 /// pair and one optimizer family is populated, depending on
-/// config_.use_hyperbolic.
+/// config_.use_hyperbolic. The graph/propagator/logic structures come in
+/// owned/borrowed pairs: Fit() allocates the owned_* slots and points the
+/// raw views at them; ResumeFit() may instead borrow the pipeline's
+/// incrementally-maintained copies (core/train_resources.h), leaving the
+/// owned_* slots null. Batch code only ever touches the raw views.
 struct LogiRecModel::TrainState {
-  std::unique_ptr<graph::BipartiteGraph> graph;
+  std::unique_ptr<graph::BipartiteGraph> owned_graph;
+  std::unique_ptr<HyperbolicGcn> owned_hgcn;
+  std::unique_ptr<graph::GcnPropagator> owned_prop;
+  std::unique_ptr<LogicEngine> owned_logic;
+  const graph::BipartiteGraph* graph = nullptr;
   // Hyperbolic mode.
-  std::unique_ptr<HyperbolicGcn> hgcn;
+  HyperbolicGcn* hgcn = nullptr;
   std::unique_ptr<opt::LorentzRsgd> user_rsgd;
   std::unique_ptr<opt::PoincareRsgd> item_rsgd, tag_rsgd;
   Matrix item_lorentz;  // lifted items, num_items x (d+1)
   // Euclidean mode.
-  std::unique_ptr<graph::GcnPropagator> prop;
+  graph::GcnPropagator* prop = nullptr;
   std::unique_ptr<opt::SgdOptimizer> user_sgd, item_sgd, tag_sgd;
   bool identity = false;  // prop has zero layers
   // Batched executor of the logic-relation losses (SoA store + cached
   // per-tag balls + deterministic slot-fill/ordered-fold kernels).
-  std::unique_ptr<LogicEngine> logic;
+  LogicEngine* logic = nullptr;
   // The LogiRec++ granularity refresh runs once per epoch, on the first
   // batch that needs Alpha().
   int granularity_epoch = -1;
@@ -121,12 +130,15 @@ void LogiRecModel::FitHyperbolic(const data::Dataset& dataset,
   InitHyperplaneCenters(&tag_centers_, dataset.taxonomy, &rng);
 
   ts_ = std::make_unique<TrainState>();
-  ts_->graph = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
-  ts_->hgcn = std::make_unique<HyperbolicGcn>(
-      ts_->graph.get(), config_.use_hgcn ? config_.layers : 0,
+  ts_->owned_graph =
+      std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+  ts_->graph = ts_->owned_graph.get();
+  ts_->owned_hgcn = std::make_unique<HyperbolicGcn>(
+      ts_->graph, config_.use_hgcn ? config_.layers : 0,
       config_.symmetric_gcn_norm ? graph::Norm::kSymmetric
                                  : graph::Norm::kReceiver,
       config_.num_threads);
+  ts_->hgcn = ts_->owned_hgcn.get();
 
   if (config_.use_mining) {
     weighting_ = std::make_unique<UserWeighting>(
@@ -134,7 +146,8 @@ void LogiRecModel::FitHyperbolic(const data::Dataset& dataset,
         std::max(dataset.taxonomy.num_levels(), 1), config_.num_threads);
   }
 
-  ts_->logic = MakeLogicEngine(config_, relations_);
+  ts_->owned_logic = MakeLogicEngine(config_, relations_);
+  ts_->logic = ts_->owned_logic.get();
   ts_->user_rsgd = std::make_unique<opt::LorentzRsgd>(config_.learning_rate,
                                                       config_.grad_clip);
   ts_->item_rsgd = std::make_unique<opt::PoincareRsgd>(
@@ -168,10 +181,13 @@ void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
   InitHyperplaneCenters(&tag_centers_, dataset.taxonomy, &rng);
 
   ts_ = std::make_unique<TrainState>();
-  ts_->graph = std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
-  ts_->prop = std::make_unique<graph::GcnPropagator>(
-      ts_->graph.get(), config_.use_hgcn ? config_.layers : 0,
+  ts_->owned_graph =
+      std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+  ts_->graph = ts_->owned_graph.get();
+  ts_->owned_prop = std::make_unique<graph::GcnPropagator>(
+      ts_->graph, config_.use_hgcn ? config_.layers : 0,
       graph::Norm::kReceiver, config_.num_threads);
+  ts_->prop = ts_->owned_prop.get();
   ts_->identity = (ts_->prop->layers() == 0);
 
   if (config_.use_mining) {
@@ -180,7 +196,8 @@ void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
         std::max(dataset.taxonomy.num_levels(), 1), config_.num_threads);
   }
 
-  ts_->logic = MakeLogicEngine(config_, relations_);
+  ts_->owned_logic = MakeLogicEngine(config_, relations_);
+  ts_->logic = ts_->owned_logic.get();
   ts_->user_sgd = std::make_unique<opt::SgdOptimizer>(
       config_.learning_rate, config_.l2, config_.grad_clip);
   ts_->item_sgd = std::make_unique<opt::SgdOptimizer>(
@@ -196,6 +213,148 @@ void LogiRecModel::FitEuclidean(const data::Dataset& dataset,
 double LogiRecModel::TrainOnBatch(const BatchContext& ctx) {
   return config_.use_hyperbolic ? TrainOnBatchHyperbolic(ctx)
                                 : TrainOnBatchEuclidean(ctx);
+}
+
+void LogiRecModel::CollectTrainerState(ParameterSet* state) {
+  // The scoring state already persists item_poincare_ and tag_centers_;
+  // the only training parameter missing from it is the pre-propagation
+  // user table of the active geometry.
+  if (config_.use_hyperbolic) {
+    state->Add(&user_lorentz_);
+  } else {
+    state->Add(&user_euclidean_);
+  }
+}
+
+Status LogiRecModel::ResumeFit(const data::Dataset& dataset,
+                               const data::Split& split, int epochs,
+                               const TrainResources* resources) {
+  const int d = config_.dim;
+  const int nu = dataset.num_users;
+  const int ni = dataset.num_items;
+  const int nt = dataset.taxonomy.num_tags();
+  if (nu <= 0 || ni <= 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (static_cast<int>(split.train.size()) != nu) {
+    return Status::InvalidArgument("split does not match dataset");
+  }
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        name() + "::ResumeFit needs a fitted or snapshot-restored model");
+  }
+  if (item_poincare_.rows() != ni || item_poincare_.cols() != d) {
+    return Status::InvalidArgument(StrFormat(
+        "%s::ResumeFit: item table is %dx%d but the dataset/config wants "
+        "%dx%d",
+        name().c_str(), item_poincare_.rows(), item_poincare_.cols(), ni,
+        d));
+  }
+  if (tag_centers_.rows() != nt) {
+    return Status::InvalidArgument(StrFormat(
+        "%s::ResumeFit: tag table has %d rows but the taxonomy has %d "
+        "tags",
+        name().c_str(), tag_centers_.rows(), nt));
+  }
+
+  // Relation store: borrow the pipeline's incrementally-grown set when
+  // provided, else re-extract from the dataset exactly as Fit() does.
+  if (resources != nullptr && resources->relations != nullptr) {
+    relations_ = *resources->relations;
+  } else {
+    relations_ = dataset.ExtractRelations(
+        config_.exclusion_overlap_tolerance,
+        config_.use_intersection ? config_.intersection_min_support : 0);
+  }
+
+  // Fresh deterministic streams per resume round (see kWarmStartSeedSalt).
+  LogiRecConfig cfg = config_;
+  if (epochs > 0) cfg.epochs = epochs;
+  cfg.seed = Rng::MixSeed(config_.seed ^ kWarmStartSeedSalt,
+                          static_cast<uint64_t>(++resume_round_));
+  Rng rng(cfg.seed);
+
+  // Graceful fallback for scoring-only snapshots: the trainer-state
+  // trailer carries the pre-propagation user table; without it, the
+  // table re-initializes fresh while items/tags keep their restored
+  // logic-constrained positions.
+  if (config_.use_hyperbolic) {
+    if (user_lorentz_.rows() != nu || user_lorentz_.cols() != d + 1) {
+      user_lorentz_ = Matrix(nu, d + 1);
+      InitLorentzRows(&user_lorentz_, &rng, 0.05);
+    }
+  } else if (user_euclidean_.rows() != nu || user_euclidean_.cols() != d) {
+    user_euclidean_ = Matrix(nu, d);
+    user_euclidean_.FillGaussian(&rng, 0.05);
+  }
+
+  ts_ = std::make_unique<TrainState>();
+  if (config_.use_hyperbolic) {
+    if (resources != nullptr && resources->hgcn != nullptr) {
+      ts_->graph = resources->graph;
+      ts_->hgcn = resources->hgcn;
+    } else {
+      ts_->owned_graph =
+          std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+      ts_->graph = ts_->owned_graph.get();
+      ts_->owned_hgcn = std::make_unique<HyperbolicGcn>(
+          ts_->graph, config_.use_hgcn ? config_.layers : 0,
+          config_.symmetric_gcn_norm ? graph::Norm::kSymmetric
+                                     : graph::Norm::kReceiver,
+          config_.num_threads);
+      ts_->hgcn = ts_->owned_hgcn.get();
+    }
+    ts_->user_rsgd = std::make_unique<opt::LorentzRsgd>(
+        config_.learning_rate, config_.grad_clip);
+    ts_->item_rsgd = std::make_unique<opt::PoincareRsgd>(
+        config_.learning_rate, config_.grad_clip, config_.use_eq17_exp_map);
+    ts_->tag_rsgd = std::make_unique<opt::PoincareRsgd>(
+        config_.learning_rate, config_.grad_clip, config_.use_eq17_exp_map);
+    ts_->item_lorentz = Matrix(ni, d + 1);
+  } else {
+    if (resources != nullptr && resources->propagator != nullptr) {
+      ts_->graph = resources->graph;
+      ts_->prop = resources->propagator;
+    } else {
+      ts_->owned_graph =
+          std::make_unique<graph::BipartiteGraph>(nu, ni, split.train);
+      ts_->graph = ts_->owned_graph.get();
+      ts_->owned_prop = std::make_unique<graph::GcnPropagator>(
+          ts_->graph, config_.use_hgcn ? config_.layers : 0,
+          graph::Norm::kReceiver, config_.num_threads);
+      ts_->prop = ts_->owned_prop.get();
+    }
+    ts_->identity = (ts_->prop->layers() == 0);
+    ts_->user_sgd = std::make_unique<opt::SgdOptimizer>(
+        config_.learning_rate, config_.l2, config_.grad_clip);
+    ts_->item_sgd = std::make_unique<opt::SgdOptimizer>(
+        config_.learning_rate, config_.l2, config_.grad_clip);
+    ts_->tag_sgd = std::make_unique<opt::SgdOptimizer>(
+        config_.learning_rate, 0.0, config_.grad_clip);
+  }
+
+  if (config_.use_mining) {
+    weighting_ = std::make_unique<UserWeighting>(
+        dataset, split.train, relations_,
+        std::max(dataset.taxonomy.num_levels(), 1), config_.num_threads);
+  }
+
+  if (resources != nullptr && resources->logic != nullptr) {
+    ts_->logic = resources->logic;
+    // The borrowed engine's ball cache may describe centers from a prior
+    // round; force a rebuild before the first deterministic pass.
+    ts_->logic->MarkTagsDirty();
+  } else {
+    ts_->owned_logic = MakeLogicEngine(config_, relations_);
+    ts_->logic = ts_->owned_logic.get();
+  }
+
+  Trainer trainer(cfg);
+  trainer.Train(this, split, ni, &rng, this,
+                resources != nullptr ? resources->sampler : nullptr);
+  ts_.reset();
+  fitted_ = true;
+  return Status::OK();
 }
 
 double LogiRecModel::LogicLossesAndGrads(const BatchContext& ctx, Matrix* gv,

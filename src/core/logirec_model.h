@@ -108,6 +108,19 @@ class LogiRecModel final : public Recommender, private Trainable {
   }
   Status ApplySnapshotFlags(uint32_t flags) override;
 
+  // Warm-start fine-tuning: the scoring state already carries the
+  // logic-constrained Poincaré items and tag centers; the trainer-state
+  // trailer adds the pre-propagation user table (Lorentz or Euclidean
+  // per the ablation flag). ResumeFit borrows the pipeline's
+  // incrementally-maintained graph/propagator/logic/sampler when
+  // provided and rebuilds whatever is missing; a scoring-only snapshot
+  // degrades gracefully by re-initializing the user table.
+  bool SupportsWarmStart() const override { return true; }
+  void CollectTrainerState(ParameterSet* state) override;
+  Status ResumeFit(const data::Dataset& dataset, const data::Split& split,
+                   int epochs = 0,
+                   const TrainResources* resources = nullptr) override;
+
   const LogiRecConfig& config() const { return config_; }
 
   /// For visualization we expose the logic-constrained Poincaré item
@@ -189,6 +202,7 @@ class LogiRecModel final : public Recommender, private Trainable {
   std::unique_ptr<UserWeighting> weighting_;
   std::unique_ptr<TrainState> ts_;
   bool fitted_ = false;
+  int resume_round_ = 0;  ///< warm-start rounds run (seeds their streams)
 };
 
 }  // namespace logirec::core

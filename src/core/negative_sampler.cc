@@ -16,6 +16,15 @@ NegativeSampler::NegativeSampler(
   }
 }
 
+void NegativeSampler::AddPositive(int user, int item) {
+  LOGIREC_CHECK(user >= 0 && user < static_cast<int>(positives_.size()));
+  LOGIREC_CHECK(item >= 0 && item < num_items_);
+  std::vector<int>& pos = positives_[user];
+  const auto at = std::lower_bound(pos.begin(), pos.end(), item);
+  if (at != pos.end() && *at == item) return;
+  pos.insert(at, item);
+}
+
 int NegativeSampler::Sample(int user, Rng* rng) const {
   int candidate = rng->UniformInt(num_items_);
   for (int attempt = 0; attempt < 32; ++attempt) {

@@ -33,6 +33,21 @@ class NegativeSampler {
     return std::binary_search(pos.begin(), pos.end(), item);
   }
 
+  /// Streaming ingest: marks `item` positive for `user` (sorted insert;
+  /// duplicates are ignored). After the call the table equals one built
+  /// from scratch on the extended training fold — element-wise, since
+  /// both paths store sorted deduplicated rows. NOT thread-safe against
+  /// concurrent Sample() calls; ingest and training alternate phases.
+  void AddPositive(int user, int item);
+
+  /// The sorted positive-item row for `user` (incremental-equals-rebuild
+  /// property tests compare these directly).
+  const std::vector<int>& positives(int user) const {
+    return positives_[user];
+  }
+  int num_users() const { return static_cast<int>(positives_.size()); }
+  int num_items() const { return num_items_; }
+
  private:
   int num_items_;
   std::vector<std::vector<int>> positives_;  ///< sorted, deduplicated

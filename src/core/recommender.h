@@ -12,7 +12,8 @@
 
 namespace logirec::core {
 
-class TrainObserver;  // core/trainer.h
+class TrainObserver;     // core/trainer.h
+struct TrainResources;   // core/train_resources.h
 
 /// Mutable views of a model's tensor state, in a fixed model-defined
 /// order. Two enumerations hand these out: Trainable::CollectParameters()
@@ -167,6 +168,43 @@ class Recommender : public eval::Scorer {
   virtual Status FinalizeRestoredState() {
     return Status::FailedPrecondition(name() +
                                       " does not support snapshot restore");
+  }
+
+  // --- warm-start fine-tuning (continuous-learning pipeline) -----------
+  //
+  // A warm start resumes training from the model's current tensor state
+  // instead of a fresh random init: restore a snapshot (scoring state
+  // plus, when present, the trainer-state trailer), then call ResumeFit
+  // on the grown dataset. Models advertise support explicitly so the
+  // pipeline can fail fast instead of silently cold-starting.
+
+  /// True when ResumeFit is implemented for this model.
+  virtual bool SupportsWarmStart() const { return false; }
+
+  /// Registers the *training-parameter* tensors a warm start must carry
+  /// beyond the scoring state (pre-propagation embeddings, optimizer
+  /// moments), persisted as the optional trainer-state trailer of a
+  /// snapshot (ModelSnapshot::Write with include_trainer_state). The
+  /// default registers nothing — models whose scoring state already IS
+  /// the full training state (BPRMF) resume from the snapshot alone.
+  virtual void CollectTrainerState(ParameterSet* state) { (void)state; }
+
+  /// Resumes training from the current state for `epochs` epochs
+  /// (<= 0 uses the construction-time epoch budget). `resources`
+  /// optionally lends incrementally-maintained training structures (see
+  /// core/train_resources.h); models rebuild whatever is not provided.
+  /// Each resume round draws from fresh deterministic streams — metrics
+  /// after K resumes are a pure function of (seed, window schedule),
+  /// independent of thread count.
+  virtual Status ResumeFit(const data::Dataset& dataset,
+                           const data::Split& split, int epochs = 0,
+                           const TrainResources* resources = nullptr) {
+    (void)dataset;
+    (void)split;
+    (void)epochs;
+    (void)resources;
+    return Status::FailedPrecondition(
+        name() + " does not support warm-start fine-tuning");
   }
 
   /// Model-specific config bits persisted in the snapshot header (e.g.

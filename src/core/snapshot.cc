@@ -221,7 +221,8 @@ Result<SnapshotDtype> ParseSnapshotDtype(const std::string& name) {
 }
 
 Status ModelSnapshot::Write(Recommender& model, SnapshotHeader header,
-                            const std::string& path, SnapshotDtype dtype) {
+                            const std::string& path, SnapshotDtype dtype,
+                            bool include_trainer_state) {
   ParameterSet state;
   model.CollectScoringState(&state);
   if (state.empty()) {
@@ -300,6 +301,42 @@ Status ModelSnapshot::Write(Recommender& model, SnapshotHeader header,
     const size_t bytes = block.size() * sizeof(double);
     PutU32(&buf, Crc32(block.data(), bytes));
     PutBytes(&buf, block.data(), bytes);
+  }
+
+  if (include_trainer_state) {
+    // Optional trainer-state trailer: always exact f64 (v1-style records)
+    // regardless of the scoring dtype — a lossy resume point would break
+    // the determinism contract. Models registering nothing keep the file
+    // byte-identical to a plain scoring snapshot.
+    ParameterSet tstate;
+    model.CollectTrainerState(&tstate);
+    if (!tstate.empty()) {
+      PutU32(&buf, kTrailerMagic);
+      PutU32(&buf, static_cast<uint32_t>(tstate.matrices.size()));
+      PutU32(&buf, static_cast<uint32_t>(tstate.vectors.size()));
+      PutU32(&buf, static_cast<uint32_t>(tstate.scalars.size()));
+      for (const math::Matrix* m : tstate.matrices) {
+        PutI32(&buf, m->rows());
+        PutI32(&buf, m->cols());
+        const size_t bytes = m->data().size() * sizeof(double);
+        PutU32(&buf, Crc32(m->data().data(), bytes));
+        PutBytes(&buf, m->data().data(), bytes);
+      }
+      for (const math::Vec* v : tstate.vectors) {
+        PutI32(&buf, static_cast<int32_t>(v->size()));
+        const size_t bytes = v->size() * sizeof(double);
+        PutU32(&buf, Crc32(v->data(), bytes));
+        PutBytes(&buf, v->data(), bytes);
+      }
+      if (!tstate.scalars.empty()) {
+        std::vector<double> block;
+        block.reserve(tstate.scalars.size());
+        for (const double* s : tstate.scalars) block.push_back(*s);
+        const size_t bytes = block.size() * sizeof(double);
+        PutU32(&buf, Crc32(block.data(), bytes));
+        PutBytes(&buf, block.data(), bytes);
+      }
+    }
   }
 
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -533,9 +570,123 @@ Result<std::unique_ptr<Recommender>> ModelSnapshot::Read(
     }
   }
   if (cur.pos() != buf.size()) {
-    return Status::IoError(StrFormat(
-        "%zu trailing bytes after the last tensor in %s",
-        buf.size() - cur.pos(), path.c_str()));
+    // Anything after the last scoring tensor must be the optional
+    // trainer-state trailer; other trailing bytes are corruption.
+    const size_t trailing = buf.size() - cur.pos();
+    uint32_t trailer_magic = 0;
+    if (trailing < sizeof(uint32_t) || !cur.ReadU32(&trailer_magic) ||
+        trailer_magic != kTrailerMagic) {
+      return Status::IoError(StrFormat(
+          "%zu trailing bytes after the last tensor in %s", trailing,
+          path.c_str()));
+    }
+    uint32_t tn_matrices = 0, tn_vectors = 0, tn_scalars = 0;
+    if (!cur.ReadU32(&tn_matrices) || !cur.ReadU32(&tn_vectors) ||
+        !cur.ReadU32(&tn_scalars)) {
+      return cur.error();
+    }
+    ParameterSet tstate;
+    (*model)->CollectTrainerState(&tstate);
+    if (tstate.matrices.size() != tn_matrices ||
+        tstate.vectors.size() != tn_vectors ||
+        tstate.scalars.size() != tn_scalars) {
+      return Status::IoError(StrFormat(
+          "trainer-state trailer in %s carries %u/%u/%u tensors but %s "
+          "enumerates %zu/%zu/%zu — incompatible snapshot",
+          path.c_str(), tn_matrices, tn_vectors, tn_scalars,
+          header.model.c_str(), tstate.matrices.size(),
+          tstate.vectors.size(), tstate.scalars.size()));
+    }
+    for (size_t i = 0; i < tstate.matrices.size(); ++i) {
+      int32_t rows = 0, cols = 0;
+      uint32_t crc = 0;
+      if (!cur.ReadI32(&rows) || !cur.ReadI32(&cols) || !cur.ReadU32(&crc)) {
+        return cur.error();
+      }
+      if (rows < 0 || cols < 0) {
+        return Status::IoError(StrFormat(
+            "trainer matrix %zu in %s has negative shape %dx%d", i,
+            path.c_str(), rows, cols));
+      }
+      math::Matrix* dst = tstate.matrices[i];
+      if (dst->rows() > 0 && (dst->rows() != rows || dst->cols() != cols)) {
+        return Status::IoError(StrFormat(
+            "trainer matrix %zu in %s is %dx%d but %s expects %dx%d", i,
+            path.c_str(), rows, cols, header.model.c_str(), dst->rows(),
+            dst->cols()));
+      }
+      const size_t count =
+          static_cast<size_t>(rows) * static_cast<size_t>(cols);
+      const size_t bytes = count * sizeof(double);
+      const unsigned char* payload =
+          cur.ReadSpan(bytes, "trainer matrix payload");
+      if (payload == nullptr) return cur.error();
+      if (Crc32(payload, bytes) != crc) {
+        return Status::IoError(StrFormat(
+            "trainer matrix %zu checksum mismatch in %s (corrupted "
+            "snapshot)",
+            i, path.c_str()));
+      }
+      dst->Reset(rows, cols);
+      std::memcpy(dst->data().data(), payload, bytes);
+      LOGIREC_RETURN_IF_ERROR(CheckFinite(dst->data().data(), count,
+                                          "trainer matrix", i, path));
+    }
+    for (size_t i = 0; i < tstate.vectors.size(); ++i) {
+      int32_t len = 0;
+      uint32_t crc = 0;
+      if (!cur.ReadI32(&len) || !cur.ReadU32(&crc)) return cur.error();
+      if (len < 0) {
+        return Status::IoError(StrFormat(
+            "trainer vector %zu in %s has negative length %d", i,
+            path.c_str(), len));
+      }
+      math::Vec* dst = tstate.vectors[i];
+      if (!dst->empty() && static_cast<int32_t>(dst->size()) != len) {
+        return Status::IoError(StrFormat(
+            "trainer vector %zu in %s has length %d but %s expects %zu", i,
+            path.c_str(), len, header.model.c_str(), dst->size()));
+      }
+      const size_t bytes = static_cast<size_t>(len) * sizeof(double);
+      const unsigned char* payload =
+          cur.ReadSpan(bytes, "trainer vector payload");
+      if (payload == nullptr) return cur.error();
+      if (Crc32(payload, bytes) != crc) {
+        return Status::IoError(StrFormat(
+            "trainer vector %zu checksum mismatch in %s (corrupted "
+            "snapshot)",
+            i, path.c_str()));
+      }
+      dst->resize(len);
+      std::memcpy(dst->data(), payload, bytes);
+      LOGIREC_RETURN_IF_ERROR(CheckFinite(
+          dst->data(), static_cast<size_t>(len), "trainer vector", i, path));
+    }
+    if (!tstate.scalars.empty()) {
+      uint32_t crc = 0;
+      if (!cur.ReadU32(&crc)) return cur.error();
+      const size_t bytes = tstate.scalars.size() * sizeof(double);
+      const unsigned char* payload =
+          cur.ReadSpan(bytes, "trainer scalar block");
+      if (payload == nullptr) return cur.error();
+      if (Crc32(payload, bytes) != crc) {
+        return Status::IoError("trainer scalar block checksum mismatch in " +
+                               path);
+      }
+      std::vector<double> block(tstate.scalars.size());
+      std::memcpy(block.data(), payload, bytes);
+      LOGIREC_RETURN_IF_ERROR(CheckFinite(block.data(), block.size(),
+                                          "trainer scalar block", 0, path));
+      for (size_t i = 0; i < tstate.scalars.size(); ++i) {
+        *tstate.scalars[i] = block[i];
+      }
+    }
+    if (cur.pos() != buf.size()) {
+      return Status::IoError(StrFormat(
+          "%zu trailing bytes after the trainer-state trailer in %s",
+          buf.size() - cur.pos(), path.c_str()));
+    }
+    header.has_trainer_state = true;
   }
 
   LOGIREC_RETURN_IF_ERROR((*model)->FinalizeRestoredState());

@@ -37,6 +37,10 @@ struct SnapshotHeader {
   /// keeping them exact costs nothing.
   SnapshotDtype dtype = SnapshotDtype::kF64;
   uint64_t file_bytes = 0;  ///< on-disk size, filled by Peek/Read
+  /// True when the file carries the optional trainer-state trailer and
+  /// Read() restored it into the model (warm-start resumes exactly).
+  /// Filled by Read() only — Peek() stops at the header and leaves false.
+  bool has_trainer_state = false;
 };
 
 /// Constructs an untrained model by zoo name — the signature of
@@ -72,6 +76,23 @@ using ModelFactory = std::function<Result<std::unique_ptr<Recommender>>(
 /// so the back-compat path is exercised by every f64 round trip — and
 /// version 2 for compact dtypes. Read() accepts both.
 ///
+/// Either version may append an OPTIONAL trainer-state trailer (written
+/// when include_trainer_state is set and the model registers trainer
+/// state via Recommender::CollectTrainerState), so a warm-start resume
+/// recovers the exact pre-propagation training parameters:
+///
+///   u32 trailer magic "LRTr"
+///   u32 n_matrices   u32 n_vectors   u32 n_scalars   (trainer state)
+///   per matrix:  i32 rows, i32 cols, u32 crc32, f64 payload (row-major)
+///   per vector:  i32 len,            u32 crc32, f64 payload
+///   scalar blk:  (n_scalars > 0)     u32 crc32, f64 payload
+///
+/// Trailer tensors always store exact f64 regardless of the header dtype
+/// — a lossy resume point would break the determinism contract. Read()
+/// restores the trailer when present (header_out->has_trainer_state) and
+/// falls back gracefully on scoring-only snapshots: the trainer-state
+/// tensors simply stay empty and ResumeFit re-initializes them.
+///
 /// The payload tensors are the model's *scoring-ready* state, walked via
 /// Recommender::CollectScoringState() in its fixed enumeration order, so
 /// a restored f64 model scores bit-identically to the saved one without
@@ -90,15 +111,22 @@ class ModelSnapshot {
   static constexpr uint32_t kVersion = 1;
   /// Version written for kF32/kInt8 (per-tensor dtype tags).
   static constexpr uint32_t kVersionCompact = 2;
+  /// Magic of the optional trainer-state trailer.
+  static constexpr uint32_t kTrailerMagic = 0x7254524Cu;  // "LRTr"
 
   /// Serializes `model`'s scoring state to `path` (overwriting).
   /// `header.model` and `header.flags` are filled from the model; the
   /// caller supplies dim/layers/num_users/num_items. `dtype` selects the
   /// matrix storage precision (vectors/scalars always store f64). Fails
-  /// on models that register no scoring state.
+  /// on models that register no scoring state. When
+  /// `include_trainer_state` is set and the model registers trainer
+  /// state, the exact-f64 trailer is appended so ResumeFit resumes from
+  /// the identical optimization point; models registering nothing write
+  /// the same bytes as before (no empty trailer).
   static Status Write(Recommender& model, SnapshotHeader header,
                       const std::string& path,
-                      SnapshotDtype dtype = SnapshotDtype::kF64);
+                      SnapshotDtype dtype = SnapshotDtype::kF64,
+                      bool include_trainer_state = false);
 
   /// Reads and validates the header only (magic, version, header CRC).
   static Result<SnapshotHeader> Peek(const std::string& path);

@@ -1,0 +1,52 @@
+#ifndef LOGIREC_CORE_TRAIN_RESOURCES_H_
+#define LOGIREC_CORE_TRAIN_RESOURCES_H_
+
+#include <cstdint>
+
+namespace logirec::graph {
+class BipartiteGraph;
+class GcnPropagator;
+}  // namespace logirec::graph
+
+namespace logirec::data {
+struct LogicalRelations;
+}  // namespace logirec::data
+
+namespace logirec::core {
+
+class HyperbolicGcn;
+class LogicEngine;
+class NegativeSampler;
+
+/// Salt mixed into the model seed for warm-start fine-tune rounds, so
+/// every resume draws from streams distinct from the original Fit() and
+/// from every other round while staying a pure function of (seed, round).
+constexpr uint64_t kWarmStartSeedSalt = 0x7761726dULL;  // "warm"
+
+/// Borrowed training resources for Recommender::ResumeFit — the
+/// continuous-learning pipeline maintains these incrementally across
+/// streaming windows (graph edge splices, sampler positive inserts, logic
+/// relation appends) so a warm-start fine-tune does not rebuild them from
+/// scratch. All pointers are non-owning and optional: a null field makes
+/// the model construct its own copy from the dataset/split, exactly as
+/// Fit() would. Borrowed structures must be consistent with `split.train`
+/// and with the model's config (propagator layers/norm must match), and
+/// stay alive for the duration of the ResumeFit call.
+struct TrainResources {
+  const graph::BipartiteGraph* graph = nullptr;
+  /// Euclidean-mode propagation block (LogiRec "w/o Hyper").
+  graph::GcnPropagator* propagator = nullptr;
+  /// Hyperbolic-mode propagation block (LogiRec, HGCF-family).
+  HyperbolicGcn* hgcn = nullptr;
+  /// Incrementally-grown logic relation store (LogiRec only).
+  LogicEngine* logic = nullptr;
+  /// Incrementally-maintained positive tables for negative sampling.
+  NegativeSampler* sampler = nullptr;
+  /// The relation set `logic` was grown with (LogiRec keeps a copy for
+  /// its mining/weighting state and diagnostics).
+  const data::LogicalRelations* relations = nullptr;
+};
+
+}  // namespace logirec::core
+
+#endif  // LOGIREC_CORE_TRAIN_RESOURCES_H_

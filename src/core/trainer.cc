@@ -41,10 +41,15 @@ struct Checkpoint {
 
 TrainSummary Trainer::Train(Trainable* model, const data::Split& split,
                             int num_items, Rng* rng,
-                            const eval::Scorer* val_scorer) {
+                            const eval::Scorer* val_scorer,
+                            NegativeSampler* sampler) {
   LOGIREC_CHECK(model != nullptr && rng != nullptr);
   Timer total_timer;
-  NegativeSampler sampler(num_items, split.train);
+  std::unique_ptr<NegativeSampler> owned_sampler;
+  if (sampler == nullptr) {
+    owned_sampler = std::make_unique<NegativeSampler>(num_items, split.train);
+    sampler = owned_sampler.get();
+  }
 
   const bool early_stop =
       config_.early_stopping_patience > 0 && val_scorer != nullptr;
@@ -92,7 +97,7 @@ TrainSummary Trainer::Train(Trainable* model, const data::Split& split,
           const int user = pairs[i].first;
           for (int k = 0; k < draws; ++k) {
             negatives[static_cast<size_t>(i) * draws + k] =
-                sampler.Sample(user, &shard_rng);
+                sampler->Sample(user, &shard_rng);
           }
         }
       }, config_.num_threads);
@@ -109,7 +114,7 @@ TrainSummary Trainer::Train(Trainable* model, const data::Split& split,
                        b0,
                        b1,
                        deterministic ? &aux_rng : rng,
-                       &sampler,
+                       sampler,
                        config_.num_threads,
                        config_.grad_clip,
                        config_.parallel_mode,

@@ -166,9 +166,15 @@ class Trainer {
   /// unbroken. `val_scorer` — normally the model itself — is probed on
   /// the validation fold every `eval_every` epochs when
   /// `early_stopping_patience > 0`; passing null disables early stopping.
+  /// `sampler` optionally injects a caller-owned NegativeSampler (the
+  /// continuous-learning pipeline maintains one incrementally across
+  /// windows); it must be consistent with `split.train` and `num_items`.
+  /// Null builds a fresh sampler from the split — draws are identical
+  /// either way, so injection never changes metrics.
   TrainSummary Train(Trainable* model, const data::Split& split,
                      int num_items, Rng* rng,
-                     const eval::Scorer* val_scorer = nullptr);
+                     const eval::Scorer* val_scorer = nullptr,
+                     NegativeSampler* sampler = nullptr);
 
  private:
   TrainConfig config_;

@@ -53,6 +53,47 @@ Status Dataset::Validate() const {
   return Status::OK();
 }
 
+void Dataset::SyncAppendIndex() const {
+  if (static_cast<int>(append_index_.size()) != num_users ||
+      append_indexed_ > interactions.size()) {
+    append_index_.assign(static_cast<size_t>(std::max(num_users, 0)), {});
+    append_indexed_ = 0;
+  }
+  for (; append_indexed_ < interactions.size(); ++append_indexed_) {
+    const Interaction& x = interactions[append_indexed_];
+    if (x.user < 0 || x.user >= num_users) continue;  // Validate() reports
+    std::vector<int>& row = append_index_[x.user];
+    row.insert(std::lower_bound(row.begin(), row.end(), x.item), x.item);
+  }
+}
+
+Status Dataset::Append(const Interaction& interaction) {
+  if (interaction.user < 0 || interaction.user >= num_users) {
+    return Status::OutOfRange(StrFormat(
+        "cannot append interaction: user id %d outside [0, %d)",
+        interaction.user, num_users));
+  }
+  if (interaction.item < 0 || interaction.item >= num_items) {
+    return Status::OutOfRange(StrFormat(
+        "cannot append interaction: item id %d outside [0, %d)",
+        interaction.item, num_items));
+  }
+  SyncAppendIndex();
+  std::vector<int>& row = append_index_[interaction.user];
+  const auto at =
+      std::lower_bound(row.begin(), row.end(), interaction.item);
+  if (at != row.end() && *at == interaction.item) {
+    return Status::AlreadyExists(StrFormat(
+        "interaction (user=%d, item=%d) already present — duplicate "
+        "pairs would corrupt the user-item CSRs",
+        interaction.user, interaction.item));
+  }
+  row.insert(at, interaction.item);
+  interactions.push_back(interaction);
+  append_indexed_ = interactions.size();
+  return Status::OK();
+}
+
 long Split::TrainSize() const {
   long n = 0;
   for (const auto& items : train) n += static_cast<long>(items.size());

@@ -59,6 +59,27 @@ struct Dataset {
   /// Validates index ranges; returns an error describing the first
   /// violation found.
   Status Validate() const;
+
+  /// Appends one interaction, rejecting out-of-range user/item ids
+  /// (kOutOfRange) and duplicate (user, item) pairs (kAlreadyExists) with
+  /// descriptive errors instead of silently corrupting the downstream
+  /// CSRs (graph adjacency, sampler tables, seen-item masks all assume
+  /// the pair set is duplicate-free). Membership is probed through a
+  /// lazily built per-user sorted index that stays in sync across
+  /// appends, so a streaming ingest pays O(log n_u) per probe — not a
+  /// rescan of the interaction log. Mutating `interactions` directly
+  /// invalidates the index only when its size shrinks; streaming flows
+  /// must funnel every insertion through Append().
+  Status Append(const Interaction& interaction);
+
+ private:
+  /// Folds interactions appended since the last call into the duplicate
+  /// index, rebuilding from scratch when the log shrank or user count
+  /// changed underneath it.
+  void SyncAppendIndex() const;
+
+  mutable std::vector<std::vector<int>> append_index_;  ///< per-user, sorted
+  mutable size_t append_indexed_ = 0;  ///< interactions folded into the index
 };
 
 /// Train/validation/test splits as per-user item id lists, ordered by

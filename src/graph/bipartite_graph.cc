@@ -1,5 +1,7 @@
 #include "graph/bipartite_graph.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace logirec::graph {
@@ -16,6 +18,20 @@ BipartiteGraph::BipartiteGraph(
       ++num_edges_;
     }
   }
+}
+
+void BipartiteGraph::AddEdge(int user, int item) {
+  LOGIREC_CHECK(user >= 0 && user < num_users());
+  LOGIREC_CHECK(item >= 0 && item < num_items());
+  user_items_[user].push_back(item);
+  // The item row must stay user-ascending: the bulk constructor visits
+  // users in increasing order and each (user, item) pair is unique, so a
+  // from-scratch rebuild over the extended per-user rows yields sorted
+  // item rows. Inserting in position (rather than tail-appending) keeps
+  // the incremental graph element-wise identical to that rebuild.
+  std::vector<int>& row = item_users_[item];
+  row.insert(std::lower_bound(row.begin(), row.end(), user), user);
+  ++num_edges_;
 }
 
 }  // namespace logirec::graph

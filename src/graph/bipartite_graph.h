@@ -32,6 +32,16 @@ class BipartiteGraph {
 
   long num_edges() const { return num_edges_; }
 
+  /// Streaming ingest: adds the edge (user, item) to both adjacency
+  /// lists, preserving the exact row orders a from-scratch construction
+  /// over the extended per-user lists would produce — the user row in
+  /// insertion order, the item row user-ascending. CSR-flattening
+  /// consumers (GcnPropagator) rely on this to stay element-wise
+  /// identical to a rebuild. The caller guarantees the edge is not
+  /// already present (data::Dataset::Append rejects duplicates
+  /// upstream). NOT thread-safe; ingest and propagation alternate phases.
+  void AddEdge(int user, int item);
+
  private:
   std::vector<std::vector<int>> user_items_;
   std::vector<std::vector<int>> item_users_;

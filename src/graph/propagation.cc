@@ -1,6 +1,8 @@
 #include "graph/propagation.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "util/logging.h"
@@ -56,6 +58,40 @@ void AxpyRow4(double w0, const double* __restrict__ s0, double w1,
 void AddInto(const Matrix& src, Matrix* dst) {
   for (size_t i = 0; i < dst->data().size(); ++i) {
     dst->data()[i] += src.data()[i];
+  }
+}
+
+/// Widens every row of a flat CSR by `add[r]` slots at the row END,
+/// moving existing payloads back-to-front with one memmove per row (no
+/// per-element shuffling). The gaps land exactly where a from-scratch
+/// flatten of the appended adjacency lists would place the new edges.
+void SpliceRowTails(std::vector<int>* offsets, std::vector<int>* cols,
+                    std::vector<double>* w1, std::vector<double>* w2,
+                    const std::vector<int>& add) {
+  long total = 0;
+  for (int a : add) total += a;
+  if (total == 0) return;
+  const int n = static_cast<int>(offsets->size()) - 1;
+  const size_t old_size = cols->size();
+  cols->resize(old_size + total);
+  w1->resize(old_size + total);
+  w2->resize(old_size + total);
+  long pref = total;  // edges added to rows [0, r] while visiting row r
+  for (int r = n - 1; r >= 0 && pref > 0; --r) {
+    const long begin = (*offsets)[r];
+    const long end = (*offsets)[r + 1];
+    const long move = pref - add[r];  // shift applying to row r's payload
+    (*offsets)[r + 1] = static_cast<int>(end + pref);
+    if (move > 0 && end > begin) {
+      const size_t count = static_cast<size_t>(end - begin);
+      std::memmove(cols->data() + begin + move, cols->data() + begin,
+                   count * sizeof(int));
+      std::memmove(w1->data() + begin + move, w1->data() + begin,
+                   count * sizeof(double));
+      std::memmove(w2->data() + begin + move, w2->data() + begin,
+                   count * sizeof(double));
+    }
+    pref = move;
   }
 }
 
@@ -121,6 +157,124 @@ GcnPropagator::GcnPropagator(const BipartiteGraph* graph, int layers,
       }
     }
     v_offsets_.push_back(static_cast<int>(v_cols_.size()));
+  }
+}
+
+void GcnPropagator::ApplyEdgeUpdates(
+    const BipartiteGraph& graph,
+    const std::vector<std::pair<int, int>>& new_edges) {
+  if (new_edges.empty()) return;
+  LOGIREC_CHECK(graph.num_users() == num_users_);
+  LOGIREC_CHECK(graph.num_items() == num_items_);
+
+  // Per-row growth and dirty endpoint sets. A row is dirty when its degree
+  // changed, which invalidates every weight that reads that degree: the
+  // whole dirty row itself, plus single entries in clean rows whose column
+  // is a dirty endpoint.
+  std::vector<int> add_u(num_users_, 0), add_v(num_items_, 0);
+  for (const auto& [u, v] : new_edges) {
+    LOGIREC_CHECK(u >= 0 && u < num_users_);
+    LOGIREC_CHECK(v >= 0 && v < num_items_);
+    ++add_u[u];
+    ++add_v[v];
+  }
+  SpliceRowTails(&u_offsets_, &u_cols_, &u_fwd_w_, &u_adj_w_, add_u);
+  SpliceRowTails(&v_offsets_, &v_cols_, &v_fwd_w_, &v_adj_w_, add_v);
+
+  // Rewrite each grown row from the graph's adjacency list wholesale.
+  // New entries are not necessarily at the row tail — AddEdge keeps item
+  // rows user-ascending, splicing new users into position — so copying
+  // the full row is the only fill that reproduces the from-scratch
+  // flatten exactly. Weights for these rows are filled by the full-row
+  // recompute below (every grown row is dirty).
+  for (int u = 0; u < num_users_; ++u) {
+    if (add_u[u] == 0) continue;
+    const std::vector<int>& items = graph.ItemsOf(u);
+    std::copy(items.begin(), items.end(), u_cols_.begin() + u_offsets_[u]);
+  }
+  for (int v = 0; v < num_items_; ++v) {
+    if (add_v[v] == 0) continue;
+    const std::vector<int>& users = graph.UsersOf(v);
+    std::copy(users.begin(), users.end(), v_cols_.begin() + v_offsets_[v]);
+  }
+
+  // Recompute weights with the constructor's exact expressions so the
+  // result stays bit-identical to a fresh build over the extended graph.
+  // (a) Full rows for dirty users / dirty items.
+  for (int u = 0; u < num_users_; ++u) {
+    if (add_u[u] == 0) continue;
+    const int du = graph.UserDegree(u);
+    for (int e = u_offsets_[u]; e < u_offsets_[u + 1]; ++e) {
+      const int dv = graph.ItemDegree(u_cols_[e]);
+      if (norm_ == Norm::kReceiver) {
+        u_fwd_w_[e] = 1.0 / du;
+        u_adj_w_[e] = 1.0 / dv;
+      } else {
+        const double prod = static_cast<double>(du) * dv;
+        const double w = 1.0 / std::sqrt(prod);
+        u_fwd_w_[e] = w;
+        u_adj_w_[e] = w;
+      }
+    }
+  }
+  for (int v = 0; v < num_items_; ++v) {
+    if (add_v[v] == 0) continue;
+    const int dv = graph.ItemDegree(v);
+    for (int e = v_offsets_[v]; e < v_offsets_[v + 1]; ++e) {
+      const int du = graph.UserDegree(v_cols_[e]);
+      if (norm_ == Norm::kReceiver) {
+        v_fwd_w_[e] = 1.0 / dv;
+        v_adj_w_[e] = 1.0 / du;
+      } else {
+        const double prod = static_cast<double>(du) * dv;
+        const double w = 1.0 / std::sqrt(prod);
+        v_fwd_w_[e] = w;
+        v_adj_w_[e] = w;
+      }
+    }
+  }
+  // (b) Single entries in CLEAN rows whose column degree changed: for each
+  // dirty item v, the u-side entries of its clean neighbor users; for each
+  // dirty user u, the v-side entries of its clean neighbor items.
+  for (int v = 0; v < num_items_; ++v) {
+    if (add_v[v] == 0) continue;
+    const int dv = graph.ItemDegree(v);
+    for (int u : graph.UsersOf(v)) {
+      if (add_u[u] != 0) continue;  // whole row already recomputed
+      const int du = graph.UserDegree(u);
+      for (int e = u_offsets_[u]; e < u_offsets_[u + 1]; ++e) {
+        if (u_cols_[e] != v) continue;
+        if (norm_ == Norm::kReceiver) {
+          u_adj_w_[e] = 1.0 / dv;  // forward 1/du unchanged
+        } else {
+          const double prod = static_cast<double>(du) * dv;
+          const double w = 1.0 / std::sqrt(prod);
+          u_fwd_w_[e] = w;
+          u_adj_w_[e] = w;
+        }
+        break;  // edges are unique
+      }
+    }
+  }
+  for (int u = 0; u < num_users_; ++u) {
+    if (add_u[u] == 0) continue;
+    const int du = graph.UserDegree(u);
+    for (int v : graph.ItemsOf(u)) {
+      if (add_v[v] != 0) continue;
+      const int dv = graph.ItemDegree(v);
+      for (int e = v_offsets_[v]; e < v_offsets_[v + 1]; ++e) {
+        if (v_cols_[e] != u) continue;
+        if (norm_ == Norm::kReceiver) {
+          v_adj_w_[e] = 1.0 / du;
+        } else {
+          const double prod = static_cast<double>(du) * dv;
+          const double w = 1.0 / std::sqrt(prod);
+          v_fwd_w_[e] = w;
+          v_adj_w_[e] = w;
+        }
+        break;
+      }
+    }
   }
 }
 

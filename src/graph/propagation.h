@@ -1,6 +1,7 @@
 #ifndef LOGIREC_GRAPH_PROPAGATION_H_
 #define LOGIREC_GRAPH_PROPAGATION_H_
 
+#include <utility>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
@@ -59,6 +60,31 @@ class GcnPropagator {
 
   int layers() const { return layers_; }
   void set_num_threads(int num_threads) { num_threads_ = num_threads; }
+
+  /// Incremental maintenance for the streaming-ingest pipeline: brings
+  /// the CSR views and normalization weights in sync with `graph` after
+  /// `new_edges` were appended to it (via BipartiteGraph::AddEdge, in the
+  /// given order, since the last construction/sync). Grown rows are
+  /// rewritten from the graph's adjacency lists — matching the row order
+  /// a from-scratch build would produce, so the updated propagator is
+  /// element-wise identical to `GcnPropagator(graph, ...)` — and
+  /// weights are recomputed only for rows/entries whose endpoint degrees
+  /// changed (the touched users/items and the reverse edges incident to
+  /// them), with the constructor's exact expressions so values stay
+  /// bit-identical. Cost: one memmove splice plus O(touched adjacency),
+  /// not a full rebuild.
+  void ApplyEdgeUpdates(const BipartiteGraph& graph,
+                        const std::vector<std::pair<int, int>>& new_edges);
+
+  // Introspection for the incremental-equals-rebuild property tests.
+  const std::vector<int>& u_offsets() const { return u_offsets_; }
+  const std::vector<int>& u_cols() const { return u_cols_; }
+  const std::vector<int>& v_offsets() const { return v_offsets_; }
+  const std::vector<int>& v_cols() const { return v_cols_; }
+  const std::vector<double>& u_fwd_w() const { return u_fwd_w_; }
+  const std::vector<double>& u_adj_w() const { return u_adj_w_; }
+  const std::vector<double>& v_fwd_w() const { return v_fwd_w_; }
+  const std::vector<double>& v_adj_w() const { return v_adj_w_; }
 
  private:
   /// dst rows accumulate weighted source rows along one CSR view:

@@ -1,0 +1,51 @@
+#include "pipeline/interaction_log.h"
+
+#include <algorithm>
+
+namespace logirec::pipeline {
+
+InteractionLog::InteractionLog(const data::Dataset& dataset,
+                               int num_windows)
+    : source_(&dataset) {
+  const int W = std::max(num_windows, 1);
+  windows_.resize(W);
+
+  // Per-user timelines, stable-sorted by timestamp so equal timestamps
+  // keep their original log order.
+  std::vector<std::vector<data::Interaction>> per_user(dataset.num_users);
+  for (const data::Interaction& interaction : dataset.interactions) {
+    per_user[interaction.user].push_back(interaction);
+  }
+  for (std::vector<data::Interaction>& timeline : per_user) {
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [](const data::Interaction& a,
+                        const data::Interaction& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+
+  for (int w = 0; w < W; ++w) {
+    for (int u = 0; u < dataset.num_users; ++u) {
+      const std::vector<data::Interaction>& timeline = per_user[u];
+      const long n = static_cast<long>(timeline.size());
+      const long begin = n * w / W;
+      const long end = n * (w + 1) / W;
+      for (long i = begin; i < end; ++i) {
+        windows_[w].push_back(timeline[i]);
+      }
+    }
+    total_ += static_cast<long>(windows_[w].size());
+  }
+}
+
+data::Dataset InteractionLog::MakeBaseDataset() const {
+  data::Dataset base;
+  base.name = source_->name;
+  base.num_users = source_->num_users;
+  base.num_items = source_->num_items;
+  base.item_tags = source_->item_tags;
+  base.taxonomy = source_->taxonomy;
+  return base;
+}
+
+}  // namespace logirec::pipeline

@@ -1,0 +1,50 @@
+#ifndef LOGIREC_PIPELINE_INTERACTION_LOG_H_
+#define LOGIREC_PIPELINE_INTERACTION_LOG_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace logirec::pipeline {
+
+/// Deterministic replay source for the continuous-learning pipeline:
+/// slices a dataset's interaction log into `num_windows` time windows.
+///
+/// Windowing is per-user positional: each user's interactions are ordered
+/// by (timestamp, then original log position — a stable sort), and window
+/// w of a user with n interactions covers positions
+/// [floor(n*w/W), floor(n*(w+1)/W)). Every user therefore advances
+/// through the stream at their own rate, mirroring how a temporal split
+/// would move its boundary forward, and every interaction lands in
+/// exactly one window. Within a window, interactions are emitted
+/// user-major (ascending user id, then per-user time order), so replay
+/// order is a pure function of the dataset and W — the determinism
+/// anchor for the whole pipeline.
+class InteractionLog {
+ public:
+  /// Slices `dataset.interactions`. `num_windows` is clamped to >= 1.
+  InteractionLog(const data::Dataset& dataset, int num_windows);
+
+  int num_windows() const { return static_cast<int>(windows_.size()); }
+
+  /// The interactions of window `w`, in replay order.
+  const std::vector<data::Interaction>& window(int w) const {
+    return windows_[w];
+  }
+
+  long total_interactions() const { return total_; }
+
+  /// A catalog-only copy of the source dataset: same users, items, tags
+  /// and taxonomy, zero interactions — the state a WindowIngestor starts
+  /// from before the first window arrives.
+  data::Dataset MakeBaseDataset() const;
+
+ private:
+  const data::Dataset* source_;
+  std::vector<std::vector<data::Interaction>> windows_;
+  long total_ = 0;
+};
+
+}  // namespace logirec::pipeline
+
+#endif  // LOGIREC_PIPELINE_INTERACTION_LOG_H_

@@ -1,0 +1,268 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "baselines/model_zoo.h"
+#include "eval/metrics.h"
+#include "serve/servable.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace logirec::pipeline {
+
+IngestorOptions MakeIngestorOptions(const std::string& model,
+                                    const core::TrainConfig& config) {
+  IngestorOptions options;
+  // The zoo builds LogiRec/HGCF hyperbolic with use_hgcn = true and the
+  // receiver norm; BPRMF ignores the propagators entirely (only the
+  // sampler is borrowed), so the hyperbolic default is harmless there.
+  options.hyperbolic = true;
+  options.gcn_layers = config.layers;
+  options.symmetric_norm = false;
+  options.num_threads = config.num_threads;
+  options.exclusion_overlap_tolerance = 0;
+  options.intersection_min_support = 0;
+  options.logic.use_membership = true;
+  options.logic.use_hierarchy = true;
+  options.logic.use_exclusion = true;
+  options.logic.use_intersection = false;
+  options.logic.relation_batch = config.logic_batch;
+  options.logic.seed = config.seed;
+  (void)model;
+  return options;
+}
+
+namespace {
+
+/// Shared counters of the background live-load threads.
+struct LiveLoad {
+  std::atomic<bool> stop{false};
+  std::atomic<long> completed{0};
+  std::atomic<long> failures{0};
+  std::atomic<long> shed{0};
+  std::atomic<long> in_flight{0};
+};
+
+void LiveLoadLoop(serve::ModelServer* server, int num_users, int k,
+                  int thread_index, LiveLoad* load) {
+  long cursor = static_cast<long>(thread_index) * 7919;  // decorrelate
+  while (!load->stop.load(std::memory_order_relaxed)) {
+    const int user = static_cast<int>(cursor++ % num_users);
+    load->in_flight.fetch_add(1, std::memory_order_relaxed);
+    const Status admitted = server->TrySubmit(
+        user, k, [load](serve::RankResponse response) {
+          if (response.status.ok()) {
+            load->completed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            load->failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          load->in_flight.fetch_sub(1, std::memory_order_relaxed);
+        });
+    if (!admitted.ok()) {
+      load->in_flight.fetch_sub(1, std::memory_order_relaxed);
+      if (admitted.code() == StatusCode::kUnavailable) {
+        load->shed.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Backpressure (or shutdown): yield instead of spinning the queue.
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace
+
+PipelineDriver::PipelineDriver(const PipelineOptions& options,
+                               const core::TrainConfig& config)
+    : options_(options), config_(config) {}
+
+Result<PipelineReport> PipelineDriver::Run(const data::Dataset& dataset) {
+  if (options_.num_windows < 2) {
+    return Status::InvalidArgument("pipeline needs at least 2 windows");
+  }
+  if (options_.bootstrap_windows < 1 ||
+      options_.bootstrap_windows >= options_.num_windows) {
+    return Status::InvalidArgument(StrFormat(
+        "bootstrap_windows must be in [1, %d)", options_.num_windows));
+  }
+  if (options_.snapshot_dir.empty()) {
+    return Status::InvalidArgument("snapshot_dir must be set");
+  }
+
+  InteractionLog log(dataset, options_.num_windows);
+  WindowIngestor ingestor(
+      log.MakeBaseDataset(),
+      MakeIngestorOptions(options_.trainer.model, config_));
+  WarmStartTrainer trainer(options_.trainer, config_);
+  PipelineReport report;
+
+  // --- bootstrap: ingest the leading windows, full Fit, first swap -----
+  for (int w = 0; w < options_.bootstrap_windows; ++w) {
+    auto stats = ingestor.Ingest(log.window(w));
+    if (!stats.ok()) return stats.status();
+  }
+  auto snapshot_path = [this](uint64_t generation) {
+    return StrFormat("%s/gen%03llu.snap", options_.snapshot_dir.c_str(),
+                     static_cast<unsigned long long>(generation));
+  };
+  std::atomic<uint64_t> generation{1};
+  std::string prev_snapshot = snapshot_path(1);
+  auto bootstrap =
+      trainer.FitFull(ingestor.dataset(), ingestor.split(), prev_snapshot);
+  if (!bootstrap.ok()) return bootstrap.status();
+  report.bootstrap_train_seconds = bootstrap->train_seconds;
+
+  serve::ModelServer server(options_.server);
+  const core::ModelFactory factory = baselines::MakeModel;
+  auto first = serve::ServableModel::FromSnapshot(
+      prev_snapshot, factory, &ingestor.split(), 1, options_.retrieval);
+  if (!first.ok()) return first.status();
+  server.Swap(*first);
+
+  // --- background live traffic across every retrain and swap -----------
+  LiveLoad load;
+  std::vector<std::thread> load_threads;
+  for (int t = 0; t < options_.live_load_threads; ++t) {
+    load_threads.emplace_back(LiveLoadLoop, &server, dataset.num_users,
+                              options_.eval_k, t, &load);
+  }
+  auto stop_load = [&] {
+    load.stop.store(true, std::memory_order_relaxed);
+    for (std::thread& thread : load_threads) thread.join();
+    load_threads.clear();
+  };
+
+  // --- the replay loop --------------------------------------------------
+  std::vector<std::vector<int>> truth(dataset.num_users);
+  for (int w = options_.bootstrap_windows; w < options_.num_windows; ++w) {
+    WindowReport window_report;
+    window_report.window = w;
+    window_report.generation = server.Current()->generation();
+
+    // Ground truth: this window's NEW items per user — pairs already in
+    // the train fold (window duplicates) are masked by serving and would
+    // only distort the metric.
+    for (std::vector<int>& row : truth) row.clear();
+    for (const data::Interaction& interaction : log.window(w)) {
+      if (ingestor.sampler()->IsPositive(interaction.user,
+                                         interaction.item)) {
+        continue;
+      }
+      std::vector<int>& row = truth[interaction.user];
+      if (std::find(row.begin(), row.end(), interaction.item) == row.end()) {
+        row.push_back(interaction.item);
+      }
+    }
+
+    // Evaluate LIVE, before ingesting: the generation in service was
+    // trained on windows < w only. Submissions run through the batched
+    // worker path; per-user rankings are thread-count invariant and the
+    // fold below is in ascending user order, so the metrics are too.
+    std::vector<std::pair<int, std::future<serve::RankResponse>>> pending;
+    for (int u = 0; u < dataset.num_users; ++u) {
+      if (truth[u].empty()) continue;
+      pending.emplace_back(u, server.Submit(u, options_.eval_k));
+    }
+    for (auto& [user, future] : pending) {
+      serve::RankResponse response = future.get();
+      ++window_report.eval_users;
+      if (!response.status.ok()) {
+        ++window_report.eval_failures;
+        continue;
+      }
+      window_report.ndcg +=
+          eval::NdcgAtK(response.items, truth[user], options_.eval_k);
+      window_report.recall +=
+          eval::RecallAtK(response.items, truth[user], options_.eval_k);
+    }
+    if (window_report.eval_users > 0) {
+      window_report.ndcg /= static_cast<double>(window_report.eval_users);
+      window_report.recall /= static_cast<double>(window_report.eval_users);
+    }
+
+    // Ingest the window into every incrementally-maintained structure.
+    Timer ingest_timer;
+    auto ingest_stats = ingestor.Ingest(log.window(w));
+    if (!ingest_stats.ok()) {
+      stop_load();
+      return ingest_stats.status();
+    }
+    window_report.ingest = *ingest_stats;
+    window_report.ingest_seconds = ingest_timer.ElapsedSeconds();
+    window_report.train_size = ingestor.split().TrainSize();
+
+    // Retrain: warm fine-tune from the previous generation's snapshot
+    // (borrowing the ingestor's structures) or a full from-scratch Fit.
+    const uint64_t next_generation =
+        generation.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::string next_snapshot = snapshot_path(next_generation);
+    Result<TrainRound> round = Status::OK();
+    if (options_.full_retrain) {
+      round = trainer.FitFull(ingestor.dataset(), ingestor.split(),
+                              next_snapshot);
+    } else {
+      core::TrainResources resources = ingestor.Resources();
+      round = trainer.Resume(prev_snapshot, ingestor.dataset(),
+                             ingestor.split(), &resources, next_snapshot);
+    }
+    if (!round.ok()) {
+      stop_load();
+      return round.status();
+    }
+    window_report.train_seconds = round->train_seconds;
+    window_report.snapshot_seconds = round->snapshot_seconds;
+    window_report.warm = round->warm;
+    window_report.resumed_trainer_state = round->resumed_trainer_state;
+
+    // Background build + hot swap: snapshot load and index build happen
+    // on the server's swap thread while the workers keep serving the old
+    // generation; the driver only blocks on the publication signal.
+    std::promise<Status> swapped;
+    std::future<Status> swapped_future = swapped.get_future();
+    Timer swap_timer;
+    server.SwapWhenReady(
+        [&ingestor, &factory, this, next_snapshot, next_generation] {
+          return serve::ServableModel::FromSnapshot(
+              next_snapshot, factory, &ingestor.split(), next_generation,
+              options_.retrieval);
+        },
+        [&swapped](
+            const Result<std::shared_ptr<const serve::ServableModel>>&
+                result) {
+          swapped.set_value(result.ok() ? Status::OK() : result.status());
+        });
+    const Status swap_status = swapped_future.get();
+    window_report.swap_seconds = swap_timer.ElapsedSeconds();
+    if (!swap_status.ok()) {
+      stop_load();
+      return swap_status;
+    }
+    prev_snapshot = next_snapshot;
+    report.windows.push_back(window_report);
+  }
+
+  stop_load();
+  server.Stop();  // drains the queue: every accepted callback has fired
+  report.live_requests = load.completed.load(std::memory_order_relaxed);
+  report.live_failures = load.failures.load(std::memory_order_relaxed);
+  report.live_shed = load.shed.load(std::memory_order_relaxed);
+
+  for (const WindowReport& window_report : report.windows) {
+    report.total_train_seconds += window_report.train_seconds;
+    report.mean_ndcg += window_report.ndcg;
+    report.mean_recall += window_report.recall;
+    report.total_eval_users += window_report.eval_users;
+    report.total_eval_failures += window_report.eval_failures;
+  }
+  if (!report.windows.empty()) {
+    report.mean_ndcg /= static_cast<double>(report.windows.size());
+    report.mean_recall /= static_cast<double>(report.windows.size());
+  }
+  return report;
+}
+
+}  // namespace logirec::pipeline

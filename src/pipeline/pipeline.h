@@ -1,0 +1,118 @@
+#ifndef LOGIREC_PIPELINE_PIPELINE_H_
+#define LOGIREC_PIPELINE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "data/dataset.h"
+#include "pipeline/interaction_log.h"
+#include "pipeline/warm_start.h"
+#include "pipeline/window_ingestor.h"
+#include "retrieval/retriever.h"
+#include "serve/server.h"
+
+namespace logirec::pipeline {
+
+struct PipelineOptions {
+  /// Replay windows the dataset is sliced into.
+  int num_windows = 6;
+  /// Leading windows ingested before the bootstrap full Fit; evaluation
+  /// and retraining start at window `bootstrap_windows`.
+  int bootstrap_windows = 2;
+  /// Retraining mode per window: warm ResumeFit from the previous
+  /// generation's snapshot (false) or a full from-scratch Fit (true, the
+  /// cost/quality baseline).
+  bool full_retrain = false;
+  /// Cutoff of the per-window ranking evaluation.
+  int eval_k = 20;
+  /// Directory snapshots are written into (one per generation). Must
+  /// exist.
+  std::string snapshot_dir = ".";
+  /// Number of background load threads hammering the server while
+  /// windows retrain and swap (0 = off). Their request/failure counts
+  /// feed the zero-failed-in-flight gate; they never touch the
+  /// deterministic metrics.
+  int live_load_threads = 0;
+  WarmStartOptions trainer;
+  retrieval::RetrievalOptions retrieval;
+  serve::ServerOptions server;
+};
+
+/// Per-window outcome. Quality metrics come from the LIVE server — every
+/// evaluated user is ranked through ModelServer::Submit against the
+/// generation trained on the preceding windows, so the numbers measure
+/// exactly what a client would have been served.
+struct WindowReport {
+  int window = 0;
+  uint64_t generation = 0;    ///< generation that served this window
+  long eval_users = 0;        ///< users with ground truth in this window
+  long eval_failures = 0;     ///< failed rank requests (must stay 0)
+  double ndcg = 0.0;          ///< mean NDCG@eval_k over eval_users
+  double recall = 0.0;        ///< mean Recall@eval_k over eval_users
+  IngestStats ingest;
+  double ingest_seconds = 0.0;
+  double train_seconds = 0.0;
+  double snapshot_seconds = 0.0;
+  double swap_seconds = 0.0;  ///< background build+swap wall time
+  bool warm = false;
+  bool resumed_trainer_state = false;
+  long train_size = 0;        ///< train-fold size after this window
+};
+
+struct PipelineReport {
+  std::vector<WindowReport> windows;  ///< evaluated windows only
+  double bootstrap_train_seconds = 0.0;
+  double total_train_seconds = 0.0;   ///< excluding bootstrap
+  double mean_ndcg = 0.0;
+  double mean_recall = 0.0;
+  long total_eval_users = 0;
+  long total_eval_failures = 0;
+  /// Background live-load traffic (live_load_threads > 0): total
+  /// completed requests and hard failures across the whole replay.
+  /// Shed requests (admission-queue backpressure) are counted separately
+  /// — backpressure is the contract, not a failure.
+  long live_requests = 0;
+  long live_failures = 0;
+  long live_shed = 0;
+};
+
+/// The continuous-learning loop closed over live serving:
+///
+///   slice -> bootstrap Fit -> snapshot -> swap -> serve
+///        -> [evaluate window t live -> ingest t -> warm retrain
+///            -> snapshot -> background build + hot swap] per window.
+///
+/// Evaluation is strictly forward-looking: window t is scored by the
+/// generation trained on windows < t, through the live server, before
+/// its interactions are ingested. The subsequent swap runs on the
+/// server's background swap thread (ModelServer::SwapWhenReady) with the
+/// ANN index built before publication, so serving never pauses.
+///
+/// Determinism: with a fixed config seed and window schedule the
+/// per-window metrics are a pure function of the inputs at any thread
+/// count — ranking goes through the thread-count-invariant serving path
+/// and users are folded in ascending id order.
+class PipelineDriver {
+ public:
+  PipelineDriver(const PipelineOptions& options,
+                 const core::TrainConfig& config);
+
+  /// Replays `dataset` end to end. The dataset supplies the full
+  /// interaction log; the driver re-slices it internally.
+  Result<PipelineReport> Run(const data::Dataset& dataset);
+
+ private:
+  PipelineOptions options_;
+  core::TrainConfig config_;
+};
+
+/// The ingestor options matching `model` under `config` — propagator
+/// geometry/depth/norm and logic-engine settings aligned so borrowed
+/// structures behave exactly like the owned rebuilds.
+IngestorOptions MakeIngestorOptions(const std::string& model,
+                                    const core::TrainConfig& config);
+
+}  // namespace logirec::pipeline
+
+#endif  // LOGIREC_PIPELINE_PIPELINE_H_

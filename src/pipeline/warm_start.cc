@@ -1,0 +1,90 @@
+#include "pipeline/warm_start.h"
+
+#include <utility>
+
+#include "baselines/model_zoo.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace logirec::pipeline {
+
+WarmStartTrainer::WarmStartTrainer(const WarmStartOptions& options,
+                                   const core::TrainConfig& config)
+    : options_(options), config_(config) {}
+
+Status WarmStartTrainer::WriteSnapshot(core::Recommender* model,
+                                       const data::Dataset& dataset,
+                                       const std::string& path,
+                                       double* seconds) {
+  core::SnapshotHeader header;
+  header.dim = config_.dim;
+  header.layers = config_.layers;
+  header.num_users = dataset.num_users;
+  header.num_items = dataset.num_items;
+  Timer timer;
+  const Status written = core::ModelSnapshot::Write(
+      *model, header, path, options_.dtype, /*include_trainer_state=*/true);
+  *seconds = timer.ElapsedSeconds();
+  return written;
+}
+
+Result<TrainRound> WarmStartTrainer::FitFull(const data::Dataset& dataset,
+                                             const data::Split& split,
+                                             const std::string& to_snapshot) {
+  auto model = baselines::MakeModel(options_.model, config_);
+  if (!model.ok()) return model.status();
+  TrainRound round;
+  round.warm = false;
+  Timer timer;
+  LOGIREC_RETURN_IF_ERROR((*model)->Fit(dataset, split));
+  round.train_seconds = timer.ElapsedSeconds();
+  LOGIREC_RETURN_IF_ERROR(WriteSnapshot(model->get(), dataset, to_snapshot,
+                                        &round.snapshot_seconds));
+  return round;
+}
+
+Result<TrainRound> WarmStartTrainer::Resume(
+    const std::string& from_snapshot, const data::Dataset& dataset,
+    const data::Split& split, const core::TrainResources* resources,
+    const std::string& to_snapshot) {
+  // The factory deliberately ignores the header-derived config: the
+  // snapshot header records only dim/layers, and a fine-tune must keep
+  // the pipeline's full hyperparameter set (learning rate, margin,
+  // lambda, parallel mode, seed).
+  core::ModelFactory factory =
+      [this](const std::string& name,
+             const core::TrainConfig& from_header)
+      -> Result<std::unique_ptr<core::Recommender>> {
+    if (from_header.dim != config_.dim) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot dim %d does not match the pipeline config dim %d",
+          from_header.dim, config_.dim));
+    }
+    return baselines::MakeModel(name, config_);
+  };
+  core::SnapshotHeader header;
+  auto model = core::ModelSnapshot::Read(from_snapshot, factory, &header);
+  if (!model.ok()) return model.status();
+  if (header.model != options_.model) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot %s holds model %s but the pipeline trains %s",
+        from_snapshot.c_str(), header.model.c_str(),
+        options_.model.c_str()));
+  }
+  if (!(*model)->SupportsWarmStart()) {
+    return Status::FailedPrecondition(
+        (*model)->name() + " does not support warm-start fine-tuning");
+  }
+  TrainRound round;
+  round.warm = true;
+  round.resumed_trainer_state = header.has_trainer_state;
+  Timer timer;
+  LOGIREC_RETURN_IF_ERROR((*model)->ResumeFit(
+      dataset, split, options_.fine_tune_epochs, resources));
+  round.train_seconds = timer.ElapsedSeconds();
+  LOGIREC_RETURN_IF_ERROR(WriteSnapshot(model->get(), dataset, to_snapshot,
+                                        &round.snapshot_seconds));
+  return round;
+}
+
+}  // namespace logirec::pipeline

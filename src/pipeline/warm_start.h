@@ -1,0 +1,83 @@
+#ifndef LOGIREC_PIPELINE_WARM_START_H_
+#define LOGIREC_PIPELINE_WARM_START_H_
+
+#include <memory>
+#include <string>
+
+#include "core/recommender.h"
+#include "core/snapshot.h"
+#include "core/train_resources.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace logirec::pipeline {
+
+struct WarmStartOptions {
+  /// Model-zoo name. Must be a model with SupportsWarmStart() ==
+  /// true for the warm path ("BPRMF", "HGCF", "LogiRec", "LogiRec++").
+  std::string model = "LogiRec++";
+  /// Epochs per warm fine-tune (<= 0 falls back to config.epochs).
+  int fine_tune_epochs = 2;
+  /// Snapshot storage dtype for the scoring tensors (the trainer-state
+  /// trailer always stores exact f64).
+  core::SnapshotDtype dtype = core::SnapshotDtype::kF64;
+};
+
+/// Outcome of one (re)train round.
+struct TrainRound {
+  double train_seconds = 0.0;    ///< Fit/ResumeFit wall time
+  double snapshot_seconds = 0.0; ///< ModelSnapshot::Write wall time
+  bool warm = false;             ///< true = ResumeFit, false = full Fit
+  bool resumed_trainer_state = false;  ///< trailer was present and restored
+};
+
+/// The retraining half of the continuous-learning loop. Two entry points
+/// with identical outputs (a trainer-state snapshot at `to_snapshot`):
+///
+///  * FitFull — fresh model, full Fit on the accumulated train fold (the
+///    bootstrap round, and the per-window baseline of the warm-vs-full
+///    comparison).
+///  * Resume — restores the previous generation's snapshot (scoring
+///    state + the optional trainer-state trailer, so the optimization
+///    point carries over exactly), then fine-tunes a few epochs with
+///    Recommender::ResumeFit, borrowing the pipeline's incrementally-
+///    maintained structures through core::TrainResources. A scoring-only
+///    snapshot degrades gracefully (ResumeFit re-initializes what the
+///    trailer would have carried).
+///
+/// Every snapshot is written with the trainer-state trailer so the next
+/// round can resume from it.
+class WarmStartTrainer {
+ public:
+  /// `config` carries the full hyperparameter set; the snapshot restore
+  /// path reconstructs models with THIS config (the snapshot header only
+  /// records dim/layers), so fine-tuning keeps the pipeline's learning
+  /// rate, margin, lambda and parallel mode.
+  WarmStartTrainer(const WarmStartOptions& options,
+                   const core::TrainConfig& config);
+
+  /// Fresh Fit over `split.train`; writes the snapshot to `to_snapshot`.
+  Result<TrainRound> FitFull(const data::Dataset& dataset,
+                             const data::Split& split,
+                             const std::string& to_snapshot);
+
+  /// Restores `from_snapshot`, fine-tunes `fine_tune_epochs` on the
+  /// extended fold (borrowing `resources` when non-null), writes
+  /// `to_snapshot`.
+  Result<TrainRound> Resume(const std::string& from_snapshot,
+                            const data::Dataset& dataset,
+                            const data::Split& split,
+                            const core::TrainResources* resources,
+                            const std::string& to_snapshot);
+
+ private:
+  Status WriteSnapshot(core::Recommender* model, const data::Dataset& dataset,
+                       const std::string& path, double* seconds);
+
+  WarmStartOptions options_;
+  core::TrainConfig config_;
+};
+
+}  // namespace logirec::pipeline
+
+#endif  // LOGIREC_PIPELINE_WARM_START_H_

@@ -1,0 +1,118 @@
+#include "pipeline/window_ingestor.h"
+
+#include <utility>
+
+namespace logirec::pipeline {
+
+namespace {
+
+data::Split EmptySplit(int num_users) {
+  data::Split split;
+  split.train.resize(num_users);
+  split.validation.resize(num_users);
+  split.test.resize(num_users);
+  return split;
+}
+
+}  // namespace
+
+WindowIngestor::WindowIngestor(data::Dataset base,
+                               const IngestorOptions& options)
+    : options_(options),
+      dataset_(std::move(base)),
+      split_(EmptySplit(dataset_.num_users)),
+      graph_(dataset_.num_users, dataset_.num_items, split_.train),
+      sampler_(dataset_.num_items, split_.train),
+      logic_(data::LogicalRelations{}, options.logic) {
+  // The static relation families are pure functions of the tag catalog
+  // (item_tags + taxonomy) and go in whole; memberships wait for their
+  // item's activation.
+  data::LogicalRelations full = dataset_.ExtractRelations(
+      options_.exclusion_overlap_tolerance,
+      options_.intersection_min_support);
+  item_membership_tags_.resize(dataset_.num_items);
+  for (const auto& [item, tag] : full.memberships) {
+    item_membership_tags_[item].push_back(tag);
+  }
+  relations_.hierarchy = std::move(full.hierarchy);
+  relations_.exclusions = std::move(full.exclusions);
+  relations_.intersections = std::move(full.intersections);
+
+  data::LogicalRelations static_families;
+  static_families.hierarchy = relations_.hierarchy;
+  static_families.exclusions = relations_.exclusions;
+  static_families.intersections = relations_.intersections;
+  logic_.AppendRelations(static_families);
+
+  activated_.assign(dataset_.num_items, 0);
+
+  if (options_.hyperbolic) {
+    hgcn_ = std::make_unique<core::HyperbolicGcn>(
+        &graph_, options_.gcn_layers,
+        options_.symmetric_norm ? graph::Norm::kSymmetric
+                                : graph::Norm::kReceiver,
+        options_.num_threads);
+  } else {
+    // LogiRec's Euclidean ablation always propagates with the receiver
+    // norm (FitEuclidean/ResumeFit hardcode it).
+    propagator_ = std::make_unique<graph::GcnPropagator>(
+        &graph_, options_.gcn_layers, graph::Norm::kReceiver,
+        options_.num_threads);
+  }
+}
+
+Result<IngestStats> WindowIngestor::Ingest(
+    const std::vector<data::Interaction>& window) {
+  IngestStats stats;
+  new_edges_.clear();
+  data::LogicalRelations delta;
+  for (const data::Interaction& interaction : window) {
+    const Status appended = dataset_.Append(interaction);
+    if (!appended.ok()) {
+      if (appended.code() == StatusCode::kAlreadyExists) {
+        ++stats.duplicates;
+        continue;
+      }
+      return appended;  // out-of-range ids abort the ingest
+    }
+    ++stats.appended;
+    split_.train[interaction.user].push_back(interaction.item);
+    sampler_.AddPositive(interaction.user, interaction.item);
+    graph_.AddEdge(interaction.user, interaction.item);
+    new_edges_.emplace_back(interaction.user, interaction.item);
+    if (!activated_[interaction.item]) {
+      activated_[interaction.item] = 1;
+      ++stats.new_items;
+      for (const int tag : item_membership_tags_[interaction.item]) {
+        delta.memberships.emplace_back(interaction.item, tag);
+      }
+    }
+  }
+  if (!new_edges_.empty()) {
+    graph::GcnPropagator* propagator =
+        hgcn_ != nullptr ? hgcn_->mutable_propagator() : propagator_.get();
+    propagator->ApplyEdgeUpdates(graph_, new_edges_);
+  }
+  if (!delta.memberships.empty()) {
+    stats.new_memberships = static_cast<long>(delta.memberships.size());
+    logic_.AppendRelations(delta);
+    relations_.memberships.insert(relations_.memberships.end(),
+                                  delta.memberships.begin(),
+                                  delta.memberships.end());
+  }
+  ++windows_ingested_;
+  return stats;
+}
+
+core::TrainResources WindowIngestor::Resources() {
+  core::TrainResources resources;
+  resources.graph = &graph_;
+  resources.propagator = propagator_.get();
+  resources.hgcn = hgcn_.get();
+  resources.logic = &logic_;
+  resources.sampler = &sampler_;
+  resources.relations = &relations_;
+  return resources;
+}
+
+}  // namespace logirec::pipeline

@@ -1,0 +1,121 @@
+#ifndef LOGIREC_PIPELINE_WINDOW_INGESTOR_H_
+#define LOGIREC_PIPELINE_WINDOW_INGESTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/hgcn.h"
+#include "core/logic_engine.h"
+#include "core/negative_sampler.h"
+#include "core/train_resources.h"
+#include "data/dataset.h"
+#include "graph/bipartite_graph.h"
+#include "graph/propagation.h"
+#include "util/status.h"
+
+namespace logirec::pipeline {
+
+/// Configuration of the incrementally-maintained training structures.
+/// The propagator/logic settings MUST match the model that will borrow
+/// them through core::TrainResources — a mismatched normalization or
+/// relation-batch setting would make the borrowed structures behave
+/// differently from the owned rebuild ResumeFit falls back to.
+struct IngestorOptions {
+  /// Maintain a core::HyperbolicGcn (LogiRec hyperbolic / HGCF) when
+  /// true, a bare graph::GcnPropagator (the Euclidean ablation) when
+  /// false.
+  bool hyperbolic = true;
+  /// Propagation depth (0 = identity, the "w/o HGCN" ablation).
+  int gcn_layers = 3;
+  bool symmetric_norm = false;
+  int num_threads = 0;
+  /// Relation-extraction knobs (mirror LogiRecConfig).
+  int exclusion_overlap_tolerance = 0;
+  int intersection_min_support = 0;  ///< 0 = no intersection family
+  /// LogicEngine options (family switches, relation batch, seed) — copy
+  /// them from the model's config so the borrowed engine samples the
+  /// same relation streams an owned engine would.
+  core::LogicEngine::Options logic;
+};
+
+/// Per-window ingest telemetry.
+struct IngestStats {
+  long appended = 0;        ///< interactions accepted into the train fold
+  long duplicates = 0;      ///< (user, item) pairs already present, skipped
+  int new_items = 0;        ///< items activated by their first interaction
+  long new_memberships = 0; ///< membership relations appended to the engine
+};
+
+/// Streaming ingest of replay windows, maintaining every train-time
+/// structure *incrementally* — no full rebuild anywhere on the window
+/// path:
+///
+///  * the dataset's interaction log and the train split (append),
+///  * the user-item bipartite graph (graph::BipartiteGraph::AddEdge) and
+///    its CSR propagator weights (GcnPropagator::ApplyEdgeUpdates — tail
+///    splice + dirty-degree recompute),
+///  * the negative-sampler positives tables (sorted insert),
+///  * the LogicEngine relation store (LogicEngine::AppendRelations —
+///    dirty-tag renumbering and row merges only).
+///
+/// Relation streaming semantics: the hierarchy / exclusion /
+/// intersection families are pure functions of the tag catalog, so they
+/// are ingested in full at construction. Membership relations follow
+/// item *activation*: an item's (item, tag) rows enter the engine when
+/// its first training interaction arrives, in activation order. The
+/// accumulated relation set is exposed for ResumeFit borrowing and as
+/// the rebuild oracle of the property tests: after any K windows, every
+/// incrementally-maintained structure is element-wise identical to one
+/// rebuilt from scratch on the accumulated state.
+class WindowIngestor {
+ public:
+  /// `base` is a catalog-only dataset (InteractionLog::MakeBaseDataset);
+  /// any pre-existing interactions are rejected with kInvalidArgument at
+  /// the first Ingest call via the duplicate probe, so pass it empty.
+  WindowIngestor(data::Dataset base, const IngestorOptions& options);
+
+  /// Ingests one replay window. Duplicate (user, item) pairs are counted
+  /// and skipped (windows may legitimately repeat an earlier pair);
+  /// out-of-range ids abort the ingest with the dataset's error.
+  Result<IngestStats> Ingest(const std::vector<data::Interaction>& window);
+
+  // --- the incrementally-maintained state ------------------------------
+  const data::Dataset& dataset() const { return dataset_; }
+  const data::Split& split() const { return split_; }
+  /// The relation set accumulated so far (static families + memberships
+  /// of activated items, in activation order).
+  const data::LogicalRelations& relations() const { return relations_; }
+  const graph::BipartiteGraph& graph() const { return graph_; }
+  core::NegativeSampler* sampler() { return &sampler_; }
+  core::LogicEngine* logic() { return &logic_; }
+  /// Null when constructed with hyperbolic = false / true respectively.
+  core::HyperbolicGcn* hgcn() { return hgcn_.get(); }
+  graph::GcnPropagator* propagator() { return propagator_.get(); }
+
+  /// Bundles the maintained structures for Recommender::ResumeFit.
+  core::TrainResources Resources();
+
+  int windows_ingested() const { return windows_ingested_; }
+
+ private:
+  IngestorOptions options_;
+  data::Dataset dataset_;
+  data::Split split_;
+  data::LogicalRelations relations_;
+  graph::BipartiteGraph graph_;
+  core::NegativeSampler sampler_;
+  core::LogicEngine logic_;
+  std::unique_ptr<core::HyperbolicGcn> hgcn_;
+  std::unique_ptr<graph::GcnPropagator> propagator_;
+  /// item -> its membership tag list from the full catalog extraction,
+  /// released into the engine at activation.
+  std::vector<std::vector<int>> item_membership_tags_;
+  std::vector<char> activated_;
+  int windows_ingested_ = 0;
+  /// Reused per-window scratch.
+  std::vector<std::pair<int, int>> new_edges_;
+};
+
+}  // namespace logirec::pipeline
+
+#endif  // LOGIREC_PIPELINE_WINDOW_INGESTOR_H_

@@ -28,6 +28,15 @@ Result<Request> ParseRequestLine(const std::string& line) {
       request.path = std::string(path);
       return request;
     }
+    if (StartsWith(trimmed, "!reload")) {
+      const std::string_view path = Trim(trimmed.substr(7));
+      if (path.empty()) {
+        return Status::InvalidArgument("!reload needs a snapshot path");
+      }
+      request.kind = Request::Kind::kReload;
+      request.path = std::string(path);
+      return request;
+    }
     return Status::InvalidArgument("unknown command: " +
                                    std::string(trimmed));
   }

@@ -16,6 +16,14 @@ namespace logirec::serve {
 ///   <user_id> [k]     rank: top-k item ids for the user (k defaults
 ///                     server-side when omitted)
 ///   !swap <path>      hot-swap the model from a binary snapshot
+///   !reload <path>    like !swap, but the snapshot load and index build
+///                     run on the server's background swap thread
+///                     (ModelServer::SwapWhenReady) — the session keeps
+///                     answering pipelined requests while the new
+///                     generation builds, and the "ok reloaded ..." reply
+///                     is delivered in request order once it is live. A
+///                     corrupt or missing snapshot answers "error ..."
+///                     with the connection (and the current model) intact.
 ///   !stats            dump the server counters
 ///   !quit             close this session
 ///
@@ -27,11 +35,11 @@ namespace logirec::serve {
 /// than letting latency grow without bound. Clients should back off and
 /// retry on "!busy".
 struct Request {
-  enum class Kind { kRank, kSwap, kStats, kQuit };
+  enum class Kind { kRank, kSwap, kReload, kStats, kQuit };
   Kind kind = Kind::kRank;
   int user = 0;
   int k = 0;  ///< 0 = server default
-  std::string path;  ///< kSwap only
+  std::string path;  ///< kSwap / kReload only
 };
 
 /// Parses one protocol line. Blank lines and `#` comments yield

@@ -49,6 +49,58 @@ std::shared_ptr<const ServableModel> ModelServer::Current() const {
   return current_;
 }
 
+void ModelServer::SwapWhenReady(ServableBuilder build, SwapCallback done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      if (!swap_thread_.joinable()) {
+        swap_thread_ = std::thread([this] { SwapLoop(); });
+      }
+      SwapTask task;
+      task.build = std::move(build);
+      task.done = std::move(done);
+      swap_queue_.push_back(std::move(task));
+      swap_cv_.notify_one();
+      return;
+    }
+  }
+  if (done) {
+    done(Result<std::shared_ptr<const ServableModel>>(
+        Status::FailedPrecondition("server is shutting down")));
+  }
+}
+
+void ModelServer::SwapLoop() {
+  for (;;) {
+    SwapTask task;
+    bool aborted = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      swap_cv_.wait(lock,
+                    [this] { return stopping_ || !swap_queue_.empty(); });
+      if (swap_queue_.empty()) return;  // stopping_ && drained
+      aborted = stopping_;
+      task = std::move(swap_queue_.front());
+      swap_queue_.pop_front();
+    }
+    if (aborted) {
+      // Queued behind Stop(): building a generation nobody will serve is
+      // wasted work — complete with the shutdown error instead.
+      if (task.done) {
+        task.done(Result<std::shared_ptr<const ServableModel>>(
+            Status::FailedPrecondition("server is shutting down")));
+      }
+      continue;
+    }
+    // The expensive part — snapshot load, index build — runs here with no
+    // lock held; serving threads keep draining the admission queue
+    // against the current generation.
+    Result<std::shared_ptr<const ServableModel>> built = task.build();
+    if (built.ok()) Swap(*built);
+    if (task.done) task.done(built);
+  }
+}
+
 Status ModelServer::Rank(int user, int k, std::vector<int>* out) {
   // The synchronous path: canonical (exact) scores and per-call buffers.
   // Submit()/TrySubmit() serve the same items through the batched
@@ -252,16 +304,22 @@ ServerStats ModelServer::Stats() const {
 void ModelServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && workers_.empty()) return;
+    if (stopping_ && workers_.empty() && !swap_thread_.joinable()) return;
     stopping_ = true;
     paused_ = false;  // a paused server still drains on shutdown
   }
   cv_.notify_all();
   space_cv_.notify_all();
+  swap_cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Joined after the workers: an in-flight build finishes (and may still
+  // publish), queued-but-unstarted tasks complete with the shutdown
+  // error. Safe without mu_ — once stopping_ is set, no SwapWhenReady
+  // call touches swap_thread_ again.
+  if (swap_thread_.joinable()) swap_thread_.join();
 }
 
 }  // namespace logirec::serve

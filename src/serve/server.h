@@ -115,6 +115,26 @@ class ModelServer {
   /// number. In-flight requests finish on the generation they hold.
   uint64_t Swap(std::shared_ptr<const ServableModel> model);
 
+  /// Builder invoked on the background swap thread. Snapshot load and
+  /// ANN-index construction — the expensive parts of bringing up a new
+  /// generation — both run inside it, off every serving worker.
+  using ServableBuilder =
+      std::function<Result<std::shared_ptr<const ServableModel>>()>;
+  /// Completion hook for SwapWhenReady: the published generation on
+  /// success, the builder's error otherwise (the active generation is
+  /// untouched on failure). Invoked exactly once, on the swap thread.
+  using SwapCallback =
+      std::function<void(const Result<std::shared_ptr<const ServableModel>>&)>;
+
+  /// Background rebuild-and-swap: runs `build` on a dedicated swap
+  /// thread (started lazily, joined by Stop()), publishes the result via
+  /// Swap() once it is fully constructed, then invokes `done` (may be
+  /// null). The current generation keeps answering every request for the
+  /// whole build — the swap itself stays the usual single pointer
+  /// assignment. Queued calls run in submission order; after Stop(),
+  /// `done` fires with kFailedPrecondition without building.
+  void SwapWhenReady(ServableBuilder build, SwapCallback done = {});
+
   /// The active generation (null before the first Swap()).
   std::shared_ptr<const ServableModel> Current() const;
 
@@ -159,10 +179,16 @@ class ModelServer {
     eval::RetrieveScratch retrieve;
   };
 
+  struct SwapTask {
+    ServableBuilder build;
+    SwapCallback done;
+  };
+
   void WorkerLoop(int worker);
   void ServeBatch(std::vector<Pending>* batch, int worker);
   RankResponse RankOn(const ServableModel& model, int user, int k,
                       WorkerScratch* scratch);
+  void SwapLoop();
 
   const ServerOptions options_;
 
@@ -178,6 +204,13 @@ class ModelServer {
   bool paused_ = false;
   std::vector<std::thread> workers_;
   std::vector<WorkerScratch> scratch_;
+
+  // Background rebuild-and-swap (SwapWhenReady). The queue shares mu_ /
+  // stopping_ with the admission queue; the thread starts on first use
+  // and is joined by Stop() after the workers.
+  std::condition_variable swap_cv_;
+  std::deque<SwapTask> swap_queue_;
+  std::thread swap_thread_;
 
   // Counters (atomics: bumped from worker threads under TSan).
   std::atomic<long> requests_completed_{0};

@@ -94,6 +94,38 @@ void ProtocolSession::HandleLine(const std::string& line) {
                          (*servable)->model_name().c_str()));
       return;
     }
+    case Request::Kind::kReload: {
+      // Async variant of !swap: the load and index build run on the
+      // server's swap thread, so this transport loop (and every other
+      // session) keeps answering while the generation builds. The slot
+      // FIFO delivers the reply in request order once the swap lands; a
+      // corrupt snapshot completes the slot with an error and leaves the
+      // connection and the active generation untouched.
+      const uint64_t seq =
+          PushSlot(/*ready=*/false, /*close_after=*/false, std::string());
+      auto self = shared_from_this();
+      const auto context = context_;
+      const std::string path = request->path;
+      const uint64_t generation =
+          context->generation->fetch_add(1, std::memory_order_relaxed) + 1;
+      context->server->SwapWhenReady(
+          [context, path, generation] {
+            return ServableModel::FromSnapshot(path, context->factory,
+                                               context->split, generation,
+                                               context->retrieval);
+          },
+          [self, seq, generation](
+              const Result<std::shared_ptr<const ServableModel>>& swapped) {
+            self->CompleteSlot(
+                seq, swapped.ok()
+                         ? StrFormat(
+                               "ok reloaded gen=%llu model=%s",
+                               static_cast<unsigned long long>(generation),
+                               (*swapped)->model_name().c_str())
+                         : FormatError(swapped.status()));
+          });
+      return;
+    }
     case Request::Kind::kRank:
       HandleRank(*request);
       return;

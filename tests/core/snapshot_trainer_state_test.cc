@@ -1,0 +1,217 @@
+// Trainer-state trailer (snapshot v2 extension): round-trips the
+// optimization point exactly, degrades gracefully on scoring-only
+// snapshots, and turns every trailer corruption into a descriptive
+// error. Built into the ASan+UBSan CI job.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "core/snapshot.h"
+#include "data/synthetic.h"
+
+namespace logirec::core {
+namespace {
+
+class SnapshotTrainerStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/logirec_trainer_state_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    data::SyntheticConfig config;
+    config.num_users = 50;
+    config.num_items = 70;
+    config.seed = 13;
+    dataset_ = data::GenerateSynthetic(config);
+    split_ = data::TemporalSplit(dataset_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  TrainConfig FastConfig() const {
+    TrainConfig config;
+    config.dim = 8;
+    config.layers = 2;
+    config.epochs = 5;
+    return config;
+  }
+
+  /// Trains `name` and writes its snapshot, keeping the trained model
+  /// alive in `trained_` for state comparison.
+  std::string WriteSnapshot(const std::string& name,
+                            bool include_trainer_state) {
+    const TrainConfig config = FastConfig();
+    auto model = baselines::MakeModel(name, config);
+    EXPECT_TRUE(model.ok()) << name;
+    EXPECT_TRUE((*model)->Fit(dataset_, split_).ok()) << name;
+    trained_ = std::move(*model);
+    SnapshotHeader header;
+    header.dim = config.dim;
+    header.layers = config.layers;
+    header.num_users = dataset_.num_users;
+    header.num_items = dataset_.num_items;
+    const std::string path = dir_ + "/" + name + ".snap";
+    EXPECT_TRUE(ModelSnapshot::Write(*trained_, header, path,
+                                     SnapshotDtype::kF64,
+                                     include_trainer_state)
+                    .ok())
+        << name;
+    return path;
+  }
+
+  /// Element-wise comparison of two models' registered trainer state.
+  void ExpectSameTrainerState(Recommender* a, Recommender* b) {
+    ParameterSet sa, sb;
+    a->CollectTrainerState(&sa);
+    b->CollectTrainerState(&sb);
+    ASSERT_EQ(sa.matrices.size(), sb.matrices.size());
+    ASSERT_EQ(sa.vectors.size(), sb.vectors.size());
+    ASSERT_EQ(sa.scalars.size(), sb.scalars.size());
+    for (size_t i = 0; i < sa.matrices.size(); ++i) {
+      ASSERT_EQ(sa.matrices[i]->rows(), sb.matrices[i]->rows());
+      ASSERT_EQ(sa.matrices[i]->cols(), sb.matrices[i]->cols());
+      EXPECT_EQ(sa.matrices[i]->data(), sb.matrices[i]->data())
+          << "trainer matrix " << i;
+    }
+    for (size_t i = 0; i < sa.vectors.size(); ++i) {
+      ASSERT_EQ(sa.vectors[i]->size(), sb.vectors[i]->size());
+      for (size_t j = 0; j < sa.vectors[i]->size(); ++j) {
+        EXPECT_EQ((*sa.vectors[i])[j], (*sb.vectors[i])[j])
+            << "trainer vector " << i << "[" << j << "]";
+      }
+    }
+    for (size_t i = 0; i < sa.scalars.size(); ++i) {
+      EXPECT_EQ(*sa.scalars[i], *sb.scalars[i]) << "trainer scalar " << i;
+    }
+  }
+
+  std::vector<unsigned char> Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>());
+  }
+
+  void Dump(const std::string& path,
+            const std::vector<unsigned char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+
+  std::string dir_;
+  data::Dataset dataset_;
+  data::Split split_;
+  std::unique_ptr<Recommender> trained_;
+};
+
+TEST_F(SnapshotTrainerStateTest, TrailerRoundTripsExactlyForEveryModel) {
+  // Models whose training keeps state beyond the scoring tensors (the
+  // pre-propagation user tables). BPRMF's scoring state is already its
+  // complete trainer state, so it has no trailer — covered below.
+  for (const std::string name : {"HGCF", "LogiRec", "LogiRec++"}) {
+    const std::string path = WriteSnapshot(name, true);
+    SnapshotHeader header;
+    auto restored =
+        ModelSnapshot::Read(path, baselines::MakeModel, &header);
+    ASSERT_TRUE(restored.ok()) << name << ": "
+                               << restored.status().ToString();
+    EXPECT_TRUE(header.has_trainer_state) << name;
+    ExpectSameTrainerState(trained_.get(), restored->get());
+  }
+}
+
+TEST_F(SnapshotTrainerStateTest, ScoringOnlySnapshotReportsNoState) {
+  const std::string path = WriteSnapshot("LogiRec++", false);
+  SnapshotHeader header;
+  auto restored = ModelSnapshot::Read(path, baselines::MakeModel, &header);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_FALSE(header.has_trainer_state);
+}
+
+TEST_F(SnapshotTrainerStateTest, TrailerGrowsTheFileOnlyWhenStateExists) {
+  // LogiRec++ registers trainer state, so the trailer adds bytes.
+  const auto with_state = Slurp(WriteSnapshot("LogiRec++", true));
+  const auto without_state = Slurp(WriteSnapshot("LogiRec++", false));
+  EXPECT_GT(with_state.size(), without_state.size());
+
+  // BPRMF registers none: include_trainer_state is a no-op and the file
+  // stays byte-identical to a plain scoring snapshot.
+  const auto bprmf_with = Slurp(WriteSnapshot("BPRMF", true));
+  const auto bprmf_without = Slurp(WriteSnapshot("BPRMF", false));
+  EXPECT_EQ(bprmf_with, bprmf_without);
+  SnapshotHeader header;
+  auto restored = ModelSnapshot::Read(dir_ + "/BPRMF.snap",
+                                      baselines::MakeModel, &header);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_FALSE(header.has_trainer_state);
+}
+
+TEST_F(SnapshotTrainerStateTest, FlippedTrailerPayloadByteFailsChecksum) {
+  const std::string path = WriteSnapshot("LogiRec++", true);
+  auto bytes = Slurp(path);
+  const std::string scoring_only = WriteSnapshot("LogiRec++", false);
+  const size_t trailer_start = Slurp(scoring_only).size();
+  ASSERT_LT(trailer_start, bytes.size());
+  // Flip a byte well inside the trailer's first tensor payload (past the
+  // magic + counts + shape words).
+  bytes[trailer_start + 32] ^= 0xFF;
+  Dump(path, bytes);
+  const auto result = ModelSnapshot::Read(path, baselines::MakeModel);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trainer"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(SnapshotTrainerStateTest, TruncatedTrailerFailsCleanly) {
+  const std::string path = WriteSnapshot("LogiRec++", true);
+  const auto bytes = Slurp(path);
+  const std::string scoring_only = WriteSnapshot("LogiRec++", false);
+  const size_t trailer_start = Slurp(scoring_only).size();
+  for (const size_t cut : {trailer_start + 2, trailer_start + 6,
+                           trailer_start + 20, bytes.size() - 8}) {
+    ASSERT_LT(cut, bytes.size());
+    const std::string truncated = dir_ + "/truncated.snap";
+    Dump(truncated,
+         std::vector<unsigned char>(bytes.begin(), bytes.begin() + cut));
+    EXPECT_FALSE(ModelSnapshot::Read(truncated, baselines::MakeModel).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(SnapshotTrainerStateTest, CompactDtypeStillCarriesExactTrailer) {
+  const TrainConfig config = FastConfig();
+  auto model = baselines::MakeModel("LogiRec++", config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(dataset_, split_).ok());
+  SnapshotHeader header;
+  header.dim = config.dim;
+  header.layers = config.layers;
+  header.num_users = dataset_.num_users;
+  header.num_items = dataset_.num_items;
+  const std::string path = dir_ + "/compact.snap";
+  ASSERT_TRUE(ModelSnapshot::Write(**model, header, path,
+                                   SnapshotDtype::kF32,
+                                   /*include_trainer_state=*/true)
+                  .ok());
+  SnapshotHeader restored_header;
+  auto restored =
+      ModelSnapshot::Read(path, baselines::MakeModel, &restored_header);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored_header.has_trainer_state);
+  // The scoring tensors were quantized to f32, but the trailer is always
+  // exact f64: the restored trainer state matches the source bit for bit.
+  ParameterSet source_state, restored_state;
+  (*model)->CollectTrainerState(&source_state);
+  (*restored)->CollectTrainerState(&restored_state);
+  ASSERT_EQ(source_state.matrices.size(), restored_state.matrices.size());
+  for (size_t i = 0; i < source_state.matrices.size(); ++i) {
+    EXPECT_EQ(source_state.matrices[i]->data(),
+              restored_state.matrices[i]->data());
+  }
+}
+
+}  // namespace
+}  // namespace logirec::core

@@ -92,6 +92,66 @@ TEST(TemporalSplitTest, TrainSizeSumsUsers) {
             static_cast<long>(split.train[0].size() + split.train[1].size()));
 }
 
+/// MakeDataset() saturates every (user, item) pair, so append tests use
+/// a third user with no interactions yet.
+Dataset MakeAppendableDataset() {
+  Dataset ds = MakeDataset();
+  ds.num_users = 3;
+  return ds;
+}
+
+TEST(DatasetAppendTest, AcceptsNewPairsAndIndexesThem) {
+  Dataset ds = MakeAppendableDataset();
+  const size_t before = ds.interactions.size();
+  EXPECT_TRUE(ds.Append({2, 0, 200}).ok());
+  ASSERT_EQ(ds.interactions.size(), before + 1);
+  EXPECT_EQ(ds.interactions.back().user, 2);
+  EXPECT_EQ(ds.interactions.back().item, 0);
+  EXPECT_EQ(ds.interactions.back().timestamp, 200);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(DatasetAppendTest, RejectsDuplicatePair) {
+  Dataset ds = MakeDataset();
+  const size_t before = ds.interactions.size();
+  // (user 0, item 3) is already in the log (twice, in fact).
+  const Status st = ds.Append({0, 3, 999});
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(st.message().find("user=0"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("item=3"), std::string::npos) << st.message();
+  EXPECT_EQ(ds.interactions.size(), before);  // log untouched
+}
+
+TEST(DatasetAppendTest, RejectsDuplicateOfAnAppendedPair) {
+  Dataset ds = MakeAppendableDataset();
+  EXPECT_TRUE(ds.Append({2, 0, 200}).ok());
+  EXPECT_EQ(ds.Append({2, 0, 201}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatasetAppendTest, RejectsOutOfRangeUser) {
+  Dataset ds = MakeDataset();
+  const size_t before = ds.interactions.size();
+  for (const int user : {-1, 2, 100}) {
+    const Status st = ds.Append({user, 0, 0});
+    EXPECT_EQ(st.code(), StatusCode::kOutOfRange) << "user " << user;
+    EXPECT_NE(st.message().find("user id"), std::string::npos)
+        << st.message();
+  }
+  EXPECT_EQ(ds.interactions.size(), before);
+}
+
+TEST(DatasetAppendTest, RejectsOutOfRangeItem) {
+  Dataset ds = MakeDataset();
+  const size_t before = ds.interactions.size();
+  for (const int item : {-1, 5, 42}) {
+    const Status st = ds.Append({0, item, 0});
+    EXPECT_EQ(st.code(), StatusCode::kOutOfRange) << "item " << item;
+    EXPECT_NE(st.message().find("item id"), std::string::npos)
+        << st.message();
+  }
+  EXPECT_EQ(ds.interactions.size(), before);
+}
+
 TEST(ComputeStatsTest, MatchesDataset) {
   const Dataset ds = MakeDataset();
   const DatasetStats stats = ComputeStats(ds);

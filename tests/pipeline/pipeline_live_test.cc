@@ -1,0 +1,153 @@
+// PipelineDriver end-to-end: the replay loop trains, snapshots, and
+// hot-swaps generations under live background load with zero failed
+// in-flight requests, and its metrics are a pure function of
+// (dataset, seed, window schedule) at any thread count. Built into the
+// TSan CI job.
+
+#include "pipeline/pipeline.h"
+
+#include <filesystem>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace logirec::pipeline {
+namespace {
+
+class PipelineLiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/logirec_pipeline_live_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    data::SyntheticConfig config;
+    config.num_users = 30;
+    config.num_items = 40;
+    config.seed = 17;
+    dataset_ = data::GenerateSynthetic(config);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  core::TrainConfig Config(int threads = 0) const {
+    core::TrainConfig config;
+    config.dim = 8;
+    config.layers = 2;
+    config.epochs = 4;
+    config.num_threads = threads;
+    return config;
+  }
+
+  PipelineOptions Options(const std::string& subdir) const {
+    PipelineOptions options;
+    options.num_windows = 4;
+    options.bootstrap_windows = 2;
+    options.eval_k = 10;
+    options.snapshot_dir = dir_ + "/" + subdir;
+    options.trainer.fine_tune_epochs = 2;
+    std::filesystem::create_directories(options.snapshot_dir);
+    return options;
+  }
+
+  std::string dir_;
+  data::Dataset dataset_;
+};
+
+TEST_F(PipelineLiveTest, ReplayUnderLiveLoadNeverFailsInFlight) {
+  PipelineOptions options = Options("warm");
+  options.live_load_threads = 2;
+  PipelineDriver driver(options, Config());
+  auto report = driver.Run(dataset_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_EQ(report->windows.size(), 2u);  // windows 2 and 3
+  EXPECT_GT(report->total_eval_users, 0);
+  EXPECT_EQ(report->total_eval_failures, 0);
+  EXPECT_GT(report->live_requests, 0);
+  EXPECT_EQ(report->live_failures, 0);
+  for (const WindowReport& w : report->windows) {
+    EXPECT_TRUE(w.warm);
+    EXPECT_TRUE(w.resumed_trainer_state);
+    EXPECT_GT(w.eval_users, 0);
+    EXPECT_GT(w.ingest.appended, 0);
+  }
+  // Generations advance: window t is served by the generation trained on
+  // the windows before it.
+  EXPECT_EQ(report->windows[0].generation, 1u);
+  EXPECT_EQ(report->windows[1].generation, 2u);
+}
+
+TEST_F(PipelineLiveTest, FullRetrainModeRunsTheSameLoop) {
+  PipelineOptions options = Options("full");
+  options.full_retrain = true;
+  PipelineDriver driver(options, Config());
+  auto report = driver.Run(dataset_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->windows.size(), 2u);
+  EXPECT_EQ(report->total_eval_failures, 0);
+  for (const WindowReport& w : report->windows) {
+    EXPECT_FALSE(w.warm);
+  }
+}
+
+TEST_F(PipelineLiveTest, MetricsAreThreadCountInvariant) {
+  auto run = [&](int threads, const std::string& subdir) {
+    PipelineOptions options = Options(subdir);
+    options.server.num_threads = threads == 0 ? 2 : threads;
+    PipelineDriver driver(options, Config(threads));
+    auto report = driver.Run(dataset_);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return *report;
+  };
+  const PipelineReport one = run(1, "t1");
+  const PipelineReport three = run(3, "t3");
+  ASSERT_EQ(one.windows.size(), three.windows.size());
+  for (size_t i = 0; i < one.windows.size(); ++i) {
+    EXPECT_EQ(one.windows[i].ndcg, three.windows[i].ndcg)
+        << "window " << one.windows[i].window;
+    EXPECT_EQ(one.windows[i].recall, three.windows[i].recall)
+        << "window " << one.windows[i].window;
+    EXPECT_EQ(one.windows[i].eval_users, three.windows[i].eval_users);
+  }
+  EXPECT_EQ(one.mean_ndcg, three.mean_ndcg);
+  EXPECT_EQ(one.mean_recall, three.mean_recall);
+}
+
+TEST_F(PipelineLiveTest, ServesThroughAnAnnIndexWithoutFailures) {
+  PipelineOptions options = Options("hnsw");
+  options.retrieval.kind = retrieval::RetrievalKind::kHnsw;
+  options.live_load_threads = 1;
+  PipelineDriver driver(options, Config());
+  auto report = driver.Run(dataset_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->total_eval_failures, 0);
+  EXPECT_EQ(report->live_failures, 0);
+}
+
+TEST_F(PipelineLiveTest, ValidatesOptions) {
+  {
+    PipelineOptions options = Options("bad1");
+    options.num_windows = 1;
+    auto report = PipelineDriver(options, Config()).Run(dataset_);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    PipelineOptions options = Options("bad2");
+    options.bootstrap_windows = 4;  // == num_windows
+    auto report = PipelineDriver(options, Config()).Run(dataset_);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    PipelineOptions options = Options("bad3");
+    options.snapshot_dir.clear();
+    auto report = PipelineDriver(options, Config()).Run(dataset_);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace logirec::pipeline

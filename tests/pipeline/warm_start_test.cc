@@ -1,0 +1,225 @@
+// WarmStartTrainer: full-fit and resume rounds produce resumable
+// snapshots; resume restores the exact optimization point when the
+// trailer is present, degrades gracefully on scoring-only snapshots,
+// and is deterministic — same inputs, bit-identical output snapshot,
+// at any thread count.
+
+#include "pipeline/warm_start.h"
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "data/synthetic.h"
+#include "pipeline/interaction_log.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/window_ingestor.h"
+
+namespace logirec::pipeline {
+namespace {
+
+class WarmStartTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/logirec_warm_start_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    data::SyntheticConfig config;
+    config.num_users = 30;
+    config.num_items = 40;
+    config.seed = 21;
+    dataset_ = data::GenerateSynthetic(config);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  core::TrainConfig Config() const {
+    core::TrainConfig config;
+    config.dim = 8;
+    config.layers = 2;
+    config.epochs = 4;
+    return config;
+  }
+
+  std::vector<char> Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+
+  std::string dir_;
+  data::Dataset dataset_;
+};
+
+TEST_F(WarmStartTest, FullThenResumeCarriesTrainerState) {
+  const InteractionLog log(dataset_, 3);
+  WindowIngestor ingestor(log.MakeBaseDataset(),
+                          MakeIngestorOptions("LogiRec++", Config()));
+  ASSERT_TRUE(ingestor.Ingest(log.window(0)).ok());
+
+  WarmStartOptions options;
+  WarmStartTrainer trainer(options, Config());
+  const std::string gen1 = dir_ + "/gen1.snap";
+  auto full = trainer.FitFull(ingestor.dataset(), ingestor.split(), gen1);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_FALSE(full->warm);
+  EXPECT_GT(full->train_seconds, 0.0);
+  ASSERT_TRUE(std::filesystem::exists(gen1));
+
+  ASSERT_TRUE(ingestor.Ingest(log.window(1)).ok());
+  core::TrainResources resources = ingestor.Resources();
+  const std::string gen2 = dir_ + "/gen2.snap";
+  auto warm = trainer.Resume(gen1, ingestor.dataset(), ingestor.split(),
+                             &resources, gen2);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->warm);
+  EXPECT_TRUE(warm->resumed_trainer_state);
+  ASSERT_TRUE(std::filesystem::exists(gen2));
+
+  // The emitted snapshot is itself resumable: chain a third round.
+  ASSERT_TRUE(ingestor.Ingest(log.window(2)).ok());
+  core::TrainResources next = ingestor.Resources();
+  auto again = trainer.Resume(gen2, ingestor.dataset(), ingestor.split(),
+                              &next, dir_ + "/gen3.snap");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->resumed_trainer_state);
+}
+
+TEST_F(WarmStartTest, ScoringOnlySnapshotDegradesGracefully) {
+  const InteractionLog log(dataset_, 2);
+  WindowIngestor ingestor(log.MakeBaseDataset(),
+                          MakeIngestorOptions("LogiRec++", Config()));
+  ASSERT_TRUE(ingestor.Ingest(log.window(0)).ok());
+
+  // A scoring-only snapshot, as an external tool (or the serve CLI's
+  // --save-model) would write it: no trainer-state trailer.
+  const core::TrainConfig config = Config();
+  auto model = baselines::MakeModel("LogiRec++", config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(ingestor.dataset(), ingestor.split()).ok());
+  core::SnapshotHeader header;
+  header.dim = config.dim;
+  header.layers = config.layers;
+  header.num_users = dataset_.num_users;
+  header.num_items = dataset_.num_items;
+  const std::string scoring_only = dir_ + "/scoring_only.snap";
+  ASSERT_TRUE(
+      core::ModelSnapshot::Write(**model, header, scoring_only).ok());
+
+  ASSERT_TRUE(ingestor.Ingest(log.window(1)).ok());
+  WarmStartTrainer trainer({}, config);
+  core::TrainResources resources = ingestor.Resources();
+  auto warm = trainer.Resume(scoring_only, ingestor.dataset(),
+                             ingestor.split(), &resources,
+                             dir_ + "/out.snap");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->warm);
+  EXPECT_FALSE(warm->resumed_trainer_state);  // fell back, still trained
+}
+
+TEST_F(WarmStartTest, RejectsModelMismatch) {
+  const InteractionLog log(dataset_, 2);
+  WindowIngestor ingestor(log.MakeBaseDataset(),
+                          MakeIngestorOptions("BPRMF", Config()));
+  ASSERT_TRUE(ingestor.Ingest(log.window(0)).ok());
+
+  WarmStartOptions bprmf_options;
+  bprmf_options.model = "BPRMF";
+  WarmStartTrainer bprmf(bprmf_options, Config());
+  const std::string snap = dir_ + "/bprmf.snap";
+  ASSERT_TRUE(
+      bprmf.FitFull(ingestor.dataset(), ingestor.split(), snap).ok());
+
+  WarmStartTrainer logirec({}, Config());  // trains LogiRec++
+  const auto resumed = logirec.Resume(snap, ingestor.dataset(),
+                                      ingestor.split(), nullptr,
+                                      dir_ + "/out.snap");
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WarmStartTest, RejectsDimMismatch) {
+  const InteractionLog log(dataset_, 2);
+  WindowIngestor ingestor(log.MakeBaseDataset(),
+                          MakeIngestorOptions("LogiRec++", Config()));
+  ASSERT_TRUE(ingestor.Ingest(log.window(0)).ok());
+
+  WarmStartTrainer trainer({}, Config());
+  const std::string snap = dir_ + "/gen1.snap";
+  ASSERT_TRUE(
+      trainer.FitFull(ingestor.dataset(), ingestor.split(), snap).ok());
+
+  core::TrainConfig wider = Config();
+  wider.dim = 16;
+  WarmStartTrainer mismatched({}, wider);
+  const auto resumed = mismatched.Resume(snap, ingestor.dataset(),
+                                         ingestor.split(), nullptr,
+                                         dir_ + "/out.snap");
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WarmStartTest, ResumeIsDeterministicAtAnyThreadCount) {
+  const InteractionLog log(dataset_, 2);
+
+  auto run = [&](int threads) {
+    core::TrainConfig config = Config();
+    config.num_threads = threads;
+    WindowIngestor ingestor(log.MakeBaseDataset(),
+                            MakeIngestorOptions("LogiRec++", config));
+    EXPECT_TRUE(ingestor.Ingest(log.window(0)).ok());
+    WarmStartTrainer trainer({}, config);
+    const std::string base =
+        dir_ + "/t" + std::to_string(threads) + "_gen1.snap";
+    EXPECT_TRUE(
+        trainer.FitFull(ingestor.dataset(), ingestor.split(), base).ok());
+    EXPECT_TRUE(ingestor.Ingest(log.window(1)).ok());
+    core::TrainResources resources = ingestor.Resources();
+    const std::string out =
+        dir_ + "/t" + std::to_string(threads) + "_gen2.snap";
+    auto warm = trainer.Resume(base, ingestor.dataset(), ingestor.split(),
+                               &resources, out);
+    EXPECT_TRUE(warm.ok()) << warm.status().ToString();
+    return Slurp(out);
+  };
+
+  const std::vector<char> one = run(1);
+  const std::vector<char> three = run(3);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, three)
+      << "warm-start snapshot differs across thread counts";
+}
+
+TEST_F(WarmStartTest, BorrowedResourcesMatchOwnedRebuild) {
+  // Resuming with borrowed ingestor structures and resuming with none
+  // (ResumeFit rebuilds everything it needs) must produce bit-identical
+  // snapshots — the borrowed path is an optimization, not a semantic.
+  const InteractionLog log(dataset_, 2);
+  WindowIngestor ingestor(log.MakeBaseDataset(),
+                          MakeIngestorOptions("LogiRec++", Config()));
+  ASSERT_TRUE(ingestor.Ingest(log.window(0)).ok());
+  WarmStartTrainer trainer({}, Config());
+  const std::string gen1 = dir_ + "/gen1.snap";
+  ASSERT_TRUE(
+      trainer.FitFull(ingestor.dataset(), ingestor.split(), gen1).ok());
+  ASSERT_TRUE(ingestor.Ingest(log.window(1)).ok());
+
+  core::TrainResources resources = ingestor.Resources();
+  const std::string borrowed = dir_ + "/borrowed.snap";
+  ASSERT_TRUE(trainer
+                  .Resume(gen1, ingestor.dataset(), ingestor.split(),
+                          &resources, borrowed)
+                  .ok());
+  const std::string owned = dir_ + "/owned.snap";
+  ASSERT_TRUE(trainer
+                  .Resume(gen1, ingestor.dataset(), ingestor.split(),
+                          nullptr, owned)
+                  .ok());
+  EXPECT_EQ(Slurp(borrowed), Slurp(owned))
+      << "borrowed-resource resume diverges from the owned rebuild";
+}
+
+}  // namespace
+}  // namespace logirec::pipeline

@@ -1,0 +1,233 @@
+// logirec_pipeline — continuous-learning replay driver.
+//
+// Slices a dataset into time windows and closes the train->serve loop:
+// bootstrap Fit, then per window evaluate LIVE through the model server,
+// ingest, warm-start retrain (or full retrain), snapshot, and hot-swap
+// the new generation while background load keeps hitting the server.
+//
+//   logirec_pipeline --windows=6 --bootstrap=2 --dataset=cd --scale=0.1
+//   logirec_pipeline --data=DIR --mode=both --out=pipeline.json
+//
+// Flags:
+//   --mode=warm|full|both  retraining mode per window; `both` runs the
+//                          replay twice (identical windows/seed) and
+//                          prints the warm-vs-full comparison
+//   --live-threads=N       background load threads during retrain/swap
+//   --out=PATH             write the report(s) as JSON
+//
+// Exits nonzero on any failed in-flight request (live load or
+// evaluation) — the zero-failures serving contract is the gate.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "pipeline/pipeline.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace logirec;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void AppendWindowJson(const pipeline::WindowReport& w, std::string* out) {
+  out->append(StrFormat(
+      "      {\"window\": %d, \"generation\": %llu, \"eval_users\": %ld, "
+      "\"eval_failures\": %ld, \"ndcg\": %.6f, \"recall\": %.6f, "
+      "\"appended\": %ld, \"duplicates\": %ld, \"new_items\": %d, "
+      "\"new_memberships\": %ld, \"ingest_seconds\": %.4f, "
+      "\"train_seconds\": %.4f, \"snapshot_seconds\": %.4f, "
+      "\"swap_seconds\": %.4f, \"warm\": %s, "
+      "\"resumed_trainer_state\": %s, \"train_size\": %ld}",
+      w.window, static_cast<unsigned long long>(w.generation), w.eval_users,
+      w.eval_failures, w.ndcg, w.recall, w.ingest.appended,
+      w.ingest.duplicates, w.ingest.new_items, w.ingest.new_memberships,
+      w.ingest_seconds, w.train_seconds, w.snapshot_seconds, w.swap_seconds,
+      w.warm ? "true" : "false", w.resumed_trainer_state ? "true" : "false",
+      w.train_size));
+}
+
+void AppendReportJson(const std::string& label,
+                      const pipeline::PipelineReport& report,
+                      std::string* out) {
+  out->append(StrFormat("  \"%s\": {\n", label.c_str()));
+  out->append(StrFormat("    \"bootstrap_train_seconds\": %.4f,\n",
+                        report.bootstrap_train_seconds));
+  out->append(StrFormat("    \"total_train_seconds\": %.4f,\n",
+                        report.total_train_seconds));
+  out->append(StrFormat("    \"mean_ndcg\": %.6f,\n", report.mean_ndcg));
+  out->append(StrFormat("    \"mean_recall\": %.6f,\n", report.mean_recall));
+  out->append(StrFormat("    \"total_eval_users\": %ld,\n",
+                        report.total_eval_users));
+  out->append(StrFormat("    \"total_eval_failures\": %ld,\n",
+                        report.total_eval_failures));
+  out->append(StrFormat("    \"live_requests\": %ld,\n",
+                        report.live_requests));
+  out->append(StrFormat("    \"live_failures\": %ld,\n",
+                        report.live_failures));
+  out->append(StrFormat("    \"live_shed\": %ld,\n", report.live_shed));
+  out->append("    \"windows\": [\n");
+  for (size_t i = 0; i < report.windows.size(); ++i) {
+    AppendWindowJson(report.windows[i], out);
+    out->append(i + 1 < report.windows.size() ? ",\n" : "\n");
+  }
+  out->append("    ]\n  }");
+}
+
+void PrintReport(const std::string& label,
+                 const pipeline::PipelineReport& report) {
+  std::printf("[%s] bootstrap %.2fs, windows %zu, "
+              "train %.2fs total, NDCG@k %.4f, Recall@k %.4f, "
+              "eval %ld users (%ld failed), live %ld ok / %ld failed / "
+              "%ld shed\n",
+              label.c_str(), report.bootstrap_train_seconds,
+              report.windows.size(), report.total_train_seconds,
+              report.mean_ndcg, report.mean_recall, report.total_eval_users,
+              report.total_eval_failures, report.live_requests,
+              report.live_failures, report.live_shed);
+  for (const pipeline::WindowReport& w : report.windows) {
+    std::printf("  window %d: gen %llu, %ld users, NDCG %.4f, "
+                "+%ld pairs (%ld dup), ingest %.3fs, train %.3fs, "
+                "swap %.3fs%s\n",
+                w.window, static_cast<unsigned long long>(w.generation),
+                w.eval_users, w.ndcg, w.ingest.appended,
+                w.ingest.duplicates, w.ingest_seconds, w.train_seconds,
+                w.swap_seconds,
+                w.warm ? (w.resumed_trainer_state ? " [warm+state]"
+                                                  : " [warm]")
+                       : " [full]");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("data", "", "dataset dir (from `logirec generate`)");
+  flags.AddString("dataset", "cd", "synthetic preset when --data is empty");
+  flags.AddDouble("scale", 0.1, "synthetic dataset scale");
+  flags.AddInt("windows", 6, "replay windows");
+  flags.AddInt("bootstrap", 2, "windows ingested before the bootstrap Fit");
+  flags.AddString("mode", "warm", "retraining mode: warm, full, or both");
+  flags.AddString("model", "LogiRec++", "model-zoo name");
+  flags.AddInt("epochs", 30, "bootstrap/full-retrain epochs");
+  flags.AddInt("fine-tune-epochs", 2, "epochs per warm fine-tune");
+  flags.AddInt("dim", 32, "embedding dimension");
+  flags.AddInt("layers", 3, "GCN layers");
+  flags.AddDouble("lr", 0.05, "learning rate");
+  flags.AddInt("seed", 7, "training seed");
+  flags.AddInt("threads", 0, "training + serving threads (0 = hardware)");
+  flags.AddInt("k", 20, "evaluation cutoff");
+  flags.AddString("retrieval", "exact", "serving index: exact, ivf, hnsw");
+  flags.AddInt("live-threads", 2,
+               "background load threads during retrain/swap (0 = off)");
+  flags.AddString("snapshot-dir", "",
+                  "snapshot directory (default: a fresh temp dir)");
+  flags.AddString("out", "", "write the JSON report here");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed);
+  if (flags.help_requested()) return 0;
+
+  Result<data::Dataset> dataset = flags.GetString("data").empty()
+      ? data::GenerateBenchmarkDataset(flags.GetString("dataset"),
+                                       flags.GetDouble("scale"))
+      : data::LoadDataset(flags.GetString("data"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::printf("dataset: %d users, %d items, %zu interactions\n",
+              dataset->num_users, dataset->num_items,
+              dataset->interactions.size());
+
+  core::TrainConfig config;
+  config.dim = flags.GetInt("dim");
+  config.layers = flags.GetInt("layers");
+  config.epochs = flags.GetInt("epochs");
+  config.learning_rate = flags.GetDouble("lr");
+  config.seed = flags.GetInt("seed");
+  config.num_threads = flags.GetInt("threads");
+
+  pipeline::PipelineOptions options;
+  options.num_windows = flags.GetInt("windows");
+  options.bootstrap_windows = flags.GetInt("bootstrap");
+  options.eval_k = flags.GetInt("k");
+  options.live_load_threads = flags.GetInt("live-threads");
+  options.trainer.model = flags.GetString("model");
+  options.trainer.fine_tune_epochs = flags.GetInt("fine-tune-epochs");
+  options.server.num_threads = flags.GetInt("threads");
+  auto kind = retrieval::ParseRetrievalKind(flags.GetString("retrieval"));
+  if (!kind.ok()) return Fail(kind.status());
+  options.retrieval.kind = *kind;
+
+  std::string snapshot_dir = flags.GetString("snapshot-dir");
+  if (snapshot_dir.empty()) {
+    snapshot_dir = (std::filesystem::temp_directory_path() /
+                    StrFormat("logirec_pipeline_%d", flags.GetInt("seed")))
+                       .string();
+  }
+  std::filesystem::create_directories(snapshot_dir);
+
+  const std::string mode = flags.GetString("mode");
+  if (mode != "warm" && mode != "full" && mode != "both") {
+    return Fail(Status::InvalidArgument("--mode must be warm, full, or both"));
+  }
+
+  std::vector<std::pair<std::string, pipeline::PipelineReport>> runs;
+  for (const std::string& label :
+       mode == "both" ? std::vector<std::string>{"warm", "full"}
+                      : std::vector<std::string>{mode}) {
+    options.full_retrain = (label == "full");
+    options.snapshot_dir = snapshot_dir + "/" + label;
+    std::filesystem::create_directories(options.snapshot_dir);
+    pipeline::PipelineDriver driver(options, config);
+    auto report = driver.Run(*dataset);
+    if (!report.ok()) return Fail(report.status());
+    PrintReport(label, *report);
+    runs.emplace_back(label, std::move(*report));
+  }
+
+  if (runs.size() == 2) {
+    const pipeline::PipelineReport& warm = runs[0].second;
+    const pipeline::PipelineReport& full = runs[1].second;
+    const double ratio = warm.total_train_seconds > 0.0
+        ? full.total_train_seconds / warm.total_train_seconds
+        : 0.0;
+    std::printf("warm-vs-full: NDCG %.4f vs %.4f (delta %+.4f), "
+                "train %.2fs vs %.2fs (%.1fx cheaper)\n",
+                warm.mean_ndcg, full.mean_ndcg,
+                warm.mean_ndcg - full.mean_ndcg, warm.total_train_seconds,
+                full.total_train_seconds, ratio);
+  }
+
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    std::string json = "{\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      AppendReportJson(runs[i].first, runs[i].second, &json);
+      json.append(i + 1 < runs.size() ? ",\n" : "\n");
+    }
+    json.append("}\n");
+    std::ofstream file(out);
+    file << json;
+    if (!file.good()) return Fail(Status::IoError("cannot write " + out));
+    std::printf("report written to %s\n", out.c_str());
+  }
+
+  for (const auto& [label, report] : runs) {
+    if (report.total_eval_failures > 0 || report.live_failures > 0) {
+      std::fprintf(stderr,
+                   "FAILED: %s run had %ld eval / %ld live failures\n",
+                   label.c_str(), report.total_eval_failures,
+                   report.live_failures);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -38,6 +38,30 @@ grep -q "ok user=3 gen=2 items=" "$OUT"
 grep -q "stats requests=" "$OUT"
 grep -q "bye" "$OUT"
 
+# Async reload: the snapshot load and index build run on the server's
+# swap thread, replies still arrive in request order, and a corrupt
+# snapshot answers with an error while the connection and the serving
+# generation stay intact (the next rank keeps working).
+head -c 64 "$WORK/hgcf.snap" >"$WORK/corrupt.snap"
+ROUT="$WORK/reload.out"
+"$SERVE" --snapshot="$WORK/hgcf.snap" --data="$WORK/data" >"$ROUT" <<EOF
+3 5
+!reload $WORK/bprmf.snap
+3 5
+!reload $WORK/corrupt.snap
+3 5
+!stats
+!quit
+EOF
+grep -q "ok user=3 gen=1 items=" "$ROUT"
+grep -q "ok reloaded gen=2 model=BPRMF" "$ROUT"
+test "$(grep -c "ok user=3 gen=2 items=" "$ROUT")" -eq 2
+grep -q "error" "$ROUT"
+grep -q "bye" "$ROUT"
+printf '!reload\n!quit\n' | "$SERVE" --snapshot="$WORK/bprmf.snap" \
+  >"$WORK/reload_err.out"
+grep -q "error InvalidArgument" "$WORK/reload_err.out"
+
 # Malformed input and a corrupted snapshot produce errors, not crashes.
 printf 'not_a_user\n!swap /nonexistent.snap\n!quit\n' \
   | "$SERVE" --snapshot="$WORK/bprmf.snap" >"$WORK/err.out"
